@@ -1,0 +1,108 @@
+//! Property-based tests on the closed-form swap model for arbitrary
+//! workload parameters.
+
+use harmony_analytical::{breakdown, weight_reduction_factor_dp, weight_swap_volume, Params, Scheme};
+use proptest::prelude::*;
+
+fn params_strategy() -> impl Strategy<Value = Params> {
+    (
+        1u64..32,
+        1u64..16,
+        1u64..1_000_000,
+        0u64..2_000_000,
+        0u64..500_000,
+        0u64..500_000,
+    )
+        .prop_map(|(m, n, w, k, s, a)| Params {
+            m,
+            n,
+            weight_bytes: w,
+            opt_state_bytes: k,
+            stash_bytes_per_ubatch: s,
+            act_bytes_per_ubatch: a,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn harmony_never_worse_per_class(p in params_strategy()) {
+        let pairs = [
+            (Scheme::HarmonyDp, Scheme::BaselineDp),
+            (Scheme::HarmonyPp, Scheme::BaselinePp),
+        ];
+        for (h, b) in pairs {
+            let hb = breakdown(h, &p);
+            let bb = breakdown(b, &p);
+            prop_assert!(hb.weight <= bb.weight);
+            prop_assert!(hb.grad <= bb.grad);
+            prop_assert!(hb.opt_state <= bb.opt_state);
+            prop_assert!(hb.stash <= bb.stash);
+            prop_assert!(hb.act <= bb.act);
+            prop_assert!(hb.total() <= bb.total());
+        }
+    }
+
+    #[test]
+    fn harmony_pp_dominates_everything(p in params_strategy()) {
+        let hpp = breakdown(Scheme::HarmonyPp, &p).total();
+        for s in [Scheme::BaselineDp, Scheme::BaselinePp, Scheme::HarmonyDp] {
+            prop_assert!(hpp <= breakdown(s, &p).total());
+        }
+    }
+
+    #[test]
+    fn baseline_dp_scales_linearly_in_n(p in params_strategy()) {
+        let mut p1 = p;
+        p1.n = 1;
+        let v1 = breakdown(Scheme::BaselineDp, &p1).total();
+        let vn = breakdown(Scheme::BaselineDp, &p).total();
+        prop_assert_eq!(vn, v1 * p.n);
+    }
+
+    #[test]
+    fn harmony_pp_weight_term_is_n_independent(p in params_strategy()) {
+        let mut q = p;
+        q.n = p.n.saturating_mul(2).max(1);
+        prop_assert_eq!(
+            weight_swap_volume(Scheme::HarmonyPp, &p),
+            weight_swap_volume(Scheme::HarmonyPp, &q)
+        );
+    }
+
+    #[test]
+    fn reduction_factor_matches_formula_ratio(m in 1u64..64) {
+        let p = Params {
+            m,
+            n: 3,
+            weight_bytes: 999,
+            opt_state_bytes: 0,
+            stash_bytes_per_ubatch: 0,
+            act_bytes_per_ubatch: 0,
+        };
+        let ratio = weight_swap_volume(Scheme::BaselineDp, &p) as f64
+            / weight_swap_volume(Scheme::HarmonyDp, &p) as f64;
+        prop_assert!((ratio - weight_reduction_factor_dp(m)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn swap_volume_monotone_in_every_size_parameter(p in params_strategy()) {
+        for scheme in Scheme::ALL {
+            let base = breakdown(scheme, &p).total();
+            for grow in 0..4 {
+                let mut q = p;
+                match grow {
+                    0 => q.weight_bytes += 1000,
+                    1 => q.opt_state_bytes += 1000,
+                    2 => q.stash_bytes_per_ubatch += 1000,
+                    _ => q.act_bytes_per_ubatch += 1000,
+                }
+                prop_assert!(
+                    breakdown(scheme, &q).total() >= base,
+                    "{:?} shrank when a tensor grew", scheme
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Fig 1 bench: model-zoo table generation and large-model spec builds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harmony::prelude::*;
+use harmony_bench::figures;
+
+fn bench(c: &mut Criterion) {
+    eprintln!("{}", figures::fig1());
+    let mut group = c.benchmark_group("fig1_model_zoo");
+    group.bench_function("zoo_table", |b| b.iter(figures::fig1));
+    group.bench_function("bert_xxl_spec_build", |b| {
+        b.iter(|| TransformerConfig::bert_xxl().build().total_params())
+    });
+    group.bench_function("gpt_10b_spec_build", |b| {
+        b.iter(|| TransformerConfig::gpt_10b().build().training_footprint_bytes(5, 2))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Functional-mode bench: real-float Harmony training steps under memory
+//! pressure vs the sequential reference — quantifies the CPU-side cost of
+//! decomposed, swapped execution relative to plain execution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harmony::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let model = mlp(&[40, 64, 40]);
+    let opt = Optimizer::adam(0.01);
+    let mut rng = SplitMix64::new(5);
+    let x = Tensor::randn([8, 40], 1.0, &mut rng);
+    let targets: Vec<usize> = (0..8).map(|i| i % 4).collect();
+
+    let mut group = c.benchmark_group("functional_training");
+    group.bench_function("harmony_step_pressured", |b| {
+        let mut session = FunctionalSession::new(
+            model.clone(),
+            SessionConfig {
+                device_capacities: vec![48 * 1024],
+                microbatches: 2,
+                optimizer: opt,
+                seed: 1,
+            },
+        )
+        .expect("session");
+        let mut step = 0u64;
+        b.iter(|| {
+            step += 1;
+            session.train_step(&x, &targets).expect("step").loss
+        })
+    });
+    group.bench_function("harmony_step_unpressured", |b| {
+        let mut session = FunctionalSession::new(
+            model.clone(),
+            SessionConfig {
+                device_capacities: vec![64 * 1024 * 1024],
+                microbatches: 2,
+                optimizer: opt,
+                seed: 1,
+            },
+        )
+        .expect("session");
+        b.iter(|| session.train_step(&x, &targets).expect("step").loss)
+    });
+    group.bench_function("sequential_reference_step", |b| {
+        let mut params = model.init_params(1);
+        let mut state = model.init_opt_state(&params, &opt);
+        let mut step = 0u64;
+        b.iter(|| {
+            step += 1;
+            model
+                .train_step_accum(&mut params, &opt, &mut state, &x, &targets, 2, step)
+                .expect("step")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Substrate microbench: the tensor kernels behind the functional mode.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use harmony::prelude::*;
+use harmony_tensor::nn::{Linear, MultiHeadAttention};
+use harmony_tensor::ops;
+
+fn bench(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(3);
+    let a = Tensor::randn([128, 128], 1.0, &mut rng);
+    let b128 = Tensor::randn([128, 128], 1.0, &mut rng);
+
+    let mut group = c.benchmark_group("tensor_kernels");
+    group.throughput(Throughput::Elements(2 * 128 * 128 * 128));
+    group.bench_function("matmul_128", |b| {
+        b.iter(|| ops::matmul(&a, &b128).expect("matmul"))
+    });
+    group.bench_function("matmul_at_b_128", |b| {
+        b.iter(|| ops::matmul_at_b(&a, &b128).expect("matmul"))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("layer_kernels");
+    let linear = Linear::new(256, 256, true);
+    let lp = linear.init_params(&mut rng);
+    let lx = Tensor::randn([32, 256], 1.0, &mut rng);
+    group.bench_function("linear_fwd_32x256", |b| {
+        b.iter(|| linear.forward(&lp, &lx).expect("fwd"))
+    });
+    let (_, stash) = linear.forward(&lp, &lx).expect("fwd");
+    let dy = Tensor::randn([32, 256], 1.0, &mut rng);
+    group.bench_function("linear_bwd_32x256", |b| {
+        b.iter(|| linear.backward(&lp, &stash, &dy).expect("bwd"))
+    });
+
+    let attn = MultiHeadAttention::new(64, 4, true).expect("attn");
+    let ap = attn.init_params(&mut rng);
+    let ax = Tensor::randn([4, 32, 64], 1.0, &mut rng);
+    group.bench_function("attention_fwd_4x32x64", |b| {
+        b.iter(|| attn.forward(&ap, &ax).expect("fwd"))
+    });
+    let (_, astash) = attn.forward(&ap, &ax).expect("fwd");
+    let ady = Tensor::randn([4, 32, 64], 1.0, &mut rng);
+    group.bench_function("attention_bwd_4x32x64", |b| {
+        b.iter(|| attn.backward(&ap, &astash, &ady).expect("bwd"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! `repro` — regenerate every figure and table of the paper.
+//!
+//! Usage: `cargo run --release -p harmony-bench --bin repro -- <artefact>`
+//! where `<artefact>` is one of `fig1 fig2a fig2b fig2c fig4 fig5a fig5bc
+//! table_a dominance tango prefetch recompute eviction steady all`, or `custom`
+//! followed by flags (see `repro custom --help` output on error) to run an
+//! arbitrary model × scheme × server configuration.
+
+use harmony_bench::{custom, figures};
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    if arg == "custom" {
+        let rest: Vec<String> = std::env::args().skip(2).collect();
+        match custom::parse(&rest).and_then(|a| custom::run(&a)) {
+            Ok(report) => println!("{report}"),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+    let mut ran = false;
+    let want = |name: &str| arg == name || arg == "all";
+    if want("fig1") {
+        println!("{}", figures::fig1());
+        ran = true;
+    }
+    if want("fig2a") {
+        println!("{}", figures::fig2a().0);
+        ran = true;
+    }
+    if want("fig2b") {
+        println!("{}", figures::fig2b());
+        ran = true;
+    }
+    if want("fig2c") {
+        println!("{}", figures::fig2c().0);
+        ran = true;
+    }
+    if want("fig4") {
+        println!("{}", figures::fig4());
+        ran = true;
+    }
+    if want("fig5a") {
+        println!("{}", figures::fig5a());
+        ran = true;
+    }
+    if want("fig5bc") {
+        println!("{}", figures::fig5bc());
+        ran = true;
+    }
+    if want("table_a") {
+        println!("{}", figures::table_a().0);
+        ran = true;
+    }
+    if want("dominance") {
+        println!("{}", figures::dominance().0);
+        ran = true;
+    }
+    if want("tango") {
+        println!("{}", figures::tango().0);
+        ran = true;
+    }
+    if want("prefetch") {
+        println!("{}", figures::prefetch_ablation().0);
+        ran = true;
+    }
+    if want("recompute") {
+        println!("{}", figures::recompute_ablation().0);
+        ran = true;
+    }
+    if want("eviction") {
+        println!("{}", figures::eviction_ablation().0);
+        ran = true;
+    }
+    if want("steady") {
+        println!("{}", figures::steady_state().0);
+        ran = true;
+    }
+    if !ran {
+        eprintln!(
+            "unknown artefact `{arg}`; expected one of: fig1 fig2a fig2b fig2c fig4 \
+             fig5a fig5bc table_a dominance tango prefetch recompute eviction steady all"
+        );
+        std::process::exit(2);
+    }
+}

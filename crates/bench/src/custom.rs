@@ -1,0 +1,238 @@
+//! The `repro custom` subcommand: run any model × scheme × server
+//! configuration from the command line and print the summary (optionally
+//! with a Gantt chart). Argument parsing is hand-rolled to keep the
+//! dependency set fixed.
+
+use harmony::prelude::*;
+use harmony::simulate::{self, SchemeKind};
+use harmony_sched::SimExecutor;
+
+/// Parsed `custom` arguments.
+#[derive(Debug, Clone)]
+pub struct CustomArgs {
+    /// Model name (see [`resolve_model`]).
+    pub model: String,
+    /// Scheme name.
+    pub scheme: SchemeKind,
+    /// GPU count.
+    pub gpus: usize,
+    /// Per-GPU memory in GiB.
+    pub mem_gib: f64,
+    /// Workload knobs.
+    pub workload: WorkloadConfig,
+    /// Iterations to replay.
+    pub iterations: u32,
+    /// Enable prefetch/double-buffering.
+    pub prefetch: bool,
+    /// Render a Gantt chart.
+    pub gantt: bool,
+}
+
+impl Default for CustomArgs {
+    fn default() -> Self {
+        CustomArgs {
+            model: "bert_xxl".to_string(),
+            scheme: SchemeKind::HarmonyPp,
+            gpus: 4,
+            mem_gib: 11.0,
+            workload: WorkloadConfig::default(),
+            iterations: 1,
+            prefetch: false,
+            gantt: false,
+        }
+    }
+}
+
+/// Parses `custom` flags. Returns an error string (usage) on bad input.
+pub fn parse(args: &[String]) -> Result<CustomArgs, String> {
+    let mut out = CustomArgs::default();
+    let mut it = args.iter();
+    let usage = || {
+        "usage: repro custom [--model NAME] [--scheme baseline-dp|baseline-pp|harmony-dp|harmony-pp] \
+         [--gpus N] [--mem-gib G] [--microbatches M] [--ubatch U] [--pack P] [--group G] \
+         [--opt-slots S] [--recompute] [--prefetch] [--iterations K] [--gantt]\n\
+         models: bert_large bert_xxl gpt2_xl gpt_10b lenet alexnet gnmt t5_11b"
+            .to_string()
+    };
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value\n{}", usage()))
+        };
+        match flag.as_str() {
+            "--model" => out.model = val("--model")?,
+            "--scheme" => {
+                out.scheme = match val("--scheme")?.as_str() {
+                    "baseline-dp" => SchemeKind::BaselineDp,
+                    "baseline-pp" => SchemeKind::BaselinePp,
+                    "harmony-dp" => SchemeKind::HarmonyDp,
+                    "harmony-pp" => SchemeKind::HarmonyPp,
+                    other => return Err(format!("unknown scheme `{other}`\n{}", usage())),
+                }
+            }
+            "--gpus" => out.gpus = val("--gpus")?.parse().map_err(|e| format!("{e}"))?,
+            "--mem-gib" => out.mem_gib = val("--mem-gib")?.parse().map_err(|e| format!("{e}"))?,
+            "--microbatches" => {
+                out.workload.microbatches =
+                    val("--microbatches")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--ubatch" => {
+                out.workload.ubatch_size = val("--ubatch")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--pack" => {
+                out.workload.pack_size = val("--pack")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--group" => {
+                out.workload.group_size =
+                    Some(val("--group")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--opt-slots" => {
+                out.workload.opt_slots =
+                    val("--opt-slots")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--iterations" => {
+                out.iterations = val("--iterations")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--recompute" => out.workload.recompute = true,
+            "--prefetch" => out.prefetch = true,
+            "--gantt" => out.gantt = true,
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    Ok(out)
+}
+
+/// Resolves a model name to a spec.
+pub fn resolve_model(name: &str) -> Result<ModelSpec, String> {
+    Ok(match name {
+        "bert_large" => TransformerConfig::bert_large().build(),
+        "bert_xxl" => TransformerConfig::bert_xxl().build(),
+        "gpt2_xl" => TransformerConfig::gpt2_xl().build(),
+        "gpt_10b" => TransformerConfig::gpt_10b().build(),
+        "lenet" => harmony_models::cnn::lenet(),
+        "alexnet" => harmony_models::cnn::alexnet(),
+        "gnmt" => harmony_models::seq2seq::gnmt(),
+        "t5_11b" => harmony_models::seq2seq::t5_11b(),
+        other => return Err(format!("unknown model `{other}`")),
+    })
+}
+
+/// Runs the configuration and returns the rendered report.
+pub fn run(args: &CustomArgs) -> Result<String, String> {
+    let model = resolve_model(&args.model)?;
+    let topo = presets::commodity_server(presets::CommodityParams {
+        num_gpus: args.gpus,
+        gpus_per_switch: args.gpus.max(1),
+        pcie_bw: 12.0 * presets::GBPS,
+        host_uplink_bw: 12.0 * presets::GBPS,
+        gpu_mem: (args.mem_gib * (1u64 << 30) as f64) as u64,
+        gpu_flops: 11.3e12,
+    })
+    .map_err(|e| e.to_string())?;
+    let mut plan =
+        simulate::plan(args.scheme, &model, &topo, &args.workload).map_err(|e| e.to_string())?;
+    if args.prefetch {
+        plan.scheme = plan.scheme.clone().with_prefetch();
+    }
+    let (summary, trace) = SimExecutor::with_iterations(&topo, &model, &plan, args.iterations)
+        .and_then(|e| e.run())
+        .map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "model     : {} ({:.2} M params, {:.2} GB training state)\n",
+        model.name,
+        model.total_params() as f64 / 1e6,
+        (model.total_params() * (8 + 4 * args.workload.opt_slots)) as f64 / 1e9,
+    ));
+    out.push_str(&format!("server    : {}\n", topo.name));
+    out.push_str(&format!(
+        "workload  : m={} ubatch={} pack={} group={:?} recompute={} prefetch={} iterations={}\n\n",
+        args.workload.microbatches,
+        args.workload.ubatch_size,
+        args.workload.pack_size,
+        args.workload.group_size,
+        args.workload.recompute,
+        args.prefetch,
+        args.iterations,
+    ));
+    out.push_str(&summary.one_line());
+    out.push('\n');
+    let mut t = Table::new(
+        "Swap volume by tensor class",
+        &["class", "GB", "per iteration"],
+    );
+    for (class, bytes) in &summary.swap_by_class {
+        if *bytes > 0 {
+            t.row(&[
+                class.clone(),
+                gb(*bytes),
+                gb(bytes / args.iterations as u64),
+            ]);
+        }
+    }
+    out.push('\n');
+    out.push_str(&t.render());
+    if let Some(u) = summary.channel_utilisation("->host") {
+        out.push_str(&format!("\nhost-uplink utilisation (out): {:.0}%\n", u * 100.0));
+    }
+    if args.gantt {
+        out.push('\n');
+        out.push_str(&gantt::render(&trace, 110));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parse_roundtrips_flags() {
+        let a = parse(&argv(
+            "--model gpt_10b --scheme harmony-pp --gpus 2 --mem-gib 8 --microbatches 3 \
+             --ubatch 2 --pack 2 --group 2 --opt-slots 0 --recompute --prefetch \
+             --iterations 2 --gantt",
+        ))
+        .unwrap();
+        assert_eq!(a.model, "gpt_10b");
+        assert_eq!(a.scheme, SchemeKind::HarmonyPp);
+        assert_eq!(a.gpus, 2);
+        assert_eq!(a.workload.microbatches, 3);
+        assert_eq!(a.workload.group_size, Some(2));
+        assert_eq!(a.workload.opt_slots, 0);
+        assert!(a.workload.recompute && a.prefetch && a.gantt);
+        assert_eq!(a.iterations, 2);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse(&argv("--bogus")).is_err());
+        assert!(parse(&argv("--scheme nonsense")).is_err());
+        assert!(parse(&argv("--gpus")).is_err());
+    }
+
+    #[test]
+    fn resolve_knows_every_published_model() {
+        for name in [
+            "bert_large", "bert_xxl", "gpt2_xl", "gpt_10b", "lenet", "alexnet", "gnmt", "t5_11b",
+        ] {
+            assert!(resolve_model(name).is_ok(), "{name}");
+        }
+        assert!(resolve_model("skynet").is_err());
+    }
+
+    #[test]
+    fn custom_run_end_to_end() {
+        let mut args = parse(&argv("--model lenet --scheme harmony-dp --gpus 2 --ubatch 1"))
+            .unwrap();
+        args.workload.microbatches = 1;
+        let report = run(&args).unwrap();
+        assert!(report.contains("lenet"));
+        assert!(report.contains("samples/s"));
+    }
+}

@@ -1,0 +1,14 @@
+//! # harmony-bench
+//!
+//! The benchmark harness: one generator per figure/table of the paper's
+//! evaluation (see DESIGN.md §4 for the experiment index). The `repro`
+//! binary prints any of them; the criterion benches in `benches/` time the
+//! underlying simulations; integration tests assert the reproduced
+//! *shapes* (who wins, by roughly what factor, where crossovers fall).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod custom;
+pub mod figures;
+pub mod workloads;

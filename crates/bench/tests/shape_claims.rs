@@ -1,0 +1,203 @@
+//! Shape assertions over the full benchmark workloads: the qualitative
+//! results the paper reports must hold in the reproduction (who wins, by
+//! roughly what factor, where crossovers fall). These run the same
+//! generators as the `repro` binary.
+
+use harmony::prelude::*;
+use harmony::simulate::{self, SchemeKind};
+use harmony_bench::{figures, workloads};
+
+#[test]
+fn fig1_growth_is_exponential() {
+    let rendered = figures::fig1();
+    assert!(rendered.contains("GPT-3"));
+    assert!(rendered.contains("175.0B"));
+}
+
+#[test]
+fn fig2a_swap_linear_throughput_saturates() {
+    let (_, points) = figures::fig2a();
+    // Swap-out ∝ N within 15%.
+    let base = points[0].swap_out as f64;
+    for p in &points {
+        let ratio = p.swap_out as f64 / base;
+        assert!(
+            (ratio - p.n as f64).abs() < 0.15 * p.n as f64 + 0.35,
+            "N={}: swap ratio {ratio:.2}",
+            p.n
+        );
+    }
+    // Throughput saturates: 4 GPUs give < 1.6× of one GPU.
+    let t1 = points[0].throughput;
+    let t4 = points[3].throughput;
+    assert!(
+        t4 < 1.6 * t1,
+        "baseline DP scaled {t1:.3} -> {t4:.3} (too well)"
+    );
+}
+
+#[test]
+fn fig2c_demand_and_swap_skew_head_to_tail() {
+    let (_, points) = figures::fig2c();
+    assert_eq!(points.len(), 4);
+    for w in points.windows(2) {
+        assert!(
+            w[0].demand >= w[1].demand,
+            "demand not monotone head→tail: {points:?}"
+        );
+    }
+    assert!(points[0].swap > points[3].swap, "head must swap more than tail");
+}
+
+#[test]
+fn fig5bc_measured_reduction_matches_headline_factor() {
+    // Harmony-DP weight swaps must be ≈ (4m+2)/3 times lower at m = 4.
+    let model = workloads::uniform_model(6, 4096);
+    let topo = workloads::tight_topo(2);
+    let w = workloads::tight_workload(4);
+    let (b, _) = simulate::run(SchemeKind::BaselineDp, &model, &topo, &w).expect("run");
+    let (h, _) = simulate::run(SchemeKind::HarmonyDp, &model, &topo, &w).expect("run");
+    let factor = b.swap_by_class["weight"] as f64 / h.swap_by_class["weight"].max(1) as f64;
+    let expected = (4.0 * 4.0 + 2.0) / 3.0; // 6×
+    assert!(
+        (factor - expected).abs() < expected * 0.25,
+        "reduction factor {factor:.2} vs expected {expected:.2}"
+    );
+}
+
+#[test]
+fn dominance_harmony_pp_smallest_total() {
+    let (_, totals) = figures::dominance();
+    let hpp = totals
+        .iter()
+        .find(|(k, _)| *k == SchemeKind::HarmonyPp)
+        .expect("present")
+        .1;
+    for (k, v) in &totals {
+        assert!(hpp <= *v, "harmony-pp {hpp} vs {} {v}", k.name());
+    }
+    // Baseline DP is the worst.
+    let bdp = totals
+        .iter()
+        .find(|(k, _)| *k == SchemeKind::BaselineDp)
+        .expect("present")
+        .1;
+    for (k, v) in &totals {
+        assert!(bdp >= *v, "baseline-dp {bdp} vs {} {v}", k.name());
+    }
+}
+
+#[test]
+fn tango_group_sweep_has_interior_throughput_optimum_or_knee() {
+    let (_, group_points, _) = figures::tango();
+    // Swap monotonically falls with group size…
+    for w in group_points.windows(2) {
+        assert!(w[1].swap <= w[0].swap);
+    }
+    // …while throughput does NOT monotonically improve: the biggest group
+    // is slower than the best configuration (the tango's tension).
+    let best = group_points
+        .iter()
+        .map(|p| p.throughput)
+        .fold(0.0f64, f64::max);
+    let largest_group = group_points.last().expect("non-empty").throughput;
+    assert!(
+        largest_group < best,
+        "largest group should sacrifice throughput: {largest_group} vs best {best}"
+    );
+}
+
+#[test]
+fn tuned_harmony_pp_beats_baseline_pp_on_both_axes() {
+    let model = workloads::analytical_model();
+    let topo = presets::commodity_4x1080ti();
+    let base = workloads::fig2_workload();
+    let (bpp, _) = simulate::run(SchemeKind::BaselinePp, &model, &topo, &base).expect("run");
+    // Tune the group size like the Performance Tuner would.
+    let mut best: Option<harmony::prelude::RunSummary> = None;
+    for g in [1usize, 2, 4, 8] {
+        let w = WorkloadConfig {
+            group_size: Some(g),
+            ..base
+        };
+        let (s, _) = simulate::run(SchemeKind::HarmonyPp, &model, &topo, &w).expect("run");
+        if best.as_ref().is_none_or(|b| s.throughput() > b.throughput()) {
+            best = Some(s);
+        }
+    }
+    let best = best.expect("swept");
+    assert!(
+        best.throughput() > bpp.throughput(),
+        "tuned harmony-pp {:.3} vs baseline-pp {:.3} seqs/s",
+        best.throughput(),
+        bpp.throughput()
+    );
+    assert!(
+        best.global_swap() < bpp.global_swap(),
+        "tuned harmony-pp swap {} vs baseline-pp {}",
+        best.global_swap(),
+        bpp.global_swap()
+    );
+}
+
+#[test]
+fn prefetch_speeds_up_harmony_but_not_baseline_dp() {
+    let (_, points) = figures::prefetch_ablation();
+    let by = |label: &str| {
+        points
+            .iter()
+            .find(|p| p.label.starts_with(label))
+            .expect("present")
+    };
+    let bdp = by("baseline-dp");
+    assert!(
+        (bdp.overlapped / bdp.serial - 1.0).abs() < 0.02,
+        "baseline DP has nothing to prefetch"
+    );
+    for g in ["harmony-pp G=2", "harmony-pp G=8"] {
+        let p = by(g);
+        assert!(
+            p.overlapped > p.serial * 1.05,
+            "{g}: prefetch should help ({} vs {})",
+            p.overlapped,
+            p.serial
+        );
+    }
+}
+
+#[test]
+fn recompute_eliminates_stash_swap_class() {
+    let (_, rows) = figures::recompute_ablation();
+    for (pack, stash_run, rec_run) in &rows {
+        assert_eq!(
+            rec_run.swap_by_class["stash"], 0,
+            "pack {pack}: recompute must not swap stash"
+        );
+        assert!(
+            rec_run.global_swap() < stash_run.global_swap(),
+            "pack {pack}: recompute should reduce total swap here"
+        );
+    }
+}
+
+#[test]
+fn steady_state_volumes_stay_on_the_closed_forms() {
+    let (_, rows) = figures::steady_state();
+    let analytic = |kind: SchemeKind| -> f64 {
+        match kind {
+            SchemeKind::BaselineDp => (4.0 * 4.0 + 2.0) * 2.0,
+            SchemeKind::HarmonyDp => 3.0 * 2.0,
+            SchemeKind::HarmonyPp => 3.0,
+            SchemeKind::BaselinePp => unreachable!("not in the table"),
+        }
+    };
+    for (kind, k, per_iter) in &rows {
+        let a = analytic(*kind);
+        let ratio = per_iter / a;
+        assert!(
+            (0.7..=1.1).contains(&ratio),
+            "{} k={k}: per-iter {per_iter:.2} vs analytic {a:.2}",
+            kind.name()
+        );
+    }
+}

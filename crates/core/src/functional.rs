@@ -1,0 +1,932 @@
+//! Functional execution: really train a model through Harmony's decomposed
+//! schedule on capacity-limited virtual devices.
+//!
+//! This is the mode that proves the *semantics* of the system: a
+//! [`FunctionalSession`] takes the user's sequential model (an
+//! [`ExecModel`]) and executes each training step the Harmony way —
+//!
+//! * the minibatch is split into microbatches (task decomposition),
+//! * layers are placed across virtual devices (late binding / packing),
+//! * execution is **layer-major** (input-batch grouping): each layer runs
+//!   all microbatches back-to-back while its weights are resident,
+//! * weight updates run **just-in-time**, immediately after a layer's last
+//!   backward microbatch,
+//! * tensors move between host and device arenas under *hard capacity
+//!   enforcement* — a model whose training footprint exceeds every
+//!   device's memory still trains, with evictions and swap-ins tracked by
+//!   the same `harmony-memory` manager the simulator uses, and real
+//!   payloads moving through a [`TensorStore`],
+//!
+//! and the resulting parameters are **bit-identical** to the user's
+//! sequential gradient-accumulation program
+//! ([`ExecModel::train_step_accum`]) — the paper's "illusion of a single
+//! virtual device with practically unbounded memory".
+
+use harmony_memory::{Lru, MemError, MemoryManager, Residency, TensorClass, TensorId, TensorStore};
+use harmony_models::exec::{ExecModel, SkipSource};
+use harmony_tensor::nn::{cross_entropy, Layer};
+use harmony_tensor::ops;
+use harmony_tensor::optim::Optimizer;
+use harmony_tensor::{Tensor, TensorError};
+
+/// Errors from functional execution.
+#[derive(Debug)]
+pub enum HarmonyError {
+    /// Numeric/shape error from the tensor engine.
+    Tensor(TensorError),
+    /// Memory-management error (e.g. one layer's working set exceeds the
+    /// device capacity — the model is too large even for virtualization).
+    Mem(MemError),
+    /// Invalid configuration.
+    Config(String),
+}
+
+impl std::fmt::Display for HarmonyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HarmonyError::Tensor(e) => write!(f, "tensor: {e}"),
+            HarmonyError::Mem(e) => write!(f, "memory: {e}"),
+            HarmonyError::Config(m) => write!(f, "config: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for HarmonyError {}
+
+impl From<TensorError> for HarmonyError {
+    fn from(e: TensorError) -> Self {
+        HarmonyError::Tensor(e)
+    }
+}
+impl From<MemError> for HarmonyError {
+    fn from(e: MemError) -> Self {
+        HarmonyError::Mem(e)
+    }
+}
+
+/// Session configuration.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Byte capacity of each virtual device.
+    pub device_capacities: Vec<u64>,
+    /// Microbatches per training step.
+    pub microbatches: usize,
+    /// Optimizer.
+    pub optimizer: Optimizer,
+    /// Parameter-initialisation seed.
+    pub seed: u64,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            device_capacities: vec![u64::MAX / 4],
+            microbatches: 1,
+            optimizer: Optimizer::adam(1e-3),
+            seed: 0,
+        }
+    }
+}
+
+/// Result of one training step.
+#[derive(Debug, Clone)]
+pub struct StepReport {
+    /// Mean loss across microbatches.
+    pub loss: f32,
+    /// Host→device bytes swapped during this step.
+    pub swap_in_bytes: u64,
+    /// Device→host bytes swapped during this step.
+    pub swap_out_bytes: u64,
+    /// Device→device bytes moved during this step.
+    pub p2p_bytes: u64,
+    /// Peak resident bytes per device so far.
+    pub peak_bytes: Vec<u64>,
+}
+
+/// A live Harmony training session over virtual devices. See module docs.
+pub struct FunctionalSession {
+    model: ExecModel,
+    cfg: SessionConfig,
+    mm: MemoryManager,
+    store: TensorStore,
+    param_ids: Vec<Vec<TensorId>>,
+    grad_ids: Vec<Vec<TensorId>>,
+    opt_ids: Vec<Vec<Vec<TensorId>>>,
+    placement: Vec<usize>,
+    step: u64,
+}
+
+impl FunctionalSession {
+    /// Creates a session: initialises parameters (host-resident), zeroed
+    /// gradient buffers and optimizer state, and places layers across
+    /// devices in contiguous blocks balanced by parameter bytes.
+    pub fn new(model: ExecModel, cfg: SessionConfig) -> Result<Self, HarmonyError> {
+        if cfg.device_capacities.is_empty() {
+            return Err(HarmonyError::Config("need at least one device".to_string()));
+        }
+        if cfg.microbatches == 0 {
+            return Err(HarmonyError::Config("microbatches must be positive".to_string()));
+        }
+        let mut mm = MemoryManager::new(cfg.device_capacities.clone());
+        let mut store = TensorStore::new();
+        let params = model.init_params(cfg.seed);
+        let mut param_ids = Vec::new();
+        let mut grad_ids = Vec::new();
+        let mut opt_ids = Vec::new();
+        for (l, pset) in params.into_iter().enumerate() {
+            let mut pids = Vec::new();
+            let mut gids = Vec::new();
+            let mut oids = Vec::new();
+            for (pi, p) in pset.into_iter().enumerate() {
+                let gid = mm.register_on_host(
+                    format!("L{l}.dW{pi}"),
+                    p.size_bytes(),
+                    TensorClass::Grad,
+                );
+                store.put(gid, Tensor::zeros(p.shape().clone()));
+                gids.push(gid);
+                let mut slot_ids = Vec::new();
+                for (si, s) in cfg.optimizer.init_state(&p).into_iter().enumerate() {
+                    let sid = mm.register_on_host(
+                        format!("L{l}.K{pi}.{si}"),
+                        s.size_bytes(),
+                        TensorClass::OptState,
+                    );
+                    store.put(sid, s);
+                    slot_ids.push(sid);
+                }
+                oids.push(slot_ids);
+                let pid = mm.register_on_host(
+                    format!("L{l}.W{pi}"),
+                    p.size_bytes(),
+                    TensorClass::Weight,
+                );
+                store.put(pid, p);
+                pids.push(pid);
+            }
+            param_ids.push(pids);
+            grad_ids.push(gids);
+            opt_ids.push(oids);
+        }
+        let placement = place_layers(&model, cfg.device_capacities.len());
+        Ok(FunctionalSession {
+            model,
+            cfg,
+            mm,
+            store,
+            param_ids,
+            grad_ids,
+            opt_ids,
+            placement,
+            step: 0,
+        })
+    }
+
+    /// The model being trained.
+    pub fn model(&self) -> &ExecModel {
+        &self.model
+    }
+
+    /// Device each layer is bound to.
+    pub fn placement(&self) -> &[usize] {
+        &self.placement
+    }
+
+    /// Current parameter tensors, copied out (host view).
+    pub fn params(&self) -> Result<Vec<Vec<Tensor>>, HarmonyError> {
+        self.param_ids
+            .iter()
+            .map(|pids| {
+                pids.iter()
+                    .map(|&id| self.store.get(id).cloned().map_err(HarmonyError::from))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Makes `id` resident on `dev` (swap-in or p2p move, evicting as
+    /// needed) and pins it; pushes onto `pins`.
+    fn fetch_pin(
+        &mut self,
+        id: TensorId,
+        dev: usize,
+        pins: &mut Vec<TensorId>,
+    ) -> Result<(), HarmonyError> {
+        match self.mm.info(id)?.residency {
+            Residency::OnDevice(d) if d == dev => {}
+            Residency::OnDevice(_) => {
+                self.make_room(dev, self.mm.info(id)?.bytes)?;
+                self.mm.begin_p2p(id, dev)?;
+                self.mm.finish_move_to_device(id)?;
+            }
+            Residency::OnHost => {
+                self.make_room(dev, self.mm.info(id)?.bytes)?;
+                self.mm.begin_swap_in(id, dev)?;
+                self.mm.finish_move_to_device(id)?;
+            }
+            ref other => {
+                return Err(HarmonyError::Mem(MemError::InvalidState {
+                    id,
+                    op: "fetch",
+                    state: format!("{other:?}"),
+                }))
+            }
+        }
+        self.mm.touch(id)?;
+        self.mm.pin(id)?;
+        pins.push(id);
+        Ok(())
+    }
+
+    /// Evicts until `bytes` fit on `dev` (clean tensors drop for free —
+    /// functional mode always runs the full Harmony scheme).
+    fn make_room(&mut self, dev: usize, bytes: u64) -> Result<(), HarmonyError> {
+        let victims = self.mm.make_room(dev, bytes, &Lru)?;
+        for v in victims {
+            if self.mm.can_drop(v)? {
+                self.mm.drop_to_host(v)?;
+            } else {
+                self.mm.begin_swap_out(v)?;
+                self.mm.finish_swap_out(v)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Allocates a fresh tensor on `dev` with `payload`, evicting as needed.
+    fn alloc(
+        &mut self,
+        name: String,
+        payload: Tensor,
+        class: TensorClass,
+        dev: usize,
+    ) -> Result<TensorId, HarmonyError> {
+        let bytes = payload.size_bytes();
+        self.make_room(dev, bytes)?;
+        let id = self.mm.alloc_on_device(name, bytes, class, dev)?;
+        self.store.put(id, payload);
+        Ok(id)
+    }
+
+    fn unpin_all(&mut self, pins: &mut Vec<TensorId>) -> Result<(), HarmonyError> {
+        for id in pins.drain(..) {
+            self.mm.unpin(id)?;
+        }
+        Ok(())
+    }
+
+    /// Runs one Harmony training step (see module docs) and returns the
+    /// report. `targets` are per-row class labels for the whole minibatch.
+    pub fn train_step(
+        &mut self,
+        input: &Tensor,
+        targets: &[usize],
+    ) -> Result<StepReport, HarmonyError> {
+        self.step += 1;
+        let m = self.cfg.microbatches;
+        let n_layers = self.model.layers.len();
+        let swap_in_before: u64 = self.global_swap(harmony_memory::Direction::In);
+        let swap_out_before: u64 = self.global_swap(harmony_memory::Direction::Out);
+        let p2p_before = self.mm.stats().p2p_bytes;
+
+        let chunks = ops::chunk_dim0(input, m)?;
+        let rows = targets.len() / m;
+        let scale = 1.0 / m as f32;
+
+        // Input tensors live on the first layer's device.
+        let mut input_ids = Vec::with_capacity(m);
+        for (u, c) in chunks.iter().enumerate() {
+            input_ids.push(self.alloc(
+                format!("input.u{u}"),
+                c.clone(),
+                TensorClass::Activation,
+                self.placement[0],
+            )?);
+        }
+
+        // Forward, layer-major (input-batch grouping).
+        let mut out_ids: Vec<Vec<TensorId>> = vec![Vec::new(); n_layers];
+        let mut stash_ids: Vec<Vec<Vec<TensorId>>> = vec![Vec::new(); n_layers];
+        let mut pins: Vec<TensorId> = Vec::new();
+        for l in 0..n_layers {
+            let dev = self.placement[l];
+            let pids = self.param_ids[l].clone();
+            for &pid in &pids {
+                self.fetch_pin(pid, dev, &mut pins)?;
+            }
+            for u in 0..m {
+                let x_id = if l == 0 { input_ids[u] } else { out_ids[l - 1][u] };
+                self.fetch_pin(x_id, dev, &mut pins)?;
+                let skip_id = match (&self.model.layers[l].op, self.model.layers[l].skip_from) {
+                    (Layer::ResidualAdd, Some(SkipSource::Input)) => Some(input_ids[u]),
+                    (Layer::ResidualAdd, Some(SkipSource::LayerOutput(j))) => {
+                        Some(out_ids[j][u])
+                    }
+                    (Layer::ResidualAdd, None) => {
+                        return Err(HarmonyError::Config(format!(
+                            "layer {l} residual without skip edge"
+                        )))
+                    }
+                    _ => None,
+                };
+                if let Some(sid) = skip_id {
+                    self.fetch_pin(sid, dev, &mut pins)?;
+                }
+                let params: Vec<Tensor> = self.param_ids[l]
+                    .iter()
+                    .map(|&id| self.store.get(id).cloned())
+                    .collect::<Result<_, _>>()?;
+                let x = self.store.get(x_id)?.clone();
+                let out = match skip_id {
+                    Some(sid) => {
+                        let skip = self.store.get(sid)?.clone();
+                        self.model.layers[l]
+                            .op
+                            .forward_with_skip(&params, &x, &skip)?
+                    }
+                    None => self.model.layers[l].op.forward(&params, &x)?,
+                };
+                self.unpin_all(&mut pins)?;
+                // Re-pin weights for the remaining microbatches of this
+                // layer (grouping keeps them resident).
+                for &pid in &self.param_ids[l] {
+                    self.mm.pin(pid)?;
+                    pins.push(pid);
+                }
+                let oid = self.alloc(
+                    format!("L{l}.Y.u{u}"),
+                    out.output,
+                    TensorClass::Activation,
+                    dev,
+                )?;
+                out_ids[l].push(oid);
+                let mut sids = Vec::new();
+                for (si, s) in out.stash.tensors.into_iter().enumerate() {
+                    sids.push(self.alloc(
+                        format!("L{l}.stash{si}.u{u}"),
+                        s,
+                        TensorClass::Stash,
+                        dev,
+                    )?);
+                }
+                stash_ids[l].push(sids);
+            }
+            self.unpin_all(&mut pins)?;
+        }
+
+        // Loss (per microbatch), seeding the output gradients.
+        let last = n_layers - 1;
+        let last_dev = self.placement[last];
+        let mut loss_sum = 0.0f32;
+        // outgrad[l][u]: gradient w.r.t. layer l's output; `Some` once any
+        // contribution has arrived (first contribution copies, later ones
+        // accumulate — bit-compatible with the reference's slot logic).
+        let mut outgrad: Vec<Vec<Option<TensorId>>> = vec![vec![None; m]; n_layers];
+        let mut ingrad_seen = vec![false; m];
+        for u in 0..m {
+            let logits_id = out_ids[last][u];
+            self.fetch_pin(logits_id, last_dev, &mut pins)?;
+            let logits = self.store.get(logits_id)?;
+            let tgt = &targets[u * rows..(u + 1) * rows];
+            let (loss, dlogits) = cross_entropy(logits, tgt)?;
+            loss_sum += loss;
+            let dlogits = ops::scale(&dlogits, scale);
+            self.unpin_all(&mut pins)?;
+            let gid = self.alloc(
+                format!("L{last}.dY.u{u}"),
+                dlogits,
+                TensorClass::Activation,
+                last_dev,
+            )?;
+            outgrad[last][u] = Some(gid);
+        }
+
+        // Backward, layer-major reversed, with JIT updates.
+        for l in (0..n_layers).rev() {
+            let dev = self.placement[l];
+            for u in 0..m {
+                let Some(dy_id) = outgrad[l][u] else {
+                    // Output never used downstream — nothing to propagate.
+                    continue;
+                };
+                for pid in self.param_ids[l].clone() {
+                    self.fetch_pin(pid, dev, &mut pins)?;
+                }
+                self.fetch_pin(dy_id, dev, &mut pins)?;
+                for &sid in &stash_ids[l][u] {
+                    self.fetch_pin(sid, dev, &mut pins)?;
+                }
+                let params: Vec<Tensor> = self.param_ids[l]
+                    .iter()
+                    .map(|&id| self.store.get(id).cloned())
+                    .collect::<Result<_, _>>()?;
+                let stash = harmony_tensor::nn::Stash {
+                    tensors: stash_ids[l][u]
+                        .iter()
+                        .map(|&id| self.store.get(id).cloned())
+                        .collect::<Result<_, _>>()?,
+                };
+                let dy = self.store.get(dy_id)?.clone();
+                let (dx, grads) = self.model.layers[l].op.backward(&params, &stash, &dy)?;
+                self.unpin_all(&mut pins)?;
+                // Accumulate parameter gradients (dW += g), in place.
+                let gids = self.grad_ids[l].clone();
+                for (&gid, g) in gids.iter().zip(&grads.tensors) {
+                    self.fetch_pin(gid, dev, &mut pins)?;
+                    ops::axpy(self.store.get_mut(gid)?, 1.0, g)?;
+                    self.mm.mark_dirty(gid)?;
+                }
+                self.unpin_all(&mut pins)?;
+                // Propagate dx to the previous layer's output slot.
+                if l > 0 {
+                    self.add_outgrad(&mut outgrad, l - 1, u, dx, dev)?;
+                } else {
+                    ingrad_seen[u] = true; // input gradient: discarded
+                }
+                // Residual: duplicate dy to the skip source.
+                if let (Layer::ResidualAdd, Some(src)) =
+                    (&self.model.layers[l].op, self.model.layers[l].skip_from)
+                {
+                    match src {
+                        SkipSource::Input => {}
+                        SkipSource::LayerOutput(j) => {
+                            self.add_outgrad(&mut outgrad, j, u, dy, dev)?;
+                        }
+                    }
+                }
+                // Dead after backward: this layer's stash and its dy.
+                for &sid in &stash_ids[l][u] {
+                    self.free_tensor(sid)?;
+                }
+                self.free_tensor(dy_id)?;
+                outgrad[l][u] = None;
+            }
+            // JIT update: gradients just accumulated, weights resident.
+            if !self.param_ids[l].is_empty() {
+                for group in [self.param_ids[l].clone(), self.grad_ids[l].clone()] {
+                    for id in group {
+                        self.fetch_pin(id, dev, &mut pins)?;
+                    }
+                }
+                for slots in self.opt_ids[l].clone() {
+                    for sid in slots {
+                        self.fetch_pin(sid, dev, &mut pins)?;
+                    }
+                }
+                for pi in 0..self.param_ids[l].len() {
+                    let g = self.store.get(self.grad_ids[l][pi])?.clone();
+                    let mut state: Vec<Tensor> = self.opt_ids[l][pi]
+                        .iter()
+                        .map(|&id| self.store.get(id).cloned())
+                        .collect::<Result<_, _>>()?;
+                    let p = self.store.get_mut(self.param_ids[l][pi])?;
+                    self.cfg.optimizer.step(p, &g, &mut state, self.step)?;
+                    for (&sid, s) in self.opt_ids[l][pi].iter().zip(state) {
+                        self.store.put(sid, s);
+                        self.mm.mark_dirty(sid)?;
+                    }
+                    self.mm.mark_dirty(self.param_ids[l][pi])?;
+                    // Reset dW' (Fig 5a update output).
+                    self.store.get_mut(self.grad_ids[l][pi])?.zero_();
+                    self.mm.mark_dirty(self.grad_ids[l][pi])?;
+                }
+                self.unpin_all(&mut pins)?;
+            }
+        }
+
+        // Free remaining per-step tensors (inputs and layer outputs).
+        for id in input_ids {
+            self.free_tensor(id)?;
+        }
+        for ids in out_ids.iter().flatten() {
+            self.free_tensor(*ids)?;
+        }
+
+        Ok(StepReport {
+            loss: loss_sum * scale,
+            swap_in_bytes: self.global_swap(harmony_memory::Direction::In) - swap_in_before,
+            swap_out_bytes: self.global_swap(harmony_memory::Direction::Out) - swap_out_before,
+            p2p_bytes: self.mm.stats().p2p_bytes - p2p_before,
+            peak_bytes: (0..self.cfg.device_capacities.len())
+                .map(|d| self.mm.peak_used(d).unwrap_or(0))
+                .collect(),
+        })
+    }
+
+    /// Forward-only inference: runs the input through the model under the
+    /// same capacity-enforced, layer-major execution as training, but
+    /// without stashing, gradients, or updates. Returns the final logits.
+    pub fn evaluate(&mut self, input: &Tensor) -> Result<Tensor, HarmonyError> {
+        let n_layers = self.model.layers.len();
+        let mut pins: Vec<TensorId> = Vec::new();
+        let mut x_id = self.alloc(
+            "eval.input".to_string(),
+            input.clone(),
+            TensorClass::Activation,
+            self.placement[0],
+        )?;
+        // Outputs of layers that later residuals still need.
+        let mut retained: Vec<Option<TensorId>> = vec![None; n_layers];
+        let input_id = x_id;
+        for l in 0..n_layers {
+            let dev = self.placement[l];
+            for pid in self.param_ids[l].clone() {
+                self.fetch_pin(pid, dev, &mut pins)?;
+            }
+            self.fetch_pin(x_id, dev, &mut pins)?;
+            let skip_id = match (&self.model.layers[l].op, self.model.layers[l].skip_from) {
+                (Layer::ResidualAdd, Some(SkipSource::Input)) => Some(input_id),
+                (Layer::ResidualAdd, Some(SkipSource::LayerOutput(j))) => retained[j],
+                (Layer::ResidualAdd, None) => {
+                    return Err(HarmonyError::Config(format!(
+                        "layer {l} residual without skip edge"
+                    )))
+                }
+                _ => None,
+            };
+            if let Some(sid) = skip_id {
+                self.fetch_pin(sid, dev, &mut pins)?;
+            }
+            let params: Vec<Tensor> = self.param_ids[l]
+                .iter()
+                .map(|&id| self.store.get(id).cloned())
+                .collect::<Result<_, _>>()?;
+            let x = self.store.get(x_id)?.clone();
+            let out = match skip_id {
+                Some(sid) => {
+                    let skip = self.store.get(sid)?.clone();
+                    self.model.layers[l]
+                        .op
+                        .forward_with_skip(&params, &x, &skip)?
+                }
+                None => self.model.layers[l].op.forward(&params, &x)?,
+            };
+            self.unpin_all(&mut pins)?;
+            let needed_later = self
+                .model
+                .layers
+                .iter()
+                .skip(l + 1)
+                .any(|later| matches!(later.skip_from, Some(SkipSource::LayerOutput(j)) if j == l));
+            let oid = self.alloc(
+                format!("eval.L{l}.Y"),
+                out.output,
+                TensorClass::Activation,
+                dev,
+            )?;
+            // The previous chain value is dead unless a residual retains
+            // it (or it is the model input, freed at the end).
+            if x_id != input_id && retained.iter().flatten().all(|&r| r != x_id) {
+                self.free_tensor(x_id)?;
+            }
+            if needed_later {
+                retained[l] = Some(oid);
+            }
+            x_id = oid;
+        }
+        let logits = self.store.get(x_id)?.clone();
+        // Clean up everything this evaluation allocated.
+        self.free_tensor(x_id)?;
+        self.free_tensor(input_id)?;
+        for r in retained.into_iter().flatten() {
+            self.free_tensor(r)?;
+        }
+        Ok(logits)
+    }
+
+    fn add_outgrad(
+        &mut self,
+        outgrad: &mut [Vec<Option<TensorId>>],
+        layer: usize,
+        u: usize,
+        g: Tensor,
+        dev: usize,
+    ) -> Result<(), HarmonyError> {
+        match outgrad[layer][u] {
+            Some(id) => {
+                let mut pins = Vec::new();
+                self.fetch_pin(id, dev, &mut pins)?;
+                ops::axpy(self.store.get_mut(id)?, 1.0, &g)?;
+                self.mm.mark_dirty(id)?;
+                self.unpin_all(&mut pins)?;
+            }
+            None => {
+                let id = self.alloc(
+                    format!("L{layer}.dY.u{u}"),
+                    g,
+                    TensorClass::Activation,
+                    dev,
+                )?;
+                outgrad[layer][u] = Some(id);
+            }
+        }
+        Ok(())
+    }
+
+    fn free_tensor(&mut self, id: TensorId) -> Result<(), HarmonyError> {
+        // Freeing an in-flight or pinned tensor is a bug; dead is fine.
+        if !matches!(self.mm.info(id)?.residency, Residency::Dead) {
+            self.mm.free(id)?;
+            let _ = self.store.take(id);
+        }
+        Ok(())
+    }
+
+    fn global_swap(&self, dir: harmony_memory::Direction) -> u64 {
+        (0..self.cfg.device_capacities.len())
+            .map(|d| self.mm.stats().device_total(d, dir))
+            .sum()
+    }
+}
+
+/// Contiguous layer placement balanced by parameter bytes (a simple
+/// instance of Harmony's task-packing/load-balancing).
+fn place_layers(model: &ExecModel, n_devices: usize) -> Vec<usize> {
+    let total: u64 = model
+        .layers
+        .iter()
+        .map(|l| l.op.param_count() as u64 * 4 + 1)
+        .sum();
+    let per_dev = total.div_ceil(n_devices as u64).max(1);
+    let mut placement = Vec::with_capacity(model.layers.len());
+    let mut acc = 0u64;
+    let mut dev = 0usize;
+    for l in &model.layers {
+        let sz = l.op.param_count() as u64 * 4 + 1;
+        if acc + sz > per_dev && dev + 1 < n_devices {
+            dev += 1;
+            acc = 0;
+        }
+        acc += sz;
+        placement.push(dev);
+    }
+    placement
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_models::exec::{mlp, tiny_transformer};
+    use harmony_tensor::rng::SplitMix64;
+
+    fn batch(rng: &mut SplitMix64, n: usize, d: usize, classes: usize) -> (Tensor, Vec<usize>) {
+        let x = Tensor::randn([n, d], 1.0, rng);
+        let t = (0..n).map(|i| i % classes).collect();
+        (x, t)
+    }
+
+    #[test]
+    fn placement_covers_devices_contiguously() {
+        let model = mlp(&[4, 8, 8, 8, 3]);
+        let p = place_layers(&model, 3);
+        assert_eq!(p.len(), model.layers.len());
+        assert_eq!(p[0], 0);
+        for w in p.windows(2) {
+            assert!(w[1] == w[0] || w[1] == w[0] + 1);
+        }
+        assert!(*p.last().unwrap() < 3);
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        let model = mlp(&[2, 2]);
+        assert!(FunctionalSession::new(
+            model.clone(),
+            SessionConfig {
+                device_capacities: vec![],
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(FunctionalSession::new(
+            model,
+            SessionConfig {
+                microbatches: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn matches_reference_bit_for_bit_mlp() {
+        let model = mlp(&[8, 16, 4]);
+        let opt = Optimizer::adam(0.01);
+        let mut session = FunctionalSession::new(
+            model.clone(),
+            SessionConfig {
+                device_capacities: vec![1 << 20],
+                microbatches: 2,
+                optimizer: opt,
+                seed: 42,
+            },
+        )
+        .unwrap();
+        let mut ref_params = model.init_params(42);
+        let mut ref_state = model.init_opt_state(&ref_params, &opt);
+        let mut rng = SplitMix64::new(7);
+        for step in 1..=5 {
+            let (x, t) = batch(&mut rng, 8, 8, 4);
+            let ref_loss = model
+                .train_step_accum(&mut ref_params, &opt, &mut ref_state, &x, &t, 2, step)
+                .unwrap();
+            let report = session.train_step(&x, &t).unwrap();
+            assert_eq!(report.loss, ref_loss, "step {step}");
+        }
+        assert_eq!(session.params().unwrap(), ref_params);
+    }
+
+    #[test]
+    fn matches_reference_bit_for_bit_transformer_multi_device() {
+        let model = tiny_transformer(11, 8, 2, 2, false).unwrap();
+        let opt = Optimizer::adam(0.005);
+        let mut session = FunctionalSession::new(
+            model.clone(),
+            SessionConfig {
+                device_capacities: vec![1 << 20; 3],
+                microbatches: 2,
+                optimizer: opt,
+                seed: 3,
+            },
+        )
+        .unwrap();
+        // Multi-device placement must actually split the model.
+        let devs: std::collections::HashSet<_> = session.placement().iter().copied().collect();
+        assert!(devs.len() > 1, "placement {:?}", session.placement());
+
+        let mut ref_params = model.init_params(3);
+        let mut ref_state = model.init_opt_state(&ref_params, &opt);
+        let mut rng = SplitMix64::new(8);
+        for step in 1..=4 {
+            let ids: Vec<f32> = (0..4 * 6).map(|_| rng.next_bounded(11) as f32).collect();
+            let x = Tensor::from_vec([4, 6], ids.clone()).unwrap();
+            let t: Vec<usize> = ids.iter().map(|&v| v as usize).collect();
+            let ref_loss = model
+                .train_step_accum(&mut ref_params, &opt, &mut ref_state, &x, &t, 2, step)
+                .unwrap();
+            let report = session.train_step(&x, &t).unwrap();
+            assert_eq!(report.loss, ref_loss, "step {step}");
+            assert!(report.p2p_bytes > 0, "stage handoffs must move p2p");
+        }
+        assert_eq!(session.params().unwrap(), ref_params);
+    }
+
+    #[test]
+    fn trains_model_larger_than_device_memory() {
+        // Model state ≈ (40×64 + 64 + 64×40 + 40) weights ≈ 5264 params →
+        // ~21 KB + grads + 2×Adam ≈ 84 KB. Device capacity 48 KB: the
+        // total footprint exceeds memory (but a single layer's update
+        // working set of ~42 KB still fits), so training must proceed by
+        // swapping.
+        let model = mlp(&[40, 64, 40]);
+        let opt = Optimizer::adam(0.01);
+        let capacity = 48 * 1024u64;
+        let state_bytes = (model.param_count() * 4 * 4) as u64;
+        assert!(state_bytes > capacity, "test premise: model exceeds device");
+        let mut session = FunctionalSession::new(
+            model.clone(),
+            SessionConfig {
+                device_capacities: vec![capacity],
+                microbatches: 2,
+                optimizer: opt,
+                seed: 11,
+            },
+        )
+        .unwrap();
+        let mut rng = SplitMix64::new(12);
+        let mut first = None;
+        let mut last = 0.0;
+        let mut swapped = 0u64;
+        for _ in 0..30 {
+            let (x, t) = batch(&mut rng, 8, 40, 4);
+            let report = session.train_step(&x, &t).unwrap();
+            if first.is_none() {
+                first = Some(report.loss);
+            }
+            last = report.loss;
+            swapped += report.swap_in_bytes + report.swap_out_bytes;
+            for (&peak, &cap) in report
+                .peak_bytes
+                .iter()
+                .zip(&session.cfg.device_capacities)
+            {
+                assert!(peak <= cap, "capacity violated: {peak} > {cap}");
+            }
+        }
+        assert!(swapped > 0, "must have swapped under pressure");
+        assert!(
+            last < first.unwrap() * 0.7,
+            "loss did not drop: {first:?} -> {last}"
+        );
+    }
+
+    #[test]
+    fn microbatch_grouping_reduces_weight_swap_traffic() {
+        // With grouping, each layer's weights swap in once per phase per
+        // step regardless of m; the same model with more microbatches must
+        // not swap proportionally more weight bytes.
+        let model = mlp(&[40, 64, 40]);
+        let run = |m: usize| {
+            let mut session = FunctionalSession::new(
+                model.clone(),
+                SessionConfig {
+                    device_capacities: vec![32 * 1024],
+                    microbatches: m,
+                    optimizer: Optimizer::Sgd { lr: 0.01 },
+                    seed: 1,
+                },
+            )
+            .unwrap();
+            let mut rng = SplitMix64::new(2);
+            let (x, t) = batch(&mut rng, 8, 40, 4);
+            let r = session.train_step(&x, &t).unwrap();
+            r.swap_in_bytes + r.swap_out_bytes
+        };
+        let s1 = run(1);
+        let s4 = run(4);
+        // Activations/stash grow with m, weights don't; total must grow
+        // far slower than 4×.
+        assert!(
+            (s4 as f64) < (s1 as f64) * 2.5,
+            "grouping failed: m=1 swaps {s1}, m=4 swaps {s4}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod eval_tests {
+    use super::*;
+    use harmony_models::exec::{mlp, tiny_transformer};
+    use harmony_tensor::rng::SplitMix64;
+
+    #[test]
+    fn evaluate_matches_reference_forward() {
+        let model = tiny_transformer(11, 8, 2, 2, true).unwrap();
+        let mut session = FunctionalSession::new(
+            model.clone(),
+            SessionConfig {
+                device_capacities: vec![1 << 20; 2],
+                microbatches: 1,
+                optimizer: Optimizer::adam(0.01),
+                seed: 21,
+            },
+        )
+        .unwrap();
+        let mut rng = SplitMix64::new(4);
+        let ids: Vec<f32> = (0..2 * 5).map(|_| rng.next_bounded(11) as f32).collect();
+        let x = Tensor::from_vec([2, 5], ids).unwrap();
+        let logits = session.evaluate(&x).unwrap();
+        let params = model.init_params(21);
+        let trace = model.forward(&params, &x).unwrap();
+        assert_eq!(&logits, trace.outputs.last().unwrap());
+    }
+
+    #[test]
+    fn evaluate_is_repeatable_and_leak_free() {
+        let model = mlp(&[6, 12, 3]);
+        let mut session = FunctionalSession::new(
+            model,
+            SessionConfig {
+                device_capacities: vec![64 * 1024],
+                microbatches: 1,
+                optimizer: Optimizer::Sgd { lr: 0.1 },
+                seed: 2,
+            },
+        )
+        .unwrap();
+        let mut rng = SplitMix64::new(9);
+        let x = Tensor::randn([4, 6], 1.0, &mut rng);
+        let a = session.evaluate(&x).unwrap();
+        let used_after_first: Vec<u64> = (0..1).map(|d| session.mm.used(d).unwrap()).collect();
+        let b = session.evaluate(&x).unwrap();
+        assert_eq!(a, b);
+        // No transient leaks: device usage stable across evaluations.
+        for (d, &u) in used_after_first.iter().enumerate() {
+            assert_eq!(session.mm.used(d).unwrap(), u);
+        }
+    }
+
+    #[test]
+    fn evaluate_reflects_training_progress() {
+        let model = mlp(&[4, 8, 2]);
+        let mut session = FunctionalSession::new(
+            model,
+            SessionConfig {
+                device_capacities: vec![1 << 20],
+                microbatches: 2,
+                optimizer: Optimizer::adam(0.05),
+                seed: 13,
+            },
+        )
+        .unwrap();
+        let mut rng = SplitMix64::new(14);
+        let x = Tensor::randn([4, 4], 1.0, &mut rng);
+        let before = session.evaluate(&x).unwrap();
+        let targets = vec![0usize, 1, 0, 1];
+        for _ in 0..5 {
+            session.train_step(&x, &targets).unwrap();
+        }
+        let after = session.evaluate(&x).unwrap();
+        assert!(before.max_abs_diff(&after).unwrap() > 1e-4, "training must change outputs");
+    }
+}

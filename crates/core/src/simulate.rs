@@ -1,0 +1,156 @@
+//! High-level simulation front-end: pick a scheme, a model, a server, a
+//! workload — get the numbers the paper plots.
+
+use harmony_models::ModelSpec;
+use harmony_sched::{
+    plan_baseline_dp, plan_baseline_pp, plan_harmony_dp, plan_harmony_pp, ExecError,
+    ExecutionPlan, SimExecutor, WorkloadConfig,
+};
+use harmony_topology::Topology;
+use harmony_trace::{summary::RunSummary, Trace};
+
+/// The four training schemes of the paper's analytical comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemeKind {
+    /// Data parallelism + per-GPU memory virtualization.
+    BaselineDp,
+    /// Pipeline parallelism (1F1B) + per-GPU memory virtualization.
+    BaselinePp,
+    /// Harmony data parallelism.
+    HarmonyDp,
+    /// Harmony pipeline parallelism.
+    HarmonyPp,
+}
+
+impl SchemeKind {
+    /// All four, baselines first.
+    pub const ALL: [SchemeKind; 4] = [
+        SchemeKind::BaselineDp,
+        SchemeKind::BaselinePp,
+        SchemeKind::HarmonyDp,
+        SchemeKind::HarmonyPp,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchemeKind::BaselineDp => "baseline-dp",
+            SchemeKind::BaselinePp => "baseline-pp",
+            SchemeKind::HarmonyDp => "harmony-dp",
+            SchemeKind::HarmonyPp => "harmony-pp",
+        }
+    }
+
+    /// The matching analytical-model scheme.
+    pub fn analytical(&self) -> harmony_analytical::Scheme {
+        match self {
+            SchemeKind::BaselineDp => harmony_analytical::Scheme::BaselineDp,
+            SchemeKind::BaselinePp => harmony_analytical::Scheme::BaselinePp,
+            SchemeKind::HarmonyDp => harmony_analytical::Scheme::HarmonyDp,
+            SchemeKind::HarmonyPp => harmony_analytical::Scheme::HarmonyPp,
+        }
+    }
+}
+
+/// Lowers a scheme into an execution plan for `topo.num_gpus()` GPUs.
+pub fn plan(
+    scheme: SchemeKind,
+    model: &ModelSpec,
+    topo: &Topology,
+    workload: &WorkloadConfig,
+) -> Result<ExecutionPlan, ExecError> {
+    let n = topo.num_gpus();
+    let p = match scheme {
+        SchemeKind::BaselineDp => plan_baseline_dp(model, n, workload),
+        SchemeKind::BaselinePp => plan_baseline_pp(model, n, workload),
+        SchemeKind::HarmonyDp => plan_harmony_dp(model, n, workload),
+        SchemeKind::HarmonyPp => plan_harmony_pp(model, n, workload),
+    };
+    p.map_err(|e| ExecError::Plan(e.to_string()))
+}
+
+/// Plans and simulates one training iteration of `scheme`.
+pub fn run(
+    scheme: SchemeKind,
+    model: &ModelSpec,
+    topo: &Topology,
+    workload: &WorkloadConfig,
+) -> Result<(RunSummary, Trace), ExecError> {
+    let plan = plan(scheme, model, topo, workload)?;
+    SimExecutor::new(topo, model, &plan)?.run()
+}
+
+/// Like [`run`], but replays the plan `iterations` times back-to-back
+/// (fresh transients per iteration, shared persistent state) so that
+/// totals divided by `iterations` approach steady-state per-iteration
+/// figures without cold-start edges.
+pub fn run_iterations(
+    scheme: SchemeKind,
+    model: &ModelSpec,
+    topo: &Topology,
+    workload: &WorkloadConfig,
+    iterations: u32,
+) -> Result<(RunSummary, Trace), ExecError> {
+    let plan = plan(scheme, model, topo, workload)?;
+    SimExecutor::with_iterations(topo, model, &plan, iterations)?.run()
+}
+
+/// Like [`run`], but with prefetch/double-buffering enabled: each GPU
+/// overlaps the next task's swap-ins with the current kernel, trading
+/// extra resident memory for critical-path latency (the §4 trade-off).
+pub fn run_with_prefetch(
+    scheme: SchemeKind,
+    model: &ModelSpec,
+    topo: &Topology,
+    workload: &WorkloadConfig,
+) -> Result<(RunSummary, Trace), ExecError> {
+    let mut plan = plan(scheme, model, topo, workload)?;
+    plan.scheme = plan.scheme.clone().with_prefetch();
+    plan.name = format!("{}+prefetch", plan.name);
+    SimExecutor::new(topo, model, &plan)?.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_models::TransformerConfig;
+    use harmony_topology::presets::{commodity_server, CommodityParams, GBPS};
+
+    #[test]
+    fn names_and_analytical_mapping_are_consistent() {
+        for s in SchemeKind::ALL {
+            assert!(!s.name().is_empty());
+        }
+        assert_eq!(
+            SchemeKind::HarmonyPp.analytical(),
+            harmony_analytical::Scheme::HarmonyPp
+        );
+    }
+
+    #[test]
+    fn run_executes_all_schemes_on_a_small_server() {
+        let model = TransformerConfig::tiny().build();
+        let topo = commodity_server(CommodityParams {
+            num_gpus: 2,
+            gpus_per_switch: 2,
+            pcie_bw: GBPS,
+            host_uplink_bw: GBPS,
+            gpu_mem: 10 * 1024 * 1024,
+            gpu_flops: 1e9,
+        })
+        .unwrap();
+        let w = WorkloadConfig {
+            microbatches: 2,
+            ubatch_size: 1,
+            pack_size: 1,
+            opt_slots: 2,
+            group_size: None,
+            recompute: false,
+        };
+        for scheme in SchemeKind::ALL {
+            let (summary, trace) = run(scheme, &model, &topo, &w).unwrap();
+            assert!(summary.sim_secs > 0.0, "{}", scheme.name());
+            assert!(!trace.spans.is_empty());
+        }
+    }
+}

@@ -1,0 +1,858 @@
+//! The tensor-residency state machine and per-device capacity accounting.
+
+use std::collections::HashMap;
+
+use crate::policy::EvictionPolicy;
+use crate::stats::{Direction, SwapStats};
+use crate::{DeviceId, MemError, TensorClass, TensorId};
+
+/// Where a tensor's bytes currently live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Residency {
+    /// In host (CPU) memory.
+    OnHost,
+    /// Resident in a device's memory.
+    OnDevice(DeviceId),
+    /// In flight toward a device (swap-in or p2p); destination capacity is
+    /// already reserved. `src` is `Some` for p2p moves (source capacity
+    /// stays charged until the move finishes).
+    MovingToDevice {
+        /// Destination device.
+        dst: DeviceId,
+        /// Source device for p2p moves; `None` when coming from host.
+        src: Option<DeviceId>,
+    },
+    /// In flight toward host (swap-out); source capacity stays charged
+    /// until the bytes have left.
+    MovingToHost {
+        /// Source device.
+        src: DeviceId,
+    },
+    /// Freed; the id is retained for error reporting only.
+    Dead,
+}
+
+impl Residency {
+    fn describe(&self) -> String {
+        match self {
+            Residency::OnHost => "on host".to_string(),
+            Residency::OnDevice(d) => format!("on device {d}"),
+            Residency::MovingToDevice { dst, src } => match src {
+                Some(s) => format!("moving p2p {s} -> {dst}"),
+                None => format!("swapping in to {dst}"),
+            },
+            Residency::MovingToHost { src } => format!("swapping out of {src}"),
+            Residency::Dead => "dead".to_string(),
+        }
+    }
+}
+
+/// Metadata the manager keeps per tensor (also the view given to eviction
+/// policies).
+#[derive(Debug, Clone)]
+pub struct TensorInfo {
+    /// Tensor id.
+    pub id: TensorId,
+    /// Debug name, e.g. `"L3.W"`.
+    pub name: String,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// Swap-model class.
+    pub class: TensorClass,
+    /// Current residency.
+    pub residency: Residency,
+    /// Pin count; pinned tensors are never eviction candidates.
+    pub pinned: u32,
+    /// Logical clock of last access (LRU).
+    pub last_use: u64,
+    /// Scheduler hint: logical time of next use (Belady-style eviction).
+    pub next_use_hint: Option<u64>,
+    /// True if the device copy has been modified since the last host sync
+    /// (evicting a dirty tensor requires writeback).
+    pub dirty: bool,
+    /// True if a valid copy of the bytes exists in host memory (clean
+    /// tensors with a valid host copy can be *dropped* instead of swapped
+    /// out — Harmony's cleanliness tracking; baselines write back always).
+    pub host_copy_valid: bool,
+}
+
+/// What the runtime must do to make a tensor resident on a device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FetchPlan {
+    /// The tensor being fetched.
+    pub tensor: TensorId,
+    /// Tensors to swap out of the destination first (in order).
+    pub evictions: Vec<TensorId>,
+    /// Whether a transfer is required (false → already resident).
+    pub needs_transfer: bool,
+    /// If the tensor currently sits on another device, that device
+    /// (enables a p2p move instead of a host round-trip).
+    pub src_device: Option<DeviceId>,
+}
+
+/// Per-device capacity accounting + tensor state machine. See module docs.
+#[derive(Debug)]
+pub struct MemoryManager {
+    capacities: Vec<u64>,
+    used: Vec<u64>,
+    peak_used: Vec<u64>,
+    tensors: HashMap<TensorId, TensorInfo>,
+    next_id: TensorId,
+    clock: u64,
+    stats: SwapStats,
+}
+
+impl MemoryManager {
+    /// Creates a manager for devices with the given capacities (bytes).
+    pub fn new(capacities: Vec<u64>) -> Self {
+        let n = capacities.len();
+        MemoryManager {
+            capacities,
+            used: vec![0; n],
+            peak_used: vec![0; n],
+            tensors: HashMap::new(),
+            next_id: 0,
+            clock: 0,
+            stats: SwapStats::new(),
+        }
+    }
+
+    /// Number of devices.
+    pub fn num_devices(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// Capacity of a device.
+    pub fn capacity(&self, dev: DeviceId) -> Result<u64, MemError> {
+        self.capacities
+            .get(dev)
+            .copied()
+            .ok_or(MemError::UnknownDevice(dev))
+    }
+
+    /// Bytes currently charged on a device (resident + reserved in-flight).
+    pub fn used(&self, dev: DeviceId) -> Result<u64, MemError> {
+        self.used
+            .get(dev)
+            .copied()
+            .ok_or(MemError::UnknownDevice(dev))
+    }
+
+    /// Free bytes on a device.
+    pub fn free_bytes(&self, dev: DeviceId) -> Result<u64, MemError> {
+        Ok(self.capacity(dev)? - self.used(dev)?)
+    }
+
+    /// Peak bytes ever charged on a device.
+    pub fn peak_used(&self, dev: DeviceId) -> Result<u64, MemError> {
+        self.peak_used
+            .get(dev)
+            .copied()
+            .ok_or(MemError::UnknownDevice(dev))
+    }
+
+    /// Swap statistics.
+    pub fn stats(&self) -> &SwapStats {
+        &self.stats
+    }
+
+    /// Bytes currently resident in host memory (tensors on host or on
+    /// their way there). The paper treats host RAM as ample ("backing GPU
+    /// memory with CPU memory"); this is reporting, not a capacity limit.
+    pub fn host_used(&self) -> u64 {
+        self.tensors
+            .values()
+            .filter(|t| {
+                matches!(
+                    t.residency,
+                    Residency::OnHost | Residency::MovingToHost { .. }
+                )
+            })
+            .map(|t| t.bytes)
+            .sum()
+    }
+
+    /// Tensor metadata.
+    pub fn info(&self, id: TensorId) -> Result<&TensorInfo, MemError> {
+        self.tensors.get(&id).ok_or(MemError::UnknownTensor(id))
+    }
+
+    fn info_mut(&mut self, id: TensorId) -> Result<&mut TensorInfo, MemError> {
+        self.tensors.get_mut(&id).ok_or(MemError::UnknownTensor(id))
+    }
+
+    fn charge(&mut self, dev: DeviceId, bytes: u64) {
+        self.used[dev] += bytes;
+        if self.used[dev] > self.peak_used[dev] {
+            self.peak_used[dev] = self.used[dev];
+        }
+    }
+
+    fn release(&mut self, dev: DeviceId, bytes: u64) {
+        debug_assert!(self.used[dev] >= bytes, "capacity accounting underflow");
+        self.used[dev] = self.used[dev].saturating_sub(bytes);
+    }
+
+    /// Registers a host-resident tensor (e.g. initial weights, inputs).
+    pub fn register_on_host(
+        &mut self,
+        name: impl Into<String>,
+        bytes: u64,
+        class: TensorClass,
+    ) -> TensorId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.clock += 1;
+        self.tensors.insert(
+            id,
+            TensorInfo {
+                id,
+                name: name.into(),
+                bytes,
+                class,
+                residency: Residency::OnHost,
+                pinned: 0,
+                last_use: self.clock,
+                next_use_hint: None,
+                dirty: false,
+                host_copy_valid: true,
+            },
+        );
+        id
+    }
+
+    /// Registers a freshly produced device-resident tensor (a task output).
+    /// Fails if the device lacks free capacity — callers must evict first
+    /// (see [`MemoryManager::make_room`]).
+    pub fn alloc_on_device(
+        &mut self,
+        name: impl Into<String>,
+        bytes: u64,
+        class: TensorClass,
+        dev: DeviceId,
+    ) -> Result<TensorId, MemError> {
+        if self.free_bytes(dev)? < bytes {
+            return Err(MemError::InsufficientMemory {
+                device: dev,
+                needed: bytes,
+                capacity: self.capacity(dev)?,
+            });
+        }
+        self.charge(dev, bytes);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.clock += 1;
+        self.tensors.insert(
+            id,
+            TensorInfo {
+                id,
+                name: name.into(),
+                bytes,
+                class,
+                residency: Residency::OnDevice(dev),
+                pinned: 0,
+                last_use: self.clock,
+                next_use_hint: None,
+                // Fresh device-side outputs have no host copy yet.
+                dirty: true,
+                host_copy_valid: false,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Marks a tensor as just-accessed (bumps the LRU clock).
+    pub fn touch(&mut self, id: TensorId) -> Result<(), MemError> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.info_mut(id)?.last_use = clock;
+        Ok(())
+    }
+
+    /// Installs/clears the scheduler's next-use hint.
+    pub fn set_next_use(&mut self, id: TensorId, hint: Option<u64>) -> Result<(), MemError> {
+        self.info_mut(id)?.next_use_hint = hint;
+        Ok(())
+    }
+
+    /// Pins a tensor (must be device-resident); pinned tensors cannot be
+    /// evicted. Pins nest.
+    pub fn pin(&mut self, id: TensorId) -> Result<(), MemError> {
+        let info = self.info_mut(id)?;
+        match info.residency {
+            Residency::OnDevice(_) => {
+                info.pinned += 1;
+                Ok(())
+            }
+            ref other => Err(MemError::InvalidState {
+                id,
+                op: "pin",
+                state: other.describe(),
+            }),
+        }
+    }
+
+    /// Releases one pin.
+    pub fn unpin(&mut self, id: TensorId) -> Result<(), MemError> {
+        let info = self.info_mut(id)?;
+        if info.pinned == 0 {
+            return Err(MemError::InvalidState {
+                id,
+                op: "unpin",
+                state: "not pinned".to_string(),
+            });
+        }
+        info.pinned -= 1;
+        Ok(())
+    }
+
+    /// Frees a tensor (any non-in-flight, unpinned state). Device capacity
+    /// is released immediately; no swap traffic is charged (discarding is
+    /// free — this is why dead activations should be freed, not evicted).
+    pub fn free(&mut self, id: TensorId) -> Result<(), MemError> {
+        let info = self.info(id)?.clone();
+        if info.pinned > 0 {
+            return Err(MemError::InvalidState {
+                id,
+                op: "free",
+                state: "pinned".to_string(),
+            });
+        }
+        match info.residency {
+            Residency::OnDevice(d) => {
+                self.release(d, info.bytes);
+            }
+            Residency::OnHost | Residency::Dead => {}
+            ref moving => {
+                return Err(MemError::InvalidState {
+                    id,
+                    op: "free",
+                    state: moving.describe(),
+                })
+            }
+        }
+        self.info_mut(id)?.residency = Residency::Dead;
+        Ok(())
+    }
+
+    /// Unpinned tensors resident on `dev`, as eviction candidates.
+    pub fn eviction_candidates(&self, dev: DeviceId) -> Vec<&TensorInfo> {
+        let mut v: Vec<&TensorInfo> = self
+            .tensors
+            .values()
+            .filter(|t| t.pinned == 0 && t.residency == Residency::OnDevice(dev))
+            .collect();
+        v.sort_by_key(|t| t.id); // deterministic order for policies
+        v
+    }
+
+    /// Plans evictions to free at least `bytes` on `dev` (over and above
+    /// current free space). Does not change state.
+    pub fn make_room(
+        &self,
+        dev: DeviceId,
+        bytes: u64,
+        policy: &dyn EvictionPolicy,
+    ) -> Result<Vec<TensorId>, MemError> {
+        let mut free = self.free_bytes(dev)?;
+        if free >= bytes {
+            return Ok(Vec::new());
+        }
+        let mut candidates = self.eviction_candidates(dev);
+        let mut victims = Vec::new();
+        while free < bytes {
+            let victim = policy.choose(&candidates).ok_or({
+                MemError::InsufficientMemory {
+                    device: dev,
+                    needed: bytes,
+                    capacity: self.capacities[dev],
+                }
+            })?;
+            let idx = candidates
+                .iter()
+                .position(|t| t.id == victim)
+                .expect("policy must pick a candidate");
+            free += candidates[idx].bytes;
+            victims.push(victim);
+            candidates.remove(idx);
+        }
+        Ok(victims)
+    }
+
+    /// Plans how to make tensor `id` resident on `dev`: which tensors to
+    /// evict and whether/where a transfer is needed. Does not change state.
+    pub fn plan_fetch(
+        &self,
+        id: TensorId,
+        dev: DeviceId,
+        policy: &dyn EvictionPolicy,
+    ) -> Result<FetchPlan, MemError> {
+        let info = self.info(id)?;
+        match info.residency {
+            Residency::OnDevice(d) if d == dev => Ok(FetchPlan {
+                tensor: id,
+                evictions: Vec::new(),
+                needs_transfer: false,
+                src_device: None,
+            }),
+            Residency::OnDevice(src) => Ok(FetchPlan {
+                tensor: id,
+                evictions: self.make_room(dev, info.bytes, policy)?,
+                needs_transfer: true,
+                src_device: Some(src),
+            }),
+            Residency::OnHost => Ok(FetchPlan {
+                tensor: id,
+                evictions: self.make_room(dev, info.bytes, policy)?,
+                needs_transfer: true,
+                src_device: None,
+            }),
+            ref other => Err(MemError::InvalidState {
+                id,
+                op: "plan_fetch",
+                state: other.describe(),
+            }),
+        }
+    }
+
+    /// Begins evicting a tensor to host. Capacity stays charged until
+    /// [`MemoryManager::finish_swap_out`]. Returns `(src_device, bytes)`
+    /// for the transfer. Swap-out volume is tallied here.
+    pub fn begin_swap_out(&mut self, id: TensorId) -> Result<(DeviceId, u64), MemError> {
+        let info = self.info(id)?.clone();
+        let src = match info.residency {
+            Residency::OnDevice(d) => d,
+            ref other => {
+                return Err(MemError::InvalidState {
+                    id,
+                    op: "begin_swap_out",
+                    state: other.describe(),
+                })
+            }
+        };
+        if info.pinned > 0 {
+            return Err(MemError::InvalidState {
+                id,
+                op: "begin_swap_out",
+                state: "pinned".to_string(),
+            });
+        }
+        self.info_mut(id)?.residency = Residency::MovingToHost { src };
+        self.stats.record(src, Direction::Out, info.class, info.bytes);
+        Ok((src, info.bytes))
+    }
+
+    /// Completes a swap-out: bytes have left the device; capacity freed.
+    pub fn finish_swap_out(&mut self, id: TensorId) -> Result<(), MemError> {
+        let info = self.info(id)?.clone();
+        match info.residency {
+            Residency::MovingToHost { src } => {
+                self.release(src, info.bytes);
+                let t = self.info_mut(id)?;
+                t.residency = Residency::OnHost;
+                t.dirty = false;
+                t.host_copy_valid = true;
+                Ok(())
+            }
+            ref other => Err(MemError::InvalidState {
+                id,
+                op: "finish_swap_out",
+                state: other.describe(),
+            }),
+        }
+    }
+
+    /// Begins a host→device swap-in. Destination capacity is reserved now;
+    /// fails if insufficient (evict first). Swap-in volume is tallied here.
+    pub fn begin_swap_in(&mut self, id: TensorId, dev: DeviceId) -> Result<u64, MemError> {
+        let info = self.info(id)?.clone();
+        if info.residency != Residency::OnHost {
+            return Err(MemError::InvalidState {
+                id,
+                op: "begin_swap_in",
+                state: info.residency.describe(),
+            });
+        }
+        if self.free_bytes(dev)? < info.bytes {
+            return Err(MemError::InsufficientMemory {
+                device: dev,
+                needed: info.bytes,
+                capacity: self.capacity(dev)?,
+            });
+        }
+        self.charge(dev, info.bytes);
+        self.info_mut(id)?.residency = Residency::MovingToDevice { dst: dev, src: None };
+        self.stats.record(dev, Direction::In, info.class, info.bytes);
+        Ok(info.bytes)
+    }
+
+    /// Begins a device→device (p2p) move. Capacity is charged on the
+    /// destination while the source stays charged until the move finishes
+    /// (both copies exist in flight). Tallied as p2p, **not** swap volume —
+    /// the whole point of Harmony's optimization 3.
+    pub fn begin_p2p(&mut self, id: TensorId, dst: DeviceId) -> Result<(DeviceId, u64), MemError> {
+        let info = self.info(id)?.clone();
+        let src = match info.residency {
+            Residency::OnDevice(d) if d != dst => d,
+            ref other => {
+                return Err(MemError::InvalidState {
+                    id,
+                    op: "begin_p2p",
+                    state: other.describe(),
+                })
+            }
+        };
+        if info.pinned > 0 {
+            return Err(MemError::InvalidState {
+                id,
+                op: "begin_p2p",
+                state: "pinned".to_string(),
+            });
+        }
+        if self.free_bytes(dst)? < info.bytes {
+            return Err(MemError::InsufficientMemory {
+                device: dst,
+                needed: info.bytes,
+                capacity: self.capacity(dst)?,
+            });
+        }
+        self.charge(dst, info.bytes);
+        self.info_mut(id)?.residency = Residency::MovingToDevice {
+            dst,
+            src: Some(src),
+        };
+        self.stats.record_p2p(info.bytes);
+        Ok((src, info.bytes))
+    }
+
+    /// Completes a swap-in or p2p move: tensor becomes device-resident;
+    /// for p2p the source copy is released.
+    pub fn finish_move_to_device(&mut self, id: TensorId) -> Result<DeviceId, MemError> {
+        let info = self.info(id)?.clone();
+        match info.residency {
+            Residency::MovingToDevice { dst, src } => {
+                if let Some(s) = src {
+                    self.release(s, info.bytes);
+                }
+                self.clock += 1;
+                let clock = self.clock;
+                let t = self.info_mut(id)?;
+                t.residency = Residency::OnDevice(dst);
+                t.last_use = clock;
+                // A host->device copy leaves the host copy valid; a p2p
+                // move does not touch host validity.
+                if src.is_none() {
+                    t.dirty = false;
+                }
+                Ok(dst)
+            }
+            ref other => Err(MemError::InvalidState {
+                id,
+                op: "finish_move_to_device",
+                state: other.describe(),
+            }),
+        }
+    }
+
+    /// Marks a tensor as modified on its device (its host copy, if any, is
+    /// now stale). Runtimes call this for every tensor a task writes.
+    pub fn mark_dirty(&mut self, id: TensorId) -> Result<(), MemError> {
+        let t = self.info_mut(id)?;
+        t.dirty = true;
+        t.host_copy_valid = false;
+        Ok(())
+    }
+
+    /// True if evicting this tensor needs no writeback: it is clean and a
+    /// valid host copy exists. Harmony exploits this to make post-forward
+    /// weight evictions free (the "3 vs 4m+2" asymmetry of §3); baseline
+    /// per-GPU virtualization ignores it and always writes back.
+    pub fn can_drop(&self, id: TensorId) -> Result<bool, MemError> {
+        let t = self.info(id)?;
+        Ok(!t.dirty && t.host_copy_valid && matches!(t.residency, Residency::OnDevice(_)))
+    }
+
+    /// Instantly demotes a clean, host-backed, unpinned device tensor to
+    /// host residency with **no transfer and no swap volume** (the device
+    /// copy is simply discarded). Errors unless [`MemoryManager::can_drop`].
+    pub fn drop_to_host(&mut self, id: TensorId) -> Result<(), MemError> {
+        let info = self.info(id)?.clone();
+        if info.pinned > 0 {
+            return Err(MemError::InvalidState {
+                id,
+                op: "drop_to_host",
+                state: "pinned".to_string(),
+            });
+        }
+        match info.residency {
+            Residency::OnDevice(d) if !info.dirty && info.host_copy_valid => {
+                self.release(d, info.bytes);
+                self.info_mut(id)?.residency = Residency::OnHost;
+                Ok(())
+            }
+            ref other => Err(MemError::InvalidState {
+                id,
+                op: "drop_to_host",
+                state: if info.dirty {
+                    "dirty".to_string()
+                } else {
+                    other.describe()
+                },
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{Lru, NextUseAware};
+
+    fn mm() -> MemoryManager {
+        MemoryManager::new(vec![1000, 1000])
+    }
+
+    #[test]
+    fn register_and_alloc_account_capacity() {
+        let mut m = mm();
+        let w = m.register_on_host("w", 400, TensorClass::Weight);
+        assert_eq!(m.info(w).unwrap().residency, Residency::OnHost);
+        assert_eq!(m.used(0).unwrap(), 0);
+        let a = m.alloc_on_device("a", 600, TensorClass::Activation, 0).unwrap();
+        assert_eq!(m.used(0).unwrap(), 600);
+        assert_eq!(m.free_bytes(0).unwrap(), 400);
+        assert_eq!(m.info(a).unwrap().residency, Residency::OnDevice(0));
+        // Over-capacity alloc fails.
+        assert!(matches!(
+            m.alloc_on_device("b", 500, TensorClass::Activation, 0),
+            Err(MemError::InsufficientMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn swap_in_lifecycle() {
+        let mut m = mm();
+        let w = m.register_on_host("w", 400, TensorClass::Weight);
+        let bytes = m.begin_swap_in(w, 0).unwrap();
+        assert_eq!(bytes, 400);
+        assert_eq!(m.used(0).unwrap(), 400, "reserved during flight");
+        assert!(m.pin(w).is_err(), "cannot pin in flight");
+        assert_eq!(m.finish_move_to_device(w).unwrap(), 0);
+        assert_eq!(m.info(w).unwrap().residency, Residency::OnDevice(0));
+        assert_eq!(m.stats().device_total(0, Direction::In), 400);
+    }
+
+    #[test]
+    fn swap_out_lifecycle_frees_capacity_at_finish() {
+        let mut m = mm();
+        let a = m.alloc_on_device("a", 700, TensorClass::Stash, 0).unwrap();
+        let (src, bytes) = m.begin_swap_out(a).unwrap();
+        assert_eq!((src, bytes), (0, 700));
+        assert_eq!(m.used(0).unwrap(), 700, "still charged in flight");
+        m.finish_swap_out(a).unwrap();
+        assert_eq!(m.used(0).unwrap(), 0);
+        assert_eq!(m.info(a).unwrap().residency, Residency::OnHost);
+        assert_eq!(m.stats().device_total(0, Direction::Out), 700);
+    }
+
+    #[test]
+    fn p2p_counts_separately_from_swaps() {
+        let mut m = mm();
+        let a = m.alloc_on_device("a", 300, TensorClass::Activation, 0).unwrap();
+        let (src, bytes) = m.begin_p2p(a, 1).unwrap();
+        assert_eq!((src, bytes), (0, 300));
+        assert_eq!(m.used(0).unwrap(), 300, "src charged in flight");
+        assert_eq!(m.used(1).unwrap(), 300, "dst reserved in flight");
+        m.finish_move_to_device(a).unwrap();
+        assert_eq!(m.used(0).unwrap(), 0);
+        assert_eq!(m.used(1).unwrap(), 300);
+        assert_eq!(m.stats().p2p_bytes, 300);
+        assert_eq!(m.stats().total(), 0, "no host swap volume");
+    }
+
+    #[test]
+    fn pinning_blocks_eviction_and_free() {
+        let mut m = mm();
+        let a = m.alloc_on_device("a", 300, TensorClass::Weight, 0).unwrap();
+        m.pin(a).unwrap();
+        assert!(m.begin_swap_out(a).is_err());
+        assert!(m.free(a).is_err());
+        assert!(m.eviction_candidates(0).is_empty());
+        m.unpin(a).unwrap();
+        assert!(m.unpin(a).is_err(), "unbalanced unpin");
+        assert_eq!(m.eviction_candidates(0).len(), 1);
+    }
+
+    #[test]
+    fn free_releases_without_swap_traffic() {
+        let mut m = mm();
+        let a = m.alloc_on_device("a", 300, TensorClass::Activation, 0).unwrap();
+        m.free(a).unwrap();
+        assert_eq!(m.used(0).unwrap(), 0);
+        assert_eq!(m.stats().total(), 0);
+        assert!(m.touch(a).is_ok(), "dead tensors still known");
+        assert!(m.begin_swap_in(a, 0).is_err());
+    }
+
+    #[test]
+    fn make_room_picks_lru_victims() {
+        let mut m = mm();
+        let a = m.alloc_on_device("a", 400, TensorClass::Weight, 0).unwrap();
+        let b = m.alloc_on_device("b", 400, TensorClass::Weight, 0).unwrap();
+        m.touch(a).unwrap(); // b is now least recently used
+        let victims = m.make_room(0, 300, &Lru).unwrap();
+        assert_eq!(victims, vec![b]);
+        // Needs more than one victim.
+        let victims = m.make_room(0, 900, &Lru).unwrap();
+        assert_eq!(victims.len(), 2);
+        // Impossible even with every candidate evicted.
+        assert!(m.make_room(0, 1500, &Lru).is_err());
+    }
+
+    #[test]
+    fn plan_fetch_covers_all_sources() {
+        let mut m = mm();
+        let w = m.register_on_host("w", 500, TensorClass::Weight);
+        let plan = m.plan_fetch(w, 0, &Lru).unwrap();
+        assert!(plan.needs_transfer);
+        assert!(plan.src_device.is_none());
+        assert!(plan.evictions.is_empty());
+
+        m.begin_swap_in(w, 0).unwrap();
+        assert!(m.plan_fetch(w, 0, &Lru).is_err(), "in flight");
+        m.finish_move_to_device(w).unwrap();
+        let plan = m.plan_fetch(w, 0, &Lru).unwrap();
+        assert!(!plan.needs_transfer, "already resident");
+
+        // From another device → p2p candidate.
+        let plan = m.plan_fetch(w, 1, &Lru).unwrap();
+        assert!(plan.needs_transfer);
+        assert_eq!(plan.src_device, Some(0));
+    }
+
+    #[test]
+    fn plan_fetch_evicts_when_full() {
+        let mut m = mm();
+        let a = m.alloc_on_device("a", 900, TensorClass::Stash, 0).unwrap();
+        let w = m.register_on_host("w", 500, TensorClass::Weight);
+        let plan = m.plan_fetch(w, 0, &Lru).unwrap();
+        assert_eq!(plan.evictions, vec![a]);
+    }
+
+    #[test]
+    fn next_use_hints_steer_eviction() {
+        let mut m = mm();
+        let a = m.alloc_on_device("a", 500, TensorClass::Weight, 0).unwrap();
+        let b = m.alloc_on_device("b", 500, TensorClass::Weight, 0).unwrap();
+        // a used again soon, b never again: NextUseAware must evict b even
+        // though LRU would evict a.
+        m.set_next_use(a, Some(5)).unwrap();
+        m.set_next_use(b, None).unwrap();
+        m.touch(b).unwrap(); // make a the LRU victim
+        assert_eq!(m.make_room(0, 100, &Lru).unwrap(), vec![a]);
+        assert_eq!(m.make_room(0, 100, &NextUseAware).unwrap(), vec![b]);
+    }
+
+    #[test]
+    fn peak_usage_tracks_high_water_mark() {
+        let mut m = mm();
+        let a = m.alloc_on_device("a", 800, TensorClass::Stash, 0).unwrap();
+        m.free(a).unwrap();
+        let _ = m.alloc_on_device("b", 300, TensorClass::Stash, 0).unwrap();
+        assert_eq!(m.peak_used(0).unwrap(), 800);
+        assert_eq!(m.used(0).unwrap(), 300);
+    }
+
+    #[test]
+    fn host_used_tracks_residency() {
+        let mut m = mm();
+        let w = m.register_on_host("w", 400, TensorClass::Weight);
+        assert_eq!(m.host_used(), 400);
+        m.begin_swap_in(w, 0).unwrap();
+        m.finish_move_to_device(w).unwrap();
+        assert_eq!(m.host_used(), 0);
+        m.begin_swap_out(w).unwrap();
+        assert_eq!(m.host_used(), 400, "in-flight-to-host counts");
+        m.finish_swap_out(w).unwrap();
+        assert_eq!(m.host_used(), 400);
+        m.free(w).unwrap();
+        assert_eq!(m.host_used(), 0);
+    }
+
+    #[test]
+    fn unknown_ids_and_devices_error() {
+        let mut m = mm();
+        assert!(m.info(99).is_err());
+        assert!(m.touch(99).is_err());
+        assert!(m.capacity(7).is_err());
+        assert!(m.alloc_on_device("x", 10, TensorClass::Weight, 9).is_err());
+    }
+}
+
+#[cfg(test)]
+mod dirty_tests {
+    use super::*;
+    use crate::TensorClass;
+
+    #[test]
+    fn fresh_device_tensors_are_dirty_without_host_copy() {
+        let mut m = MemoryManager::new(vec![1000]);
+        let a = m.alloc_on_device("a", 100, TensorClass::Stash, 0).unwrap();
+        assert!(m.info(a).unwrap().dirty);
+        assert!(!m.info(a).unwrap().host_copy_valid);
+        assert!(!m.can_drop(a).unwrap());
+        assert!(m.drop_to_host(a).is_err());
+    }
+
+    #[test]
+    fn swapped_in_weights_are_clean_and_droppable() {
+        let mut m = MemoryManager::new(vec![1000]);
+        let w = m.register_on_host("w", 100, TensorClass::Weight);
+        m.begin_swap_in(w, 0).unwrap();
+        m.finish_move_to_device(w).unwrap();
+        assert!(m.can_drop(w).unwrap(), "clean + host copy valid");
+        let before = m.stats().total();
+        m.drop_to_host(w).unwrap();
+        assert_eq!(m.stats().total(), before, "dropping is free");
+        assert_eq!(m.info(w).unwrap().residency, Residency::OnHost);
+        assert_eq!(m.used(0).unwrap(), 0);
+    }
+
+    #[test]
+    fn marking_dirty_invalidates_host_copy() {
+        let mut m = MemoryManager::new(vec![1000]);
+        let w = m.register_on_host("w", 100, TensorClass::Weight);
+        m.begin_swap_in(w, 0).unwrap();
+        m.finish_move_to_device(w).unwrap();
+        m.mark_dirty(w).unwrap();
+        assert!(!m.can_drop(w).unwrap());
+        // A dirty tensor must be swapped out (writeback) to become clean.
+        m.begin_swap_out(w).unwrap();
+        m.finish_swap_out(w).unwrap();
+        assert!(!m.info(w).unwrap().dirty);
+        assert!(m.info(w).unwrap().host_copy_valid);
+    }
+
+    #[test]
+    fn pinned_tensors_cannot_be_dropped() {
+        let mut m = MemoryManager::new(vec![1000]);
+        let w = m.register_on_host("w", 100, TensorClass::Weight);
+        m.begin_swap_in(w, 0).unwrap();
+        m.finish_move_to_device(w).unwrap();
+        m.pin(w).unwrap();
+        assert!(m.drop_to_host(w).is_err());
+        m.unpin(w).unwrap();
+        assert!(m.drop_to_host(w).is_ok());
+    }
+
+    #[test]
+    fn p2p_move_preserves_dirty_state() {
+        let mut m = MemoryManager::new(vec![1000, 1000]);
+        let a = m.alloc_on_device("a", 100, TensorClass::Activation, 0).unwrap();
+        assert!(m.info(a).unwrap().dirty);
+        m.begin_p2p(a, 1).unwrap();
+        m.finish_move_to_device(a).unwrap();
+        assert!(m.info(a).unwrap().dirty, "p2p does not sync host");
+        assert!(!m.info(a).unwrap().host_copy_valid);
+    }
+}

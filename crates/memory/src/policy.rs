@@ -1,0 +1,119 @@
+//! Eviction policies.
+//!
+//! The baseline per-GPU virtualization systems the paper critiques evict by
+//! recency ([`Lru`]), blind to the training schedule. Harmony's scheduler
+//! knows each tensor's next use (the task graph is ahead of it), so
+//! [`NextUseAware`] approximates Belady's OPT: evict the resident tensor
+//! whose next use is farthest in the future (never-used-again first).
+
+use crate::manager::TensorInfo;
+use crate::TensorId;
+
+/// Chooses which resident tensor to evict from a device.
+pub trait EvictionPolicy {
+    /// Picks a victim among `candidates` (all unpinned, resident on the
+    /// pressured device). Returns `None` only if `candidates` is empty.
+    fn choose(&self, candidates: &[&TensorInfo]) -> Option<TensorId>;
+
+    /// Policy name for traces.
+    fn name(&self) -> &'static str;
+}
+
+/// Least-recently-used eviction (what LMS-style per-GPU virtualization
+/// effectively does).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Lru;
+
+impl EvictionPolicy for Lru {
+    fn choose(&self, candidates: &[&TensorInfo]) -> Option<TensorId> {
+        candidates
+            .iter()
+            .min_by_key(|t| (t.last_use, t.id))
+            .map(|t| t.id)
+    }
+
+    fn name(&self) -> &'static str {
+        "lru"
+    }
+}
+
+/// Next-use-aware (Belady-approximate) eviction driven by scheduler hints.
+///
+/// Tensors with no recorded next use are evicted first (farthest possible
+/// future), then those with the latest `next_use_hint`; ties break by LRU
+/// then id for determinism.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NextUseAware;
+
+impl EvictionPolicy for NextUseAware {
+    fn choose(&self, candidates: &[&TensorInfo]) -> Option<TensorId> {
+        candidates
+            .iter()
+            .max_by_key(|t| {
+                (
+                    t.next_use_hint.map_or(u64::MAX, |h| h),
+                    u64::MAX - t.last_use, // older first among ties
+                    u64::MAX - t.id,       // lower id wins final tie
+                )
+            })
+            .map(|t| t.id)
+    }
+
+    fn name(&self) -> &'static str {
+        "next_use_aware"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::Residency;
+    use crate::TensorClass;
+
+    fn info(id: TensorId, last_use: u64, next: Option<u64>) -> TensorInfo {
+        TensorInfo {
+            id,
+            name: format!("t{id}"),
+            bytes: 100,
+            class: TensorClass::Weight,
+            residency: Residency::OnDevice(0),
+            pinned: 0,
+            last_use,
+            next_use_hint: next,
+            dirty: false,
+            host_copy_valid: true,
+        }
+    }
+
+    #[test]
+    fn lru_picks_oldest() {
+        let a = info(1, 5, None);
+        let b = info(2, 3, None);
+        let c = info(3, 9, None);
+        assert_eq!(Lru.choose(&[&a, &b, &c]), Some(2));
+        assert_eq!(Lru.choose(&[]), None);
+    }
+
+    #[test]
+    fn lru_ties_break_by_id() {
+        let a = info(7, 3, None);
+        let b = info(2, 3, None);
+        assert_eq!(Lru.choose(&[&a, &b]), Some(2));
+    }
+
+    #[test]
+    fn next_use_prefers_never_used_again() {
+        let soon = info(1, 0, Some(10));
+        let later = info(2, 0, Some(100));
+        let never = info(3, 0, None);
+        assert_eq!(NextUseAware.choose(&[&soon, &later, &never]), Some(3));
+        assert_eq!(NextUseAware.choose(&[&soon, &later]), Some(2));
+    }
+
+    #[test]
+    fn next_use_ties_fall_back_to_lru() {
+        let a = info(1, 9, Some(50));
+        let b = info(2, 1, Some(50));
+        assert_eq!(NextUseAware.choose(&[&a, &b]), Some(2), "older wins");
+    }
+}

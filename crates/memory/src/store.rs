@@ -1,0 +1,89 @@
+//! Payload storage for functional execution.
+//!
+//! In functional mode the memory manager's residency states are backed by
+//! real `harmony_tensor::Tensor` payloads. The store is deliberately
+//! location-agnostic: *where* a tensor is resident is the manager's
+//! business; the store only guarantees the bytes exist exactly once. This
+//! mirrors how a real runtime keeps one canonical buffer per tensor and
+//! moves it between host and device allocations.
+
+use std::collections::HashMap;
+
+use harmony_tensor::Tensor;
+
+use crate::{MemError, TensorId};
+
+/// Owns the actual tensor payloads referenced by a [`crate::MemoryManager`].
+#[derive(Debug, Default)]
+pub struct TensorStore {
+    data: HashMap<TensorId, Tensor>,
+}
+
+impl TensorStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        TensorStore::default()
+    }
+
+    /// Inserts (or replaces) the payload for `id`.
+    pub fn put(&mut self, id: TensorId, tensor: Tensor) {
+        self.data.insert(id, tensor);
+    }
+
+    /// Reads a payload.
+    pub fn get(&self, id: TensorId) -> Result<&Tensor, MemError> {
+        self.data.get(&id).ok_or(MemError::UnknownTensor(id))
+    }
+
+    /// Mutable access to a payload (in-place weight updates).
+    pub fn get_mut(&mut self, id: TensorId) -> Result<&mut Tensor, MemError> {
+        self.data.get_mut(&id).ok_or(MemError::UnknownTensor(id))
+    }
+
+    /// Removes and returns a payload (tensor freed).
+    pub fn take(&mut self, id: TensorId) -> Result<Tensor, MemError> {
+        self.data.remove(&id).ok_or(MemError::UnknownTensor(id))
+    }
+
+    /// Number of live payloads.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if no payloads are stored.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Total bytes held.
+    pub fn total_bytes(&self) -> u64 {
+        self.data.values().map(Tensor::size_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_take_roundtrip() {
+        let mut s = TensorStore::new();
+        s.put(1, Tensor::full([2], 3.0));
+        assert_eq!(s.get(1).unwrap().data(), &[3.0, 3.0]);
+        s.get_mut(1).unwrap().data_mut()[0] = 5.0;
+        assert_eq!(s.get(1).unwrap().data(), &[5.0, 3.0]);
+        let t = s.take(1).unwrap();
+        assert_eq!(t.numel(), 2);
+        assert!(s.get(1).is_err());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn total_bytes_sums_payloads() {
+        let mut s = TensorStore::new();
+        s.put(1, Tensor::zeros([10]));
+        s.put(2, Tensor::zeros([5]));
+        assert_eq!(s.total_bytes(), 60);
+        assert_eq!(s.len(), 2);
+    }
+}

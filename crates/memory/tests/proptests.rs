@@ -1,0 +1,212 @@
+//! Property-based tests on the memory manager's state machine: random
+//! operation sequences must never violate capacity accounting, and swap
+//! statistics must exactly mirror the transfers performed.
+
+use harmony_memory::{
+    Direction, Lru, MemoryManager, NextUseAware, Residency, TensorClass, TensorId,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    RegisterHost(u64),
+    AllocDevice(u64, usize),
+    SwapIn(usize, usize),
+    SwapOut(usize),
+    P2p(usize, usize),
+    Pin(usize),
+    Unpin(usize),
+    Free(usize),
+    Touch(usize),
+    Drop(usize),
+    MarkDirty(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u64..5000).prop_map(Op::RegisterHost),
+        ((1u64..5000), (0usize..3)).prop_map(|(b, d)| Op::AllocDevice(b, d)),
+        ((0usize..40), (0usize..3)).prop_map(|(t, d)| Op::SwapIn(t, d)),
+        (0usize..40).prop_map(Op::SwapOut),
+        ((0usize..40), (0usize..3)).prop_map(|(t, d)| Op::P2p(t, d)),
+        (0usize..40).prop_map(Op::Pin),
+        (0usize..40).prop_map(Op::Unpin),
+        (0usize..40).prop_map(Op::Free),
+        (0usize..40).prop_map(Op::Touch),
+        (0usize..40).prop_map(Op::Drop),
+        (0usize..40).prop_map(Op::MarkDirty),
+    ]
+}
+
+/// Recomputes `used` from first principles via tensor states.
+fn recomputed_used(mm: &MemoryManager, ids: &[TensorId], dev: usize) -> u64 {
+    ids.iter()
+        .filter_map(|&id| mm.info(id).ok())
+        .map(|t| match t.residency {
+            Residency::OnDevice(d) if d == dev => t.bytes,
+            Residency::MovingToDevice { dst, src } => {
+                let mut b = 0;
+                if dst == dev {
+                    b += t.bytes;
+                }
+                if src == Some(dev) {
+                    b += t.bytes;
+                }
+                b
+            }
+            Residency::MovingToHost { src } if src == dev => t.bytes,
+            _ => 0,
+        })
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn random_op_sequences_preserve_accounting(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let caps = vec![10_000u64, 6_000, 3_000];
+        let mut mm = MemoryManager::new(caps.clone());
+        let mut ids: Vec<TensorId> = Vec::new();
+        let mut expected_in = 0u64;
+        let mut expected_out = 0u64;
+        let mut expected_p2p = 0u64;
+
+        for op in ops {
+            match op {
+                Op::RegisterHost(b) => {
+                    ids.push(mm.register_on_host("t", b, TensorClass::Weight));
+                }
+                Op::AllocDevice(b, d) => {
+                    if let Ok(id) = mm.alloc_on_device("a", b, TensorClass::Stash, d) {
+                        ids.push(id);
+                    }
+                }
+                Op::SwapIn(t, d) => {
+                    if let Some(&id) = ids.get(t) {
+                        if let Ok(b) = mm.begin_swap_in(id, d) {
+                            expected_in += b;
+                            mm.finish_move_to_device(id).unwrap();
+                        }
+                    }
+                }
+                Op::SwapOut(t) => {
+                    if let Some(&id) = ids.get(t) {
+                        if let Ok((_, b)) = mm.begin_swap_out(id) {
+                            expected_out += b;
+                            mm.finish_swap_out(id).unwrap();
+                        }
+                    }
+                }
+                Op::P2p(t, d) => {
+                    if let Some(&id) = ids.get(t) {
+                        if let Ok((_, b)) = mm.begin_p2p(id, d) {
+                            expected_p2p += b;
+                            mm.finish_move_to_device(id).unwrap();
+                        }
+                    }
+                }
+                Op::Pin(t) => {
+                    if let Some(&id) = ids.get(t) {
+                        let _ = mm.pin(id);
+                    }
+                }
+                Op::Unpin(t) => {
+                    if let Some(&id) = ids.get(t) {
+                        let _ = mm.unpin(id);
+                    }
+                }
+                Op::Free(t) => {
+                    if let Some(&id) = ids.get(t) {
+                        let _ = mm.free(id);
+                    }
+                }
+                Op::Touch(t) => {
+                    if let Some(&id) = ids.get(t) {
+                        let _ = mm.touch(id);
+                    }
+                }
+                Op::Drop(t) => {
+                    if let Some(&id) = ids.get(t) {
+                        if mm.can_drop(id).unwrap_or(false) {
+                            mm.drop_to_host(id).unwrap();
+                        }
+                    }
+                }
+                Op::MarkDirty(t) => {
+                    if let Some(&id) = ids.get(t) {
+                        let _ = mm.mark_dirty(id);
+                    }
+                }
+            }
+            // Invariants after every operation:
+            for (d, &cap) in caps.iter().enumerate() {
+                let used = mm.used(d).unwrap();
+                prop_assert!(used <= cap, "device {} used {} > cap {}", d, used, cap);
+                prop_assert!(used <= mm.peak_used(d).unwrap());
+                prop_assert_eq!(
+                    used,
+                    recomputed_used(&mm, &ids, d),
+                    "accounting drift on device {}", d
+                );
+            }
+        }
+        // Stats mirror the performed transfers exactly.
+        let total_in: u64 = (0..caps.len()).map(|d| mm.stats().device_total(d, Direction::In)).sum();
+        let total_out: u64 = (0..caps.len()).map(|d| mm.stats().device_total(d, Direction::Out)).sum();
+        prop_assert_eq!(total_in, expected_in);
+        prop_assert_eq!(total_out, expected_out);
+        prop_assert_eq!(mm.stats().p2p_bytes, expected_p2p);
+    }
+
+    #[test]
+    fn make_room_victims_always_suffice_and_are_unpinned(
+        sizes in prop::collection::vec(50u64..800, 1..12),
+        pin_mask in prop::collection::vec(any::<bool>(), 12),
+        need in 1u64..2500,
+        use_next_use in any::<bool>(),
+    ) {
+        let mut mm = MemoryManager::new(vec![3_000]);
+        let mut ids = Vec::new();
+        for (i, &b) in sizes.iter().enumerate() {
+            if let Ok(id) = mm.alloc_on_device("a", b, TensorClass::Weight, 0) {
+                if pin_mask.get(i).copied().unwrap_or(false) {
+                    mm.pin(id).unwrap();
+                }
+                ids.push(id);
+            }
+        }
+        let result = if use_next_use {
+            mm.make_room(0, need, &NextUseAware)
+        } else {
+            mm.make_room(0, need, &Lru)
+        };
+        match result {
+            Ok(victims) => {
+                let freed: u64 = victims.iter().map(|&v| mm.info(v).unwrap().bytes).sum();
+                let free = mm.free_bytes(0).unwrap();
+                prop_assert!(free + freed >= need, "plan frees too little");
+                for v in &victims {
+                    prop_assert_eq!(mm.info(*v).unwrap().pinned, 0, "pinned victim");
+                }
+                // No duplicates.
+                let mut sorted = victims.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                prop_assert_eq!(sorted.len(), victims.len());
+            }
+            Err(_) => {
+                // Must genuinely be impossible: free + all unpinned < need.
+                let unpinned: u64 = ids
+                    .iter()
+                    .filter(|&&id| mm.info(id).unwrap().pinned == 0)
+                    .map(|&id| mm.info(id).unwrap().bytes)
+                    .sum();
+                prop_assert!(
+                    mm.free_bytes(0).unwrap() + unpinned < need,
+                    "manager refused although room existed"
+                );
+            }
+        }
+    }
+}

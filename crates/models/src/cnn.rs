@@ -1,0 +1,151 @@
+//! Convolutional model builders: the vision entries of the Fig 1 zoo
+//! (LeNet '98, AlexNet '12) as schedulable [`ModelSpec`]s.
+//!
+//! These exist for two reasons: they pin the zoo's parameter counts to
+//! real architectures (tested below against the published numbers), and
+//! they exercise the decomposer/scheduler on non-uniform, non-transformer
+//! layer mixes — convolutions are compute-heavy with small weights, the
+//! opposite regime from the fully-connected tail.
+
+use crate::spec::{LayerClass, LayerSpec, ModelSpec};
+
+/// A convolution layer spec: `cin → cout` channels with a `k×k` kernel
+/// producing an `oh×ow` feature map.
+fn conv(name: &str, cin: u64, cout: u64, k: u64, oh: u64, ow: u64) -> LayerSpec {
+    let params = k * k * cin * cout + cout;
+    LayerSpec {
+        name: name.to_string(),
+        class: LayerClass::Other,
+        params,
+        // 2 FLOPs per MAC per output element.
+        fwd_flops_per_sample: 2 * k * k * cin * cout * oh * ow,
+        out_elems_per_sample: cout * oh * ow,
+        extra_stash_elems_per_sample: 0,
+        in_elems_per_sample: cin * oh * ow * 4, // pre-pool/stride estimate
+    }
+}
+
+/// A pooling / nonlinearity layer: parameter-free, cheap.
+fn pool(name: &str, c: u64, oh: u64, ow: u64) -> LayerSpec {
+    LayerSpec {
+        name: name.to_string(),
+        class: LayerClass::Other,
+        params: 0,
+        fwd_flops_per_sample: c * oh * ow * 4,
+        out_elems_per_sample: c * oh * ow,
+        extra_stash_elems_per_sample: 0,
+        in_elems_per_sample: c * oh * ow * 4,
+    }
+}
+
+/// A fully-connected layer.
+fn fc(name: &str, inp: u64, out: u64) -> LayerSpec {
+    LayerSpec {
+        name: name.to_string(),
+        class: LayerClass::Head,
+        params: inp * out + out,
+        fwd_flops_per_sample: 2 * inp * out,
+        out_elems_per_sample: out,
+        extra_stash_elems_per_sample: 0,
+        in_elems_per_sample: inp,
+    }
+}
+
+/// LeNet-5 (LeCun et al. '98): the 60 K-parameter anchor of Fig 1.
+pub fn lenet() -> ModelSpec {
+    ModelSpec {
+        name: "lenet-5".to_string(),
+        layers: vec![
+            conv("conv1", 1, 6, 5, 28, 28),
+            pool("pool1", 6, 14, 14),
+            conv("conv2", 6, 16, 5, 10, 10),
+            pool("pool2", 16, 5, 5),
+            fc("fc3", 400, 120),
+            fc("fc4", 120, 84),
+            fc("fc5", 84, 10),
+        ],
+        seq_len: 1,
+    }
+}
+
+/// AlexNet (Krizhevsky et al. '12): the 61 M-parameter anchor of Fig 1.
+pub fn alexnet() -> ModelSpec {
+    ModelSpec {
+        name: "alexnet".to_string(),
+        layers: vec![
+            conv("conv1", 3, 96, 11, 55, 55),
+            pool("pool1", 96, 27, 27),
+            conv("conv2", 96, 256, 5, 27, 27),
+            pool("pool2", 256, 13, 13),
+            conv("conv3", 256, 384, 3, 13, 13),
+            conv("conv4", 384, 384, 3, 13, 13),
+            conv("conv5", 384, 256, 3, 13, 13),
+            pool("pool5", 256, 6, 6),
+            fc("fc6", 9216, 4096),
+            fc("fc7", 4096, 4096),
+            fc("fc8", 4096, 1000),
+        ],
+        seq_len: 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn lenet_matches_fig1_param_count() {
+        let m = lenet();
+        let p = m.total_params();
+        // Fig 1 says 60 K; the exact LeNet-5 count is 61,706.
+        assert!((55_000..70_000).contains(&p), "params {p}");
+        let zoo_entry = &zoo::fig1_zoo()[0];
+        assert!(p.abs_diff(zoo_entry.params) < zoo_entry.params / 10);
+    }
+
+    #[test]
+    fn alexnet_matches_fig1_param_count() {
+        let m = alexnet();
+        let p = m.total_params();
+        // Fig 1 says 61 M; the canonical count is ~61.0 M.
+        assert!((58_000_000..64_000_000).contains(&p), "params {p}");
+        let zoo_entry = &zoo::fig1_zoo()[1];
+        assert!(p.abs_diff(zoo_entry.params) < zoo_entry.params / 10);
+    }
+
+    #[test]
+    fn alexnet_compute_is_conv_heavy_but_params_are_fc_heavy() {
+        // The classic asymmetry: >80% of parameters in the FC tail, most
+        // FLOPs in the convolutions — a very different packing problem
+        // from transformers, which the multi-dimensional partitioner must
+        // handle.
+        let m = alexnet();
+        let fc_params: u64 = m
+            .layers
+            .iter()
+            .filter(|l| l.name.starts_with("fc"))
+            .map(|l| l.params)
+            .sum();
+        let conv_flops: u64 = m
+            .layers
+            .iter()
+            .filter(|l| l.name.starts_with("conv"))
+            .map(|l| l.fwd_flops_per_sample)
+            .sum();
+        assert!(fc_params * 10 > m.total_params() * 8, "FC ≥ 80% of params");
+        assert!(
+            conv_flops * 10 > m.total_fwd_flops(1) * 8,
+            "conv ≥ 80% of FLOPs"
+        );
+    }
+
+    #[test]
+    fn lenet_fits_one_mb_alexnet_does_not() {
+        // "Doing more with less" in miniature: LeNet's training state fits
+        // anywhere; AlexNet's W+dW+Adam is ~1 GB.
+        assert!(lenet().training_footprint_bytes(1, 2) < (1 << 20));
+        let alex = alexnet().training_footprint_bytes(1, 2);
+        assert!(alex > 900_000_000, "alexnet footprint {alex}");
+    }
+}

@@ -1,0 +1,133 @@
+//! Synthetic dataset generators for functional training.
+//!
+//! The paper's evaluation uses real corpora (BERT pre-training data);
+//! functional-mode tests and examples need small, deterministic tasks with
+//! enough signal to show learning. These generators are shared by the
+//! examples, the integration tests, and the benches.
+
+use harmony_tensor::rng::SplitMix64;
+use harmony_tensor::{Result, Tensor};
+
+/// A labelled batch: inputs plus per-row class targets.
+pub type Batch = (Tensor, Vec<usize>);
+
+/// Classification blobs: class `c` brightens its own slice of the feature
+/// vector (`dim` must be divisible by `classes`). Returns `[rows, dim]`
+/// features with row `i` labelled `i % classes`.
+pub fn classification_blobs(
+    rng: &mut SplitMix64,
+    rows: usize,
+    dim: usize,
+    classes: usize,
+) -> Result<Batch> {
+    let mut x = Tensor::randn([rows, dim], 0.5, rng);
+    let slice = (dim / classes.max(1)).max(1);
+    let targets: Vec<usize> = (0..rows).map(|i| i % classes).collect();
+    for (i, &class) in targets.iter().enumerate() {
+        for j in 0..slice {
+            let idx = i * dim + (class * slice + j) % dim;
+            x.data_mut()[idx] += 2.0;
+        }
+    }
+    Ok((x, targets))
+}
+
+/// Copy task for language models: random token ids in `[0, vocab)`, target
+/// = the input token at each position (identity LM). Ids are f32-encoded
+/// as the embedding layer expects. Returns `[rows, seq]` ids.
+pub fn copy_task_tokens(
+    rng: &mut SplitMix64,
+    rows: usize,
+    seq: usize,
+    vocab: usize,
+) -> Result<Batch> {
+    let ids: Vec<f32> = (0..rows * seq)
+        .map(|_| rng.next_bounded(vocab) as f32)
+        .collect();
+    let targets = ids.iter().map(|&v| v as usize).collect();
+    Ok((Tensor::from_vec([rows, seq], ids)?, targets))
+}
+
+/// Bright-quadrant images for convolutional models: `side × side`
+/// single-channel images where class `c ∈ 0..4` is the bright quadrant
+/// (plus Gaussian noise). Returns `[rows, 1, side, side]` images; `side`
+/// must be even.
+pub fn quadrant_images(rng: &mut SplitMix64, rows: usize, side: usize) -> Result<Batch> {
+    let half = side / 2;
+    let mut data = vec![0.0f32; rows * side * side];
+    let mut targets = Vec::with_capacity(rows);
+    for i in 0..rows {
+        let class = i % 4;
+        targets.push(class);
+        let (qy, qx) = (class / 2, class % 2);
+        for y in 0..side {
+            for x in 0..side {
+                let bright =
+                    (y >= qy * half && y < (qy + 1) * half) && (x >= qx * half && x < (qx + 1) * half);
+                data[i * side * side + y * side + x] =
+                    if bright { 1.0 } else { 0.0 } + 0.1 * rng.normal();
+            }
+        }
+    }
+    Ok((Tensor::from_vec([rows, 1, side, side], data)?, targets))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blobs_carry_signal() {
+        let mut rng = SplitMix64::new(1);
+        let (x, t) = classification_blobs(&mut rng, 8, 24, 4).unwrap();
+        assert_eq!(x.shape().dims(), &[8, 24]);
+        assert_eq!(t, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+        // The labelled slice's mean is well above the background's.
+        let row0 = &x.data()[0..24];
+        let fg: f32 = row0[0..6].iter().sum::<f32>() / 6.0;
+        let bg: f32 = row0[6..24].iter().sum::<f32>() / 18.0;
+        assert!(fg > bg + 1.0, "fg {fg} vs bg {bg}");
+    }
+
+    #[test]
+    fn copy_tokens_are_valid_ids() {
+        let mut rng = SplitMix64::new(2);
+        let (x, t) = copy_task_tokens(&mut rng, 4, 6, 11).unwrap();
+        assert_eq!(x.shape().dims(), &[4, 6]);
+        for (&id, &tt) in x.data().iter().zip(&t) {
+            assert_eq!(id as usize, tt);
+            assert!(tt < 11);
+            assert_eq!(id.fract(), 0.0);
+        }
+    }
+
+    #[test]
+    fn quadrants_are_bright_where_labelled() {
+        let mut rng = SplitMix64::new(3);
+        let (x, t) = quadrant_images(&mut rng, 4, 8).unwrap();
+        assert_eq!(x.shape().dims(), &[4, 1, 8, 8]);
+        for (i, &class) in t.iter().enumerate() {
+            let (qy, qx) = (class / 2, class % 2);
+            // Centre pixel of the bright quadrant vs the opposite corner.
+            let bright = x.data()[i * 64 + (qy * 4 + 2) * 8 + qx * 4 + 2];
+            let dark = x.data()[i * 64 + ((1 - qy) * 4 + 2) * 8 + (1 - qx) * 4 + 2];
+            assert!(bright > dark + 0.3, "image {i}: {bright} vs {dark}");
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let run = |seed| {
+            let mut rng = SplitMix64::new(seed);
+            let a = classification_blobs(&mut rng, 4, 8, 4).unwrap();
+            let b = copy_task_tokens(&mut rng, 2, 4, 7).unwrap();
+            let c = quadrant_images(&mut rng, 4, 4).unwrap();
+            (a, b, c)
+        };
+        let (a1, b1, c1) = run(9);
+        let (a2, b2, c2) = run(9);
+        assert_eq!(a1.0, a2.0);
+        assert_eq!(b1.0, b2.0);
+        assert_eq!(c1.0, c2.0);
+    }
+}

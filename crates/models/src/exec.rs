@@ -1,0 +1,672 @@
+//! Executable models: real-float instantiations for functional tests.
+//!
+//! An [`ExecModel`] is a sequential chain of `harmony-tensor` layers with
+//! optional skip (residual) edges. It provides a *sequential reference
+//! executor* — forward all layers, backward all layers, update all layers —
+//! which is the semantics the user's "single virtual device" program
+//! expresses. The Harmony runtime must produce bit-identical parameters to
+//! this reference no matter how it schedules, swaps, groups, or places the
+//! decomposed tasks; integration tests in `crates/core` assert exactly that.
+
+use harmony_tensor::nn::{cross_entropy, Grads, Layer, Stash};
+use harmony_tensor::ops;
+use harmony_tensor::optim::Optimizer;
+use harmony_tensor::rng::SplitMix64;
+use harmony_tensor::{Result, Tensor, TensorError};
+
+/// Where a skip edge takes its second operand from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkipSource {
+    /// The model's input tensor.
+    Input,
+    /// The output of an earlier layer (by index).
+    LayerOutput(usize),
+}
+
+/// One layer of an executable model.
+#[derive(Debug, Clone)]
+pub struct ExecLayer {
+    /// Display name.
+    pub name: String,
+    /// The layer operation.
+    pub op: Layer,
+    /// Skip edge (required for `Layer::ResidualAdd`, ignored otherwise).
+    pub skip_from: Option<SkipSource>,
+}
+
+/// A sequential model with optional residual skip edges.
+#[derive(Debug, Clone)]
+pub struct ExecModel {
+    /// Display name.
+    pub name: String,
+    /// Layers in forward order.
+    pub layers: Vec<ExecLayer>,
+}
+
+/// All intermediate state of one forward pass.
+#[derive(Debug, Clone)]
+pub struct ForwardTrace {
+    /// Output of every layer, in order.
+    pub outputs: Vec<Tensor>,
+    /// Stash of every layer, in order.
+    pub stashes: Vec<Stash>,
+}
+
+impl ExecModel {
+    /// Initialises all parameter tensors deterministically from `seed`.
+    pub fn init_params(&self, seed: u64) -> Vec<Vec<Tensor>> {
+        let mut rng = SplitMix64::new(seed);
+        self.layers
+            .iter()
+            .map(|l| l.op.init_params(&mut rng))
+            .collect()
+    }
+
+    /// Total scalar parameter count.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.op.param_count()).sum()
+    }
+
+    fn skip_tensor<'a>(
+        &self,
+        source: SkipSource,
+        input: &'a Tensor,
+        outputs: &'a [Tensor],
+        at: usize,
+    ) -> Result<&'a Tensor> {
+        match source {
+            SkipSource::Input => Ok(input),
+            SkipSource::LayerOutput(i) if i < at => Ok(&outputs[i]),
+            SkipSource::LayerOutput(i) => Err(TensorError::InvalidArgument {
+                op: "exec forward",
+                msg: format!("skip edge from layer {i} not before layer {at}"),
+            }),
+        }
+    }
+
+    /// Forward pass through all layers.
+    pub fn forward(&self, params: &[Vec<Tensor>], input: &Tensor) -> Result<ForwardTrace> {
+        if params.len() != self.layers.len() {
+            return Err(TensorError::InvalidArgument {
+                op: "exec forward",
+                msg: format!(
+                    "{} param sets for {} layers",
+                    params.len(),
+                    self.layers.len()
+                ),
+            });
+        }
+        let mut outputs: Vec<Tensor> = Vec::with_capacity(self.layers.len());
+        let mut stashes = Vec::with_capacity(self.layers.len());
+        let mut x = input.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            let out = match (&layer.op, layer.skip_from) {
+                (Layer::ResidualAdd, Some(src)) => {
+                    let skip = self.skip_tensor(src, input, &outputs, i)?;
+                    layer.op.forward_with_skip(&params[i], &x, skip)?
+                }
+                (Layer::ResidualAdd, None) => {
+                    return Err(TensorError::InvalidArgument {
+                        op: "exec forward",
+                        msg: format!("layer {i} ({}) missing skip edge", layer.name),
+                    })
+                }
+                _ => layer.op.forward(&params[i], &x)?,
+            };
+            x = out.output.clone();
+            outputs.push(out.output);
+            stashes.push(out.stash);
+        }
+        Ok(ForwardTrace { outputs, stashes })
+    }
+
+    /// Backward pass: given the gradient of the loss w.r.t. the final
+    /// output, returns per-layer parameter gradients (aligned with
+    /// `params`) and the gradient w.r.t. the model input.
+    pub fn backward(
+        &self,
+        params: &[Vec<Tensor>],
+        input: &Tensor,
+        trace: &ForwardTrace,
+        dloss: &Tensor,
+    ) -> Result<(Vec<Grads>, Tensor)> {
+        let n = self.layers.len();
+        // Gradient accumulator per layer output (+1 slot for the input).
+        let mut out_grads: Vec<Option<Tensor>> = vec![None; n];
+        let mut input_grad: Option<Tensor> = None;
+        if n == 0 {
+            return Ok((Vec::new(), dloss.clone()));
+        }
+        out_grads[n - 1] = Some(dloss.clone());
+        let mut layer_grads: Vec<Grads> = vec![Grads::default(); n];
+
+        let add_grad = |slot: &mut Option<Tensor>, g: Tensor| -> Result<()> {
+            match slot {
+                Some(existing) => ops::axpy(existing, 1.0, &g),
+                None => {
+                    *slot = Some(g);
+                    Ok(())
+                }
+            }
+        };
+
+        for i in (0..n).rev() {
+            let dy = match out_grads[i].take() {
+                Some(g) => g,
+                // Output unused downstream (can't happen in a chain, but be
+                // robust): zero gradient, nothing to propagate.
+                None => Tensor::zeros(trace.outputs[i].shape().clone()),
+            };
+            let layer = &self.layers[i];
+            let (dx, grads) = layer.op.backward(&params[i], &trace.stashes[i], &dy)?;
+            layer_grads[i] = grads;
+            // Main chain input: output of layer i-1, or the model input.
+            if i == 0 {
+                add_grad(&mut input_grad, dx.clone())?;
+            } else {
+                let (left, right) = out_grads.split_at_mut(i);
+                let _ = right;
+                add_grad(&mut left[i - 1], dx.clone())?;
+            }
+            // Residual skip: the add duplicates dy to the skip source too.
+            if let (Layer::ResidualAdd, Some(src)) = (&layer.op, layer.skip_from) {
+                match src {
+                    SkipSource::Input => add_grad(&mut input_grad, dy)?,
+                    SkipSource::LayerOutput(j) => {
+                        let (left, right) = out_grads.split_at_mut(j + 1);
+                        let _ = right;
+                        add_grad(&mut left[j], dy)?;
+                    }
+                }
+            }
+        }
+        let input_grad = match input_grad {
+            Some(g) => g,
+            None => Tensor::zeros(input.shape().clone()),
+        };
+        Ok((layer_grads, input_grad))
+    }
+
+    /// One full sequential training step on a classification batch:
+    /// forward → cross-entropy → backward → optimizer update.
+    ///
+    /// Returns the mean loss. This is the reference semantics that every
+    /// Harmony schedule must reproduce exactly.
+    #[allow(clippy::too_many_arguments)]
+    pub fn train_step_reference(
+        &self,
+        params: &mut [Vec<Tensor>],
+        opt: &Optimizer,
+        opt_state: &mut [Vec<Vec<Tensor>>],
+        input: &Tensor,
+        targets: &[usize],
+        step: u64,
+    ) -> Result<f32> {
+        let trace = self.forward(params, input)?;
+        let logits = trace.outputs.last().ok_or(TensorError::InvalidArgument {
+            op: "train_step",
+            msg: "empty model".to_string(),
+        })?;
+        let (loss, dlogits) = cross_entropy(logits, targets)?;
+        let (grads, _) = self.backward(params, input, &trace, &dlogits)?;
+        for (li, (pset, gset)) in params.iter_mut().zip(&grads).enumerate() {
+            for (pi, (p, g)) in pset.iter_mut().zip(&gset.tensors).enumerate() {
+                opt.step(p, g, &mut opt_state[li][pi], step)?;
+            }
+        }
+        Ok(loss)
+    }
+
+    /// One training step with *gradient accumulation over microbatches*:
+    /// the minibatch is split into `m` equal chunks along dim 0; each chunk
+    /// runs forward + backward; per-parameter gradients are summed in
+    /// microbatch order (each scaled by `1/m` so the result is the gradient
+    /// of the whole-batch mean loss); updates apply at the end.
+    ///
+    /// This is the semantics a user's PyTorch script with gradient
+    /// accumulation expresses, and the exact bit-pattern contract the
+    /// Harmony functional runtime must reproduce regardless of how it
+    /// reorders, groups, places, or swaps the decomposed tasks.
+    ///
+    /// Returns the mean loss across microbatches.
+    #[allow(clippy::too_many_arguments)]
+    pub fn train_step_accum(
+        &self,
+        params: &mut [Vec<Tensor>],
+        opt: &Optimizer,
+        opt_state: &mut [Vec<Vec<Tensor>>],
+        input: &Tensor,
+        targets: &[usize],
+        microbatches: usize,
+        step: u64,
+    ) -> Result<f32> {
+        let chunks = ops::chunk_dim0(input, microbatches)?;
+        let rows_per_chunk = targets.len() / microbatches.max(1);
+        let scale = 1.0 / microbatches as f32;
+        let mut grand: Vec<Grads> = vec![Grads::default(); self.layers.len()];
+        let mut loss_sum = 0.0f32;
+        for (u, chunk) in chunks.iter().enumerate() {
+            let tgt = &targets[u * rows_per_chunk..(u + 1) * rows_per_chunk];
+            let trace = self.forward(params, chunk)?;
+            let logits = trace.outputs.last().ok_or(TensorError::InvalidArgument {
+                op: "train_step_accum",
+                msg: "empty model".to_string(),
+            })?;
+            let (loss, dlogits) = cross_entropy(logits, tgt)?;
+            loss_sum += loss;
+            let dlogits = ops::scale(&dlogits, scale);
+            let (grads, _) = self.backward(params, chunk, &trace, &dlogits)?;
+            for (acc, g) in grand.iter_mut().zip(&grads) {
+                acc.accumulate(g)?;
+            }
+        }
+        for (li, (pset, gset)) in params.iter_mut().zip(&grand).enumerate() {
+            for (pi, (p, g)) in pset.iter_mut().zip(&gset.tensors).enumerate() {
+                opt.step(p, g, &mut opt_state[li][pi], step)?;
+            }
+        }
+        Ok(loss_sum * scale)
+    }
+
+    /// Allocates optimizer state for all parameters.
+    pub fn init_opt_state(&self, params: &[Vec<Tensor>], opt: &Optimizer) -> Vec<Vec<Vec<Tensor>>> {
+        params
+            .iter()
+            .map(|pset| pset.iter().map(|p| opt.init_state(p)).collect())
+            .collect()
+    }
+}
+
+/// Builds a plain MLP classifier: `dims[0] → dims[1] → ... → dims[k]`,
+/// GELU between hidden layers.
+pub fn mlp(dims: &[usize]) -> ExecModel {
+    use harmony_tensor::nn::{Activation, ActivationKind, Linear};
+    let mut layers = Vec::new();
+    for w in 0..dims.len().saturating_sub(1) {
+        layers.push(ExecLayer {
+            name: format!("fc{w}"),
+            op: Layer::Linear(Linear::new(dims[w], dims[w + 1], true)),
+            skip_from: None,
+        });
+        if w + 2 < dims.len() {
+            layers.push(ExecLayer {
+                name: format!("act{w}"),
+                op: Layer::Activation(Activation::new(ActivationKind::Gelu)),
+                skip_from: None,
+            });
+        }
+    }
+    ExecModel {
+        name: format!("mlp{dims:?}"),
+        layers,
+    }
+}
+
+/// Builds an executable LeNet-5-style convolutional classifier over
+/// `[batch, 1, 12, 12]` images (a reduced input so functional tests stay
+/// fast; the architecture — conv→pool→conv→pool→fc — is LeNet's).
+pub fn lenet_exec() -> Result<ExecModel> {
+    use harmony_tensor::nn::{Activation, ActivationKind, Conv2d, Linear, MaxPool2d};
+    Ok(ExecModel {
+        name: "lenet-exec".to_string(),
+        layers: vec![
+            ExecLayer {
+                name: "conv1".to_string(),
+                op: Layer::Conv2d(Conv2d::new(1, 4, 3, 1)?), // 12→10
+                skip_from: None,
+            },
+            ExecLayer {
+                name: "relu1".to_string(),
+                op: Layer::Activation(Activation::new(ActivationKind::Relu)),
+                skip_from: None,
+            },
+            ExecLayer {
+                name: "pool1".to_string(),
+                op: Layer::MaxPool2d(MaxPool2d::new(2)?), // 10→5
+                skip_from: None,
+            },
+            ExecLayer {
+                name: "conv2".to_string(),
+                op: Layer::Conv2d(Conv2d::new(4, 8, 2, 1)?), // 5→4
+                skip_from: None,
+            },
+            ExecLayer {
+                name: "relu2".to_string(),
+                op: Layer::Activation(Activation::new(ActivationKind::Relu)),
+                skip_from: None,
+            },
+            ExecLayer {
+                name: "pool2".to_string(),
+                op: Layer::MaxPool2d(MaxPool2d::new(2)?), // 4→2
+                skip_from: None,
+            },
+            ExecLayer {
+                name: "flatten".to_string(),
+                op: Layer::Flatten(harmony_tensor::nn::Flatten),
+                skip_from: None,
+            },
+            ExecLayer {
+                name: "fc1".to_string(),
+                op: Layer::Linear(Linear::new(8 * 2 * 2, 24, true)),
+                skip_from: None,
+            },
+            ExecLayer {
+                name: "gelu".to_string(),
+                op: Layer::Activation(Activation::new(ActivationKind::Gelu)),
+                skip_from: None,
+            },
+            ExecLayer {
+                name: "fc2".to_string(),
+                op: Layer::Linear(Linear::new(24, 4, true)),
+                skip_from: None,
+            },
+        ],
+    })
+}
+
+/// Builds a small but real transformer language model:
+/// embedding → `blocks` × (LN → attention → residual → LN → ff → residual)
+/// → head. `causal` selects GPT-style masking.
+pub fn tiny_transformer(
+    vocab: usize,
+    hidden: usize,
+    heads: usize,
+    blocks: usize,
+    causal: bool,
+) -> Result<ExecModel> {
+    use harmony_tensor::nn::{
+        Activation, ActivationKind, Embedding, LayerNorm, Linear, MultiHeadAttention,
+    };
+    let mut layers = vec![ExecLayer {
+        name: "embed".to_string(),
+        op: Layer::Embedding(Embedding::new(vocab, hidden)),
+        skip_from: None,
+    }];
+    for b in 0..blocks {
+        let block_in = layers.len() - 1; // index of the tensor entering the block
+        layers.push(ExecLayer {
+            name: format!("b{b}.ln1"),
+            op: Layer::LayerNorm(LayerNorm::new(hidden)),
+            skip_from: None,
+        });
+        layers.push(ExecLayer {
+            name: format!("b{b}.attn"),
+            op: Layer::Attention(MultiHeadAttention::new(hidden, heads, causal)?),
+            skip_from: None,
+        });
+        layers.push(ExecLayer {
+            name: format!("b{b}.res1"),
+            op: Layer::ResidualAdd,
+            skip_from: Some(SkipSource::LayerOutput(block_in)),
+        });
+        let mid = layers.len() - 1;
+        layers.push(ExecLayer {
+            name: format!("b{b}.ln2"),
+            op: Layer::LayerNorm(LayerNorm::new(hidden)),
+            skip_from: None,
+        });
+        layers.push(ExecLayer {
+            name: format!("b{b}.ff1"),
+            op: Layer::Linear(Linear::new(hidden, 4 * hidden, true)),
+            skip_from: None,
+        });
+        layers.push(ExecLayer {
+            name: format!("b{b}.gelu"),
+            op: Layer::Activation(Activation::new(ActivationKind::Gelu)),
+            skip_from: None,
+        });
+        layers.push(ExecLayer {
+            name: format!("b{b}.ff2"),
+            op: Layer::Linear(Linear::new(4 * hidden, hidden, true)),
+            skip_from: None,
+        });
+        layers.push(ExecLayer {
+            name: format!("b{b}.res2"),
+            op: Layer::ResidualAdd,
+            skip_from: Some(SkipSource::LayerOutput(mid)),
+        });
+    }
+    layers.push(ExecLayer {
+        name: "head".to_string(),
+        op: Layer::Linear(Linear::new(hidden, vocab, false)),
+        skip_from: None,
+    });
+    Ok(ExecModel {
+        name: format!("tiny_transformer(v={vocab},h={hidden},L={blocks})"),
+        layers,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn class_batch(rng: &mut SplitMix64, n: usize, d: usize, classes: usize) -> (Tensor, Vec<usize>) {
+        // Linearly separable-ish synthetic task: class = argmax of d/classes
+        // chunks' means plus noise.
+        let x = Tensor::randn([n, d], 1.0, rng);
+        let targets = (0..n).map(|i| i % classes).collect::<Vec<_>>();
+        let mut xd = x.into_data();
+        for (i, &t) in targets.iter().enumerate() {
+            for j in 0..d {
+                if j % classes == t {
+                    xd[i * d + j] += 2.0;
+                }
+            }
+        }
+        (Tensor::from_vec([n, d], xd).unwrap(), targets)
+    }
+
+    #[test]
+    fn mlp_trains_to_lower_loss() {
+        let model = mlp(&[8, 16, 4]);
+        let mut params = model.init_params(7);
+        let opt = Optimizer::adam(0.01);
+        let mut state = model.init_opt_state(&params, &opt);
+        let mut rng = SplitMix64::new(99);
+        let (x, targets) = class_batch(&mut rng, 16, 8, 4);
+        let mut first = None;
+        let mut last = 0.0;
+        for step in 1..=60 {
+            let loss = model
+                .train_step_reference(&mut params, &opt, &mut state, &x, &targets, step)
+                .unwrap();
+            if first.is_none() {
+                first = Some(loss);
+            }
+            last = loss;
+        }
+        let first = first.unwrap();
+        assert!(
+            last < first * 0.5,
+            "loss did not halve: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn transformer_trains_on_copy_task() {
+        // Predict the input token at each position (identity LM): loss must
+        // fall well below ln(vocab).
+        let model = tiny_transformer(11, 8, 2, 1, false).unwrap();
+        let mut params = model.init_params(13);
+        let opt = Optimizer::adam(0.01);
+        let mut state = model.init_opt_state(&params, &opt);
+        let mut rng = SplitMix64::new(5);
+        let ids: Vec<f32> = (0..2 * 6).map(|_| rng.next_bounded(11) as f32).collect();
+        let x = Tensor::from_vec([2, 6], ids.clone()).unwrap();
+        let targets: Vec<usize> = ids.iter().map(|&v| v as usize).collect();
+        let mut last = f32::INFINITY;
+        for step in 1..=80 {
+            last = model
+                .train_step_reference(&mut params, &opt, &mut state, &x, &targets, step)
+                .unwrap();
+        }
+        assert!(last < (11f32).ln() * 0.5, "loss {last}");
+    }
+
+    #[test]
+    fn backward_grad_matches_finite_difference_through_residuals() {
+        let model = tiny_transformer(7, 4, 2, 1, true).unwrap();
+        let params = model.init_params(3);
+        let mut rng = SplitMix64::new(8);
+        let ids: Vec<f32> = (0..4).map(|_| rng.next_bounded(7) as f32).collect();
+        let x = Tensor::from_vec([1, 4], ids).unwrap();
+        let targets = [1usize, 2, 3, 0];
+        let trace = model.forward(&params, &x).unwrap();
+        let (_, dlogits) = cross_entropy(trace.outputs.last().unwrap(), &targets).unwrap();
+        let (grads, _) = model.backward(&params, &x, &trace, &dlogits).unwrap();
+        // Finite-difference a few weight coordinates of the first FF layer.
+        let li = model
+            .layers
+            .iter()
+            .position(|l| l.name == "b0.ff1")
+            .unwrap();
+        let eps = 1e-2f32;
+        for j in [0usize, 5, 11] {
+            let mut pp = params.clone();
+            pp[li][0].data_mut()[j] += eps;
+            let mut pm = params.clone();
+            pm[li][0].data_mut()[j] -= eps;
+            let tp = model.forward(&pp, &x).unwrap();
+            let tm = model.forward(&pm, &x).unwrap();
+            let (lp, _) = cross_entropy(tp.outputs.last().unwrap(), &targets).unwrap();
+            let (lm, _) = cross_entropy(tm.outputs.last().unwrap(), &targets).unwrap();
+            let fd = (lp - lm) / (2.0 * eps);
+            let analytic = grads[li].tensors[0].data()[j];
+            assert!(
+                (fd - analytic).abs() < 2e-2,
+                "coord {j}: fd {fd} vs {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn forward_rejects_bad_skip_and_param_counts() {
+        let model = ExecModel {
+            name: "bad".to_string(),
+            layers: vec![ExecLayer {
+                name: "res".to_string(),
+                op: Layer::ResidualAdd,
+                skip_from: Some(SkipSource::LayerOutput(0)),
+            }],
+        };
+        let params = model.init_params(1);
+        // Skip edge points at itself (not strictly earlier).
+        assert!(model.forward(&params, &Tensor::zeros([2])).is_err());
+        // Param-set count mismatch.
+        let model2 = mlp(&[2, 2]);
+        assert!(model2.forward(&[], &Tensor::zeros([1, 2])).is_err());
+    }
+
+    #[test]
+    fn param_count_sums_layers() {
+        let model = mlp(&[3, 5, 2]);
+        assert_eq!(model.param_count(), 3 * 5 + 5 + 5 * 2 + 2);
+    }
+
+    #[test]
+    fn training_is_deterministic_for_fixed_seed() {
+        let run = || {
+            let model = mlp(&[4, 8, 3]);
+            let mut params = model.init_params(17);
+            let opt = Optimizer::adam(0.02);
+            let mut state = model.init_opt_state(&params, &opt);
+            let mut rng = SplitMix64::new(55);
+            let (x, t) = class_batch(&mut rng, 6, 4, 3);
+            let mut losses = Vec::new();
+            for step in 1..=10 {
+                losses.push(
+                    model
+                        .train_step_reference(&mut params, &opt, &mut state, &x, &t, step)
+                        .unwrap(),
+                );
+            }
+            (losses, params)
+        };
+        let (l1, p1) = run();
+        let (l2, p2) = run();
+        assert_eq!(l1, l2);
+        assert_eq!(p1, p2);
+    }
+}
+
+#[cfg(test)]
+mod accum_tests {
+    use super::*;
+
+    #[test]
+    fn accum_with_one_microbatch_matches_reference_exactly() {
+        let model = mlp(&[6, 10, 3]);
+        let mut p1 = model.init_params(9);
+        let mut p2 = p1.clone();
+        let opt = Optimizer::adam(0.01);
+        let mut s1 = model.init_opt_state(&p1, &opt);
+        let mut s2 = model.init_opt_state(&p2, &opt);
+        let mut rng = SplitMix64::new(2);
+        let x = Tensor::randn([4, 6], 1.0, &mut rng);
+        let targets = vec![0usize, 1, 2, 0];
+        for step in 1..=5 {
+            let l1 = model
+                .train_step_reference(&mut p1, &opt, &mut s1, &x, &targets, step)
+                .unwrap();
+            let l2 = model
+                .train_step_accum(&mut p2, &opt, &mut s2, &x, &targets, 1, step)
+                .unwrap();
+            assert_eq!(l1, l2, "step {step}");
+        }
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn accum_with_microbatches_stays_close_to_full_batch() {
+        // Different summation order ⇒ not bitwise equal, but numerically
+        // the same gradient; parameters must track closely.
+        let model = mlp(&[6, 10, 3]);
+        let mut p1 = model.init_params(9);
+        let mut p2 = p1.clone();
+        let opt = Optimizer::Sgd { lr: 0.05 };
+        let mut s1 = model.init_opt_state(&p1, &opt);
+        let mut s2 = model.init_opt_state(&p2, &opt);
+        let mut rng = SplitMix64::new(3);
+        let x = Tensor::randn([8, 6], 1.0, &mut rng);
+        let targets: Vec<usize> = (0..8).map(|i| i % 3).collect();
+        for step in 1..=10 {
+            model
+                .train_step_reference(&mut p1, &opt, &mut s1, &x, &targets, step)
+                .unwrap();
+            model
+                .train_step_accum(&mut p2, &opt, &mut s2, &x, &targets, 4, step)
+                .unwrap();
+        }
+        for (a, b) in p1.iter().flatten().zip(p2.iter().flatten()) {
+            assert!(a.max_abs_diff(b).unwrap() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn accum_is_deterministic() {
+        let model = tiny_transformer(7, 4, 2, 1, true).unwrap();
+        let run = || {
+            let mut p = model.init_params(5);
+            let opt = Optimizer::adam(0.01);
+            let mut s = model.init_opt_state(&p, &opt);
+            let mut rng = SplitMix64::new(6);
+            let ids: Vec<f32> = (0..4 * 4).map(|_| rng.next_bounded(7) as f32).collect();
+            let x = Tensor::from_vec([4, 4], ids.clone()).unwrap();
+            let t: Vec<usize> = ids.iter().map(|&v| v as usize).collect();
+            let mut losses = Vec::new();
+            for step in 1..=4 {
+                losses.push(
+                    model
+                        .train_step_accum(&mut p, &opt, &mut s, &x, &t, 2, step)
+                        .unwrap(),
+                );
+            }
+            (losses, p)
+        };
+        let (l1, p1) = run();
+        let (l2, p2) = run();
+        assert_eq!(l1, l2);
+        assert_eq!(p1, p2);
+    }
+}

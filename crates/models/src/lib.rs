@@ -1,0 +1,30 @@
+//! # harmony-models
+//!
+//! DNN model descriptions at two levels of fidelity:
+//!
+//! * **Abstract specs** ([`ModelSpec`] / [`LayerSpec`]) — per-layer
+//!   parameter counts, activation/stash footprints, and FLOP estimates as
+//!   functions of batch and sequence length. These feed Harmony's task
+//!   decomposer and the discrete-event simulator, which only needs *sizes
+//!   and costs*, not numerics. This is how we model the paper's BERT
+//!   workload (Fig 2) without CUDA.
+//! * **Executable models** ([`exec`]) — small instantiations built from
+//!   `harmony-tensor` layers for functional tests: real forward/backward/
+//!   update with real floats, used to prove the scheduled execution is
+//!   bit-identical to a sequential reference.
+//!
+//! It also carries the Fig-1 model zoo (LeNet → GPT-3 parameter growth).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cnn;
+pub mod data;
+pub mod exec;
+pub mod seq2seq;
+pub mod spec;
+pub mod transformer;
+pub mod zoo;
+
+pub use spec::{LayerClass, LayerSpec, ModelSpec};
+pub use transformer::TransformerConfig;

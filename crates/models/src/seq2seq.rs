@@ -1,0 +1,172 @@
+//! Sequence-to-sequence model builders: the remaining language entries of
+//! the Fig 1 zoo — GNMT ('16, 278 M) and T5-11B ('19, 11 B) — as
+//! schedulable [`ModelSpec`]s with parameter math pinned to the published
+//! architectures (tests assert the zoo counts within tolerance).
+
+use crate::spec::{LayerClass, LayerSpec, ModelSpec};
+
+/// One LSTM layer: `4` gates of `[in + h, h]` weights plus biases.
+fn lstm(name: &str, input: u64, hidden: u64, seq: u64) -> LayerSpec {
+    let params = 4 * ((input + hidden) * hidden + hidden);
+    LayerSpec {
+        name: name.to_string(),
+        class: LayerClass::Other,
+        params,
+        // 2 FLOPs/MAC, once per timestep.
+        fwd_flops_per_sample: 2 * params * seq,
+        out_elems_per_sample: seq * hidden,
+        // LSTMs stash per-step gate activations: ~4h per step.
+        extra_stash_elems_per_sample: 4 * seq * hidden,
+        in_elems_per_sample: seq * input,
+    }
+}
+
+fn embedding(name: &str, vocab: u64, dim: u64, seq: u64) -> LayerSpec {
+    LayerSpec {
+        name: name.to_string(),
+        class: LayerClass::Embedding,
+        params: vocab * dim,
+        fwd_flops_per_sample: seq * dim,
+        out_elems_per_sample: seq * dim,
+        extra_stash_elems_per_sample: seq,
+        in_elems_per_sample: seq,
+    }
+}
+
+fn projection(name: &str, dim: u64, vocab: u64, seq: u64) -> LayerSpec {
+    LayerSpec {
+        name: name.to_string(),
+        class: LayerClass::Head,
+        params: dim * vocab,
+        fwd_flops_per_sample: 2 * seq * dim * vocab,
+        out_elems_per_sample: seq * vocab,
+        extra_stash_elems_per_sample: 0,
+        in_elems_per_sample: seq * dim,
+    }
+}
+
+/// GNMT (Wu et al. '16): 8-layer LSTM encoder (first layer bidirectional)
+/// plus an 8-layer LSTM decoder with attention, hidden 1024, 32 K word
+/// pieces. Fig 1 lists it at 278 M parameters.
+pub fn gnmt() -> ModelSpec {
+    let h = 1024u64;
+    let v = 32_000u64;
+    let seq = 64u64;
+    let mut layers = vec![embedding("enc_embed", v, h, seq)];
+    // Bidirectional first layer = two LSTMs over the input.
+    layers.push(lstm("enc_l0_fwd", h, h, seq));
+    layers.push(lstm("enc_l0_bwd", h, h, seq));
+    // Layer 1 consumes the 2h-wide bidirectional output.
+    layers.push(lstm("enc_l1", 2 * h, h, seq));
+    for i in 2..8 {
+        layers.push(lstm(&format!("enc_l{i}"), h, h, seq));
+    }
+    layers.push(embedding("dec_embed", v, h, seq));
+    // Decoder layer 0 sees embedding + attention context (2h input).
+    layers.push(lstm("dec_l0", 2 * h, h, seq));
+    for i in 1..8 {
+        // Attention context is fed to every decoder layer (2h input).
+        layers.push(lstm(&format!("dec_l{i}"), 2 * h, h, seq));
+    }
+    layers.push(projection("softmax", h, v, seq));
+    ModelSpec {
+        name: "gnmt".to_string(),
+        layers,
+        seq_len: seq,
+    }
+}
+
+/// One T5-11B attention block: Q/K/V/O projections into the *decoupled*
+/// inner dimension (128 heads × d_kv 128 = 16384 — the unusual shape that
+/// puts T5-11B at 11 B parameters).
+fn t5_attention(name: &str, d_model: u64, inner: u64, seq: u64) -> LayerSpec {
+    LayerSpec {
+        name: name.to_string(),
+        class: LayerClass::Attention,
+        params: 4 * d_model * inner,
+        fwd_flops_per_sample: 8 * seq * d_model * inner + 4 * seq * seq * inner,
+        out_elems_per_sample: seq * d_model,
+        extra_stash_elems_per_sample: 128 * seq * seq + seq * inner,
+        in_elems_per_sample: seq * d_model,
+    }
+}
+
+fn t5_ff(name: &str, d_model: u64, d_ff: u64, seq: u64) -> LayerSpec {
+    LayerSpec {
+        name: name.to_string(),
+        class: LayerClass::FeedForward,
+        params: 2 * d_model * d_ff,
+        fwd_flops_per_sample: 4 * seq * d_model * d_ff,
+        out_elems_per_sample: seq * d_model,
+        extra_stash_elems_per_sample: seq * d_ff,
+        in_elems_per_sample: seq * d_model,
+    }
+}
+
+/// T5-11B (Raffel et al. '19): 24 encoder + 24 decoder blocks,
+/// d_model 1024, d_ff 65536, attention inner dim 16384 (128 heads × 128).
+/// Fig 1 lists it at 11 B parameters.
+pub fn t5_11b() -> ModelSpec {
+    let (d, inner, ff, v, seq) = (1024u64, 16_384u64, 65_536u64, 32_128u64, 512u64);
+    let mut layers = vec![embedding("shared_embed", v, d, seq)];
+    for i in 0..24 {
+        layers.push(t5_attention(&format!("enc{i}.attn"), d, inner, seq));
+        layers.push(t5_ff(&format!("enc{i}.ff"), d, ff, seq));
+    }
+    for i in 0..24 {
+        layers.push(t5_attention(&format!("dec{i}.self_attn"), d, inner, seq));
+        layers.push(t5_attention(&format!("dec{i}.cross_attn"), d, inner, seq));
+        layers.push(t5_ff(&format!("dec{i}.ff"), d, ff, seq));
+    }
+    // T5 ties the output projection to the shared embedding; count it once.
+    ModelSpec {
+        name: "t5-11b".to_string(),
+        layers,
+        seq_len: seq,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn gnmt_matches_fig1_param_count() {
+        let p = gnmt().total_params();
+        let target = zoo::fig1_zoo()[2].params; // 278 M
+        let tol = target / 5; // ±20%: published count includes attention MLP etc.
+        assert!(
+            p.abs_diff(target) < tol,
+            "gnmt params {p} vs published {target}"
+        );
+    }
+
+    #[test]
+    fn t5_matches_fig1_param_count() {
+        let p = t5_11b().total_params();
+        let target = zoo::fig1_zoo()[5].params; // 11 B
+        let tol = target / 10; // ±10%
+        assert!(
+            p.abs_diff(target) < tol,
+            "t5 params {p} ({:.2}B) vs published {target}",
+            p as f64 / 1e9
+        );
+    }
+
+    #[test]
+    fn t5_state_exceeds_even_an_8_gpu_server() {
+        // The zoo's point: by 2019, W+dW+Adam alone (176 GB) no longer fits
+        // 8 × 11 GB of aggregate GPU memory.
+        let m = t5_11b();
+        assert!(m.total_params() * 16 > 8 * 11 * (1u64 << 30));
+    }
+
+    #[test]
+    fn gnmt_lstm_stash_is_per_timestep() {
+        let m = gnmt();
+        let l = m.layers.iter().find(|l| l.name == "enc_l1").unwrap();
+        // 4 gate activations per step per hidden unit.
+        assert_eq!(l.extra_stash_elems_per_sample, 4 * 64 * 1024);
+    }
+}

@@ -1,0 +1,237 @@
+//! Transformer model builders (abstract specs).
+//!
+//! The paper's running workload is BERT (Devlin et al. '18) trained with
+//! per-GPU batch 5 on 11 GB GPUs, where the training footprint exceeds the
+//! aggregate memory of four such GPUs once stashed activations and Adam
+//! state are counted. [`TransformerConfig`] reproduces that regime; presets
+//! give BERT-Large and scaled-up variants.
+
+use crate::spec::{LayerClass, LayerSpec, ModelSpec};
+
+/// Configuration of a BERT/GPT-style transformer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransformerConfig {
+    /// Vocabulary size.
+    pub vocab: u64,
+    /// Hidden (model) dimension.
+    pub hidden: u64,
+    /// Number of transformer blocks.
+    pub blocks: u64,
+    /// Attention heads per block.
+    pub heads: u64,
+    /// Feed-forward expansion factor (4 for BERT/GPT).
+    pub ff_mult: u64,
+    /// Sequence length.
+    pub seq_len: u64,
+}
+
+impl TransformerConfig {
+    /// BERT-Large (Devlin '18): 24 blocks, hidden 1024, 16 heads, ~340 M
+    /// parameters at seq 512.
+    pub fn bert_large() -> Self {
+        TransformerConfig {
+            vocab: 30_522,
+            hidden: 1024,
+            blocks: 24,
+            heads: 16,
+            ff_mult: 4,
+            seq_len: 512,
+        }
+    }
+
+    /// A "large BERT" variant that exceeds the aggregate memory of four
+    /// 11 GB GPUs during training (48 blocks, hidden 2048 ⇒ ~2.5 B params,
+    /// ~10 GB of weights, ~40 GB weights+grads+Adam before any
+    /// activations). This is the regime of the paper's Fig 2.
+    pub fn bert_xxl() -> Self {
+        TransformerConfig {
+            vocab: 30_522,
+            hidden: 2048,
+            blocks: 48,
+            heads: 16,
+            ff_mult: 4,
+            seq_len: 512,
+        }
+    }
+
+    /// A ~10 B-parameter GPT-style decoder (hidden 4096, 48 blocks). Its
+    /// per-stage training state on a 4-GPU pipeline (~40 GB of W+dW+K per
+    /// stage) exceeds an 11 GB GPU several times over — the §3 analytical
+    /// regime where every scheme must swap weights and Harmony-PP's
+    /// dominance is fully expressed.
+    pub fn gpt_10b() -> Self {
+        TransformerConfig {
+            vocab: 50_257,
+            hidden: 4096,
+            blocks: 48,
+            heads: 32,
+            ff_mult: 4,
+            seq_len: 1024,
+        }
+    }
+
+    /// GPT-2 XL-like: 48 blocks, hidden 1600, 25 heads (~1.5 B params).
+    pub fn gpt2_xl() -> Self {
+        TransformerConfig {
+            vocab: 50_257,
+            hidden: 1600,
+            blocks: 48,
+            heads: 25,
+            ff_mult: 4,
+            seq_len: 1024,
+        }
+    }
+
+    /// A deliberately small config for fast unit tests.
+    pub fn tiny() -> Self {
+        TransformerConfig {
+            vocab: 64,
+            hidden: 16,
+            blocks: 2,
+            heads: 2,
+            ff_mult: 4,
+            seq_len: 8,
+        }
+    }
+
+    /// Builds the abstract model spec: embedding, `blocks` ×
+    /// (attention + feed-forward, each with a fused LayerNorm), and an LM
+    /// head tied shape-wise to the vocabulary.
+    ///
+    /// Sizing formulas (per block, hidden `h`, seq `s`, ff `f = ff_mult·h`):
+    /// * attention params: `4h² + 4h` (fused QKV + output proj) `+ 2h` (LN);
+    /// * attention fwd FLOPs/sample: `8sh² + 4s²h`;
+    /// * attention extra stash/sample: `heads·s²` (probabilities) + `sh`
+    ///   (context);
+    /// * feed-forward params: `2hf + f + h` `+ 2h` (LN);
+    /// * feed-forward fwd FLOPs/sample: `4shf`;
+    /// * feed-forward extra stash/sample: `sf` (hidden activation).
+    pub fn build(&self) -> ModelSpec {
+        let (v, h, s) = (self.vocab, self.hidden, self.seq_len);
+        let f = self.ff_mult * h;
+        let mut layers = Vec::new();
+        layers.push(LayerSpec {
+            name: "embedding".to_string(),
+            class: LayerClass::Embedding,
+            params: v * h + s * h, // token + position tables
+            fwd_flops_per_sample: s * h, // table gather + add
+            out_elems_per_sample: s * h,
+            extra_stash_elems_per_sample: s, // token ids
+            in_elems_per_sample: s,
+        });
+        for b in 0..self.blocks {
+            layers.push(LayerSpec {
+                name: format!("block{b}.attn"),
+                class: LayerClass::Attention,
+                params: 4 * h * h + 4 * h + 2 * h,
+                fwd_flops_per_sample: 8 * s * h * h + 4 * s * s * h,
+                out_elems_per_sample: s * h,
+                extra_stash_elems_per_sample: self.heads * s * s + s * h,
+                in_elems_per_sample: s * h,
+            });
+            layers.push(LayerSpec {
+                name: format!("block{b}.ff"),
+                class: LayerClass::FeedForward,
+                params: 2 * h * f + f + h + 2 * h,
+                fwd_flops_per_sample: 4 * s * h * f,
+                out_elems_per_sample: s * h,
+                extra_stash_elems_per_sample: s * f,
+                in_elems_per_sample: s * h,
+            });
+        }
+        layers.push(LayerSpec {
+            name: "lm_head".to_string(),
+            class: LayerClass::Head,
+            params: h * v,
+            fwd_flops_per_sample: 2 * s * h * v,
+            out_elems_per_sample: s * v,
+            extra_stash_elems_per_sample: 0,
+            in_elems_per_sample: s * h,
+        });
+        ModelSpec {
+            name: format!(
+                "transformer(v={v},h={h},L={},heads={},s={s})",
+                self.blocks, self.heads
+            ),
+            layers,
+            seq_len: s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::BYTES_PER_ELEM;
+
+    #[test]
+    fn bert_large_param_count_is_close_to_published() {
+        // BERT-Large is ~340 M params (335 M encoder + embeddings); our
+        // formula includes an untied LM head, so allow the 300–430 M range.
+        let m = TransformerConfig::bert_large().build();
+        let p = m.total_params();
+        assert!(
+            (300_000_000..430_000_000).contains(&p),
+            "params {p} out of expected envelope"
+        );
+    }
+
+    #[test]
+    fn gpt2_xl_is_about_1_5b() {
+        let p = TransformerConfig::gpt2_xl().build().total_params();
+        assert!(
+            (1_300_000_000..1_900_000_000).contains(&p),
+            "params {p}"
+        );
+    }
+
+    #[test]
+    fn bert_xxl_training_footprint_exceeds_four_11gb_gpus() {
+        // The Fig 2 regime: footprint > 4 × 11 GB with per-GPU batch 5 and
+        // Adam (2 state slots).
+        let m = TransformerConfig::bert_xxl().build();
+        let footprint = m.training_footprint_bytes(5, 2);
+        assert!(
+            footprint > 4 * 11 * (1 << 30) as u64,
+            "footprint {} GB",
+            footprint >> 30
+        );
+        // ...but a single microbatch of any one layer fits in 11 GB, so
+        // swapping (rather than OOM) is the operative regime.
+        let max_layer = m
+            .layers
+            .iter()
+            .map(|l| l.weight_bytes() + l.grad_bytes() + l.stash_bytes(5) + l.out_bytes(5))
+            .max()
+            .unwrap();
+        assert!(max_layer < 11 * (1 << 30) as u64, "{max_layer}");
+    }
+
+    #[test]
+    fn layer_count_is_two_per_block_plus_ends() {
+        let cfg = TransformerConfig::tiny();
+        let m = cfg.build();
+        assert_eq!(m.num_layers() as u64, 2 * cfg.blocks + 2);
+    }
+
+    #[test]
+    fn weight_bytes_are_params_times_four() {
+        let m = TransformerConfig::tiny().build();
+        assert_eq!(m.total_weight_bytes(), m.total_params() * BYTES_PER_ELEM);
+    }
+
+    #[test]
+    fn stash_dominated_by_attention_probs_for_long_seqs() {
+        // For long sequences the heads·s² term dominates sh: the memory
+        // skew behind Fig 2(c)'s head-stage pressure.
+        let mut cfg = TransformerConfig::bert_large();
+        cfg.seq_len = 4096;
+        let m = cfg.build();
+        let attn = m
+            .layers
+            .iter()
+            .find(|l| l.class == LayerClass::Attention)
+            .unwrap();
+        assert!(attn.extra_stash_elems_per_sample > 4 * attn.in_elems_per_sample);
+    }
+}

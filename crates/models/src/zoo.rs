@@ -1,0 +1,130 @@
+//! The Fig-1 model zoo: two decades of model-size growth.
+//!
+//! Fig 1 of the paper plots parameter counts for image-classification and
+//! language models from LeNet (1998, 60 K) to GPT-3 (2020, 175 B). The
+//! `repro fig1` harness prints this table; tests assert the exponential
+//! growth the paper's argument rests on.
+
+/// Task family of a zoo entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskFamily {
+    /// Image classification.
+    Vision,
+    /// Language modelling / translation.
+    Language,
+}
+
+/// One model in the Fig-1 growth chart.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZooEntry {
+    /// Model name as labelled in Fig 1.
+    pub name: &'static str,
+    /// Publication year.
+    pub year: u32,
+    /// Parameter count.
+    pub params: u64,
+    /// Task family.
+    pub family: TaskFamily,
+}
+
+/// The seven models of Fig 1, in chronological order.
+pub fn fig1_zoo() -> Vec<ZooEntry> {
+    vec![
+        ZooEntry {
+            name: "LeNet",
+            year: 1998,
+            params: 60_000,
+            family: TaskFamily::Vision,
+        },
+        ZooEntry {
+            name: "AlexNet",
+            year: 2012,
+            params: 61_000_000,
+            family: TaskFamily::Vision,
+        },
+        ZooEntry {
+            name: "GNMT",
+            year: 2016,
+            params: 278_000_000,
+            family: TaskFamily::Language,
+        },
+        ZooEntry {
+            name: "AmoebaNet",
+            year: 2018,
+            params: 557_000_000,
+            family: TaskFamily::Vision,
+        },
+        ZooEntry {
+            name: "GPT-2",
+            year: 2019,
+            params: 1_500_000_000,
+            family: TaskFamily::Language,
+        },
+        ZooEntry {
+            name: "T5",
+            year: 2019,
+            params: 11_000_000_000,
+            family: TaskFamily::Language,
+        },
+        ZooEntry {
+            name: "GPT-3",
+            year: 2020,
+            params: 175_000_000_000,
+            family: TaskFamily::Language,
+        },
+    ]
+}
+
+/// fp32 weight bytes for a zoo entry (`params × 4`).
+pub fn weight_bytes(entry: &ZooEntry) -> u64 {
+    entry.params * crate::spec::BYTES_PER_ELEM
+}
+
+/// Conservative lower bound on the *training* footprint in bytes: weights,
+/// gradients, and Adam state only (no activations). This is the "model
+/// states" floor that ZeRO-style analyses use (16 bytes/param for
+/// mixed-precision; we use fp32's 16 = 4×(W, dW, m, v)).
+pub fn min_training_bytes(entry: &ZooEntry) -> u64 {
+    entry.params * 16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zoo_matches_fig1_values() {
+        let zoo = fig1_zoo();
+        assert_eq!(zoo.len(), 7);
+        assert_eq!(zoo[0].params, 60_000); // 60K LeNet
+        assert_eq!(zoo[4].params, 1_500_000_000); // 1.5B GPT-2
+        assert_eq!(zoo[6].params, 175_000_000_000); // 175B GPT-3
+    }
+
+    #[test]
+    fn growth_is_monotonic_and_exponential() {
+        let zoo = fig1_zoo();
+        for pair in zoo.windows(2) {
+            assert!(pair[1].params > pair[0].params);
+            assert!(pair[1].year >= pair[0].year);
+        }
+        // Six orders of magnitude over the chart (paper: "grown
+        // exponentially").
+        assert!(zoo[6].params / zoo[0].params > 1_000_000);
+    }
+
+    #[test]
+    fn even_gpt2_model_states_exceed_one_commodity_gpu() {
+        // The paper's motivation: for modern language models even the
+        // weights+grads+optimizer floor exceeds a single 11 GB GPU.
+        let gpt2 = &fig1_zoo()[4];
+        assert!(min_training_bytes(gpt2) > 11 * (1 << 30) as u64);
+    }
+
+    #[test]
+    fn gpt3_weights_exceed_any_commodity_server_aggregate() {
+        let gpt3 = &fig1_zoo()[6];
+        // 8 × 11 GB of aggregate GPU memory.
+        assert!(weight_bytes(gpt3) > 8 * 11 * (1 << 30) as u64);
+    }
+}

@@ -1,0 +1,1170 @@
+//! The simulation executor: runs any [`ExecutionPlan`] on the
+//! discrete-event simulator with full memory virtualization.
+//!
+//! The executor is deliberately *scheme-agnostic*: Harmony and the
+//! baselines run through the identical code path, so every reported
+//! difference (swap volume, throughput, imbalance) is emergent from the
+//! plan's task order, the scheme knobs in [`crate::SchemeConfig`], and the
+//! eviction policy — never hard-coded.
+//!
+//! ## Per-GPU step state machine
+//!
+//! Each GPU works through its queue one item at a time:
+//!
+//! 1. **WaitDeps** — a task runs only when its graph dependencies are done
+//!    (just-in-time readiness, crossing GPUs in pipeline schemes).
+//! 2. **Fetch** — every tensor in the task's swap-in set (Fig 5a) is made
+//!    resident and pinned: already-resident tensors are pinned directly;
+//!    host tensors are swapped in (after planning evictions); tensors on a
+//!    peer GPU move p2p when the scheme allows, otherwise they bounce
+//!    through host memory as two swaps (§2 inefficiency 3). Output tensors
+//!    are allocated (evicting as needed).
+//! 3. **Compute** — the kernel occupies the GPU for `flops / gpu_flops`
+//!    seconds.
+//! 4. **Retire** — written tensors are marked dirty, the task's dead
+//!    tensors are freed (no writeback), pins drop, dependents wake.
+//!
+//! Evictions honour the scheme's cleanliness tracking: clean, host-backed
+//! tensors are dropped for free when `clean_drop` is set (Harmony), and
+//! written back otherwise (baseline LMS-style virtualization).
+//!
+//! ## Prefetch (double-buffering)
+//!
+//! With [`crate::SchemeConfig::prefetch`] set, a GPU overlaps the *next*
+//! queue item's fetches with the current kernel (the paper's §4 trade-off:
+//! "prefetching and overlapping data copies for a microbatch with compute
+//! for another ... requires a form of double buffering"). The prefetched
+//! step's tensors are pinned as they arrive — the double-buffer memory
+//! cost is real and can make tight configurations infeasible, which is
+//! exactly the trade-off the ablation bench measures. Prefetch only
+//! starts once the next item's dependencies are already satisfied, and
+//! never crosses an AllReduce barrier.
+//!
+//! `AllReduce` items synchronise all GPUs (gradient reduction for data
+//! parallelism): each GPU pins its local gradient shard; when the last GPU
+//! arrives, ring-exchange transfers of `2(N−1)/N · |dW|` per GPU are
+//! issued over the p2p routes.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use harmony_memory::{
+    EvictionPolicy, Lru, MemError, MemoryManager, NextUseAware, Residency, TensorId,
+};
+use harmony_models::ModelSpec;
+use harmony_simulator::{Completion, SimError, Simulator, TransferId};
+use harmony_taskgraph::{TaskId, TensorRef};
+use harmony_topology::{Endpoint, Topology, TopologyError};
+use harmony_trace::{summary::RunSummary, SpanKind, Trace};
+
+use crate::config::PolicyKind;
+use crate::plan::{ExecutionPlan, WorkItem};
+
+/// Errors from plan execution.
+#[derive(Debug)]
+pub enum ExecError {
+    /// Memory-management failure (e.g. a single task's working set exceeds
+    /// device capacity).
+    Mem(MemError),
+    /// Simulator failure.
+    Sim(SimError),
+    /// Topology routing failure.
+    Topo(TopologyError),
+    /// Plan/graph inconsistency.
+    Plan(String),
+    /// No progress possible but work remains (scheduling deadlock).
+    Stuck(String),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Mem(e) => write!(f, "memory: {e}"),
+            ExecError::Sim(e) => write!(f, "simulator: {e}"),
+            ExecError::Topo(e) => write!(f, "topology: {e}"),
+            ExecError::Plan(m) => write!(f, "plan: {m}"),
+            ExecError::Stuck(m) => write!(f, "stuck: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<MemError> for ExecError {
+    fn from(e: MemError) -> Self {
+        ExecError::Mem(e)
+    }
+}
+impl From<SimError> for ExecError {
+    fn from(e: SimError) -> Self {
+        ExecError::Sim(e)
+    }
+}
+impl From<TopologyError> for ExecError {
+    fn from(e: TopologyError) -> Self {
+        ExecError::Topo(e)
+    }
+}
+
+/// Logical tensor key: (iteration, replica, reference).
+///
+/// Persistent state (weights, gradient buffers, optimizer state) uses
+/// iteration 0 regardless of when it is touched — one instance lives across
+/// the whole run. Transients (activations, stashes, act-grads, inputs) are
+/// distinct per iteration so consecutive iterations can overlap across GPUs
+/// without aliasing.
+type Key = (u32, usize, TensorRef);
+
+/// Builds the key for `rf` touched during iteration `iter`.
+fn key_of(iter: u32, replica: usize, rf: TensorRef) -> Key {
+    let persistent = matches!(
+        rf,
+        TensorRef::Weight { .. } | TensorRef::Grad { .. } | TensorRef::OptState { .. }
+    );
+    (if persistent { 0 } else { iter }, replica, rf)
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Target {
+    /// Make an existing tensor resident and pin it.
+    Input(Key),
+    /// Allocate a fresh output tensor on this GPU and pin it.
+    Alloc(Key),
+}
+
+#[derive(Debug)]
+enum InFlight {
+    /// Ready to process the next fetch target (or start compute).
+    Idle,
+    /// Waiting for eviction writebacks to free room.
+    Evicting(HashSet<TransferId>),
+    /// Waiting for the current target's swap-in / p2p move.
+    Moving,
+    /// Waiting for a needed tensor to finish leaving a peer GPU (host
+    /// bounce path when p2p is disabled).
+    WaitDemote,
+    /// Kernel submitted.
+    Computing,
+    /// Arrived at an AllReduce barrier.
+    Collective,
+}
+
+#[derive(Debug)]
+struct Step {
+    /// Globally unique id — transfers route completions by it, surviving
+    /// promotion from the prefetch slot to the current slot.
+    id: u64,
+    seq: u64,
+    iter: u32,
+    item: WorkItem,
+    targets: VecDeque<Target>,
+    targets_built: bool,
+    pinned: Vec<TensorId>,
+    inflight: InFlight,
+}
+
+#[derive(Debug)]
+struct GpuState {
+    queue: VecDeque<(u64, u32, WorkItem)>,
+    step: Option<Step>,
+    /// Double-buffered next step, fetched during the current compute.
+    prefetch: Option<Step>,
+}
+
+#[derive(Debug, Clone)]
+struct PendingTransfer {
+    purpose: Purpose,
+    start: f64,
+    lane: usize,
+    kind: SpanKind,
+    label: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Purpose {
+    /// Writeback of an eviction victim for step `step` on `gpu`.
+    Eviction { gpu: usize, step: u64, tensor: TensorId },
+    /// The needed tensor itself leaving a peer device (host bounce).
+    Demote { gpu: usize, step: u64, tensor: TensorId },
+    /// Swap-in or p2p move completing a fetch of step `step` on `gpu`.
+    Move { gpu: usize, step: u64, tensor: TensorId },
+    /// One ring hop of an AllReduce.
+    Collective { iter: u32, pack: usize },
+    /// End-of-iteration writeback of dirty persistent state.
+    Flush { tensor: TensorId },
+}
+
+#[derive(Debug, Default)]
+struct CollectiveState {
+    arrived: HashSet<usize>,
+    outstanding: HashSet<TransferId>,
+}
+
+#[derive(Debug, Clone)]
+struct ComputeRec {
+    start: f64,
+    label: String,
+}
+
+/// Which step slot of a GPU is being driven.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Slot {
+    Current,
+    Prefetch,
+}
+
+/// Executes one iteration of an [`ExecutionPlan`] on a topology. See
+/// module docs.
+pub struct SimExecutor<'a> {
+    topo: &'a Topology,
+    model: &'a ModelSpec,
+    plan: &'a ExecutionPlan,
+    sim: Simulator,
+    mm: MemoryManager,
+    policy: Box<dyn EvictionPolicy>,
+    ids: HashMap<Key, TensorId>,
+    gpus: Vec<GpuState>,
+    done: HashSet<(u32, usize, TaskId)>,
+    transfers: HashMap<TransferId, PendingTransfer>,
+    computes: HashMap<u64, ComputeRec>,
+    next_compute_tag: u64,
+    next_step_id: u64,
+    collectives: HashMap<(u32, usize), CollectiveState>,
+    trace: Trace,
+    next_use: HashMap<Key, VecDeque<u64>>,
+    iterations: u32,
+}
+
+impl<'a> SimExecutor<'a> {
+    /// Prepares an executor: registers all persistent tensors (weights,
+    /// gradient buffers, optimizer state per replica; inputs per
+    /// microbatch) in host memory, as a framework would before training.
+    pub fn new(
+        topo: &'a Topology,
+        model: &'a ModelSpec,
+        plan: &'a ExecutionPlan,
+    ) -> Result<Self, ExecError> {
+        Self::with_iterations(topo, model, plan, 1)
+    }
+
+    /// Like [`SimExecutor::new`] but replays the plan `iterations` times
+    /// back-to-back (fresh inputs and transients each iteration, shared
+    /// persistent state). Consecutive iterations pipeline across GPUs,
+    /// so the summary's totals divided by `iterations` approach the
+    /// steady-state per-iteration figures without cold-start edges.
+    pub fn with_iterations(
+        topo: &'a Topology,
+        model: &'a ModelSpec,
+        plan: &'a ExecutionPlan,
+        iterations: u32,
+    ) -> Result<Self, ExecError> {
+        if iterations == 0 {
+            return Err(ExecError::Plan("iterations must be positive".to_string()));
+        }
+        plan.validate().map_err(ExecError::Plan)?;
+        if plan.queues.len() > topo.num_gpus() {
+            return Err(ExecError::Plan(format!(
+                "plan uses {} GPUs, topology has {}",
+                plan.queues.len(),
+                topo.num_gpus()
+            )));
+        }
+        let sim = Simulator::new(topo);
+        let mut mm = MemoryManager::new(
+            (0..topo.num_gpus())
+                .map(|g| topo.gpu(g).map(|s| s.mem_bytes))
+                .collect::<Result<Vec<_>, _>>()?,
+        );
+        let cfg = plan.graph.config();
+        let mut ids = HashMap::new();
+        // Persistent per-replica state.
+        for r in 0..plan.replicas {
+            for l in 0..model.layers.len() {
+                for rf in [
+                    TensorRef::Weight { layer: l },
+                    TensorRef::Grad { layer: l },
+                    TensorRef::OptState { layer: l },
+                ] {
+                    let bytes = rf.bytes(model, cfg.ubatch_size, cfg.opt_slots);
+                    let id = mm.register_on_host(name_of(r, rf), bytes, rf.class());
+                    ids.insert((0, r, rf), id);
+                }
+            }
+            for u in 0..cfg.microbatches {
+                for it in 0..iterations {
+                    let rf = TensorRef::Input { ubatch: u };
+                    let bytes = rf.bytes(model, cfg.ubatch_size, cfg.opt_slots);
+                    let id = mm.register_on_host(name_of(r, rf), bytes, rf.class());
+                    ids.insert((it, r, rf), id);
+                }
+            }
+        }
+        let policy: Box<dyn EvictionPolicy> = match plan.scheme.policy {
+            PolicyKind::Lru => Box::new(Lru),
+            PolicyKind::NextUseAware => Box::new(NextUseAware),
+        };
+        let gpus = plan
+            .queues
+            .iter()
+            .map(|q| GpuState {
+                queue: (0..iterations)
+                    .flat_map(|it| {
+                        q.iter().enumerate().map(move |(i, item)| {
+                            ((it as u64) * q.len() as u64 + i as u64, it, *item)
+                        })
+                    })
+                    .collect(),
+                step: None,
+                prefetch: None,
+            })
+            .collect();
+        // Future-use table for next-use-aware eviction.
+        let mut next_use: HashMap<Key, VecDeque<u64>> = HashMap::new();
+        for q in &plan.queues {
+            for it in 0..iterations {
+                for (i, item) in q.iter().enumerate() {
+                    let seq = (it as u64) * q.len() as u64 + i as u64;
+                    for key in item_keys(plan, it, *item) {
+                        next_use.entry(key).or_default().push_back(seq);
+                    }
+                }
+            }
+        }
+        Ok(SimExecutor {
+            topo,
+            model,
+            plan,
+            sim,
+            mm,
+            policy,
+            ids,
+            gpus,
+            done: HashSet::new(),
+            transfers: HashMap::new(),
+            computes: HashMap::new(),
+            next_compute_tag: 0,
+            next_step_id: 0,
+            collectives: HashMap::new(),
+            trace: Trace::new(plan.name.clone()),
+            next_use,
+            iterations,
+        })
+    }
+
+    /// Runs the plan to completion; returns the run summary and trace.
+    pub fn run(mut self) -> Result<(RunSummary, Trace), ExecError> {
+        for g in 0..self.gpus.len() {
+            self.advance(g)?;
+        }
+        while let Some((_, completion)) = self.sim.next() {
+            self.handle(completion)?;
+            for g in 0..self.gpus.len() {
+                self.advance(g)?;
+            }
+        }
+        // Everything must have drained.
+        let mut stuck = Vec::new();
+        for (g, st) in self.gpus.iter().enumerate() {
+            if st.step.is_some() || !st.queue.is_empty() {
+                let detail = st
+                    .step
+                    .as_ref()
+                    .map(|s| {
+                        let front = s.targets.front().map(|t| {
+                            let key = match t {
+                                Target::Input(k) | Target::Alloc(k) => *k,
+                            };
+                            let res = self
+                                .ids
+                                .get(&key)
+                                .and_then(|id| self.mm.info(*id).ok())
+                                .map(|i| format!("{:?} pinned={}", i.residency, i.pinned))
+                                .unwrap_or_else(|| "unmaterialised".to_string());
+                            format!("front target {t:?} [{res}]")
+                        });
+                        format!(
+                            "{:?} inflight={:?} {}",
+                            s.item,
+                            s.inflight,
+                            front.unwrap_or_default()
+                        )
+                    })
+                    .unwrap_or_default();
+                stuck.push(format!("gpu{g}: {} queued, current={detail}", st.queue.len()));
+            }
+        }
+        if !stuck.is_empty() {
+            return Err(ExecError::Stuck(stuck.join("; ")));
+        }
+        self.flush_dirty_state()?;
+        let n = self.gpus.len();
+        let summary = RunSummary {
+            name: self.plan.name.clone(),
+            sim_secs: self.sim.now(),
+            samples: self.plan.samples_per_iteration * self.iterations as u64,
+            swap_in_bytes: (0..n)
+                .map(|g| self.mm.stats().device_total(g, harmony_memory::Direction::In))
+                .collect(),
+            swap_out_bytes: (0..n)
+                .map(|g| self.mm.stats().device_total(g, harmony_memory::Direction::Out))
+                .collect(),
+            p2p_bytes: self.mm.stats().p2p_bytes,
+            peak_mem_bytes: (0..n)
+                .map(|g| self.mm.peak_used(g).unwrap_or(0))
+                .collect(),
+            demand_bytes: self.plan.demand_bytes.clone(),
+            swap_by_class: [
+                harmony_memory::TensorClass::Weight,
+                harmony_memory::TensorClass::Grad,
+                harmony_memory::TensorClass::OptState,
+                harmony_memory::TensorClass::Activation,
+                harmony_memory::TensorClass::Stash,
+                harmony_memory::TensorClass::Workspace,
+            ]
+            .iter()
+            .map(|c| (c.to_string(), self.mm.stats().class_total(*c)))
+            .collect(),
+            channel_busy_secs: self
+                .topo
+                .channels()
+                .iter()
+                .map(|c| {
+                    (
+                        c.name.clone(),
+                        self.sim.stats().channel_busy_secs[c.id],
+                    )
+                })
+                .collect(),
+        };
+        Ok((summary, self.trace))
+    }
+
+    /// Writes back all dirty device-resident persistent state (updated
+    /// weights, reset gradient buffers, optimizer state) at the end of the
+    /// iteration — checkpoint semantics. Without this, whichever tensors
+    /// happen to still be resident when the run ends would be missing from
+    /// the measured swap volume, making runs incomparable to the
+    /// per-iteration analytical model. Clean tensors flush for free under
+    /// either scheme (their host copy is already valid).
+    fn flush_dirty_state(&mut self) -> Result<(), ExecError> {
+        let dirty: Vec<TensorId> = self
+            .ids
+            .values()
+            .copied()
+            .filter(|&id| {
+                self.mm
+                    .info(id)
+                    .map(|t| t.dirty && matches!(t.residency, Residency::OnDevice(_)))
+                    .unwrap_or(false)
+            })
+            .collect();
+        let mut sorted = dirty;
+        sorted.sort_unstable();
+        for id in sorted {
+            let label = self.mm.info(id)?.name.clone();
+            let (src, bytes) = self.mm.begin_swap_out(id)?;
+            let route = self.topo.route(Endpoint::Gpu(src), Endpoint::Host)?.to_vec();
+            let xfer = self.sim.start_transfer(&route, bytes, 0)?;
+            self.transfers.insert(
+                xfer,
+                PendingTransfer {
+                    purpose: Purpose::Flush { tensor: id },
+                    start: self.sim.now(),
+                    lane: src,
+                    kind: SpanKind::SwapOut,
+                    label,
+                },
+            );
+        }
+        while let Some((_, completion)) = self.sim.next() {
+            self.handle(completion)?;
+        }
+        Ok(())
+    }
+
+    fn deps_ready(&self, iter: u32, item: WorkItem) -> bool {
+        match item {
+            WorkItem::Task { replica, task } => self
+                .plan
+                .graph
+                .task(task)
+                .deps
+                .iter()
+                .all(|d| self.done.contains(&(iter, replica, *d))),
+            WorkItem::AllReduce { .. } => true, // queue order + barrier
+        }
+    }
+
+    fn build_targets(&self, gpu: usize, iter: u32, item: WorkItem) -> VecDeque<Target> {
+        let mut targets = VecDeque::new();
+        match item {
+            WorkItem::Task { replica, task } => {
+                let t = self.plan.graph.task(task);
+                let mut seen: Vec<TensorRef> = Vec::new();
+                for &rf in &t.reads {
+                    if !seen.contains(&rf) {
+                        seen.push(rf);
+                        targets.push_back(Target::Input(key_of(iter, replica, rf)));
+                    }
+                }
+                for &rf in &t.writes {
+                    if !seen.contains(&rf) {
+                        seen.push(rf);
+                        targets.push_back(Target::Alloc(key_of(iter, replica, rf)));
+                    }
+                }
+            }
+            WorkItem::AllReduce { pack } => {
+                let replica = gpu;
+                for l in self.plan.graph.packs()[pack].clone() {
+                    targets.push_back(Target::Input(key_of(
+                        iter,
+                        replica,
+                        TensorRef::Grad { layer: l },
+                    )));
+                }
+            }
+        }
+        targets
+    }
+
+    fn tensor_id(&self, key: Key) -> Result<TensorId, ExecError> {
+        self.ids
+            .get(&key)
+            .copied()
+            .ok_or_else(|| ExecError::Plan(format!("tensor {key:?} not materialised")))
+    }
+
+    fn update_next_use(&mut self, key: Key, seq: u64) -> Result<(), ExecError> {
+        if let Some(q) = self.next_use.get_mut(&key) {
+            while q.front().is_some_and(|&f| f <= seq) {
+                q.pop_front();
+            }
+            let hint = q.front().copied();
+            let id = self.tensor_id(key)?;
+            self.mm.set_next_use(id, hint)?;
+        }
+        Ok(())
+    }
+
+    fn step_mut(&mut self, gpu: usize, slot: Slot) -> Option<&mut Step> {
+        match slot {
+            Slot::Current => self.gpus[gpu].step.as_mut(),
+            Slot::Prefetch => self.gpus[gpu].prefetch.as_mut(),
+        }
+    }
+
+    fn step_ref(&self, gpu: usize, slot: Slot) -> Option<&Step> {
+        match slot {
+            Slot::Current => self.gpus[gpu].step.as_ref(),
+            Slot::Prefetch => self.gpus[gpu].prefetch.as_ref(),
+        }
+    }
+
+    /// Locates the slot currently holding step `step_id` on `gpu` (the
+    /// step may have been promoted from prefetch to current since the
+    /// transfer was issued).
+    fn slot_of(&self, gpu: usize, step_id: u64) -> Option<Slot> {
+        if self.gpus[gpu].step.as_ref().is_some_and(|s| s.id == step_id) {
+            Some(Slot::Current)
+        } else if self
+            .gpus[gpu]
+            .prefetch
+            .as_ref()
+            .is_some_and(|s| s.id == step_id)
+        {
+            Some(Slot::Prefetch)
+        } else {
+            None
+        }
+    }
+
+    /// Issues writebacks (or free drops) for eviction victims. Returns the
+    /// set of in-flight transfer ids (empty when every victim was dropped).
+    fn issue_evictions(
+        &mut self,
+        gpu: usize,
+        step_id: u64,
+        victims: &[TensorId],
+    ) -> Result<HashSet<TransferId>, ExecError> {
+        let mut set = HashSet::new();
+        for &v in victims {
+            if self.plan.scheme.clean_drop && self.mm.can_drop(v)? {
+                self.mm.drop_to_host(v)?;
+                continue;
+            }
+            let label = self.mm.info(v)?.name.clone();
+            let (src, bytes) = self.mm.begin_swap_out(v)?;
+            let route = self.topo.route(Endpoint::Gpu(src), Endpoint::Host)?.to_vec();
+            let xfer = self.sim.start_transfer(&route, bytes, 0)?;
+            self.transfers.insert(
+                xfer,
+                PendingTransfer {
+                    purpose: Purpose::Eviction {
+                        gpu,
+                        step: step_id,
+                        tensor: v,
+                    },
+                    start: self.sim.now(),
+                    lane: src,
+                    kind: SpanKind::SwapOut,
+                    label,
+                },
+            );
+            set.insert(xfer);
+        }
+        Ok(set)
+    }
+
+    /// Drives GPU `g` as far as possible without waiting on events.
+    /// Single pass: every exit either blocks on a simulator event (whose
+    /// completion re-invokes `advance`) or submits work.
+    fn advance(&mut self, g: usize) -> Result<(), ExecError> {
+        {
+            // Pop a new item if idle.
+            if self.gpus[g].step.is_none() {
+                // A prefetched step becomes current the moment the slot
+                // frees up.
+                if let Some(p) = self.gpus[g].prefetch.take() {
+                    self.gpus[g].step = Some(p);
+                } else {
+                    let Some((seq, iter, item)) = self.gpus[g].queue.pop_front() else {
+                        return Ok(());
+                    };
+                    let id = self.next_step_id;
+                    self.next_step_id += 1;
+                    self.gpus[g].step = Some(Step {
+                        id,
+                        seq,
+                        iter,
+                        item,
+                        targets: VecDeque::new(),
+                        targets_built: false,
+                        pinned: Vec::new(),
+                        inflight: InFlight::Idle,
+                    });
+                }
+            }
+            let step = self.gpus[g].step.as_ref().expect("just ensured");
+            if matches!(step.inflight, InFlight::Computing) {
+                // Overlap: drive the next item's fetches while computing.
+                self.try_prefetch(g)?;
+                return Ok(());
+            }
+            if !matches!(step.inflight, InFlight::Idle) {
+                return Ok(()); // waiting on an event
+            }
+            let (item, iter) = (step.item, step.iter);
+            if !step.targets_built {
+                if !self.deps_ready(iter, item) {
+                    return Ok(());
+                }
+                let targets = self.build_targets(g, iter, item);
+                let step = self.gpus[g].step.as_mut().expect("exists");
+                step.targets = targets;
+                step.targets_built = true;
+            }
+            // Process fetch targets until blocked or done.
+            if self.process_targets(g, Slot::Current)? {
+                // Blocked on a transfer; still try to overlap nothing —
+                // fetches of the current step have priority.
+                return Ok(());
+            }
+            let step = self.gpus[g].step.as_ref().expect("exists");
+            if !step.targets.is_empty() {
+                // Stalled (tensor in flight elsewhere); retry on next event.
+                return Ok(());
+            }
+            // All tensors resident and pinned: run.
+            match item {
+                WorkItem::Task { replica, task } => {
+                    self.start_compute(g, replica, task)?;
+                    // Kick off the prefetch for the overlapped window.
+                    self.try_prefetch(g)?;
+                    Ok(())
+                }
+                WorkItem::AllReduce { pack } => {
+                    self.arrive_collective(g, iter, pack)?;
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Starts or continues prefetching the next queue item while the
+    /// current step computes. No-op unless the scheme enables prefetch.
+    fn try_prefetch(&mut self, g: usize) -> Result<(), ExecError> {
+        if !self.plan.scheme.prefetch {
+            return Ok(());
+        }
+        if self.gpus[g].prefetch.is_none() {
+            // Only prefetch plain tasks whose dependencies are already
+            // satisfied; collectives are barriers and must not be entered
+            // early.
+            let Some(&(_, iter, item)) = self.gpus[g].queue.front() else {
+                return Ok(());
+            };
+            if matches!(item, WorkItem::AllReduce { .. }) || !self.deps_ready(iter, item) {
+                return Ok(());
+            }
+            let (seq, iter, item) = self.gpus[g].queue.pop_front().expect("peeked");
+            let targets = self.build_targets(g, iter, item);
+            let id = self.next_step_id;
+            self.next_step_id += 1;
+            self.gpus[g].prefetch = Some(Step {
+                id,
+                seq,
+                iter,
+                item,
+                targets,
+                targets_built: true,
+                pinned: Vec::new(),
+                inflight: InFlight::Idle,
+            });
+        }
+        // Continue fetching if the prefetch slot is idle. Double-buffering
+        // is opportunistic: if the two working sets do not fit together,
+        // cancel the prefetch and fall back to serial fetching rather than
+        // failing the run — the memory cost of prefetch is exactly the
+        // trade-off under study (§4).
+        if matches!(
+            self.gpus[g].prefetch.as_ref().map(|s| &s.inflight),
+            Some(InFlight::Idle)
+        ) {
+            match self.process_targets(g, Slot::Prefetch) {
+                Ok(_) => {}
+                Err(ExecError::Mem(MemError::InsufficientMemory { .. })) => {
+                    self.cancel_prefetch(g)?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Abandons an in-progress prefetch: releases its pins and returns its
+    /// work item to the head of the queue (no transfers can be in flight —
+    /// cancellation only happens from the synchronous Idle state).
+    fn cancel_prefetch(&mut self, g: usize) -> Result<(), ExecError> {
+        if let Some(step) = self.gpus[g].prefetch.take() {
+            debug_assert!(matches!(step.inflight, InFlight::Idle));
+            for id in step.pinned {
+                self.mm.unpin(id)?;
+            }
+            self.gpus[g].queue.push_front((step.seq, step.iter, step.item));
+        }
+        Ok(())
+    }
+
+    /// Processes fetch targets for a step slot of GPU `g`. Returns `true`
+    /// if an async operation was issued (caller must wait), `false` if the
+    /// front target could not progress (stall) or targets are exhausted.
+    fn process_targets(&mut self, g: usize, slot: Slot) -> Result<bool, ExecError> {
+        loop {
+            let Some(step) = self.step_ref(g, slot) else {
+                return Ok(false);
+            };
+            let (seq, step_id) = (step.seq, step.id);
+            let Some(front) = step.targets.front() else {
+                return Ok(false);
+            };
+            match *front {
+                Target::Input(key) => {
+                    let id = self.tensor_id(key)?;
+                    match self.mm.info(id)?.residency {
+                        Residency::OnDevice(d) if d == g => {
+                            self.mm.touch(id)?;
+                            self.mm.pin(id)?;
+                            self.update_next_use(key, seq)?;
+                            let step = self.step_mut(g, slot).expect("exists");
+                            step.pinned.push(id);
+                            step.targets.pop_front();
+                            continue;
+                        }
+                        Residency::OnDevice(src) => {
+                            // Needs to come from a peer GPU.
+                            let plan = self.mm.plan_fetch(id, g, self.policy.as_ref())?;
+                            let evs = self.issue_evictions(g, step_id, &plan.evictions)?;
+                            if !evs.is_empty() {
+                                self.step_mut(g, slot).expect("exists").inflight =
+                                    InFlight::Evicting(evs);
+                                return Ok(true);
+                            }
+                            if self.plan.scheme.p2p {
+                                match self.mm.begin_p2p(id, g) {
+                                    Ok((_, bytes)) => {
+                                        let route = self
+                                            .topo
+                                            .route(Endpoint::Gpu(src), Endpoint::Gpu(g))?
+                                            .to_vec();
+                                        let label = self.mm.info(id)?.name.clone();
+                                        let xfer = self.sim.start_transfer(&route, bytes, 0)?;
+                                        self.transfers.insert(
+                                            xfer,
+                                            PendingTransfer {
+                                                purpose: Purpose::Move {
+                                                    gpu: g,
+                                                    step: step_id,
+                                                    tensor: id,
+                                                },
+                                                start: self.sim.now(),
+                                                lane: g,
+                                                kind: SpanKind::P2p,
+                                                label,
+                                            },
+                                        );
+                                        self.step_mut(g, slot).expect("exists").inflight =
+                                            InFlight::Moving;
+                                        return Ok(true);
+                                    }
+                                    // Pinned on the peer or racing: stall.
+                                    Err(MemError::InvalidState { .. }) => return Ok(false),
+                                    Err(e) => return Err(e.into()),
+                                }
+                            }
+                            // No p2p: bounce via host — swap it out of the
+                            // peer first (§2: "only CPU-GPU swaps").
+                            match self.mm.begin_swap_out(id) {
+                                Ok((src, bytes)) => {
+                                    let route = self
+                                        .topo
+                                        .route(Endpoint::Gpu(src), Endpoint::Host)?
+                                        .to_vec();
+                                    let label = self.mm.info(id)?.name.clone();
+                                    let xfer = self.sim.start_transfer(&route, bytes, 0)?;
+                                    self.transfers.insert(
+                                        xfer,
+                                        PendingTransfer {
+                                            purpose: Purpose::Demote {
+                                                gpu: g,
+                                                step: step_id,
+                                                tensor: id,
+                                            },
+                                            start: self.sim.now(),
+                                            lane: src,
+                                            kind: SpanKind::SwapOut,
+                                            label,
+                                        },
+                                    );
+                                    self.step_mut(g, slot).expect("exists").inflight =
+                                        InFlight::WaitDemote;
+                                    return Ok(true);
+                                }
+                                Err(MemError::InvalidState { .. }) => return Ok(false),
+                                Err(e) => return Err(e.into()),
+                            }
+                        }
+                        Residency::OnHost => {
+                            let plan = self.mm.plan_fetch(id, g, self.policy.as_ref())?;
+                            let evs = self.issue_evictions(g, step_id, &plan.evictions)?;
+                            if !evs.is_empty() {
+                                self.step_mut(g, slot).expect("exists").inflight =
+                                    InFlight::Evicting(evs);
+                                return Ok(true);
+                            }
+                            let bytes = self.mm.begin_swap_in(id, g)?;
+                            let route =
+                                self.topo.route(Endpoint::Host, Endpoint::Gpu(g))?.to_vec();
+                            let label = self.mm.info(id)?.name.clone();
+                            let xfer = self.sim.start_transfer(&route, bytes, 0)?;
+                            self.transfers.insert(
+                                xfer,
+                                PendingTransfer {
+                                    purpose: Purpose::Move {
+                                        gpu: g,
+                                        step: step_id,
+                                        tensor: id,
+                                    },
+                                    start: self.sim.now(),
+                                    lane: g,
+                                    kind: SpanKind::SwapIn,
+                                    label,
+                                },
+                            );
+                            self.step_mut(g, slot).expect("exists").inflight = InFlight::Moving;
+                            return Ok(true);
+                        }
+                        // In flight somewhere: stall until it settles.
+                        Residency::MovingToDevice { .. } | Residency::MovingToHost { .. } => {
+                            return Ok(false)
+                        }
+                        Residency::Dead => {
+                            return Err(ExecError::Plan(format!(
+                                "task needs dead tensor {}",
+                                self.mm.info(id)?.name
+                            )))
+                        }
+                    }
+                }
+                Target::Alloc(key) => {
+                    // Idempotence: a cancelled prefetch may already have
+                    // allocated this output. If a live tensor exists for
+                    // the key, fetch it like an input instead of leaking a
+                    // second allocation.
+                    let existing_alive = self.ids.get(&key).is_some_and(|&id| {
+                        self.mm
+                            .info(id)
+                            .is_ok_and(|i| !matches!(i.residency, Residency::Dead))
+                    });
+                    if existing_alive {
+                        let step = self.step_mut(g, slot).expect("exists");
+                        *step.targets.front_mut().expect("checked") = Target::Input(key);
+                        continue;
+                    }
+                    let cfg = self.plan.graph.config();
+                    let bytes = key.2.bytes(self.model, cfg.ubatch_size, cfg.opt_slots);
+                    if self.mm.free_bytes(g)? < bytes {
+                        let victims = self.mm.make_room(g, bytes, self.policy.as_ref())?;
+                        let evs = self.issue_evictions(g, step_id, &victims)?;
+                        if !evs.is_empty() {
+                            self.step_mut(g, slot).expect("exists").inflight =
+                                InFlight::Evicting(evs);
+                            return Ok(true);
+                        }
+                        // All victims dropped instantly; room is free now.
+                    }
+                    let id = self.mm.alloc_on_device(
+                        name_of(key.1, key.2),
+                        bytes,
+                        key.2.class(),
+                        g,
+                    )?;
+                    self.ids.insert(key, id);
+                    self.mm.pin(id)?;
+                    self.update_next_use(key, seq)?;
+                    let step = self.step_mut(g, slot).expect("exists");
+                    step.pinned.push(id);
+                    step.targets.pop_front();
+                    continue;
+                }
+            }
+        }
+    }
+
+    fn start_compute(&mut self, g: usize, replica: usize, task: TaskId) -> Result<(), ExecError> {
+        let t = self.plan.graph.task(task);
+        let secs = t.flops as f64 / self.topo.gpu(g)?.flops;
+        let tag = self.next_compute_tag;
+        self.next_compute_tag += 1;
+        self.computes.insert(
+            tag,
+            ComputeRec {
+                start: self.sim.now(),
+                label: task_label(replica, t.kind),
+            },
+        );
+        self.sim.submit_compute(g, secs, tag)?;
+        self.gpus[g].step.as_mut().expect("exists").inflight = InFlight::Computing;
+        Ok(())
+    }
+
+    fn arrive_collective(&mut self, g: usize, iter: u32, pack: usize) -> Result<(), ExecError> {
+        self.gpus[g].step.as_mut().expect("exists").inflight = InFlight::Collective;
+        let n = self.gpus.len();
+        let state = self.collectives.entry((iter, pack)).or_default();
+        state.arrived.insert(g);
+        if state.arrived.len() < n {
+            return Ok(());
+        }
+        // Everyone is here: issue one ring hop per GPU of 2(N−1)/N · |dW|.
+        let grad_bytes: u64 = self.plan.graph.packs()[pack]
+            .clone()
+            .map(|l| self.model.layers[l].grad_bytes())
+            .sum();
+        let ring_bytes = 2 * (n as u64 - 1) * grad_bytes / n as u64;
+        for src in 0..n {
+            let dst = (src + 1) % n;
+            let route = self
+                .topo
+                .route(Endpoint::Gpu(src), Endpoint::Gpu(dst))?
+                .to_vec();
+            let xfer = self.sim.start_transfer(&route, ring_bytes, 0)?;
+            self.transfers.insert(
+                xfer,
+                PendingTransfer {
+                    purpose: Purpose::Collective { iter, pack },
+                    start: self.sim.now(),
+                    lane: src,
+                    kind: SpanKind::Collective,
+                    label: format!("allreduce p{pack} i{iter}"),
+                },
+            );
+            self.collectives
+                .get_mut(&(iter, pack))
+                .expect("just inserted")
+                .outstanding
+                .insert(xfer);
+        }
+        Ok(())
+    }
+
+    fn finish_collective(&mut self, iter: u32, pack: usize) -> Result<(), ExecError> {
+        self.collectives.remove(&(iter, pack));
+        for g in 0..self.gpus.len() {
+            let step = self.gpus[g].step.take().ok_or_else(|| {
+                ExecError::Plan(format!("gpu{g} has no step at collective end"))
+            })?;
+            match step.item {
+                WorkItem::AllReduce { pack: p } if p == pack => {}
+                other => {
+                    return Err(ExecError::Plan(format!(
+                        "gpu{g} at {other:?} during allreduce {pack}"
+                    )))
+                }
+            }
+            for id in step.pinned {
+                self.mm.unpin(id)?;
+                // AllReduce rewrites the gradient buffers.
+                self.mm.mark_dirty(id)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn finish_task(&mut self, g: usize) -> Result<(), ExecError> {
+        let step = self
+            .gpus[g]
+            .step
+            .take()
+            .ok_or_else(|| ExecError::Plan(format!("gpu{g} compute done with no step")))?;
+        let WorkItem::Task { replica, task } = step.item else {
+            return Err(ExecError::Plan(format!(
+                "gpu{g} compute completion for non-task item"
+            )));
+        };
+        for id in &step.pinned {
+            self.mm.unpin(*id)?;
+        }
+        let t = self.plan.graph.task(task);
+        for &rf in &t.writes {
+            let id = self.tensor_id(key_of(step.iter, replica, rf))?;
+            self.mm.mark_dirty(id)?;
+        }
+        for &rf in &t.frees {
+            let id = self.tensor_id(key_of(step.iter, replica, rf))?;
+            self.mm.free(id)?;
+        }
+        self.done.insert((step.iter, replica, task));
+        Ok(())
+    }
+
+    fn handle(&mut self, completion: Completion) -> Result<(), ExecError> {
+        match completion {
+            Completion::Compute { gpu, tag } => {
+                let rec = self
+                    .computes
+                    .remove(&tag)
+                    .ok_or_else(|| ExecError::Plan(format!("unknown compute tag {tag}")))?;
+                self.trace.record(
+                    rec.start,
+                    self.sim.now(),
+                    Some(gpu),
+                    SpanKind::Compute,
+                    rec.label,
+                );
+                self.finish_task(gpu)?;
+            }
+            Completion::Transfer { id, .. } => {
+                let pt = self
+                    .transfers
+                    .remove(&id)
+                    .ok_or_else(|| ExecError::Plan(format!("unknown transfer {id}")))?;
+                self.trace
+                    .record(pt.start, self.sim.now(), Some(pt.lane), pt.kind, pt.label);
+                match pt.purpose {
+                    Purpose::Eviction { gpu, step, tensor } => {
+                        self.mm.finish_swap_out(tensor)?;
+                        let slot = self.slot_of(gpu, step).ok_or_else(|| {
+                            ExecError::Plan(format!("gpu{gpu} eviction for missing step"))
+                        })?;
+                        let s = self.step_mut(gpu, slot).expect("slot located");
+                        if let InFlight::Evicting(set) = &mut s.inflight {
+                            set.remove(&id);
+                            if set.is_empty() {
+                                s.inflight = InFlight::Idle;
+                            }
+                        }
+                    }
+                    Purpose::Demote { gpu, step, tensor } => {
+                        self.mm.finish_swap_out(tensor)?;
+                        let slot = self.slot_of(gpu, step).ok_or_else(|| {
+                            ExecError::Plan(format!("gpu{gpu} demote for missing step"))
+                        })?;
+                        let s = self.step_mut(gpu, slot).expect("slot located");
+                        if matches!(s.inflight, InFlight::WaitDemote) {
+                            s.inflight = InFlight::Idle;
+                        }
+                    }
+                    Purpose::Move { gpu, step, tensor } => {
+                        self.mm.finish_move_to_device(tensor)?;
+                        self.mm.pin(tensor)?;
+                        let slot = self.slot_of(gpu, step).ok_or_else(|| {
+                            ExecError::Plan(format!("gpu{gpu} move for missing step"))
+                        })?;
+                        let s = self.step_mut(gpu, slot).expect("slot located");
+                        s.pinned.push(tensor);
+                        s.targets.pop_front();
+                        s.inflight = InFlight::Idle;
+                    }
+                    Purpose::Collective { iter, pack } => {
+                        let state = self.collectives.get_mut(&(iter, pack)).ok_or_else(|| {
+                            ExecError::Plan(format!("unknown collective {pack}@{iter}"))
+                        })?;
+                        state.outstanding.remove(&id);
+                        if state.outstanding.is_empty() && state.arrived.len() == self.gpus.len()
+                        {
+                            self.finish_collective(iter, pack)?;
+                        }
+                    }
+                    Purpose::Flush { tensor } => {
+                        self.mm.finish_swap_out(tensor)?;
+                    }
+                }
+            }
+            Completion::Timer { .. } => {}
+        }
+        Ok(())
+    }
+}
+
+/// Tensor keys an item touches during iteration `iter` (for the
+/// future-use table).
+fn item_keys(plan: &ExecutionPlan, iter: u32, item: WorkItem) -> Vec<Key> {
+    match item {
+        WorkItem::Task { replica, task } => plan
+            .graph
+            .task(task)
+            .touched()
+            .into_iter()
+            .map(|rf| key_of(iter, replica, rf))
+            .collect(),
+        WorkItem::AllReduce { pack } => plan.graph.packs()[pack]
+            .clone()
+            .flat_map(|l| {
+                (0..plan.replicas)
+                    .map(move |r| key_of(iter, r, TensorRef::Grad { layer: l }))
+            })
+            .collect(),
+    }
+}
+
+fn name_of(replica: usize, rf: TensorRef) -> String {
+    match rf {
+        TensorRef::Weight { layer } => format!("r{replica}.L{layer}.W"),
+        TensorRef::Grad { layer } => format!("r{replica}.L{layer}.dW"),
+        TensorRef::OptState { layer } => format!("r{replica}.L{layer}.K"),
+        TensorRef::Activation { layer, ubatch } => format!("r{replica}.L{layer}.Y.u{ubatch}"),
+        TensorRef::ActGrad { layer, ubatch } => format!("r{replica}.L{layer}.dY.u{ubatch}"),
+        TensorRef::Stash { layer, ubatch } => format!("r{replica}.L{layer}.stash.u{ubatch}"),
+        TensorRef::Input { ubatch } => format!("r{replica}.input.u{ubatch}"),
+    }
+}
+
+fn task_label(replica: usize, kind: harmony_taskgraph::TaskKind) -> String {
+    use harmony_taskgraph::TaskKind::*;
+    match kind {
+        Forward { pack, ubatch } => format!("F p{pack} u{ubatch} r{replica}"),
+        Loss { ubatch } => format!("Loss u{ubatch} r{replica}"),
+        Backward { pack, ubatch } => format!("B p{pack} u{ubatch} r{replica}"),
+        Update { pack } => format!("U p{pack} r{replica}"),
+    }
+}

@@ -1,0 +1,192 @@
+//! The Performance Tuner (paper §3, Fig 3): profile-guided search over the
+//! "memory–performance tango" (§4) — pack size × microbatch count.
+//!
+//! The paper leaves the policy open ("a reinforcement learning agent can
+//! be used"); this implementation does what its Fig 3 requires of the
+//! component: profile candidate configurations on the runtime (here, the
+//! simulator) and feed the best one back to the Task Decomposer and
+//! Scheduler. The search is an exhaustive sweep over a small candidate
+//! grid — the same profiling loop an RL agent would drive, with a
+//! deterministic selection rule.
+
+use harmony_models::ModelSpec;
+use harmony_topology::Topology;
+use harmony_trace::summary::RunSummary;
+
+use crate::config::WorkloadConfig;
+use crate::exec::{ExecError, SimExecutor};
+use crate::plan::ExecutionPlan;
+
+/// One profiled configuration.
+#[derive(Debug, Clone)]
+pub struct TunePoint {
+    /// Layers per pack.
+    pub pack_size: usize,
+    /// Microbatches per GPU.
+    pub microbatches: usize,
+    /// Measured summary (None if the configuration was infeasible, e.g. a
+    /// pack's working set exceeded device memory).
+    pub summary: Option<RunSummary>,
+}
+
+impl TunePoint {
+    /// Throughput of this point (0 for infeasible points).
+    pub fn throughput(&self) -> f64 {
+        self.summary.as_ref().map_or(0.0, RunSummary::throughput)
+    }
+}
+
+/// Result of a tuning sweep.
+#[derive(Debug, Clone)]
+pub struct TuneResult {
+    /// All profiled points, in sweep order.
+    pub points: Vec<TunePoint>,
+    /// Index of the best feasible point (highest throughput), if any.
+    pub best: Option<usize>,
+}
+
+impl TuneResult {
+    /// The best point, if any configuration was feasible.
+    pub fn best_point(&self) -> Option<&TunePoint> {
+        self.best.map(|i| &self.points[i])
+    }
+}
+
+/// Profiles `planner(workload)` across the candidate grid and returns every
+/// measurement plus the argmax. Infeasible configurations (executor errors)
+/// are recorded with `summary: None` rather than aborting the sweep — the
+/// tango's cliff edge is part of the result.
+pub fn tune<F>(
+    model: &ModelSpec,
+    topo: &Topology,
+    base: &WorkloadConfig,
+    pack_sizes: &[usize],
+    microbatch_counts: &[usize],
+    mut planner: F,
+) -> TuneResult
+where
+    F: FnMut(&ModelSpec, &WorkloadConfig) -> Result<ExecutionPlan, String>,
+{
+    let mut points = Vec::new();
+    for &pack in pack_sizes {
+        for &m in microbatch_counts {
+            let w = WorkloadConfig {
+                pack_size: pack,
+                microbatches: m,
+                ..*base
+            };
+            let summary = planner(model, &w)
+                .map_err(ExecError::Plan)
+                .and_then(|plan| SimExecutor::new(topo, model, &plan)?.run())
+                .ok()
+                .map(|(s, _)| s);
+            points.push(TunePoint {
+                pack_size: pack,
+                microbatches: m,
+                summary,
+            });
+        }
+    }
+    let best = points
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.summary.is_some())
+        .max_by(|(_, a), (_, b)| {
+            a.throughput()
+                .partial_cmp(&b.throughput())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .map(|(i, _)| i);
+    TuneResult { points, best }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan_harmony_pp;
+    use harmony_models::{LayerClass, LayerSpec};
+    use harmony_topology::presets::{commodity_server, CommodityParams, GBPS};
+
+    fn model() -> ModelSpec {
+        ModelSpec {
+            name: "tuner-model".to_string(),
+            layers: (0..8)
+                .map(|i| LayerSpec {
+                    name: format!("L{i}"),
+                    class: LayerClass::Other,
+                    params: 4096,
+                    fwd_flops_per_sample: 8192,
+                    out_elems_per_sample: 64,
+                    extra_stash_elems_per_sample: 128,
+                    in_elems_per_sample: 64,
+                })
+                .collect(),
+            seq_len: 1,
+        }
+    }
+
+    fn topo(mem: u64) -> Topology {
+        commodity_server(CommodityParams {
+            num_gpus: 2,
+            gpus_per_switch: 2,
+            pcie_bw: GBPS,
+            host_uplink_bw: GBPS,
+            gpu_mem: mem,
+            gpu_flops: 1e9,
+        })
+        .unwrap()
+    }
+
+    fn base() -> WorkloadConfig {
+        WorkloadConfig {
+            microbatches: 2,
+            ubatch_size: 1,
+            pack_size: 1,
+            opt_slots: 2,
+            group_size: None,
+            recompute: false,
+        }
+    }
+
+    #[test]
+    fn tune_profiles_every_grid_point_and_picks_the_argmax() {
+        let m = model();
+        let t = topo(96 * 1024);
+        let result = tune(&m, &t, &base(), &[1, 2], &[1, 2], |m, w| {
+            plan_harmony_pp(m, 2, w).map_err(|e| e.to_string())
+        });
+        assert_eq!(result.points.len(), 4);
+        let best = result.best_point().expect("feasible points exist");
+        for p in &result.points {
+            assert!(best.throughput() >= p.throughput());
+        }
+    }
+
+    #[test]
+    fn infeasible_points_are_recorded_not_fatal() {
+        let m = model();
+        // Capacity below even a single-layer update working set: every
+        // point infeasible.
+        let t = topo(8 * 1024);
+        let result = tune(&m, &t, &base(), &[1, 4], &[1], |m, w| {
+            plan_harmony_pp(m, 2, w).map_err(|e| e.to_string())
+        });
+        assert_eq!(result.points.len(), 2);
+        assert!(result.points.iter().all(|p| p.summary.is_none()));
+        assert!(result.best.is_none());
+        assert!(result.best_point().is_none());
+    }
+
+    #[test]
+    fn mixed_feasibility_selects_among_feasible_only() {
+        let m = model();
+        // Packs of 8 layers exceed the 96 KiB device; packs of 1 fit.
+        let t = topo(96 * 1024);
+        let result = tune(&m, &t, &base(), &[1, 8], &[2], |m, w| {
+            plan_harmony_pp(m, 2, w).map_err(|e| e.to_string())
+        });
+        let feasible: Vec<bool> = result.points.iter().map(|p| p.summary.is_some()).collect();
+        assert_eq!(feasible, vec![true, false]);
+        assert_eq!(result.best, Some(0));
+    }
+}

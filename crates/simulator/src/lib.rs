@@ -1,0 +1,592 @@
+//! # harmony-simulator
+//!
+//! A deterministic discrete-event simulator of a multi-GPU server, the
+//! substrate on which Harmony's schedules are evaluated (substituting for
+//! the paper's physical 4×1080Ti testbed — see DESIGN.md §2).
+//!
+//! The engine models two resource classes:
+//!
+//! * **Compute streams** — one FIFO stream per GPU: a submitted kernel
+//!   occupies its GPU exclusively for its duration (the CUDA stream model
+//!   per device that frameworks use).
+//! * **Bandwidth channels** — directed links from `harmony-topology`.
+//!   Concurrent transfers sharing a channel receive a fair share of its
+//!   capacity; a transfer's instantaneous rate is its *bottleneck share*
+//!   `min_c (bw_c / active_c)` over the channels on its route. Rates are
+//!   recomputed whenever a transfer starts or completes (flow-level network
+//!   simulation). This is what exposes the paper's oversubscribed-host-link
+//!   collapse: four swapping GPUs each get a quarter of the uplink.
+//!
+//! The driver (a scheduler runtime) submits compute and transfers with
+//! opaque `tag`s and repeatedly calls [`Simulator::next`] to advance
+//! virtual time and receive completions — the structure of Harmony's
+//! *online* task-and-swap scheduler.
+//!
+//! Determinism: ties in the event queue are broken by submission sequence
+//! number; no wall-clock or randomness enters the engine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod stats;
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use harmony_topology::{ChannelId, Topology};
+
+pub use stats::SimStats;
+
+/// Virtual time in seconds.
+pub type SimTime = f64;
+
+/// Identifier of an in-flight transfer.
+pub type TransferId = u64;
+
+/// A completion delivered to the driver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Completion {
+    /// A compute kernel finished on `gpu`.
+    Compute {
+        /// GPU index.
+        gpu: usize,
+        /// Driver-supplied tag.
+        tag: u64,
+    },
+    /// A transfer finished.
+    Transfer {
+        /// Transfer id returned by [`Simulator::start_transfer`].
+        id: TransferId,
+        /// Driver-supplied tag.
+        tag: u64,
+    },
+    /// A timer fired.
+    Timer {
+        /// Driver-supplied tag.
+        tag: u64,
+    },
+}
+
+/// Simulator errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Referenced GPU does not exist.
+    UnknownGpu(usize),
+    /// Referenced channel does not exist.
+    UnknownChannel(ChannelId),
+    /// Negative or non-finite duration/byte count.
+    InvalidParameter(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::UnknownGpu(g) => write!(f, "unknown gpu {g}"),
+            SimError::UnknownChannel(c) => write!(f, "unknown channel {c}"),
+            SimError::InvalidParameter(m) => write!(f, "invalid parameter: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EventKind {
+    ComputeDone { gpu: usize, tag: u64 },
+    NetworkCheck { generation: u64 },
+    Timer { tag: u64 },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap: earlier time first, then lower seq.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Transfer {
+    id: TransferId,
+    tag: u64,
+    route: Vec<ChannelId>,
+    remaining: f64,
+    rate: f64,
+}
+
+#[derive(Debug, Default)]
+struct GpuStream {
+    busy: bool,
+    queue: VecDeque<(f64, u64)>, // (duration, tag)
+}
+
+/// The discrete-event engine. See module docs.
+#[derive(Debug)]
+pub struct Simulator {
+    now: SimTime,
+    seq: u64,
+    events: BinaryHeap<Event>,
+    streams: Vec<GpuStream>,
+    channel_bw: Vec<f64>,
+    transfers: HashMap<TransferId, Transfer>,
+    next_transfer_id: TransferId,
+    net_generation: u64,
+    last_net_update: SimTime,
+    stats: SimStats,
+}
+
+impl Simulator {
+    /// Creates a simulator over a topology's GPUs and channels.
+    pub fn new(topology: &Topology) -> Self {
+        Simulator {
+            now: 0.0,
+            seq: 0,
+            events: BinaryHeap::new(),
+            streams: (0..topology.num_gpus()).map(|_| GpuStream::default()).collect(),
+            channel_bw: topology.channels().iter().map(|c| c.bandwidth).collect(),
+            transfers: HashMap::new(),
+            next_transfer_id: 0,
+            net_generation: 0,
+            last_net_update: 0.0,
+            stats: SimStats::new(topology.num_gpus(), topology.channels().len()),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    fn push(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Event { time, seq, kind });
+    }
+
+    /// Submits a compute kernel of `secs` duration to `gpu`'s FIFO stream.
+    pub fn submit_compute(&mut self, gpu: usize, secs: f64, tag: u64) -> Result<(), SimError> {
+        if !(secs.is_finite() && secs >= 0.0) {
+            return Err(SimError::InvalidParameter(format!("duration {secs}")));
+        }
+        let stream = self
+            .streams
+            .get_mut(gpu)
+            .ok_or(SimError::UnknownGpu(gpu))?;
+        if stream.busy {
+            stream.queue.push_back((secs, tag));
+        } else {
+            stream.busy = true;
+            self.stats.gpu_busy_secs[gpu] += secs;
+            let t = self.now + secs;
+            self.push(t, EventKind::ComputeDone { gpu, tag });
+        }
+        Ok(())
+    }
+
+    /// Starts a transfer of `bytes` along `route` (ordered channels).
+    /// Returns its id; completion carries `tag`. A zero-byte transfer or an
+    /// empty route (same-device move) completes at the current time.
+    pub fn start_transfer(
+        &mut self,
+        route: &[ChannelId],
+        bytes: u64,
+        tag: u64,
+    ) -> Result<TransferId, SimError> {
+        for &c in route {
+            if c >= self.channel_bw.len() {
+                return Err(SimError::UnknownChannel(c));
+            }
+        }
+        let id = self.next_transfer_id;
+        self.next_transfer_id += 1;
+        if bytes == 0 || route.is_empty() {
+            // Completes "immediately": delivered through a timer event at
+            // the current time (tagged above IMMEDIATE_BIAS).
+            self.push(
+                self.now,
+                EventKind::Timer {
+                    tag: Self::immediate_tag(id),
+                },
+            );
+            self.transfers.insert(
+                id,
+                Transfer {
+                    id,
+                    tag,
+                    route: Vec::new(),
+                    remaining: 0.0,
+                    rate: 0.0,
+                },
+            );
+            return Ok(id);
+        }
+        self.advance_network_progress();
+        for &c in route {
+            self.stats.channel_bytes[c] += bytes;
+        }
+        self.transfers.insert(
+            id,
+            Transfer {
+                id,
+                tag,
+                route: route.to_vec(),
+                remaining: bytes as f64,
+                rate: 0.0,
+            },
+        );
+        self.recompute_rates_and_schedule();
+        Ok(id)
+    }
+
+    // Immediate (zero-byte) transfers are delivered through timer events
+    // with tags above this bias; real timer tags must stay below it.
+    const IMMEDIATE_BIAS: u64 = 1 << 62;
+
+    fn immediate_tag(id: TransferId) -> u64 {
+        Self::IMMEDIATE_BIAS + id
+    }
+
+    /// Schedules a timer at absolute time `at` (clamped to now).
+    /// `tag` must be below `2^62`.
+    pub fn set_timer(&mut self, at: SimTime, tag: u64) -> Result<(), SimError> {
+        if !at.is_finite() {
+            return Err(SimError::InvalidParameter(format!("time {at}")));
+        }
+        if tag >= Self::IMMEDIATE_BIAS {
+            return Err(SimError::InvalidParameter(format!("timer tag {tag} too large")));
+        }
+        let t = at.max(self.now);
+        self.push(t, EventKind::Timer { tag });
+        Ok(())
+    }
+
+    /// True if no events remain (all work delivered).
+    pub fn idle(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Advances remaining-byte counters of all active transfers to `now`.
+    fn advance_network_progress(&mut self) {
+        let dt = self.now - self.last_net_update;
+        if dt > 0.0 {
+            for t in self.transfers.values_mut() {
+                if !t.route.is_empty() {
+                    t.remaining = (t.remaining - t.rate * dt).max(0.0);
+                }
+            }
+            // Channel busy time: a channel is busy while any transfer uses it.
+            let mut busy: Vec<bool> = vec![false; self.channel_bw.len()];
+            for t in self.transfers.values() {
+                for &c in &t.route {
+                    busy[c] = true;
+                }
+            }
+            for (c, &b) in busy.iter().enumerate() {
+                if b {
+                    self.stats.channel_busy_secs[c] += dt;
+                }
+            }
+        }
+        self.last_net_update = self.now;
+    }
+
+    /// Recomputes fair-share rates and schedules the next network check.
+    fn recompute_rates_and_schedule(&mut self) {
+        self.net_generation += 1;
+        let generation = self.net_generation;
+        // Count active transfers per channel.
+        let mut active: Vec<u32> = vec![0; self.channel_bw.len()];
+        for t in self.transfers.values() {
+            for &c in &t.route {
+                active[c] += 1;
+            }
+        }
+        let mut earliest: Option<SimTime> = None;
+        for t in self.transfers.values_mut() {
+            if t.route.is_empty() {
+                continue;
+            }
+            t.rate = t
+                .route
+                .iter()
+                .map(|&c| self.channel_bw[c] / active[c].max(1) as f64)
+                .fold(f64::INFINITY, f64::min);
+            let eta = if t.rate > 0.0 {
+                self.now + t.remaining / t.rate
+            } else {
+                f64::INFINITY
+            };
+            earliest = Some(match earliest {
+                Some(e) => e.min(eta),
+                None => eta,
+            });
+        }
+        if let Some(e) = earliest {
+            if e.is_finite() {
+                self.push(e, EventKind::NetworkCheck { generation });
+            }
+        }
+    }
+
+    /// Advances virtual time to the next completion and returns it, or
+    /// `None` when no work remains.
+    ///
+    /// Named like — but deliberately not implementing — `Iterator::next`:
+    /// drivers interleave `next()` with new submissions, which an
+    /// `Iterator` cannot express.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<(SimTime, Completion)> {
+        while let Some(ev) = self.events.pop() {
+            debug_assert!(ev.time >= self.now - 1e-12, "time went backwards");
+            match ev.kind {
+                EventKind::ComputeDone { gpu, tag } => {
+                    self.now = self.now.max(ev.time);
+                    // Start next queued kernel, if any.
+                    let next = self.streams[gpu].queue.pop_front();
+                    match next {
+                        Some((secs, next_tag)) => {
+                            self.stats.gpu_busy_secs[gpu] += secs;
+                            let t = self.now + secs;
+                            self.push(t, EventKind::ComputeDone { gpu, tag: next_tag });
+                        }
+                        None => self.streams[gpu].busy = false,
+                    }
+                    return Some((self.now, Completion::Compute { gpu, tag }));
+                }
+                EventKind::Timer { tag } => {
+                    self.now = self.now.max(ev.time);
+                    if tag >= Self::IMMEDIATE_BIAS {
+                        let id = tag - Self::IMMEDIATE_BIAS;
+                        if let Some(t) = self.transfers.remove(&id) {
+                            return Some((self.now, Completion::Transfer { id, tag: t.tag }));
+                        }
+                        continue;
+                    }
+                    return Some((self.now, Completion::Timer { tag }));
+                }
+                EventKind::NetworkCheck { generation } => {
+                    if generation != self.net_generation {
+                        continue; // stale prediction
+                    }
+                    self.now = self.now.max(ev.time);
+                    self.advance_network_progress();
+                    // Complete exactly one finished transfer per event for
+                    // deterministic ordering (lowest id first). Transfers
+                    // carry whole bytes, so anything under half a byte is
+                    // floating-point residue.
+                    let done_id = self
+                        .transfers
+                        .values()
+                        .filter(|t| !t.route.is_empty() && t.remaining <= 0.5)
+                        .map(|t| t.id)
+                        .min();
+                    // Guard against fp stalls: this event fired at the
+                    // predicted completion time of *some* transfer, so if
+                    // none crossed the threshold (eta - now rounded to
+                    // zero), force the nearest-to-done transfer through —
+                    // otherwise the engine would respin this event forever.
+                    let done_id = done_id.or_else(|| {
+                        self.transfers
+                            .values()
+                            .filter(|t| !t.route.is_empty() && t.rate > 0.0)
+                            .min_by(|a, b| {
+                                (a.remaining / a.rate)
+                                    .partial_cmp(&(b.remaining / b.rate))
+                                    .unwrap_or(std::cmp::Ordering::Equal)
+                                    .then(a.id.cmp(&b.id))
+                            })
+                            .filter(|t| self.now + t.remaining / t.rate <= self.now)
+                            .map(|t| t.id)
+                    });
+                    match done_id {
+                        Some(id) => {
+                            let t = self.transfers.remove(&id).expect("id from scan");
+                            self.recompute_rates_and_schedule();
+                            return Some((self.now, Completion::Transfer { id, tag: t.tag }));
+                        }
+                        None => {
+                            // Rounding: nothing actually done; reschedule.
+                            self.recompute_rates_and_schedule();
+                            continue;
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_topology::presets::{commodity_4x1080ti, GBPS};
+    use harmony_topology::Endpoint;
+
+    fn sim() -> (Simulator, harmony_topology::Topology) {
+        let t = commodity_4x1080ti();
+        (Simulator::new(&t), t)
+    }
+
+    #[test]
+    fn compute_is_fifo_per_gpu() {
+        let (mut s, _) = sim();
+        s.submit_compute(0, 2.0, 1).unwrap();
+        s.submit_compute(0, 3.0, 2).unwrap();
+        s.submit_compute(1, 1.0, 3).unwrap();
+        let (t1, c1) = s.next().unwrap();
+        assert_eq!(c1, Completion::Compute { gpu: 1, tag: 3 });
+        assert!((t1 - 1.0).abs() < 1e-9);
+        let (t2, c2) = s.next().unwrap();
+        assert_eq!(c2, Completion::Compute { gpu: 0, tag: 1 });
+        assert!((t2 - 2.0).abs() < 1e-9);
+        let (t3, c3) = s.next().unwrap();
+        assert_eq!(c3, Completion::Compute { gpu: 0, tag: 2 });
+        assert!((t3 - 5.0).abs() < 1e-9, "queued kernel starts after first");
+        assert!(s.next().is_none());
+    }
+
+    #[test]
+    fn single_transfer_runs_at_bottleneck_rate() {
+        let (mut s, topo) = sim();
+        let route = topo.route(Endpoint::Gpu(0), Endpoint::Host).unwrap();
+        // 12 GB over a 12 GB/s path → 1 s.
+        s.start_transfer(route, (12.0 * GBPS) as u64, 7).unwrap();
+        let (t, c) = s.next().unwrap();
+        assert!(matches!(c, Completion::Transfer { tag: 7, .. }));
+        assert!((t - 1.0).abs() < 1e-6, "t = {t}");
+    }
+
+    #[test]
+    fn shared_uplink_halves_rates() {
+        let (mut s, topo) = sim();
+        let r0 = topo.route(Endpoint::Gpu(0), Endpoint::Host).unwrap().to_vec();
+        let r1 = topo.route(Endpoint::Gpu(1), Endpoint::Host).unwrap().to_vec();
+        // Two 12 GB swap-outs share the single 12 GB/s uplink → 2 s each.
+        s.start_transfer(&r0, (12.0 * GBPS) as u64, 1).unwrap();
+        s.start_transfer(&r1, (12.0 * GBPS) as u64, 2).unwrap();
+        let (t1, _) = s.next().unwrap();
+        let (t2, _) = s.next().unwrap();
+        assert!((t1 - 2.0).abs() < 1e-6, "t1 = {t1}");
+        assert!((t2 - 2.0).abs() < 1e-6, "t2 = {t2}");
+    }
+
+    #[test]
+    fn p2p_does_not_contend_with_host_swap() {
+        let (mut s, topo) = sim();
+        let host = topo.route(Endpoint::Gpu(0), Endpoint::Host).unwrap().to_vec();
+        let p2p = topo.route(Endpoint::Gpu(2), Endpoint::Gpu(3)).unwrap().to_vec();
+        s.start_transfer(&host, (12.0 * GBPS) as u64, 1).unwrap();
+        s.start_transfer(&p2p, (12.0 * GBPS) as u64, 2).unwrap();
+        // Disjoint channels → both finish at 1 s.
+        let (t1, _) = s.next().unwrap();
+        let (t2, _) = s.next().unwrap();
+        assert!((t1 - 1.0).abs() < 1e-6);
+        assert!((t2 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rates_rise_when_a_competitor_finishes() {
+        let (mut s, topo) = sim();
+        let r0 = topo.route(Endpoint::Gpu(0), Endpoint::Host).unwrap().to_vec();
+        let r1 = topo.route(Endpoint::Gpu(1), Endpoint::Host).unwrap().to_vec();
+        // 6 GB and 12 GB share the uplink: first finishes at 1 s (6 GB/s
+        // each); the second then speeds up: remaining 6 GB at 12 GB/s →
+        // total 1.5 s.
+        s.start_transfer(&r0, (6.0 * GBPS) as u64, 1).unwrap();
+        s.start_transfer(&r1, (12.0 * GBPS) as u64, 2).unwrap();
+        let (t1, c1) = s.next().unwrap();
+        assert!(matches!(c1, Completion::Transfer { tag: 1, .. }));
+        assert!((t1 - 1.0).abs() < 1e-6, "t1 = {t1}");
+        let (t2, c2) = s.next().unwrap();
+        assert!(matches!(c2, Completion::Transfer { tag: 2, .. }));
+        assert!((t2 - 1.5).abs() < 1e-6, "t2 = {t2}");
+    }
+
+    #[test]
+    fn zero_byte_transfer_completes_now() {
+        let (mut s, topo) = sim();
+        let route = topo.route(Endpoint::Gpu(0), Endpoint::Host).unwrap();
+        s.start_transfer(route, 0, 9).unwrap();
+        let (t, c) = s.next().unwrap();
+        assert_eq!(t, 0.0);
+        assert!(matches!(c, Completion::Transfer { tag: 9, .. }));
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let (mut s, _) = sim();
+        s.set_timer(5.0, 1).unwrap();
+        s.set_timer(2.0, 2).unwrap();
+        assert_eq!(s.next().unwrap().1, Completion::Timer { tag: 2 });
+        assert_eq!(s.next().unwrap().1, Completion::Timer { tag: 1 });
+        assert!(s.idle());
+    }
+
+    #[test]
+    fn invalid_params_are_rejected() {
+        let (mut s, _) = sim();
+        assert!(s.submit_compute(99, 1.0, 0).is_err());
+        assert!(s.submit_compute(0, f64::NAN, 0).is_err());
+        assert!(s.start_transfer(&[9999], 10, 0).is_err());
+        assert!(s.set_timer(f64::INFINITY, 0).is_err());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (mut s, topo) = sim();
+        let route = topo.route(Endpoint::Gpu(0), Endpoint::Host).unwrap().to_vec();
+        s.submit_compute(0, 2.0, 1).unwrap();
+        s.start_transfer(&route, (12.0 * GBPS) as u64, 2).unwrap();
+        while s.next().is_some() {}
+        assert!((s.stats().gpu_busy_secs[0] - 2.0).abs() < 1e-9);
+        let total_bytes: u64 = s.stats().channel_bytes.iter().sum();
+        assert_eq!(total_bytes, 2 * (12.0 * GBPS) as u64); // 2 channels on route
+    }
+
+    #[test]
+    fn determinism_same_script_same_trace() {
+        let run = || {
+            let topo = commodity_4x1080ti();
+            let mut s = Simulator::new(&topo);
+            for g in 0..4 {
+                s.submit_compute(g, 1.0 + g as f64 * 0.1, g as u64).unwrap();
+                let r = topo.route(Endpoint::Gpu(g), Endpoint::Host).unwrap().to_vec();
+                s.start_transfer(&r, 1_000_000_000 * (g as u64 + 1), 100 + g as u64)
+                    .unwrap();
+            }
+            let mut trace = Vec::new();
+            while let Some((t, c)) = s.next() {
+                trace.push((t.to_bits(), format!("{c:?}")));
+            }
+            trace
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,52 @@
+//! Simulation statistics.
+
+/// Aggregate counters maintained by the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimStats {
+    /// Seconds each GPU spent executing kernels.
+    pub gpu_busy_secs: Vec<f64>,
+    /// Bytes moved over each channel (per channel on every route hop).
+    pub channel_bytes: Vec<u64>,
+    /// Seconds each channel had at least one active transfer.
+    pub channel_busy_secs: Vec<f64>,
+}
+
+impl SimStats {
+    /// Creates zeroed stats for `gpus` devices and `channels` channels.
+    pub fn new(gpus: usize, channels: usize) -> Self {
+        SimStats {
+            gpu_busy_secs: vec![0.0; gpus],
+            channel_bytes: vec![0u64; channels],
+            channel_busy_secs: vec![0.0; channels],
+        }
+    }
+
+    /// Utilisation of GPU `g` over a horizon of `total_secs`.
+    pub fn gpu_utilisation(&self, g: usize, total_secs: f64) -> f64 {
+        if total_secs <= 0.0 {
+            return 0.0;
+        }
+        self.gpu_busy_secs.get(g).copied().unwrap_or(0.0) / total_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_zeroed() {
+        let s = SimStats::new(2, 3);
+        assert_eq!(s.gpu_busy_secs, vec![0.0, 0.0]);
+        assert_eq!(s.channel_bytes, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn utilisation_handles_edges() {
+        let mut s = SimStats::new(1, 0);
+        s.gpu_busy_secs[0] = 2.0;
+        assert_eq!(s.gpu_utilisation(0, 4.0), 0.5);
+        assert_eq!(s.gpu_utilisation(0, 0.0), 0.0);
+        assert_eq!(s.gpu_utilisation(9, 4.0), 0.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests on the discrete-event engine: conservation,
+//! bandwidth bounds, and determinism for arbitrary event mixes.
+
+use harmony_simulator::{Completion, Simulator};
+use harmony_topology::presets::{commodity_server, CommodityParams, GBPS};
+use harmony_topology::Endpoint;
+use proptest::prelude::*;
+
+fn topo(n: usize) -> harmony_topology::Topology {
+    commodity_server(CommodityParams {
+        num_gpus: n,
+        gpus_per_switch: n,
+        pcie_bw: 2.0 * GBPS,
+        host_uplink_bw: GBPS,
+        gpu_mem: 1 << 30,
+        gpu_flops: 1e12,
+    })
+    .expect("valid")
+}
+
+#[derive(Debug, Clone)]
+enum Job {
+    Compute { gpu: usize, millis: u16 },
+    ToHost { gpu: usize, mb: u16 },
+    FromHost { gpu: usize, mb: u16 },
+    P2p { src: usize, dst: usize, mb: u16 },
+}
+
+fn job_strategy(n: usize) -> impl Strategy<Value = Job> {
+    prop_oneof![
+        ((0..n), 1u16..200).prop_map(|(gpu, millis)| Job::Compute { gpu, millis }),
+        ((0..n), 1u16..64).prop_map(|(gpu, mb)| Job::ToHost { gpu, mb }),
+        ((0..n), 1u16..64).prop_map(|(gpu, mb)| Job::FromHost { gpu, mb }),
+        ((0..n), (0..n), 1u16..64).prop_map(|(src, dst, mb)| Job::P2p { src, dst, mb }),
+    ]
+}
+
+fn run(jobs: &[Job], n: usize) -> (Vec<(u64, String)>, f64, u64) {
+    let t = topo(n);
+    let mut sim = Simulator::new(&t);
+    let mut expected = 0usize;
+    let mut issued_bytes = 0u64;
+    for (i, job) in jobs.iter().enumerate() {
+        match *job {
+            Job::Compute { gpu, millis } => {
+                sim.submit_compute(gpu, millis as f64 / 1000.0, i as u64).unwrap();
+                expected += 1;
+            }
+            Job::ToHost { gpu, mb } => {
+                let route = t.route(Endpoint::Gpu(gpu), Endpoint::Host).unwrap().to_vec();
+                let b = mb as u64 * 1_000_000;
+                issued_bytes += b * route.len() as u64;
+                sim.start_transfer(&route, b, i as u64).unwrap();
+                expected += 1;
+            }
+            Job::FromHost { gpu, mb } => {
+                let route = t.route(Endpoint::Host, Endpoint::Gpu(gpu)).unwrap().to_vec();
+                let b = mb as u64 * 1_000_000;
+                issued_bytes += b * route.len() as u64;
+                sim.start_transfer(&route, b, i as u64).unwrap();
+                expected += 1;
+            }
+            Job::P2p { src, dst, mb } => {
+                if src != dst {
+                    let route = t.route(Endpoint::Gpu(src), Endpoint::Gpu(dst)).unwrap().to_vec();
+                    let b = mb as u64 * 1_000_000;
+                    issued_bytes += b * route.len() as u64;
+                    sim.start_transfer(&route, b, i as u64).unwrap();
+                    expected += 1;
+                }
+            }
+        }
+    }
+    let mut events = Vec::new();
+    let mut last_t = 0.0f64;
+    while let Some((t_now, c)) = sim.next() {
+        assert!(t_now >= last_t - 1e-9, "time went backwards");
+        last_t = t_now;
+        events.push((t_now.to_bits(), format!("{c:?}")));
+    }
+    assert_eq!(events.len(), expected, "every job completes exactly once");
+    let moved: u64 = sim.stats().channel_bytes.iter().sum();
+    assert_eq!(moved, issued_bytes, "byte conservation per channel hop");
+    (events, last_t, issued_bytes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_work_completes_and_is_deterministic(
+        jobs in prop::collection::vec(job_strategy(3), 1..40)
+    ) {
+        let a = run(&jobs, 3);
+        let b = run(&jobs, 3);
+        prop_assert_eq!(a.0, b.0, "identical scripts must replay identically");
+    }
+
+    #[test]
+    fn transfers_never_beat_zero_contention_time(
+        gpu in 0usize..3,
+        mb in 1u16..128,
+        extra in prop::collection::vec((0usize..3, 1u16..128), 0..6),
+    ) {
+        let t = topo(3);
+        let mut sim = Simulator::new(&t);
+        let route = t.route(Endpoint::Gpu(gpu), Endpoint::Host).unwrap().to_vec();
+        let bytes = mb as u64 * 1_000_000;
+        sim.start_transfer(&route, bytes, 999).unwrap();
+        for (i, (g, emb)) in extra.iter().enumerate() {
+            let r = t.route(Endpoint::Gpu(*g), Endpoint::Host).unwrap().to_vec();
+            sim.start_transfer(&r, *emb as u64 * 1_000_000, i as u64).unwrap();
+        }
+        let ideal = t
+            .ideal_transfer_secs(Endpoint::Gpu(gpu), Endpoint::Host, bytes)
+            .unwrap();
+        while let Some((t_done, c)) = sim.next() {
+            if matches!(c, Completion::Transfer { tag: 999, .. }) {
+                prop_assert!(
+                    t_done >= ideal - 1e-9,
+                    "finished at {} < ideal {}", t_done, ideal
+                );
+                return Ok(());
+            }
+        }
+        prop_assert!(false, "tagged transfer never completed");
+    }
+
+    #[test]
+    fn compute_streams_serialize_per_gpu(
+        durations in prop::collection::vec(1u16..100, 1..10),
+    ) {
+        let t = topo(1);
+        let mut sim = Simulator::new(&t);
+        let total: f64 = durations.iter().map(|&d| d as f64 / 1000.0).sum();
+        for (i, &d) in durations.iter().enumerate() {
+            sim.submit_compute(0, d as f64 / 1000.0, i as u64).unwrap();
+        }
+        let mut last = 0.0;
+        let mut count = 0;
+        while let Some((t_now, _)) = sim.next() {
+            last = t_now;
+            count += 1;
+        }
+        prop_assert_eq!(count, durations.len());
+        prop_assert!((last - total).abs() < 1e-9, "FIFO stream: {} vs {}", last, total);
+    }
+}

@@ -1,0 +1,743 @@
+//! Task-graph construction: decompose one training iteration into
+//! fine-grained tasks with explicit dependencies and tensor footprints.
+
+use std::collections::HashMap;
+use std::ops::Range;
+
+use harmony_models::ModelSpec;
+
+use crate::tensors::TensorRef;
+
+/// Task identifier (index into [`TaskGraph::tasks`]).
+pub type TaskId = usize;
+
+/// The kind of a schedulable task. `pack` indexes a contiguous group of
+/// layers (a pack of size 1 is a single layer — the paper's default
+/// granularity in Fig 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskKind {
+    /// Forward pass of a pack over one microbatch.
+    Forward {
+        /// Pack index.
+        pack: usize,
+        /// Microbatch index.
+        ubatch: usize,
+    },
+    /// Loss computation seeding the backward pass for a microbatch.
+    Loss {
+        /// Microbatch index.
+        ubatch: usize,
+    },
+    /// Backward pass of a pack over one microbatch.
+    Backward {
+        /// Pack index.
+        pack: usize,
+        /// Microbatch index.
+        ubatch: usize,
+    },
+    /// Weight update of a pack (runs once per iteration, after its
+    /// gradients are fully accumulated).
+    Update {
+        /// Pack index.
+        pack: usize,
+    },
+}
+
+/// One fine-grained task.
+#[derive(Debug, Clone)]
+pub struct Task {
+    /// Stable id.
+    pub id: TaskId,
+    /// Kind (phase + pack + microbatch).
+    pub kind: TaskKind,
+    /// Tasks that must complete before this one may run.
+    pub deps: Vec<TaskId>,
+    /// Tensors that must be device-resident before running (swap-in set).
+    pub reads: Vec<TensorRef>,
+    /// Tensors produced/updated (live after the task; swap-out candidates).
+    pub writes: Vec<TensorRef>,
+    /// Tensors dead after this task (freed without writeback).
+    pub frees: Vec<TensorRef>,
+    /// Compute cost in FLOPs.
+    pub flops: u64,
+}
+
+impl Task {
+    /// All tensors the task touches (reads ∪ writes, deduplicated).
+    pub fn touched(&self) -> Vec<TensorRef> {
+        let mut v = self.reads.clone();
+        for w in &self.writes {
+            if !v.contains(w) {
+                v.push(*w);
+            }
+        }
+        v
+    }
+}
+
+/// Task-graph construction parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GraphConfig {
+    /// Number of microbatches `m` per iteration (per replica).
+    pub microbatches: usize,
+    /// Samples per microbatch.
+    pub ubatch_size: u64,
+    /// Layers per pack (1 = layer granularity).
+    pub pack_size: usize,
+    /// Backward FLOPs as a multiple of forward (paper §4: 2–3×).
+    pub bwd_flops_mult: f64,
+    /// Update FLOPs per parameter (≈4 for Adam).
+    pub update_flops_per_param: f64,
+    /// Optimizer state tensors per parameter tensor (2 for Adam).
+    pub opt_slots: u64,
+    /// Recompute instead of stash (gradient checkpointing at pack
+    /// granularity, Chen et al. '16 — cited by the paper's §4): forward
+    /// keeps only each pack's *boundary* input activation alive; backward
+    /// re-runs the pack's forward before differentiating. Trades
+    /// `(1 + bwd_flops_mult)`× backward compute for eliminating the
+    /// per-layer stash footprint and its swap traffic.
+    pub recompute: bool,
+}
+
+impl Default for GraphConfig {
+    fn default() -> Self {
+        GraphConfig {
+            microbatches: 1,
+            ubatch_size: 1,
+            pack_size: 1,
+            bwd_flops_mult: 2.0,
+            update_flops_per_param: 4.0,
+            opt_slots: 2,
+            recompute: false,
+        }
+    }
+}
+
+/// Errors from graph construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// Model has no layers or config has zero microbatches/pack size.
+    Empty(String),
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::Empty(m) => write!(f, "cannot build task graph: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// The decomposed task graph of one training iteration.
+#[derive(Debug, Clone)]
+pub struct TaskGraph {
+    tasks: Vec<Task>,
+    packs: Vec<Range<usize>>,
+    config: GraphConfig,
+    by_kind: HashMap<TaskKind, TaskId>,
+}
+
+impl TaskGraph {
+    /// Decomposes `model` under `config`. Layers are grouped into
+    /// `⌈R / pack_size⌉` contiguous packs.
+    ///
+    /// ```
+    /// use harmony_models::TransformerConfig;
+    /// use harmony_taskgraph::{GraphConfig, TaskGraph};
+    /// let model = TransformerConfig::tiny().build();
+    /// let g = TaskGraph::build(&model, GraphConfig {
+    ///     microbatches: 2,
+    ///     ..GraphConfig::default()
+    /// }).unwrap();
+    /// let r = model.layers.len();
+    /// // m·R forwards + m losses + m·R backwards + R updates.
+    /// assert_eq!(g.tasks().len(), 2 * 2 * r + 2 + r);
+    /// ```
+    pub fn build(model: &ModelSpec, config: GraphConfig) -> Result<Self, GraphError> {
+        if model.layers.is_empty() {
+            return Err(GraphError::Empty("model has no layers".to_string()));
+        }
+        if config.microbatches == 0 || config.pack_size == 0 || config.ubatch_size == 0 {
+            return Err(GraphError::Empty(format!(
+                "microbatches={}, pack_size={}, ubatch_size={} must all be positive",
+                config.microbatches, config.pack_size, config.ubatch_size
+            )));
+        }
+        let r = model.layers.len();
+        let packs: Vec<Range<usize>> = (0..r)
+            .step_by(config.pack_size)
+            .map(|s| s..(s + config.pack_size).min(r))
+            .collect();
+        let np = packs.len();
+        let m = config.microbatches;
+        let last_layer = r - 1;
+
+        let mut tasks: Vec<Task> = Vec::with_capacity(np * m * 2 + m + np);
+        let mut by_kind = HashMap::new();
+        let add = |tasks: &mut Vec<Task>, by_kind: &mut HashMap<TaskKind, TaskId>, t: Task| {
+            by_kind.insert(t.kind, t.id);
+            tasks.push(t);
+        };
+
+        // Forward tasks.
+        for u in 0..m {
+            for (p, range) in packs.iter().enumerate() {
+                let id = tasks.len();
+                let input = if p == 0 {
+                    TensorRef::Input { ubatch: u }
+                } else {
+                    TensorRef::Activation {
+                        layer: packs[p - 1].end - 1,
+                        ubatch: u,
+                    }
+                };
+                let mut reads = vec![input];
+                let mut writes = Vec::new();
+                let mut flops = 0f64;
+                for l in range.clone() {
+                    reads.push(TensorRef::Weight { layer: l });
+                    if !config.recompute {
+                        writes.push(TensorRef::Stash { layer: l, ubatch: u });
+                    }
+                    flops += model.layers[l].fwd_flops(config.ubatch_size) as f64;
+                }
+                writes.push(TensorRef::Activation {
+                    layer: range.end - 1,
+                    ubatch: u,
+                });
+                let deps = if p == 0 {
+                    Vec::new()
+                } else {
+                    vec![by_kind[&TaskKind::Forward { pack: p - 1, ubatch: u }]]
+                };
+                // Without recompute the raw input is retained inside the
+                // pack's stash and the standalone activation dies here;
+                // with recompute it must survive until the backward pass
+                // re-runs the pack's forward from it.
+                let frees = if config.recompute { Vec::new() } else { vec![input] };
+                add(
+                    &mut tasks,
+                    &mut by_kind,
+                    Task {
+                        id,
+                        kind: TaskKind::Forward { pack: p, ubatch: u },
+                        deps,
+                        reads,
+                        writes,
+                        frees,
+                        flops: flops as u64,
+                    },
+                );
+            }
+        }
+
+        // Loss tasks (seed the backward pass).
+        for u in 0..m {
+            let id = tasks.len();
+            let logits = TensorRef::Activation {
+                layer: last_layer,
+                ubatch: u,
+            };
+            let deps = vec![by_kind[&TaskKind::Forward { pack: np - 1, ubatch: u }]];
+            add(
+                &mut tasks,
+                &mut by_kind,
+                Task {
+                    id,
+                    kind: TaskKind::Loss { ubatch: u },
+                    deps,
+                    reads: vec![logits],
+                    writes: vec![TensorRef::ActGrad {
+                        layer: last_layer,
+                        ubatch: u,
+                    }],
+                    frees: vec![logits],
+                    flops: model.layers[last_layer].out_elems_per_sample
+                        * config.ubatch_size
+                        * 4,
+                },
+            );
+        }
+
+        // Backward tasks (reverse pack order per microbatch).
+        for u in 0..m {
+            for p in (0..np).rev() {
+                let range = packs[p].clone();
+                let id = tasks.len();
+                let dy = TensorRef::ActGrad {
+                    layer: range.end - 1,
+                    ubatch: u,
+                };
+                let mut reads = vec![dy];
+                let mut writes = Vec::new();
+                let mut frees = vec![dy];
+                let mut flops = 0f64;
+                if config.recompute {
+                    // Re-run the pack's forward from the retained boundary
+                    // input, then differentiate; the input dies here.
+                    let input = if p == 0 {
+                        TensorRef::Input { ubatch: u }
+                    } else {
+                        TensorRef::Activation {
+                            layer: packs[p - 1].end - 1,
+                            ubatch: u,
+                        }
+                    };
+                    // Model inputs are persistent (the data loader owns
+                    // them); recomputed boundary activations are not.
+                    if p > 0 {
+                        frees.push(input);
+                    }
+                    reads.push(input);
+                }
+                for l in range.clone() {
+                    reads.push(TensorRef::Weight { layer: l });
+                    if config.recompute {
+                        flops += model.layers[l].fwd_flops(config.ubatch_size) as f64
+                            * (1.0 + config.bwd_flops_mult);
+                    } else {
+                        reads.push(TensorRef::Stash { layer: l, ubatch: u });
+                        flops += model.layers[l].fwd_flops(config.ubatch_size) as f64
+                            * config.bwd_flops_mult;
+                    }
+                    reads.push(TensorRef::Grad { layer: l });
+                    writes.push(TensorRef::Grad { layer: l });
+                    if !config.recompute {
+                        frees.push(TensorRef::Stash { layer: l, ubatch: u });
+                    }
+                }
+                if p > 0 {
+                    writes.push(TensorRef::ActGrad {
+                        layer: packs[p - 1].end - 1,
+                        ubatch: u,
+                    });
+                }
+                let mut deps = vec![by_kind[&TaskKind::Forward { pack: p, ubatch: u }]];
+                if p == np - 1 {
+                    deps.push(by_kind[&TaskKind::Loss { ubatch: u }]);
+                } else {
+                    deps.push(by_kind[&TaskKind::Backward { pack: p + 1, ubatch: u }]);
+                }
+                add(
+                    &mut tasks,
+                    &mut by_kind,
+                    Task {
+                        id,
+                        kind: TaskKind::Backward { pack: p, ubatch: u },
+                        deps,
+                        reads,
+                        writes,
+                        frees,
+                        flops: flops as u64,
+                    },
+                );
+            }
+        }
+
+        // Update tasks (one per pack, after all its microbatch backwards).
+        for (p, range) in packs.iter().enumerate() {
+            let id = tasks.len();
+            let mut reads = Vec::new();
+            let mut writes = Vec::new();
+            let mut params = 0u64;
+            for l in range.clone() {
+                reads.push(TensorRef::Grad { layer: l });
+                reads.push(TensorRef::Weight { layer: l });
+                reads.push(TensorRef::OptState { layer: l });
+                writes.push(TensorRef::Weight { layer: l });
+                writes.push(TensorRef::Grad { layer: l }); // reset dW'
+                writes.push(TensorRef::OptState { layer: l });
+                params += model.layers[l].params;
+            }
+            let deps = (0..m)
+                .map(|u| by_kind[&TaskKind::Backward { pack: p, ubatch: u }])
+                .collect();
+            add(
+                &mut tasks,
+                &mut by_kind,
+                Task {
+                    id,
+                    kind: TaskKind::Update { pack: p },
+                    deps,
+                    reads,
+                    writes,
+                    frees: Vec::new(),
+                    flops: (params as f64 * config.update_flops_per_param) as u64,
+                },
+            );
+        }
+
+        Ok(TaskGraph {
+            tasks,
+            packs,
+            config,
+            by_kind,
+        })
+    }
+
+    /// All tasks.
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// A task by id.
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id]
+    }
+
+    /// The layer ranges of each pack.
+    pub fn packs(&self) -> &[Range<usize>] {
+        &self.packs
+    }
+
+    /// Construction config.
+    pub fn config(&self) -> &GraphConfig {
+        &self.config
+    }
+
+    /// Task id by kind (all kinds produced by `build` exist).
+    pub fn id_of(&self, kind: TaskKind) -> Option<TaskId> {
+        self.by_kind.get(&kind).copied()
+    }
+
+    /// A topological order (deps before dependents); also validates
+    /// acyclicity by construction.
+    pub fn topo_order(&self) -> Vec<TaskId> {
+        let n = self.tasks.len();
+        let mut indeg = vec![0usize; n];
+        let mut succs: Vec<Vec<TaskId>> = vec![Vec::new(); n];
+        for t in &self.tasks {
+            for &d in &t.deps {
+                succs[d].push(t.id);
+                indeg[t.id] += 1;
+            }
+        }
+        let mut ready: Vec<TaskId> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        ready.sort_unstable();
+        let mut order = Vec::with_capacity(n);
+        let mut queue = std::collections::BinaryHeap::new();
+        for r in ready {
+            queue.push(std::cmp::Reverse(r));
+        }
+        while let Some(std::cmp::Reverse(t)) = queue.pop() {
+            order.push(t);
+            for &s in &succs[t] {
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    queue.push(std::cmp::Reverse(s));
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), n, "task graph must be acyclic");
+        order
+    }
+
+    /// Successor lists (inverse of deps).
+    pub fn successors(&self) -> Vec<Vec<TaskId>> {
+        let mut succs: Vec<Vec<TaskId>> = vec![Vec::new(); self.tasks.len()];
+        for t in &self.tasks {
+            for &d in &t.deps {
+                succs[d].push(t.id);
+            }
+        }
+        succs
+    }
+
+    /// Resident bytes a task needs at once (reads ∪ writes, deduplicated).
+    pub fn task_footprint_bytes(&self, id: TaskId, model: &ModelSpec) -> u64 {
+        self.tasks[id]
+            .touched()
+            .iter()
+            .map(|r| r.bytes(model, self.config.ubatch_size, self.config.opt_slots))
+            .sum()
+    }
+
+    /// Total FLOPs across all tasks (one iteration).
+    pub fn total_flops(&self) -> u64 {
+        self.tasks.iter().map(|t| t.flops).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_models::TransformerConfig;
+
+    fn graph(m: usize, pack: usize) -> (ModelSpec, TaskGraph) {
+        let model = TransformerConfig::tiny().build();
+        let g = TaskGraph::build(
+            &model,
+            GraphConfig {
+                microbatches: m,
+                ubatch_size: 2,
+                pack_size: pack,
+                ..GraphConfig::default()
+            },
+        )
+        .unwrap();
+        (model, g)
+    }
+
+    #[test]
+    fn task_count_matches_decomposition() {
+        let (model, g) = graph(3, 1);
+        let r = model.layers.len();
+        // m·R forward + m loss + m·R backward + R update.
+        assert_eq!(g.tasks().len(), 3 * r + 3 + 3 * r + r);
+    }
+
+    #[test]
+    fn packing_reduces_task_count() {
+        let (model, g) = graph(2, 2);
+        let r = model.layers.len();
+        let np = r.div_ceil(2);
+        assert_eq!(g.packs().len(), np);
+        assert_eq!(g.tasks().len(), 2 * np + 2 + 2 * np + np);
+        // Uneven division: last pack may be smaller but covers all layers.
+        let covered: usize = g.packs().iter().map(|r| r.len()).sum();
+        assert_eq!(covered, r);
+    }
+
+    #[test]
+    fn forward_footprint_matches_fig5a() {
+        let (_, g) = graph(2, 1);
+        let id = g.id_of(TaskKind::Forward { pack: 1, ubatch: 0 }).unwrap();
+        let t = g.task(id);
+        // Swap-in: X (previous activation) + W.
+        assert!(t.reads.contains(&TensorRef::Activation { layer: 0, ubatch: 0 }));
+        assert!(t.reads.contains(&TensorRef::Weight { layer: 1 }));
+        // Swap-out: Y + stashed X (W stays resident, not re-written).
+        assert!(t.writes.contains(&TensorRef::Activation { layer: 1, ubatch: 0 }));
+        assert!(t.writes.contains(&TensorRef::Stash { layer: 1, ubatch: 0 }));
+    }
+
+    #[test]
+    fn backward_footprint_matches_fig5a() {
+        let (_, g) = graph(2, 1);
+        let id = g.id_of(TaskKind::Backward { pack: 2, ubatch: 1 }).unwrap();
+        let t = g.task(id);
+        // Swap-in: dY, dW, stashed X, W.
+        assert!(t.reads.contains(&TensorRef::ActGrad { layer: 2, ubatch: 1 }));
+        assert!(t.reads.contains(&TensorRef::Grad { layer: 2 }));
+        assert!(t.reads.contains(&TensorRef::Stash { layer: 2, ubatch: 1 }));
+        assert!(t.reads.contains(&TensorRef::Weight { layer: 2 }));
+        // Swap-out: dX, accumulated dW.
+        assert!(t.writes.contains(&TensorRef::ActGrad { layer: 1, ubatch: 1 }));
+        assert!(t.writes.contains(&TensorRef::Grad { layer: 2 }));
+        // Stash dies here.
+        assert!(t.frees.contains(&TensorRef::Stash { layer: 2, ubatch: 1 }));
+    }
+
+    #[test]
+    fn update_footprint_matches_fig5a() {
+        let (_, g) = graph(2, 1);
+        let id = g.id_of(TaskKind::Update { pack: 0 }).unwrap();
+        let t = g.task(id);
+        assert!(t.reads.contains(&TensorRef::Grad { layer: 0 }));
+        assert!(t.reads.contains(&TensorRef::Weight { layer: 0 }));
+        assert!(t.reads.contains(&TensorRef::OptState { layer: 0 }));
+        assert!(t.writes.contains(&TensorRef::Weight { layer: 0 }));
+        assert!(t.writes.contains(&TensorRef::OptState { layer: 0 }));
+        // Update waits for ALL microbatch backwards of its pack.
+        assert_eq!(t.deps.len(), 2);
+    }
+
+    #[test]
+    fn dependencies_are_acyclic_and_phase_ordered() {
+        let (_, g) = graph(2, 1);
+        let order = g.topo_order();
+        assert_eq!(order.len(), g.tasks().len());
+        let pos: HashMap<TaskId, usize> =
+            order.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        for t in g.tasks() {
+            for &d in &t.deps {
+                assert!(pos[&d] < pos[&t.id], "dep order violated");
+            }
+        }
+    }
+
+    #[test]
+    fn backward_depends_on_forward_and_downstream() {
+        let (_, g) = graph(1, 1);
+        let b1 = g.id_of(TaskKind::Backward { pack: 1, ubatch: 0 }).unwrap();
+        let deps = &g.task(b1).deps;
+        assert!(deps.contains(&g.id_of(TaskKind::Forward { pack: 1, ubatch: 0 }).unwrap()));
+        assert!(deps.contains(&g.id_of(TaskKind::Backward { pack: 2, ubatch: 0 }).unwrap()));
+    }
+
+    #[test]
+    fn footprints_scale_with_pack_size() {
+        let (model, g1) = graph(1, 1);
+        let (_, g2) = graph(1, 3);
+        let f1 = g1.task_footprint_bytes(
+            g1.id_of(TaskKind::Forward { pack: 0, ubatch: 0 }).unwrap(),
+            &model,
+        );
+        let f2 = g2.task_footprint_bytes(
+            g2.id_of(TaskKind::Forward { pack: 0, ubatch: 0 }).unwrap(),
+            &model,
+        );
+        assert!(f2 > f1, "a 3-layer pack must need more resident bytes");
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let model = TransformerConfig::tiny().build();
+        for cfg in [
+            GraphConfig {
+                microbatches: 0,
+                ..GraphConfig::default()
+            },
+            GraphConfig {
+                pack_size: 0,
+                ..GraphConfig::default()
+            },
+            GraphConfig {
+                ubatch_size: 0,
+                ..GraphConfig::default()
+            },
+        ] {
+            assert!(TaskGraph::build(&model, cfg).is_err());
+        }
+        let empty = ModelSpec {
+            name: "empty".to_string(),
+            layers: vec![],
+            seq_len: 1,
+        };
+        assert!(TaskGraph::build(&empty, GraphConfig::default()).is_err());
+    }
+
+    #[test]
+    fn flops_account_for_backward_multiplier() {
+        let (_, g) = graph(1, 1);
+        let f = g.id_of(TaskKind::Forward { pack: 1, ubatch: 0 }).unwrap();
+        let b = g.id_of(TaskKind::Backward { pack: 1, ubatch: 0 }).unwrap();
+        assert_eq!(g.task(b).flops, 2 * g.task(f).flops);
+    }
+
+    use std::collections::HashMap;
+}
+
+#[cfg(test)]
+mod recompute_tests {
+    use super::*;
+    use harmony_models::TransformerConfig;
+
+    fn graphs(pack: usize) -> (ModelSpec, TaskGraph, TaskGraph) {
+        let model = TransformerConfig::tiny().build();
+        let base = GraphConfig {
+            microbatches: 2,
+            ubatch_size: 2,
+            pack_size: pack,
+            ..GraphConfig::default()
+        };
+        let stash = TaskGraph::build(&model, base).unwrap();
+        let recompute = TaskGraph::build(
+            &model,
+            GraphConfig {
+                recompute: true,
+                ..base
+            },
+        )
+        .unwrap();
+        (model, stash, recompute)
+    }
+
+    #[test]
+    fn recompute_graphs_have_no_stash_tensors() {
+        let (_, _, g) = graphs(2);
+        for t in g.tasks() {
+            for rf in t.reads.iter().chain(&t.writes).chain(&t.frees) {
+                assert!(
+                    !matches!(rf, TensorRef::Stash { .. }),
+                    "{:?} references stash {:?}",
+                    t.kind,
+                    rf
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn recompute_backward_rereads_boundary_input_and_pays_forward_flops() {
+        let (_, stash, rec) = graphs(1);
+        let b = rec.id_of(TaskKind::Backward { pack: 2, ubatch: 0 }).unwrap();
+        let bs = stash.id_of(TaskKind::Backward { pack: 2, ubatch: 0 }).unwrap();
+        // Reads the previous pack's output activation (to re-run forward).
+        assert!(rec
+            .task(b)
+            .reads
+            .contains(&TensorRef::Activation { layer: 1, ubatch: 0 }));
+        // Extra forward FLOPs: (1 + mult) vs mult.
+        let f = rec.id_of(TaskKind::Forward { pack: 2, ubatch: 0 }).unwrap();
+        assert_eq!(
+            rec.task(b).flops,
+            stash.task(bs).flops + rec.task(f).flops
+        );
+        // The boundary input dies with the backward, not the forward.
+        assert!(rec
+            .task(b)
+            .frees
+            .contains(&TensorRef::Activation { layer: 1, ubatch: 0 }));
+        assert!(rec.task(f).frees.is_empty());
+    }
+
+    #[test]
+    fn recompute_first_pack_keeps_model_input_alive() {
+        let (_, _, rec) = graphs(1);
+        let b0 = rec.id_of(TaskKind::Backward { pack: 0, ubatch: 1 }).unwrap();
+        assert!(rec.task(b0).reads.contains(&TensorRef::Input { ubatch: 1 }));
+        // Model inputs are owned by the data loader — never freed.
+        assert!(!rec.task(b0).frees.contains(&TensorRef::Input { ubatch: 1 }));
+    }
+
+    #[test]
+    fn recompute_shrinks_backward_footprint_for_stash_heavy_layers() {
+        let (model, stash, rec) = graphs(1);
+        // Attention layers stash heads·s² probabilities: recompute removes
+        // that from the resident working set.
+        let attn_pack = 1; // block0.attn in the tiny transformer
+        let bs = stash
+            .id_of(TaskKind::Backward { pack: attn_pack, ubatch: 0 })
+            .unwrap();
+        let br = rec
+            .id_of(TaskKind::Backward { pack: attn_pack, ubatch: 0 })
+            .unwrap();
+        assert!(
+            rec.task_footprint_bytes(br, &model) < stash.task_footprint_bytes(bs, &model),
+            "recompute should shrink the backward working set"
+        );
+    }
+
+    #[test]
+    fn recompute_graph_is_still_consistent() {
+        let (_, _, rec) = graphs(3);
+        let order = rec.topo_order();
+        assert_eq!(order.len(), rec.tasks().len());
+        // Dataflow check: reads are produced (or persistent) before use.
+        use std::collections::HashSet;
+        let mut live: HashSet<TensorRef> = HashSet::new();
+        for l in 0..6 {
+            live.insert(TensorRef::Weight { layer: l });
+            live.insert(TensorRef::Grad { layer: l });
+            live.insert(TensorRef::OptState { layer: l });
+        }
+        for u in 0..2 {
+            live.insert(TensorRef::Input { ubatch: u });
+        }
+        for &tid in &order {
+            let t = rec.task(tid);
+            for rf in &t.reads {
+                assert!(live.contains(rf), "{:?} reads dead {:?}", t.kind, rf);
+            }
+            for &w in &t.writes {
+                live.insert(w);
+            }
+            for f in &t.frees {
+                live.remove(f);
+            }
+        }
+    }
+}

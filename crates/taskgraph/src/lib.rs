@@ -1,0 +1,31 @@
+//! # harmony-taskgraph
+//!
+//! Harmony's **Task Decomposer** (paper §3, Fig 3): splits one logical
+//! training iteration — written by the user as if it ran sequentially on a
+//! single unbounded device — into fine-grained tasks:
+//!
+//! * `Forward { layer, µbatch }`, `Backward { layer, µbatch }`,
+//!   `Update { layer }`, and a `Loss { µbatch }` seed task,
+//! * data dependencies between them (encoded in the task graph rather than
+//!   implied by program order, which is what enables just-in-time
+//!   scheduling and late binding),
+//! * per-task tensor *footprints* following the swap model of Fig 5(a):
+//!   which logical tensors a task must have resident (swap-in set), which
+//!   it produces (swap-out set), and which die with it (free set),
+//! * optional **layer packing** (§4's "memory–performance tango"): a pack
+//!   of contiguous layers executes as one task, trading per-layer transfer
+//!   volume against per-task memory footprint.
+//!
+//! The graph is parallelism-agnostic: `harmony-sched` replicates it for
+//! data parallelism or partitions it for pipeline parallelism.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod swap_model;
+pub mod tensors;
+
+pub use graph::{GraphConfig, GraphError, Task, TaskGraph, TaskId, TaskKind};
+pub use swap_model::{phase_swap_sets, Phase, TensorRole};
+pub use tensors::TensorRef;

@@ -1,0 +1,139 @@
+//! The Fig 5(a) swap model as structured data.
+//!
+//! For each training phase, the tensors that must be swapped **in** before
+//! it can run and the tensors it leaves behind to be swapped **out** (or
+//! kept). The `repro fig5a` harness prints this table verbatim; the task
+//! graph builder's footprints are asserted against it in tests.
+
+/// Training phase of one layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Forward pass.
+    Forward,
+    /// Backward pass.
+    Backward,
+    /// Weight update.
+    Update,
+}
+
+/// Abstract tensor role names used by Fig 5(a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TensorRole {
+    /// Input activation `X`.
+    InputX,
+    /// Weights `W`.
+    WeightW,
+    /// Output activation `Y`.
+    OutputY,
+    /// Stashed input `X` (kept for backward).
+    StashedX,
+    /// Output gradient `dY`.
+    OutputGradDy,
+    /// Weight gradient `dW`.
+    WeightGradDw,
+    /// Input gradient `dX`.
+    InputGradDx,
+    /// Accumulated weight gradient `dW` (after this microbatch).
+    AccumulatedDw,
+    /// Optimizer state `K`.
+    OptStateK,
+    /// Updated weights `W'`.
+    UpdatedW,
+    /// Updated optimizer state `K'`.
+    UpdatedK,
+    /// Reset (zeroed) gradient buffer `dW'`.
+    ResetDw,
+}
+
+impl TensorRole {
+    /// The symbol used in the paper's figure.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            TensorRole::InputX => "X",
+            TensorRole::WeightW => "W",
+            TensorRole::OutputY => "Y",
+            TensorRole::StashedX => "Stashed X",
+            TensorRole::OutputGradDy => "dY",
+            TensorRole::WeightGradDw => "dW",
+            TensorRole::InputGradDx => "dX",
+            TensorRole::AccumulatedDw => "Accumulated dW",
+            TensorRole::OptStateK => "K",
+            TensorRole::UpdatedW => "W'",
+            TensorRole::UpdatedK => "K'",
+            TensorRole::ResetDw => "Reset dW'",
+        }
+    }
+}
+
+/// Returns `(swap_in, swap_out)` role sets for a phase — Fig 5(a) verbatim.
+pub fn phase_swap_sets(phase: Phase) -> (&'static [TensorRole], &'static [TensorRole]) {
+    match phase {
+        Phase::Forward => (
+            &[TensorRole::InputX, TensorRole::WeightW],
+            &[TensorRole::OutputY, TensorRole::StashedX, TensorRole::WeightW],
+        ),
+        Phase::Backward => (
+            &[
+                TensorRole::OutputGradDy,
+                TensorRole::WeightGradDw,
+                TensorRole::StashedX,
+                TensorRole::WeightW,
+            ],
+            &[
+                TensorRole::InputGradDx,
+                TensorRole::AccumulatedDw,
+                TensorRole::WeightW,
+            ],
+        ),
+        Phase::Update => (
+            &[
+                TensorRole::WeightGradDw,
+                TensorRole::WeightW,
+                TensorRole::OptStateK,
+            ],
+            &[TensorRole::ResetDw, TensorRole::UpdatedW, TensorRole::UpdatedK],
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_sets_match_fig5a() {
+        let (swap_in, swap_out) = phase_swap_sets(Phase::Forward);
+        assert_eq!(swap_in, &[TensorRole::InputX, TensorRole::WeightW]);
+        assert!(swap_out.contains(&TensorRole::StashedX));
+        assert!(swap_out.contains(&TensorRole::OutputY));
+    }
+
+    #[test]
+    fn weights_appear_in_every_phase() {
+        // The source of "repeated swaps" (§2 inefficiency 1): W is in the
+        // swap-in or swap-out set of all three phases.
+        for phase in [Phase::Forward, Phase::Backward, Phase::Update] {
+            let (swap_in, swap_out) = phase_swap_sets(phase);
+            let has_w = swap_in.contains(&TensorRole::WeightW)
+                || swap_out.contains(&TensorRole::WeightW)
+                || swap_out.contains(&TensorRole::UpdatedW);
+            assert!(has_w, "{phase:?}");
+        }
+    }
+
+    #[test]
+    fn update_consumes_gradient_and_state() {
+        let (swap_in, swap_out) = phase_swap_sets(Phase::Update);
+        assert!(swap_in.contains(&TensorRole::WeightGradDw));
+        assert!(swap_in.contains(&TensorRole::OptStateK));
+        assert!(swap_out.contains(&TensorRole::ResetDw));
+        assert!(swap_out.contains(&TensorRole::UpdatedK));
+    }
+
+    #[test]
+    fn symbols_are_paper_notation() {
+        assert_eq!(TensorRole::WeightW.symbol(), "W");
+        assert_eq!(TensorRole::AccumulatedDw.symbol(), "Accumulated dW");
+        assert_eq!(TensorRole::UpdatedK.symbol(), "K'");
+    }
+}

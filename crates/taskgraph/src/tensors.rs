@@ -1,0 +1,168 @@
+//! Logical tensor references.
+//!
+//! A [`TensorRef`] names a tensor in the *logical* training state — the
+//! single-virtual-device view. Schedulers map logical refs to physical
+//! tensor instances (e.g. one weight replica per GPU in DP).
+
+use harmony_memory::TensorClass;
+use harmony_models::ModelSpec;
+
+/// A logical tensor of one training iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TensorRef {
+    /// Weights `W` of a layer.
+    Weight {
+        /// Layer index.
+        layer: usize,
+    },
+    /// Gradient buffer `dW` of a layer (accumulated across microbatches).
+    Grad {
+        /// Layer index.
+        layer: usize,
+    },
+    /// Optimizer state `K` of a layer.
+    OptState {
+        /// Layer index.
+        layer: usize,
+    },
+    /// Output activation of `layer` for microbatch `ubatch` (also the input
+    /// of `layer + 1`). `layer == usize::MAX` is never used; the model
+    /// input is [`TensorRef::Input`].
+    Activation {
+        /// Producing layer index.
+        layer: usize,
+        /// Microbatch index.
+        ubatch: usize,
+    },
+    /// Gradient w.r.t. the output activation of `layer` for a microbatch.
+    ActGrad {
+        /// Layer whose output this gradient corresponds to.
+        layer: usize,
+        /// Microbatch index.
+        ubatch: usize,
+    },
+    /// Stashed forward state of `layer` for a microbatch (input + extras).
+    Stash {
+        /// Layer index.
+        layer: usize,
+        /// Microbatch index.
+        ubatch: usize,
+    },
+    /// The model input for a microbatch.
+    Input {
+        /// Microbatch index.
+        ubatch: usize,
+    },
+}
+
+impl TensorRef {
+    /// The swap-model class of this tensor (Fig 5a taxonomy).
+    pub fn class(&self) -> TensorClass {
+        match self {
+            TensorRef::Weight { .. } => TensorClass::Weight,
+            TensorRef::Grad { .. } => TensorClass::Grad,
+            TensorRef::OptState { .. } => TensorClass::OptState,
+            TensorRef::Activation { .. } | TensorRef::ActGrad { .. } | TensorRef::Input { .. } => {
+                TensorClass::Activation
+            }
+            TensorRef::Stash { .. } => TensorClass::Stash,
+        }
+    }
+
+    /// Byte size of this tensor for a model, microbatch size, and optimizer
+    /// state multiplicity.
+    pub fn bytes(&self, model: &ModelSpec, ubatch_size: u64, opt_slots: u64) -> u64 {
+        let layer = |l: usize| &model.layers[l];
+        match *self {
+            TensorRef::Weight { layer: l } => layer(l).weight_bytes(),
+            TensorRef::Grad { layer: l } => layer(l).grad_bytes(),
+            TensorRef::OptState { layer: l } => layer(l).opt_state_bytes(opt_slots),
+            TensorRef::Activation { layer: l, .. } => layer(l).out_bytes(ubatch_size),
+            // dY has the shape of the producing layer's output.
+            TensorRef::ActGrad { layer: l, .. } => layer(l).out_bytes(ubatch_size),
+            TensorRef::Stash { layer: l, .. } => layer(l).stash_bytes(ubatch_size),
+            TensorRef::Input { .. } => model
+                .layers
+                .first()
+                .map(|l| l.in_bytes(ubatch_size))
+                .unwrap_or(0),
+        }
+    }
+
+    /// The layer index this tensor belongs to (`None` for model inputs).
+    pub fn layer(&self) -> Option<usize> {
+        match *self {
+            TensorRef::Weight { layer }
+            | TensorRef::Grad { layer }
+            | TensorRef::OptState { layer }
+            | TensorRef::Activation { layer, .. }
+            | TensorRef::ActGrad { layer, .. }
+            | TensorRef::Stash { layer, .. } => Some(layer),
+            TensorRef::Input { .. } => None,
+        }
+    }
+
+    /// The microbatch this tensor belongs to (`None` for per-layer state
+    /// shared across microbatches — exactly the tensors input-batch
+    /// grouping saves swaps on).
+    pub fn ubatch(&self) -> Option<usize> {
+        match *self {
+            TensorRef::Activation { ubatch, .. }
+            | TensorRef::ActGrad { ubatch, .. }
+            | TensorRef::Stash { ubatch, .. }
+            | TensorRef::Input { ubatch } => Some(ubatch),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_models::TransformerConfig;
+
+    #[test]
+    fn classes_follow_fig5a_taxonomy() {
+        assert_eq!(TensorRef::Weight { layer: 0 }.class(), TensorClass::Weight);
+        assert_eq!(TensorRef::Grad { layer: 0 }.class(), TensorClass::Grad);
+        assert_eq!(
+            TensorRef::OptState { layer: 0 }.class(),
+            TensorClass::OptState
+        );
+        assert_eq!(
+            TensorRef::Stash { layer: 0, ubatch: 0 }.class(),
+            TensorClass::Stash
+        );
+        assert_eq!(
+            TensorRef::Activation { layer: 0, ubatch: 0 }.class(),
+            TensorClass::Activation
+        );
+    }
+
+    #[test]
+    fn sizes_come_from_the_model_spec() {
+        let m = TransformerConfig::tiny().build();
+        let w = TensorRef::Weight { layer: 1 }.bytes(&m, 4, 2);
+        assert_eq!(w, m.layers[1].weight_bytes());
+        let k = TensorRef::OptState { layer: 1 }.bytes(&m, 4, 2);
+        assert_eq!(k, 2 * w);
+        let act = TensorRef::Activation { layer: 1, ubatch: 0 }.bytes(&m, 4, 2);
+        assert_eq!(act, m.layers[1].out_bytes(4));
+        // Activations scale with microbatch size, weights don't.
+        assert_eq!(TensorRef::Weight { layer: 1 }.bytes(&m, 8, 2), w);
+        assert_eq!(
+            TensorRef::Activation { layer: 1, ubatch: 0 }.bytes(&m, 8, 2),
+            2 * act
+        );
+    }
+
+    #[test]
+    fn grouping_dimension_is_encoded_in_ubatch() {
+        assert_eq!(TensorRef::Weight { layer: 3 }.ubatch(), None);
+        assert_eq!(
+            TensorRef::Stash { layer: 3, ubatch: 2 }.ubatch(),
+            Some(2)
+        );
+        assert_eq!(TensorRef::Input { ubatch: 1 }.layer(), None);
+    }
+}

@@ -1,0 +1,124 @@
+//! Typed errors for tensor operations.
+
+use std::fmt;
+
+use crate::shape::Shape;
+
+/// Errors produced by tensor construction and kernels.
+///
+/// All fallible operations in this crate return `Result<_, TensorError>`
+/// rather than panicking, so callers (the Harmony runtime in particular) can
+/// surface shape bugs as scheduling errors instead of aborting a simulated
+/// training run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The element count implied by a shape does not match the data length.
+    DataLenMismatch {
+        /// Shape the caller asked for.
+        shape: Shape,
+        /// Number of elements actually supplied.
+        data_len: usize,
+    },
+    /// Two operands have incompatible shapes for the attempted operation.
+    ShapeMismatch {
+        /// Operation name, e.g. `"matmul"`.
+        op: &'static str,
+        /// Left-hand operand shape.
+        lhs: Shape,
+        /// Right-hand operand shape.
+        rhs: Shape,
+    },
+    /// The operation requires a tensor of a different rank.
+    RankMismatch {
+        /// Operation name.
+        op: &'static str,
+        /// Expected rank.
+        expected: usize,
+        /// Actual rank.
+        actual: usize,
+    },
+    /// An index (e.g. an embedding token id or class label) is out of range.
+    IndexOutOfRange {
+        /// Operation name.
+        op: &'static str,
+        /// The offending index.
+        index: usize,
+        /// Exclusive bound the index must stay below.
+        bound: usize,
+    },
+    /// A reshape was requested to a shape with a different element count.
+    ReshapeMismatch {
+        /// Original shape.
+        from: Shape,
+        /// Requested shape.
+        to: Shape,
+    },
+    /// A scalar parameter was invalid (e.g. zero feature dimension).
+    InvalidArgument {
+        /// Operation name.
+        op: &'static str,
+        /// Human-readable description of what was wrong.
+        msg: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::DataLenMismatch { shape, data_len } => write!(
+                f,
+                "data length {data_len} does not match shape {shape} ({} elements)",
+                shape.numel()
+            ),
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "{op}: incompatible shapes {lhs} and {rhs}")
+            }
+            TensorError::RankMismatch {
+                op,
+                expected,
+                actual,
+            } => write!(f, "{op}: expected rank {expected}, got rank {actual}"),
+            TensorError::IndexOutOfRange { op, index, bound } => {
+                write!(f, "{op}: index {index} out of range (bound {bound})")
+            }
+            TensorError::ReshapeMismatch { from, to } => write!(
+                f,
+                "cannot reshape {from} ({} elements) to {to} ({} elements)",
+                from.numel(),
+                to.numel()
+            ),
+            TensorError::InvalidArgument { op, msg } => write!(f, "{op}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: Shape::new(vec![2, 3]),
+            rhs: Shape::new(vec![4, 5]),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("matmul"));
+        assert!(msg.contains("[2, 3]"));
+        assert!(msg.contains("[4, 5]"));
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        let err = TensorError::RankMismatch {
+            op: "softmax",
+            expected: 2,
+            actual: 1,
+        };
+        assert_err(&err);
+    }
+}

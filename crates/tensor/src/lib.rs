@@ -1,0 +1,42 @@
+//! # harmony-tensor
+//!
+//! A small, dependency-free dense tensor library backing Harmony's
+//! *functional execution* mode.
+//!
+//! The Harmony paper (HotOS '21) assumes PyTorch as the numeric substrate.
+//! This crate substitutes a self-contained f32 tensor engine with explicit
+//! per-layer forward/backward/update kernels, which is exactly the
+//! granularity at which Harmony's task decomposer splits work: instead of a
+//! taped autograd, every layer exposes
+//!
+//! * `forward(inputs, params) -> (outputs, stash)`
+//! * `backward(grad_outputs, stash, params) -> (grad_inputs, grad_params)`
+//! * optimizer `step(params, grads, state)`
+//!
+//! so that a scheduler can bind each phase to a different (virtual) device
+//! and move the named tensors between memories — the swap model of Fig 5(a).
+//!
+//! Design constraints (see repo DESIGN.md):
+//! * deterministic: hand-rolled [`rng::SplitMix64`] seeds all initialisation;
+//! * no `unsafe`, no panicking paths in library APIs (fallible ops return
+//!   [`TensorError`]);
+//! * row-major contiguous storage only — sufficient for the transformer/MLP
+//!   workloads the paper evaluates, and keeps kernels simple and auditable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod nn;
+pub mod ops;
+pub mod optim;
+pub mod rng;
+pub mod shape;
+pub mod tensor;
+
+pub use error::TensorError;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, TensorError>;

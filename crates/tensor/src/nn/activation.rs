@@ -1,0 +1,156 @@
+//! Pointwise activation layers.
+
+use crate::error::TensorError;
+use crate::nn::{Grads, Stash};
+use crate::tensor::Tensor;
+use crate::Result;
+
+/// Supported pointwise nonlinearities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActivationKind {
+    /// `max(0, x)`.
+    Relu,
+    /// Gaussian error linear unit, tanh approximation (as in BERT/GPT).
+    Gelu,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+/// A parameter-free pointwise activation.
+///
+/// Parameters: none. Stash: `[x]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Activation {
+    /// Which nonlinearity.
+    pub kind: ActivationKind,
+}
+
+const GELU_C: f32 = 0.797_884_6; // sqrt(2/pi)
+const GELU_A: f32 = 0.044_715;
+
+fn gelu(x: f32) -> f32 {
+    0.5 * x * (1.0 + (GELU_C * (x + GELU_A * x * x * x)).tanh())
+}
+
+fn gelu_grad(x: f32) -> f32 {
+    let inner = GELU_C * (x + GELU_A * x * x * x);
+    let t = inner.tanh();
+    let sech2 = 1.0 - t * t;
+    0.5 * (1.0 + t) + 0.5 * x * sech2 * GELU_C * (1.0 + 3.0 * GELU_A * x * x)
+}
+
+impl Activation {
+    /// Creates an activation layer.
+    pub fn new(kind: ActivationKind) -> Self {
+        Activation { kind }
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, x: &Tensor) -> Result<(Tensor, Stash)> {
+        let f = match self.kind {
+            ActivationKind::Relu => |v: f32| v.max(0.0),
+            ActivationKind::Gelu => gelu,
+            ActivationKind::Tanh => f32::tanh,
+        };
+        let data = x.data().iter().map(|&v| f(v)).collect();
+        let y = Tensor::from_vec(x.shape().clone(), data)?;
+        Ok((
+            y,
+            Stash {
+                tensors: vec![x.clone()],
+            },
+        ))
+    }
+
+    /// Backward pass: `dx = dy ⊙ f'(x)`.
+    pub fn backward(&self, stash: &Stash, dy: &Tensor) -> Result<(Tensor, Grads)> {
+        let x = stash.tensors.first().ok_or(TensorError::InvalidArgument {
+            op: "activation backward",
+            msg: "missing stashed input".to_string(),
+        })?;
+        if x.shape() != dy.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: "activation backward",
+                lhs: x.shape().clone(),
+                rhs: dy.shape().clone(),
+            });
+        }
+        let g = match self.kind {
+            ActivationKind::Relu => |v: f32| if v > 0.0 { 1.0 } else { 0.0 },
+            ActivationKind::Gelu => gelu_grad,
+            ActivationKind::Tanh => |v: f32| {
+                let t = v.tanh();
+                1.0 - t * t
+            },
+        };
+        let data = x
+            .data()
+            .iter()
+            .zip(dy.data())
+            .map(|(&xv, &dv)| dv * g(xv))
+            .collect();
+        let dx = Tensor::from_vec(x.shape().clone(), data)?;
+        Ok((dx, Grads::default()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn::gradcheck::check_input_grad;
+    use crate::rng::SplitMix64;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let layer = Activation::new(ActivationKind::Relu);
+        let x = Tensor::from_vec([4], vec![-1.0, 0.0, 2.0, -3.0]).unwrap();
+        let (y, _) = layer.forward(&x).unwrap();
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn gelu_known_values() {
+        // GELU(0) = 0; GELU(x) ≈ x for large x; GELU(-large) ≈ 0.
+        assert_eq!(gelu(0.0), 0.0);
+        assert!((gelu(10.0) - 10.0).abs() < 1e-3);
+        assert!(gelu(-10.0).abs() < 1e-3);
+        // Reference value GELU(1.0) ≈ 0.8412 (tanh approximation).
+        assert!((gelu(1.0) - 0.8412).abs() < 1e-3);
+    }
+
+    #[test]
+    fn backward_matches_finite_difference_all_kinds() {
+        let mut rng = SplitMix64::new(11);
+        for kind in [ActivationKind::Relu, ActivationKind::Gelu, ActivationKind::Tanh] {
+            let layer = Activation::new(kind);
+            // Keep values away from ReLU's kink at 0.
+            let x = Tensor::from_vec(
+                [8],
+                (0..8)
+                    .map(|_| {
+                        let v = rng.uniform(-2.0, 2.0);
+                        if v.abs() < 0.1 {
+                            0.5
+                        } else {
+                            v
+                        }
+                    })
+                    .collect(),
+            )
+            .unwrap();
+            let dy = Tensor::randn([8], 1.0, &mut rng);
+            let (_, stash) = layer.forward(&x).unwrap();
+            let (dx, grads) = layer.backward(&stash, &dy).unwrap();
+            assert!(grads.tensors.is_empty());
+            check_input_grad(&x, &dy, &dx, |x| layer.forward(x).map(|(y, _)| y), 2e-2);
+        }
+    }
+
+    #[test]
+    fn backward_rejects_mismatched_dy() {
+        let layer = Activation::new(ActivationKind::Relu);
+        let x = Tensor::zeros([3]);
+        let (_, stash) = layer.forward(&x).unwrap();
+        assert!(layer.backward(&stash, &Tensor::zeros([4])).is_err());
+    }
+}

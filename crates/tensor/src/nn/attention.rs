@@ -1,0 +1,381 @@
+//! Multi-head self-attention with full analytic backward.
+
+use crate::error::TensorError;
+use crate::nn::{Grads, Stash};
+use crate::ops;
+use crate::rng::SplitMix64;
+use crate::tensor::Tensor;
+use crate::Result;
+
+/// Multi-head self-attention over inputs of shape `[batch, seq, dim]`.
+///
+/// A single fused QKV projection followed by per-head scaled-dot-product
+/// attention and an output projection, optionally causally masked (GPT-style
+/// decoders set `causal = true`, BERT-style encoders `false`).
+///
+/// Parameters (in order): `[Wqkv [dim, 3·dim], bqkv [3·dim], Wo [dim, dim],
+/// bo [dim]]`.
+/// Stash: `[x, probs [batch, heads, seq, seq], ctx [batch, seq, dim]]` — the
+/// attention-probability stash is what makes attention layers
+/// memory-hungry, and is part of why the paper's pipeline head stage
+/// (which stashes the most forward state) becomes the swap bottleneck.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiHeadAttention {
+    /// Model (feature) dimension.
+    pub dim: usize,
+    /// Number of attention heads (`dim % heads == 0`).
+    pub heads: usize,
+    /// Whether to apply a causal (lower-triangular) mask.
+    pub causal: bool,
+}
+
+impl MultiHeadAttention {
+    /// Creates an attention layer description; errors if `dim` is not a
+    /// multiple of `heads`.
+    pub fn new(dim: usize, heads: usize, causal: bool) -> Result<Self> {
+        if heads == 0 || !dim.is_multiple_of(heads) {
+            return Err(TensorError::InvalidArgument {
+                op: "attention",
+                msg: format!("dim {dim} must be a positive multiple of heads {heads}"),
+            });
+        }
+        Ok(MultiHeadAttention { dim, heads, causal })
+    }
+
+    /// Initialises the four parameter tensors.
+    pub fn init_params(&self, rng: &mut SplitMix64) -> Vec<Tensor> {
+        let std = (1.0 / self.dim as f32).sqrt();
+        vec![
+            Tensor::randn([self.dim, 3 * self.dim], std, rng),
+            Tensor::zeros([3 * self.dim]),
+            Tensor::randn([self.dim, self.dim], std, rng),
+            Tensor::zeros([self.dim]),
+        ]
+    }
+
+    /// Number of scalar parameters.
+    pub fn param_count(&self) -> usize {
+        self.dim * 3 * self.dim + 3 * self.dim + self.dim * self.dim + self.dim
+    }
+
+    fn dims_of(&self, x: &Tensor) -> Result<(usize, usize)> {
+        let dims = x.shape().dims();
+        if dims.len() != 3 || dims[2] != self.dim {
+            return Err(TensorError::InvalidArgument {
+                op: "attention",
+                msg: format!(
+                    "input must be [batch, seq, {}], got {}",
+                    self.dim,
+                    x.shape()
+                ),
+            });
+        }
+        Ok((dims[0], dims[1]))
+    }
+
+    fn check_params(&self, params: &[Tensor]) -> Result<()> {
+        if params.len() != 4 {
+            return Err(TensorError::InvalidArgument {
+                op: "attention",
+                msg: format!("expected 4 params, got {}", params.len()),
+            });
+        }
+        Ok(())
+    }
+
+    /// Head-size.
+    fn hd(&self) -> usize {
+        self.dim / self.heads
+    }
+
+    /// Copies head `h` of token `s` from a `[., 3·dim]` QKV row into `dst`.
+    /// `which`: 0 = Q, 1 = K, 2 = V.
+    fn head_slice<'a>(&self, qkv_row: &'a [f32], which: usize, h: usize) -> &'a [f32] {
+        let hd = self.hd();
+        let base = which * self.dim + h * hd;
+        &qkv_row[base..base + hd]
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, params: &[Tensor], x: &Tensor) -> Result<(Tensor, Stash)> {
+        self.check_params(params)?;
+        let (b, s) = self.dims_of(x)?;
+        let (h, hd) = (self.heads, self.hd());
+        let scale = 1.0 / (hd as f32).sqrt();
+
+        let qkv = ops::add_bias(&ops::matmul(x, &params[0])?, &params[1])?; // [b*s, 3d]
+        let qkvd = qkv.data();
+
+        let mut probs = vec![0.0f32; b * h * s * s];
+        let mut ctx = vec![0.0f32; b * s * self.dim];
+        for bi in 0..b {
+            for hi in 0..h {
+                // scores[s, s] then softmax row-wise into `probs`.
+                for si in 0..s {
+                    let qrow = self.head_slice(&qkvd[(bi * s + si) * 3 * self.dim..], 0, hi);
+                    let prow_base = ((bi * h + hi) * s + si) * s;
+                    let limit = if self.causal { si + 1 } else { s };
+                    let mut max = f32::NEG_INFINITY;
+                    for sj in 0..limit {
+                        let krow = self.head_slice(&qkvd[(bi * s + sj) * 3 * self.dim..], 1, hi);
+                        let dot: f32 = qrow.iter().zip(krow).map(|(a, c)| a * c).sum();
+                        let v = dot * scale;
+                        probs[prow_base + sj] = v;
+                        max = max.max(v);
+                    }
+                    let mut denom = 0.0f32;
+                    for sj in 0..limit {
+                        let e = (probs[prow_base + sj] - max).exp();
+                        probs[prow_base + sj] = e;
+                        denom += e;
+                    }
+                    for sj in 0..limit {
+                        probs[prow_base + sj] /= denom;
+                    }
+                    // masked tail stays exactly 0 for causal attention
+                    for p in probs[prow_base + limit..prow_base + s].iter_mut() {
+                        *p = 0.0;
+                    }
+                    // ctx[si, head hi] = Σ_sj P[si, sj] · V[sj]
+                    let ctx_base = (bi * s + si) * self.dim + hi * hd;
+                    for sj in 0..limit {
+                        let p = probs[prow_base + sj];
+                        if p == 0.0 {
+                            continue;
+                        }
+                        let vrow = self.head_slice(&qkvd[(bi * s + sj) * 3 * self.dim..], 2, hi);
+                        for (o, &vv) in ctx[ctx_base..ctx_base + hd].iter_mut().zip(vrow) {
+                            *o += p * vv;
+                        }
+                    }
+                }
+            }
+        }
+        let ctx_t = Tensor::from_vec([b, s, self.dim], ctx)?;
+        let y = ops::add_bias(&ops::matmul(&ctx_t, &params[2])?, &params[3])?
+            .reshape([b, s, self.dim])?;
+        let probs_t = Tensor::from_vec([b, h, s, s], probs)?;
+        Ok((
+            y,
+            Stash {
+                tensors: vec![x.clone(), probs_t, ctx_t],
+            },
+        ))
+    }
+
+    /// Backward pass: returns `(dx, [dWqkv, dbqkv, dWo, dbo])`.
+    pub fn backward(&self, params: &[Tensor], stash: &Stash, dy: &Tensor) -> Result<(Tensor, Grads)> {
+        self.check_params(params)?;
+        let [x, probs, ctx] = match stash.tensors.as_slice() {
+            [a, b, c] => [a, b, c],
+            _ => {
+                return Err(TensorError::InvalidArgument {
+                    op: "attention backward",
+                    msg: "expected stash [x, probs, ctx]".to_string(),
+                })
+            }
+        };
+        let (b, s) = self.dims_of(x)?;
+        let (h, hd) = (self.heads, self.hd());
+        let scale = 1.0 / (hd as f32).sqrt();
+
+        // Output projection backward.
+        let dwo = ops::matmul_at_b(ctx, dy)?;
+        let dbo = ops::col_sum(dy)?;
+        let dctx = ops::matmul_a_bt(dy, &params[2])?; // dy · Woᵀ → [b*s, d]
+        let dctxd = dctx.data();
+
+        // Recompute QKV (cheaper to recompute than to stash: the paper's
+        // recompute-vs-stash trade-off, §4).
+        let qkv = ops::add_bias(&ops::matmul(x, &params[0])?, &params[1])?;
+        let qkvd = qkv.data();
+        let probsd = probs.data();
+
+        let mut dqkv = vec![0.0f32; b * s * 3 * self.dim];
+        for bi in 0..b {
+            for hi in 0..h {
+                for si in 0..s {
+                    let prow_base = ((bi * h + hi) * s + si) * s;
+                    let limit = if self.causal { si + 1 } else { s };
+                    let dctx_row = &dctxd[(bi * s + si) * self.dim + hi * hd..][..hd];
+                    // dP[si, sj] = dctx_row · V[sj]
+                    let mut dp = vec![0.0f32; s];
+                    for (sj, dpv) in dp.iter_mut().enumerate().take(limit) {
+                        let vrow = self.head_slice(&qkvd[(bi * s + sj) * 3 * self.dim..], 2, hi);
+                        *dpv = dctx_row.iter().zip(vrow).map(|(a, c)| a * c).sum();
+                        // dV[sj] += P[si, sj] * dctx_row
+                        let p = probsd[prow_base + sj];
+                        if p != 0.0 {
+                            let dv_base = (bi * s + sj) * 3 * self.dim + 2 * self.dim + hi * hd;
+                            for (o, &dc) in dqkv[dv_base..dv_base + hd].iter_mut().zip(dctx_row) {
+                                *o += p * dc;
+                            }
+                        }
+                    }
+                    // Softmax backward on the row: ds = P ⊙ (dP − Σ P·dP).
+                    let prow = &probsd[prow_base..prow_base + s];
+                    let dot: f32 = prow.iter().zip(&dp).map(|(p, d)| p * d).sum();
+                    for sj in 0..limit {
+                        let ds = prow[sj] * (dp[sj] - dot) * scale;
+                        if ds == 0.0 {
+                            continue;
+                        }
+                        // dQ[si] += ds · K[sj]; dK[sj] += ds · Q[si]
+                        let krow = self.head_slice(&qkvd[(bi * s + sj) * 3 * self.dim..], 1, hi);
+                        let qrow = self.head_slice(&qkvd[(bi * s + si) * 3 * self.dim..], 0, hi);
+                        let dq_base = (bi * s + si) * 3 * self.dim + hi * hd;
+                        let dk_base = (bi * s + sj) * 3 * self.dim + self.dim + hi * hd;
+                        for j in 0..hd {
+                            dqkv[dq_base + j] += ds * krow[j];
+                            dqkv[dk_base + j] += ds * qrow[j];
+                        }
+                    }
+                }
+            }
+        }
+        let dqkv_t = Tensor::from_vec([b * s, 3 * self.dim], dqkv)?;
+        let dwqkv = ops::matmul_at_b(x, &dqkv_t)?;
+        let dbqkv = ops::col_sum(&dqkv_t)?;
+        let dx = ops::matmul_a_bt(&dqkv_t, &params[0])?.reshape([b, s, self.dim])?;
+        Ok((
+            dx,
+            Grads {
+                tensors: vec![dwqkv, dbqkv, dwo, dbo],
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn::gradcheck::check_input_grad;
+
+    #[test]
+    fn new_validates_head_divisibility() {
+        assert!(MultiHeadAttention::new(8, 2, false).is_ok());
+        assert!(MultiHeadAttention::new(8, 3, false).is_err());
+        assert!(MultiHeadAttention::new(8, 0, false).is_err());
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let layer = MultiHeadAttention::new(8, 2, false).unwrap();
+        let mut rng = SplitMix64::new(31);
+        let params = layer.init_params(&mut rng);
+        let x = Tensor::randn([2, 5, 8], 1.0, &mut rng);
+        let (y, stash) = layer.forward(&params, &x).unwrap();
+        assert_eq!(y.shape().dims(), &[2, 5, 8]);
+        assert_eq!(stash.tensors[1].shape().dims(), &[2, 2, 5, 5]);
+        assert_eq!(stash.tensors[2].shape().dims(), &[2, 5, 8]);
+    }
+
+    #[test]
+    fn attention_probs_are_distributions() {
+        let layer = MultiHeadAttention::new(4, 2, false).unwrap();
+        let mut rng = SplitMix64::new(32);
+        let params = layer.init_params(&mut rng);
+        let x = Tensor::randn([1, 4, 4], 1.0, &mut rng);
+        let (_, stash) = layer.forward(&params, &x).unwrap();
+        let probs = &stash.tensors[1];
+        for row in probs.data().chunks(4) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-5, "row sum {s}");
+            assert!(row.iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn causal_mask_zeroes_future_positions() {
+        let layer = MultiHeadAttention::new(4, 1, true).unwrap();
+        let mut rng = SplitMix64::new(33);
+        let params = layer.init_params(&mut rng);
+        let x = Tensor::randn([1, 3, 4], 1.0, &mut rng);
+        let (_, stash) = layer.forward(&params, &x).unwrap();
+        let probs = stash.tensors[1].data();
+        // probs is [1, 1, 3, 3]; strict upper triangle must be zero.
+        assert_eq!(probs[1], 0.0);
+        assert_eq!(probs[2], 0.0);
+        assert_eq!(probs[5], 0.0);
+        // row sums still 1
+        for si in 0..3 {
+            let s: f32 = probs[si * 3..(si + 1) * 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn causal_output_ignores_future_tokens() {
+        // Changing a later token must not change earlier outputs.
+        let layer = MultiHeadAttention::new(4, 2, true).unwrap();
+        let mut rng = SplitMix64::new(34);
+        let params = layer.init_params(&mut rng);
+        let x1 = Tensor::randn([1, 3, 4], 1.0, &mut rng);
+        let mut x2 = x1.clone();
+        for j in 0..4 {
+            x2.data_mut()[2 * 4 + j] += 1.0; // perturb token 2
+        }
+        let (y1, _) = layer.forward(&params, &x1).unwrap();
+        let (y2, _) = layer.forward(&params, &x2).unwrap();
+        for j in 0..8 {
+            // tokens 0 and 1 unchanged
+            assert!((y1.data()[j] - y2.data()[j]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn backward_input_grad_matches_finite_difference() {
+        for causal in [false, true] {
+            let layer = MultiHeadAttention::new(6, 2, causal).unwrap();
+            let mut rng = SplitMix64::new(35);
+            let params = layer.init_params(&mut rng);
+            let x = Tensor::randn([1, 3, 6], 0.7, &mut rng);
+            let dy = Tensor::randn([1, 3, 6], 1.0, &mut rng);
+            let (_, stash) = layer.forward(&params, &x).unwrap();
+            let (dx, _) = layer.backward(&params, &stash, &dy).unwrap();
+            check_input_grad(
+                &x,
+                &dy,
+                &dx,
+                |x| layer.forward(&params, x).map(|(y, _)| y),
+                3e-2,
+            );
+        }
+    }
+
+    #[test]
+    fn backward_param_grads_match_finite_difference() {
+        let layer = MultiHeadAttention::new(4, 2, false).unwrap();
+        let mut rng = SplitMix64::new(36);
+        let params = layer.init_params(&mut rng);
+        let x = Tensor::randn([1, 2, 4], 0.7, &mut rng);
+        let dy = Tensor::randn([1, 2, 4], 1.0, &mut rng);
+        let (_, stash) = layer.forward(&params, &x).unwrap();
+        let (_, grads) = layer.backward(&params, &stash, &dy).unwrap();
+        let eps = 1e-2f32;
+        for pi in 0..4 {
+            let g = &grads.tensors[pi];
+            let step = (g.numel() / 8).max(1);
+            for j in (0..g.numel()).step_by(step) {
+                let mut pp = params.clone();
+                pp[pi].data_mut()[j] += eps;
+                let mut pm = params.clone();
+                pm[pi].data_mut()[j] -= eps;
+                let (yp, _) = layer.forward(&pp, &x).unwrap();
+                let (ym, _) = layer.forward(&pm, &x).unwrap();
+                let mut fd = 0.0f32;
+                for k in 0..yp.numel() {
+                    fd += dy.data()[k] * (yp.data()[k] - ym.data()[k]) / (2.0 * eps);
+                }
+                let denom = fd.abs().max(g.data()[j].abs()).max(1.0);
+                assert!(
+                    (fd - g.data()[j]).abs() / denom < 3e-2,
+                    "param {pi} coord {j}: fd {fd} vs {}",
+                    g.data()[j]
+                );
+            }
+        }
+    }
+
+    use crate::rng::SplitMix64;
+}

@@ -1,0 +1,461 @@
+//! Convolutional layers: Conv2d, MaxPool2d, Flatten.
+//!
+//! Inputs are rank-4 `[batch, channels, height, width]`. Kernels are
+//! deliberately naive loops — auditable and fast enough for the
+//! functional-mode tests that train LeNet on synthetic digits.
+
+use crate::error::TensorError;
+use crate::nn::{Grads, Stash};
+use crate::rng::SplitMix64;
+use crate::tensor::Tensor;
+use crate::Result;
+
+fn dims4(op: &'static str, x: &Tensor) -> Result<(usize, usize, usize, usize)> {
+    match x.shape().dims() {
+        &[b, c, h, w] => Ok((b, c, h, w)),
+        _ => Err(TensorError::RankMismatch {
+            op,
+            expected: 4,
+            actual: x.shape().rank(),
+        }),
+    }
+}
+
+/// 2-D convolution, valid padding.
+///
+/// Parameters: `[W [cout, cin·k·k], b [cout]]`. Stash: `[x]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2d {
+    /// Input channels.
+    pub cin: usize,
+    /// Output channels.
+    pub cout: usize,
+    /// Square kernel size.
+    pub k: usize,
+    /// Stride (both dims).
+    pub stride: usize,
+}
+
+impl Conv2d {
+    /// Creates a convolution description; errors on zero-size parameters.
+    pub fn new(cin: usize, cout: usize, k: usize, stride: usize) -> Result<Self> {
+        if cin == 0 || cout == 0 || k == 0 || stride == 0 {
+            return Err(TensorError::InvalidArgument {
+                op: "conv2d",
+                msg: format!("cin={cin}, cout={cout}, k={k}, stride={stride} must be positive"),
+            });
+        }
+        Ok(Conv2d {
+            cin,
+            cout,
+            k,
+            stride,
+        })
+    }
+
+    /// Kaiming-style initialisation.
+    pub fn init_params(&self, rng: &mut SplitMix64) -> Vec<Tensor> {
+        let fan_in = (self.cin * self.k * self.k).max(1);
+        let std = (2.0 / fan_in as f32).sqrt();
+        vec![
+            Tensor::randn([self.cout, self.cin * self.k * self.k], std, rng),
+            Tensor::zeros([self.cout]),
+        ]
+    }
+
+    /// Number of scalar parameters.
+    pub fn param_count(&self) -> usize {
+        self.cout * self.cin * self.k * self.k + self.cout
+    }
+
+    fn out_hw(&self, h: usize, w: usize) -> Result<(usize, usize)> {
+        if h < self.k || w < self.k {
+            return Err(TensorError::InvalidArgument {
+                op: "conv2d",
+                msg: format!("input {h}×{w} smaller than kernel {0}×{0}", self.k),
+            });
+        }
+        Ok(((h - self.k) / self.stride + 1, (w - self.k) / self.stride + 1))
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, params: &[Tensor], x: &Tensor) -> Result<(Tensor, Stash)> {
+        if params.len() != 2 {
+            return Err(TensorError::InvalidArgument {
+                op: "conv2d",
+                msg: format!("expected 2 params, got {}", params.len()),
+            });
+        }
+        let (b, c, h, w) = dims4("conv2d", x)?;
+        if c != self.cin {
+            return Err(TensorError::InvalidArgument {
+                op: "conv2d",
+                msg: format!("expected {} input channels, got {c}", self.cin),
+            });
+        }
+        let (oh, ow) = self.out_hw(h, w)?;
+        let wd = params[0].data();
+        let bd = params[1].data();
+        let xd = x.data();
+        let mut out = vec![0.0f32; b * self.cout * oh * ow];
+        let ksq = self.k * self.k;
+        for bi in 0..b {
+            for co in 0..self.cout {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = bd[co];
+                        let iy0 = oy * self.stride;
+                        let ix0 = ox * self.stride;
+                        for ci in 0..self.cin {
+                            let wbase = co * self.cin * ksq + ci * ksq;
+                            let xbase = ((bi * c + ci) * h + iy0) * w + ix0;
+                            for ky in 0..self.k {
+                                for kx in 0..self.k {
+                                    acc += wd[wbase + ky * self.k + kx]
+                                        * xd[xbase + ky * w + kx];
+                                }
+                            }
+                        }
+                        out[((bi * self.cout + co) * oh + oy) * ow + ox] = acc;
+                    }
+                }
+            }
+        }
+        Ok((
+            Tensor::from_vec([b, self.cout, oh, ow], out)?,
+            Stash {
+                tensors: vec![x.clone()],
+            },
+        ))
+    }
+
+    /// Backward pass: `(dx, [dW, db])`.
+    pub fn backward(&self, params: &[Tensor], stash: &Stash, dy: &Tensor) -> Result<(Tensor, Grads)> {
+        let x = stash.tensors.first().ok_or(TensorError::InvalidArgument {
+            op: "conv2d backward",
+            msg: "missing stashed input".to_string(),
+        })?;
+        let (b, c, h, w) = dims4("conv2d backward", x)?;
+        let (oh, ow) = self.out_hw(h, w)?;
+        let (db_, dc, dh, dw_dim) = dims4("conv2d backward", dy)?;
+        if (db_, dc, dh, dw_dim) != (b, self.cout, oh, ow) {
+            return Err(TensorError::ShapeMismatch {
+                op: "conv2d backward",
+                lhs: x.shape().clone(),
+                rhs: dy.shape().clone(),
+            });
+        }
+        let wd = params[0].data();
+        let xd = x.data();
+        let dyd = dy.data();
+        let ksq = self.k * self.k;
+        let mut dx = vec![0.0f32; xd.len()];
+        let mut dwt = vec![0.0f32; wd.len()];
+        let mut dbias = vec![0.0f32; self.cout];
+        for bi in 0..b {
+            for co in 0..self.cout {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = dyd[((bi * self.cout + co) * oh + oy) * ow + ox];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        dbias[co] += g;
+                        let iy0 = oy * self.stride;
+                        let ix0 = ox * self.stride;
+                        for ci in 0..self.cin {
+                            let wbase = co * self.cin * ksq + ci * ksq;
+                            let xbase = ((bi * c + ci) * h + iy0) * w + ix0;
+                            for ky in 0..self.k {
+                                for kx in 0..self.k {
+                                    dwt[wbase + ky * self.k + kx] += g * xd[xbase + ky * w + kx];
+                                    dx[xbase + ky * w + kx] += g * wd[wbase + ky * self.k + kx];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok((
+            Tensor::from_vec(x.shape().clone(), dx)?,
+            Grads {
+                tensors: vec![
+                    Tensor::from_vec(params[0].shape().clone(), dwt)?,
+                    Tensor::from_vec([self.cout], dbias)?,
+                ],
+            },
+        ))
+    }
+}
+
+/// Max pooling with square window `k` and stride `k` (non-overlapping).
+///
+/// Parameters: none. Stash: `[x, argmax]` where argmax holds the flat
+/// input index (as f32) each output element was taken from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaxPool2d {
+    /// Window/stride size.
+    pub k: usize,
+}
+
+impl MaxPool2d {
+    /// Creates a pooling description.
+    pub fn new(k: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(TensorError::InvalidArgument {
+                op: "maxpool2d",
+                msg: "window must be positive".to_string(),
+            });
+        }
+        Ok(MaxPool2d { k })
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, x: &Tensor) -> Result<(Tensor, Stash)> {
+        let (b, c, h, w) = dims4("maxpool2d", x)?;
+        let (oh, ow) = (h / self.k, w / self.k);
+        if oh == 0 || ow == 0 {
+            return Err(TensorError::InvalidArgument {
+                op: "maxpool2d",
+                msg: format!("input {h}×{w} smaller than window {}", self.k),
+            });
+        }
+        let xd = x.data();
+        let mut out = vec![0.0f32; b * c * oh * ow];
+        let mut arg = vec![0.0f32; b * c * oh * ow];
+        for bi in 0..b {
+            for ci in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for ky in 0..self.k {
+                            for kx in 0..self.k {
+                                let idx = ((bi * c + ci) * h + oy * self.k + ky) * w
+                                    + ox * self.k
+                                    + kx;
+                                if xd[idx] > best {
+                                    best = xd[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        let o = ((bi * c + ci) * oh + oy) * ow + ox;
+                        out[o] = best;
+                        arg[o] = best_idx as f32;
+                    }
+                }
+            }
+        }
+        Ok((
+            Tensor::from_vec([b, c, oh, ow], out)?,
+            Stash {
+                tensors: vec![x.clone(), Tensor::from_vec([b, c, oh, ow], arg)?],
+            },
+        ))
+    }
+
+    /// Backward pass: routes each upstream gradient to its argmax source.
+    pub fn backward(&self, stash: &Stash, dy: &Tensor) -> Result<(Tensor, Grads)> {
+        let [x, arg] = match stash.tensors.as_slice() {
+            [a, b] => [a, b],
+            _ => {
+                return Err(TensorError::InvalidArgument {
+                    op: "maxpool2d backward",
+                    msg: "expected stash [x, argmax]".to_string(),
+                })
+            }
+        };
+        if dy.shape() != arg.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: "maxpool2d backward",
+                lhs: arg.shape().clone(),
+                rhs: dy.shape().clone(),
+            });
+        }
+        let mut dx = vec![0.0f32; x.numel()];
+        for (i, &g) in dy.data().iter().enumerate() {
+            let src = arg.data()[i] as usize;
+            if src >= dx.len() {
+                return Err(TensorError::IndexOutOfRange {
+                    op: "maxpool2d backward",
+                    index: src,
+                    bound: dx.len(),
+                });
+            }
+            dx[src] += g;
+        }
+        Ok((
+            Tensor::from_vec(x.shape().clone(), dx)?,
+            Grads::default(),
+        ))
+    }
+}
+
+/// Flattens `[b, ...]` to `[b, prod(...)]` (and reshapes gradients back).
+///
+/// Parameters: none. Stash: `[shape witness]` (a zero-sized record of the
+/// original shape, kept as a 1-element tensor per trailing dim count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Flatten;
+
+impl Flatten {
+    /// Forward pass.
+    pub fn forward(&self, x: &Tensor) -> Result<(Tensor, Stash)> {
+        let dims = x.shape().dims();
+        let b = *dims.first().ok_or(TensorError::RankMismatch {
+            op: "flatten",
+            expected: 2,
+            actual: 0,
+        })?;
+        let rest: usize = dims[1..].iter().product();
+        let shape_witness = Tensor::from_vec(
+            [dims.len()],
+            dims.iter().map(|&d| d as f32).collect(),
+        )?;
+        Ok((
+            x.clone().reshape([b, rest])?,
+            Stash {
+                tensors: vec![shape_witness],
+            },
+        ))
+    }
+
+    /// Backward pass: reshape `dy` to the stashed original shape.
+    pub fn backward(&self, stash: &Stash, dy: &Tensor) -> Result<(Tensor, Grads)> {
+        let witness = stash.tensors.first().ok_or(TensorError::InvalidArgument {
+            op: "flatten backward",
+            msg: "missing shape witness".to_string(),
+        })?;
+        let dims: Vec<usize> = witness.data().iter().map(|&d| d as usize).collect();
+        Ok((dy.clone().reshape(dims)?, Grads::default()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn::gradcheck::check_input_grad;
+
+    #[test]
+    fn conv_known_values() {
+        // 1×1×3×3 input, 1 output channel, 2×2 kernel of ones, stride 1:
+        // each output = sum of the 2×2 window.
+        let conv = Conv2d::new(1, 1, 2, 1).unwrap();
+        let params = vec![Tensor::ones([1, 4]), Tensor::zeros([1])];
+        let x = Tensor::from_vec([1, 1, 3, 3], (1..=9).map(|v| v as f32).collect()).unwrap();
+        let (y, _) = conv.forward(&params, &x).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[12.0, 16.0, 24.0, 28.0]);
+    }
+
+    #[test]
+    fn conv_stride_and_bias() {
+        let conv = Conv2d::new(1, 2, 2, 2).unwrap();
+        let mut rng = SplitMix64::new(1);
+        let mut params = conv.init_params(&mut rng);
+        params[1] = Tensor::from_vec([2], vec![1.0, -1.0]).unwrap();
+        let x = Tensor::ones([1, 1, 4, 4]);
+        let (y, _) = conv.forward(&params, &x).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 2, 2, 2]);
+        let wsum0: f32 = params[0].data()[0..4].iter().sum();
+        assert!((y.data()[0] - (wsum0 + 1.0)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn conv_backward_matches_finite_difference() {
+        let conv = Conv2d::new(2, 3, 2, 1).unwrap();
+        let mut rng = SplitMix64::new(2);
+        let params = conv.init_params(&mut rng);
+        let x = Tensor::randn([2, 2, 4, 4], 1.0, &mut rng);
+        let (y, stash) = conv.forward(&params, &x).unwrap();
+        let dy = Tensor::randn(y.shape().clone(), 1.0, &mut rng);
+        let (dx, grads) = conv.backward(&params, &stash, &dy).unwrap();
+        check_input_grad(
+            &x,
+            &dy,
+            &dx,
+            |x| conv.forward(&params, x).map(|(y, _)| y),
+            3e-2,
+        );
+        // Weight gradient on a few coordinates.
+        let eps = 1e-2f32;
+        for j in [0usize, 7, 15] {
+            let mut pp = params.clone();
+            pp[0].data_mut()[j] += eps;
+            let mut pm = params.clone();
+            pm[0].data_mut()[j] -= eps;
+            let (yp, _) = conv.forward(&pp, &x).unwrap();
+            let (ym, _) = conv.forward(&pm, &x).unwrap();
+            let mut fd = 0.0f32;
+            for k in 0..yp.numel() {
+                fd += dy.data()[k] * (yp.data()[k] - ym.data()[k]) / (2.0 * eps);
+            }
+            let analytic = grads.tensors[0].data()[j];
+            assert!((fd - analytic).abs() < 3e-2, "w[{j}]: {fd} vs {analytic}");
+        }
+    }
+
+    #[test]
+    fn conv_rejects_bad_shapes() {
+        let conv = Conv2d::new(2, 1, 3, 1).unwrap();
+        let mut rng = SplitMix64::new(3);
+        let params = conv.init_params(&mut rng);
+        assert!(conv.forward(&params, &Tensor::zeros([1, 3, 5, 5])).is_err()); // wrong cin
+        assert!(conv.forward(&params, &Tensor::zeros([1, 2, 2, 2])).is_err()); // too small
+        assert!(conv.forward(&params, &Tensor::zeros([4, 4])).is_err()); // wrong rank
+        assert!(Conv2d::new(0, 1, 1, 1).is_err());
+    }
+
+    #[test]
+    fn maxpool_takes_window_maxima() {
+        let pool = MaxPool2d::new(2).unwrap();
+        let x = Tensor::from_vec(
+            [1, 1, 4, 4],
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                9.0, 10.0, 13.0, 14.0, //
+                11.0, 12.0, 15.0, 16.0,
+            ],
+        )
+        .unwrap();
+        let (y, _) = pool.forward(&x).unwrap();
+        assert_eq!(y.data(), &[4.0, 8.0, 12.0, 16.0]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let pool = MaxPool2d::new(2).unwrap();
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![1.0, 9.0, 3.0, 4.0]).unwrap();
+        let (_, stash) = pool.forward(&x).unwrap();
+        let dy = Tensor::from_vec([1, 1, 1, 1], vec![5.0]).unwrap();
+        let (dx, _) = pool.backward(&stash, &dy).unwrap();
+        assert_eq!(dx.data(), &[0.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn maxpool_gradcheck_away_from_ties() {
+        let pool = MaxPool2d::new(2).unwrap();
+        let mut rng = SplitMix64::new(5);
+        let x = Tensor::randn([1, 2, 4, 4], 1.0, &mut rng);
+        let (y, stash) = pool.forward(&x).unwrap();
+        let dy = Tensor::randn(y.shape().clone(), 1.0, &mut rng);
+        let (dx, _) = pool.backward(&stash, &dy).unwrap();
+        check_input_grad(&x, &dy, &dx, |x| pool.forward(x).map(|(y, _)| y), 3e-2);
+    }
+
+    #[test]
+    fn flatten_roundtrips_gradients() {
+        let flat = Flatten;
+        let mut rng = SplitMix64::new(6);
+        let x = Tensor::randn([2, 3, 4, 5], 1.0, &mut rng);
+        let (y, stash) = flat.forward(&x).unwrap();
+        assert_eq!(y.shape().dims(), &[2, 60]);
+        let dy = Tensor::randn([2, 60], 1.0, &mut rng);
+        let (dx, _) = flat.backward(&stash, &dy).unwrap();
+        assert_eq!(dx.shape(), x.shape());
+        assert_eq!(dx.data(), dy.data());
+    }
+}

@@ -1,0 +1,149 @@
+//! Token embedding lookup table.
+
+use crate::error::TensorError;
+use crate::nn::{Grads, Stash};
+use crate::rng::SplitMix64;
+use crate::tensor::Tensor;
+use crate::Result;
+
+/// Embedding table: maps integer token ids to `dim`-dimensional rows of a
+/// `[vocab, dim]` weight matrix.
+///
+/// Token ids arrive as an f32 tensor (any shape) whose entries must be
+/// non-negative integers below `vocab` — this keeps the executor's tensor
+/// universe homogeneous, matching how Harmony treats all tensors uniformly
+/// in its swap model.
+///
+/// Parameters: `[W [vocab, dim]]`. Stash: `[ids]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Embedding {
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Embedding dimension.
+    pub dim: usize,
+}
+
+impl Embedding {
+    /// Creates an embedding description.
+    pub fn new(vocab: usize, dim: usize) -> Self {
+        Embedding { vocab, dim }
+    }
+
+    /// Initialises the table with small normal entries.
+    pub fn init_params(&self, rng: &mut SplitMix64) -> Vec<Tensor> {
+        vec![Tensor::randn([self.vocab, self.dim], 0.02, rng)]
+    }
+
+    /// Number of scalar parameters.
+    pub fn param_count(&self) -> usize {
+        self.vocab * self.dim
+    }
+
+    fn id_at(&self, ids: &Tensor, i: usize) -> Result<usize> {
+        let raw = ids.data()[i];
+        let id = raw as usize;
+        if raw < 0.0 || raw.fract() != 0.0 || id >= self.vocab {
+            return Err(TensorError::IndexOutOfRange {
+                op: "embedding",
+                index: id,
+                bound: self.vocab,
+            });
+        }
+        Ok(id)
+    }
+
+    /// Forward: output shape is `ids.shape() + [dim]`.
+    pub fn forward(&self, params: &[Tensor], ids: &Tensor) -> Result<(Tensor, Stash)> {
+        let w = params.first().ok_or(TensorError::InvalidArgument {
+            op: "embedding",
+            msg: "missing weight".to_string(),
+        })?;
+        let mut out = Vec::with_capacity(ids.numel() * self.dim);
+        for i in 0..ids.numel() {
+            let id = self.id_at(ids, i)?;
+            out.extend_from_slice(&w.data()[id * self.dim..(id + 1) * self.dim]);
+        }
+        let mut dims = ids.shape().dims().to_vec();
+        dims.push(self.dim);
+        let y = Tensor::from_vec(dims, out)?;
+        Ok((
+            y,
+            Stash {
+                tensors: vec![ids.clone()],
+            },
+        ))
+    }
+
+    /// Backward: scatters `dy` rows into `dW`; `dx` is a zero tensor shaped
+    /// like the ids (ids are not differentiable, but a placeholder keeps the
+    /// task-graph dataflow uniform).
+    pub fn backward(&self, _params: &[Tensor], stash: &Stash, dy: &Tensor) -> Result<(Tensor, Grads)> {
+        let ids = stash.tensors.first().ok_or(TensorError::InvalidArgument {
+            op: "embedding backward",
+            msg: "missing stashed ids".to_string(),
+        })?;
+        if dy.numel() != ids.numel() * self.dim {
+            return Err(TensorError::ShapeMismatch {
+                op: "embedding backward",
+                lhs: ids.shape().clone(),
+                rhs: dy.shape().clone(),
+            });
+        }
+        let mut dw = vec![0.0f32; self.vocab * self.dim];
+        for i in 0..ids.numel() {
+            let id = self.id_at(ids, i)?;
+            for j in 0..self.dim {
+                dw[id * self.dim + j] += dy.data()[i * self.dim + j];
+            }
+        }
+        Ok((
+            Tensor::zeros(ids.shape().clone()),
+            Grads {
+                tensors: vec![Tensor::from_vec([self.vocab, self.dim], dw)?],
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_looks_up_rows() {
+        let layer = Embedding::new(3, 2);
+        let w = Tensor::from_vec([3, 2], vec![0.0, 0.1, 1.0, 1.1, 2.0, 2.1]).unwrap();
+        let ids = Tensor::from_vec([2, 2], vec![2.0, 0.0, 1.0, 2.0]).unwrap();
+        let (y, _) = layer.forward(&[w], &ids).unwrap();
+        assert_eq!(y.shape().dims(), &[2, 2, 2]);
+        assert_eq!(y.data(), &[2.0, 2.1, 0.0, 0.1, 1.0, 1.1, 2.0, 2.1]);
+    }
+
+    #[test]
+    fn forward_rejects_bad_ids() {
+        let layer = Embedding::new(3, 2);
+        let w = Tensor::zeros([3, 2]);
+        for bad in [3.0f32, -1.0, 0.5] {
+            let ids = Tensor::from_vec([1], vec![bad]).unwrap();
+            assert!(layer.forward(std::slice::from_ref(&w), &ids).is_err(), "id {bad}");
+        }
+    }
+
+    #[test]
+    fn backward_scatters_and_accumulates_duplicates() {
+        let layer = Embedding::new(3, 2);
+        let w = Tensor::zeros([3, 2]);
+        let ids = Tensor::from_vec([3], vec![1.0, 1.0, 0.0]).unwrap();
+        let (_, stash) = layer.forward(std::slice::from_ref(&w), &ids).unwrap();
+        let dy = Tensor::from_vec([3, 2], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let (dx, grads) = layer.backward(&[w], &stash, &dy).unwrap();
+        assert_eq!(dx.shape().dims(), &[3]);
+        // Row 1 gets both microgradients: [1+3, 2+4] = [4, 6].
+        assert_eq!(grads.tensors[0].data(), &[5.0, 6.0, 4.0, 6.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn param_count() {
+        assert_eq!(Embedding::new(100, 16).param_count(), 1600);
+    }
+}

@@ -1,0 +1,215 @@
+//! Uniform dispatch over concrete layer kinds.
+
+use crate::nn::{
+    Activation, Conv2d, Embedding, Flatten, Grads, LayerNorm, Linear, MaxPool2d,
+    MultiHeadAttention, Stash,
+};
+use crate::rng::SplitMix64;
+use crate::tensor::Tensor;
+use crate::Result;
+
+/// Result of a layer's forward pass.
+#[derive(Debug, Clone)]
+pub struct LayerOutput {
+    /// Output activation.
+    pub output: Tensor,
+    /// Tensors stashed for backward.
+    pub stash: Stash,
+}
+
+/// A layer description (no owned tensor state — parameters live with the
+/// runtime's memory manager so they can be placed and swapped).
+#[derive(Debug, Clone)]
+pub enum Layer {
+    /// Affine projection.
+    Linear(Linear),
+    /// Pointwise nonlinearity.
+    Activation(Activation),
+    /// Layer normalisation.
+    LayerNorm(LayerNorm),
+    /// Token embedding lookup.
+    Embedding(Embedding),
+    /// Multi-head self-attention.
+    Attention(MultiHeadAttention),
+    /// 2-D convolution (valid padding).
+    Conv2d(Conv2d),
+    /// Non-overlapping max pooling.
+    MaxPool2d(MaxPool2d),
+    /// Flatten `[b, ...]` to `[b, n]`.
+    Flatten(Flatten),
+    /// Residual add: `y = x + stashed_branch_input`. The skip input is the
+    /// second tensor passed via [`Layer::forward_with_skip`].
+    ResidualAdd,
+}
+
+impl Layer {
+    /// A short kind name for traces and error messages.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Layer::Linear(_) => "linear",
+            Layer::Activation(_) => "activation",
+            Layer::LayerNorm(_) => "layernorm",
+            Layer::Embedding(_) => "embedding",
+            Layer::Attention(_) => "attention",
+            Layer::Conv2d(_) => "conv2d",
+            Layer::MaxPool2d(_) => "maxpool2d",
+            Layer::Flatten(_) => "flatten",
+            Layer::ResidualAdd => "residual_add",
+        }
+    }
+
+    /// Initialises this layer's parameter tensors (empty for parameter-free
+    /// layers).
+    pub fn init_params(&self, rng: &mut SplitMix64) -> Vec<Tensor> {
+        match self {
+            Layer::Linear(l) => l.init_params(rng),
+            Layer::Activation(_) | Layer::ResidualAdd => Vec::new(),
+            Layer::LayerNorm(l) => l.init_params(),
+            Layer::Embedding(l) => l.init_params(rng),
+            Layer::Attention(l) => l.init_params(rng),
+            Layer::Conv2d(l) => l.init_params(rng),
+            Layer::MaxPool2d(_) | Layer::Flatten(_) => Vec::new(),
+        }
+    }
+
+    /// Number of scalar parameters.
+    pub fn param_count(&self) -> usize {
+        match self {
+            Layer::Linear(l) => l.param_count(),
+            Layer::Activation(_) | Layer::ResidualAdd => 0,
+            Layer::LayerNorm(l) => l.param_count(),
+            Layer::Embedding(l) => l.param_count(),
+            Layer::Attention(l) => l.param_count(),
+            Layer::Conv2d(l) => l.param_count(),
+            Layer::MaxPool2d(_) | Layer::Flatten(_) => 0,
+        }
+    }
+
+    /// Forward pass for single-input layers. `ResidualAdd` requires
+    /// [`Layer::forward_with_skip`].
+    pub fn forward(&self, params: &[Tensor], x: &Tensor) -> Result<LayerOutput> {
+        let (output, stash) = match self {
+            Layer::Linear(l) => l.forward(params, x)?,
+            Layer::Activation(l) => l.forward(x)?,
+            Layer::LayerNorm(l) => l.forward(params, x)?,
+            Layer::Embedding(l) => l.forward(params, x)?,
+            Layer::Attention(l) => l.forward(params, x)?,
+            Layer::Conv2d(l) => l.forward(params, x)?,
+            Layer::MaxPool2d(l) => l.forward(x)?,
+            Layer::Flatten(l) => l.forward(x)?,
+            Layer::ResidualAdd => {
+                return Err(crate::TensorError::InvalidArgument {
+                    op: "forward",
+                    msg: "residual_add requires forward_with_skip".to_string(),
+                })
+            }
+        };
+        Ok(LayerOutput { output, stash })
+    }
+
+    /// Forward for layers taking a skip input (`ResidualAdd`); other layers
+    /// ignore `skip`.
+    pub fn forward_with_skip(
+        &self,
+        params: &[Tensor],
+        x: &Tensor,
+        skip: &Tensor,
+    ) -> Result<LayerOutput> {
+        match self {
+            Layer::ResidualAdd => {
+                let output = crate::ops::add(x, skip)?;
+                Ok(LayerOutput {
+                    output,
+                    stash: Stash::default(),
+                })
+            }
+            _ => self.forward(params, x),
+        }
+    }
+
+    /// Backward pass: `(dx, grads)`. For `ResidualAdd`, `dx` is the gradient
+    /// for *both* inputs (identical, since addition duplicates the
+    /// upstream gradient).
+    pub fn backward(&self, params: &[Tensor], stash: &Stash, dy: &Tensor) -> Result<(Tensor, Grads)> {
+        match self {
+            Layer::Linear(l) => l.backward(params, stash, dy),
+            Layer::Activation(l) => l.backward(stash, dy),
+            Layer::LayerNorm(l) => l.backward(params, stash, dy),
+            Layer::Embedding(l) => l.backward(params, stash, dy),
+            Layer::Attention(l) => l.backward(params, stash, dy),
+            Layer::Conv2d(l) => l.backward(params, stash, dy),
+            Layer::MaxPool2d(l) => l.backward(stash, dy),
+            Layer::Flatten(l) => l.backward(stash, dy),
+            Layer::ResidualAdd => Ok((dy.clone(), Grads::default())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn::ActivationKind;
+
+    #[test]
+    fn dispatch_forward_backward_roundtrip() {
+        let mut rng = SplitMix64::new(41);
+        let layers = vec![
+            Layer::Linear(Linear::new(4, 4, true)),
+            Layer::Activation(Activation::new(ActivationKind::Gelu)),
+            Layer::LayerNorm(LayerNorm::new(4)),
+        ];
+        let mut x = Tensor::randn([2, 4], 1.0, &mut rng);
+        let mut stack = Vec::new();
+        for layer in &layers {
+            let params = layer.init_params(&mut rng);
+            let out = layer.forward(&params, &x).unwrap();
+            stack.push((params, out.stash));
+            x = out.output;
+        }
+        let mut dy = Tensor::ones([2, 4]);
+        for (layer, (params, stash)) in layers.iter().zip(&stack).rev() {
+            let (dx, _) = layer.backward(params, stash, &dy).unwrap();
+            dy = dx;
+        }
+        assert_eq!(dy.shape().dims(), &[2, 4]);
+        assert!(dy.all_finite());
+    }
+
+    #[test]
+    fn residual_add_needs_skip() {
+        let layer = Layer::ResidualAdd;
+        let x = Tensor::ones([2]);
+        assert!(layer.forward(&[], &x).is_err());
+        let out = layer.forward_with_skip(&[], &x, &Tensor::full([2], 2.0)).unwrap();
+        assert_eq!(out.output.data(), &[3.0, 3.0]);
+        let (dx, grads) = layer.backward(&[], &Stash::default(), &x).unwrap();
+        assert_eq!(dx, x);
+        assert!(grads.tensors.is_empty());
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(Layer::ResidualAdd.kind_name(), "residual_add");
+        assert_eq!(
+            Layer::Linear(Linear::new(1, 1, false)).kind_name(),
+            "linear"
+        );
+    }
+
+    #[test]
+    fn param_counts_match_init_sizes() {
+        let mut rng = SplitMix64::new(42);
+        let layers = vec![
+            Layer::Linear(Linear::new(8, 3, true)),
+            Layer::LayerNorm(LayerNorm::new(8)),
+            Layer::Embedding(Embedding::new(10, 4)),
+            Layer::Attention(MultiHeadAttention::new(8, 2, false).unwrap()),
+            Layer::ResidualAdd,
+        ];
+        for layer in layers {
+            let params = layer.init_params(&mut rng);
+            let total: usize = params.iter().map(Tensor::numel).sum();
+            assert_eq!(total, layer.param_count(), "layer {}", layer.kind_name());
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Layer normalisation over the last dimension.
+
+use crate::error::TensorError;
+use crate::nn::{Grads, Stash};
+use crate::tensor::Tensor;
+use crate::Result;
+
+/// LayerNorm: per-row normalisation over the last dim, with learned scale
+/// `gamma` and shift `beta`.
+///
+/// Parameters: `[gamma [d], beta [d]]`. Stash: `[x]` (mean/var are
+/// recomputed in backward; cheaper than stashing them and matches the
+/// paper's observation that running-state tensors are second-order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerNorm {
+    /// Normalised (last) dimension size.
+    pub dim: usize,
+    /// Numerical-stability epsilon.
+    pub eps_bits: u32,
+}
+
+impl LayerNorm {
+    /// Creates a LayerNorm over `dim` features with the default epsilon.
+    pub fn new(dim: usize) -> Self {
+        LayerNorm {
+            dim,
+            eps_bits: 1e-5f32.to_bits(),
+        }
+    }
+
+    fn eps(&self) -> f32 {
+        f32::from_bits(self.eps_bits)
+    }
+
+    /// Initialises `gamma = 1`, `beta = 0`.
+    pub fn init_params(&self) -> Vec<Tensor> {
+        vec![Tensor::ones([self.dim]), Tensor::zeros([self.dim])]
+    }
+
+    /// Number of scalar parameters.
+    pub fn param_count(&self) -> usize {
+        2 * self.dim
+    }
+
+    fn check(&self, params: &[Tensor], x: &Tensor) -> Result<(usize, usize)> {
+        if params.len() != 2 {
+            return Err(TensorError::InvalidArgument {
+                op: "layernorm",
+                msg: format!("expected 2 params, got {}", params.len()),
+            });
+        }
+        let (rows, d) = x.shape().as_matrix();
+        if d != self.dim {
+            return Err(TensorError::ShapeMismatch {
+                op: "layernorm",
+                lhs: x.shape().clone(),
+                rhs: params[0].shape().clone(),
+            });
+        }
+        Ok((rows, d))
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, params: &[Tensor], x: &Tensor) -> Result<(Tensor, Stash)> {
+        let (rows, d) = self.check(params, x)?;
+        let gamma = params[0].data();
+        let beta = params[1].data();
+        let mut out = vec![0.0f32; rows * d];
+        for r in 0..rows {
+            let row = &x.data()[r * d..(r + 1) * d];
+            let mean = row.iter().sum::<f32>() / d as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let inv_std = 1.0 / (var + self.eps()).sqrt();
+            for (j, (&v, o)) in row.iter().zip(&mut out[r * d..(r + 1) * d]).enumerate() {
+                *o = gamma[j] * (v - mean) * inv_std + beta[j];
+            }
+        }
+        let y = Tensor::from_vec(x.shape().clone(), out)?;
+        Ok((
+            y,
+            Stash {
+                tensors: vec![x.clone()],
+            },
+        ))
+    }
+
+    /// Backward pass: returns `(dx, [dgamma, dbeta])`.
+    pub fn backward(&self, params: &[Tensor], stash: &Stash, dy: &Tensor) -> Result<(Tensor, Grads)> {
+        let x = stash.tensors.first().ok_or(TensorError::InvalidArgument {
+            op: "layernorm backward",
+            msg: "missing stashed input".to_string(),
+        })?;
+        let (rows, d) = self.check(params, x)?;
+        if dy.shape() != x.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: "layernorm backward",
+                lhs: x.shape().clone(),
+                rhs: dy.shape().clone(),
+            });
+        }
+        let gamma = params[0].data();
+        let mut dx = vec![0.0f32; rows * d];
+        let mut dgamma = vec![0.0f32; d];
+        let mut dbeta = vec![0.0f32; d];
+        for r in 0..rows {
+            let xrow = &x.data()[r * d..(r + 1) * d];
+            let dyrow = &dy.data()[r * d..(r + 1) * d];
+            let mean = xrow.iter().sum::<f32>() / d as f32;
+            let var = xrow.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let inv_std = 1.0 / (var + self.eps()).sqrt();
+            // xhat_j = (x_j - mean) * inv_std
+            // dx = (gamma*dy - mean(gamma*dy) - xhat * mean(gamma*dy*xhat)) * inv_std
+            let mut sum_gdy = 0.0f32;
+            let mut sum_gdy_xhat = 0.0f32;
+            for j in 0..d {
+                let xhat = (xrow[j] - mean) * inv_std;
+                let gdy = gamma[j] * dyrow[j];
+                sum_gdy += gdy;
+                sum_gdy_xhat += gdy * xhat;
+                dgamma[j] += dyrow[j] * xhat;
+                dbeta[j] += dyrow[j];
+            }
+            let m = d as f32;
+            for j in 0..d {
+                let xhat = (xrow[j] - mean) * inv_std;
+                let gdy = gamma[j] * dyrow[j];
+                dx[r * d + j] = (gdy - sum_gdy / m - xhat * sum_gdy_xhat / m) * inv_std;
+            }
+        }
+        Ok((
+            Tensor::from_vec(x.shape().clone(), dx)?,
+            Grads {
+                tensors: vec![
+                    Tensor::from_vec([d], dgamma)?,
+                    Tensor::from_vec([d], dbeta)?,
+                ],
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn::gradcheck::check_input_grad;
+    use crate::rng::SplitMix64;
+
+    #[test]
+    fn forward_normalises_rows() {
+        let layer = LayerNorm::new(4);
+        let params = layer.init_params();
+        let x = Tensor::from_vec([2, 4], vec![1.0, 2.0, 3.0, 4.0, -2.0, 0.0, 2.0, 4.0]).unwrap();
+        let (y, _) = layer.forward(&params, &x).unwrap();
+        for r in 0..2 {
+            let row = &y.data()[r * 4..(r + 1) * 4];
+            let mean: f32 = row.iter().sum::<f32>() / 4.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5, "row {r} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "row {r} var {var}");
+        }
+    }
+
+    #[test]
+    fn gamma_beta_affect_output() {
+        let layer = LayerNorm::new(2);
+        let mut params = layer.init_params();
+        params[0] = Tensor::from_vec([2], vec![2.0, 2.0]).unwrap();
+        params[1] = Tensor::from_vec([2], vec![1.0, 1.0]).unwrap();
+        let x = Tensor::from_vec([1, 2], vec![-1.0, 1.0]).unwrap();
+        let (y, _) = layer.forward(&params, &x).unwrap();
+        // xhat = [-1, 1] (up to eps), so y ≈ [-1, 3].
+        assert!((y.data()[0] + 1.0).abs() < 1e-2);
+        assert!((y.data()[1] - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let layer = LayerNorm::new(6);
+        let mut rng = SplitMix64::new(21);
+        let mut params = layer.init_params();
+        params[0] = Tensor::randn([6], 1.0, &mut rng);
+        params[1] = Tensor::randn([6], 0.5, &mut rng);
+        let x = Tensor::randn([3, 6], 2.0, &mut rng);
+        let dy = Tensor::randn([3, 6], 1.0, &mut rng);
+        let (_, stash) = layer.forward(&params, &x).unwrap();
+        let (dx, grads) = layer.backward(&params, &stash, &dy).unwrap();
+        check_input_grad(
+            &x,
+            &dy,
+            &dx,
+            |x| layer.forward(&params, x).map(|(y, _)| y),
+            3e-2,
+        );
+        // dgamma / dbeta finite difference.
+        let eps = 1e-2f32;
+        for (pi, g) in grads.tensors.iter().enumerate() {
+            for j in 0..6 {
+                let mut pp = params.clone();
+                pp[pi].data_mut()[j] += eps;
+                let mut pm = params.clone();
+                pm[pi].data_mut()[j] -= eps;
+                let (yp, _) = layer.forward(&pp, &x).unwrap();
+                let (ym, _) = layer.forward(&pm, &x).unwrap();
+                let mut fd = 0.0f32;
+                for k in 0..yp.numel() {
+                    fd += dy.data()[k] * (yp.data()[k] - ym.data()[k]) / (2.0 * eps);
+                }
+                assert!(
+                    (fd - g.data()[j]).abs() < 3e-2,
+                    "param {pi} coord {j}: fd {fd} vs {}",
+                    g.data()[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_feature_dim() {
+        let layer = LayerNorm::new(4);
+        let params = layer.init_params();
+        assert!(layer.forward(&params, &Tensor::zeros([2, 5])).is_err());
+    }
+}

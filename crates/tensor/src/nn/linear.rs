@@ -1,0 +1,195 @@
+//! Fully-connected (affine) layer.
+
+use crate::error::TensorError;
+use crate::nn::{Grads, Stash};
+use crate::ops;
+use crate::rng::SplitMix64;
+use crate::tensor::Tensor;
+use crate::Result;
+
+/// `y = x · W + b` with `W: [in, out]`, `b: [out]`.
+///
+/// Parameters (in order): `[W]` or `[W, b]`.
+/// Stash: `[x]` (needed for `dW = xᵀ · dy`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Linear {
+    /// Input feature dimension.
+    pub in_features: usize,
+    /// Output feature dimension.
+    pub out_features: usize,
+    /// Whether a bias vector is learned.
+    pub bias: bool,
+}
+
+impl Linear {
+    /// Creates a linear layer description.
+    pub fn new(in_features: usize, out_features: usize, bias: bool) -> Self {
+        Linear {
+            in_features,
+            out_features,
+            bias,
+        }
+    }
+
+    /// Initialises parameters with Kaiming-style scaling.
+    pub fn init_params(&self, rng: &mut SplitMix64) -> Vec<Tensor> {
+        let std = (2.0 / self.in_features.max(1) as f32).sqrt();
+        let w = Tensor::randn([self.in_features, self.out_features], std, rng);
+        if self.bias {
+            vec![w, Tensor::zeros([self.out_features])]
+        } else {
+            vec![w]
+        }
+    }
+
+    /// Number of scalar parameters.
+    pub fn param_count(&self) -> usize {
+        self.in_features * self.out_features + if self.bias { self.out_features } else { 0 }
+    }
+
+    fn check_params(&self, params: &[Tensor]) -> Result<()> {
+        let expected = if self.bias { 2 } else { 1 };
+        if params.len() != expected {
+            return Err(TensorError::InvalidArgument {
+                op: "linear",
+                msg: format!("expected {expected} params, got {}", params.len()),
+            });
+        }
+        Ok(())
+    }
+
+    /// Forward pass. Accepts any input whose last dim is `in_features`;
+    /// the output keeps leading dims with the last dim replaced by
+    /// `out_features`.
+    pub fn forward(&self, params: &[Tensor], x: &Tensor) -> Result<(Tensor, Stash)> {
+        self.check_params(params)?;
+        let mut y = ops::matmul(x, &params[0])?;
+        if self.bias {
+            y = ops::add_bias(&y, &params[1])?;
+        }
+        // Restore leading dims.
+        let mut dims = x.shape().dims().to_vec();
+        if let Some(last) = dims.last_mut() {
+            *last = self.out_features;
+        }
+        let y = y.reshape(dims)?;
+        Ok((
+            y,
+            Stash {
+                tensors: vec![x.clone()],
+            },
+        ))
+    }
+
+    /// Backward pass: returns `(dx, grads)` with `grads = [dW]` or
+    /// `[dW, db]`.
+    pub fn backward(&self, params: &[Tensor], stash: &Stash, dy: &Tensor) -> Result<(Tensor, Grads)> {
+        self.check_params(params)?;
+        let x = stash.tensors.first().ok_or(TensorError::InvalidArgument {
+            op: "linear backward",
+            msg: "missing stashed input".to_string(),
+        })?;
+        let dw = ops::matmul_at_b(x, dy)?;
+        // dx = dy · Wᵀ; matmul_a_bt takes W as stored ([in, out]).
+        let dx = ops::matmul_a_bt(dy, &params[0])?.reshape(x.shape().dims().to_vec())?;
+        let mut grads = vec![dw];
+        if self.bias {
+            grads.push(ops::col_sum(dy)?);
+        }
+        Ok((dx, Grads { tensors: grads }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn::gradcheck::check_input_grad;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let layer = Linear::new(3, 2, true);
+        let mut rng = SplitMix64::new(1);
+        let params = layer.init_params(&mut rng);
+        assert_eq!(params.len(), 2);
+        assert_eq!(params[0].shape().dims(), &[3, 2]);
+        let x = Tensor::ones([4, 3]);
+        let (y, stash) = layer.forward(&params, &x).unwrap();
+        assert_eq!(y.shape().dims(), &[4, 2]);
+        assert_eq!(stash.tensors[0], x);
+    }
+
+    #[test]
+    fn forward_preserves_leading_dims() {
+        let layer = Linear::new(3, 5, false);
+        let mut rng = SplitMix64::new(2);
+        let params = layer.init_params(&mut rng);
+        let x = Tensor::ones([2, 4, 3]);
+        let (y, _) = layer.forward(&params, &x).unwrap();
+        assert_eq!(y.shape().dims(), &[2, 4, 5]);
+    }
+
+    #[test]
+    fn param_count_matches_init() {
+        let layer = Linear::new(7, 3, true);
+        let mut rng = SplitMix64::new(3);
+        let params = layer.init_params(&mut rng);
+        let total: usize = params.iter().map(Tensor::numel).sum();
+        assert_eq!(total, layer.param_count());
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let layer = Linear::new(4, 3, true);
+        let mut rng = SplitMix64::new(4);
+        let params = layer.init_params(&mut rng);
+        let x = Tensor::randn([2, 4], 1.0, &mut rng);
+        let dy = Tensor::randn([2, 3], 1.0, &mut rng);
+        let (_, stash) = layer.forward(&params, &x).unwrap();
+        let (dx, grads) = layer.backward(&params, &stash, &dy).unwrap();
+        assert_eq!(grads.tensors[0].shape().dims(), &[4, 3]);
+        assert_eq!(grads.tensors[1].shape().dims(), &[3]);
+        check_input_grad(
+            &x,
+            &dy,
+            &dx,
+            |x| layer.forward(&params, x).map(|(y, _)| y),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn weight_grad_matches_finite_difference() {
+        let layer = Linear::new(3, 2, false);
+        let mut rng = SplitMix64::new(5);
+        let params = layer.init_params(&mut rng);
+        let x = Tensor::randn([4, 3], 1.0, &mut rng);
+        let dy = Tensor::randn([4, 2], 1.0, &mut rng);
+        let (_, stash) = layer.forward(&params, &x).unwrap();
+        let (_, grads) = layer.backward(&params, &stash, &dy).unwrap();
+        let eps = 1e-2f32;
+        for j in 0..params[0].numel() {
+            let mut pp = params.clone();
+            pp[0].data_mut()[j] += eps;
+            let mut pm = params.clone();
+            pm[0].data_mut()[j] -= eps;
+            let (yp, _) = layer.forward(&pp, &x).unwrap();
+            let (ym, _) = layer.forward(&pm, &x).unwrap();
+            let mut fd = 0.0f32;
+            for k in 0..yp.numel() {
+                fd += dy.data()[k] * (yp.data()[k] - ym.data()[k]) / (2.0 * eps);
+            }
+            assert!(
+                (fd - grads.tensors[0].data()[j]).abs() < 1e-2,
+                "coord {j}: fd {fd} vs analytic {}",
+                grads.tensors[0].data()[j]
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_param_count_is_error() {
+        let layer = Linear::new(3, 2, true);
+        let x = Tensor::zeros([1, 3]);
+        assert!(layer.forward(&[Tensor::zeros([3, 2])], &x).is_err());
+    }
+}

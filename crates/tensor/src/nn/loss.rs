@@ -1,0 +1,138 @@
+//! Loss functions: fused forward + gradient, since Harmony schedules the
+//! loss as the final forward task whose backward seed is produced in place.
+
+use crate::error::TensorError;
+use crate::ops;
+use crate::tensor::Tensor;
+use crate::Result;
+
+/// Softmax cross-entropy over the last dim of `logits` against integer
+/// `targets` (one per folded row). Returns `(mean_loss, dlogits)` where
+/// `dlogits` is already the gradient of the mean loss.
+pub fn cross_entropy(logits: &Tensor, targets: &[usize]) -> Result<(f32, Tensor)> {
+    let (rows, classes) = logits.shape().as_matrix();
+    if classes == 0 {
+        return Err(TensorError::InvalidArgument {
+            op: "cross_entropy",
+            msg: "class dimension must be non-zero".to_string(),
+        });
+    }
+    if targets.len() != rows {
+        return Err(TensorError::InvalidArgument {
+            op: "cross_entropy",
+            msg: format!("{} targets for {} rows", targets.len(), rows),
+        });
+    }
+    let probs = ops::row_softmax(logits)?;
+    let mut loss = 0.0f64;
+    let mut dlogits = probs.data().to_vec();
+    for (r, &t) in targets.iter().enumerate() {
+        if t >= classes {
+            return Err(TensorError::IndexOutOfRange {
+                op: "cross_entropy",
+                index: t,
+                bound: classes,
+            });
+        }
+        let p = probs.data()[r * classes + t].max(f32::MIN_POSITIVE);
+        loss -= (p as f64).ln();
+        dlogits[r * classes + t] -= 1.0;
+    }
+    let inv = 1.0 / rows as f32;
+    for d in dlogits.iter_mut() {
+        *d *= inv;
+    }
+    Ok((
+        (loss / rows as f64) as f32,
+        Tensor::from_vec(logits.shape().clone(), dlogits)?,
+    ))
+}
+
+/// Mean squared error `mean((pred - target)^2)`; returns `(loss, dpred)`.
+pub fn mse_loss(pred: &Tensor, target: &Tensor) -> Result<(f32, Tensor)> {
+    if pred.shape() != target.shape() {
+        return Err(TensorError::ShapeMismatch {
+            op: "mse_loss",
+            lhs: pred.shape().clone(),
+            rhs: target.shape().clone(),
+        });
+    }
+    let n = pred.numel().max(1) as f32;
+    let mut loss = 0.0f64;
+    let mut grad = Vec::with_capacity(pred.numel());
+    for (&p, &t) in pred.data().iter().zip(target.data()) {
+        let d = p - t;
+        loss += (d * d) as f64;
+        grad.push(2.0 * d / n);
+    }
+    Ok((
+        (loss / n as f64) as f32,
+        Tensor::from_vec(pred.shape().clone(), grad)?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_entropy_uniform_logits() {
+        // Uniform logits over C classes → loss = ln(C).
+        let logits = Tensor::zeros([2, 4]);
+        let (loss, dl) = cross_entropy(&logits, &[0, 3]).unwrap();
+        assert!((loss - 4.0f32.ln()).abs() < 1e-5);
+        // Gradient rows sum to zero.
+        for r in 0..2 {
+            let s: f32 = dl.data()[r * 4..(r + 1) * 4].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_confident_correct_is_near_zero() {
+        let mut logits = Tensor::zeros([1, 3]);
+        logits.data_mut()[1] = 20.0;
+        let (loss, _) = cross_entropy(&logits, &[1]).unwrap();
+        assert!(loss < 1e-4);
+    }
+
+    #[test]
+    fn cross_entropy_grad_matches_finite_difference() {
+        let logits =
+            Tensor::from_vec([2, 3], vec![0.5, -0.3, 0.1, 1.0, 0.2, -0.7]).unwrap();
+        let targets = [2usize, 0];
+        let (_, dl) = cross_entropy(&logits, &targets).unwrap();
+        let eps = 1e-3f32;
+        for j in 0..6 {
+            let mut lp = logits.clone();
+            lp.data_mut()[j] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[j] -= eps;
+            let (loss_p, _) = cross_entropy(&lp, &targets).unwrap();
+            let (loss_m, _) = cross_entropy(&lm, &targets).unwrap();
+            let fd = (loss_p - loss_m) / (2.0 * eps);
+            assert!(
+                (fd - dl.data()[j]).abs() < 1e-3,
+                "coord {j}: fd {fd} vs {}",
+                dl.data()[j]
+            );
+        }
+    }
+
+    #[test]
+    fn cross_entropy_validates_targets() {
+        let logits = Tensor::zeros([2, 3]);
+        assert!(cross_entropy(&logits, &[0]).is_err());
+        assert!(cross_entropy(&logits, &[0, 3]).is_err());
+    }
+
+    #[test]
+    fn mse_known_value_and_grad() {
+        let pred = Tensor::from_vec([2], vec![1.0, 3.0]).unwrap();
+        let target = Tensor::from_vec([2], vec![0.0, 1.0]).unwrap();
+        let (loss, grad) = mse_loss(&pred, &target).unwrap();
+        assert!((loss - 2.5).abs() < 1e-6); // (1 + 4) / 2
+        assert_eq!(grad.data(), &[1.0, 2.0]); // 2*d/n
+        assert!(mse_loss(&pred, &Tensor::zeros([3])).is_err());
+    }
+}

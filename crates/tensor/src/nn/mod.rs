@@ -1,0 +1,152 @@
+//! Neural-network layers with *explicit* forward/backward kernels.
+//!
+//! Harmony decomposes a training step into per-layer forward, backward, and
+//! update tasks (paper §3, Fig 5a). To make that decomposition executable,
+//! every layer here is a pure function of named tensors:
+//!
+//! * **params** — the layer's weight tensors `W` (owned by the caller so the
+//!   runtime can place/swap them);
+//! * **stash** — tensors produced by forward that backward needs (the
+//!   "stashed activations" of the paper);
+//! * **grads** — per-parameter gradients `dW`, shape-aligned with params.
+//!
+//! The [`Layer`] enum dispatches over the concrete layer kinds; the Harmony
+//! executor stores layers by value in the model description and owns all
+//! tensor state externally.
+
+mod activation;
+mod attention;
+mod conv;
+mod embedding;
+mod layer;
+mod layernorm;
+mod linear;
+mod loss;
+
+pub use activation::{Activation, ActivationKind};
+pub use attention::MultiHeadAttention;
+pub use conv::{Conv2d, Flatten, MaxPool2d};
+pub use embedding::Embedding;
+pub use layer::{Layer, LayerOutput};
+pub use layernorm::LayerNorm;
+pub use linear::Linear;
+pub use loss::{cross_entropy, mse_loss};
+
+use crate::tensor::Tensor;
+
+/// Tensors a layer's forward pass stashes for its backward pass.
+///
+/// In the paper's swap model these are the `Stashed X` entries that the head
+/// of a pipeline accumulates (the source of Fig 2(c)'s imbalance).
+#[derive(Debug, Clone, Default)]
+pub struct Stash {
+    /// Stashed tensors, in layer-defined order.
+    pub tensors: Vec<Tensor>,
+}
+
+impl Stash {
+    /// Total byte footprint of the stash.
+    pub fn size_bytes(&self) -> u64 {
+        self.tensors.iter().map(Tensor::size_bytes).sum()
+    }
+}
+
+/// Gradients for a layer's parameters, shape-aligned with the param list.
+#[derive(Debug, Clone, Default)]
+pub struct Grads {
+    /// One gradient tensor per parameter tensor.
+    pub tensors: Vec<Tensor>,
+}
+
+impl Grads {
+    /// Accumulates `other` into `self` (`self += other`), element-wise per
+    /// tensor. Used when summing gradients across microbatches.
+    pub fn accumulate(&mut self, other: &Grads) -> crate::Result<()> {
+        if self.tensors.is_empty() {
+            self.tensors = other.tensors.clone();
+            return Ok(());
+        }
+        for (a, b) in self.tensors.iter_mut().zip(&other.tensors) {
+            crate::ops::axpy(a, 1.0, b)?;
+        }
+        Ok(())
+    }
+
+    /// Total byte footprint of the gradients.
+    pub fn size_bytes(&self) -> u64 {
+        self.tensors.iter().map(Tensor::size_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod gradcheck {
+    //! Finite-difference gradient checking shared by the layer tests.
+
+    use super::*;
+    use crate::Result;
+
+    /// Checks `d/dx [sum(dy ⊙ f(x))]` against the analytic `dx` returned by
+    /// the layer backward, perturbing a sample of input coordinates.
+    pub fn check_input_grad<F>(x: &Tensor, dy: &Tensor, dx: &Tensor, mut f: F, tol: f32)
+    where
+        F: FnMut(&Tensor) -> Result<Tensor>,
+    {
+        let eps = 1e-2f32;
+        let n = x.numel();
+        let step = (n / 16).max(1);
+        for j in (0..n).step_by(step) {
+            let mut xp = x.clone();
+            xp.data_mut()[j] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[j] -= eps;
+            let yp = f(&xp).unwrap();
+            let ym = f(&xm).unwrap();
+            let mut fd = 0.0f64;
+            for k in 0..yp.numel() {
+                fd += dy.data()[k] as f64 * (yp.data()[k] - ym.data()[k]) as f64
+                    / (2.0 * eps as f64);
+            }
+            let analytic = dx.data()[j] as f64;
+            let denom = fd.abs().max(analytic.abs()).max(1.0);
+            assert!(
+                (fd - analytic).abs() / denom < tol as f64,
+                "coord {j}: finite-diff {fd} vs analytic {analytic}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stash_size_sums_tensors() {
+        let stash = Stash {
+            tensors: vec![Tensor::zeros([2, 2]), Tensor::zeros([3])],
+        };
+        assert_eq!(stash.size_bytes(), (4 + 3) * 4);
+    }
+
+    #[test]
+    fn grads_accumulate_adds_elementwise() {
+        let mut g = Grads {
+            tensors: vec![Tensor::full([2], 1.0)],
+        };
+        let h = Grads {
+            tensors: vec![Tensor::full([2], 2.0)],
+        };
+        g.accumulate(&h).unwrap();
+        assert_eq!(g.tensors[0].data(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn grads_accumulate_into_empty_clones() {
+        let mut g = Grads::default();
+        let h = Grads {
+            tensors: vec![Tensor::full([2], 2.0)],
+        };
+        g.accumulate(&h).unwrap();
+        assert_eq!(g.tensors[0].data(), &[2.0, 2.0]);
+    }
+}

@@ -1,0 +1,521 @@
+//! Numeric kernels: elementwise arithmetic, GEMM variants, reductions,
+//! row-wise softmax.
+//!
+//! Kernels are free functions over [`Tensor`] so that Harmony's executor can
+//! invoke them by name from decomposed tasks. The three GEMM variants
+//! (`matmul`, `matmul_at_b`, `matmul_a_bt`) are exactly the products needed
+//! by the forward and backward phases of a linear layer, which dominate
+//! transformer compute.
+
+use crate::error::TensorError;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use crate::Result;
+
+fn check_same_shape(op: &'static str, a: &Tensor, b: &Tensor) -> Result<()> {
+    if a.shape() != b.shape() {
+        return Err(TensorError::ShapeMismatch {
+            op,
+            lhs: a.shape().clone(),
+            rhs: b.shape().clone(),
+        });
+    }
+    Ok(())
+}
+
+/// Elementwise `a + b`.
+pub fn add(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    check_same_shape("add", a, b)?;
+    let data = a
+        .data()
+        .iter()
+        .zip(b.data())
+        .map(|(x, y)| x + y)
+        .collect();
+    Tensor::from_vec(a.shape().clone(), data)
+}
+
+/// Elementwise `a - b`.
+pub fn sub(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    check_same_shape("sub", a, b)?;
+    let data = a
+        .data()
+        .iter()
+        .zip(b.data())
+        .map(|(x, y)| x - y)
+        .collect();
+    Tensor::from_vec(a.shape().clone(), data)
+}
+
+/// Elementwise `a * b` (Hadamard product).
+pub fn mul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    check_same_shape("mul", a, b)?;
+    let data = a
+        .data()
+        .iter()
+        .zip(b.data())
+        .map(|(x, y)| x * y)
+        .collect();
+    Tensor::from_vec(a.shape().clone(), data)
+}
+
+/// `a * s` for scalar `s`.
+pub fn scale(a: &Tensor, s: f32) -> Tensor {
+    let data = a.data().iter().map(|x| x * s).collect();
+    Tensor::from_vec(a.shape().clone(), data).expect("same shape")
+}
+
+/// In-place `a += alpha * b` (axpy). Used for gradient accumulation across
+/// microbatches — the `Accumulated dW` output of the backward phase in
+/// Fig 5(a).
+pub fn axpy(a: &mut Tensor, alpha: f32, b: &Tensor) -> Result<()> {
+    check_same_shape("axpy", a, b)?;
+    for (x, y) in a.data_mut().iter_mut().zip(b.data()) {
+        *x += alpha * y;
+    }
+    Ok(())
+}
+
+/// Sum of all elements.
+pub fn sum(a: &Tensor) -> f32 {
+    a.data().iter().sum()
+}
+
+/// Mean of all elements (0 for empty tensors).
+pub fn mean(a: &Tensor) -> f32 {
+    if a.numel() == 0 {
+        0.0
+    } else {
+        sum(a) / a.numel() as f32
+    }
+}
+
+/// Matrix views: folds all leading dims into rows (see [`Shape::as_matrix`]).
+fn mat_dims(op: &'static str, t: &Tensor, min_rank: usize) -> Result<(usize, usize)> {
+    if t.shape().rank() < min_rank {
+        return Err(TensorError::RankMismatch {
+            op,
+            expected: min_rank,
+            actual: t.shape().rank(),
+        });
+    }
+    Ok(t.shape().as_matrix())
+}
+
+/// `C[m,n] = A[m,k] · B[k,n]`. Leading dimensions of `A` are folded into `m`,
+/// so a `[batch, seq, k]` activation times a `[k, n]` weight yields
+/// `[batch*seq, n]` rows; the caller reshapes back.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = mat_dims("matmul", a, 1)?;
+    let (k2, n) = mat_dims("matmul", b, 2)?;
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: a.shape().clone(),
+            rhs: b.shape().clone(),
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    // i-k-j loop order: streams through B rows, friendly to the row-major
+    // layout and autovectorisation.
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (kk, &aval) in arow.iter().enumerate() {
+            if aval == 0.0 {
+                continue;
+            }
+            let brow = &bd[kk * n..(kk + 1) * n];
+            for (o, &bval) in orow.iter_mut().zip(brow) {
+                *o += aval * bval;
+            }
+        }
+    }
+    Tensor::from_vec([m, n], out)
+}
+
+/// `C[k,n] = Aᵀ[k,m] · B[m,n]` where `A` is `[m,k]`.
+///
+/// This is the weight-gradient product of a linear layer
+/// (`dW = Xᵀ · dY`).
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = mat_dims("matmul_at_b", a, 1)?;
+    let (m2, n) = mat_dims("matmul_at_b", b, 1)?;
+    if m != m2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_at_b",
+            lhs: a.shape().clone(),
+            rhs: b.shape().clone(),
+        });
+    }
+    let mut out = vec![0.0f32; k * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let brow = &bd[i * n..(i + 1) * n];
+        for (kk, &aval) in arow.iter().enumerate() {
+            if aval == 0.0 {
+                continue;
+            }
+            let orow = &mut out[kk * n..(kk + 1) * n];
+            for (o, &bval) in orow.iter_mut().zip(brow) {
+                *o += aval * bval;
+            }
+        }
+    }
+    Tensor::from_vec([k, n], out)
+}
+
+/// `C[m,k] = A[m,n] · Bᵀ[n,k]` where `B` is `[k,n]`.
+///
+/// This is the input-gradient product of a linear layer
+/// (`dX = dY · Wᵀ`).
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, n) = mat_dims("matmul_a_bt", a, 1)?;
+    let (k, n2) = mat_dims("matmul_a_bt", b, 2)?;
+    if n != n2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_a_bt",
+            lhs: a.shape().clone(),
+            rhs: b.shape().clone(),
+        });
+    }
+    let mut out = vec![0.0f32; m * k];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        let arow = &ad[i * n..(i + 1) * n];
+        let orow = &mut out[i * k..(i + 1) * k];
+        for (kk, o) in orow.iter_mut().enumerate() {
+            let brow = &bd[kk * n..(kk + 1) * n];
+            let mut acc = 0.0f32;
+            for (&x, &y) in arow.iter().zip(brow) {
+                acc += x * y;
+            }
+            *o = acc;
+        }
+    }
+    Tensor::from_vec([m, k], out)
+}
+
+/// Adds a bias row-vector `[n]` to every row of `a` (any shape whose last
+/// dim is `n`).
+pub fn add_bias(a: &Tensor, bias: &Tensor) -> Result<Tensor> {
+    let (rows, n) = mat_dims("add_bias", a, 1)?;
+    if bias.shape().as_matrix() != (1, n) {
+        return Err(TensorError::ShapeMismatch {
+            op: "add_bias",
+            lhs: a.shape().clone(),
+            rhs: bias.shape().clone(),
+        });
+    }
+    let mut out = a.data().to_vec();
+    let bd = bias.data();
+    for r in 0..rows {
+        for (o, &b) in out[r * n..(r + 1) * n].iter_mut().zip(bd) {
+            *o += b;
+        }
+    }
+    Tensor::from_vec(a.shape().clone(), out)
+}
+
+/// Column sum over folded rows: the bias gradient `db[n] = Σ_rows dY[r, n]`.
+pub fn col_sum(a: &Tensor) -> Result<Tensor> {
+    let (rows, n) = mat_dims("col_sum", a, 1)?;
+    let mut out = vec![0.0f32; n];
+    for r in 0..rows {
+        for (o, &x) in out.iter_mut().zip(&a.data()[r * n..(r + 1) * n]) {
+            *o += x;
+        }
+    }
+    Tensor::from_vec([n], out)
+}
+
+/// Row-wise numerically stable softmax over the last dimension.
+pub fn row_softmax(a: &Tensor) -> Result<Tensor> {
+    let (rows, n) = mat_dims("row_softmax", a, 1)?;
+    if n == 0 {
+        return Err(TensorError::InvalidArgument {
+            op: "row_softmax",
+            msg: "last dimension must be non-zero".to_string(),
+        });
+    }
+    let mut out = a.data().to_vec();
+    for r in 0..rows {
+        let row = &mut out[r * n..(r + 1) * n];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0f32;
+        for x in row.iter_mut() {
+            *x = (*x - max).exp();
+            denom += *x;
+        }
+        for x in row.iter_mut() {
+            *x /= denom;
+        }
+    }
+    Tensor::from_vec(a.shape().clone(), out)
+}
+
+/// Backward of row-wise softmax: given `y = softmax(x)` and upstream `dy`,
+/// returns `dx = y ⊙ (dy − (y·dy))` per row.
+pub fn row_softmax_backward(y: &Tensor, dy: &Tensor) -> Result<Tensor> {
+    check_same_shape("row_softmax_backward", y, dy)?;
+    let (rows, n) = mat_dims("row_softmax_backward", y, 1)?;
+    let mut out = vec![0.0f32; rows * n];
+    for r in 0..rows {
+        let yrow = &y.data()[r * n..(r + 1) * n];
+        let dyrow = &dy.data()[r * n..(r + 1) * n];
+        let dot: f32 = yrow.iter().zip(dyrow).map(|(a, b)| a * b).sum();
+        for ((o, &yv), &dyv) in out[r * n..(r + 1) * n].iter_mut().zip(yrow).zip(dyrow) {
+            *o = yv * (dyv - dot);
+        }
+    }
+    Tensor::from_vec(y.shape().clone(), out)
+}
+
+/// Transposes a 2-D tensor.
+pub fn transpose2d(a: &Tensor) -> Result<Tensor> {
+    if a.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            op: "transpose2d",
+            expected: 2,
+            actual: a.shape().rank(),
+        });
+    }
+    let (m, n) = a.shape().as_matrix();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = a.data()[i * n + j];
+        }
+    }
+    Tensor::from_vec([n, m], out)
+}
+
+/// Splits a tensor into `parts` equal chunks along dimension 0 — Harmony's
+/// task decomposer uses this to cut a minibatch into microbatches.
+pub fn chunk_dim0(a: &Tensor, parts: usize) -> Result<Vec<Tensor>> {
+    if parts == 0 {
+        return Err(TensorError::InvalidArgument {
+            op: "chunk_dim0",
+            msg: "parts must be positive".to_string(),
+        });
+    }
+    let d0 = a.shape().dim(0).ok_or(TensorError::RankMismatch {
+        op: "chunk_dim0",
+        expected: 1,
+        actual: 0,
+    })?;
+    if d0 % parts != 0 {
+        return Err(TensorError::InvalidArgument {
+            op: "chunk_dim0",
+            msg: format!("dim0 {d0} not divisible by {parts} parts"),
+        });
+    }
+    let stride = a.numel() / parts;
+    let mut dims = a.shape().dims().to_vec();
+    dims[0] = d0 / parts;
+    let mut out = Vec::with_capacity(parts);
+    for p in 0..parts {
+        let slice = a.data()[p * stride..(p + 1) * stride].to_vec();
+        out.push(Tensor::from_vec(Shape::new(dims.clone()), slice)?);
+    }
+    Ok(out)
+}
+
+/// Concatenates tensors along dimension 0 (inverse of [`chunk_dim0`]).
+pub fn cat_dim0(parts: &[Tensor]) -> Result<Tensor> {
+    let first = parts.first().ok_or(TensorError::InvalidArgument {
+        op: "cat_dim0",
+        msg: "empty input".to_string(),
+    })?;
+    let mut dims = first.shape().dims().to_vec();
+    if dims.is_empty() {
+        return Err(TensorError::RankMismatch {
+            op: "cat_dim0",
+            expected: 1,
+            actual: 0,
+        });
+    }
+    let tail: &[usize] = &dims[1..];
+    let mut data = Vec::new();
+    let mut d0 = 0usize;
+    for p in parts {
+        if p.shape().dims().len() != dims.len() || &p.shape().dims()[1..] != tail {
+            return Err(TensorError::ShapeMismatch {
+                op: "cat_dim0",
+                lhs: first.shape().clone(),
+                rhs: p.shape().clone(),
+            });
+        }
+        d0 += p.shape().dims()[0];
+        data.extend_from_slice(p.data());
+    }
+    dims[0] = d0;
+    Tensor::from_vec(Shape::new(dims), data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(dims: &[usize], data: &[f32]) -> Tensor {
+        Tensor::from_vec(dims, data.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = t(&[2, 2], &[1.0, 2.0, 3.0, 4.0]);
+        let b = t(&[2, 2], &[4.0, 3.0, 2.0, 1.0]);
+        assert_eq!(add(&a, &b).unwrap().data(), &[5.0, 5.0, 5.0, 5.0]);
+        assert_eq!(sub(&a, &b).unwrap().data(), &[-3.0, -1.0, 1.0, 3.0]);
+        assert_eq!(mul(&a, &b).unwrap().data(), &[4.0, 6.0, 6.0, 4.0]);
+        assert_eq!(scale(&a, 2.0).data(), &[2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn elementwise_shape_mismatch_errors() {
+        let a = Tensor::zeros([2, 2]);
+        let b = Tensor::zeros([4]);
+        assert!(add(&a, &b).is_err());
+        assert!(mul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = t(&[3], &[1.0, 1.0, 1.0]);
+        let b = t(&[3], &[1.0, 2.0, 3.0]);
+        axpy(&mut a, 0.5, &b).unwrap();
+        assert_eq!(a.data(), &[1.5, 2.0, 2.5]);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        // [[1,2],[3,4]] x [[5,6],[7,8]] = [[19,22],[43,50]]
+        let a = t(&[2, 2], &[1.0, 2.0, 3.0, 4.0]);
+        let b = t(&[2, 2], &[5.0, 6.0, 7.0, 8.0]);
+        assert_eq!(matmul(&a, &b).unwrap().data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_rejects_inner_mismatch() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([4, 2]);
+        assert!(matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn matmul_folds_leading_dims() {
+        let a = Tensor::ones([2, 3, 4]);
+        let b = Tensor::ones([4, 5]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.shape().dims(), &[6, 5]);
+        assert!(c.data().iter().all(|&x| x == 4.0));
+    }
+
+    #[test]
+    fn transpose_variants_agree_with_explicit_transpose() {
+        let a = t(&[2, 3], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t(&[2, 4], &[1.0, 0.0, 2.0, -1.0, 3.0, 1.0, 0.0, 2.0]);
+        // Aᵀ·B via kernel vs via explicit transpose.
+        let direct = matmul_at_b(&a, &b).unwrap();
+        let explicit = matmul(&transpose2d(&a).unwrap(), &b).unwrap();
+        assert_eq!(direct, explicit);
+        // A·Bᵀ with B [k, n]: a [2,3] · (w [5,3])ᵀ = [2,5]
+        let w = Tensor::rand_uniform([5, 3], -1.0, 1.0, &mut crate::rng::SplitMix64::new(1));
+        let direct = matmul_a_bt(&a, &w).unwrap();
+        let explicit = matmul(&a, &transpose2d(&w).unwrap()).unwrap();
+        let diff = direct.max_abs_diff(&explicit).unwrap();
+        assert!(diff < 1e-6, "diff {diff}");
+    }
+
+    #[test]
+    fn add_bias_broadcasts_rows() {
+        let a = Tensor::zeros([2, 3]);
+        let bias = t(&[3], &[1.0, 2.0, 3.0]);
+        let y = add_bias(&a, &bias).unwrap();
+        assert_eq!(y.data(), &[1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
+        assert!(add_bias(&a, &Tensor::zeros([4])).is_err());
+    }
+
+    #[test]
+    fn col_sum_matches_manual() {
+        let a = t(&[2, 3], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(col_sum(&a).unwrap().data(), &[5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_are_shift_invariant() {
+        let a = t(&[2, 3], &[1.0, 2.0, 3.0, 1000.0, 1001.0, 1002.0]);
+        let y = row_softmax(&a).unwrap();
+        for r in 0..2 {
+            let s: f32 = y.data()[r * 3..(r + 1) * 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        // Shifted rows produce identical distributions.
+        for j in 0..3 {
+            assert!((y.data()[j] - y.data()[3 + j]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_backward_matches_finite_difference() {
+        let x = t(&[1, 4], &[0.3, -0.2, 0.8, 0.1]);
+        let dy = t(&[1, 4], &[1.0, -0.5, 0.25, 2.0]);
+        let y = row_softmax(&x).unwrap();
+        let dx = row_softmax_backward(&y, &dy).unwrap();
+        let eps = 1e-3;
+        for j in 0..4 {
+            let mut xp = x.clone();
+            xp.data_mut()[j] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[j] -= eps;
+            let yp = row_softmax(&xp).unwrap();
+            let ym = row_softmax(&xm).unwrap();
+            let mut fd = 0.0f32;
+            for k in 0..4 {
+                fd += dy.data()[k] * (yp.data()[k] - ym.data()[k]) / (2.0 * eps);
+            }
+            assert!(
+                (fd - dx.data()[j]).abs() < 1e-3,
+                "j={j} fd={fd} dx={}",
+                dx.data()[j]
+            );
+        }
+    }
+
+    #[test]
+    fn chunk_and_cat_roundtrip() {
+        let a = Tensor::rand_uniform([4, 3], -1.0, 1.0, &mut crate::rng::SplitMix64::new(2));
+        let parts = chunk_dim0(&a, 2).unwrap();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].shape().dims(), &[2, 3]);
+        let back = cat_dim0(&parts).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn chunk_rejects_indivisible() {
+        let a = Tensor::zeros([5, 2]);
+        assert!(chunk_dim0(&a, 2).is_err());
+        assert!(chunk_dim0(&a, 0).is_err());
+    }
+
+    #[test]
+    fn cat_rejects_ragged_tails() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([2, 4]);
+        assert!(cat_dim0(&[a, b]).is_err());
+        assert!(cat_dim0(&[]).is_err());
+    }
+
+    #[test]
+    fn sum_and_mean() {
+        let a = t(&[2, 2], &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(sum(&a), 10.0);
+        assert_eq!(mean(&a), 2.5);
+    }
+}

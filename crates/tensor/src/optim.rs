@@ -1,0 +1,257 @@
+//! Optimizers operating on externally-owned parameter/gradient/state
+//! tensors.
+//!
+//! The weight-update phase of Fig 5(a) swaps in `dW`, `W`, and optimizer
+//! state `K`, and swaps out updated `W'`, `K'`, and a reset gradient buffer.
+//! To make those tensors schedulable, optimizers here do not own state:
+//! callers allocate state via [`Optimizer::state_shapes`] and pass it to
+//! every [`Optimizer::step`]. Adam's per-parameter first/second moments are
+//! exactly the 2× state blow-up the paper counts in the training footprint.
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+use crate::Result;
+
+/// Optimizer algorithm and hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Optimizer {
+    /// Plain stochastic gradient descent.
+    Sgd {
+        /// Learning rate.
+        lr: f32,
+    },
+    /// SGD with classical momentum.
+    Momentum {
+        /// Learning rate.
+        lr: f32,
+        /// Momentum coefficient.
+        momentum: f32,
+    },
+    /// Adam (Kingma & Ba, 2014).
+    Adam {
+        /// Learning rate.
+        lr: f32,
+        /// First-moment decay.
+        beta1: f32,
+        /// Second-moment decay.
+        beta2: f32,
+        /// Denominator epsilon.
+        eps: f32,
+    },
+}
+
+impl Optimizer {
+    /// Adam with the customary defaults.
+    pub fn adam(lr: f32) -> Self {
+        Optimizer::Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+    }
+
+    /// Number of state tensors per parameter tensor (each shaped like the
+    /// parameter): 0 for SGD, 1 for momentum, 2 for Adam.
+    pub fn state_slots(&self) -> usize {
+        match self {
+            Optimizer::Sgd { .. } => 0,
+            Optimizer::Momentum { .. } => 1,
+            Optimizer::Adam { .. } => 2,
+        }
+    }
+
+    /// Allocates zeroed state tensors for a parameter tensor.
+    pub fn init_state(&self, param: &Tensor) -> Vec<Tensor> {
+        (0..self.state_slots())
+            .map(|_| Tensor::zeros(param.shape().clone()))
+            .collect()
+    }
+
+    /// Shapes of state tensors for a parameter of the given shape.
+    pub fn state_shapes(&self, param: &Tensor) -> Vec<crate::Shape> {
+        (0..self.state_slots())
+            .map(|_| param.shape().clone())
+            .collect()
+    }
+
+    /// Applies one update step in place. `t` is the 1-based step count
+    /// (used by Adam's bias correction).
+    pub fn step(
+        &self,
+        param: &mut Tensor,
+        grad: &Tensor,
+        state: &mut [Tensor],
+        t: u64,
+    ) -> Result<()> {
+        if param.shape() != grad.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: "optimizer step",
+                lhs: param.shape().clone(),
+                rhs: grad.shape().clone(),
+            });
+        }
+        if state.len() != self.state_slots() {
+            return Err(TensorError::InvalidArgument {
+                op: "optimizer step",
+                msg: format!(
+                    "expected {} state tensors, got {}",
+                    self.state_slots(),
+                    state.len()
+                ),
+            });
+        }
+        match *self {
+            Optimizer::Sgd { lr } => {
+                for (p, &g) in param.data_mut().iter_mut().zip(grad.data()) {
+                    *p -= lr * g;
+                }
+            }
+            Optimizer::Momentum { lr, momentum } => {
+                let v = &mut state[0];
+                if v.shape() != grad.shape() {
+                    return Err(TensorError::ShapeMismatch {
+                        op: "optimizer step",
+                        lhs: v.shape().clone(),
+                        rhs: grad.shape().clone(),
+                    });
+                }
+                for ((p, v), &g) in param
+                    .data_mut()
+                    .iter_mut()
+                    .zip(v.data_mut())
+                    .zip(grad.data())
+                {
+                    *v = momentum * *v + g;
+                    *p -= lr * *v;
+                }
+            }
+            Optimizer::Adam {
+                lr,
+                beta1,
+                beta2,
+                eps,
+            } => {
+                let t = t.max(1) as i32;
+                let bc1 = 1.0 - beta1.powi(t);
+                let bc2 = 1.0 - beta2.powi(t);
+                let (m, v) = match state {
+                    [m, v] => (m, v),
+                    _ => unreachable!("state_slots checked above"),
+                };
+                for (i, &g) in grad.data().iter().enumerate() {
+                    let mi = &mut m.data_mut()[i];
+                    *mi = beta1 * *mi + (1.0 - beta1) * g;
+                    let mi = *mi;
+                    let vi = &mut v.data_mut()[i];
+                    *vi = beta2 * *vi + (1.0 - beta2) * g * g;
+                    let vi = *vi;
+                    let mhat = mi / bc1;
+                    let vhat = vi / bc2;
+                    param.data_mut()[i] -= lr * mhat / (vhat.sqrt() + eps);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+
+    /// Minimises f(x) = (x - 3)^2 and checks convergence.
+    fn converges(opt: Optimizer, steps: u64, tol: f32) {
+        let mut x = Tensor::scalar(0.0);
+        let mut state = opt.init_state(&x);
+        for t in 1..=steps {
+            let g = Tensor::scalar(2.0 * (x.item().unwrap() - 3.0));
+            opt.step(&mut x, &g, &mut state, t).unwrap();
+        }
+        let v = x.item().unwrap();
+        assert!((v - 3.0).abs() < tol, "converged to {v}");
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        converges(Optimizer::Sgd { lr: 0.1 }, 100, 1e-3);
+    }
+
+    #[test]
+    fn momentum_converges_on_quadratic() {
+        converges(
+            Optimizer::Momentum {
+                lr: 0.05,
+                momentum: 0.9,
+            },
+            200,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        converges(Optimizer::adam(0.1), 500, 1e-2);
+    }
+
+    #[test]
+    fn sgd_exact_single_step() {
+        let opt = Optimizer::Sgd { lr: 0.5 };
+        let mut p = Tensor::from_vec([2], vec![1.0, -2.0]).unwrap();
+        let g = Tensor::from_vec([2], vec![2.0, 4.0]).unwrap();
+        opt.step(&mut p, &g, &mut [], 1).unwrap();
+        assert_eq!(p.data(), &[0.0, -4.0]);
+    }
+
+    #[test]
+    fn state_slot_counts() {
+        assert_eq!(Optimizer::Sgd { lr: 0.1 }.state_slots(), 0);
+        assert_eq!(
+            Optimizer::Momentum {
+                lr: 0.1,
+                momentum: 0.9
+            }
+            .state_slots(),
+            1
+        );
+        assert_eq!(Optimizer::adam(0.1).state_slots(), 2);
+    }
+
+    #[test]
+    fn step_validates_shapes_and_state() {
+        let opt = Optimizer::adam(0.1);
+        let mut p = Tensor::zeros([2]);
+        let g = Tensor::zeros([3]);
+        let mut state = opt.init_state(&p);
+        assert!(opt.step(&mut p, &g, &mut state, 1).is_err());
+        let g = Tensor::zeros([2]);
+        assert!(opt.step(&mut p, &g, &mut [], 1).is_err());
+    }
+
+    #[test]
+    fn adam_first_step_moves_by_lr() {
+        // With bias correction, Adam's first step is ≈ lr * sign(g).
+        let opt = Optimizer::adam(0.01);
+        let mut p = Tensor::scalar(1.0);
+        let g = Tensor::scalar(5.0);
+        let mut state = opt.init_state(&p);
+        opt.step(&mut p, &g, &mut state, 1).unwrap();
+        assert!((p.item().unwrap() - (1.0 - 0.01)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let opt = Optimizer::Momentum {
+            lr: 1.0,
+            momentum: 0.5,
+        };
+        let mut p = Tensor::scalar(0.0);
+        let g = Tensor::scalar(1.0);
+        let mut state = opt.init_state(&p);
+        opt.step(&mut p, &g, &mut state, 1).unwrap(); // v=1, p=-1
+        opt.step(&mut p, &g, &mut state, 2).unwrap(); // v=1.5, p=-2.5
+        assert!((p.item().unwrap() + 2.5).abs() < 1e-6);
+        assert!(ops::sum(&state[0]) - 1.5 < 1e-6);
+    }
+}

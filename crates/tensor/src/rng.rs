@@ -1,0 +1,123 @@
+//! Deterministic random number generation for reproducible initialisation.
+//!
+//! Harmony's functional tests assert bit-identical results between the
+//! sequential reference executor and the scheduled multi-device executor, so
+//! all randomness must be derived from explicit seeds. `SplitMix64` is small,
+//! fast, and has well-understood statistical quality for this purpose; using
+//! it (rather than an external RNG crate) pins the byte-level sequence
+//! independent of dependency versions.
+
+/// SplitMix64 pseudo-random generator (Steele, Lea & Flood, OOPSLA'14).
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f32 in `[0, 1)`.
+    pub fn next_f32(&mut self) -> f32 {
+        // Use the top 24 bits for a uniformly spaced mantissa.
+        (self.next_u64() >> 40) as f32 / (1u32 << 24) as f32
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform f32 in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.next_f32()
+    }
+
+    /// Standard normal sample via Box–Muller.
+    pub fn normal(&mut self) -> f32 {
+        // Avoid ln(0) by nudging u1 away from zero.
+        let u1 = self.next_f64().max(f64::MIN_POSITIVE);
+        let u2 = self.next_f64();
+        ((-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()) as f32
+    }
+
+    /// Uniform integer in `[0, bound)` using Lemire's rejection-free bound
+    /// mapping (bias is negligible for the bounds used here).
+    pub fn next_bounded(&mut self, bound: usize) -> usize {
+        if bound == 0 {
+            return 0;
+        }
+        (((self.next_u64() >> 32) * bound as u64) >> 32) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f32_stays_in_unit_interval() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            let x = rng.next_f32();
+            assert!((0.0..1.0).contains(&x), "out of range: {x}");
+        }
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = SplitMix64::new(9);
+        for _ in 0..1_000 {
+            let x = rng.uniform(-3.0, 5.0);
+            assert!((-3.0..5.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn normal_has_sane_moments() {
+        let mut rng = SplitMix64::new(1234);
+        let n = 50_000;
+        let samples: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn bounded_stays_below_bound() {
+        let mut rng = SplitMix64::new(5);
+        for _ in 0..10_000 {
+            assert!(rng.next_bounded(17) < 17);
+        }
+        assert_eq!(rng.next_bounded(0), 0);
+    }
+}

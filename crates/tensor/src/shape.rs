@@ -1,0 +1,137 @@
+//! Tensor shapes (row-major, contiguous).
+
+use std::fmt;
+
+/// A tensor shape: an ordered list of dimension extents.
+///
+/// Shapes are row-major; the last dimension is contiguous in memory.
+/// A rank-0 shape (empty dims) denotes a scalar with one element.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from dimension extents.
+    pub fn new(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+
+    /// Creates a scalar (rank-0) shape.
+    pub fn scalar() -> Self {
+        Shape { dims: Vec::new() }
+    }
+
+    /// The dimension extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements (product of extents; 1 for scalars).
+    pub fn numel(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Extent of dimension `i`, or `None` if out of range.
+    pub fn dim(&self, i: usize) -> Option<usize> {
+        self.dims.get(i).copied()
+    }
+
+    /// Row-major strides (in elements) for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![0usize; self.dims.len()];
+        let mut acc = 1usize;
+        for (stride, &dim) in strides.iter_mut().zip(self.dims.iter()).rev() {
+            *stride = acc;
+            acc *= dim;
+        }
+        strides
+    }
+
+    /// Interprets the shape as a matrix: all leading dimensions folded into
+    /// rows, the last dimension as columns. A rank-0/rank-1 shape folds to a
+    /// single row.
+    pub fn as_matrix(&self) -> (usize, usize) {
+        match self.dims.split_last() {
+            Some((&cols, rows)) => (rows.iter().product::<usize>().max(1), cols),
+            None => (1, 1),
+        }
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_of_scalar_is_one() {
+        assert_eq!(Shape::scalar().numel(), 1);
+        assert_eq!(Shape::scalar().rank(), 0);
+    }
+
+    #[test]
+    fn numel_multiplies_dims() {
+        assert_eq!(Shape::from([2, 3, 4]).numel(), 24);
+    }
+
+    #[test]
+    fn zero_extent_dim_gives_zero_elements() {
+        assert_eq!(Shape::from([2, 0, 4]).numel(), 0);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        assert_eq!(Shape::from([2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::from([5]).strides(), vec![1]);
+        assert!(Shape::scalar().strides().is_empty());
+    }
+
+    #[test]
+    fn as_matrix_folds_leading_dims() {
+        assert_eq!(Shape::from([2, 3, 4]).as_matrix(), (6, 4));
+        assert_eq!(Shape::from([7]).as_matrix(), (1, 7));
+        assert_eq!(Shape::scalar().as_matrix(), (1, 1));
+    }
+
+    #[test]
+    fn display_formats_like_a_list() {
+        assert_eq!(Shape::from([2, 3]).to_string(), "[2, 3]");
+        assert_eq!(Shape::scalar().to_string(), "[]");
+    }
+}

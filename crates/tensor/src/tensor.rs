@@ -1,0 +1,244 @@
+//! The dense f32 tensor type.
+
+use crate::error::TensorError;
+use crate::rng::SplitMix64;
+use crate::shape::Shape;
+use crate::Result;
+
+/// A dense, row-major, contiguous f32 tensor.
+///
+/// This is deliberately minimal: contiguous storage only, no views, no
+/// broadcasting beyond what the named kernels in [`crate::ops`] implement.
+/// That keeps every kernel auditable and the memory accounting exact, which
+/// matters because Harmony's memory manager tracks tensors by their byte
+/// footprint ([`Tensor::size_bytes`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor from raw data, validating the element count.
+    pub fn from_vec(shape: impl Into<Shape>, data: Vec<f32>) -> Result<Self> {
+        let shape = shape.into();
+        if shape.numel() != data.len() {
+            return Err(TensorError::DataLenMismatch {
+                shape,
+                data_len: data.len(),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Creates a zero-filled tensor.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        let data = vec![0.0; shape.numel()];
+        Tensor { shape, data }
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
+        let shape = shape.into();
+        let data = vec![value; shape.numel()];
+        Tensor { shape, data }
+    }
+
+    /// Creates a one-filled tensor.
+    pub fn ones(shape: impl Into<Shape>) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// Creates a rank-0 scalar tensor.
+    pub fn scalar(value: f32) -> Self {
+        Tensor {
+            shape: Shape::scalar(),
+            data: vec![value],
+        }
+    }
+
+    /// Creates a tensor with i.i.d. standard-normal entries scaled by `std`.
+    pub fn randn(shape: impl Into<Shape>, std: f32, rng: &mut SplitMix64) -> Self {
+        let shape = shape.into();
+        let data = (0..shape.numel()).map(|_| rng.normal() * std).collect();
+        Tensor { shape, data }
+    }
+
+    /// Creates a tensor with entries uniform in `[lo, hi)`.
+    pub fn rand_uniform(shape: impl Into<Shape>, lo: f32, hi: f32, rng: &mut SplitMix64) -> Self {
+        let shape = shape.into();
+        let data = (0..shape.numel()).map(|_| rng.uniform(lo, hi)).collect();
+        Tensor { shape, data }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The raw row-major data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the raw data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its raw data.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Byte footprint of the payload (`numel * 4`); this is the quantity the
+    /// Harmony memory manager charges against device capacity.
+    pub fn size_bytes(&self) -> u64 {
+        (self.data.len() * std::mem::size_of::<f32>()) as u64
+    }
+
+    /// Reshapes in place to a shape with the same element count.
+    pub fn reshape(mut self, shape: impl Into<Shape>) -> Result<Self> {
+        let shape = shape.into();
+        if shape.numel() != self.data.len() {
+            return Err(TensorError::ReshapeMismatch {
+                from: self.shape,
+                to: shape,
+            });
+        }
+        self.shape = shape;
+        Ok(self)
+    }
+
+    /// The single value of a scalar or one-element tensor.
+    pub fn item(&self) -> Result<f32> {
+        if self.data.len() != 1 {
+            return Err(TensorError::RankMismatch {
+                op: "item",
+                expected: 0,
+                actual: self.shape.rank(),
+            });
+        }
+        Ok(self.data[0])
+    }
+
+    /// Element at a row-major flat index.
+    pub fn at(&self, flat: usize) -> Result<f32> {
+        self.data
+            .get(flat)
+            .copied()
+            .ok_or(TensorError::IndexOutOfRange {
+                op: "at",
+                index: flat,
+                bound: self.data.len(),
+            })
+    }
+
+    /// Fills the tensor with zeros (gradient-buffer reset between
+    /// iterations — the `Reset dW'` output of the update phase in Fig 5(a)).
+    pub fn zero_(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// Maximum absolute difference against another tensor of the same shape.
+    pub fn max_abs_diff(&self, other: &Tensor) -> Result<f32> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                op: "max_abs_diff",
+                lhs: self.shape.clone(),
+                rhs: other.shape.clone(),
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max))
+    }
+
+    /// True if all entries are finite (no NaN/Inf) — used by failure-injection
+    /// tests and the runtime's sanity checks.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_validates_len() {
+        assert!(Tensor::from_vec([2, 2], vec![1.0; 4]).is_ok());
+        let err = Tensor::from_vec([2, 2], vec![1.0; 3]).unwrap_err();
+        assert!(matches!(err, TensorError::DataLenMismatch { .. }));
+    }
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = Tensor::zeros([3, 2]);
+        assert_eq!(z.numel(), 6);
+        assert!(z.data().iter().all(|&x| x == 0.0));
+        let o = Tensor::ones([3]);
+        assert!(o.data().iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn size_bytes_is_four_per_element() {
+        assert_eq!(Tensor::zeros([10, 10]).size_bytes(), 400);
+        assert_eq!(Tensor::scalar(1.0).size_bytes(), 4);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec([2, 3], (0..6).map(|i| i as f32).collect()).unwrap();
+        let r = t.clone().reshape([3, 2]).unwrap();
+        assert_eq!(r.data(), t.data());
+        assert!(t.reshape([4, 2]).is_err());
+    }
+
+    #[test]
+    fn item_requires_single_element() {
+        assert_eq!(Tensor::scalar(2.5).item().unwrap(), 2.5);
+        assert!(Tensor::zeros([2]).item().is_err());
+    }
+
+    #[test]
+    fn randn_is_seed_deterministic() {
+        let mut r1 = SplitMix64::new(3);
+        let mut r2 = SplitMix64::new(3);
+        let a = Tensor::randn([4, 4], 0.5, &mut r1);
+        let b = Tensor::randn([4, 4], 0.5, &mut r2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_inplace_clears() {
+        let mut t = Tensor::full([5], 3.0);
+        t.zero_();
+        assert!(t.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn max_abs_diff_checks_shape() {
+        let a = Tensor::full([2], 1.0);
+        let b = Tensor::full([2], 1.5);
+        assert_eq!(a.max_abs_diff(&b).unwrap(), 0.5);
+        assert!(a.max_abs_diff(&Tensor::zeros([3])).is_err());
+    }
+
+    #[test]
+    fn all_finite_detects_nan() {
+        let mut t = Tensor::zeros([2]);
+        assert!(t.all_finite());
+        t.data_mut()[1] = f32::NAN;
+        assert!(!t.all_finite());
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests on tensor-engine invariants.
+
+use harmony_tensor::nn::{Activation, ActivationKind, LayerNorm, Linear};
+use harmony_tensor::ops;
+use harmony_tensor::optim::Optimizer;
+use harmony_tensor::rng::SplitMix64;
+use harmony_tensor::Tensor;
+use proptest::prelude::*;
+
+fn tensor_strategy(max_dim: usize) -> impl Strategy<Value = Tensor> {
+    (1..=max_dim, 1..=max_dim, any::<u64>()).prop_map(|(r, c, seed)| {
+        Tensor::randn([r, c], 1.0, &mut SplitMix64::new(seed))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn add_commutes(a in tensor_strategy(8), seed in any::<u64>()) {
+        let b = Tensor::randn(a.shape().clone(), 1.0, &mut SplitMix64::new(seed));
+        prop_assert_eq!(ops::add(&a, &b).unwrap(), ops::add(&b, &a).unwrap());
+    }
+
+    #[test]
+    fn scale_distributes_over_add(a in tensor_strategy(8), seed in any::<u64>(), k in -4.0f32..4.0) {
+        let b = Tensor::randn(a.shape().clone(), 1.0, &mut SplitMix64::new(seed));
+        let lhs = ops::scale(&ops::add(&a, &b).unwrap(), k);
+        let rhs = ops::add(&ops::scale(&a, k), &ops::scale(&b, k)).unwrap();
+        prop_assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop(a in tensor_strategy(8)) {
+        let n = a.shape().dims()[1];
+        let mut eye = Tensor::zeros([n, n]);
+        for i in 0..n {
+            eye.data_mut()[i * n + i] = 1.0;
+        }
+        let out = ops::matmul(&a, &eye).unwrap();
+        prop_assert!(out.max_abs_diff(&a).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn transpose_is_involutive(a in tensor_strategy(10)) {
+        let tt = ops::transpose2d(&ops::transpose2d(&a).unwrap()).unwrap();
+        prop_assert_eq!(tt, a);
+    }
+
+    #[test]
+    fn gemm_variants_consistent(
+        (m, k, n, s1, s2) in (1usize..6, 1usize..6, 1usize..6, any::<u64>(), any::<u64>())
+    ) {
+        let a = Tensor::randn([m, k], 1.0, &mut SplitMix64::new(s1));
+        let b = Tensor::randn([k, n], 1.0, &mut SplitMix64::new(s2));
+        // (AᵀB computed by matmul_at_b over Aᵀ input) == plain matmul.
+        let at = ops::transpose2d(&a).unwrap(); // [k, m]
+        let via_at_b = ops::matmul_at_b(&at, &b).unwrap(); // (Aᵀ)ᵀ·B = A·B
+        let plain = ops::matmul(&a, &b).unwrap();
+        prop_assert!(via_at_b.max_abs_diff(&plain).unwrap() < 1e-4);
+        // A·Bᵀ with B stored [n, k] equals matmul against transpose.
+        let bt_stored = ops::transpose2d(&b).unwrap(); // [n, k]
+        let via_a_bt = ops::matmul_a_bt(&a, &bt_stored).unwrap();
+        prop_assert!(via_a_bt.max_abs_diff(&plain).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(a in tensor_strategy(8)) {
+        let y = ops::row_softmax(&a).unwrap();
+        let (rows, n) = y.shape().as_matrix();
+        for r in 0..rows {
+            let row = &y.data()[r * n..(r + 1) * n];
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-5);
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn chunk_cat_roundtrip(
+        (parts, rows_per, cols, seed) in (1usize..5, 1usize..4, 1usize..6, any::<u64>())
+    ) {
+        let t = Tensor::randn([parts * rows_per, cols], 1.0, &mut SplitMix64::new(seed));
+        let chunks = ops::chunk_dim0(&t, parts).unwrap();
+        prop_assert_eq!(chunks.len(), parts);
+        prop_assert_eq!(ops::cat_dim0(&chunks).unwrap(), t);
+    }
+
+    #[test]
+    fn linear_backward_shapes_always_align(
+        (inp, out, rows, seed) in (1usize..8, 1usize..8, 1usize..6, any::<u64>())
+    ) {
+        let layer = Linear::new(inp, out, true);
+        let mut rng = SplitMix64::new(seed);
+        let params = layer.init_params(&mut rng);
+        let x = Tensor::randn([rows, inp], 1.0, &mut rng);
+        let dy = Tensor::randn([rows, out], 1.0, &mut rng);
+        let (y, stash) = layer.forward(&params, &x).unwrap();
+        prop_assert_eq!(y.shape().dims(), &[rows, out]);
+        let (dx, grads) = layer.backward(&params, &stash, &dy).unwrap();
+        prop_assert_eq!(dx.shape(), x.shape());
+        for (g, p) in grads.tensors.iter().zip(&params) {
+            prop_assert_eq!(g.shape(), p.shape());
+        }
+    }
+
+    #[test]
+    fn layernorm_output_is_normalised_for_any_input(
+        (rows, dim, seed) in (1usize..5, 2usize..10, any::<u64>())
+    ) {
+        let layer = LayerNorm::new(dim);
+        let params = layer.init_params();
+        let x = Tensor::randn([rows, dim], 3.0, &mut SplitMix64::new(seed));
+        let (y, _) = layer.forward(&params, &x).unwrap();
+        for r in 0..rows {
+            let row = &y.data()[r * dim..(r + 1) * dim];
+            let mean: f32 = row.iter().sum::<f32>() / dim as f32;
+            prop_assert!(mean.abs() < 1e-3, "row {} mean {}", r, mean);
+        }
+    }
+
+    #[test]
+    fn relu_output_nonnegative_and_sparsifying(a in tensor_strategy(8)) {
+        let layer = Activation::new(ActivationKind::Relu);
+        let (y, _) = layer.forward(&a).unwrap();
+        prop_assert!(y.data().iter().all(|&v| v >= 0.0));
+        // ReLU never increases magnitude.
+        for (&yo, &xi) in y.data().iter().zip(a.data()) {
+            prop_assert!(yo.abs() <= xi.abs() + f32::EPSILON);
+        }
+    }
+
+    #[test]
+    fn sgd_step_descends_quadratic(x0 in -10.0f32..10.0, lr in 0.001f32..0.4) {
+        // f(x) = x², one SGD step must not increase f.
+        let opt = Optimizer::Sgd { lr };
+        let mut p = Tensor::scalar(x0);
+        let g = Tensor::scalar(2.0 * x0);
+        opt.step(&mut p, &g, &mut [], 1).unwrap();
+        let new = p.item().unwrap();
+        prop_assert!(new * new <= x0 * x0 + 1e-6);
+    }
+
+    #[test]
+    fn gradient_accumulation_is_linear(
+        (shape_r, shape_c, s1, s2) in (1usize..6, 1usize..6, any::<u64>(), any::<u64>())
+    ) {
+        // axpy(axpy(z, a), b) == a + b elementwise when z = 0.
+        let a = Tensor::randn([shape_r, shape_c], 1.0, &mut SplitMix64::new(s1));
+        let b = Tensor::randn([shape_r, shape_c], 1.0, &mut SplitMix64::new(s2));
+        let mut acc = Tensor::zeros(a.shape().clone());
+        ops::axpy(&mut acc, 1.0, &a).unwrap();
+        ops::axpy(&mut acc, 1.0, &b).unwrap();
+        let direct = ops::add(&a, &b).unwrap();
+        prop_assert!(acc.max_abs_diff(&direct).unwrap() < 1e-5);
+    }
+}

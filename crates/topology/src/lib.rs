@@ -1,0 +1,366 @@
+//! # harmony-topology
+//!
+//! Hardware description of a commodity multi-GPU server: devices with
+//! memory capacity and compute rate, and a graph of *directed bandwidth
+//! channels* connecting GPUs to each other and to host memory.
+//!
+//! This substitutes for the paper's physical testbed (four 11 GB NVIDIA
+//! 1080Ti GPUs behind PCIe switches with a 4:1-oversubscribed host link,
+//! Fig 2(b)). The interconnect properties that produce the paper's
+//! bottlenecks are modelled explicitly:
+//!
+//! * every GPU has its own PCIe lanes to its switch (full duplex → one
+//!   channel per direction);
+//! * all GPUs behind a switch *share* the switch's host uplink — the
+//!   oversubscribed resource that throttles data-parallel swapping
+//!   (Fig 2a);
+//! * GPU↔GPU transfers through a common switch do **not** cross the host
+//!   uplink — the fast p2p path Harmony exploits (§3, optimization 3).
+//!
+//! Transfers are routed with [`Topology::route`]; the discrete-event
+//! simulator applies fair-share contention per channel.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod presets;
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a GPU device (index into [`Topology::gpus`]).
+pub type GpuId = usize;
+
+/// A memory endpoint: host RAM or one GPU's memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Endpoint {
+    /// Host (CPU) memory.
+    Host,
+    /// GPU `i`'s device memory.
+    Gpu(GpuId),
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Host => write!(f, "host"),
+            Endpoint::Gpu(i) => write!(f, "gpu{i}"),
+        }
+    }
+}
+
+/// A GPU's static properties.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuSpec {
+    /// Usable device memory in bytes.
+    pub mem_bytes: u64,
+    /// Sustained compute throughput in FLOP/s (fp32).
+    pub flops: f64,
+}
+
+/// Identifier of a directed bandwidth channel.
+pub type ChannelId = usize;
+
+/// A directed bandwidth channel (one direction of a physical link).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Channel {
+    /// Stable id.
+    pub id: ChannelId,
+    /// Human-readable name, e.g. `"gpu2->switch0"`.
+    pub name: String,
+    /// Capacity in bytes/second, shared fairly among concurrent transfers.
+    pub bandwidth: f64,
+}
+
+/// Errors from topology construction and routing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// No route between the requested endpoints.
+    NoRoute {
+        /// Source endpoint.
+        src: Endpoint,
+        /// Destination endpoint.
+        dst: Endpoint,
+    },
+    /// A referenced GPU does not exist.
+    UnknownGpu(GpuId),
+    /// Invalid construction parameter.
+    Invalid(String),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::NoRoute { src, dst } => write!(f, "no route {src} -> {dst}"),
+            TopologyError::UnknownGpu(g) => write!(f, "unknown gpu {g}"),
+            TopologyError::Invalid(msg) => write!(f, "invalid topology: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// A server's device and interconnect description.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// Display name, e.g. `"4x1080Ti (PCIe, 4:1)"`.
+    pub name: String,
+    gpus: Vec<GpuSpec>,
+    channels: Vec<Channel>,
+    routes: HashMap<(Endpoint, Endpoint), Vec<ChannelId>>,
+    /// Which switch each GPU hangs off (for reporting).
+    switch_of: Vec<usize>,
+}
+
+/// Builder used by presets and tests to assemble a topology.
+#[derive(Debug, Default)]
+pub struct TopologyBuilder {
+    name: String,
+    gpus: Vec<GpuSpec>,
+    channels: Vec<Channel>,
+    routes: HashMap<(Endpoint, Endpoint), Vec<ChannelId>>,
+    switch_of: Vec<usize>,
+}
+
+impl TopologyBuilder {
+    /// Starts a named topology.
+    pub fn new(name: impl Into<String>) -> Self {
+        TopologyBuilder {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Adds a GPU, returning its id.
+    pub fn gpu(&mut self, spec: GpuSpec, switch: usize) -> GpuId {
+        self.gpus.push(spec);
+        self.switch_of.push(switch);
+        self.gpus.len() - 1
+    }
+
+    /// Adds a directed channel, returning its id.
+    pub fn channel(&mut self, name: impl Into<String>, bandwidth: f64) -> ChannelId {
+        let id = self.channels.len();
+        self.channels.push(Channel {
+            id,
+            name: name.into(),
+            bandwidth,
+        });
+        id
+    }
+
+    /// Registers the route (ordered channel list) from `src` to `dst`.
+    pub fn route(&mut self, src: Endpoint, dst: Endpoint, channels: Vec<ChannelId>) {
+        self.routes.insert((src, dst), channels);
+    }
+
+    /// Finalises the topology, validating all route references.
+    pub fn build(self) -> Result<Topology, TopologyError> {
+        for ((src, dst), chans) in &self.routes {
+            for &c in chans {
+                if c >= self.channels.len() {
+                    return Err(TopologyError::Invalid(format!(
+                        "route {src}->{dst} references unknown channel {c}"
+                    )));
+                }
+            }
+            for ep in [src, dst] {
+                if let Endpoint::Gpu(g) = ep {
+                    if *g >= self.gpus.len() {
+                        return Err(TopologyError::UnknownGpu(*g));
+                    }
+                }
+            }
+        }
+        Ok(Topology {
+            name: self.name,
+            gpus: self.gpus,
+            channels: self.channels,
+            routes: self.routes,
+            switch_of: self.switch_of,
+        })
+    }
+}
+
+impl Topology {
+    /// Number of GPUs.
+    pub fn num_gpus(&self) -> usize {
+        self.gpus.len()
+    }
+
+    /// GPU spec by id.
+    pub fn gpu(&self, id: GpuId) -> Result<&GpuSpec, TopologyError> {
+        self.gpus.get(id).ok_or(TopologyError::UnknownGpu(id))
+    }
+
+    /// All GPU specs.
+    pub fn gpus(&self) -> &[GpuSpec] {
+        &self.gpus
+    }
+
+    /// All channels.
+    pub fn channels(&self) -> &[Channel] {
+        &self.channels
+    }
+
+    /// The switch index a GPU hangs off.
+    pub fn switch_of(&self, id: GpuId) -> Result<usize, TopologyError> {
+        self.switch_of
+            .get(id)
+            .copied()
+            .ok_or(TopologyError::UnknownGpu(id))
+    }
+
+    /// The ordered channel list a transfer from `src` to `dst` traverses.
+    ///
+    /// ```
+    /// use harmony_topology::{presets, Endpoint};
+    /// let topo = presets::commodity_4x1080ti();
+    /// // Host swaps cross two channels: the GPU's lane and the shared uplink.
+    /// assert_eq!(topo.route(Endpoint::Gpu(0), Endpoint::Host).unwrap().len(), 2);
+    /// // p2p through the switch never touches the uplink.
+    /// assert!(topo.p2p_avoids_host_uplink(0, 3).unwrap());
+    /// ```
+    pub fn route(&self, src: Endpoint, dst: Endpoint) -> Result<&[ChannelId], TopologyError> {
+        self.routes
+            .get(&(src, dst))
+            .map(Vec::as_slice)
+            .ok_or(TopologyError::NoRoute { src, dst })
+    }
+
+    /// Zero-contention transfer time for `bytes` from `src` to `dst`
+    /// (bottleneck-channel model).
+    pub fn ideal_transfer_secs(
+        &self,
+        src: Endpoint,
+        dst: Endpoint,
+        bytes: u64,
+    ) -> Result<f64, TopologyError> {
+        let route = self.route(src, dst)?;
+        let min_bw = route
+            .iter()
+            .map(|&c| self.channels[c].bandwidth)
+            .fold(f64::INFINITY, f64::min);
+        if !min_bw.is_finite() || min_bw <= 0.0 {
+            return Err(TopologyError::Invalid(format!(
+                "route {src}->{dst} has no usable bandwidth"
+            )));
+        }
+        Ok(bytes as f64 / min_bw)
+    }
+
+    /// Host-uplink oversubscription ratio: the sum of per-GPU link
+    /// bandwidth behind each switch divided by that switch's uplink
+    /// bandwidth, maximised over switches. 1.0 means no oversubscription.
+    ///
+    /// This is the "4:1 or 8:1" figure the paper cites for commodity
+    /// servers (§2, inefficiency 3).
+    pub fn host_oversubscription(&self) -> f64 {
+        // Uplink of a switch = the last channel on some GPU->Host route;
+        // per-GPU bandwidth = the first channel on it.
+        let mut per_switch_sum: HashMap<ChannelId, f64> = HashMap::new();
+        for g in 0..self.num_gpus() {
+            if let Ok(route) = self.route(Endpoint::Gpu(g), Endpoint::Host) {
+                if route.len() >= 2 {
+                    let first_bw = self.channels[route[0]].bandwidth;
+                    let uplink = *route.last().expect("len >= 2");
+                    *per_switch_sum.entry(uplink).or_insert(0.0) += first_bw;
+                }
+            }
+        }
+        per_switch_sum
+            .into_iter()
+            .map(|(uplink, sum)| sum / self.channels[uplink].bandwidth)
+            .fold(1.0, f64::max)
+    }
+
+    /// True if GPU↔GPU transfers between `a` and `b` avoid every channel on
+    /// either GPU's host route's *uplink* — i.e. p2p does not contend with
+    /// host swaps beyond the GPUs' own lanes.
+    pub fn p2p_avoids_host_uplink(&self, a: GpuId, b: GpuId) -> Result<bool, TopologyError> {
+        let p2p = self.route(Endpoint::Gpu(a), Endpoint::Gpu(b))?;
+        let host_a = self.route(Endpoint::Gpu(a), Endpoint::Host)?;
+        let uplink = host_a.last().ok_or_else(|| {
+            TopologyError::Invalid("empty host route".to_string())
+        })?;
+        Ok(!p2p.contains(uplink))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_gpu_topo() -> Topology {
+        let mut b = TopologyBuilder::new("test");
+        let spec = GpuSpec {
+            mem_bytes: 1 << 30,
+            flops: 1e12,
+        };
+        let g0 = b.gpu(spec, 0);
+        let g1 = b.gpu(spec, 0);
+        let g0_up = b.channel("gpu0->sw", 10.0);
+        let g0_down = b.channel("sw->gpu0", 10.0);
+        let g1_up = b.channel("gpu1->sw", 10.0);
+        let g1_down = b.channel("sw->gpu1", 10.0);
+        let sw_up = b.channel("sw->host", 10.0);
+        let sw_down = b.channel("host->sw", 10.0);
+        b.route(Endpoint::Gpu(g0), Endpoint::Host, vec![g0_up, sw_up]);
+        b.route(Endpoint::Host, Endpoint::Gpu(g0), vec![sw_down, g0_down]);
+        b.route(Endpoint::Gpu(g1), Endpoint::Host, vec![g1_up, sw_up]);
+        b.route(Endpoint::Host, Endpoint::Gpu(g1), vec![sw_down, g1_down]);
+        b.route(Endpoint::Gpu(g0), Endpoint::Gpu(g1), vec![g0_up, g1_down]);
+        b.route(Endpoint::Gpu(g1), Endpoint::Gpu(g0), vec![g1_up, g0_down]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn routes_resolve() {
+        let t = two_gpu_topo();
+        assert_eq!(t.route(Endpoint::Gpu(0), Endpoint::Host).unwrap().len(), 2);
+        assert!(t.route(Endpoint::Host, Endpoint::Host).is_err());
+    }
+
+    #[test]
+    fn ideal_transfer_uses_bottleneck() {
+        let t = two_gpu_topo();
+        let secs = t
+            .ideal_transfer_secs(Endpoint::Gpu(0), Endpoint::Host, 100)
+            .unwrap();
+        assert!((secs - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oversubscription_counts_shared_uplink() {
+        let t = two_gpu_topo();
+        // Two 10 B/s GPU links share one 10 B/s uplink → 2:1.
+        assert!((t.host_oversubscription() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p2p_route_avoids_uplink() {
+        let t = two_gpu_topo();
+        assert!(t.p2p_avoids_host_uplink(0, 1).unwrap());
+    }
+
+    #[test]
+    fn build_rejects_dangling_refs() {
+        let mut b = TopologyBuilder::new("bad");
+        b.route(Endpoint::Gpu(0), Endpoint::Host, vec![99]);
+        assert!(b.build().is_err());
+
+        let mut b = TopologyBuilder::new("bad2");
+        let c = b.channel("c", 1.0);
+        b.route(Endpoint::Gpu(3), Endpoint::Host, vec![c]);
+        assert!(matches!(b.build(), Err(TopologyError::UnknownGpu(3))));
+    }
+
+    #[test]
+    fn gpu_lookup_bounds() {
+        let t = two_gpu_topo();
+        assert!(t.gpu(0).is_ok());
+        assert!(t.gpu(5).is_err());
+        assert_eq!(t.switch_of(1).unwrap(), 0);
+        assert!(t.switch_of(9).is_err());
+    }
+}

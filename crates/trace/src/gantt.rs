@@ -1,0 +1,86 @@
+//! Text Gantt rendering of traces (the Fig 4 schedule view).
+
+use crate::{SpanKind, Trace};
+
+/// Renders the trace as a fixed-width text Gantt chart: one row per GPU
+/// lane, `width` columns spanning `[0, trace.duration()]`. Later spans
+/// overwrite earlier ones in a cell; compute wins over transfers so the
+/// schedule structure stays readable.
+pub fn render(trace: &Trace, width: usize) -> String {
+    let width = width.max(10);
+    let dur = trace.duration();
+    let lanes = trace.num_lanes();
+    if dur <= 0.0 || lanes == 0 {
+        return format!("{}: (empty trace)\n", trace.name);
+    }
+    let mut rows: Vec<Vec<char>> = vec![vec!['.'; width]; lanes];
+    let mut priority: Vec<Vec<u8>> = vec![vec![0; width]; lanes];
+    for span in &trace.spans {
+        let Some(gpu) = span.gpu else { continue };
+        let prio = match span.kind {
+            SpanKind::Compute => 3,
+            SpanKind::Collective => 2,
+            _ => 1,
+        };
+        let s = ((span.start / dur) * width as f64).floor() as usize;
+        let e = (((span.end / dur) * width as f64).ceil() as usize).min(width);
+        for c in s..e.max(s + 1).min(width) {
+            if prio >= priority[gpu][c] {
+                rows[gpu][c] = span.kind.glyph();
+                priority[gpu][c] = prio;
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} (makespan {:.3}s)  [{}=compute {}=swap-in {}=swap-out {}=p2p {}=collective]\n",
+        trace.name,
+        dur,
+        SpanKind::Compute.glyph(),
+        SpanKind::SwapIn.glyph(),
+        SpanKind::SwapOut.glyph(),
+        SpanKind::P2p.glyph(),
+        SpanKind::Collective.glyph(),
+    ));
+    for (g, row) in rows.iter().enumerate() {
+        out.push_str(&format!("gpu{g} |"));
+        out.extend(row.iter());
+        out.push_str("|\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_one_row_per_lane() {
+        let mut t = Trace::new("g");
+        t.record(0.0, 1.0, Some(0), SpanKind::Compute, "a");
+        t.record(0.0, 2.0, Some(1), SpanKind::SwapIn, "b");
+        let s = render(&t, 20);
+        assert_eq!(s.lines().count(), 3); // header + 2 lanes
+        assert!(s.contains("gpu0 |"));
+        assert!(s.contains("gpu1 |"));
+        assert!(s.contains('#'));
+        assert!(s.contains('<'));
+    }
+
+    #[test]
+    fn compute_overrides_transfers_in_shared_cells() {
+        let mut t = Trace::new("g");
+        t.record(0.0, 1.0, Some(0), SpanKind::SwapIn, "in");
+        t.record(0.0, 1.0, Some(0), SpanKind::Compute, "k");
+        let s = render(&t, 12);
+        let lane = s.lines().nth(1).unwrap();
+        assert!(lane.contains('#'));
+        assert!(!lane.contains('<'));
+    }
+
+    #[test]
+    fn empty_trace_renders_placeholder() {
+        let t = Trace::new("e");
+        assert!(render(&t, 40).contains("empty trace"));
+    }
+}

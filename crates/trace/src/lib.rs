@@ -1,0 +1,185 @@
+//! # harmony-trace
+//!
+//! Execution traces, per-device Gantt timelines, and result tables for the
+//! benchmark harness. The `repro` binary renders Fig 4-style schedules
+//! with [`gantt::render`] and emits the paper's tables via
+//! [`table::Table`]; runs can be exported as JSON for external tooling.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gantt;
+pub mod summary;
+pub mod table;
+
+use serde::{Deserialize, Serialize};
+
+/// What a trace span represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpanKind {
+    /// Kernel execution on a GPU.
+    Compute,
+    /// Host → device swap-in.
+    SwapIn,
+    /// Device → host swap-out.
+    SwapOut,
+    /// Device → device transfer.
+    P2p,
+    /// Collective communication (e.g. AllReduce).
+    Collective,
+}
+
+impl SpanKind {
+    /// Single-character glyph used by the Gantt renderer.
+    pub fn glyph(&self) -> char {
+        match self {
+            SpanKind::Compute => '#',
+            SpanKind::SwapIn => '<',
+            SpanKind::SwapOut => '>',
+            SpanKind::P2p => '=',
+            SpanKind::Collective => '+',
+        }
+    }
+}
+
+/// One timed span of activity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Span {
+    /// Start time (virtual seconds).
+    pub start: f64,
+    /// End time (virtual seconds).
+    pub end: f64,
+    /// Device lane (GPU index); `None` → host/global lane.
+    pub gpu: Option<usize>,
+    /// Kind of activity.
+    pub kind: SpanKind,
+    /// Short label, e.g. `"F L1 u0"`.
+    pub label: String,
+}
+
+/// An execution trace: a list of spans plus metadata.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    /// Trace name (scheme + workload).
+    pub name: String,
+    /// Recorded spans.
+    pub spans: Vec<Span>,
+}
+
+impl Trace {
+    /// Creates an empty named trace.
+    pub fn new(name: impl Into<String>) -> Self {
+        Trace {
+            name: name.into(),
+            spans: Vec::new(),
+        }
+    }
+
+    /// Records a span.
+    pub fn push(&mut self, span: Span) {
+        self.spans.push(span);
+    }
+
+    /// Convenience: record a span from fields.
+    pub fn record(
+        &mut self,
+        start: f64,
+        end: f64,
+        gpu: Option<usize>,
+        kind: SpanKind,
+        label: impl Into<String>,
+    ) {
+        self.push(Span {
+            start,
+            end,
+            gpu,
+            kind,
+            label: label.into(),
+        });
+    }
+
+    /// Makespan: latest span end (0 for an empty trace).
+    pub fn duration(&self) -> f64 {
+        self.spans.iter().map(|s| s.end).fold(0.0, f64::max)
+    }
+
+    /// Total busy seconds of `kind` on a GPU lane.
+    pub fn busy_secs(&self, gpu: usize, kind: SpanKind) -> f64 {
+        self.spans
+            .iter()
+            .filter(|s| s.gpu == Some(gpu) && s.kind == kind)
+            .map(|s| s.end - s.start)
+            .sum()
+    }
+
+    /// Number of GPU lanes referenced.
+    pub fn num_lanes(&self) -> usize {
+        self.spans
+            .iter()
+            .filter_map(|s| s.gpu)
+            .max()
+            .map_or(0, |m| m + 1)
+    }
+
+    /// Serialises to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_string())
+    }
+
+    /// Parses a trace from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_and_busy_accounting() {
+        let mut t = Trace::new("t");
+        t.record(0.0, 1.0, Some(0), SpanKind::Compute, "a");
+        t.record(1.0, 3.0, Some(0), SpanKind::SwapIn, "b");
+        t.record(0.5, 2.0, Some(1), SpanKind::Compute, "c");
+        assert_eq!(t.duration(), 3.0);
+        assert_eq!(t.busy_secs(0, SpanKind::Compute), 1.0);
+        assert_eq!(t.busy_secs(0, SpanKind::SwapIn), 2.0);
+        assert_eq!(t.busy_secs(1, SpanKind::Compute), 1.5);
+        assert_eq!(t.num_lanes(), 2);
+    }
+
+    #[test]
+    fn empty_trace_is_safe() {
+        let t = Trace::new("e");
+        assert_eq!(t.duration(), 0.0);
+        assert_eq!(t.num_lanes(), 0);
+        assert_eq!(t.busy_secs(0, SpanKind::Compute), 0.0);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut t = Trace::new("rt");
+        t.record(0.0, 1.5, Some(2), SpanKind::P2p, "x");
+        let back = Trace::from_json(&t.to_json()).unwrap();
+        assert_eq!(back.name, "rt");
+        assert_eq!(back.spans.len(), 1);
+        assert_eq!(back.spans[0].kind, SpanKind::P2p);
+    }
+
+    #[test]
+    fn glyphs_are_distinct() {
+        use std::collections::HashSet;
+        let glyphs: HashSet<char> = [
+            SpanKind::Compute,
+            SpanKind::SwapIn,
+            SpanKind::SwapOut,
+            SpanKind::P2p,
+            SpanKind::Collective,
+        ]
+        .iter()
+        .map(|k| k.glyph())
+        .collect();
+        assert_eq!(glyphs.len(), 5);
+    }
+}

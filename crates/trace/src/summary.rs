@@ -1,0 +1,184 @@
+//! Run summaries: the numbers the paper's figures plot.
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregate results of one simulated (or executed) training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Scheme + workload label.
+    pub name: String,
+    /// Virtual seconds for the measured iterations.
+    pub sim_secs: f64,
+    /// Samples (sequences) processed.
+    pub samples: u64,
+    /// Host swap-in bytes per GPU.
+    pub swap_in_bytes: Vec<u64>,
+    /// Host swap-out bytes per GPU.
+    pub swap_out_bytes: Vec<u64>,
+    /// Device-to-device bytes (global).
+    pub p2p_bytes: u64,
+    /// Peak resident bytes per GPU.
+    pub peak_mem_bytes: Vec<u64>,
+    /// Logical memory demand per GPU (what *would* have to be resident
+    /// without virtualization) — the Fig 2(c) y-axis.
+    pub demand_bytes: Vec<u64>,
+    /// Global swap volume (both directions) per tensor class, keyed by the
+    /// Fig 5(a) class names (`weight`, `grad`, `opt_state`, `activation`,
+    /// `stash`, `workspace`). Used by the analytical cross-check.
+    #[serde(default)]
+    pub swap_by_class: std::collections::BTreeMap<String, u64>,
+    /// Per-channel busy time in seconds, keyed by channel name — identifies
+    /// the bottleneck link (the host uplink, in the paper's Fig 2a).
+    #[serde(default)]
+    pub channel_busy_secs: std::collections::BTreeMap<String, f64>,
+}
+
+impl RunSummary {
+    /// Global training throughput in samples (sequences) per virtual
+    /// second — the Fig 2(a) left axis.
+    pub fn throughput(&self) -> f64 {
+        if self.sim_secs <= 0.0 {
+            0.0
+        } else {
+            self.samples as f64 / self.sim_secs
+        }
+    }
+
+    /// Global swap-out volume in bytes — the Fig 2(a) right axis.
+    pub fn global_swap_out(&self) -> u64 {
+        self.swap_out_bytes.iter().sum()
+    }
+
+    /// Global swap-in volume in bytes.
+    pub fn global_swap_in(&self) -> u64 {
+        self.swap_in_bytes.iter().sum()
+    }
+
+    /// Global swap volume, both directions.
+    pub fn global_swap(&self) -> u64 {
+        self.global_swap_in() + self.global_swap_out()
+    }
+
+    /// Max/min swap imbalance across GPUs (∞ if some GPU swaps nothing
+    /// while another swaps) — quantifies Fig 2(c).
+    pub fn swap_imbalance(&self) -> f64 {
+        let totals: Vec<u64> = self
+            .swap_in_bytes
+            .iter()
+            .zip(&self.swap_out_bytes)
+            .map(|(i, o)| i + o)
+            .collect();
+        let max = totals.iter().copied().max().unwrap_or(0);
+        let min = totals.iter().copied().min().unwrap_or(0);
+        if min == 0 {
+            if max == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            max as f64 / min as f64
+        }
+    }
+
+    /// Fraction of the run a channel was busy, summed over channels whose
+    /// name contains `pattern` and averaged (1.0 = always busy). Returns
+    /// `None` when no channel matches.
+    pub fn channel_utilisation(&self, pattern: &str) -> Option<f64> {
+        let matched: Vec<f64> = self
+            .channel_busy_secs
+            .iter()
+            .filter(|(name, _)| name.contains(pattern))
+            .map(|(_, &busy)| busy)
+            .collect();
+        if matched.is_empty() || self.sim_secs <= 0.0 {
+            return None;
+        }
+        Some(matched.iter().sum::<f64>() / matched.len() as f64 / self.sim_secs)
+    }
+
+    /// One-line human summary.
+    pub fn one_line(&self) -> String {
+        format!(
+            "{}: {:.2} samples/s, swap {:.2} GB (in {:.2} / out {:.2}), p2p {:.2} GB",
+            self.name,
+            self.throughput(),
+            self.global_swap() as f64 / 1e9,
+            self.global_swap_in() as f64 / 1e9,
+            self.global_swap_out() as f64 / 1e9,
+            self.p2p_bytes as f64 / 1e9,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary() -> RunSummary {
+        RunSummary {
+            name: "test".to_string(),
+            sim_secs: 2.0,
+            samples: 10,
+            swap_in_bytes: vec![100, 300],
+            swap_out_bytes: vec![200, 400],
+            p2p_bytes: 50,
+            peak_mem_bytes: vec![1000, 2000],
+            demand_bytes: vec![3000, 1500],
+            swap_by_class: Default::default(),
+            channel_busy_secs: Default::default(),
+        }
+    }
+
+    #[test]
+    fn throughput_is_samples_per_sec() {
+        assert_eq!(summary().throughput(), 5.0);
+        let mut s = summary();
+        s.sim_secs = 0.0;
+        assert_eq!(s.throughput(), 0.0);
+    }
+
+    #[test]
+    fn swap_totals() {
+        let s = summary();
+        assert_eq!(s.global_swap_in(), 400);
+        assert_eq!(s.global_swap_out(), 600);
+        assert_eq!(s.global_swap(), 1000);
+    }
+
+    #[test]
+    fn imbalance_ratio() {
+        let s = summary();
+        // GPU0: 300, GPU1: 700 → 7/3.
+        assert!((s.swap_imbalance() - 700.0 / 300.0).abs() < 1e-9);
+        let balanced = RunSummary {
+            swap_in_bytes: vec![0, 0],
+            swap_out_bytes: vec![0, 0],
+            ..summary()
+        };
+        assert_eq!(balanced.swap_imbalance(), 1.0);
+        let skewed = RunSummary {
+            swap_in_bytes: vec![0, 10],
+            swap_out_bytes: vec![0, 0],
+            ..summary()
+        };
+        assert_eq!(skewed.swap_imbalance(), f64::INFINITY);
+    }
+
+    #[test]
+    fn channel_utilisation_averages_matches() {
+        let mut s = summary();
+        s.channel_busy_secs.insert("sw0->host".to_string(), 1.5);
+        s.channel_busy_secs.insert("gpu0->sw0".to_string(), 0.5);
+        // sim_secs = 2.0 → uplink util 0.75.
+        assert!((s.channel_utilisation("->host").unwrap() - 0.75).abs() < 1e-9);
+        assert!(s.channel_utilisation("nvlink").is_none());
+    }
+
+    #[test]
+    fn one_line_mentions_name_and_units() {
+        let line = summary().one_line();
+        assert!(line.contains("test"));
+        assert!(line.contains("samples/s"));
+    }
+}

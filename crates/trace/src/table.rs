@@ -1,0 +1,115 @@
+//! Markdown-style result tables for the repro harness.
+
+/// A simple column-aligned table builder.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (short rows are padded with empty cells; long rows are
+    /// truncated to the header width).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        let mut r: Vec<String> = cells.iter().take(self.header.len()).cloned().collect();
+        while r.len() < self.header.len() {
+            r.push(String::new());
+        }
+        self.rows.push(r);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders as aligned markdown.
+    pub fn render(&self) -> String {
+        let ncol = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |cells: &[String]| -> String {
+            let mut s = String::from("|");
+            for (i, &width) in widths.iter().enumerate().take(ncol) {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                s.push_str(&format!(" {cell:<width$} |"));
+            }
+            s.push('\n');
+            s
+        };
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&format!("## {}\n\n", self.title));
+        }
+        out.push_str(&line(&self.header));
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&format!("{:-<width$}|", "", width = w + 2));
+        }
+        sep.push('\n');
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&line(row));
+        }
+        out
+    }
+}
+
+/// Formats bytes as GB with 2 decimals.
+pub fn gb(bytes: u64) -> String {
+    format!("{:.2}", bytes as f64 / 1e9)
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new("Results", &["scheme", "GB"]);
+        t.row(&["baseline".to_string(), "12.50".to_string()]);
+        t.row(&["harmony".to_string(), "3.00".to_string()]);
+        let s = t.render();
+        assert!(s.starts_with("## Results"));
+        assert!(s.contains("| scheme   | GB    |"));
+        assert_eq!(s.lines().count(), 6); // title, blank, header, sep, 2 rows
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn pads_and_truncates_rows() {
+        let mut t = Table::new("", &["a", "b"]);
+        t.row(&["1".to_string()]);
+        t.row(&["1".to_string(), "2".to_string(), "3".to_string()]);
+        let s = t.render();
+        assert_eq!(t.rows[0].len(), 2);
+        assert_eq!(t.rows[1].len(), 2);
+        assert!(!s.contains('3'));
+    }
+
+    #[test]
+    fn format_helpers() {
+        assert_eq!(gb(2_500_000_000), "2.50");
+        assert_eq!(f2(1.234), "1.23");
+    }
+}

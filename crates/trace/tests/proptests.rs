@@ -1,0 +1,128 @@
+//! Property-based tests on trace rendering: never panic, always preserve
+//! structure, for arbitrary span soups.
+
+use harmony_trace::{gantt, table::Table, Span, SpanKind, Trace};
+use proptest::prelude::*;
+
+fn kind_strategy() -> impl Strategy<Value = SpanKind> {
+    prop_oneof![
+        Just(SpanKind::Compute),
+        Just(SpanKind::SwapIn),
+        Just(SpanKind::SwapOut),
+        Just(SpanKind::P2p),
+        Just(SpanKind::Collective),
+    ]
+}
+
+fn span_strategy() -> impl Strategy<Value = Span> {
+    (
+        0.0f64..100.0,
+        0.0f64..10.0,
+        prop::option::of(0usize..6),
+        kind_strategy(),
+        "[a-z]{0,12}",
+    )
+        .prop_map(|(start, len, gpu, kind, label)| Span {
+            start,
+            end: start + len,
+            gpu,
+            kind,
+            label,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn gantt_never_panics_and_has_one_row_per_lane(
+        spans in prop::collection::vec(span_strategy(), 0..40),
+        width in 0usize..200,
+    ) {
+        let mut t = Trace::new("prop");
+        for s in spans {
+            t.push(s);
+        }
+        let rendered = gantt::render(&t, width);
+        if t.duration() > 0.0 && t.num_lanes() > 0 {
+            // Header + one line per lane.
+            prop_assert_eq!(rendered.lines().count(), 1 + t.num_lanes());
+            for g in 0..t.num_lanes() {
+                let lane_header = format!("gpu{g} |");
+                let has_lane = rendered.contains(&lane_header);
+                prop_assert!(has_lane, "missing lane {}", g);
+            }
+        } else {
+            prop_assert!(rendered.contains("empty trace"));
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_span_structure(
+        spans in prop::collection::vec(span_strategy(), 0..30),
+    ) {
+        let mut t = Trace::new("rt");
+        for s in spans {
+            t.push(s);
+        }
+        let back = Trace::from_json(&t.to_json()).unwrap();
+        prop_assert_eq!(back.spans.len(), t.spans.len());
+        for (a, b) in back.spans.iter().zip(&t.spans) {
+            prop_assert_eq!(a.gpu, b.gpu);
+            prop_assert_eq!(a.kind, b.kind);
+            prop_assert_eq!(&a.label, &b.label);
+        }
+    }
+
+    #[test]
+    fn busy_secs_is_additive_over_kinds(
+        spans in prop::collection::vec(span_strategy(), 0..30),
+    ) {
+        let mut t = Trace::new("b");
+        for s in spans {
+            t.push(s);
+        }
+        for g in 0..6 {
+            let per_kind: f64 = [
+                SpanKind::Compute,
+                SpanKind::SwapIn,
+                SpanKind::SwapOut,
+                SpanKind::P2p,
+                SpanKind::Collective,
+            ]
+            .iter()
+            .map(|&k| t.busy_secs(g, k))
+            .sum();
+            let total: f64 = t
+                .spans
+                .iter()
+                .filter(|s| s.gpu == Some(g))
+                .map(|s| s.end - s.start)
+                .sum();
+            prop_assert!((per_kind - total).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn tables_render_for_arbitrary_cell_content(
+        title in "[a-zA-Z ]{0,20}",
+        rows in prop::collection::vec(prop::collection::vec("[ -~]{0,24}", 0..5), 0..10),
+    ) {
+        let mut t = Table::new(title.clone(), &["a", "bb", "ccc"]);
+        for row in &rows {
+            t.row(&row.clone());
+        }
+        let rendered = t.render();
+        prop_assert!(rendered.contains("| a"));
+        prop_assert_eq!(t.num_rows(), rows.len());
+        // Every rendered data line has the same width (alignment).
+        let widths: Vec<usize> = rendered
+            .lines()
+            .filter(|l| l.starts_with('|'))
+            .map(|l| l.chars().count())
+            .collect();
+        if let Some(&first) = widths.first() {
+            prop_assert!(widths.iter().all(|&w| w == first));
+        }
+    }
+}

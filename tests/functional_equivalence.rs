@@ -1,0 +1,218 @@
+//! The single-virtual-device illusion, verified with real floats: the
+//! Harmony functional runtime must be *bit-identical* to the user's
+//! sequential gradient-accumulation program for every model shape, device
+//! count, microbatch count, and memory pressure level.
+
+use harmony::prelude::*;
+
+fn loss_curve_and_params(
+    model: &ExecModel,
+    devices: Vec<u64>,
+    microbatches: usize,
+    steps: u64,
+    make_batch: &mut dyn FnMut(u64) -> (Tensor, Vec<usize>),
+) -> (Vec<f32>, Vec<Vec<Tensor>>) {
+    let opt = Optimizer::adam(0.01);
+    let mut session = FunctionalSession::new(
+        model.clone(),
+        SessionConfig {
+            device_capacities: devices,
+            microbatches,
+            optimizer: opt,
+            seed: 77,
+        },
+    )
+    .expect("session");
+    let mut losses = Vec::new();
+    for step in 1..=steps {
+        let (x, t) = make_batch(step);
+        losses.push(session.train_step(&x, &t).expect("step").loss);
+    }
+    (losses, session.params().expect("params"))
+}
+
+fn reference_curve(
+    model: &ExecModel,
+    microbatches: usize,
+    steps: u64,
+    make_batch: &mut dyn FnMut(u64) -> (Tensor, Vec<usize>),
+) -> (Vec<f32>, Vec<Vec<Tensor>>) {
+    let opt = Optimizer::adam(0.01);
+    let mut params = model.init_params(77);
+    let mut state = model.init_opt_state(&params, &opt);
+    let mut losses = Vec::new();
+    for step in 1..=steps {
+        let (x, t) = make_batch(step);
+        losses.push(
+            model
+                .train_step_accum(&mut params, &opt, &mut state, &x, &t, microbatches, step)
+                .expect("step"),
+        );
+    }
+    (losses, params)
+}
+
+fn batch_maker(seed: u64, rows: usize, dim: usize, classes: usize) -> impl FnMut(u64) -> (Tensor, Vec<usize>) {
+    let mut rng = SplitMix64::new(seed);
+    move |_| {
+        let x = Tensor::randn([rows, dim], 1.0, &mut rng);
+        let t = (0..rows).map(|i| i % classes).collect();
+        (x, t)
+    }
+}
+
+fn token_batch_maker(seed: u64, rows: usize, seq: usize, vocab: usize) -> impl FnMut(u64) -> (Tensor, Vec<usize>) {
+    let mut rng = SplitMix64::new(seed);
+    move |_| {
+        let ids: Vec<f32> = (0..rows * seq).map(|_| rng.next_bounded(vocab) as f32).collect();
+        let x = Tensor::from_vec([rows, seq], ids.clone()).expect("shape");
+        let t = ids.iter().map(|&v| v as usize).collect();
+        (x, t)
+    }
+}
+
+#[test]
+fn mlp_bitwise_identical_across_device_counts() {
+    let model = mlp(&[12, 24, 24, 4]);
+    for n_devices in [1usize, 2, 3] {
+        let mut mk = batch_maker(1, 8, 12, 4);
+        let (hl, hp) =
+            loss_curve_and_params(&model, vec![1 << 20; n_devices], 2, 6, &mut mk);
+        let mut mk = batch_maker(1, 8, 12, 4);
+        let (rl, rp) = reference_curve(&model, 2, 6, &mut mk);
+        assert_eq!(hl, rl, "losses diverge at {n_devices} devices");
+        assert_eq!(hp, rp, "params diverge at {n_devices} devices");
+    }
+}
+
+#[test]
+fn mlp_bitwise_identical_across_microbatch_counts() {
+    let model = mlp(&[12, 24, 4]);
+    for m in [1usize, 2, 4, 8] {
+        let mut mk = batch_maker(2, 8, 12, 4);
+        let (hl, hp) = loss_curve_and_params(&model, vec![1 << 20], m, 4, &mut mk);
+        let mut mk = batch_maker(2, 8, 12, 4);
+        let (rl, rp) = reference_curve(&model, m, 4, &mut mk);
+        assert_eq!(hl, rl, "losses diverge at m = {m}");
+        assert_eq!(hp, rp, "params diverge at m = {m}");
+    }
+}
+
+#[test]
+fn memory_pressure_never_changes_results() {
+    // The core guarantee of memory virtualization: capacity changes
+    // performance, never semantics.
+    let model = mlp(&[24, 48, 48, 4]);
+    let mut reference: Option<(Vec<f32>, Vec<Vec<Tensor>>)> = None;
+    for capacity in [16 * 1024 * 1024u64, 128 * 1024, 48 * 1024] {
+        let mut mk = batch_maker(3, 8, 24, 4);
+        let got = loss_curve_and_params(&model, vec![capacity], 2, 5, &mut mk);
+        match &reference {
+            None => reference = Some(got),
+            Some(r) => {
+                assert_eq!(r.0, got.0, "capacity {capacity}: losses diverge");
+                assert_eq!(r.1, got.1, "capacity {capacity}: params diverge");
+            }
+        }
+    }
+}
+
+#[test]
+fn transformer_bitwise_identical_with_residuals_and_attention() {
+    for causal in [false, true] {
+        let model = tiny_transformer(13, 8, 2, 2, causal).expect("model");
+        let mut mk = token_batch_maker(4, 4, 6, 13);
+        let (hl, hp) = loss_curve_and_params(&model, vec![1 << 20; 2], 2, 4, &mut mk);
+        let mut mk = token_batch_maker(4, 4, 6, 13);
+        let (rl, rp) = reference_curve(&model, 2, 4, &mut mk);
+        assert_eq!(hl, rl, "causal={causal}: losses diverge");
+        assert_eq!(hp, rp, "causal={causal}: params diverge");
+    }
+}
+
+#[test]
+fn pressured_transformer_still_learns_copy_task() {
+    let model = tiny_transformer(17, 8, 2, 1, false).expect("model");
+    // Training state ≈ params × 16 bytes; squeeze into a third of that.
+    let state = (model.param_count() * 16) as u64;
+    let mut session = FunctionalSession::new(
+        model,
+        SessionConfig {
+            device_capacities: vec![state / 3],
+            microbatches: 2,
+            optimizer: Optimizer::adam(0.01),
+            seed: 5,
+        },
+    )
+    .expect("session");
+    let mut mk = token_batch_maker(6, 4, 6, 17);
+    let mut first = None;
+    let mut last = f32::INFINITY;
+    let mut total_swapped = 0u64;
+    for step in 1..=50 {
+        let (x, t) = mk(step);
+        let r = session.train_step(&x, &t).expect("step");
+        if first.is_none() {
+            first = Some(r.loss);
+        }
+        last = r.loss;
+        total_swapped += r.swap_in_bytes + r.swap_out_bytes;
+    }
+    assert!(total_swapped > 0, "must be swapping under pressure");
+    assert!(
+        last < first.expect("ran") * 0.6,
+        "loss did not fall: {first:?} -> {last}"
+    );
+}
+
+#[test]
+fn lenet_trains_bitwise_identically_under_pressure() {
+    // A real convolutional network (conv/pool/flatten) through the same
+    // machinery: bit-identical to the reference and learning on a synthetic
+    // "bright quadrant" task, on a device smaller than its training state.
+    let model = harmony::prelude::ExecModel::clone(&lenet());
+    let state = (model.param_count() * 16) as u64;
+    let mut session = FunctionalSession::new(
+        model.clone(),
+        SessionConfig {
+            device_capacities: vec![(state / 2).max(24 * 1024)],
+            microbatches: 2,
+            optimizer: Optimizer::adam(0.01),
+            seed: 31,
+        },
+    )
+    .expect("session");
+    let opt = Optimizer::adam(0.01);
+    let mut ref_params = model.init_params(31);
+    let mut ref_state = model.init_opt_state(&ref_params, &opt);
+
+    let mut rng = SplitMix64::new(32);
+    // Class = which quadrant of the 12×12 image is bright.
+    let make_batch = |rng: &mut SplitMix64| {
+        harmony_models::data::quadrant_images(rng, 8, 12).expect("valid batch")
+    };
+
+    let mut first = None;
+    let mut last = 0.0f32;
+    for step in 1..=25 {
+        let (x, t) = make_batch(&mut rng);
+        let ref_loss = model
+            .train_step_accum(&mut ref_params, &opt, &mut ref_state, &x, &t, 2, step)
+            .expect("ref step");
+        let r = session.train_step(&x, &t).expect("harmony step");
+        assert_eq!(r.loss, ref_loss, "step {step}");
+        if first.is_none() {
+            first = Some(r.loss);
+        }
+        last = r.loss;
+    }
+    assert_eq!(session.params().expect("params"), ref_params);
+    assert!(
+        last < first.expect("ran") * 0.5,
+        "LeNet did not learn: {first:?} -> {last}"
+    );
+}
+
+fn lenet() -> harmony::prelude::ExecModel {
+    harmony_models::exec::lenet_exec().expect("valid lenet")
+}
