@@ -32,6 +32,8 @@
 
 use harmony_models::ModelSpec;
 
+pub mod exact;
+
 /// Training scheme being analysed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scheme {

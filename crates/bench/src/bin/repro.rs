@@ -2,7 +2,9 @@
 //!
 //! Usage: `cargo run --release -p harmony-bench --bin repro -- <artefact>`
 //! where `<artefact>` is one of `fig1 fig2a fig2b fig2c fig4 fig5a fig5bc
-//! table_a dominance tango prefetch recompute eviction steady all`, or `custom`
+//! table_a dominance tango prefetch recompute eviction steady all`, the
+//! correctness gate `conformance [seed]` (prints the oracle-instrumented
+//! pass/fail matrix, exits nonzero on any failing cell), or `custom`
 //! followed by flags (see `repro custom --help` output on error) to run an
 //! arbitrary model × scheme × server configuration.
 
@@ -10,6 +12,24 @@ use harmony_bench::{custom, figures};
 
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    if arg == "conformance" {
+        let seed = std::env::args()
+            .nth(2)
+            .map(|s| match s.parse::<u64>() {
+                Ok(seed) => seed,
+                Err(_) => {
+                    eprintln!("conformance seed must be an integer, got `{s}`");
+                    std::process::exit(2);
+                }
+            })
+            .unwrap_or(0);
+        let report = harmony_harness::run_conformance(seed);
+        println!("{}", report.render());
+        if !report.all_passed() {
+            std::process::exit(1);
+        }
+        return;
+    }
     if arg == "custom" {
         let rest: Vec<String> = std::env::args().skip(2).collect();
         match custom::parse(&rest).and_then(|a| custom::run(&a)) {
@@ -82,7 +102,8 @@ fn main() {
     if !ran {
         eprintln!(
             "unknown artefact `{arg}`; expected one of: fig1 fig2a fig2b fig2c fig4 \
-             fig5a fig5bc table_a dominance tango prefetch recompute eviction steady all"
+             fig5a fig5bc table_a dominance tango prefetch recompute eviction steady all \
+             conformance"
         );
         std::process::exit(2);
     }

@@ -80,6 +80,25 @@ pub fn run(
     SimExecutor::new(topo, model, &plan)?.run()
 }
 
+/// Like [`run`], but hands the executor to `configure` before starting
+/// it, so callers can attach memory/executor observers, inject timed
+/// faults, or set an event budget without re-implementing the
+/// plan-then-execute dance (the executor borrows the plan, so the plan
+/// must be owned by this frame). This is the entry point the conformance
+/// harness (`harmony-harness`) builds its oracle-instrumented runs on.
+pub fn run_configured(
+    scheme: SchemeKind,
+    model: &ModelSpec,
+    topo: &Topology,
+    workload: &WorkloadConfig,
+    configure: impl FnOnce(&mut SimExecutor<'_>) -> Result<(), ExecError>,
+) -> Result<(RunSummary, Trace), ExecError> {
+    let plan = plan(scheme, model, topo, workload)?;
+    let mut exec = SimExecutor::new(topo, model, &plan)?;
+    configure(&mut exec)?;
+    exec.run()
+}
+
 /// Like [`run`], but replays the plan `iterations` times back-to-back
 /// (fresh transients per iteration, shared persistent state) so that
 /// totals divided by `iterations` approach steady-state per-iteration
@@ -152,5 +171,41 @@ mod tests {
             assert!(summary.sim_secs > 0.0, "{}", scheme.name());
             assert!(!trace.spans.is_empty());
         }
+    }
+
+    #[test]
+    fn run_configured_applies_the_configuration() {
+        let model = TransformerConfig::tiny().build();
+        let topo = commodity_server(CommodityParams {
+            num_gpus: 2,
+            gpus_per_switch: 2,
+            pcie_bw: GBPS,
+            host_uplink_bw: GBPS,
+            gpu_mem: 10 * 1024 * 1024,
+            gpu_flops: 1e9,
+        })
+        .unwrap();
+        let w = WorkloadConfig {
+            microbatches: 2,
+            ubatch_size: 1,
+            pack_size: 1,
+            opt_slots: 0,
+            group_size: None,
+            recompute: false,
+        };
+        // An absurdly small event budget must surface as Stuck, proving
+        // the closure ran against the executor before the run started.
+        let starved = run_configured(SchemeKind::HarmonyDp, &model, &topo, &w, |exec| {
+            exec.set_event_budget(3);
+            Ok(())
+        });
+        assert!(
+            matches!(starved, Err(ExecError::Stuck(_))),
+            "expected Stuck, got {starved:?}"
+        );
+        // And a no-op configuration behaves exactly like `run`.
+        let (summary, _) =
+            run_configured(SchemeKind::HarmonyDp, &model, &topo, &w, |_| Ok(())).unwrap();
+        assert!(summary.sim_secs > 0.0);
     }
 }

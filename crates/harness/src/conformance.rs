@@ -1,0 +1,198 @@
+//! The conformance matrix: every scheme over a grid of models,
+//! topologies, and workload knobs, with all oracles enabled.
+//!
+//! Three cell families:
+//!
+//! * **exact** — the §3 analytical regime (`pack = 1`, full grouping):
+//!   schedule-independent swap volumes must match the boundary-exact
+//!   closed forms (`harmony_analytical::exact`) byte-for-byte and
+//!   logical work must be identical across schemes;
+//! * **knob** — perturbed decomposition knobs (`pack = 2`, partial
+//!   grouping), outside the closed forms' assumptions: the run must
+//!   complete with every invariant oracle holding and logical work still
+//!   identical;
+//! * **fault** — seeded fault injection on a slack topology: invariants
+//!   must hold under pressure and the run must terminate within a bounded
+//!   event count.
+
+use harmony::simulate::SchemeKind;
+use harmony_sched::WorkloadConfig;
+
+use crate::differential::{check_swap_volumes_exact, check_work_equivalence, run_instrumented};
+use crate::faults::FaultPlan;
+use crate::oracles::OracleConfig;
+use crate::workloads::{slack_topo, tight_topo, tight_workload, uniform_model};
+
+/// Outcome of one scheme × configuration cell.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// Cell family (`"exact"`, `"knob"`, `"fault"`).
+    pub family: &'static str,
+    /// Scheme under test.
+    pub scheme: SchemeKind,
+    /// Configuration label, e.g. `"uniform6x4096 N=2 m=4"`.
+    pub config: String,
+    /// `Ok(())` or the first failure.
+    pub result: Result<(), String>,
+}
+
+/// The full matrix result.
+#[derive(Debug, Clone, Default)]
+pub struct ConformanceReport {
+    /// All cells, in run order.
+    pub cells: Vec<CellOutcome>,
+}
+
+impl ConformanceReport {
+    /// True when every cell passed.
+    pub fn all_passed(&self) -> bool {
+        self.cells.iter().all(|c| c.result.is_ok())
+    }
+
+    /// Number of failed cells.
+    pub fn failures(&self) -> usize {
+        self.cells.iter().filter(|c| c.result.is_err()).count()
+    }
+
+    /// Renders the pass/fail matrix as a text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("Conformance matrix (oracle-instrumented runs)\n");
+        out.push_str(&format!(
+            "{:<6} {:<12} {:<28} {}\n",
+            "family", "scheme", "config", "result"
+        ));
+        out.push_str(&"-".repeat(72));
+        out.push('\n');
+        for c in &self.cells {
+            let verdict = match &c.result {
+                Ok(()) => "PASS".to_string(),
+                Err(e) => format!("FAIL: {e}"),
+            };
+            out.push_str(&format!(
+                "{:<6} {:<12} {:<28} {}\n",
+                c.family,
+                c.scheme.name(),
+                c.config,
+                verdict
+            ));
+        }
+        out.push_str(&format!(
+            "\n{} cells, {} failed\n",
+            self.cells.len(),
+            self.failures()
+        ));
+        out
+    }
+}
+
+/// Runs the whole conformance matrix. `seed` drives fault generation
+/// only; exact and knob cells are seed-independent. All oracles are
+/// enabled in every cell.
+pub fn run_conformance(seed: u64) -> ConformanceReport {
+    let oracles = OracleConfig::all();
+    let mut report = ConformanceReport::default();
+
+    // Exact family: 2 models × 4 GPU counts × 2 microbatch counts ×
+    // 4 schemes = 64 cells in the boundary-exact forms' pinned regime.
+    for &(layers, params) in &[(6usize, 4096u64), (8, 4096)] {
+        let model = uniform_model(layers, params);
+        for &n in &[1usize, 2, 3, 4] {
+            let topo = tight_topo(n);
+            for &m in &[2usize, 4] {
+                let w = tight_workload(m);
+                let config = format!("{} N={n} m={m}", model.name);
+                // Logical-work equivalence is a property of the whole
+                // scheme set; record it against the first scheme's cell.
+                let work = check_work_equivalence(&model, &topo, &w);
+                for scheme in SchemeKind::ALL {
+                    let mut result =
+                        check_swap_volumes_exact(scheme, &model, &topo, &w, &oracles);
+                    if scheme == SchemeKind::BaselineDp {
+                        if let (Ok(()), Err(e)) = (&result, &work) {
+                            result = Err(format!("work equivalence: {e}"));
+                        }
+                    }
+                    report.cells.push(CellOutcome {
+                        family: "exact",
+                        scheme,
+                        config: config.clone(),
+                        result,
+                    });
+                }
+            }
+        }
+    }
+
+    // Knob family: pack = 2 and partial grouping leave the closed forms'
+    // regime; invariants and work equivalence must still hold.
+    {
+        let model = uniform_model(6, 4096);
+        let topo = slack_topo(2);
+        for (label, w) in [
+            (
+                "pack=2",
+                WorkloadConfig {
+                    pack_size: 2,
+                    ..tight_workload(4)
+                },
+            ),
+            (
+                "group=2",
+                WorkloadConfig {
+                    group_size: Some(2),
+                    ..tight_workload(4)
+                },
+            ),
+        ] {
+            let config = format!("{} N=2 m=4 {label}", model.name);
+            let work = check_work_equivalence(&model, &topo, &w);
+            for scheme in SchemeKind::ALL {
+                let mut result = run_instrumented(scheme, &model, &topo, &w, &oracles, &[], None)
+                    .map(|_| ())
+                    .map_err(|e| e.to_string());
+                if scheme == SchemeKind::BaselineDp {
+                    if let (Ok(()), Err(e)) = (&result, &work) {
+                        result = Err(format!("work equivalence: {e}"));
+                    }
+                }
+                report.cells.push(CellOutcome {
+                    family: "knob",
+                    scheme,
+                    config: config.clone(),
+                    result,
+                });
+            }
+        }
+    }
+
+    // Fault family: seeded perturbations on the slack topology. The
+    // event budget bounds termination; oracles stay on throughout.
+    {
+        let model = uniform_model(6, 4096);
+        let topo = slack_topo(2);
+        let w = tight_workload(4);
+        let plan = FaultPlan::generate(seed, &topo, 0.002, 3);
+        for scheme in SchemeKind::ALL {
+            let result = run_instrumented(
+                scheme,
+                &model,
+                &topo,
+                &w,
+                &oracles,
+                &plan.faults,
+                Some(1_000_000),
+            )
+            .map(|_| ())
+            .map_err(|e| e.to_string());
+            report.cells.push(CellOutcome {
+                family: "fault",
+                scheme,
+                config: format!("{} N=2 m=4 seed={seed}", model.name),
+                result,
+            });
+        }
+    }
+
+    report
+}

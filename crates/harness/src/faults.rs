@@ -1,0 +1,111 @@
+//! Deterministic fault-plan generation.
+//!
+//! A [`FaultPlan`] is a seeded, reproducible set of [`TimedFault`]s:
+//! the same seed always yields the same perturbations, so a fault run is
+//! as replayable as a clean one (the simulator itself is deterministic,
+//! and faults enter through its ordered event queue).
+
+use harmony::prelude::SplitMix64;
+use harmony_sched::{Fault, TimedFault};
+use harmony_topology::Topology;
+
+/// A reproducible set of timed faults for one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed the plan was generated from.
+    pub seed: u64,
+    /// The faults, in generation order (times need not be sorted; the
+    /// simulator's event queue orders them).
+    pub faults: Vec<TimedFault>,
+}
+
+impl FaultPlan {
+    /// No faults — the clean-run control.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Generates `count` faults for a run expected to last about
+    /// `horizon_secs`, drawn deterministically from `seed`:
+    ///
+    /// * **link degradation** — a random channel drops to 25–90% of its
+    ///   nominal bandwidth;
+    /// * **capacity squeeze** — a random GPU's memory shrinks to 60–95%
+    ///   of nominal (clamped internally so charged bytes still fit);
+    /// * **compute jitter** — a random GPU's FLOP rate rescales to
+    ///   50–150% of nominal.
+    ///
+    /// Fault times are spread over `(0, horizon_secs)`.
+    pub fn generate(seed: u64, topo: &Topology, horizon_secs: f64, count: usize) -> Self {
+        let mut rng = SplitMix64::new(seed ^ 0x9E37_79B9_7F4A_7C15);
+        let channels = topo.channels().len();
+        let gpus = topo.num_gpus();
+        let mut faults = Vec::with_capacity(count);
+        for _ in 0..count {
+            let at = rng.next_f64() * horizon_secs;
+            let fault = match rng.next_u64() % 3 {
+                0 if channels > 0 => Fault::LinkBandwidth {
+                    channel: (rng.next_u64() as usize) % channels,
+                    factor: 0.25 + 0.65 * rng.next_f64(),
+                },
+                1 if gpus > 0 => Fault::CapacitySqueeze {
+                    gpu: (rng.next_u64() as usize) % gpus,
+                    factor: 0.60 + 0.35 * rng.next_f64(),
+                },
+                _ => Fault::ComputeJitter {
+                    gpu: (rng.next_u64() as usize) % gpus.max(1),
+                    factor: 0.50 + rng.next_f64(),
+                },
+            };
+            faults.push(TimedFault { at, fault });
+        }
+        FaultPlan { seed, faults }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::slack_topo;
+
+    #[test]
+    fn same_seed_same_plan() {
+        let topo = slack_topo(2);
+        let a = FaultPlan::generate(42, &topo, 1.0, 5);
+        let b = FaultPlan::generate(42, &topo, 1.0, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let topo = slack_topo(2);
+        let a = FaultPlan::generate(1, &topo, 1.0, 5);
+        let b = FaultPlan::generate(2, &topo, 1.0, 5);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn factors_in_safe_ranges() {
+        let topo = slack_topo(4);
+        for seed in 0..32 {
+            for tf in FaultPlan::generate(seed, &topo, 1.0, 4).faults {
+                let ok = match tf.fault {
+                    harmony_sched::Fault::LinkBandwidth { factor, .. } => {
+                        (0.25..=0.90).contains(&factor)
+                    }
+                    harmony_sched::Fault::CapacitySqueeze { factor, .. } => {
+                        (0.60..=0.95).contains(&factor)
+                    }
+                    harmony_sched::Fault::ComputeJitter { factor, .. } => {
+                        (0.50..=1.50).contains(&factor)
+                    }
+                };
+                assert!(ok, "fault out of range: {:?}", tf.fault);
+                assert!(tf.at >= 0.0 && tf.at < 1.0);
+            }
+        }
+    }
+}

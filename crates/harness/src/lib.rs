@@ -1,0 +1,47 @@
+//! # harmony-harness
+//!
+//! The conformance harness: machine-checkable evidence that the workspace's
+//! independent models of Harmony agree with each other and with the
+//! invariants the paper's design relies on.
+//!
+//! Three pillars:
+//!
+//! * **Invariant oracles** ([`oracles`]) — observers attached to the
+//!   memory manager's and executor's hook points that panic the moment a
+//!   runtime invariant breaks: device capacity (including in-flight
+//!   reservations), residency-before-use, pin/unpin balance, clean-drop
+//!   safety, task dependency order, per-channel bandwidth conservation,
+//!   and end-of-run flush completeness. Production runs attach none and
+//!   pay one branch per event.
+//! * **Differential scheme checking** ([`differential`]) — every scheme
+//!   is simulated in the §3 analytical regime and its per-class swap
+//!   volumes must match `harmony-analytical`'s closed forms **exactly**;
+//!   independently, all four schemes must decompose an iteration into
+//!   identical logical work (per-layer traversal multisets and FLOPs).
+//! * **Deterministic fault injection** ([`faults`]) — seeded link
+//!   degradation, capacity squeezes, and compute jitter injected through
+//!   the simulator's event queue; for a fixed seed the perturbed run is
+//!   bit-reproducible, invariants must hold under pressure, and every
+//!   scheme must still terminate.
+//!
+//! [`conformance`] sweeps all of this over a scheme × configuration
+//! matrix and renders a pass/fail table (`repro conformance` in
+//! `harmony-bench`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conformance;
+pub mod differential;
+pub mod faults;
+pub mod oracles;
+pub mod workloads;
+
+pub use conformance::{run_conformance, CellOutcome, ConformanceReport};
+pub use differential::{
+    check_swap_volumes_exact, check_work_equivalence, compare_swap_volumes, run_instrumented,
+    VolumeDelta,
+};
+pub use differential::exact_params;
+pub use faults::FaultPlan;
+pub use oracles::{instrument, instrument_memory, OracleConfig};

@@ -1,0 +1,316 @@
+//! Runtime invariant oracles.
+//!
+//! Each oracle observes one subsystem through the observer hooks
+//! ([`harmony_memory::MemObserver`], [`harmony_sched::ExecObserver`]) and
+//! **panics** the moment an invariant is violated, with a message naming
+//! the invariant and the offending state. Panicking (rather than
+//! collecting) keeps violations attributable to the exact event that
+//! caused them and composes with `#[should_panic]` mutation tests.
+//!
+//! [`OracleConfig`] selects which oracles [`instrument`] attaches;
+//! [`OracleConfig::all()`] is the conformance harness's default, while
+//! production runs attach none and pay nothing beyond an `is_empty`
+//! branch per event.
+
+use std::collections::HashMap;
+
+use harmony_memory::{MemEvent, MemObserver, MemoryManager, Residency, TensorId};
+use harmony_sched::{ExecContext, ExecEvent, ExecObserver, SimExecutor};
+
+/// Which invariant oracles to attach. See [`instrument`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OracleConfig {
+    /// Device memory charged never exceeds capacity, including in-flight
+    /// reservations ([`CapacityOracle`]).
+    pub capacity: bool,
+    /// Tensors are only *used* (touched/pinned) while device-resident
+    /// ([`ResidencyUseOracle`]).
+    pub residency_use: bool,
+    /// Pins and unpins balance, and the oracle's shadow count always
+    /// matches the manager's ([`PinBalanceOracle`]).
+    pub pin_balance: bool,
+    /// Free drops happen only on clean, host-backed tensors
+    /// ([`CleanDropOracle`]).
+    pub clean_drop: bool,
+    /// A task starts only after every graph dependency finished
+    /// ([`DependencyOracle`]).
+    pub dependency: bool,
+    /// Bytes issued on each channel equal the simulator's accounting
+    /// ([`BandwidthConservationOracle`]).
+    pub bandwidth: bool,
+    /// No dirty device-resident tensor survives the end-of-run flush
+    /// ([`FlushOracle`]).
+    pub flush: bool,
+}
+
+impl OracleConfig {
+    /// Every oracle on — the conformance default.
+    pub fn all() -> Self {
+        OracleConfig {
+            capacity: true,
+            residency_use: true,
+            pin_balance: true,
+            clean_drop: true,
+            dependency: true,
+            bandwidth: true,
+            flush: true,
+        }
+    }
+
+    /// Every oracle off (production behaviour).
+    pub fn none() -> Self {
+        OracleConfig {
+            capacity: false,
+            residency_use: false,
+            pin_balance: false,
+            clean_drop: false,
+            dependency: false,
+            bandwidth: false,
+            flush: false,
+        }
+    }
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig::all()
+    }
+}
+
+/// Attaches the selected oracles to an executor.
+pub fn instrument(exec: &mut SimExecutor<'_>, cfg: &OracleConfig) {
+    let mut mem: Vec<Box<dyn MemObserver>> = Vec::new();
+    collect_mem_oracles(cfg, &mut mem);
+    for oracle in mem {
+        exec.attach_mem_observer(oracle);
+    }
+    if cfg.dependency {
+        exec.attach_observer(Box::new(DependencyOracle));
+    }
+    if cfg.bandwidth {
+        exec.attach_observer(Box::new(BandwidthConservationOracle::default()));
+    }
+    if cfg.flush {
+        exec.attach_observer(Box::new(FlushOracle));
+    }
+}
+
+/// Attaches the selected *memory* oracles directly to a bare
+/// [`MemoryManager`] — for tests that drive the manager's state machine
+/// without an executor (the executor oracles need run context and do not
+/// apply).
+pub fn instrument_memory(mm: &mut MemoryManager, cfg: &OracleConfig) {
+    let mut mem: Vec<Box<dyn MemObserver>> = Vec::new();
+    collect_mem_oracles(cfg, &mut mem);
+    for oracle in mem {
+        mm.attach_observer(oracle);
+    }
+}
+
+fn collect_mem_oracles(cfg: &OracleConfig, out: &mut Vec<Box<dyn MemObserver>>) {
+    if cfg.capacity {
+        out.push(Box::new(CapacityOracle));
+    }
+    if cfg.residency_use {
+        out.push(Box::new(ResidencyUseOracle));
+    }
+    if cfg.pin_balance {
+        out.push(Box::new(PinBalanceOracle::default()));
+    }
+    if cfg.clean_drop {
+        out.push(Box::new(CleanDropOracle));
+    }
+}
+
+/// **Invariant:** for every device, charged bytes (resident + in-flight
+/// reservations) never exceed capacity — checked after every memory event,
+/// so even a transient overshoot mid-move is caught.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CapacityOracle;
+
+impl MemObserver for CapacityOracle {
+    fn on_event(&mut self, mm: &MemoryManager, event: &MemEvent) {
+        for dev in 0..mm.num_devices() {
+            let used = mm.used(dev).expect("device exists");
+            let cap = mm.capacity(dev).expect("device exists");
+            assert!(
+                used <= cap,
+                "capacity oracle: device {dev} charged {used} B > capacity {cap} B after {event:?}"
+            );
+        }
+    }
+}
+
+/// **Invariant:** a tensor is only used — touched or pinned — while it is
+/// resident on a device. The memory manager itself is permissive here
+/// (`touch` is bookkeeping), so a runtime that skips a swap-in and
+/// "computes" on a host-resident tensor corrupts results silently; this
+/// oracle is what catches it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ResidencyUseOracle;
+
+impl MemObserver for ResidencyUseOracle {
+    fn on_event(&mut self, mm: &MemoryManager, event: &MemEvent) {
+        let id = match *event {
+            MemEvent::Use { id } | MemEvent::Pin { id } => id,
+            _ => return,
+        };
+        let info = mm.info(id).expect("used tensor exists");
+        assert!(
+            matches!(info.residency, Residency::OnDevice(_)),
+            "residency oracle: tensor {} ({}) used while {:?} after {event:?}",
+            id,
+            info.name,
+            info.residency
+        );
+    }
+}
+
+/// **Invariant:** pins and unpins balance per tensor — the shadow count
+/// never goes negative, always matches the manager's own count, and a
+/// freed tensor leaves no pins behind.
+#[derive(Debug, Clone, Default)]
+pub struct PinBalanceOracle {
+    counts: HashMap<TensorId, i64>,
+}
+
+impl MemObserver for PinBalanceOracle {
+    fn on_event(&mut self, mm: &MemoryManager, event: &MemEvent) {
+        match *event {
+            MemEvent::Pin { id } => {
+                let c = self.counts.entry(id).or_insert(0);
+                *c += 1;
+                let actual = mm.info(id).expect("pinned tensor exists").pinned as i64;
+                assert_eq!(
+                    *c, actual,
+                    "pin oracle: tensor {id} shadow pin count {c} != manager count {actual}"
+                );
+            }
+            MemEvent::Unpin { id } => {
+                let c = self.counts.entry(id).or_insert(0);
+                *c -= 1;
+                assert!(*c >= 0, "pin oracle: tensor {id} unpinned below zero");
+                let actual = mm.info(id).expect("unpinned tensor exists").pinned as i64;
+                assert_eq!(
+                    *c, actual,
+                    "pin oracle: tensor {id} shadow pin count {c} != manager count {actual}"
+                );
+            }
+            MemEvent::Free { id } => {
+                let c = self.counts.remove(&id).unwrap_or(0);
+                assert_eq!(c, 0, "pin oracle: tensor {id} freed with {c} pins outstanding");
+            }
+            _ => {}
+        }
+    }
+}
+
+/// **Invariant:** dirty-bit/host-copy consistency on free drops — a
+/// tensor leaves a device without writeback only if it was clean *and*
+/// its host copy was valid (otherwise the drop lost the only up-to-date
+/// copy).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CleanDropOracle;
+
+impl MemObserver for CleanDropOracle {
+    fn on_event(&mut self, _mm: &MemoryManager, event: &MemEvent) {
+        if let MemEvent::DropToHost {
+            id,
+            dev,
+            was_dirty,
+            had_host_copy,
+        } = *event
+        {
+            assert!(
+                !was_dirty && had_host_copy,
+                "clean-drop oracle: tensor {id} dropped from device {dev} \
+                 (dirty={was_dirty}, host_copy_valid={had_host_copy}) — data lost"
+            );
+        }
+    }
+}
+
+/// **Invariant:** task dependency order — a task's kernel is submitted
+/// only after every one of its graph dependencies completed (on any GPU:
+/// dependencies cross devices in pipeline schemes).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DependencyOracle;
+
+impl ExecObserver for DependencyOracle {
+    fn on_event(&mut self, ctx: &ExecContext<'_>, event: &ExecEvent) {
+        if let ExecEvent::TaskStarted {
+            iter,
+            replica,
+            task,
+            gpu,
+        } = *event
+        {
+            for &dep in &ctx.plan.graph.task(task).deps {
+                assert!(
+                    ctx.done.contains(&(iter, replica, dep)),
+                    "dependency oracle: task {task:?} started on gpu{gpu} \
+                     (iter {iter}, replica {replica}) before dependency {dep:?} finished"
+                );
+            }
+        }
+    }
+}
+
+/// **Invariant:** per-channel bandwidth conservation — every byte the
+/// executor hands to the simulator is accounted on exactly the channels
+/// of its route, matching the simulator's own per-channel tallies at the
+/// end of the run (no bytes invented, lost, or double-counted).
+#[derive(Debug, Clone, Default)]
+pub struct BandwidthConservationOracle {
+    issued: Vec<u64>,
+}
+
+impl ExecObserver for BandwidthConservationOracle {
+    fn on_event(&mut self, ctx: &ExecContext<'_>, event: &ExecEvent) {
+        match event {
+            ExecEvent::TransferIssued { route, bytes } => {
+                if self.issued.is_empty() {
+                    self.issued = vec![0; ctx.sim.num_channels()];
+                }
+                for &c in route {
+                    self.issued[c] += bytes;
+                }
+            }
+            ExecEvent::RunFinished => {
+                let sim = &ctx.sim.stats().channel_bytes;
+                if self.issued.is_empty() {
+                    self.issued = vec![0; sim.len()];
+                }
+                assert_eq!(
+                    &self.issued, sim,
+                    "bandwidth oracle: issued bytes per channel diverge from \
+                     the simulator's accounting"
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// **Invariant:** end-of-iteration flush completeness — when the run
+/// finishes, no tensor is still dirty and device-resident (every update
+/// was written back; the measured swap volume is complete and comparable
+/// to the per-iteration analytical model).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FlushOracle;
+
+impl ExecObserver for FlushOracle {
+    fn on_event(&mut self, ctx: &ExecContext<'_>, event: &ExecEvent) {
+        if matches!(event, ExecEvent::RunFinished) {
+            for info in ctx.mm.tensor_infos() {
+                assert!(
+                    !(info.dirty && matches!(info.residency, Residency::OnDevice(_))),
+                    "flush oracle: tensor {} ({}) is dirty and device-resident at run end \
+                     — flush_dirty_state was skipped or incomplete",
+                    info.id,
+                    info.name
+                );
+            }
+        }
+    }
+}

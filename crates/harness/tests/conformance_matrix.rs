@@ -1,0 +1,28 @@
+//! The full conformance matrix must pass, and its exact family alone
+//! must cover at least 48 scheme × configuration cells.
+
+use harmony_harness::run_conformance;
+
+#[test]
+fn conformance_matrix_passes() {
+    let report = run_conformance(0xC0FFEE);
+    let exact = report
+        .cells
+        .iter()
+        .filter(|c| c.family == "exact")
+        .count();
+    assert!(exact >= 48, "only {exact} exact cells");
+    assert!(
+        report.cells.len() >= 48,
+        "only {} cells total",
+        report.cells.len()
+    );
+    assert!(report.all_passed(), "failures:\n{}", report.render());
+}
+
+#[test]
+fn conformance_is_seed_deterministic() {
+    let a = run_conformance(7);
+    let b = run_conformance(7);
+    assert_eq!(a.render(), b.render());
+}

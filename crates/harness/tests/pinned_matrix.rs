@@ -1,0 +1,72 @@
+//! The differential checker's pinned base matrix (Table-A regime):
+//! byte-exact simulator ↔ analytical agreement for every scheme over
+//! m ∈ {1..8}, N ∈ {1..4}, with all invariant oracles enabled.
+//!
+//! These 128 cells are the harness's ground truth. If a planner, the
+//! executor, or the memory manager changes behaviour — an extra
+//! eviction, a missed writeback, a reordered stage — some cell here
+//! diverges from `harmony_analytical::exact` and names the class that
+//! moved.
+
+use harmony::simulate::SchemeKind;
+use harmony_harness::workloads::{tight_topo, tight_workload, uniform_model};
+use harmony_harness::{check_swap_volumes_exact, check_work_equivalence, OracleConfig};
+
+/// L = 8 keeps every pipeline stage at ≥ 2 layers for N ≤ 4, so all
+/// stages are memory-pressured (the regime the §3 analysis assumes).
+#[test]
+fn table_a_exact_m1_to_8_n1_to_4() {
+    let model = uniform_model(8, 4096);
+    let oracles = OracleConfig::all();
+    let mut failures = Vec::new();
+    for n in 1..=4usize {
+        let topo = tight_topo(n);
+        for m in 1..=8usize {
+            let w = tight_workload(m);
+            for scheme in SchemeKind::ALL {
+                if let Err(e) = check_swap_volumes_exact(scheme, &model, &topo, &w, &oracles) {
+                    failures.push(e);
+                }
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} of 128 cells diverged:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+/// L = 6 with N = 3, 4 exercises uneven partitions (3+3 → 2+2+1+1) and
+/// the resident single-layer-stage rule of the exact forms.
+#[test]
+fn uneven_and_resident_stage_partitions_stay_exact() {
+    let model = uniform_model(6, 4096);
+    let oracles = OracleConfig::all();
+    for n in [3usize, 4] {
+        let topo = tight_topo(n);
+        for m in [1usize, 3, 5, 8] {
+            let w = tight_workload(m);
+            for scheme in SchemeKind::ALL {
+                check_swap_volumes_exact(scheme, &model, &topo, &w, &oracles)
+                    .unwrap_or_else(|e| panic!("L=6: {e}"));
+            }
+        }
+    }
+}
+
+/// Logical work is scheme-invariant across the whole pinned matrix.
+#[test]
+fn work_equivalence_across_matrix() {
+    for layers in [6usize, 8] {
+        let model = uniform_model(layers, 4096);
+        for n in 1..=4usize {
+            let topo = tight_topo(n);
+            for m in [1usize, 4, 8] {
+                check_work_equivalence(&model, &topo, &tight_workload(m))
+                    .unwrap_or_else(|e| panic!("L={layers} N={n} m={m}: {e}"));
+            }
+        }
+    }
+}

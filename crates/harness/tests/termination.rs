@@ -1,0 +1,127 @@
+//! Deadlock-freedom and graceful degradation.
+//!
+//! Every scheme on every topology preset must complete within a bounded
+//! event count — with all oracles attached, and again with a capacity
+//! squeeze injected mid-iteration. A run that stalls (a dependency cycle,
+//! an eviction livelock, a transfer that never completes) exhausts the
+//! event budget and surfaces as `ExecError::Stuck` instead of hanging
+//! the test suite. Degrading a link must degrade throughput *gracefully*:
+//! less bandwidth can only slow the run down, never wedge it.
+
+use harmony::simulate::SchemeKind;
+use harmony_harness::workloads::{slack_topo, tight_workload, uniform_model};
+use harmony_harness::{run_instrumented, OracleConfig};
+use harmony_sched::{Fault, TimedFault};
+use harmony_topology::{presets, Topology};
+
+const EVENT_BUDGET: u64 = 2_000_000;
+
+fn preset_topos() -> Vec<(&'static str, Topology)> {
+    vec![
+        ("commodity_4x1080ti", presets::commodity_4x1080ti()),
+        ("commodity_8gpu", presets::commodity_8gpu()),
+        ("dgx1_like", presets::dgx1_like()),
+        ("two_server_4x1080ti", presets::two_server_4x1080ti()),
+        ("slack_2gpu", slack_topo(2)),
+        ("slack_4gpu", slack_topo(4)),
+    ]
+}
+
+/// Squeezes every GPU to 60% of nominal shortly after the run starts
+/// (the manager clamps so already-charged bytes still fit).
+fn squeeze_all(topo: &Topology, at: f64) -> Vec<TimedFault> {
+    (0..topo.num_gpus())
+        .map(|gpu| TimedFault {
+            at,
+            fault: Fault::CapacitySqueeze { gpu, factor: 0.60 },
+        })
+        .collect()
+}
+
+#[test]
+fn every_scheme_terminates_on_every_preset() {
+    let oracles = OracleConfig::all();
+    for (name, topo) in preset_topos() {
+        // Layers sized so the big presets run fast and the slack topos
+        // stay memory-pressured.
+        let params = if topo.gpu(0).unwrap().mem_bytes > 1 << 30 {
+            1 << 20
+        } else {
+            4096
+        };
+        let model = uniform_model(8, params);
+        let w = tight_workload(4);
+        for scheme in SchemeKind::ALL {
+            let clean = run_instrumented(
+                scheme,
+                &model,
+                &topo,
+                &w,
+                &oracles,
+                &[],
+                Some(EVENT_BUDGET),
+            );
+            assert!(
+                clean.is_ok(),
+                "{} on {name}: clean run failed: {:?}",
+                scheme.name(),
+                clean.err()
+            );
+            let squeezed = run_instrumented(
+                scheme,
+                &model,
+                &topo,
+                &w,
+                &oracles,
+                &squeeze_all(&topo, 1e-6),
+                Some(EVENT_BUDGET),
+            );
+            assert!(
+                squeezed.is_ok(),
+                "{} on {name}: capacity-squeezed run failed: {:?}",
+                scheme.name(),
+                squeezed.err()
+            );
+        }
+    }
+}
+
+/// Throughput is monotone in link bandwidth: degrading every channel by
+/// a larger factor can only increase the makespan. (Exact equality is
+/// allowed — a run bottlenecked on compute shrugs off a mild squeeze.)
+#[test]
+fn throughput_degrades_monotonically_with_bandwidth() {
+    let model = uniform_model(6, 4096);
+    let topo = slack_topo(2);
+    let w = tight_workload(4);
+    let oracles = OracleConfig::all();
+    for scheme in SchemeKind::ALL {
+        let mut last_secs = 0.0f64;
+        for factor in [1.0, 0.5, 0.25] {
+            let faults: Vec<TimedFault> = (0..topo.channels().len())
+                .map(|channel| TimedFault {
+                    at: 0.0,
+                    fault: Fault::LinkBandwidth { channel, factor },
+                })
+                .collect();
+            let summary = run_instrumented(
+                scheme,
+                &model,
+                &topo,
+                &w,
+                &oracles,
+                &faults,
+                Some(EVENT_BUDGET),
+            )
+            .unwrap_or_else(|e| panic!("{} at factor {factor}: {e}", scheme.name()));
+            assert!(
+                summary.sim_secs >= last_secs,
+                "{}: makespan shrank from {last_secs} to {} when bandwidth \
+                 dropped to {factor}x",
+                scheme.name(),
+                summary.sim_secs
+            );
+            last_secs = summary.sim_secs;
+        }
+    }
+}

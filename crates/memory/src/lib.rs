@@ -39,11 +39,13 @@
 #![warn(missing_docs)]
 
 pub mod manager;
+pub mod observe;
 pub mod policy;
 pub mod stats;
 pub mod store;
 
 pub use manager::{FetchPlan, MemoryManager, Residency, TensorInfo};
+pub use observe::{MemEvent, MemObserver};
 pub use policy::{EvictionPolicy, Lru, NextUseAware};
 pub use stats::{Direction, SwapStats};
 pub use store::TensorStore;

@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 
+use crate::observe::{MemEvent, MemObserver};
 use crate::policy::EvictionPolicy;
 use crate::stats::{Direction, SwapStats};
 use crate::{DeviceId, MemError, TensorClass, TensorId};
@@ -100,6 +101,7 @@ pub struct MemoryManager {
     next_id: TensorId,
     clock: u64,
     stats: SwapStats,
+    observers: Vec<Box<dyn MemObserver>>,
 }
 
 impl MemoryManager {
@@ -114,7 +116,50 @@ impl MemoryManager {
             next_id: 0,
             clock: 0,
             stats: SwapStats::new(),
+            observers: Vec::new(),
         }
+    }
+
+    /// Attaches an observer; every subsequent state transition is reported
+    /// to it. With no observers attached, operations pay one branch.
+    pub fn attach_observer(&mut self, observer: Box<dyn MemObserver>) {
+        self.observers.push(observer);
+    }
+
+    /// Detaches and returns all observers (e.g. to read accumulated state
+    /// after a run).
+    pub fn take_observers(&mut self) -> Vec<Box<dyn MemObserver>> {
+        std::mem::take(&mut self.observers)
+    }
+
+    fn emit(&mut self, event: MemEvent) {
+        if self.observers.is_empty() {
+            return;
+        }
+        // Observers get `&self`; temporarily detach them so the borrow
+        // of the manager is clean.
+        let mut obs = std::mem::take(&mut self.observers);
+        for o in &mut obs {
+            o.on_event(self, &event);
+        }
+        self.observers = obs;
+    }
+
+    /// Resizes a device's capacity at runtime (fault injection: a capacity
+    /// squeeze). Clamped to at least the currently charged bytes so the
+    /// capacity invariant (`used ≤ capacity`) survives the change; returns
+    /// the effective capacity.
+    pub fn set_capacity(&mut self, dev: DeviceId, bytes: u64) -> Result<u64, MemError> {
+        let used = self.used(dev)?;
+        let effective = bytes.max(used);
+        self.capacities[dev] = effective;
+        self.emit(MemEvent::CapacityChanged { dev, capacity: effective });
+        Ok(effective)
+    }
+
+    /// All tensor records (any residency), in unspecified order.
+    pub fn tensor_infos(&self) -> impl Iterator<Item = &TensorInfo> {
+        self.tensors.values()
     }
 
     /// Number of devices.
@@ -218,6 +263,7 @@ impl MemoryManager {
                 host_copy_valid: true,
             },
         );
+        self.emit(MemEvent::RegisterHost { id, bytes, class });
         id
     }
 
@@ -258,6 +304,7 @@ impl MemoryManager {
                 host_copy_valid: false,
             },
         );
+        self.emit(MemEvent::Alloc { id, dev, bytes, class });
         Ok(id)
     }
 
@@ -266,6 +313,7 @@ impl MemoryManager {
         self.clock += 1;
         let clock = self.clock;
         self.info_mut(id)?.last_use = clock;
+        self.emit(MemEvent::Use { id });
         Ok(())
     }
 
@@ -282,6 +330,7 @@ impl MemoryManager {
         match info.residency {
             Residency::OnDevice(_) => {
                 info.pinned += 1;
+                self.emit(MemEvent::Pin { id });
                 Ok(())
             }
             ref other => Err(MemError::InvalidState {
@@ -303,6 +352,7 @@ impl MemoryManager {
             });
         }
         info.pinned -= 1;
+        self.emit(MemEvent::Unpin { id });
         Ok(())
     }
 
@@ -332,6 +382,7 @@ impl MemoryManager {
             }
         }
         self.info_mut(id)?.residency = Residency::Dead;
+        self.emit(MemEvent::Free { id });
         Ok(())
     }
 
@@ -439,6 +490,7 @@ impl MemoryManager {
         }
         self.info_mut(id)?.residency = Residency::MovingToHost { src };
         self.stats.record(src, Direction::Out, info.class, info.bytes);
+        self.emit(MemEvent::BeginSwapOut { id, src, bytes: info.bytes });
         Ok((src, info.bytes))
     }
 
@@ -452,6 +504,7 @@ impl MemoryManager {
                 t.residency = Residency::OnHost;
                 t.dirty = false;
                 t.host_copy_valid = true;
+                self.emit(MemEvent::FinishSwapOut { id, src, bytes: info.bytes });
                 Ok(())
             }
             ref other => Err(MemError::InvalidState {
@@ -483,6 +536,7 @@ impl MemoryManager {
         self.charge(dev, info.bytes);
         self.info_mut(id)?.residency = Residency::MovingToDevice { dst: dev, src: None };
         self.stats.record(dev, Direction::In, info.class, info.bytes);
+        self.emit(MemEvent::BeginSwapIn { id, dst: dev, bytes: info.bytes });
         Ok(info.bytes)
     }
 
@@ -522,6 +576,7 @@ impl MemoryManager {
             src: Some(src),
         };
         self.stats.record_p2p(info.bytes);
+        self.emit(MemEvent::BeginP2p { id, src, dst, bytes: info.bytes });
         Ok((src, info.bytes))
     }
 
@@ -544,6 +599,7 @@ impl MemoryManager {
                 if src.is_none() {
                     t.dirty = false;
                 }
+                self.emit(MemEvent::FinishMove { id, dst, p2p: src.is_some() });
                 Ok(dst)
             }
             ref other => Err(MemError::InvalidState {
@@ -560,6 +616,7 @@ impl MemoryManager {
         let t = self.info_mut(id)?;
         t.dirty = true;
         t.host_copy_valid = false;
+        self.emit(MemEvent::MarkDirty { id });
         Ok(())
     }
 
@@ -588,6 +645,12 @@ impl MemoryManager {
             Residency::OnDevice(d) if !info.dirty && info.host_copy_valid => {
                 self.release(d, info.bytes);
                 self.info_mut(id)?.residency = Residency::OnHost;
+                self.emit(MemEvent::DropToHost {
+                    id,
+                    dev: d,
+                    was_dirty: info.dirty,
+                    had_host_copy: info.host_copy_valid,
+                });
                 Ok(())
             }
             ref other => Err(MemError::InvalidState {

@@ -48,15 +48,16 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use harmony_memory::{
-    EvictionPolicy, Lru, MemError, MemoryManager, NextUseAware, Residency, TensorId,
+    EvictionPolicy, Lru, MemError, MemObserver, MemoryManager, NextUseAware, Residency, TensorId,
 };
 use harmony_models::ModelSpec;
 use harmony_simulator::{Completion, SimError, Simulator, TransferId};
 use harmony_taskgraph::{TaskId, TensorRef};
-use harmony_topology::{Endpoint, Topology, TopologyError};
+use harmony_topology::{ChannelId, Endpoint, Topology, TopologyError};
 use harmony_trace::{summary::RunSummary, SpanKind, Trace};
 
 use crate::config::PolicyKind;
+use crate::obs::{ExecContext, ExecEvent, ExecObserver, Fault, TimedFault};
 use crate::plan::{ExecutionPlan, WorkItem};
 
 /// Errors from plan execution.
@@ -232,6 +233,13 @@ pub struct SimExecutor<'a> {
     trace: Trace,
     next_use: HashMap<Key, VecDeque<u64>>,
     iterations: u32,
+    observers: Vec<Box<dyn ExecObserver>>,
+    faults: Vec<TimedFault>,
+    /// Per-GPU compute-rate multiplier (1.0 nominal), set by jitter faults.
+    compute_rate: Vec<f64>,
+    /// Fail with [`ExecError::Stuck`] after this many simulator events.
+    event_budget: Option<u64>,
+    events_processed: u64,
 }
 
 impl<'a> SimExecutor<'a> {
@@ -329,6 +337,7 @@ impl<'a> SimExecutor<'a> {
                 }
             }
         }
+        let num_gpus = topo.num_gpus();
         Ok(SimExecutor {
             topo,
             model,
@@ -347,7 +356,146 @@ impl<'a> SimExecutor<'a> {
             trace: Trace::new(plan.name.clone()),
             next_use,
             iterations,
+            observers: Vec::new(),
+            faults: Vec::new(),
+            compute_rate: vec![1.0; num_gpus],
+            event_budget: None,
+            events_processed: 0,
         })
+    }
+
+    /// Attaches an executor observer (see [`crate::obs`]). Runs with no
+    /// observers pay only an `is_empty` branch per event.
+    pub fn attach_observer(&mut self, observer: Box<dyn ExecObserver>) {
+        self.observers.push(observer);
+    }
+
+    /// Attaches a memory observer to the executor's internal
+    /// [`MemoryManager`] (which the executor owns and builds itself).
+    pub fn attach_mem_observer(&mut self, observer: Box<dyn MemObserver>) {
+        self.mm.attach_observer(observer);
+    }
+
+    /// Schedules deterministic faults: each fires as a simulator timer at
+    /// its virtual time and perturbs the run when handled. Repeated calls
+    /// append. Fault factors must be positive and finite.
+    pub fn inject_faults(&mut self, faults: &[TimedFault]) -> Result<(), ExecError> {
+        for &tf in faults {
+            let factor = match tf.fault {
+                Fault::LinkBandwidth { factor, .. }
+                | Fault::CapacitySqueeze { factor, .. }
+                | Fault::ComputeJitter { factor, .. } => factor,
+            };
+            if !(factor.is_finite() && factor > 0.0) {
+                return Err(ExecError::Plan(format!(
+                    "fault factor must be positive and finite, got {factor}"
+                )));
+            }
+            let tag = self.faults.len() as u64;
+            self.faults.push(tf);
+            self.sim.set_timer(tf.at, tag)?;
+        }
+        Ok(())
+    }
+
+    /// Aborts the run with [`ExecError::Stuck`] once more than `budget`
+    /// simulator events have been processed — a watchdog for termination
+    /// tests (a deadlock that the idle-queue check cannot see, e.g. a
+    /// livelock of retried fetches, cannot run away unnoticed).
+    pub fn set_event_budget(&mut self, budget: u64) {
+        self.event_budget = Some(budget);
+    }
+
+    /// Read access to the executor's memory manager (for tests/oracles).
+    pub fn memory(&self) -> &MemoryManager {
+        &self.mm
+    }
+
+    /// Read access to the executor's simulator (for tests/oracles).
+    pub fn simulator(&self) -> &Simulator {
+        &self.sim
+    }
+
+    /// Notifies observers of `event`; no-op (and no allocation) when none
+    /// are attached.
+    fn emit(&mut self, event: ExecEvent) {
+        if self.observers.is_empty() {
+            return;
+        }
+        let mut obs = std::mem::take(&mut self.observers);
+        {
+            let ctx = ExecContext {
+                plan: self.plan,
+                mm: &self.mm,
+                sim: &self.sim,
+                done: &self.done,
+            };
+            for o in &mut obs {
+                o.on_event(&ctx, &event);
+            }
+        }
+        self.observers = obs;
+    }
+
+    /// Starts a transfer on the simulator, emitting
+    /// [`ExecEvent::TransferIssued`] when observers are attached.
+    fn issue_transfer(&mut self, route: &[ChannelId], bytes: u64) -> Result<TransferId, ExecError> {
+        let xfer = self.sim.start_transfer(route, bytes, 0)?;
+        if !self.observers.is_empty() {
+            self.emit(ExecEvent::TransferIssued {
+                route: route.to_vec(),
+                bytes,
+            });
+        }
+        Ok(xfer)
+    }
+
+    /// Applies an injected fault when its timer fires.
+    fn apply_fault(&mut self, fault: Fault) -> Result<(), ExecError> {
+        match fault {
+            Fault::LinkBandwidth { channel, factor } => {
+                let nominal = self
+                    .topo
+                    .channels()
+                    .get(channel)
+                    .ok_or_else(|| ExecError::Plan(format!("fault on unknown channel {channel}")))?
+                    .bandwidth;
+                self.sim.set_channel_bandwidth(channel, nominal * factor)?;
+            }
+            Fault::CapacitySqueeze { gpu, factor } => {
+                let nominal = self.topo.gpu(gpu)?.mem_bytes;
+                let target = (nominal as f64 * factor) as u64;
+                // Clamped internally so in-use bytes still fit.
+                self.mm.set_capacity(gpu, target)?;
+            }
+            Fault::ComputeJitter { gpu, factor } => {
+                if gpu >= self.compute_rate.len() {
+                    return Err(ExecError::Plan(format!("fault on unknown gpu {gpu}")));
+                }
+                self.compute_rate[gpu] = factor;
+            }
+        }
+        self.emit(ExecEvent::FaultApplied { fault });
+        Ok(())
+    }
+
+    /// Pulls the next simulator event, enforcing the event budget.
+    fn next_event(&mut self) -> Result<Option<Completion>, ExecError> {
+        match self.sim.next() {
+            Some((_, completion)) => {
+                self.events_processed += 1;
+                if let Some(budget) = self.event_budget {
+                    if self.events_processed > budget {
+                        return Err(ExecError::Stuck(format!(
+                            "event budget {budget} exceeded at t={:.6}s",
+                            self.sim.now()
+                        )));
+                    }
+                }
+                Ok(Some(completion))
+            }
+            None => Ok(None),
+        }
     }
 
     /// Runs the plan to completion; returns the run summary and trace.
@@ -355,7 +503,7 @@ impl<'a> SimExecutor<'a> {
         for g in 0..self.gpus.len() {
             self.advance(g)?;
         }
-        while let Some((_, completion)) = self.sim.next() {
+        while let Some(completion) = self.next_event()? {
             self.handle(completion)?;
             for g in 0..self.gpus.len() {
                 self.advance(g)?;
@@ -396,6 +544,7 @@ impl<'a> SimExecutor<'a> {
             return Err(ExecError::Stuck(stuck.join("; ")));
         }
         self.flush_dirty_state()?;
+        self.emit(ExecEvent::RunFinished);
         let n = self.gpus.len();
         let summary = RunSummary {
             name: self.plan.name.clone(),
@@ -463,7 +612,7 @@ impl<'a> SimExecutor<'a> {
             let label = self.mm.info(id)?.name.clone();
             let (src, bytes) = self.mm.begin_swap_out(id)?;
             let route = self.topo.route(Endpoint::Gpu(src), Endpoint::Host)?.to_vec();
-            let xfer = self.sim.start_transfer(&route, bytes, 0)?;
+            let xfer = self.issue_transfer(&route, bytes)?;
             self.transfers.insert(
                 xfer,
                 PendingTransfer {
@@ -475,7 +624,7 @@ impl<'a> SimExecutor<'a> {
                 },
             );
         }
-        while let Some((_, completion)) = self.sim.next() {
+        while let Some(completion) = self.next_event()? {
             self.handle(completion)?;
         }
         Ok(())
@@ -595,7 +744,7 @@ impl<'a> SimExecutor<'a> {
             let label = self.mm.info(v)?.name.clone();
             let (src, bytes) = self.mm.begin_swap_out(v)?;
             let route = self.topo.route(Endpoint::Gpu(src), Endpoint::Host)?.to_vec();
-            let xfer = self.sim.start_transfer(&route, bytes, 0)?;
+            let xfer = self.issue_transfer(&route, bytes)?;
             self.transfers.insert(
                 xfer,
                 PendingTransfer {
@@ -797,7 +946,7 @@ impl<'a> SimExecutor<'a> {
                                             .route(Endpoint::Gpu(src), Endpoint::Gpu(g))?
                                             .to_vec();
                                         let label = self.mm.info(id)?.name.clone();
-                                        let xfer = self.sim.start_transfer(&route, bytes, 0)?;
+                                        let xfer = self.issue_transfer(&route, bytes)?;
                                         self.transfers.insert(
                                             xfer,
                                             PendingTransfer {
@@ -830,7 +979,7 @@ impl<'a> SimExecutor<'a> {
                                         .route(Endpoint::Gpu(src), Endpoint::Host)?
                                         .to_vec();
                                     let label = self.mm.info(id)?.name.clone();
-                                    let xfer = self.sim.start_transfer(&route, bytes, 0)?;
+                                    let xfer = self.issue_transfer(&route, bytes)?;
                                     self.transfers.insert(
                                         xfer,
                                         PendingTransfer {
@@ -865,7 +1014,7 @@ impl<'a> SimExecutor<'a> {
                             let route =
                                 self.topo.route(Endpoint::Host, Endpoint::Gpu(g))?.to_vec();
                             let label = self.mm.info(id)?.name.clone();
-                            let xfer = self.sim.start_transfer(&route, bytes, 0)?;
+                            let xfer = self.issue_transfer(&route, bytes)?;
                             self.transfers.insert(
                                 xfer,
                                 PendingTransfer {
@@ -941,8 +1090,10 @@ impl<'a> SimExecutor<'a> {
     }
 
     fn start_compute(&mut self, g: usize, replica: usize, task: TaskId) -> Result<(), ExecError> {
+        let iter = self.gpus[g].step.as_ref().expect("exists").iter;
         let t = self.plan.graph.task(task);
-        let secs = t.flops as f64 / self.topo.gpu(g)?.flops;
+        // Jitter faults rescale the effective FLOP rate of this GPU.
+        let secs = t.flops as f64 / (self.topo.gpu(g)?.flops * self.compute_rate[g]);
         let tag = self.next_compute_tag;
         self.next_compute_tag += 1;
         self.computes.insert(
@@ -954,6 +1105,12 @@ impl<'a> SimExecutor<'a> {
         );
         self.sim.submit_compute(g, secs, tag)?;
         self.gpus[g].step.as_mut().expect("exists").inflight = InFlight::Computing;
+        self.emit(ExecEvent::TaskStarted {
+            gpu: g,
+            iter,
+            replica,
+            task,
+        });
         Ok(())
     }
 
@@ -977,7 +1134,7 @@ impl<'a> SimExecutor<'a> {
                 .topo
                 .route(Endpoint::Gpu(src), Endpoint::Gpu(dst))?
                 .to_vec();
-            let xfer = self.sim.start_transfer(&route, ring_bytes, 0)?;
+            let xfer = self.issue_transfer(&route, ring_bytes)?;
             self.transfers.insert(
                 xfer,
                 PendingTransfer {
@@ -1044,6 +1201,12 @@ impl<'a> SimExecutor<'a> {
             self.mm.free(id)?;
         }
         self.done.insert((step.iter, replica, task));
+        self.emit(ExecEvent::TaskFinished {
+            gpu: g,
+            iter: step.iter,
+            replica,
+            task,
+        });
         Ok(())
     }
 
@@ -1120,7 +1283,13 @@ impl<'a> SimExecutor<'a> {
                     }
                 }
             }
-            Completion::Timer { .. } => {}
+            Completion::Timer { tag } => {
+                // Tags below the fault count are injected faults; others
+                // (e.g. the simulator's zero-byte-transfer bias) are inert.
+                if let Some(tf) = self.faults.get(tag as usize).copied() {
+                    self.apply_fault(tf.fault)?;
+                }
+            }
         }
         Ok(())
     }

@@ -30,6 +30,7 @@
 pub mod config;
 pub mod dp;
 pub mod exec;
+pub mod obs;
 pub mod plan;
 pub mod pp;
 pub mod tuner;
@@ -37,5 +38,6 @@ pub mod tuner;
 pub use config::{PolicyKind, SchemeConfig, WorkloadConfig};
 pub use dp::{plan_baseline_dp, plan_harmony_dp};
 pub use exec::{ExecError, SimExecutor};
+pub use obs::{ExecContext, ExecEvent, ExecObserver, Fault, TimedFault};
 pub use plan::{ExecutionPlan, WorkItem};
 pub use pp::{partition_packs, plan_baseline_pp, plan_harmony_pp, PartitionObjective};

@@ -178,6 +178,41 @@ impl Simulator {
         self.now
     }
 
+    /// Number of bandwidth channels.
+    pub fn num_channels(&self) -> usize {
+        self.channel_bw.len()
+    }
+
+    /// Current bandwidth of a channel (bytes/sec).
+    pub fn channel_bandwidth(&self, channel: ChannelId) -> Result<f64, SimError> {
+        self.channel_bw
+            .get(channel)
+            .copied()
+            .ok_or(SimError::UnknownChannel(channel))
+    }
+
+    /// Changes a channel's bandwidth at the current virtual time (fault
+    /// injection: link degradation or recovery). In-flight transfers keep
+    /// the bytes they have already moved; their rates and completion
+    /// times are recomputed under the new capacity.
+    pub fn set_channel_bandwidth(
+        &mut self,
+        channel: ChannelId,
+        bandwidth: f64,
+    ) -> Result<(), SimError> {
+        if channel >= self.channel_bw.len() {
+            return Err(SimError::UnknownChannel(channel));
+        }
+        if !(bandwidth.is_finite() && bandwidth > 0.0) {
+            return Err(SimError::InvalidParameter(format!("bandwidth {bandwidth}")));
+        }
+        // Credit progress under the old rates before switching.
+        self.advance_network_progress();
+        self.channel_bw[channel] = bandwidth;
+        self.recompute_rates_and_schedule();
+        Ok(())
+    }
+
     /// Accumulated statistics.
     pub fn stats(&self) -> &SimStats {
         &self.stats

@@ -458,6 +458,84 @@ impl TaskGraph {
     pub fn total_flops(&self) -> u64 {
         self.tasks.iter().map(|t| t.flops).sum()
     }
+
+    /// The graph's logical work content, pack-structure-agnostic: how many
+    /// times each *layer* is traversed forward/backward/updated and the
+    /// FLOPs behind those traversals. Two graphs that decompose the same
+    /// training iteration (e.g. with different pack sizes, or replicated
+    /// vs pipelined) must agree on this signature once scaled by their
+    /// replica counts — the conformance harness's differential check.
+    pub fn work_signature(&self) -> WorkSignature {
+        let layers = self.packs.last().map_or(0, |p| p.end);
+        let mut sig = WorkSignature {
+            fwd_per_layer: vec![0; layers],
+            bwd_per_layer: vec![0; layers],
+            upd_per_layer: vec![0; layers],
+            losses: 0,
+            fwd_bwd_flops: 0,
+            update_flops: 0,
+        };
+        for t in &self.tasks {
+            match t.kind {
+                TaskKind::Forward { pack, .. } => {
+                    for l in self.packs[pack].clone() {
+                        sig.fwd_per_layer[l] += 1;
+                    }
+                    sig.fwd_bwd_flops += t.flops;
+                }
+                TaskKind::Backward { pack, .. } => {
+                    for l in self.packs[pack].clone() {
+                        sig.bwd_per_layer[l] += 1;
+                    }
+                    sig.fwd_bwd_flops += t.flops;
+                }
+                TaskKind::Loss { .. } => {
+                    sig.losses += 1;
+                    sig.fwd_bwd_flops += t.flops;
+                }
+                TaskKind::Update { pack } => {
+                    for l in self.packs[pack].clone() {
+                        sig.upd_per_layer[l] += 1;
+                    }
+                    sig.update_flops += t.flops;
+                }
+            }
+        }
+        sig
+    }
+}
+
+/// Per-layer traversal counts and FLOPs of one graph (see
+/// [`TaskGraph::work_signature`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkSignature {
+    /// Forward traversals per layer.
+    pub fwd_per_layer: Vec<u64>,
+    /// Backward traversals per layer.
+    pub bwd_per_layer: Vec<u64>,
+    /// Weight updates per layer.
+    pub upd_per_layer: Vec<u64>,
+    /// Loss computations.
+    pub losses: u64,
+    /// FLOPs of all forward + backward + loss tasks.
+    pub fwd_bwd_flops: u64,
+    /// FLOPs of all update tasks.
+    pub update_flops: u64,
+}
+
+impl WorkSignature {
+    /// The signature of `replicas` copies of this graph running together
+    /// (data parallelism executes the whole graph once per replica).
+    pub fn scaled(&self, replicas: u64) -> WorkSignature {
+        WorkSignature {
+            fwd_per_layer: self.fwd_per_layer.iter().map(|c| c * replicas).collect(),
+            bwd_per_layer: self.bwd_per_layer.iter().map(|c| c * replicas).collect(),
+            upd_per_layer: self.upd_per_layer.iter().map(|c| c * replicas).collect(),
+            losses: self.losses * replicas,
+            fwd_bwd_flops: self.fwd_bwd_flops * replicas,
+            update_flops: self.update_flops * replicas,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -26,6 +26,6 @@ pub mod graph;
 pub mod swap_model;
 pub mod tensors;
 
-pub use graph::{GraphConfig, GraphError, Task, TaskGraph, TaskId, TaskKind};
+pub use graph::{GraphConfig, GraphError, Task, TaskGraph, TaskId, TaskKind, WorkSignature};
 pub use swap_model::{phase_swap_sets, Phase, TensorRole};
 pub use tensors::TensorRef;

@@ -9,13 +9,14 @@
 #![warn(missing_docs)]
 
 pub mod gantt;
+pub mod json;
 pub mod summary;
 pub mod table;
 
-use serde::{Deserialize, Serialize};
+pub use json::JsonError;
 
 /// What a trace span represents.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SpanKind {
     /// Kernel execution on a GPU.
     Compute,
@@ -42,8 +43,31 @@ impl SpanKind {
     }
 }
 
+impl SpanKind {
+    fn as_str(&self) -> &'static str {
+        match self {
+            SpanKind::Compute => "Compute",
+            SpanKind::SwapIn => "SwapIn",
+            SpanKind::SwapOut => "SwapOut",
+            SpanKind::P2p => "P2p",
+            SpanKind::Collective => "Collective",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<Self> {
+        Some(match s {
+            "Compute" => SpanKind::Compute,
+            "SwapIn" => SpanKind::SwapIn,
+            "SwapOut" => SpanKind::SwapOut,
+            "P2p" => SpanKind::P2p,
+            "Collective" => SpanKind::Collective,
+            _ => return None,
+        })
+    }
+}
+
 /// One timed span of activity.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Span {
     /// Start time (virtual seconds).
     pub start: f64,
@@ -58,7 +82,7 @@ pub struct Span {
 }
 
 /// An execution trace: a list of spans plus metadata.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Trace {
     /// Trace name (scheme + workload).
     pub name: String,
@@ -123,12 +147,71 @@ impl Trace {
 
     /// Serialises to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_string())
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"name\": {},\n", json::quote(&self.name)));
+        out.push_str("  \"spans\": [");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"start\": {}, \"end\": {}, \"gpu\": {}, \"kind\": {}, \"label\": {}}}",
+                json::number(s.start),
+                json::number(s.end),
+                s.gpu.map_or("null".to_string(), |g| g.to_string()),
+                json::quote(s.kind.as_str()),
+                json::quote(&s.label),
+            ));
+        }
+        if !self.spans.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}");
+        out
     }
 
     /// Parses a trace from JSON.
-    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(s)
+    pub fn from_json(s: &str) -> Result<Self, JsonError> {
+        let err = |message: &str| JsonError { message: message.to_string(), offset: 0 };
+        let doc = json::parse(s)?;
+        let name = doc
+            .get("name")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| err("missing `name`"))?
+            .to_string();
+        let mut spans = Vec::new();
+        for (i, sv) in doc
+            .get("spans")
+            .and_then(|v| v.as_array())
+            .ok_or_else(|| err("missing `spans`"))?
+            .iter()
+            .enumerate()
+        {
+            let field = |key: &str| {
+                sv.get(key)
+                    .and_then(|v| v.as_f64())
+                    .ok_or_else(|| err(&format!("span {i}: missing `{key}`")))
+            };
+            let gpu = match sv.get("gpu") {
+                None | Some(json::Value::Null) => None,
+                Some(v) => Some(
+                    v.as_f64().ok_or_else(|| err(&format!("span {i}: bad `gpu`")))? as usize,
+                ),
+            };
+            let kind = sv
+                .get("kind")
+                .and_then(|v| v.as_str())
+                .and_then(SpanKind::from_str)
+                .ok_or_else(|| err(&format!("span {i}: bad `kind`")))?;
+            let label = sv
+                .get("label")
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| err(&format!("span {i}: missing `label`")))?
+                .to_string();
+            spans.push(Span { start: field("start")?, end: field("end")?, gpu, kind, label });
+        }
+        Ok(Trace { name, spans })
     }
 }
 

@@ -1,9 +1,7 @@
 //! Run summaries: the numbers the paper's figures plot.
 
-use serde::{Deserialize, Serialize};
-
 /// Aggregate results of one simulated (or executed) training run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunSummary {
     /// Scheme + workload label.
     pub name: String,
@@ -25,11 +23,9 @@ pub struct RunSummary {
     /// Global swap volume (both directions) per tensor class, keyed by the
     /// Fig 5(a) class names (`weight`, `grad`, `opt_state`, `activation`,
     /// `stash`, `workspace`). Used by the analytical cross-check.
-    #[serde(default)]
     pub swap_by_class: std::collections::BTreeMap<String, u64>,
     /// Per-channel busy time in seconds, keyed by channel name — identifies
     /// the bottleneck link (the host uplink, in the paper's Fig 2a).
-    #[serde(default)]
     pub channel_busy_secs: std::collections::BTreeMap<String, f64>,
 }
 
