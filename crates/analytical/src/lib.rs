@@ -140,7 +140,12 @@ impl SwapBreakdown {
 /// assert_eq!(weight_swap_volume(Scheme::HarmonyPp, &p), 3 * 100);
 /// ```
 pub fn weight_swap_volume(scheme: Scheme, p: &Params) -> u64 {
-    let Params { m, n, weight_bytes: w, .. } = *p;
+    let Params {
+        m,
+        n,
+        weight_bytes: w,
+        ..
+    } = *p;
     match scheme {
         // Fig 5(b): in+out per fwd microbatch (2m) + in+out per bwd
         // microbatch (2m) + in+out at update (2), on each of N replicas.
@@ -157,7 +162,12 @@ pub fn weight_swap_volume(scheme: Scheme, p: &Params) -> u64 {
 
 /// Gradient-buffer swap volume per iteration.
 pub fn grad_swap_volume(scheme: Scheme, p: &Params) -> u64 {
-    let Params { m, n, weight_bytes: w, .. } = *p;
+    let Params {
+        m,
+        n,
+        weight_bytes: w,
+        ..
+    } = *p;
     match scheme {
         // Accumulation forces the buffer in+out on every backward
         // microbatch, plus in+out at the (late) update.
@@ -172,7 +182,11 @@ pub fn grad_swap_volume(scheme: Scheme, p: &Params) -> u64 {
 
 /// Optimizer-state swap volume per iteration.
 pub fn opt_state_swap_volume(scheme: Scheme, p: &Params) -> u64 {
-    let Params { n, opt_state_bytes: k, .. } = *p;
+    let Params {
+        n,
+        opt_state_bytes: k,
+        ..
+    } = *p;
     match scheme {
         // In+out once per update, on every replica (DP) or once per
         // partition (PP / Harmony-PP).
@@ -186,7 +200,12 @@ pub fn opt_state_swap_volume(scheme: Scheme, p: &Params) -> u64 {
 /// never exceeds) the baselines: out after forward, in at backward, for
 /// every microbatch in flight.
 pub fn stash_swap_volume(scheme: Scheme, p: &Params) -> u64 {
-    let Params { m, n, stash_bytes_per_ubatch: s, .. } = *p;
+    let Params {
+        m,
+        n,
+        stash_bytes_per_ubatch: s,
+        ..
+    } = *p;
     match scheme {
         // DP: m microbatches on each of N replicas. PP: m·N microbatches
         // through the partitioned layers (same total stash bytes).
@@ -198,7 +217,12 @@ pub fn stash_swap_volume(scheme: Scheme, p: &Params) -> u64 {
 
 /// Boundary-activation swap volume per iteration.
 pub fn act_swap_volume(scheme: Scheme, p: &Params) -> u64 {
-    let Params { m, n, act_bytes_per_ubatch: a, .. } = *p;
+    let Params {
+        m,
+        n,
+        act_bytes_per_ubatch: a,
+        ..
+    } = *p;
     match scheme {
         // Rigid per-microbatch execution order evicts each boundary
         // activation (and its gradient on the way back): out+in, twice.
@@ -214,7 +238,13 @@ pub fn act_swap_volume(scheme: Scheme, p: &Params) -> u64 {
 /// Device-to-device (p2p) traffic per iteration — traffic Harmony *moves
 /// off* the host link rather than eliminating.
 pub fn p2p_volume(scheme: Scheme, p: &Params) -> u64 {
-    let Params { m, n, act_bytes_per_ubatch: a, weight_bytes: w, .. } = *p;
+    let Params {
+        m,
+        n,
+        act_bytes_per_ubatch: a,
+        weight_bytes: w,
+        ..
+    } = *p;
     match scheme {
         Scheme::BaselineDp | Scheme::BaselinePp | Scheme::HarmonyDp => {
             // DP gradient AllReduce traffic is p2p-capable on both DP
@@ -367,7 +397,12 @@ mod tests {
 /// vanish; only pack-boundary activations persist from forward to
 /// backward, paid once out and once in per microbatch.
 pub fn stash_swap_volume_recompute(p: &Params) -> u64 {
-    let Params { m, n, act_bytes_per_ubatch: a, .. } = *p;
+    let Params {
+        m,
+        n,
+        act_bytes_per_ubatch: a,
+        ..
+    } = *p;
     // The retained boundary activations are a subset of the per-microbatch
     // activation bytes.
     2 * m * n * a

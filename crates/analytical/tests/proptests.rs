@@ -1,7 +1,9 @@
 //! Property-based tests on the closed-form swap model for arbitrary
 //! workload parameters.
 
-use harmony_analytical::{breakdown, weight_reduction_factor_dp, weight_swap_volume, Params, Scheme};
+use harmony_analytical::{
+    breakdown, weight_reduction_factor_dp, weight_swap_volume, Params, Scheme,
+};
 use proptest::prelude::*;
 
 fn params_strategy() -> impl Strategy<Value = Params> {

@@ -12,7 +12,11 @@ fn bench(c: &mut Criterion) {
         b.iter(|| TransformerConfig::bert_xxl().build().total_params())
     });
     group.bench_function("gpt_10b_spec_build", |b| {
-        b.iter(|| TransformerConfig::gpt_10b().build().training_footprint_bytes(5, 2))
+        b.iter(|| {
+            TransformerConfig::gpt_10b()
+                .build()
+                .training_footprint_bytes(5, 2)
+        })
     });
     group.finish();
 }

@@ -24,7 +24,11 @@ fn bench(c: &mut Criterion) {
     let w = workloads::tight_workload(4);
     let mut group = c.benchmark_group("table_a_swap_volume");
     group.sample_size(10);
-    for scheme in [SchemeKind::BaselineDp, SchemeKind::HarmonyDp, SchemeKind::HarmonyPp] {
+    for scheme in [
+        SchemeKind::BaselineDp,
+        SchemeKind::HarmonyDp,
+        SchemeKind::HarmonyPp,
+    ] {
         group.bench_with_input(
             BenchmarkId::new("sim", scheme.name()),
             &scheme,

@@ -14,7 +14,10 @@ fn bench(c: &mut Criterion) {
     for w in group_points.windows(2) {
         assert!(w[1].swap <= w[0].swap, "swap must fall as groups grow");
     }
-    assert!(pack_points.iter().any(|p| !p.feasible), "cliff edge expected");
+    assert!(
+        pack_points.iter().any(|p| !p.feasible),
+        "cliff edge expected"
+    );
     assert!(pack_points.iter().any(|p| p.feasible));
 
     let model = workloads::analytical_model();

@@ -4,11 +4,14 @@
 //! where `<artefact>` is one of `fig1 fig2a fig2b fig2c fig4 fig5a fig5bc
 //! table_a dominance tango prefetch recompute eviction steady all`, the
 //! correctness gate `conformance [seed]` (prints the oracle-instrumented
-//! pass/fail matrix, exits nonzero on any failing cell), or `custom`
-//! followed by flags (see `repro custom --help` output on error) to run an
-//! arbitrary model × scheme × server configuration.
+//! pass/fail matrix, exits nonzero on any failing cell), the perf gate
+//! `bench [--json] [--workers N]` (times every sweep at 1 worker vs the
+//! pool, checks byte-identical output, and with `--json` writes
+//! `BENCH_sweeps.json`), or `custom` followed by flags (see `repro custom
+//! --help` output on error) to run an arbitrary model × scheme × server
+//! configuration.
 
-use harmony_bench::{custom, figures};
+use harmony_bench::{custom, figures, sweeps};
 
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
@@ -26,6 +29,45 @@ fn main() {
         let report = harmony_harness::run_conformance(seed);
         println!("{}", report.render());
         if !report.all_passed() {
+            std::process::exit(1);
+        }
+        return;
+    }
+    if arg == "bench" {
+        let rest: Vec<String> = std::env::args().skip(2).collect();
+        let json = rest.iter().any(|a| a == "--json");
+        let workers = rest
+            .iter()
+            .position(|a| a == "--workers")
+            .and_then(|i| rest.get(i + 1))
+            .map(|s| match s.parse::<usize>() {
+                Ok(n) if n >= 1 => n,
+                _ => {
+                    eprintln!("--workers takes a positive integer, got `{s}`");
+                    std::process::exit(2);
+                }
+            })
+            .unwrap_or(4);
+        if let Some(bad) = rest.iter().enumerate().find_map(|(i, a)| {
+            let is_workers_value =
+                i > 0 && rest[i - 1] == "--workers" && a.parse::<usize>().is_ok();
+            (a != "--json" && a != "--workers" && !is_workers_value).then_some(a)
+        }) {
+            eprintln!("unknown bench flag `{bad}`; expected [--json] [--workers N]");
+            std::process::exit(2);
+        }
+        let report = sweeps::run(workers);
+        println!("{}", report.render());
+        if json {
+            let path = "BENCH_sweeps.json";
+            if let Err(e) = std::fs::write(path, report.to_json()) {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("wrote {path}");
+        }
+        if report.experiments.iter().any(|e| !e.identical) {
+            eprintln!("determinism violation: parallel output diverged from sequential");
             std::process::exit(1);
         }
         return;
@@ -103,7 +145,7 @@ fn main() {
         eprintln!(
             "unknown artefact `{arg}`; expected one of: fig1 fig2a fig2b fig2c fig4 \
              fig5a fig5bc table_a dominance tango prefetch recompute eviction steady all \
-             conformance"
+             conformance bench"
         );
         std::process::exit(2);
     }

@@ -84,12 +84,10 @@ pub fn parse(args: &[String]) -> Result<CustomArgs, String> {
                 out.workload.pack_size = val("--pack")?.parse().map_err(|e| format!("{e}"))?
             }
             "--group" => {
-                out.workload.group_size =
-                    Some(val("--group")?.parse().map_err(|e| format!("{e}"))?)
+                out.workload.group_size = Some(val("--group")?.parse().map_err(|e| format!("{e}"))?)
             }
             "--opt-slots" => {
-                out.workload.opt_slots =
-                    val("--opt-slots")?.parse().map_err(|e| format!("{e}"))?
+                out.workload.opt_slots = val("--opt-slots")?.parse().map_err(|e| format!("{e}"))?
             }
             "--iterations" => {
                 out.iterations = val("--iterations")?.parse().map_err(|e| format!("{e}"))?
@@ -174,7 +172,10 @@ pub fn run(args: &CustomArgs) -> Result<String, String> {
     out.push('\n');
     out.push_str(&t.render());
     if let Some(u) = summary.channel_utilisation("->host") {
-        out.push_str(&format!("\nhost-uplink utilisation (out): {:.0}%\n", u * 100.0));
+        out.push_str(&format!(
+            "\nhost-uplink utilisation (out): {:.0}%\n",
+            u * 100.0
+        ));
     }
     if args.gantt {
         out.push('\n');
@@ -219,7 +220,14 @@ mod tests {
     #[test]
     fn resolve_knows_every_published_model() {
         for name in [
-            "bert_large", "bert_xxl", "gpt2_xl", "gpt_10b", "lenet", "alexnet", "gnmt", "t5_11b",
+            "bert_large",
+            "bert_xxl",
+            "gpt2_xl",
+            "gpt_10b",
+            "lenet",
+            "alexnet",
+            "gnmt",
+            "t5_11b",
         ] {
             assert!(resolve_model(name).is_ok(), "{name}");
         }
@@ -228,8 +236,10 @@ mod tests {
 
     #[test]
     fn custom_run_end_to_end() {
-        let mut args = parse(&argv("--model lenet --scheme harmony-dp --gpus 2 --ubatch 1"))
-            .unwrap();
+        let mut args = parse(&argv(
+            "--model lenet --scheme harmony-dp --gpus 2 --ubatch 1",
+        ))
+        .unwrap();
         args.workload.microbatches = 1;
         let report = run(&args).unwrap();
         assert!(report.contains("lenet"));

@@ -15,7 +15,13 @@ use crate::workloads;
 pub fn fig1() -> String {
     let mut t = Table::new(
         "Fig 1 — DNN model size growth (1998–2020)",
-        &["model", "year", "params", "fp32 weights (GB)", "W+dW+Adam floor (GB)"],
+        &[
+            "model",
+            "year",
+            "params",
+            "fp32 weights (GB)",
+            "W+dW+Adam floor (GB)",
+        ],
     );
     for e in zoo::fig1_zoo() {
         t.row(&[
@@ -50,26 +56,34 @@ pub struct Fig2aPoint {
 pub fn fig2a() -> (String, Vec<Fig2aPoint>) {
     let model = workloads::fig2_model();
     let w = workloads::fig2_workload();
-    let mut points = Vec::new();
     let mut t = Table::new(
         "Fig 2(a) — DP with per-GPU tensor swapping (BERT-style, batch 5/GPU)",
-        &["# GPUs", "global throughput (seqs/s)", "global swap-out (GB/iter)", "vs N=1"],
+        &[
+            "# GPUs",
+            "global throughput (seqs/s)",
+            "global swap-out (GB/iter)",
+            "vs N=1",
+        ],
     );
-    for n in 1..=4 {
+    // Each GPU count is an independent simulation: fan out, collect in
+    // sweep order.
+    let ns: Vec<usize> = (1..=4).collect();
+    let points: Vec<Fig2aPoint> = harmony_parallel::par_map(&ns, |_, &n| {
         let topo = presets::commodity_n_1080ti(n).expect("preset");
-        let (s, _) = simulate::run(SchemeKind::BaselineDp, &model, &topo, &w)
-            .expect("fig2a run");
-        points.push(Fig2aPoint {
+        let (s, _) = simulate::run(SchemeKind::BaselineDp, &model, &topo, &w).expect("fig2a run");
+        Fig2aPoint {
             n,
             throughput: s.throughput(),
             swap_out: s.global_swap_out(),
-        });
-        let ratio = points[0].swap_out.max(1);
+        }
+    });
+    let ratio = points[0].swap_out.max(1);
+    for p in &points {
         t.row(&[
-            n.to_string(),
-            f2(s.throughput()),
-            gb(s.global_swap_out()),
-            format!("{:.2}×", s.global_swap_out() as f64 / ratio as f64),
+            p.n.to_string(),
+            f2(p.throughput),
+            gb(p.swap_out),
+            format!("{:.2}×", p.swap_out as f64 / ratio as f64),
         ]);
     }
     (
@@ -123,7 +137,13 @@ pub fn fig2c() -> (String, Vec<Fig2cPoint>) {
     let (s, _) = simulate::run(SchemeKind::BaselinePp, &model, &topo, &w).expect("fig2c run");
     let mut t = Table::new(
         "Fig 2(c) — PP with per-GPU tensor swapping: per-stage memory & swap",
-        &["GPU (stage)", "mem demand (GB)", "capacity (GB)", "swap traffic (GB)", "regime"],
+        &[
+            "GPU (stage)",
+            "mem demand (GB)",
+            "capacity (GB)",
+            "swap traffic (GB)",
+            "regime",
+        ],
     );
     let cap = topo.gpu(0).expect("gpu0").mem_bytes;
     let mut points = Vec::new();
@@ -138,7 +158,11 @@ pub fn fig2c() -> (String, Vec<Fig2cPoint>) {
             gb(swap),
             regime.to_string(),
         ]);
-        points.push(Fig2cPoint { gpu: g, demand, swap });
+        points.push(Fig2cPoint {
+            gpu: g,
+            demand,
+            swap,
+        });
     }
     (
         format!(
@@ -301,36 +325,54 @@ pub struct TableARow {
 pub fn table_a() -> (String, Vec<TableARow>) {
     let mut t = Table::new(
         "Table A (§3) — weight swap volume per iteration, analytic vs simulated",
-        &["m", "N", "scheme", "analytic ×|W|", "simulated ×|W|", "ratio"],
+        &[
+            "m",
+            "N",
+            "scheme",
+            "analytic ×|W|",
+            "simulated ×|W|",
+            "ratio",
+        ],
     );
-    let mut rows = Vec::new();
+    // 4 configurations × 3 schemes: 12 independent simulations, fanned
+    // out on the work pool and collected in sweep order.
+    let mut cells = Vec::new();
     for &(m, n) in &[(2usize, 2usize), (4, 2), (2, 4), (4, 4)] {
+        for kind in [
+            SchemeKind::BaselineDp,
+            SchemeKind::HarmonyDp,
+            SchemeKind::HarmonyPp,
+        ] {
+            cells.push((m, n, kind));
+        }
+    }
+    let rows: Vec<TableARow> = harmony_parallel::par_map(&cells, |_, &(m, n, kind)| {
         let model = workloads::uniform_model(6, 4096);
         let wbytes = model.total_weight_bytes() as f64;
         let topo = workloads::tight_topo(n);
         let w = workloads::tight_workload(m);
-        let p = analytical::Params::from_model(&model, w.ubatch_size, w.opt_slots, m as u64, n as u64);
-        for kind in [SchemeKind::BaselineDp, SchemeKind::HarmonyDp, SchemeKind::HarmonyPp] {
-            let analytic =
-                analytical::weight_swap_volume(kind.analytical(), &p) as f64 / wbytes;
-            let (s, _) = simulate::run(kind, &model, &topo, &w).expect("table_a run");
-            let measured = s.swap_by_class["weight"] as f64 / wbytes;
-            t.row(&[
-                m.to_string(),
-                n.to_string(),
-                kind.name().to_string(),
-                f2(analytic),
-                f2(measured),
-                f2(measured / analytic.max(1e-9)),
-            ]);
-            rows.push(TableARow {
-                m: m as u64,
-                n: n as u64,
-                scheme: kind,
-                analytic,
-                measured,
-            });
+        let p =
+            analytical::Params::from_model(&model, w.ubatch_size, w.opt_slots, m as u64, n as u64);
+        let analytic = analytical::weight_swap_volume(kind.analytical(), &p) as f64 / wbytes;
+        let (s, _) = simulate::run(kind, &model, &topo, &w).expect("table_a run");
+        let measured = s.swap_by_class["weight"] as f64 / wbytes;
+        TableARow {
+            m: m as u64,
+            n: n as u64,
+            scheme: kind,
+            analytic,
+            measured,
         }
+    });
+    for r in &rows {
+        t.row(&[
+            r.m.to_string(),
+            r.n.to_string(),
+            r.scheme.name().to_string(),
+            f2(r.analytic),
+            f2(r.measured),
+            f2(r.measured / r.analytic.max(1e-9)),
+        ]);
     }
     (
         format!(
@@ -349,7 +391,13 @@ pub fn dominance() -> (String, Vec<(SchemeKind, u64)>) {
     let model = workloads::analytical_model();
     let topo = presets::commodity_4x1080ti();
     let w = workloads::fig2_workload();
-    let p = analytical::Params::from_model(&model, w.ubatch_size, w.opt_slots, w.microbatches as u64, 4);
+    let p = analytical::Params::from_model(
+        &model,
+        w.ubatch_size,
+        w.opt_slots,
+        w.microbatches as u64,
+        4,
+    );
     let mut t = Table::new(
         "§3 — swap volume breakdown, all schemes (10B-param model, 4×11 GB)",
         &[
@@ -414,17 +462,27 @@ pub fn tango() -> (String, Vec<TangoPoint>, Vec<TangoPoint>) {
     let topo = presets::commodity_4x1080ti();
     let base = workloads::fig2_workload();
 
-    let mut group_points = Vec::new();
     let mut t1 = Table::new(
         "§4 tango (a) — Harmony-PP group-size sweep (10B model, 4 GPUs)",
-        &["group size", "throughput (seqs/s)", "swap (GB)", "weight swap (GB)"],
+        &[
+            "group size",
+            "throughput (seqs/s)",
+            "swap (GB)",
+            "weight swap (GB)",
+        ],
     );
-    for g in [1usize, 2, 4, 8] {
+    // Independent group-size runs fan out on the work pool.
+    let group_sizes = [1usize, 2, 4, 8];
+    let group_runs = harmony_parallel::par_map(&group_sizes, |_, &g| {
         let w = WorkloadConfig {
             group_size: Some(g),
             ..base
         };
         let (s, _) = simulate::run(SchemeKind::HarmonyPp, &model, &topo, &w).expect("tango run");
+        s
+    });
+    let mut group_points = Vec::new();
+    for (&g, s) in group_sizes.iter().zip(&group_runs) {
         t1.row(&[
             g.to_string(),
             f2(s.throughput()),
@@ -464,7 +522,11 @@ pub fn tango() -> (String, Vec<TangoPoint>, Vec<TangoPoint>) {
         t2.row(&[
             pt.pack_size.to_string(),
             if feasible { f2(tp) } else { "—".to_string() },
-            if feasible { gb(swap) } else { "—".to_string() },
+            if feasible {
+                gb(swap)
+            } else {
+                "—".to_string()
+            },
             feasible.to_string(),
         ]);
         pack_points.push(TangoPoint {
@@ -525,11 +587,8 @@ pub fn prefetch_ablation() -> (String, Vec<PrefetchPoint>) {
         ],
     );
     let mut points = Vec::new();
-    let mut cases: Vec<(String, SchemeKind, WorkloadConfig)> = vec![(
-        "baseline-dp".to_string(),
-        SchemeKind::BaselineDp,
-        base,
-    )];
+    let mut cases: Vec<(String, SchemeKind, WorkloadConfig)> =
+        vec![("baseline-dp".to_string(), SchemeKind::BaselineDp, base)];
     for g in [2usize, 8] {
         cases.push((
             format!("harmony-pp G={g}"),
@@ -597,8 +656,15 @@ pub fn recompute_ablation() -> (String, Vec<(usize, RunSummary, RunSummary)>) {
     );
     let mut rows = Vec::new();
     for pack in [1usize, 2, 4] {
-        let ws = WorkloadConfig { pack_size: pack, ..base };
-        let wr = WorkloadConfig { pack_size: pack, recompute: true, ..base };
+        let ws = WorkloadConfig {
+            pack_size: pack,
+            ..base
+        };
+        let wr = WorkloadConfig {
+            pack_size: pack,
+            recompute: true,
+            ..base
+        };
         let (a, _) = simulate::run(SchemeKind::HarmonyPp, &model, &topo, &ws).expect("stash run");
         let (b, _) =
             simulate::run(SchemeKind::HarmonyPp, &model, &topo, &wr).expect("recompute run");
@@ -608,7 +674,11 @@ pub fn recompute_ablation() -> (String, Vec<(usize, RunSummary, RunSummary)>) {
             f2(b.throughput()),
             gb(a.global_swap()),
             gb(b.global_swap()),
-            format!("{} → {}", gb(a.swap_by_class["stash"]), gb(b.swap_by_class["stash"])),
+            format!(
+                "{} → {}",
+                gb(a.swap_by_class["stash"]),
+                gb(b.swap_by_class["stash"])
+            ),
         ]);
         rows.push((pack, a, b));
     }
@@ -638,7 +708,10 @@ pub fn eviction_ablation() -> (String, Vec<(String, u64)>) {
         &["policy", "swap (MB)", "throughput (samples/s)"],
     );
     let mut rows = Vec::new();
-    for (name, policy) in [("lru", PolicyKind::Lru), ("next-use-aware", PolicyKind::NextUseAware)] {
+    for (name, policy) in [
+        ("lru", PolicyKind::Lru),
+        ("next-use-aware", PolicyKind::NextUseAware),
+    ] {
         let mut p = plan(SchemeKind::HarmonyDp, &model, &topo, &w).expect("plan");
         p.scheme.policy = policy;
         let (s, _) = SimExecutor::new(&topo, &model, &p)
@@ -678,15 +751,17 @@ pub fn steady_state() -> (String, Vec<(SchemeKind, u32, f64)>) {
         &["scheme", "analytic", "k=1", "k=2", "k=4"],
     );
     let mut rows = Vec::new();
-    for kind in [SchemeKind::BaselineDp, SchemeKind::HarmonyDp, SchemeKind::HarmonyPp] {
+    for kind in [
+        SchemeKind::BaselineDp,
+        SchemeKind::HarmonyDp,
+        SchemeKind::HarmonyPp,
+    ] {
         let p = harmony::prelude::analytical::Params::from_model(&model, 1, 0, 4, 2);
         let analytic =
-            harmony::prelude::analytical::weight_swap_volume(kind.analytical(), &p) as f64
-                / wbytes;
+            harmony::prelude::analytical::weight_swap_volume(kind.analytical(), &p) as f64 / wbytes;
         let mut cells = vec![kind.name().to_string(), f2(analytic)];
         for k in [1u32, 2, 4] {
-            let (s, _) =
-                simulate::run_iterations(kind, &model, &topo, &w, k).expect("steady run");
+            let (s, _) = simulate::run_iterations(kind, &model, &topo, &w, k).expect("steady run");
             let per_iter = s.swap_by_class["weight"] as f64 / k as f64 / wbytes;
             cells.push(f2(per_iter));
             rows.push((kind, k, per_iter));

@@ -11,4 +11,5 @@
 
 pub mod custom;
 pub mod figures;
+pub mod sweeps;
 pub mod workloads;

@@ -1,0 +1,317 @@
+//! `repro bench`: wall-clock timing of the parallel sweep engine and the
+//! simulator hot path, seeding the repository's perf trajectory
+//! (`BENCH_sweeps.json`).
+//!
+//! Each sweep experiment is executed twice — once pinned to 1 worker and
+//! once on the requested pool — and the rendered outputs are compared
+//! byte-for-byte, so every `repro bench` run re-proves the determinism
+//! contract in the production path while measuring the speedup. The
+//! simulator's network hot path (incremental fair-share rate
+//! bookkeeping) is timed as events/second under heavy transfer
+//! concurrency.
+
+use std::time::Instant;
+
+use harmony::prelude::*;
+use harmony::simulate::{self, SchemeKind};
+use harmony_parallel::with_workers;
+use harmony_topology::Endpoint;
+use harmony_trace::json::{number, quote};
+use harmony_trace::summary::RunSummary;
+
+use crate::{figures, workloads};
+
+/// Timing of one sweep experiment at 1 worker vs the pool.
+#[derive(Debug, Clone)]
+pub struct ExperimentTiming {
+    /// Experiment name (`fig2a`, `table_a`, `tango`, `conformance`).
+    pub name: &'static str,
+    /// Wall-clock seconds pinned to one worker.
+    pub sequential_secs: f64,
+    /// Wall-clock seconds on the requested worker count.
+    pub parallel_secs: f64,
+    /// Whether the two runs rendered byte-identical output (they must).
+    pub identical: bool,
+}
+
+impl ExperimentTiming {
+    /// Sequential-over-parallel wall-clock ratio.
+    pub fn speedup(&self) -> f64 {
+        if self.parallel_secs > 0.0 {
+            self.sequential_secs / self.parallel_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Events/second of the simulator's network hot path under heavy
+/// transfer concurrency.
+#[derive(Debug, Clone)]
+pub struct HotPathTiming {
+    /// Concurrent transfers per wave.
+    pub transfers: usize,
+    /// Waves run.
+    pub waves: usize,
+    /// Completions delivered.
+    pub events: u64,
+    /// Wall-clock seconds.
+    pub secs: f64,
+}
+
+impl HotPathTiming {
+    /// Delivered completions per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.secs > 0.0 {
+            self.events as f64 / self.secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The full `repro bench` result.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Worker count used for the parallel leg.
+    pub workers: usize,
+    /// What the host actually offers (1 core ⇒ thread-pool speedups are
+    /// bounded at ~1× however many workers are requested).
+    pub available_parallelism: usize,
+    /// Per-experiment wall-clock timings.
+    pub experiments: Vec<ExperimentTiming>,
+    /// Simulator hot-path measurement.
+    pub hot_path: HotPathTiming,
+    /// Representative run summaries exported alongside the timings.
+    pub summaries: Vec<RunSummary>,
+}
+
+impl BenchReport {
+    /// Human-readable table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            format!(
+                "repro bench — sweep wall clock, 1 worker vs {} (host parallelism: {})",
+                self.workers, self.available_parallelism
+            ),
+            &[
+                "experiment",
+                "sequential (s)",
+                "parallel (s)",
+                "speedup",
+                "identical",
+            ],
+        );
+        for e in &self.experiments {
+            t.row(&[
+                e.name.to_string(),
+                format!("{:.3}", e.sequential_secs),
+                format!("{:.3}", e.parallel_secs),
+                format!("{:.2}×", e.speedup()),
+                e.identical.to_string(),
+            ]);
+        }
+        format!(
+            "{}\nsimulator hot path: {} concurrent transfers × {} waves → {:.0} events/s\n\
+             ({} completions in {:.3} s; incremental fair-share denominators)\n",
+            t.render(),
+            self.hot_path.transfers,
+            self.hot_path.waves,
+            self.hot_path.events_per_sec(),
+            self.hot_path.events,
+            self.hot_path.secs,
+        )
+    }
+
+    /// The `BENCH_sweeps.json` document. Timings are measurements, not
+    /// pinned values; the `identical` flags are the determinism contract.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"bench\": \"sweeps\",\n");
+        out.push_str("  \"generated_by\": \"repro bench --json\",\n");
+        out.push_str(&format!("  \"workers\": {},\n", self.workers));
+        out.push_str(&format!(
+            "  \"available_parallelism\": {},\n",
+            self.available_parallelism
+        ));
+        out.push_str("  \"experiments\": [\n");
+        for (i, e) in self.experiments.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": {}, \"sequential_secs\": {}, \"parallel_secs\": {}, \
+                 \"speedup\": {}, \"identical\": {}}}{}\n",
+                quote(e.name),
+                number(e.sequential_secs),
+                number(e.parallel_secs),
+                number(e.speedup()),
+                e.identical,
+                if i + 1 < self.experiments.len() {
+                    ","
+                } else {
+                    ""
+                },
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"sim_hot_path\": {{\"concurrent_transfers\": {}, \"waves\": {}, \
+             \"events\": {}, \"secs\": {}, \"events_per_sec\": {}}},\n",
+            self.hot_path.transfers,
+            self.hot_path.waves,
+            self.hot_path.events,
+            number(self.hot_path.secs),
+            number(self.hot_path.events_per_sec()),
+        ));
+        out.push_str("  \"summaries\": [\n");
+        for (i, s) in self.summaries.iter().enumerate() {
+            out.push_str(&format!(
+                "    {}{}\n",
+                s.to_json(),
+                if i + 1 < self.summaries.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn timed<R>(f: impl FnOnce() -> R) -> (f64, R) {
+    let start = Instant::now();
+    let r = f();
+    (start.elapsed().as_secs_f64(), r)
+}
+
+fn experiment(name: &'static str, workers: usize, run: impl Fn() -> String) -> ExperimentTiming {
+    let (sequential_secs, seq_out) = timed(|| with_workers(1, &run));
+    let (parallel_secs, par_out) = timed(|| with_workers(workers, &run));
+    ExperimentTiming {
+        name,
+        sequential_secs,
+        parallel_secs,
+        identical: seq_out == par_out,
+    }
+}
+
+/// Times the simulator's network hot path: `transfers` concurrent
+/// host-bound transfers per wave over an 8-GPU switched server, repeated
+/// `waves` times (mirrors `harmony-simulator`'s `net_stress` example).
+pub fn hot_path(transfers: usize, waves: usize) -> HotPathTiming {
+    let gpus = 8;
+    let topo = presets::commodity_server(presets::CommodityParams {
+        num_gpus: gpus,
+        gpus_per_switch: 4,
+        pcie_bw: 12.0 * presets::GBPS,
+        host_uplink_bw: 12.0 * presets::GBPS,
+        gpu_mem: 11 << 30,
+        gpu_flops: 11e12,
+    })
+    .expect("topology");
+    let routes: Vec<Vec<usize>> = (0..gpus)
+        .map(|g| {
+            topo.route(Endpoint::Gpu(g), Endpoint::Host)
+                .expect("route")
+                .to_vec()
+        })
+        .collect();
+    let start = Instant::now();
+    let mut s = harmony_simulator::Simulator::new(&topo);
+    let mut events: u64 = 0;
+    for wave in 0..waves {
+        for i in 0..transfers {
+            let bytes = (1 + (i as u64 % 17)) * 100_000_000;
+            s.start_transfer(&routes[i % gpus], bytes, (wave * transfers + i) as u64)
+                .expect("transfer");
+        }
+        while s.next().is_some() {
+            events += 1;
+        }
+    }
+    HotPathTiming {
+        transfers,
+        waves,
+        events,
+        secs: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Runs the full bench suite at `workers` parallel workers.
+pub fn run(workers: usize) -> BenchReport {
+    let experiments = vec![
+        experiment("fig2a", workers, || figures::fig2a().0),
+        experiment("table_a", workers, || figures::table_a().0),
+        experiment("tango", workers, || figures::tango().0),
+        experiment("conformance", workers, || {
+            harmony_harness::run_conformance(0).render()
+        }),
+    ];
+    let hot = hot_path(256, 8);
+
+    // Representative summaries for the JSON export — including a
+    // PP run whose per-stage swap skew exercises the imbalance field.
+    let model = workloads::fig2_model();
+    let w = workloads::fig2_workload();
+    let topo = presets::commodity_4x1080ti();
+    let summaries = vec![
+        simulate::run(SchemeKind::BaselineDp, &model, &topo, &w)
+            .expect("bench dp run")
+            .0,
+        simulate::run(SchemeKind::BaselinePp, &model, &topo, &w)
+            .expect("bench pp run")
+            .0,
+    ];
+
+    BenchReport {
+        workers,
+        available_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        experiments,
+        hot_path: hot,
+        summaries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_path_counts_all_completions() {
+        let h = hot_path(16, 2);
+        assert_eq!(h.events, 32);
+        assert!(h.secs >= 0.0);
+    }
+
+    #[test]
+    fn json_is_wellformed_and_null_free() {
+        // A tiny report (skip the expensive experiments) must serialise
+        // to parseable, null-free JSON even with edge-case timings.
+        let report = BenchReport {
+            workers: 4,
+            available_parallelism: 1,
+            experiments: vec![ExperimentTiming {
+                name: "unit",
+                sequential_secs: 0.25,
+                parallel_secs: 0.0, // degenerate: speedup must not emit Inf
+                identical: true,
+            }],
+            hot_path: hot_path(4, 1),
+            summaries: vec![RunSummary {
+                name: "unit".to_string(),
+                sim_secs: 1.0,
+                samples: 2,
+                swap_in_bytes: vec![0, 10],
+                swap_out_bytes: vec![0, 0],
+                p2p_bytes: 0,
+                peak_mem_bytes: vec![1, 1],
+                demand_bytes: vec![1, 1],
+                swap_by_class: Default::default(),
+                channel_busy_secs: Default::default(),
+            }],
+        };
+        let text = report.to_json();
+        assert!(!text.contains("null"), "null leaked: {text}");
+        harmony_trace::json::parse(&text).expect("valid JSON");
+    }
+}

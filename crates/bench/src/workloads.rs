@@ -119,9 +119,9 @@ pub fn fig4_model() -> ModelSpec {
             .map(|i| LayerSpec {
                 name: format!("L{i}"),
                 class: LayerClass::Other,
-                params: 1 << 16,                      // 256 KiB weights
-                fwd_flops_per_sample: 1 << 26,        // ≈ one weight transfer
-                out_elems_per_sample: 1 << 15,        // 128 KiB activations
+                params: 1 << 16,               // 256 KiB weights
+                fwd_flops_per_sample: 1 << 26, // ≈ one weight transfer
+                out_elems_per_sample: 1 << 15, // 128 KiB activations
                 extra_stash_elems_per_sample: 1 << 15,
                 in_elems_per_sample: 1 << 15,
             })
@@ -166,9 +166,7 @@ mod tests {
     fn fig2_model_exceeds_server_memory() {
         let m = fig2_model();
         let w = fig2_workload();
-        assert!(
-            m.training_footprint_bytes(w.ubatch_size, w.opt_slots) > 4 * 11 * (1u64 << 30)
-        );
+        assert!(m.training_footprint_bytes(w.ubatch_size, w.opt_slots) > 4 * 11 * (1u64 << 30));
     }
 
     #[test]

@@ -46,7 +46,10 @@ fn fig2c_demand_and_swap_skew_head_to_tail() {
             "demand not monotone head→tail: {points:?}"
         );
     }
-    assert!(points[0].swap > points[3].swap, "head must swap more than tail");
+    assert!(
+        points[0].swap > points[3].swap,
+        "head must swap more than tail"
+    );
 }
 
 #[test]
@@ -121,7 +124,10 @@ fn tuned_harmony_pp_beats_baseline_pp_on_both_axes() {
             ..base
         };
         let (s, _) = simulate::run(SchemeKind::HarmonyPp, &model, &topo, &w).expect("run");
-        if best.as_ref().is_none_or(|b| s.throughput() > b.throughput()) {
+        if best
+            .as_ref()
+            .is_none_or(|b| s.throughput() > b.throughput())
+        {
             best = Some(s);
         }
     }

@@ -125,7 +125,9 @@ impl FunctionalSession {
             return Err(HarmonyError::Config("need at least one device".to_string()));
         }
         if cfg.microbatches == 0 {
-            return Err(HarmonyError::Config("microbatches must be positive".to_string()));
+            return Err(HarmonyError::Config(
+                "microbatches must be positive".to_string(),
+            ));
         }
         let mut mm = MemoryManager::new(cfg.device_capacities.clone());
         let mut store = TensorStore::new();
@@ -138,11 +140,8 @@ impl FunctionalSession {
             let mut gids = Vec::new();
             let mut oids = Vec::new();
             for (pi, p) in pset.into_iter().enumerate() {
-                let gid = mm.register_on_host(
-                    format!("L{l}.dW{pi}"),
-                    p.size_bytes(),
-                    TensorClass::Grad,
-                );
+                let gid =
+                    mm.register_on_host(format!("L{l}.dW{pi}"), p.size_bytes(), TensorClass::Grad);
                 store.put(gid, Tensor::zeros(p.shape().clone()));
                 gids.push(gid);
                 let mut slot_ids = Vec::new();
@@ -156,11 +155,8 @@ impl FunctionalSession {
                     slot_ids.push(sid);
                 }
                 oids.push(slot_ids);
-                let pid = mm.register_on_host(
-                    format!("L{l}.W{pi}"),
-                    p.size_bytes(),
-                    TensorClass::Weight,
-                );
+                let pid =
+                    mm.register_on_host(format!("L{l}.W{pi}"), p.size_bytes(), TensorClass::Weight);
                 store.put(pid, p);
                 pids.push(pid);
             }
@@ -315,13 +311,15 @@ impl FunctionalSession {
                 self.fetch_pin(pid, dev, &mut pins)?;
             }
             for u in 0..m {
-                let x_id = if l == 0 { input_ids[u] } else { out_ids[l - 1][u] };
+                let x_id = if l == 0 {
+                    input_ids[u]
+                } else {
+                    out_ids[l - 1][u]
+                };
                 self.fetch_pin(x_id, dev, &mut pins)?;
                 let skip_id = match (&self.model.layers[l].op, self.model.layers[l].skip_from) {
                     (Layer::ResidualAdd, Some(SkipSource::Input)) => Some(input_ids[u]),
-                    (Layer::ResidualAdd, Some(SkipSource::LayerOutput(j))) => {
-                        Some(out_ids[j][u])
-                    }
+                    (Layer::ResidualAdd, Some(SkipSource::LayerOutput(j))) => Some(out_ids[j][u]),
                     (Layer::ResidualAdd, None) => {
                         return Err(HarmonyError::Config(format!(
                             "layer {l} residual without skip edge"
@@ -562,12 +560,10 @@ impl FunctionalSession {
                 None => self.model.layers[l].op.forward(&params, &x)?,
             };
             self.unpin_all(&mut pins)?;
-            let needed_later = self
-                .model
-                .layers
-                .iter()
-                .skip(l + 1)
-                .any(|later| matches!(later.skip_from, Some(SkipSource::LayerOutput(j)) if j == l));
+            let needed_later =
+                self.model.layers.iter().skip(l + 1).any(
+                    |later| matches!(later.skip_from, Some(SkipSource::LayerOutput(j)) if j == l),
+                );
             let oid = self.alloc(
                 format!("eval.L{l}.Y"),
                 out.output,
@@ -611,12 +607,8 @@ impl FunctionalSession {
                 self.unpin_all(&mut pins)?;
             }
             None => {
-                let id = self.alloc(
-                    format!("L{layer}.dY.u{u}"),
-                    g,
-                    TensorClass::Activation,
-                    dev,
-                )?;
+                let id =
+                    self.alloc(format!("L{layer}.dY.u{u}"), g, TensorClass::Activation, dev)?;
                 outgrad[layer][u] = Some(id);
             }
         }
@@ -805,11 +797,7 @@ mod tests {
             }
             last = report.loss;
             swapped += report.swap_in_bytes + report.swap_out_bytes;
-            for (&peak, &cap) in report
-                .peak_bytes
-                .iter()
-                .zip(&session.cfg.device_capacities)
-            {
+            for (&peak, &cap) in report.peak_bytes.iter().zip(&session.cfg.device_capacities) {
                 assert!(peak <= cap, "capacity violated: {peak} > {cap}");
             }
         }
@@ -927,6 +915,9 @@ mod eval_tests {
             session.train_step(&x, &targets).unwrap();
         }
         let after = session.evaluate(&x).unwrap();
-        assert!(before.max_abs_diff(&after).unwrap() > 1e-4, "training must change outputs");
+        assert!(
+            before.max_abs_diff(&after).unwrap() > 1e-4,
+            "training must change outputs"
+        );
     }
 }

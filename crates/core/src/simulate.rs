@@ -3,8 +3,8 @@
 
 use harmony_models::ModelSpec;
 use harmony_sched::{
-    plan_baseline_dp, plan_baseline_pp, plan_harmony_dp, plan_harmony_pp, ExecError,
-    ExecutionPlan, SimExecutor, WorkloadConfig,
+    plan_baseline_dp, plan_baseline_pp, plan_harmony_dp, plan_harmony_pp, ExecError, ExecutionPlan,
+    SimExecutor, WorkloadConfig,
 };
 use harmony_topology::Topology;
 use harmony_trace::{summary::RunSummary, Trace};

@@ -36,7 +36,9 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Builds `function_name/parameter`.
     pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 }
 
@@ -83,7 +85,10 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher { iters: self.samples, mean_nanos: 0.0 };
+        let mut b = Bencher {
+            iters: self.samples,
+            mean_nanos: 0.0,
+        };
         f(&mut b);
         self.report(&id.to_string(), b.mean_nanos);
         self
@@ -94,7 +99,10 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        let mut b = Bencher { iters: self.samples, mean_nanos: 0.0 };
+        let mut b = Bencher {
+            iters: self.samples,
+            mean_nanos: 0.0,
+        };
         f(&mut b, input);
         self.report(&id.id, b.mean_nanos);
         self
@@ -113,7 +121,10 @@ impl BenchmarkGroup<'_> {
             }
             None => String::new(),
         };
-        println!("{}/{:<40} {:>12.1} ns/iter{}", self.name, id, mean_nanos, rate);
+        println!(
+            "{}/{:<40} {:>12.1} ns/iter{}",
+            self.name, id, mean_nanos, rate
+        );
     }
 }
 
@@ -124,7 +135,12 @@ pub struct Criterion {}
 impl Criterion {
     /// Starts a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), samples: 20, throughput: None, _criterion: self }
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 20,
+            throughput: None,
+            _criterion: self,
+        }
     }
 
     /// Runs an ungrouped benchmark.

@@ -16,7 +16,9 @@
 //!   event count.
 
 use harmony::simulate::SchemeKind;
-use harmony_sched::WorkloadConfig;
+use harmony_models::ModelSpec;
+use harmony_sched::{TimedFault, WorkloadConfig};
+use harmony_topology::Topology;
 
 use crate::differential::{check_swap_volumes_exact, check_work_equivalence, run_instrumented};
 use crate::faults::FaultPlan;
@@ -86,12 +88,65 @@ impl ConformanceReport {
     }
 }
 
-/// Runs the whole conformance matrix. `seed` drives fault generation
-/// only; exact and knob cells are seed-independent. All oracles are
-/// enabled in every cell.
-pub fn run_conformance(seed: u64) -> ConformanceReport {
-    let oracles = OracleConfig::all();
-    let mut report = ConformanceReport::default();
+/// One independent cell of the matrix: everything needed to evaluate it
+/// in isolation (so cells can fan out on the work pool).
+#[derive(Debug, Clone)]
+struct CellSpec {
+    family: &'static str,
+    scheme: SchemeKind,
+    config: String,
+    model: ModelSpec,
+    topo: Topology,
+    w: WorkloadConfig,
+    /// Attach the scheme-set-wide logical-work equivalence check to this
+    /// cell (recorded against each config's first scheme).
+    check_work: bool,
+    /// Exact cells run the byte-exact differential check; others run
+    /// oracle-instrumented only.
+    exact: bool,
+    faults: Vec<TimedFault>,
+    event_budget: Option<u64>,
+}
+
+impl CellSpec {
+    /// Evaluates the cell. Pure function of the spec — deterministic and
+    /// independent of every other cell, whatever thread runs it.
+    fn evaluate(&self, oracles: &OracleConfig) -> CellOutcome {
+        let mut result = if self.exact {
+            check_swap_volumes_exact(self.scheme, &self.model, &self.topo, &self.w, oracles)
+        } else {
+            run_instrumented(
+                self.scheme,
+                &self.model,
+                &self.topo,
+                &self.w,
+                oracles,
+                &self.faults,
+                self.event_budget,
+            )
+            .map(|_| ())
+            .map_err(|e| e.to_string())
+        };
+        if self.check_work {
+            if let (Ok(()), Err(e)) = (
+                &result,
+                check_work_equivalence(&self.model, &self.topo, &self.w),
+            ) {
+                result = Err(format!("work equivalence: {e}"));
+            }
+        }
+        CellOutcome {
+            family: self.family,
+            scheme: self.scheme,
+            config: self.config.clone(),
+            result,
+        }
+    }
+}
+
+/// Builds the matrix cell list in canonical (sequential) order.
+fn build_matrix(seed: u64) -> Vec<CellSpec> {
+    let mut specs = Vec::new();
 
     // Exact family: 2 models × 4 GPU counts × 2 microbatch counts ×
     // 4 schemes = 64 cells in the boundary-exact forms' pinned regime.
@@ -102,22 +157,21 @@ pub fn run_conformance(seed: u64) -> ConformanceReport {
             for &m in &[2usize, 4] {
                 let w = tight_workload(m);
                 let config = format!("{} N={n} m={m}", model.name);
-                // Logical-work equivalence is a property of the whole
-                // scheme set; record it against the first scheme's cell.
-                let work = check_work_equivalence(&model, &topo, &w);
                 for scheme in SchemeKind::ALL {
-                    let mut result =
-                        check_swap_volumes_exact(scheme, &model, &topo, &w, &oracles);
-                    if scheme == SchemeKind::BaselineDp {
-                        if let (Ok(()), Err(e)) = (&result, &work) {
-                            result = Err(format!("work equivalence: {e}"));
-                        }
-                    }
-                    report.cells.push(CellOutcome {
+                    specs.push(CellSpec {
                         family: "exact",
                         scheme,
                         config: config.clone(),
-                        result,
+                        model: model.clone(),
+                        topo: topo.clone(),
+                        w,
+                        // Logical-work equivalence is a property of the
+                        // whole scheme set; record it against the first
+                        // scheme's cell.
+                        check_work: scheme == SchemeKind::BaselineDp,
+                        exact: true,
+                        faults: Vec::new(),
+                        event_budget: None,
                     });
                 }
             }
@@ -146,21 +200,18 @@ pub fn run_conformance(seed: u64) -> ConformanceReport {
             ),
         ] {
             let config = format!("{} N=2 m=4 {label}", model.name);
-            let work = check_work_equivalence(&model, &topo, &w);
             for scheme in SchemeKind::ALL {
-                let mut result = run_instrumented(scheme, &model, &topo, &w, &oracles, &[], None)
-                    .map(|_| ())
-                    .map_err(|e| e.to_string());
-                if scheme == SchemeKind::BaselineDp {
-                    if let (Ok(()), Err(e)) = (&result, &work) {
-                        result = Err(format!("work equivalence: {e}"));
-                    }
-                }
-                report.cells.push(CellOutcome {
+                specs.push(CellSpec {
                     family: "knob",
                     scheme,
                     config: config.clone(),
-                    result,
+                    model: model.clone(),
+                    topo: topo.clone(),
+                    w,
+                    check_work: scheme == SchemeKind::BaselineDp,
+                    exact: false,
+                    faults: Vec::new(),
+                    event_budget: None,
                 });
             }
         }
@@ -174,25 +225,36 @@ pub fn run_conformance(seed: u64) -> ConformanceReport {
         let w = tight_workload(4);
         let plan = FaultPlan::generate(seed, &topo, 0.002, 3);
         for scheme in SchemeKind::ALL {
-            let result = run_instrumented(
-                scheme,
-                &model,
-                &topo,
-                &w,
-                &oracles,
-                &plan.faults,
-                Some(1_000_000),
-            )
-            .map(|_| ())
-            .map_err(|e| e.to_string());
-            report.cells.push(CellOutcome {
+            specs.push(CellSpec {
                 family: "fault",
                 scheme,
                 config: format!("{} N=2 m=4 seed={seed}", model.name),
-                result,
+                model: model.clone(),
+                topo: topo.clone(),
+                w,
+                check_work: false,
+                exact: false,
+                faults: plan.faults.clone(),
+                event_budget: Some(1_000_000),
             });
         }
     }
 
-    report
+    specs
+}
+
+/// Runs the whole conformance matrix. `seed` drives fault generation
+/// only; exact and knob cells are seed-independent. All oracles are
+/// enabled in every cell.
+///
+/// Every cell is an independent oracle-instrumented simulation, so the
+/// matrix fans out on the `harmony-parallel` work pool; the report's cell
+/// order (and therefore its rendering) is the canonical sequential order
+/// regardless of worker count.
+pub fn run_conformance(seed: u64) -> ConformanceReport {
+    let oracles = OracleConfig::all();
+    let specs = build_matrix(seed);
+    ConformanceReport {
+        cells: harmony_parallel::par_map(&specs, |_, spec| spec.evaluate(&oracles)),
+    }
 }

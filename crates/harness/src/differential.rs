@@ -186,7 +186,9 @@ pub fn check_swap_volumes_exact(
     let mut bad: Vec<String> = Vec::new();
     let mut check = |name: &str, expected: u64, measured: u64| {
         if expected != measured {
-            bad.push(format!("{name}: expected {expected} B, measured {measured} B"));
+            bad.push(format!(
+                "{name}: expected {expected} B, measured {measured} B"
+            ));
         }
     };
     check("weight", weight_swap_volume_exact(a, &p), class("weight"));

@@ -38,10 +38,10 @@ pub mod oracles;
 pub mod workloads;
 
 pub use conformance::{run_conformance, CellOutcome, ConformanceReport};
+pub use differential::exact_params;
 pub use differential::{
     check_swap_volumes_exact, check_work_equivalence, compare_swap_volumes, run_instrumented,
     VolumeDelta,
 };
-pub use differential::exact_params;
 pub use faults::FaultPlan;
 pub use oracles::{instrument, instrument_memory, OracleConfig};

@@ -198,7 +198,10 @@ impl MemObserver for PinBalanceOracle {
             }
             MemEvent::Free { id } => {
                 let c = self.counts.remove(&id).unwrap_or(0);
-                assert_eq!(c, 0, "pin oracle: tensor {id} freed with {c} pins outstanding");
+                assert_eq!(
+                    c, 0,
+                    "pin oracle: tensor {id} freed with {c} pins outstanding"
+                );
             }
             _ => {}
         }

@@ -6,11 +6,7 @@ use harmony_harness::run_conformance;
 #[test]
 fn conformance_matrix_passes() {
     let report = run_conformance(0xC0FFEE);
-    let exact = report
-        .cells
-        .iter()
-        .filter(|c| c.family == "exact")
-        .count();
+    let exact = report.cells.iter().filter(|c| c.family == "exact").count();
     assert!(exact >= 48, "only {exact} exact cells");
     assert!(
         report.cells.len() >= 48,

@@ -14,22 +14,28 @@ use harmony_harness::{check_swap_volumes_exact, check_work_equivalence, OracleCo
 
 /// L = 8 keeps every pipeline stage at ≥ 2 layers for N ≤ 4, so all
 /// stages are memory-pressured (the regime the §3 analysis assumes).
+/// The 128 cells are independent simulations and fan out on the work
+/// pool; failures are collected in canonical cell order.
 #[test]
 fn table_a_exact_m1_to_8_n1_to_4() {
     let model = uniform_model(8, 4096);
     let oracles = OracleConfig::all();
-    let mut failures = Vec::new();
+    let mut cells = Vec::new();
     for n in 1..=4usize {
         let topo = tight_topo(n);
         for m in 1..=8usize {
-            let w = tight_workload(m);
             for scheme in SchemeKind::ALL {
-                if let Err(e) = check_swap_volumes_exact(scheme, &model, &topo, &w, &oracles) {
-                    failures.push(e);
-                }
+                cells.push((topo.clone(), tight_workload(m), scheme));
             }
         }
     }
+    assert_eq!(cells.len(), 128);
+    let failures: Vec<String> = harmony_parallel::par_map(&cells, |_, (topo, w, scheme)| {
+        check_swap_volumes_exact(*scheme, &model, topo, w, &oracles).err()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     assert!(
         failures.is_empty(),
         "{} of 128 cells diverged:\n{}",

@@ -52,15 +52,8 @@ fn every_scheme_terminates_on_every_preset() {
         let model = uniform_model(8, params);
         let w = tight_workload(4);
         for scheme in SchemeKind::ALL {
-            let clean = run_instrumented(
-                scheme,
-                &model,
-                &topo,
-                &w,
-                &oracles,
-                &[],
-                Some(EVENT_BUDGET),
-            );
+            let clean =
+                run_instrumented(scheme, &model, &topo, &w, &oracles, &[], Some(EVENT_BUDGET));
             assert!(
                 clean.is_ok(),
                 "{} on {name}: clean run failed: {:?}",

@@ -153,7 +153,10 @@ impl MemoryManager {
         let used = self.used(dev)?;
         let effective = bytes.max(used);
         self.capacities[dev] = effective;
-        self.emit(MemEvent::CapacityChanged { dev, capacity: effective });
+        self.emit(MemEvent::CapacityChanged {
+            dev,
+            capacity: effective,
+        });
         Ok(effective)
     }
 
@@ -304,7 +307,12 @@ impl MemoryManager {
                 host_copy_valid: false,
             },
         );
-        self.emit(MemEvent::Alloc { id, dev, bytes, class });
+        self.emit(MemEvent::Alloc {
+            id,
+            dev,
+            bytes,
+            class,
+        });
         Ok(id)
     }
 
@@ -489,8 +497,13 @@ impl MemoryManager {
             });
         }
         self.info_mut(id)?.residency = Residency::MovingToHost { src };
-        self.stats.record(src, Direction::Out, info.class, info.bytes);
-        self.emit(MemEvent::BeginSwapOut { id, src, bytes: info.bytes });
+        self.stats
+            .record(src, Direction::Out, info.class, info.bytes);
+        self.emit(MemEvent::BeginSwapOut {
+            id,
+            src,
+            bytes: info.bytes,
+        });
         Ok((src, info.bytes))
     }
 
@@ -504,7 +517,11 @@ impl MemoryManager {
                 t.residency = Residency::OnHost;
                 t.dirty = false;
                 t.host_copy_valid = true;
-                self.emit(MemEvent::FinishSwapOut { id, src, bytes: info.bytes });
+                self.emit(MemEvent::FinishSwapOut {
+                    id,
+                    src,
+                    bytes: info.bytes,
+                });
                 Ok(())
             }
             ref other => Err(MemError::InvalidState {
@@ -534,9 +551,17 @@ impl MemoryManager {
             });
         }
         self.charge(dev, info.bytes);
-        self.info_mut(id)?.residency = Residency::MovingToDevice { dst: dev, src: None };
-        self.stats.record(dev, Direction::In, info.class, info.bytes);
-        self.emit(MemEvent::BeginSwapIn { id, dst: dev, bytes: info.bytes });
+        self.info_mut(id)?.residency = Residency::MovingToDevice {
+            dst: dev,
+            src: None,
+        };
+        self.stats
+            .record(dev, Direction::In, info.class, info.bytes);
+        self.emit(MemEvent::BeginSwapIn {
+            id,
+            dst: dev,
+            bytes: info.bytes,
+        });
         Ok(info.bytes)
     }
 
@@ -576,7 +601,12 @@ impl MemoryManager {
             src: Some(src),
         };
         self.stats.record_p2p(info.bytes);
-        self.emit(MemEvent::BeginP2p { id, src, dst, bytes: info.bytes });
+        self.emit(MemEvent::BeginP2p {
+            id,
+            src,
+            dst,
+            bytes: info.bytes,
+        });
         Ok((src, info.bytes))
     }
 
@@ -599,7 +629,11 @@ impl MemoryManager {
                 if src.is_none() {
                     t.dirty = false;
                 }
-                self.emit(MemEvent::FinishMove { id, dst, p2p: src.is_some() });
+                self.emit(MemEvent::FinishMove {
+                    id,
+                    dst,
+                    p2p: src.is_some(),
+                });
                 Ok(dst)
             }
             ref other => Err(MemError::InvalidState {
@@ -681,7 +715,9 @@ mod tests {
         let w = m.register_on_host("w", 400, TensorClass::Weight);
         assert_eq!(m.info(w).unwrap().residency, Residency::OnHost);
         assert_eq!(m.used(0).unwrap(), 0);
-        let a = m.alloc_on_device("a", 600, TensorClass::Activation, 0).unwrap();
+        let a = m
+            .alloc_on_device("a", 600, TensorClass::Activation, 0)
+            .unwrap();
         assert_eq!(m.used(0).unwrap(), 600);
         assert_eq!(m.free_bytes(0).unwrap(), 400);
         assert_eq!(m.info(a).unwrap().residency, Residency::OnDevice(0));
@@ -721,7 +757,9 @@ mod tests {
     #[test]
     fn p2p_counts_separately_from_swaps() {
         let mut m = mm();
-        let a = m.alloc_on_device("a", 300, TensorClass::Activation, 0).unwrap();
+        let a = m
+            .alloc_on_device("a", 300, TensorClass::Activation, 0)
+            .unwrap();
         let (src, bytes) = m.begin_p2p(a, 1).unwrap();
         assert_eq!((src, bytes), (0, 300));
         assert_eq!(m.used(0).unwrap(), 300, "src charged in flight");
@@ -749,7 +787,9 @@ mod tests {
     #[test]
     fn free_releases_without_swap_traffic() {
         let mut m = mm();
-        let a = m.alloc_on_device("a", 300, TensorClass::Activation, 0).unwrap();
+        let a = m
+            .alloc_on_device("a", 300, TensorClass::Activation, 0)
+            .unwrap();
         m.free(a).unwrap();
         assert_eq!(m.used(0).unwrap(), 0);
         assert_eq!(m.stats().total(), 0);
@@ -911,7 +951,9 @@ mod dirty_tests {
     #[test]
     fn p2p_move_preserves_dirty_state() {
         let mut m = MemoryManager::new(vec![1000, 1000]);
-        let a = m.alloc_on_device("a", 100, TensorClass::Activation, 0).unwrap();
+        let a = m
+            .alloc_on_device("a", 100, TensorClass::Activation, 0)
+            .unwrap();
         assert!(m.info(a).unwrap().dirty);
         m.begin_p2p(a, 1).unwrap();
         m.finish_move_to_device(a).unwrap();

@@ -62,8 +62,8 @@ pub fn quadrant_images(rng: &mut SplitMix64, rows: usize, side: usize) -> Result
         let (qy, qx) = (class / 2, class % 2);
         for y in 0..side {
             for x in 0..side {
-                let bright =
-                    (y >= qy * half && y < (qy + 1) * half) && (x >= qx * half && x < (qx + 1) * half);
+                let bright = (y >= qy * half && y < (qy + 1) * half)
+                    && (x >= qx * half && x < (qx + 1) * half);
                 data[i * side * side + y * side + x] =
                     if bright { 1.0 } else { 0.0 } + 0.1 * rng.normal();
             }

@@ -441,7 +441,12 @@ pub fn tiny_transformer(
 mod tests {
     use super::*;
 
-    fn class_batch(rng: &mut SplitMix64, n: usize, d: usize, classes: usize) -> (Tensor, Vec<usize>) {
+    fn class_batch(
+        rng: &mut SplitMix64,
+        n: usize,
+        d: usize,
+        classes: usize,
+    ) -> (Tensor, Vec<usize>) {
         // Linearly separable-ish synthetic task: class = argmax of d/classes
         // chunks' means plus noise.
         let x = Tensor::randn([n, d], 1.0, rng);
@@ -477,10 +482,7 @@ mod tests {
             last = loss;
         }
         let first = first.unwrap();
-        assert!(
-            last < first * 0.5,
-            "loss did not halve: {first} -> {last}"
-        );
+        assert!(last < first * 0.5, "loss did not halve: {first} -> {last}");
     }
 
     #[test]

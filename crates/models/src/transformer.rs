@@ -113,7 +113,7 @@ impl TransformerConfig {
         layers.push(LayerSpec {
             name: "embedding".to_string(),
             class: LayerClass::Embedding,
-            params: v * h + s * h, // token + position tables
+            params: v * h + s * h,       // token + position tables
             fwd_flops_per_sample: s * h, // table gather + add
             out_elems_per_sample: s * h,
             extra_stash_elems_per_sample: s, // token ids
@@ -179,10 +179,7 @@ mod tests {
     #[test]
     fn gpt2_xl_is_about_1_5b() {
         let p = TransformerConfig::gpt2_xl().build().total_params();
-        assert!(
-            (1_300_000_000..1_900_000_000).contains(&p),
-            "params {p}"
-        );
+        assert!((1_300_000_000..1_900_000_000).contains(&p), "params {p}");
     }
 
     #[test]

@@ -161,8 +161,9 @@ impl Strategy for Range<f32> {
 impl Strategy for &str {
     type Value = String;
     fn new_value(&self, rng: &mut TestRng) -> String {
-        let (class, min, max) = parse_pattern(self)
-            .unwrap_or_else(|| panic!("unsupported string pattern `{self}` (shim supports `[class]{{min,max}}`)"));
+        let (class, min, max) = parse_pattern(self).unwrap_or_else(|| {
+            panic!("unsupported string pattern `{self}` (shim supports `[class]{{min,max}}`)")
+        });
         let len = min + rng.below((max - min + 1) as u64) as usize;
         (0..len)
             .map(|_| class[rng.below(class.len() as u64) as usize])
@@ -298,13 +299,19 @@ pub mod collection {
     impl From<std::ops::Range<usize>> for SizeRange {
         fn from(r: std::ops::Range<usize>) -> Self {
             assert!(r.start < r.end, "empty size range");
-            SizeRange { min: r.start, max: r.end - 1 }
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
         }
     }
 
     impl From<std::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: std::ops::RangeInclusive<usize>) -> Self {
-            SizeRange { min: *r.start(), max: *r.end() }
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
         }
     }
 
@@ -316,7 +323,10 @@ pub mod collection {
 
     /// Strategy producing vectors of `element` with a length in `size`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     /// Output of [`vec`].

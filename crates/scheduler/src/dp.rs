@@ -92,10 +92,8 @@ pub fn plan_harmony_dp(
         // only interesting for pipeline overlap, but the knob is honoured
         // here too so the tuner can explore it uniformly).
         let gsz = w.effective_group(m);
-        let groups: Vec<std::ops::Range<usize>> = (0..m)
-            .step_by(gsz)
-            .map(|s| s..(s + gsz).min(m))
-            .collect();
+        let groups: Vec<std::ops::Range<usize>> =
+            (0..m).step_by(gsz).map(|s| s..(s + gsz).min(m)).collect();
         for g in &groups {
             for p in 0..np {
                 for u in g.clone() {
@@ -191,10 +189,7 @@ mod tests {
         for item in &q[q.len() - np..] {
             match item {
                 WorkItem::Task { task, .. } => {
-                    assert!(matches!(
-                        b.graph.task(*task).kind,
-                        TaskKind::Update { .. }
-                    ));
+                    assert!(matches!(b.graph.task(*task).kind, TaskKind::Update { .. }));
                 }
                 _ => panic!("expected update tail"),
             }
@@ -230,8 +225,7 @@ mod tests {
             plan_baseline_dp(&model, 1, &workload()).unwrap(),
             plan_harmony_dp(&model, 1, &workload()).unwrap(),
         ] {
-            assert!(plan
-                .queues[0]
+            assert!(plan.queues[0]
                 .iter()
                 .all(|i| !matches!(i, WorkItem::AllReduce { .. })));
         }
@@ -240,7 +234,9 @@ mod tests {
     #[test]
     fn demand_exceeds_weights_and_grows_with_microbatches() {
         let model = TransformerConfig::tiny().build();
-        let d3 = plan_baseline_dp(&model, 1, &workload()).unwrap().demand_bytes[0];
+        let d3 = plan_baseline_dp(&model, 1, &workload())
+            .unwrap()
+            .demand_bytes[0];
         let mut w6 = workload();
         w6.microbatches = 6;
         let d6 = plan_baseline_dp(&model, 1, &w6).unwrap().demand_bytes[0];

@@ -183,11 +183,23 @@ struct PendingTransfer {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Purpose {
     /// Writeback of an eviction victim for step `step` on `gpu`.
-    Eviction { gpu: usize, step: u64, tensor: TensorId },
+    Eviction {
+        gpu: usize,
+        step: u64,
+        tensor: TensorId,
+    },
     /// The needed tensor itself leaving a peer device (host bounce).
-    Demote { gpu: usize, step: u64, tensor: TensorId },
+    Demote {
+        gpu: usize,
+        step: u64,
+        tensor: TensorId,
+    },
     /// Swap-in or p2p move completing a fetch of step `step` on `gpu`.
-    Move { gpu: usize, step: u64, tensor: TensorId },
+    Move {
+        gpu: usize,
+        step: u64,
+        tensor: TensorId,
+    },
     /// One ring hop of an AllReduce.
     Collective { iter: u32, pack: usize },
     /// End-of-iteration writeback of dirty persistent state.
@@ -537,7 +549,10 @@ impl<'a> SimExecutor<'a> {
                         )
                     })
                     .unwrap_or_default();
-                stuck.push(format!("gpu{g}: {} queued, current={detail}", st.queue.len()));
+                stuck.push(format!(
+                    "gpu{g}: {} queued, current={detail}",
+                    st.queue.len()
+                ));
             }
         }
         if !stuck.is_empty() {
@@ -551,15 +566,21 @@ impl<'a> SimExecutor<'a> {
             sim_secs: self.sim.now(),
             samples: self.plan.samples_per_iteration * self.iterations as u64,
             swap_in_bytes: (0..n)
-                .map(|g| self.mm.stats().device_total(g, harmony_memory::Direction::In))
+                .map(|g| {
+                    self.mm
+                        .stats()
+                        .device_total(g, harmony_memory::Direction::In)
+                })
                 .collect(),
             swap_out_bytes: (0..n)
-                .map(|g| self.mm.stats().device_total(g, harmony_memory::Direction::Out))
+                .map(|g| {
+                    self.mm
+                        .stats()
+                        .device_total(g, harmony_memory::Direction::Out)
+                })
                 .collect(),
             p2p_bytes: self.mm.stats().p2p_bytes,
-            peak_mem_bytes: (0..n)
-                .map(|g| self.mm.peak_used(g).unwrap_or(0))
-                .collect(),
+            peak_mem_bytes: (0..n).map(|g| self.mm.peak_used(g).unwrap_or(0)).collect(),
             demand_bytes: self.plan.demand_bytes.clone(),
             swap_by_class: [
                 harmony_memory::TensorClass::Weight,
@@ -576,12 +597,7 @@ impl<'a> SimExecutor<'a> {
                 .topo
                 .channels()
                 .iter()
-                .map(|c| {
-                    (
-                        c.name.clone(),
-                        self.sim.stats().channel_busy_secs[c.id],
-                    )
-                })
+                .map(|c| (c.name.clone(), self.sim.stats().channel_busy_secs[c.id]))
                 .collect(),
         };
         Ok((summary, self.trace))
@@ -611,7 +627,10 @@ impl<'a> SimExecutor<'a> {
         for id in sorted {
             let label = self.mm.info(id)?.name.clone();
             let (src, bytes) = self.mm.begin_swap_out(id)?;
-            let route = self.topo.route(Endpoint::Gpu(src), Endpoint::Host)?.to_vec();
+            let route = self
+                .topo
+                .route(Endpoint::Gpu(src), Endpoint::Host)?
+                .to_vec();
             let xfer = self.issue_transfer(&route, bytes)?;
             self.transfers.insert(
                 xfer,
@@ -713,10 +732,13 @@ impl<'a> SimExecutor<'a> {
     /// step may have been promoted from prefetch to current since the
     /// transfer was issued).
     fn slot_of(&self, gpu: usize, step_id: u64) -> Option<Slot> {
-        if self.gpus[gpu].step.as_ref().is_some_and(|s| s.id == step_id) {
+        if self.gpus[gpu]
+            .step
+            .as_ref()
+            .is_some_and(|s| s.id == step_id)
+        {
             Some(Slot::Current)
-        } else if self
-            .gpus[gpu]
+        } else if self.gpus[gpu]
             .prefetch
             .as_ref()
             .is_some_and(|s| s.id == step_id)
@@ -743,7 +765,10 @@ impl<'a> SimExecutor<'a> {
             }
             let label = self.mm.info(v)?.name.clone();
             let (src, bytes) = self.mm.begin_swap_out(v)?;
-            let route = self.topo.route(Endpoint::Gpu(src), Endpoint::Host)?.to_vec();
+            let route = self
+                .topo
+                .route(Endpoint::Gpu(src), Endpoint::Host)?
+                .to_vec();
             let xfer = self.issue_transfer(&route, bytes)?;
             self.transfers.insert(
                 xfer,
@@ -899,7 +924,9 @@ impl<'a> SimExecutor<'a> {
             for id in step.pinned {
                 self.mm.unpin(id)?;
             }
-            self.gpus[g].queue.push_front((step.seq, step.iter, step.item));
+            self.gpus[g]
+                .queue
+                .push_front((step.seq, step.iter, step.item));
         }
         Ok(())
     }
@@ -1011,8 +1038,7 @@ impl<'a> SimExecutor<'a> {
                                 return Ok(true);
                             }
                             let bytes = self.mm.begin_swap_in(id, g)?;
-                            let route =
-                                self.topo.route(Endpoint::Host, Endpoint::Gpu(g))?.to_vec();
+                            let route = self.topo.route(Endpoint::Host, Endpoint::Gpu(g))?.to_vec();
                             let label = self.mm.info(id)?.name.clone();
                             let xfer = self.issue_transfer(&route, bytes)?;
                             self.transfers.insert(
@@ -1071,12 +1097,9 @@ impl<'a> SimExecutor<'a> {
                         }
                         // All victims dropped instantly; room is free now.
                     }
-                    let id = self.mm.alloc_on_device(
-                        name_of(key.1, key.2),
-                        bytes,
-                        key.2.class(),
-                        g,
-                    )?;
+                    let id =
+                        self.mm
+                            .alloc_on_device(name_of(key.1, key.2), bytes, key.2.class(), g)?;
                     self.ids.insert(key, id);
                     self.mm.pin(id)?;
                     self.update_next_use(key, seq)?;
@@ -1157,9 +1180,10 @@ impl<'a> SimExecutor<'a> {
     fn finish_collective(&mut self, iter: u32, pack: usize) -> Result<(), ExecError> {
         self.collectives.remove(&(iter, pack));
         for g in 0..self.gpus.len() {
-            let step = self.gpus[g].step.take().ok_or_else(|| {
-                ExecError::Plan(format!("gpu{g} has no step at collective end"))
-            })?;
+            let step = self.gpus[g]
+                .step
+                .take()
+                .ok_or_else(|| ExecError::Plan(format!("gpu{g} has no step at collective end")))?;
             match step.item {
                 WorkItem::AllReduce { pack: p } if p == pack => {}
                 other => {
@@ -1178,8 +1202,7 @@ impl<'a> SimExecutor<'a> {
     }
 
     fn finish_task(&mut self, g: usize) -> Result<(), ExecError> {
-        let step = self
-            .gpus[g]
+        let step = self.gpus[g]
             .step
             .take()
             .ok_or_else(|| ExecError::Plan(format!("gpu{g} compute done with no step")))?;
@@ -1273,8 +1296,7 @@ impl<'a> SimExecutor<'a> {
                             ExecError::Plan(format!("unknown collective {pack}@{iter}"))
                         })?;
                         state.outstanding.remove(&id);
-                        if state.outstanding.is_empty() && state.arrived.len() == self.gpus.len()
-                        {
+                        if state.outstanding.is_empty() && state.arrived.len() == self.gpus.len() {
                             self.finish_collective(iter, pack)?;
                         }
                     }
@@ -1309,8 +1331,7 @@ fn item_keys(plan: &ExecutionPlan, iter: u32, item: WorkItem) -> Vec<Key> {
         WorkItem::AllReduce { pack } => plan.graph.packs()[pack]
             .clone()
             .flat_map(|l| {
-                (0..plan.replicas)
-                    .map(move |r| key_of(iter, r, TensorRef::Grad { layer: l }))
+                (0..plan.replicas).map(move |r| key_of(iter, r, TensorRef::Grad { layer: l }))
             })
             .collect(),
     }

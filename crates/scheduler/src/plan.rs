@@ -58,8 +58,7 @@ impl ExecutionPlan {
         use std::collections::HashMap;
         let ntasks = self.graph.tasks().len();
         let mut seen: HashMap<(usize, TaskId), usize> = HashMap::new();
-        let mut reduce_counts: Vec<HashMap<usize, usize>> =
-            vec![HashMap::new(); self.queues.len()];
+        let mut reduce_counts: Vec<HashMap<usize, usize>> = vec![HashMap::new(); self.queues.len()];
         for (g, q) in self.queues.iter().enumerate() {
             for item in q {
                 match *item {
@@ -131,7 +130,10 @@ mod tests {
         // Single pack, 1 microbatch → tasks: F, Loss, B, U = ids 0..4.
         let plan = tiny_plan(
             vec![(0..4)
-                .map(|t| WorkItem::Task { replica: 0, task: t })
+                .map(|t| WorkItem::Task {
+                    replica: 0,
+                    task: t,
+                })
                 .collect()],
             1,
         );
@@ -142,14 +144,23 @@ mod tests {
     #[test]
     fn validate_rejects_missing_and_duplicate_tasks() {
         let missing = tiny_plan(
-            vec![vec![WorkItem::Task { replica: 0, task: 0 }]],
+            vec![vec![WorkItem::Task {
+                replica: 0,
+                task: 0,
+            }]],
             1,
         );
         assert!(missing.validate().is_err());
         let mut items: Vec<WorkItem> = (0..4)
-            .map(|t| WorkItem::Task { replica: 0, task: t })
+            .map(|t| WorkItem::Task {
+                replica: 0,
+                task: t,
+            })
             .collect();
-        items.push(WorkItem::Task { replica: 0, task: 0 });
+        items.push(WorkItem::Task {
+            replica: 0,
+            task: 0,
+        });
         let dup = tiny_plan(vec![items], 1);
         assert!(dup.validate().is_err());
     }
@@ -157,11 +168,17 @@ mod tests {
     #[test]
     fn validate_rejects_mismatched_collectives() {
         let q0: Vec<WorkItem> = (0..4)
-            .map(|t| WorkItem::Task { replica: 0, task: t })
+            .map(|t| WorkItem::Task {
+                replica: 0,
+                task: t,
+            })
             .chain([WorkItem::AllReduce { pack: 0 }])
             .collect();
         let q1: Vec<WorkItem> = (0..4)
-            .map(|t| WorkItem::Task { replica: 1, task: t })
+            .map(|t| WorkItem::Task {
+                replica: 1,
+                task: t,
+            })
             .collect();
         let plan = tiny_plan(vec![q0, q1], 2);
         assert!(plan.validate().is_err());
@@ -169,9 +186,21 @@ mod tests {
 
     #[test]
     fn validate_rejects_out_of_range_refs() {
-        let plan = tiny_plan(vec![vec![WorkItem::Task { replica: 5, task: 0 }]], 1);
+        let plan = tiny_plan(
+            vec![vec![WorkItem::Task {
+                replica: 5,
+                task: 0,
+            }]],
+            1,
+        );
         assert!(plan.validate().is_err());
-        let plan = tiny_plan(vec![vec![WorkItem::Task { replica: 0, task: 999 }]], 1);
+        let plan = tiny_plan(
+            vec![vec![WorkItem::Task {
+                replica: 0,
+                task: 999,
+            }]],
+            1,
+        );
         assert!(plan.validate().is_err());
     }
 }

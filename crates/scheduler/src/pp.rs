@@ -125,7 +125,12 @@ fn stage_state_bytes(graph: &TaskGraph, model: &ModelSpec, stage: &Range<usize>,
         .sum()
 }
 
-fn stage_stash_per_ubatch(graph: &TaskGraph, model: &ModelSpec, stage: &Range<usize>, ub: u64) -> u64 {
+fn stage_stash_per_ubatch(
+    graph: &TaskGraph,
+    model: &ModelSpec,
+    stage: &Range<usize>,
+    ub: u64,
+) -> u64 {
     stage
         .clone()
         .flat_map(|p| graph.packs()[p].clone())
@@ -319,14 +324,7 @@ mod tests {
         let m = model();
         let graph = TaskGraph::build(&m, workload().graph_config(4)).unwrap();
         let np = graph.packs().len();
-        let stages = partition_packs(
-            &graph,
-            &m,
-            2,
-            &workload(),
-            4,
-            PartitionObjective::Compute,
-        );
+        let stages = partition_packs(&graph, &m, 2, &workload(), 4, PartitionObjective::Compute);
         let sizes: Vec<usize> = stages.iter().map(|r| r.len()).collect();
         // Near-even split (within the largest single pack).
         assert!(sizes[0].abs_diff(sizes[1]) <= np / 2, "sizes {sizes:?}");

@@ -18,7 +18,7 @@ use crate::exec::{ExecError, SimExecutor};
 use crate::plan::ExecutionPlan;
 
 /// One profiled configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TunePoint {
     /// Layers per pack.
     pub pack_size: usize,
@@ -37,7 +37,7 @@ impl TunePoint {
 }
 
 /// Result of a tuning sweep.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TuneResult {
     /// All profiled points, in sweep order.
     pub points: Vec<TunePoint>,
@@ -56,48 +56,67 @@ impl TuneResult {
 /// measurement plus the argmax. Infeasible configurations (executor errors)
 /// are recorded with `summary: None` rather than aborting the sweep — the
 /// tango's cliff edge is part of the result.
+///
+/// Each grid point is an independent simulation, so the sweep fans out on
+/// the `harmony-parallel` work pool; results are collected in sweep order
+/// and the argmax rule below is total, so the outcome is identical at any
+/// worker count.
 pub fn tune<F>(
     model: &ModelSpec,
     topo: &Topology,
     base: &WorkloadConfig,
     pack_sizes: &[usize],
     microbatch_counts: &[usize],
-    mut planner: F,
+    planner: F,
 ) -> TuneResult
 where
-    F: FnMut(&ModelSpec, &WorkloadConfig) -> Result<ExecutionPlan, String>,
+    F: Fn(&ModelSpec, &WorkloadConfig) -> Result<ExecutionPlan, String> + Sync,
 {
-    let mut points = Vec::new();
-    for &pack in pack_sizes {
-        for &m in microbatch_counts {
-            let w = WorkloadConfig {
-                pack_size: pack,
-                microbatches: m,
-                ..*base
-            };
-            let summary = planner(model, &w)
-                .map_err(ExecError::Plan)
-                .and_then(|plan| SimExecutor::new(topo, model, &plan)?.run())
-                .ok()
-                .map(|(s, _)| s);
-            points.push(TunePoint {
-                pack_size: pack,
-                microbatches: m,
-                summary,
-            });
+    let grid: Vec<(usize, usize)> = pack_sizes
+        .iter()
+        .flat_map(|&pack| microbatch_counts.iter().map(move |&m| (pack, m)))
+        .collect();
+    let points = harmony_parallel::par_map(&grid, |_, &(pack, m)| {
+        let w = WorkloadConfig {
+            pack_size: pack,
+            microbatches: m,
+            ..*base
+        };
+        let summary = planner(model, &w)
+            .map_err(ExecError::Plan)
+            .and_then(|plan| SimExecutor::new(topo, model, &plan)?.run())
+            .ok()
+            .map(|(s, _)| s);
+        TunePoint {
+            pack_size: pack,
+            microbatches: m,
+            summary,
         }
-    }
-    let best = points
+    });
+    let best = select_best(&points);
+    TuneResult { points, best }
+}
+
+/// Deterministic argmax over feasible points: highest finite throughput
+/// (`f64::total_cmp`, so NaN/∞ summaries are treated as infeasible rather
+/// than silently winning or tying), ties broken toward the smaller
+/// `pack_size`, then the smaller `microbatches` — the same `best` whatever
+/// the sweep order or worker count.
+fn select_best(points: &[TunePoint]) -> Option<usize> {
+    points
         .iter()
         .enumerate()
-        .filter(|(_, p)| p.summary.is_some())
+        .filter(|(_, p)| p.summary.is_some() && p.throughput().is_finite())
         .max_by(|(_, a), (_, b)| {
             a.throughput()
-                .partial_cmp(&b.throughput())
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&b.throughput())
+                // `max_by` keeps the later element on Equal; reverse the
+                // knob comparisons so the smaller configuration compares
+                // greater and wins deterministically.
+                .then_with(|| b.pack_size.cmp(&a.pack_size))
+                .then_with(|| b.microbatches.cmp(&a.microbatches))
         })
-        .map(|(i, _)| i);
-    TuneResult { points, best }
+        .map(|(i, _)| i)
 }
 
 #[cfg(test)]
@@ -175,6 +194,73 @@ mod tests {
         assert!(result.points.iter().all(|p| p.summary.is_none()));
         assert!(result.best.is_none());
         assert!(result.best_point().is_none());
+    }
+
+    fn point(pack: usize, m: usize, sim_secs: f64, samples: u64) -> TunePoint {
+        TunePoint {
+            pack_size: pack,
+            microbatches: m,
+            summary: Some(RunSummary {
+                name: format!("p{pack}m{m}"),
+                sim_secs,
+                samples,
+                swap_in_bytes: vec![0],
+                swap_out_bytes: vec![0],
+                p2p_bytes: 0,
+                peak_mem_bytes: vec![0],
+                demand_bytes: vec![0],
+                swap_by_class: Default::default(),
+                channel_busy_secs: Default::default(),
+            }),
+        }
+    }
+
+    #[test]
+    fn argmax_treats_nan_throughput_as_infeasible() {
+        // A NaN sim time (a corrupted measurement) must never win the
+        // argmax — under the old `partial_cmp ... unwrap_or(Equal)` rule
+        // it silently tied with everything and sweep position decided.
+        let points = vec![
+            point(1, 2, f64::NAN, 10),
+            point(2, 2, 2.0, 10),
+            point(4, 2, f64::NAN, 10),
+        ];
+        assert_eq!(select_best(&points), Some(1));
+        let all_nan = vec![point(1, 2, f64::NAN, 10), point(2, 2, f64::NAN, 10)];
+        assert_eq!(select_best(&all_nan), None);
+    }
+
+    #[test]
+    fn argmax_breaks_throughput_ties_toward_smaller_knobs() {
+        // Equal throughput: the smaller pack_size must win regardless of
+        // sweep order (the old rule kept whichever came last).
+        let tied = vec![
+            point(4, 2, 1.0, 5),
+            point(2, 2, 1.0, 5),
+            point(8, 2, 1.0, 5),
+        ];
+        assert_eq!(select_best(&tied), Some(1));
+        let reversed: Vec<TunePoint> = tied.iter().rev().cloned().collect();
+        assert_eq!(select_best(&reversed), Some(1));
+        // Same pack_size: the smaller microbatch count wins.
+        let m_tied = vec![point(2, 8, 1.0, 5), point(2, 4, 1.0, 5)];
+        assert_eq!(select_best(&m_tied), Some(1));
+    }
+
+    #[test]
+    fn tune_is_identical_across_worker_counts() {
+        let m = model();
+        let t = topo(96 * 1024);
+        let sweep = || {
+            tune(&m, &t, &base(), &[1, 2, 4, 8], &[1, 2], |m, w| {
+                plan_harmony_pp(m, 2, w).map_err(|e| e.to_string())
+            })
+        };
+        let sequential = harmony_parallel::with_workers(1, sweep);
+        for workers in [2, 3, 8] {
+            let parallel = harmony_parallel::with_workers(workers, sweep);
+            assert_eq!(parallel, sequential, "workers = {workers} diverged");
+        }
     }
 
     #[test]

@@ -4,8 +4,8 @@
 
 use harmony_models::{LayerClass, LayerSpec, ModelSpec};
 use harmony_sched::{
-    plan_baseline_dp, plan_baseline_pp, plan_harmony_dp, plan_harmony_pp, ExecError,
-    SimExecutor, WorkloadConfig,
+    plan_baseline_dp, plan_baseline_pp, plan_harmony_dp, plan_harmony_pp, ExecError, SimExecutor,
+    WorkloadConfig,
 };
 use harmony_topology::presets::{commodity_server, CommodityParams, GBPS};
 use proptest::prelude::*;
@@ -31,16 +31,21 @@ fn model_strategy() -> impl Strategy<Value = ModelSpec> {
 }
 
 fn workload_strategy() -> impl Strategy<Value = WorkloadConfig> {
-    (1usize..4, 1u64..4, 1usize..4, 0u64..3, prop::option::of(1usize..5)).prop_map(
-        |(m, ub, pack, opt, group)| WorkloadConfig {
+    (
+        1usize..4,
+        1u64..4,
+        1usize..4,
+        0u64..3,
+        prop::option::of(1usize..5),
+    )
+        .prop_map(|(m, ub, pack, opt, group)| WorkloadConfig {
             microbatches: m,
             ubatch_size: ub,
             pack_size: pack,
             opt_slots: opt,
             group_size: group,
             recompute: false,
-        },
-    )
+        })
 }
 
 proptest! {

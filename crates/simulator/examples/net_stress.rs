@@ -1,0 +1,64 @@
+//! Network hot-path stress: many concurrent transfers over shared
+//! channels, timed in wall clock. Used to measure the cost of the
+//! fair-share rate recomputation (`repro bench` records the same figure).
+//!
+//! Usage: `cargo run --release -p harmony-simulator --example net_stress
+//! [transfers] [waves]`
+
+use harmony_simulator::Simulator;
+use harmony_topology::presets::{commodity_server, CommodityParams, GBPS};
+use harmony_topology::Endpoint;
+
+fn main() {
+    let transfers: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256);
+    let waves: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let gpus = 8;
+    let topo = commodity_server(CommodityParams {
+        num_gpus: gpus,
+        gpus_per_switch: 4,
+        pcie_bw: 12.0 * GBPS,
+        host_uplink_bw: 12.0 * GBPS,
+        gpu_mem: 11 << 30,
+        gpu_flops: 11e12,
+    })
+    .expect("topology");
+    let routes: Vec<Vec<usize>> = (0..gpus)
+        .map(|g| {
+            topo.route(Endpoint::Gpu(g), Endpoint::Host)
+                .expect("route")
+                .to_vec()
+        })
+        .collect();
+
+    let start = std::time::Instant::now();
+    let mut s = Simulator::new(&topo);
+    let mut events: u64 = 0;
+    for wave in 0..waves {
+        for i in 0..transfers {
+            let g = i % gpus;
+            // Varied sizes so completions interleave and every arrival /
+            // departure re-shares the bottleneck uplink.
+            let bytes = (1 + (i as u64 % 17)) * 100_000_000;
+            s.start_transfer(&routes[g], bytes, (wave * transfers + i) as u64)
+                .expect("transfer");
+        }
+        while s.next().is_some() {
+            events += 1;
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    println!(
+        "net_stress: {} transfers x {} waves, {} completions, {:.3} s wall, {:.0} events/s",
+        transfers,
+        waves,
+        events,
+        secs,
+        events as f64 / secs
+    );
+}

@@ -150,6 +150,13 @@ pub struct Simulator {
     streams: Vec<GpuStream>,
     channel_bw: Vec<f64>,
     transfers: HashMap<TransferId, Transfer>,
+    /// Per-channel count of routed in-flight transfers, maintained
+    /// incrementally at transfer start/finish. This is the fair-share
+    /// denominator; keeping it up to date here replaces the former
+    /// O(transfers × route) rescan on every network event.
+    active: Vec<u32>,
+    /// Number of in-flight transfers with a non-empty route.
+    routed: usize,
     next_transfer_id: TransferId,
     net_generation: u64,
     last_net_update: SimTime,
@@ -163,9 +170,13 @@ impl Simulator {
             now: 0.0,
             seq: 0,
             events: BinaryHeap::new(),
-            streams: (0..topology.num_gpus()).map(|_| GpuStream::default()).collect(),
+            streams: (0..topology.num_gpus())
+                .map(|_| GpuStream::default())
+                .collect(),
             channel_bw: topology.channels().iter().map(|c| c.bandwidth).collect(),
             transfers: HashMap::new(),
+            active: vec![0; topology.channels().len()],
+            routed: 0,
             next_transfer_id: 0,
             net_generation: 0,
             last_net_update: 0.0,
@@ -229,10 +240,7 @@ impl Simulator {
         if !(secs.is_finite() && secs >= 0.0) {
             return Err(SimError::InvalidParameter(format!("duration {secs}")));
         }
-        let stream = self
-            .streams
-            .get_mut(gpu)
-            .ok_or(SimError::UnknownGpu(gpu))?;
+        let stream = self.streams.get_mut(gpu).ok_or(SimError::UnknownGpu(gpu))?;
         if stream.busy {
             stream.queue.push_back((secs, tag));
         } else {
@@ -284,7 +292,9 @@ impl Simulator {
         self.advance_network_progress();
         for &c in route {
             self.stats.channel_bytes[c] += bytes;
+            self.active[c] += 1;
         }
+        self.routed += 1;
         self.transfers.insert(
             id,
             Transfer {
@@ -314,7 +324,9 @@ impl Simulator {
             return Err(SimError::InvalidParameter(format!("time {at}")));
         }
         if tag >= Self::IMMEDIATE_BIAS {
-            return Err(SimError::InvalidParameter(format!("timer tag {tag} too large")));
+            return Err(SimError::InvalidParameter(format!(
+                "timer tag {tag} too large"
+            )));
         }
         let t = at.max(self.now);
         self.push(t, EventKind::Timer { tag });
@@ -326,24 +338,51 @@ impl Simulator {
         self.events.is_empty()
     }
 
+    /// Removes a transfer, releasing its fair-share slot on every channel
+    /// of its route (the start/finish bookkeeping that keeps
+    /// [`Self::recompute_rates_and_schedule`] scan-free).
+    fn remove_transfer(&mut self, id: TransferId) -> Option<Transfer> {
+        let t = self.transfers.remove(&id)?;
+        if !t.route.is_empty() {
+            for &c in &t.route {
+                debug_assert!(self.active[c] > 0, "active-count underflow on channel {c}");
+                self.active[c] -= 1;
+            }
+            self.routed -= 1;
+        }
+        Some(t)
+    }
+
+    // A transfer carries whole bytes, so any `remaining` at or below this
+    // threshold is floating-point residue of an already-finished transfer.
+    const RESIDUE_BYTES: f64 = 0.5;
+
     /// Advances remaining-byte counters of all active transfers to `now`.
     fn advance_network_progress(&mut self) {
         let dt = self.now - self.last_net_update;
-        if dt > 0.0 {
+        if dt > 0.0 && self.routed > 0 {
             for t in self.transfers.values_mut() {
                 if !t.route.is_empty() {
-                    t.remaining = (t.remaining - t.rate * dt).max(0.0);
+                    let advanced = t.remaining - t.rate * dt;
+                    // Clamp float drift: progress may overshoot the byte
+                    // count by rounding, but never by a meaningful amount.
+                    // (A clamped transfer is completed by the check event
+                    // the next recompute schedules at `now`; it must not
+                    // keep holding fair-share bandwidth — see
+                    // `recompute_rates_and_schedule`.)
+                    debug_assert!(
+                        advanced > -1.0,
+                        "transfer {} overshot by {} bytes — drift beyond fp residue",
+                        t.id,
+                        -advanced
+                    );
+                    t.remaining = advanced.max(0.0);
                 }
             }
-            // Channel busy time: a channel is busy while any transfer uses it.
-            let mut busy: Vec<bool> = vec![false; self.channel_bw.len()];
-            for t in self.transfers.values() {
-                for &c in &t.route {
-                    busy[c] = true;
-                }
-            }
-            for (c, &b) in busy.iter().enumerate() {
-                if b {
+            // Channel busy time: a channel is busy while any transfer
+            // uses it — exactly when its active count is nonzero.
+            for (c, &n) in self.active.iter().enumerate() {
+                if n > 0 {
                     self.stats.channel_busy_secs[c] += dt;
                 }
             }
@@ -352,15 +391,15 @@ impl Simulator {
     }
 
     /// Recomputes fair-share rates and schedules the next network check.
+    /// The per-channel share denominators are maintained incrementally
+    /// ([`Self::start_transfer`] / [`Self::remove_transfer`]), so this
+    /// touches each in-flight transfer's route once with no counting
+    /// rescan.
     fn recompute_rates_and_schedule(&mut self) {
         self.net_generation += 1;
         let generation = self.net_generation;
-        // Count active transfers per channel.
-        let mut active: Vec<u32> = vec![0; self.channel_bw.len()];
-        for t in self.transfers.values() {
-            for &c in &t.route {
-                active[c] += 1;
-            }
+        if self.routed == 0 {
+            return;
         }
         let mut earliest: Option<SimTime> = None;
         for t in self.transfers.values_mut() {
@@ -370,9 +409,15 @@ impl Simulator {
             t.rate = t
                 .route
                 .iter()
-                .map(|&c| self.channel_bw[c] / active[c].max(1) as f64)
+                .map(|&c| self.channel_bw[c] / self.active[c].max(1) as f64)
                 .fold(f64::INFINITY, f64::min);
-            let eta = if t.rate > 0.0 {
+            // Sub-byte residue means the transfer already finished (drift
+            // clamped it early): force its check to `now` so it releases
+            // its bandwidth share immediately instead of sitting on the
+            // channel until a drifted later ETA.
+            let eta = if t.remaining <= Self::RESIDUE_BYTES {
+                self.now
+            } else if t.rate > 0.0 {
                 self.now + t.remaining / t.rate
             } else {
                 f64::INFINITY
@@ -418,7 +463,7 @@ impl Simulator {
                     self.now = self.now.max(ev.time);
                     if tag >= Self::IMMEDIATE_BIAS {
                         let id = tag - Self::IMMEDIATE_BIAS;
-                        if let Some(t) = self.transfers.remove(&id) {
+                        if let Some(t) = self.remove_transfer(id) {
                             return Some((self.now, Completion::Transfer { id, tag: t.tag }));
                         }
                         continue;
@@ -438,7 +483,7 @@ impl Simulator {
                     let done_id = self
                         .transfers
                         .values()
-                        .filter(|t| !t.route.is_empty() && t.remaining <= 0.5)
+                        .filter(|t| !t.route.is_empty() && t.remaining <= Self::RESIDUE_BYTES)
                         .map(|t| t.id)
                         .min();
                     // Guard against fp stalls: this event fired at the
@@ -461,7 +506,7 @@ impl Simulator {
                     });
                     match done_id {
                         Some(id) => {
-                            let t = self.transfers.remove(&id).expect("id from scan");
+                            let t = self.remove_transfer(id).expect("id from scan");
                             self.recompute_rates_and_schedule();
                             return Some((self.now, Completion::Transfer { id, tag: t.tag }));
                         }
@@ -521,8 +566,14 @@ mod tests {
     #[test]
     fn shared_uplink_halves_rates() {
         let (mut s, topo) = sim();
-        let r0 = topo.route(Endpoint::Gpu(0), Endpoint::Host).unwrap().to_vec();
-        let r1 = topo.route(Endpoint::Gpu(1), Endpoint::Host).unwrap().to_vec();
+        let r0 = topo
+            .route(Endpoint::Gpu(0), Endpoint::Host)
+            .unwrap()
+            .to_vec();
+        let r1 = topo
+            .route(Endpoint::Gpu(1), Endpoint::Host)
+            .unwrap()
+            .to_vec();
         // Two 12 GB swap-outs share the single 12 GB/s uplink → 2 s each.
         s.start_transfer(&r0, (12.0 * GBPS) as u64, 1).unwrap();
         s.start_transfer(&r1, (12.0 * GBPS) as u64, 2).unwrap();
@@ -535,8 +586,14 @@ mod tests {
     #[test]
     fn p2p_does_not_contend_with_host_swap() {
         let (mut s, topo) = sim();
-        let host = topo.route(Endpoint::Gpu(0), Endpoint::Host).unwrap().to_vec();
-        let p2p = topo.route(Endpoint::Gpu(2), Endpoint::Gpu(3)).unwrap().to_vec();
+        let host = topo
+            .route(Endpoint::Gpu(0), Endpoint::Host)
+            .unwrap()
+            .to_vec();
+        let p2p = topo
+            .route(Endpoint::Gpu(2), Endpoint::Gpu(3))
+            .unwrap()
+            .to_vec();
         s.start_transfer(&host, (12.0 * GBPS) as u64, 1).unwrap();
         s.start_transfer(&p2p, (12.0 * GBPS) as u64, 2).unwrap();
         // Disjoint channels → both finish at 1 s.
@@ -549,8 +606,14 @@ mod tests {
     #[test]
     fn rates_rise_when_a_competitor_finishes() {
         let (mut s, topo) = sim();
-        let r0 = topo.route(Endpoint::Gpu(0), Endpoint::Host).unwrap().to_vec();
-        let r1 = topo.route(Endpoint::Gpu(1), Endpoint::Host).unwrap().to_vec();
+        let r0 = topo
+            .route(Endpoint::Gpu(0), Endpoint::Host)
+            .unwrap()
+            .to_vec();
+        let r1 = topo
+            .route(Endpoint::Gpu(1), Endpoint::Host)
+            .unwrap()
+            .to_vec();
         // 6 GB and 12 GB share the uplink: first finishes at 1 s (6 GB/s
         // each); the second then speeds up: remaining 6 GB at 12 GB/s →
         // total 1.5 s.
@@ -596,13 +659,81 @@ mod tests {
     #[test]
     fn stats_accumulate() {
         let (mut s, topo) = sim();
-        let route = topo.route(Endpoint::Gpu(0), Endpoint::Host).unwrap().to_vec();
+        let route = topo
+            .route(Endpoint::Gpu(0), Endpoint::Host)
+            .unwrap()
+            .to_vec();
         s.submit_compute(0, 2.0, 1).unwrap();
         s.start_transfer(&route, (12.0 * GBPS) as u64, 2).unwrap();
         while s.next().is_some() {}
         assert!((s.stats().gpu_busy_secs[0] - 2.0).abs() < 1e-9);
         let total_bytes: u64 = s.stats().channel_bytes.iter().sum();
         assert_eq!(total_bytes, 2 * (12.0 * GBPS) as u64); // 2 channels on route
+    }
+
+    /// Epsilon-drift regression: two equal transfers share the uplink at a
+    /// rate whose product with the shared ETA overshoots the byte count in
+    /// floating point. The first completion clamps the second's
+    /// `remaining` to 0 *before* its own ETA recomputation — the residue
+    /// path must complete it immediately (releasing its bandwidth share)
+    /// rather than leaving a ghost transfer holding half the channel.
+    #[test]
+    fn drift_residue_completes_and_releases_bandwidth() {
+        let (mut s, topo) = sim();
+        let r0 = topo
+            .route(Endpoint::Gpu(0), Endpoint::Host)
+            .unwrap()
+            .to_vec();
+        let r1 = topo
+            .route(Endpoint::Gpu(1), Endpoint::Host)
+            .unwrap()
+            .to_vec();
+        let uplink = *r0.iter().find(|c| r1.contains(c)).expect("shared uplink");
+        // 3 B/s uplink shared two ways → 1.5 B/s each; 10 B → ETA 20/3 s,
+        // and 1.5 × fl(20/3) > 10 in f64: guaranteed sub-byte overshoot.
+        s.set_channel_bandwidth(uplink, 3.0).unwrap();
+        s.start_transfer(&r0, 10, 1).unwrap();
+        s.start_transfer(&r1, 10, 2).unwrap();
+        let (t1, c1) = s.next().unwrap();
+        let (t2, c2) = s.next().unwrap();
+        assert!(matches!(c1, Completion::Transfer { tag: 1, .. }));
+        assert!(matches!(c2, Completion::Transfer { tag: 2, .. }));
+        assert!((t1 - 20.0 / 3.0).abs() < 1e-6, "t1 = {t1}");
+        assert!((t2 - 20.0 / 3.0).abs() < 1e-6, "t2 = {t2}");
+        assert!(s.next().is_none(), "no respinning ghost events");
+        // The ghost released its share: a fresh transfer gets the full
+        // 3 B/s uplink (30 B → 10 s), not a drifted half share.
+        s.start_transfer(&r0, 30, 3).unwrap();
+        let (t3, c3) = s.next().unwrap();
+        assert!(matches!(c3, Completion::Transfer { tag: 3, .. }));
+        assert!((t3 - (t2 + 10.0)).abs() < 1e-6, "t3 = {t3}");
+    }
+
+    /// The incrementally maintained fair-share denominators must return to
+    /// zero once all work (routed, zero-byte, and queued-behind-busy) has
+    /// drained — underflow or leaks here would silently skew every
+    /// subsequent rate.
+    #[test]
+    fn active_counts_drain_to_zero() {
+        let (mut s, topo) = sim();
+        for g in 0..4 {
+            let r = topo
+                .route(Endpoint::Gpu(g), Endpoint::Host)
+                .unwrap()
+                .to_vec();
+            s.start_transfer(&r, 1_000_000 * (g as u64 + 1), g as u64)
+                .unwrap();
+            s.start_transfer(&r, 0, 100 + g as u64).unwrap();
+        }
+        assert_eq!(s.routed, 4);
+        assert!(s.active.iter().any(|&n| n > 0));
+        while s.next().is_some() {}
+        assert_eq!(s.routed, 0, "routed count leaked");
+        assert!(
+            s.active.iter().all(|&n| n == 0),
+            "active counts leaked: {:?}",
+            s.active
+        );
     }
 
     #[test]
@@ -612,7 +743,10 @@ mod tests {
             let mut s = Simulator::new(&topo);
             for g in 0..4 {
                 s.submit_compute(g, 1.0 + g as f64 * 0.1, g as u64).unwrap();
-                let r = topo.route(Endpoint::Gpu(g), Endpoint::Host).unwrap().to_vec();
+                let r = topo
+                    .route(Endpoint::Gpu(g), Endpoint::Host)
+                    .unwrap()
+                    .to_vec();
                 s.start_transfer(&r, 1_000_000_000 * (g as u64 + 1), 100 + g as u64)
                     .unwrap();
             }

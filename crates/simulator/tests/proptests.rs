@@ -43,18 +43,25 @@ fn run(jobs: &[Job], n: usize) -> (Vec<(u64, String)>, f64, u64) {
     for (i, job) in jobs.iter().enumerate() {
         match *job {
             Job::Compute { gpu, millis } => {
-                sim.submit_compute(gpu, millis as f64 / 1000.0, i as u64).unwrap();
+                sim.submit_compute(gpu, millis as f64 / 1000.0, i as u64)
+                    .unwrap();
                 expected += 1;
             }
             Job::ToHost { gpu, mb } => {
-                let route = t.route(Endpoint::Gpu(gpu), Endpoint::Host).unwrap().to_vec();
+                let route = t
+                    .route(Endpoint::Gpu(gpu), Endpoint::Host)
+                    .unwrap()
+                    .to_vec();
                 let b = mb as u64 * 1_000_000;
                 issued_bytes += b * route.len() as u64;
                 sim.start_transfer(&route, b, i as u64).unwrap();
                 expected += 1;
             }
             Job::FromHost { gpu, mb } => {
-                let route = t.route(Endpoint::Host, Endpoint::Gpu(gpu)).unwrap().to_vec();
+                let route = t
+                    .route(Endpoint::Host, Endpoint::Gpu(gpu))
+                    .unwrap()
+                    .to_vec();
                 let b = mb as u64 * 1_000_000;
                 issued_bytes += b * route.len() as u64;
                 sim.start_transfer(&route, b, i as u64).unwrap();
@@ -62,7 +69,10 @@ fn run(jobs: &[Job], n: usize) -> (Vec<(u64, String)>, f64, u64) {
             }
             Job::P2p { src, dst, mb } => {
                 if src != dst {
-                    let route = t.route(Endpoint::Gpu(src), Endpoint::Gpu(dst)).unwrap().to_vec();
+                    let route = t
+                        .route(Endpoint::Gpu(src), Endpoint::Gpu(dst))
+                        .unwrap()
+                        .to_vec();
                     let b = mb as u64 * 1_000_000;
                     issued_bytes += b * route.len() as u64;
                     sim.start_transfer(&route, b, i as u64).unwrap();

@@ -199,7 +199,10 @@ impl TaskGraph {
                 for l in range.clone() {
                     reads.push(TensorRef::Weight { layer: l });
                     if !config.recompute {
-                        writes.push(TensorRef::Stash { layer: l, ubatch: u });
+                        writes.push(TensorRef::Stash {
+                            layer: l,
+                            ubatch: u,
+                        });
                     }
                     flops += model.layers[l].fwd_flops(config.ubatch_size) as f64;
                 }
@@ -210,13 +213,22 @@ impl TaskGraph {
                 let deps = if p == 0 {
                     Vec::new()
                 } else {
-                    vec![by_kind[&TaskKind::Forward { pack: p - 1, ubatch: u }]]
+                    vec![
+                        by_kind[&TaskKind::Forward {
+                            pack: p - 1,
+                            ubatch: u,
+                        }],
+                    ]
                 };
                 // Without recompute the raw input is retained inside the
                 // pack's stash and the standalone activation dies here;
                 // with recompute it must survive until the backward pass
                 // re-runs the pack's forward from it.
-                let frees = if config.recompute { Vec::new() } else { vec![input] };
+                let frees = if config.recompute {
+                    Vec::new()
+                } else {
+                    vec![input]
+                };
                 add(
                     &mut tasks,
                     &mut by_kind,
@@ -240,7 +252,12 @@ impl TaskGraph {
                 layer: last_layer,
                 ubatch: u,
             };
-            let deps = vec![by_kind[&TaskKind::Forward { pack: np - 1, ubatch: u }]];
+            let deps = vec![
+                by_kind[&TaskKind::Forward {
+                    pack: np - 1,
+                    ubatch: u,
+                }],
+            ];
             add(
                 &mut tasks,
                 &mut by_kind,
@@ -254,9 +271,7 @@ impl TaskGraph {
                         ubatch: u,
                     }],
                     frees: vec![logits],
-                    flops: model.layers[last_layer].out_elems_per_sample
-                        * config.ubatch_size
-                        * 4,
+                    flops: model.layers[last_layer].out_elems_per_sample * config.ubatch_size * 4,
                 },
             );
         }
@@ -298,14 +313,20 @@ impl TaskGraph {
                         flops += model.layers[l].fwd_flops(config.ubatch_size) as f64
                             * (1.0 + config.bwd_flops_mult);
                     } else {
-                        reads.push(TensorRef::Stash { layer: l, ubatch: u });
+                        reads.push(TensorRef::Stash {
+                            layer: l,
+                            ubatch: u,
+                        });
                         flops += model.layers[l].fwd_flops(config.ubatch_size) as f64
                             * config.bwd_flops_mult;
                     }
                     reads.push(TensorRef::Grad { layer: l });
                     writes.push(TensorRef::Grad { layer: l });
                     if !config.recompute {
-                        frees.push(TensorRef::Stash { layer: l, ubatch: u });
+                        frees.push(TensorRef::Stash {
+                            layer: l,
+                            ubatch: u,
+                        });
                     }
                 }
                 if p > 0 {
@@ -318,7 +339,12 @@ impl TaskGraph {
                 if p == np - 1 {
                     deps.push(by_kind[&TaskKind::Loss { ubatch: u }]);
                 } else {
-                    deps.push(by_kind[&TaskKind::Backward { pack: p + 1, ubatch: u }]);
+                    deps.push(
+                        by_kind[&TaskKind::Backward {
+                            pack: p + 1,
+                            ubatch: u,
+                        }],
+                    );
                 }
                 add(
                     &mut tasks,
@@ -584,11 +610,20 @@ mod tests {
         let id = g.id_of(TaskKind::Forward { pack: 1, ubatch: 0 }).unwrap();
         let t = g.task(id);
         // Swap-in: X (previous activation) + W.
-        assert!(t.reads.contains(&TensorRef::Activation { layer: 0, ubatch: 0 }));
+        assert!(t.reads.contains(&TensorRef::Activation {
+            layer: 0,
+            ubatch: 0
+        }));
         assert!(t.reads.contains(&TensorRef::Weight { layer: 1 }));
         // Swap-out: Y + stashed X (W stays resident, not re-written).
-        assert!(t.writes.contains(&TensorRef::Activation { layer: 1, ubatch: 0 }));
-        assert!(t.writes.contains(&TensorRef::Stash { layer: 1, ubatch: 0 }));
+        assert!(t.writes.contains(&TensorRef::Activation {
+            layer: 1,
+            ubatch: 0
+        }));
+        assert!(t.writes.contains(&TensorRef::Stash {
+            layer: 1,
+            ubatch: 0
+        }));
     }
 
     #[test]
@@ -597,15 +632,27 @@ mod tests {
         let id = g.id_of(TaskKind::Backward { pack: 2, ubatch: 1 }).unwrap();
         let t = g.task(id);
         // Swap-in: dY, dW, stashed X, W.
-        assert!(t.reads.contains(&TensorRef::ActGrad { layer: 2, ubatch: 1 }));
+        assert!(t.reads.contains(&TensorRef::ActGrad {
+            layer: 2,
+            ubatch: 1
+        }));
         assert!(t.reads.contains(&TensorRef::Grad { layer: 2 }));
-        assert!(t.reads.contains(&TensorRef::Stash { layer: 2, ubatch: 1 }));
+        assert!(t.reads.contains(&TensorRef::Stash {
+            layer: 2,
+            ubatch: 1
+        }));
         assert!(t.reads.contains(&TensorRef::Weight { layer: 2 }));
         // Swap-out: dX, accumulated dW.
-        assert!(t.writes.contains(&TensorRef::ActGrad { layer: 1, ubatch: 1 }));
+        assert!(t.writes.contains(&TensorRef::ActGrad {
+            layer: 1,
+            ubatch: 1
+        }));
         assert!(t.writes.contains(&TensorRef::Grad { layer: 2 }));
         // Stash dies here.
-        assert!(t.frees.contains(&TensorRef::Stash { layer: 2, ubatch: 1 }));
+        assert!(t.frees.contains(&TensorRef::Stash {
+            layer: 2,
+            ubatch: 1
+        }));
     }
 
     #[test]
@@ -627,8 +674,7 @@ mod tests {
         let (_, g) = graph(2, 1);
         let order = g.topo_order();
         assert_eq!(order.len(), g.tasks().len());
-        let pos: HashMap<TaskId, usize> =
-            order.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        let pos: HashMap<TaskId, usize> = order.iter().enumerate().map(|(i, &t)| (t, i)).collect();
         for t in g.tasks() {
             for &d in &t.deps {
                 assert!(pos[&d] < pos[&t.id], "dep order violated");
@@ -741,31 +787,34 @@ mod recompute_tests {
     #[test]
     fn recompute_backward_rereads_boundary_input_and_pays_forward_flops() {
         let (_, stash, rec) = graphs(1);
-        let b = rec.id_of(TaskKind::Backward { pack: 2, ubatch: 0 }).unwrap();
-        let bs = stash.id_of(TaskKind::Backward { pack: 2, ubatch: 0 }).unwrap();
+        let b = rec
+            .id_of(TaskKind::Backward { pack: 2, ubatch: 0 })
+            .unwrap();
+        let bs = stash
+            .id_of(TaskKind::Backward { pack: 2, ubatch: 0 })
+            .unwrap();
         // Reads the previous pack's output activation (to re-run forward).
-        assert!(rec
-            .task(b)
-            .reads
-            .contains(&TensorRef::Activation { layer: 1, ubatch: 0 }));
+        assert!(rec.task(b).reads.contains(&TensorRef::Activation {
+            layer: 1,
+            ubatch: 0
+        }));
         // Extra forward FLOPs: (1 + mult) vs mult.
         let f = rec.id_of(TaskKind::Forward { pack: 2, ubatch: 0 }).unwrap();
-        assert_eq!(
-            rec.task(b).flops,
-            stash.task(bs).flops + rec.task(f).flops
-        );
+        assert_eq!(rec.task(b).flops, stash.task(bs).flops + rec.task(f).flops);
         // The boundary input dies with the backward, not the forward.
-        assert!(rec
-            .task(b)
-            .frees
-            .contains(&TensorRef::Activation { layer: 1, ubatch: 0 }));
+        assert!(rec.task(b).frees.contains(&TensorRef::Activation {
+            layer: 1,
+            ubatch: 0
+        }));
         assert!(rec.task(f).frees.is_empty());
     }
 
     #[test]
     fn recompute_first_pack_keeps_model_input_alive() {
         let (_, _, rec) = graphs(1);
-        let b0 = rec.id_of(TaskKind::Backward { pack: 0, ubatch: 1 }).unwrap();
+        let b0 = rec
+            .id_of(TaskKind::Backward { pack: 0, ubatch: 1 })
+            .unwrap();
         assert!(rec.task(b0).reads.contains(&TensorRef::Input { ubatch: 1 }));
         // Model inputs are owned by the data loader — never freed.
         assert!(!rec.task(b0).frees.contains(&TensorRef::Input { ubatch: 1 }));
@@ -778,10 +827,16 @@ mod recompute_tests {
         // that from the resident working set.
         let attn_pack = 1; // block0.attn in the tiny transformer
         let bs = stash
-            .id_of(TaskKind::Backward { pack: attn_pack, ubatch: 0 })
+            .id_of(TaskKind::Backward {
+                pack: attn_pack,
+                ubatch: 0,
+            })
             .unwrap();
         let br = rec
-            .id_of(TaskKind::Backward { pack: attn_pack, ubatch: 0 })
+            .id_of(TaskKind::Backward {
+                pack: attn_pack,
+                ubatch: 0,
+            })
             .unwrap();
         assert!(
             rec.task_footprint_bytes(br, &model) < stash.task_footprint_bytes(bs, &model),

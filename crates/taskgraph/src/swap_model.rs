@@ -70,7 +70,11 @@ pub fn phase_swap_sets(phase: Phase) -> (&'static [TensorRole], &'static [Tensor
     match phase {
         Phase::Forward => (
             &[TensorRole::InputX, TensorRole::WeightW],
-            &[TensorRole::OutputY, TensorRole::StashedX, TensorRole::WeightW],
+            &[
+                TensorRole::OutputY,
+                TensorRole::StashedX,
+                TensorRole::WeightW,
+            ],
         ),
         Phase::Backward => (
             &[
@@ -91,7 +95,11 @@ pub fn phase_swap_sets(phase: Phase) -> (&'static [TensorRole], &'static [Tensor
                 TensorRole::WeightW,
                 TensorRole::OptStateK,
             ],
-            &[TensorRole::ResetDw, TensorRole::UpdatedW, TensorRole::UpdatedK],
+            &[
+                TensorRole::ResetDw,
+                TensorRole::UpdatedW,
+                TensorRole::UpdatedK,
+            ],
         ),
     }
 }

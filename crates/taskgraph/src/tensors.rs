@@ -130,11 +130,19 @@ mod tests {
             TensorClass::OptState
         );
         assert_eq!(
-            TensorRef::Stash { layer: 0, ubatch: 0 }.class(),
+            TensorRef::Stash {
+                layer: 0,
+                ubatch: 0
+            }
+            .class(),
             TensorClass::Stash
         );
         assert_eq!(
-            TensorRef::Activation { layer: 0, ubatch: 0 }.class(),
+            TensorRef::Activation {
+                layer: 0,
+                ubatch: 0
+            }
+            .class(),
             TensorClass::Activation
         );
     }
@@ -146,12 +154,20 @@ mod tests {
         assert_eq!(w, m.layers[1].weight_bytes());
         let k = TensorRef::OptState { layer: 1 }.bytes(&m, 4, 2);
         assert_eq!(k, 2 * w);
-        let act = TensorRef::Activation { layer: 1, ubatch: 0 }.bytes(&m, 4, 2);
+        let act = TensorRef::Activation {
+            layer: 1,
+            ubatch: 0,
+        }
+        .bytes(&m, 4, 2);
         assert_eq!(act, m.layers[1].out_bytes(4));
         // Activations scale with microbatch size, weights don't.
         assert_eq!(TensorRef::Weight { layer: 1 }.bytes(&m, 8, 2), w);
         assert_eq!(
-            TensorRef::Activation { layer: 1, ubatch: 0 }.bytes(&m, 8, 2),
+            TensorRef::Activation {
+                layer: 1,
+                ubatch: 0
+            }
+            .bytes(&m, 8, 2),
             2 * act
         );
     }
@@ -160,7 +176,11 @@ mod tests {
     fn grouping_dimension_is_encoded_in_ubatch() {
         assert_eq!(TensorRef::Weight { layer: 3 }.ubatch(), None);
         assert_eq!(
-            TensorRef::Stash { layer: 3, ubatch: 2 }.ubatch(),
+            TensorRef::Stash {
+                layer: 3,
+                ubatch: 2
+            }
+            .ubatch(),
             Some(2)
         );
         assert_eq!(TensorRef::Input { ubatch: 1 }.layer(), None);

@@ -8,24 +8,22 @@ use proptest::prelude::*;
 use std::collections::{HashMap, HashSet};
 
 fn model_strategy() -> impl Strategy<Value = ModelSpec> {
-    prop::collection::vec((1u64..5000, 1u64..300, 0u64..300), 1..12).prop_map(|layers| {
-        ModelSpec {
-            name: "prop".to_string(),
-            layers: layers
-                .into_iter()
-                .enumerate()
-                .map(|(i, (params, out, extra))| LayerSpec {
-                    name: format!("L{i}"),
-                    class: LayerClass::Other,
-                    params,
-                    fwd_flops_per_sample: params * 2,
-                    out_elems_per_sample: out,
-                    extra_stash_elems_per_sample: extra,
-                    in_elems_per_sample: out,
-                })
-                .collect(),
-            seq_len: 1,
-        }
+    prop::collection::vec((1u64..5000, 1u64..300, 0u64..300), 1..12).prop_map(|layers| ModelSpec {
+        name: "prop".to_string(),
+        layers: layers
+            .into_iter()
+            .enumerate()
+            .map(|(i, (params, out, extra))| LayerSpec {
+                name: format!("L{i}"),
+                class: LayerClass::Other,
+                params,
+                fwd_flops_per_sample: params * 2,
+                out_elems_per_sample: out,
+                extra_stash_elems_per_sample: extra,
+                in_elems_per_sample: out,
+            })
+            .collect(),
+        seq_len: 1,
     })
 }
 

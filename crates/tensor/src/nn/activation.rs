@@ -121,7 +121,11 @@ mod tests {
     #[test]
     fn backward_matches_finite_difference_all_kinds() {
         let mut rng = SplitMix64::new(11);
-        for kind in [ActivationKind::Relu, ActivationKind::Gelu, ActivationKind::Tanh] {
+        for kind in [
+            ActivationKind::Relu,
+            ActivationKind::Gelu,
+            ActivationKind::Tanh,
+        ] {
             let layer = Activation::new(kind);
             // Keep values away from ReLU's kink at 0.
             let x = Tensor::from_vec(

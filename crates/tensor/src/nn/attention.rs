@@ -164,7 +164,12 @@ impl MultiHeadAttention {
     }
 
     /// Backward pass: returns `(dx, [dWqkv, dbqkv, dWo, dbo])`.
-    pub fn backward(&self, params: &[Tensor], stash: &Stash, dy: &Tensor) -> Result<(Tensor, Grads)> {
+    pub fn backward(
+        &self,
+        params: &[Tensor],
+        stash: &Stash,
+        dy: &Tensor,
+    ) -> Result<(Tensor, Grads)> {
         self.check_params(params)?;
         let [x, probs, ctx] = match stash.tensors.as_slice() {
             [a, b, c] => [a, b, c],

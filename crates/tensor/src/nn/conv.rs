@@ -75,7 +75,10 @@ impl Conv2d {
                 msg: format!("input {h}×{w} smaller than kernel {0}×{0}", self.k),
             });
         }
-        Ok(((h - self.k) / self.stride + 1, (w - self.k) / self.stride + 1))
+        Ok((
+            (h - self.k) / self.stride + 1,
+            (w - self.k) / self.stride + 1,
+        ))
     }
 
     /// Forward pass.
@@ -111,8 +114,7 @@ impl Conv2d {
                             let xbase = ((bi * c + ci) * h + iy0) * w + ix0;
                             for ky in 0..self.k {
                                 for kx in 0..self.k {
-                                    acc += wd[wbase + ky * self.k + kx]
-                                        * xd[xbase + ky * w + kx];
+                                    acc += wd[wbase + ky * self.k + kx] * xd[xbase + ky * w + kx];
                                 }
                             }
                         }
@@ -130,7 +132,12 @@ impl Conv2d {
     }
 
     /// Backward pass: `(dx, [dW, db])`.
-    pub fn backward(&self, params: &[Tensor], stash: &Stash, dy: &Tensor) -> Result<(Tensor, Grads)> {
+    pub fn backward(
+        &self,
+        params: &[Tensor],
+        stash: &Stash,
+        dy: &Tensor,
+    ) -> Result<(Tensor, Grads)> {
         let x = stash.tensors.first().ok_or(TensorError::InvalidArgument {
             op: "conv2d backward",
             msg: "missing stashed input".to_string(),
@@ -232,9 +239,8 @@ impl MaxPool2d {
                         let mut best_idx = 0usize;
                         for ky in 0..self.k {
                             for kx in 0..self.k {
-                                let idx = ((bi * c + ci) * h + oy * self.k + ky) * w
-                                    + ox * self.k
-                                    + kx;
+                                let idx =
+                                    ((bi * c + ci) * h + oy * self.k + ky) * w + ox * self.k + kx;
                                 if xd[idx] > best {
                                     best = xd[idx];
                                     best_idx = idx;
@@ -286,10 +292,7 @@ impl MaxPool2d {
             }
             dx[src] += g;
         }
-        Ok((
-            Tensor::from_vec(x.shape().clone(), dx)?,
-            Grads::default(),
-        ))
+        Ok((Tensor::from_vec(x.shape().clone(), dx)?, Grads::default()))
     }
 }
 
@@ -310,10 +313,8 @@ impl Flatten {
             actual: 0,
         })?;
         let rest: usize = dims[1..].iter().product();
-        let shape_witness = Tensor::from_vec(
-            [dims.len()],
-            dims.iter().map(|&d| d as f32).collect(),
-        )?;
+        let shape_witness =
+            Tensor::from_vec([dims.len()], dims.iter().map(|&d| d as f32).collect())?;
         Ok((
             x.clone().reshape([b, rest])?,
             Stash {

@@ -77,7 +77,12 @@ impl Embedding {
     /// Backward: scatters `dy` rows into `dW`; `dx` is a zero tensor shaped
     /// like the ids (ids are not differentiable, but a placeholder keeps the
     /// task-graph dataflow uniform).
-    pub fn backward(&self, _params: &[Tensor], stash: &Stash, dy: &Tensor) -> Result<(Tensor, Grads)> {
+    pub fn backward(
+        &self,
+        _params: &[Tensor],
+        stash: &Stash,
+        dy: &Tensor,
+    ) -> Result<(Tensor, Grads)> {
         let ids = stash.tensors.first().ok_or(TensorError::InvalidArgument {
             op: "embedding backward",
             msg: "missing stashed ids".to_string(),
@@ -125,7 +130,10 @@ mod tests {
         let w = Tensor::zeros([3, 2]);
         for bad in [3.0f32, -1.0, 0.5] {
             let ids = Tensor::from_vec([1], vec![bad]).unwrap();
-            assert!(layer.forward(std::slice::from_ref(&w), &ids).is_err(), "id {bad}");
+            assert!(
+                layer.forward(std::slice::from_ref(&w), &ids).is_err(),
+                "id {bad}"
+            );
         }
     }
 

@@ -130,7 +130,12 @@ impl Layer {
     /// Backward pass: `(dx, grads)`. For `ResidualAdd`, `dx` is the gradient
     /// for *both* inputs (identical, since addition duplicates the
     /// upstream gradient).
-    pub fn backward(&self, params: &[Tensor], stash: &Stash, dy: &Tensor) -> Result<(Tensor, Grads)> {
+    pub fn backward(
+        &self,
+        params: &[Tensor],
+        stash: &Stash,
+        dy: &Tensor,
+    ) -> Result<(Tensor, Grads)> {
         match self {
             Layer::Linear(l) => l.backward(params, stash, dy),
             Layer::Activation(l) => l.backward(stash, dy),
@@ -180,7 +185,9 @@ mod tests {
         let layer = Layer::ResidualAdd;
         let x = Tensor::ones([2]);
         assert!(layer.forward(&[], &x).is_err());
-        let out = layer.forward_with_skip(&[], &x, &Tensor::full([2], 2.0)).unwrap();
+        let out = layer
+            .forward_with_skip(&[], &x, &Tensor::full([2], 2.0))
+            .unwrap();
         assert_eq!(out.output.data(), &[3.0, 3.0]);
         let (dx, grads) = layer.backward(&[], &Stash::default(), &x).unwrap();
         assert_eq!(dx, x);

@@ -85,7 +85,12 @@ impl LayerNorm {
     }
 
     /// Backward pass: returns `(dx, [dgamma, dbeta])`.
-    pub fn backward(&self, params: &[Tensor], stash: &Stash, dy: &Tensor) -> Result<(Tensor, Grads)> {
+    pub fn backward(
+        &self,
+        params: &[Tensor],
+        stash: &Stash,
+        dy: &Tensor,
+    ) -> Result<(Tensor, Grads)> {
         let x = stash.tensors.first().ok_or(TensorError::InvalidArgument {
             op: "layernorm backward",
             msg: "missing stashed input".to_string(),

@@ -83,7 +83,12 @@ impl Linear {
 
     /// Backward pass: returns `(dx, grads)` with `grads = [dW]` or
     /// `[dW, db]`.
-    pub fn backward(&self, params: &[Tensor], stash: &Stash, dy: &Tensor) -> Result<(Tensor, Grads)> {
+    pub fn backward(
+        &self,
+        params: &[Tensor],
+        stash: &Stash,
+        dy: &Tensor,
+    ) -> Result<(Tensor, Grads)> {
         self.check_params(params)?;
         let x = stash.tensors.first().ok_or(TensorError::InvalidArgument {
             op: "linear backward",

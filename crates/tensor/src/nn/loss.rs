@@ -98,8 +98,7 @@ mod tests {
 
     #[test]
     fn cross_entropy_grad_matches_finite_difference() {
-        let logits =
-            Tensor::from_vec([2, 3], vec![0.5, -0.3, 0.1, 1.0, 0.2, -0.7]).unwrap();
+        let logits = Tensor::from_vec([2, 3], vec![0.5, -0.3, 0.1, 1.0, 0.2, -0.7]).unwrap();
         let targets = [2usize, 0];
         let (_, dl) = cross_entropy(&logits, &targets).unwrap();
         let eps = 1e-3f32;

@@ -103,8 +103,8 @@ pub(crate) mod gradcheck {
             let ym = f(&xm).unwrap();
             let mut fd = 0.0f64;
             for k in 0..yp.numel() {
-                fd += dy.data()[k] as f64 * (yp.data()[k] - ym.data()[k]) as f64
-                    / (2.0 * eps as f64);
+                fd +=
+                    dy.data()[k] as f64 * (yp.data()[k] - ym.data()[k]) as f64 / (2.0 * eps as f64);
             }
             let analytic = dx.data()[j] as f64;
             let denom = fd.abs().max(analytic.abs()).max(1.0);

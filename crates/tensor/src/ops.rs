@@ -26,36 +26,21 @@ fn check_same_shape(op: &'static str, a: &Tensor, b: &Tensor) -> Result<()> {
 /// Elementwise `a + b`.
 pub fn add(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     check_same_shape("add", a, b)?;
-    let data = a
-        .data()
-        .iter()
-        .zip(b.data())
-        .map(|(x, y)| x + y)
-        .collect();
+    let data = a.data().iter().zip(b.data()).map(|(x, y)| x + y).collect();
     Tensor::from_vec(a.shape().clone(), data)
 }
 
 /// Elementwise `a - b`.
 pub fn sub(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     check_same_shape("sub", a, b)?;
-    let data = a
-        .data()
-        .iter()
-        .zip(b.data())
-        .map(|(x, y)| x - y)
-        .collect();
+    let data = a.data().iter().zip(b.data()).map(|(x, y)| x - y).collect();
     Tensor::from_vec(a.shape().clone(), data)
 }
 
 /// Elementwise `a * b` (Hadamard product).
 pub fn mul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     check_same_shape("mul", a, b)?;
-    let data = a
-        .data()
-        .iter()
-        .zip(b.data())
-        .map(|(x, y)| x * y)
-        .collect();
+    let data = a.data().iter().zip(b.data()).map(|(x, y)| x * y).collect();
     Tensor::from_vec(a.shape().clone(), data)
 }
 

@@ -8,9 +8,8 @@ use harmony_tensor::Tensor;
 use proptest::prelude::*;
 
 fn tensor_strategy(max_dim: usize) -> impl Strategy<Value = Tensor> {
-    (1..=max_dim, 1..=max_dim, any::<u64>()).prop_map(|(r, c, seed)| {
-        Tensor::randn([r, c], 1.0, &mut SplitMix64::new(seed))
-    })
+    (1..=max_dim, 1..=max_dim, any::<u64>())
+        .prop_map(|(r, c, seed)| Tensor::randn([r, c], 1.0, &mut SplitMix64::new(seed)))
 }
 
 proptest! {

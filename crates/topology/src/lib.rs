@@ -280,9 +280,9 @@ impl Topology {
     pub fn p2p_avoids_host_uplink(&self, a: GpuId, b: GpuId) -> Result<bool, TopologyError> {
         let p2p = self.route(Endpoint::Gpu(a), Endpoint::Gpu(b))?;
         let host_a = self.route(Endpoint::Gpu(a), Endpoint::Host)?;
-        let uplink = host_a.last().ok_or_else(|| {
-            TopologyError::Invalid("empty host route".to_string())
-        })?;
+        let uplink = host_a
+            .last()
+            .ok_or_else(|| TopologyError::Invalid("empty host route".to_string()))?;
         Ok(!p2p.contains(uplink))
     }
 }

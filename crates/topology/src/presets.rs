@@ -331,7 +331,11 @@ pub fn two_server(p: TwoServerParams) -> Result<Topology, TopologyError> {
     for i in 0..2 * g {
         let s = i / g;
         b.route(Endpoint::Gpu(i), Endpoint::Host, vec![gpu_up[i], sw_up[s]]);
-        b.route(Endpoint::Host, Endpoint::Gpu(i), vec![sw_down[s], gpu_down[i]]);
+        b.route(
+            Endpoint::Host,
+            Endpoint::Gpu(i),
+            vec![sw_down[s], gpu_down[i]],
+        );
         for (j, &down) in gpu_down.iter().enumerate() {
             if i == j {
                 continue;
@@ -371,7 +375,10 @@ mod two_server_tests {
         let t = two_server_4x1080ti();
         assert_eq!(t.num_gpus(), 8);
         // Same server: two hops through the switch.
-        assert_eq!(t.route(Endpoint::Gpu(0), Endpoint::Gpu(3)).unwrap().len(), 2);
+        assert_eq!(
+            t.route(Endpoint::Gpu(0), Endpoint::Gpu(3)).unwrap().len(),
+            2
+        );
         // Cross server: four hops including the wire.
         let route = t.route(Endpoint::Gpu(0), Endpoint::Gpu(5)).unwrap();
         assert_eq!(route.len(), 4);

@@ -79,7 +79,10 @@ impl std::error::Error for JsonError {}
 
 /// Parses a complete JSON document.
 pub fn parse(input: &str) -> Result<Value, JsonError> {
-    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -125,7 +128,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, message: &str) -> JsonError {
-        JsonError { message: message.to_string(), offset: self.pos }
+        JsonError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -248,9 +254,7 @@ impl<'a> Parser<'a> {
                                 .and_then(|h| std::str::from_utf8(h).ok())
                                 .and_then(|h| u32::from_str_radix(h, 16).ok())
                                 .ok_or_else(|| self.err("bad \\u escape"))?;
-                            out.push(
-                                char::from_u32(hex).ok_or_else(|| self.err("bad codepoint"))?,
-                            );
+                            out.push(char::from_u32(hex).ok_or_else(|| self.err("bad codepoint"))?);
                             self.pos += 4;
                         }
                         _ => return Err(self.err("bad escape")),
@@ -292,9 +296,12 @@ mod tests {
 
     #[test]
     fn parses_nested_document() {
-        let v = parse(r#"{"a": [1, 2.5, -3e2], "b": {"c": "x\ny", "d": null, "e": true}}"#)
-            .unwrap();
-        assert_eq!(v.get("a").unwrap().as_array().unwrap()[1].as_f64(), Some(2.5));
+        let v =
+            parse(r#"{"a": [1, 2.5, -3e2], "b": {"c": "x\ny", "d": null, "e": true}}"#).unwrap();
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[1].as_f64(),
+            Some(2.5)
+        );
         assert_eq!(v.get("b").unwrap().get("c").unwrap().as_str(), Some("x\ny"));
         assert_eq!(v.get("b").unwrap().get("d"), Some(&Value::Null));
         assert_eq!(v.get("b").unwrap().get("e"), Some(&Value::Bool(true)));

@@ -173,7 +173,10 @@ impl Trace {
 
     /// Parses a trace from JSON.
     pub fn from_json(s: &str) -> Result<Self, JsonError> {
-        let err = |message: &str| JsonError { message: message.to_string(), offset: 0 };
+        let err = |message: &str| JsonError {
+            message: message.to_string(),
+            offset: 0,
+        };
         let doc = json::parse(s)?;
         let name = doc
             .get("name")
@@ -196,7 +199,9 @@ impl Trace {
             let gpu = match sv.get("gpu") {
                 None | Some(json::Value::Null) => None,
                 Some(v) => Some(
-                    v.as_f64().ok_or_else(|| err(&format!("span {i}: bad `gpu`")))? as usize,
+                    v.as_f64()
+                        .ok_or_else(|| err(&format!("span {i}: bad `gpu`")))?
+                        as usize,
                 ),
             };
             let kind = sv
@@ -209,7 +214,13 @@ impl Trace {
                 .and_then(|v| v.as_str())
                 .ok_or_else(|| err(&format!("span {i}: missing `label`")))?
                 .to_string();
-            spans.push(Span { start: field("start")?, end: field("end")?, gpu, kind, label });
+            spans.push(Span {
+                start: field("start")?,
+                end: field("end")?,
+                gpu,
+                kind,
+                label,
+            });
         }
         Ok(Trace { name, spans })
     }

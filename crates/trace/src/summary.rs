@@ -55,9 +55,14 @@ impl RunSummary {
         self.global_swap_in() + self.global_swap_out()
     }
 
-    /// Max/min swap imbalance across GPUs (∞ if some GPU swaps nothing
-    /// while another swaps) — quantifies Fig 2(c).
-    pub fn swap_imbalance(&self) -> f64 {
+    /// Max/min swap imbalance across GPUs — quantifies Fig 2(c).
+    ///
+    /// `None` when the ratio is unbounded (some GPU swaps nothing while
+    /// another swaps): the old `f64::INFINITY` sentinel serialised to
+    /// `null` in JSON exports (non-finite floats have no JSON
+    /// representation), corrupting trace/bench files. `Some(1.0)` for a
+    /// run with no swap traffic at all (perfectly balanced).
+    pub fn swap_imbalance(&self) -> Option<f64> {
         let totals: Vec<u64> = self
             .swap_in_bytes
             .iter()
@@ -68,12 +73,12 @@ impl RunSummary {
         let min = totals.iter().copied().min().unwrap_or(0);
         if min == 0 {
             if max == 0 {
-                1.0
+                Some(1.0)
             } else {
-                f64::INFINITY
+                None
             }
         } else {
-            max as f64 / min as f64
+            Some(max as f64 / min as f64)
         }
     }
 
@@ -91,6 +96,57 @@ impl RunSummary {
             return None;
         }
         Some(matched.iter().sum::<f64>() / matched.len() as f64 / self.sim_secs)
+    }
+
+    /// Serialises the summary as a JSON object. Derived non-finite
+    /// quantities are *omitted* rather than emitted as `null` (JSON has no
+    /// Inf/NaN), so exports always parse back into meaningful numbers.
+    pub fn to_json(&self) -> String {
+        use crate::json::{number, quote};
+        let u64s = |v: &[u64]| {
+            let items: Vec<String> = v.iter().map(|b| b.to_string()).collect();
+            format!("[{}]", items.join(", "))
+        };
+        let mut out = String::from("{");
+        out.push_str(&format!("\"name\": {}, ", quote(&self.name)));
+        out.push_str(&format!("\"sim_secs\": {}, ", number(self.sim_secs)));
+        out.push_str(&format!("\"samples\": {}, ", self.samples));
+        out.push_str(&format!("\"throughput\": {}, ", number(self.throughput())));
+        if let Some(imb) = self.swap_imbalance().filter(|v| v.is_finite()) {
+            out.push_str(&format!("\"swap_imbalance\": {}, ", number(imb)));
+        }
+        out.push_str(&format!(
+            "\"swap_in_bytes\": {}, ",
+            u64s(&self.swap_in_bytes)
+        ));
+        out.push_str(&format!(
+            "\"swap_out_bytes\": {}, ",
+            u64s(&self.swap_out_bytes)
+        ));
+        out.push_str(&format!("\"p2p_bytes\": {}, ", self.p2p_bytes));
+        out.push_str(&format!(
+            "\"peak_mem_bytes\": {}, ",
+            u64s(&self.peak_mem_bytes)
+        ));
+        out.push_str(&format!("\"demand_bytes\": {}, ", u64s(&self.demand_bytes)));
+        let classes: Vec<String> = self
+            .swap_by_class
+            .iter()
+            .map(|(k, v)| format!("{}: {}", quote(k), v))
+            .collect();
+        out.push_str(&format!("\"swap_by_class\": {{{}}}, ", classes.join(", ")));
+        let channels: Vec<String> = self
+            .channel_busy_secs
+            .iter()
+            .filter(|(_, v)| v.is_finite())
+            .map(|(k, v)| format!("{}: {}", quote(k), number(*v)))
+            .collect();
+        out.push_str(&format!(
+            "\"channel_busy_secs\": {{{}}}",
+            channels.join(", ")
+        ));
+        out.push('}');
+        out
     }
 
     /// One-line human summary.
@@ -146,19 +202,49 @@ mod tests {
     fn imbalance_ratio() {
         let s = summary();
         // GPU0: 300, GPU1: 700 → 7/3.
-        assert!((s.swap_imbalance() - 700.0 / 300.0).abs() < 1e-9);
+        assert!((s.swap_imbalance().unwrap() - 700.0 / 300.0).abs() < 1e-9);
         let balanced = RunSummary {
             swap_in_bytes: vec![0, 0],
             swap_out_bytes: vec![0, 0],
             ..summary()
         };
-        assert_eq!(balanced.swap_imbalance(), 1.0);
+        assert_eq!(balanced.swap_imbalance(), Some(1.0));
+        // Unbounded skew is `None`, not an infinity that would serialise
+        // to JSON `null`.
         let skewed = RunSummary {
             swap_in_bytes: vec![0, 10],
             swap_out_bytes: vec![0, 0],
             ..summary()
         };
-        assert_eq!(skewed.swap_imbalance(), f64::INFINITY);
+        assert_eq!(skewed.swap_imbalance(), None);
+    }
+
+    #[test]
+    fn json_export_parses_and_never_contains_null() {
+        for s in [
+            summary(),
+            // Unbounded imbalance: the field is omitted, not `null`.
+            RunSummary {
+                swap_in_bytes: vec![0, 10],
+                swap_out_bytes: vec![0, 0],
+                ..summary()
+            },
+        ] {
+            let text = s.to_json();
+            assert!(
+                !text.contains("null"),
+                "non-finite leaked into JSON: {text}"
+            );
+            let doc = crate::json::parse(&text).expect("valid JSON");
+            assert_eq!(doc.get("name").and_then(|v| v.as_str()), Some("test"));
+            assert_eq!(doc.get("sim_secs").and_then(|v| v.as_f64()), Some(2.0));
+            match s.swap_imbalance() {
+                Some(v) => {
+                    assert_eq!(doc.get("swap_imbalance").and_then(|x| x.as_f64()), Some(v))
+                }
+                None => assert!(doc.get("swap_imbalance").is_none()),
+            }
+        }
     }
 
     #[test]

@@ -26,13 +26,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         recompute: false,
     };
 
-    println!("model   : {} ({:.2} B params)", model.name, model.total_params() as f64 / 1e9);
+    println!(
+        "model   : {} ({:.2} B params)",
+        model.name,
+        model.total_params() as f64 / 1e9
+    );
     println!(
         "footprint: {:.1} GB training state+stash vs {} GPUs × 11 GB",
         model.training_footprint_bytes(workload.ubatch_size, workload.opt_slots) as f64 / 1e9,
         topo.num_gpus()
     );
-    println!("server  : {} (host oversubscription {:.0}:1)\n", topo.name, topo.host_oversubscription());
+    println!(
+        "server  : {} (host oversubscription {:.0}:1)\n",
+        topo.name,
+        topo.host_oversubscription()
+    );
 
     let mut table = Table::new(
         "One iteration, four schemes",
@@ -52,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let mut best = workload;
             let mut best_tp = 0.0;
             for g in [1usize, 2, 4, 8] {
-                let w = WorkloadConfig { group_size: Some(g), ..workload };
+                let w = WorkloadConfig {
+                    group_size: Some(g),
+                    ..workload
+                };
                 let (s, _) = simulate::run(scheme, &model, &topo, &w)?;
                 if s.throughput() > best_tp {
                     best_tp = s.throughput();
@@ -71,7 +82,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             gb(summary.global_swap_in()),
             gb(summary.global_swap_out()),
             gb(summary.p2p_bytes),
-            f2(summary.swap_imbalance()),
+            summary
+                .swap_imbalance()
+                .map_or_else(|| "one-sided".to_string(), f2),
         ]);
         results.push((scheme, summary));
     }

@@ -8,9 +8,9 @@
 //!
 //! Run with: `cargo run --example pipeline_visualizer`
 
+use harmony::prelude::presets::{commodity_server, CommodityParams, GBPS};
 use harmony::prelude::*;
 use harmony::simulate::{self, SchemeKind};
-use harmony::prelude::presets::{commodity_server, CommodityParams, GBPS};
 
 fn uniform_model(layers: usize) -> ModelSpec {
     ModelSpec {
@@ -19,9 +19,9 @@ fn uniform_model(layers: usize) -> ModelSpec {
             .map(|i| LayerSpec {
                 name: format!("L{i}"),
                 class: LayerClass::Other,
-                params: 1 << 16,                // 256 KiB weights
-                fwd_flops_per_sample: 1 << 26,  // ≈ one weight transfer
-                out_elems_per_sample: 1 << 15,  // 128 KiB activations
+                params: 1 << 16,               // 256 KiB weights
+                fwd_flops_per_sample: 1 << 26, // ≈ one weight transfer
+                out_elems_per_sample: 1 << 15, // 128 KiB activations
                 extra_stash_elems_per_sample: 1 << 15,
                 in_elems_per_sample: 1 << 15,
             })

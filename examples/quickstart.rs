@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             seed: 42,
         },
     )?;
-    println!("layer placement across devices: {:?}\n", session.placement());
+    println!(
+        "layer placement across devices: {:?}\n",
+        session.placement()
+    );
 
     // Task: learn to copy the input token sequence (identity LM).
     let mut rng = SplitMix64::new(7);
@@ -50,10 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 r.swap_in_bytes as f64 / 1024.0,
                 r.swap_out_bytes as f64 / 1024.0,
                 r.p2p_bytes as f64 / 1024.0,
-                r.peak_bytes
-                    .iter()
-                    .map(|b| b / 1024)
-                    .collect::<Vec<_>>()
+                r.peak_bytes.iter().map(|b| b / 1024).collect::<Vec<_>>()
             );
         }
     }

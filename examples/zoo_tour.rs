@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let models: Vec<(&str, ModelSpec)> = vec![
         ("LeNet-5 (1998)", harmony_models::cnn::lenet()),
         ("AlexNet (2012)", harmony_models::cnn::alexnet()),
-        ("BERT-XXL-class (2019)", TransformerConfig::bert_xxl().build()),
+        (
+            "BERT-XXL-class (2019)",
+            TransformerConfig::bert_xxl().build(),
+        ),
         ("GPT-10B-class (2020)", TransformerConfig::gpt_10b().build()),
     ];
 
@@ -42,9 +45,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for (label, model) in &models {
         let state = model.total_params() * 16; // W + dW + Adam
-        let run = |scheme| {
-            simulate::run(scheme, model, &topo, &workload).map(|(s, _)| s.global_swap())
-        };
+        let run =
+            |scheme| simulate::run(scheme, model, &topo, &workload).map(|(s, _)| s.global_swap());
         let b = run(SchemeKind::BaselineDp)?;
         let h = run(SchemeKind::HarmonyDp)?;
         table.row(&[

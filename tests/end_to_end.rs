@@ -108,8 +108,8 @@ fn simulated_ordering_matches_analytical_ordering() {
 fn traces_export_and_reimport() {
     let model = TransformerConfig::tiny().build();
     let topo = small_topo(2, 8 * 1024 * 1024);
-    let (_, trace) = simulate::run(SchemeKind::HarmonyPp, &model, &topo, &workload(1))
-        .expect("run");
+    let (_, trace) =
+        simulate::run(SchemeKind::HarmonyPp, &model, &topo, &workload(1)).expect("run");
     let json = trace.to_json();
     let back = Trace::from_json(&json).expect("roundtrip");
     assert_eq!(back.spans.len(), trace.spans.len());
@@ -202,16 +202,14 @@ fn harmony_extends_to_two_server_deployments() {
     // hierarchical two-server topology; stage handoffs that cross the
     // inter-server NIC simply ride slower channels.
     let model = TransformerConfig::tiny().build();
-    let topo = harmony_topology::presets::two_server(
-        harmony_topology::presets::TwoServerParams {
-            gpus_per_server: 2,
-            pcie_bw: presets::GBPS,
-            host_uplink_bw: presets::GBPS,
-            nic_bw: presets::GBPS / 8.0,
-            gpu_mem: 8 * 1024 * 1024,
-            gpu_flops: 1e9,
-        },
-    )
+    let topo = harmony_topology::presets::two_server(harmony_topology::presets::TwoServerParams {
+        gpus_per_server: 2,
+        pcie_bw: presets::GBPS,
+        host_uplink_bw: presets::GBPS,
+        nic_bw: presets::GBPS / 8.0,
+        gpu_mem: 8 * 1024 * 1024,
+        gpu_flops: 1e9,
+    })
     .expect("valid");
     let w = workload(1);
     let (s, trace) = simulate::run(SchemeKind::HarmonyPp, &model, &topo, &w).expect("run");

@@ -52,7 +52,12 @@ fn reference_curve(
     (losses, params)
 }
 
-fn batch_maker(seed: u64, rows: usize, dim: usize, classes: usize) -> impl FnMut(u64) -> (Tensor, Vec<usize>) {
+fn batch_maker(
+    seed: u64,
+    rows: usize,
+    dim: usize,
+    classes: usize,
+) -> impl FnMut(u64) -> (Tensor, Vec<usize>) {
     let mut rng = SplitMix64::new(seed);
     move |_| {
         let x = Tensor::randn([rows, dim], 1.0, &mut rng);
@@ -61,10 +66,17 @@ fn batch_maker(seed: u64, rows: usize, dim: usize, classes: usize) -> impl FnMut
     }
 }
 
-fn token_batch_maker(seed: u64, rows: usize, seq: usize, vocab: usize) -> impl FnMut(u64) -> (Tensor, Vec<usize>) {
+fn token_batch_maker(
+    seed: u64,
+    rows: usize,
+    seq: usize,
+    vocab: usize,
+) -> impl FnMut(u64) -> (Tensor, Vec<usize>) {
     let mut rng = SplitMix64::new(seed);
     move |_| {
-        let ids: Vec<f32> = (0..rows * seq).map(|_| rng.next_bounded(vocab) as f32).collect();
+        let ids: Vec<f32> = (0..rows * seq)
+            .map(|_| rng.next_bounded(vocab) as f32)
+            .collect();
         let x = Tensor::from_vec([rows, seq], ids.clone()).expect("shape");
         let t = ids.iter().map(|&v| v as usize).collect();
         (x, t)
@@ -76,8 +88,7 @@ fn mlp_bitwise_identical_across_device_counts() {
     let model = mlp(&[12, 24, 24, 4]);
     for n_devices in [1usize, 2, 3] {
         let mut mk = batch_maker(1, 8, 12, 4);
-        let (hl, hp) =
-            loss_curve_and_params(&model, vec![1 << 20; n_devices], 2, 6, &mut mk);
+        let (hl, hp) = loss_curve_and_params(&model, vec![1 << 20; n_devices], 2, 6, &mut mk);
         let mut mk = batch_maker(1, 8, 12, 4);
         let (rl, rp) = reference_curve(&model, 2, 6, &mut mk);
         assert_eq!(hl, rl, "losses diverge at {n_devices} devices");
