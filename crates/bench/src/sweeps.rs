@@ -59,6 +59,17 @@ pub struct HotPathTiming {
     pub secs: f64,
 }
 
+/// The scaling sweep run by `repro bench`: (concurrent transfers, waves).
+/// Wave counts shrink as concurrency grows so each point does the same
+/// order of total work.
+pub const HOT_PATH_SCALES: [(usize, usize); 3] = [(256, 8), (1024, 4), (4096, 1)];
+
+/// Events/s of the pre-flight-aggregation engine (commit `da7dbe2`,
+/// which rescanned every in-flight transfer per event) at each
+/// [`HOT_PATH_SCALES`] point, measured on the reference host. Kept in
+/// the JSON export so the O(affected) speedup stays visible.
+pub const HOT_PATH_PRE_CHANGE_EVENTS_PER_SEC: [f64; 3] = [345_400.0, 97_057.0, 22_217.0];
+
 impl HotPathTiming {
     /// Delivered completions per wall-clock second.
     pub fn events_per_sec(&self) -> f64 {
@@ -80,8 +91,9 @@ pub struct BenchReport {
     pub available_parallelism: usize,
     /// Per-experiment wall-clock timings.
     pub experiments: Vec<ExperimentTiming>,
-    /// Simulator hot-path measurement.
-    pub hot_path: HotPathTiming,
+    /// Simulator hot-path scaling sweep, one entry per
+    /// [`HOT_PATH_SCALES`] point.
+    pub hot_path: Vec<HotPathTiming>,
     /// Representative run summaries exported alongside the timings.
     pub summaries: Vec<RunSummary>,
 }
@@ -111,16 +123,20 @@ impl BenchReport {
                 e.identical.to_string(),
             ]);
         }
-        format!(
-            "{}\nsimulator hot path: {} concurrent transfers × {} waves → {:.0} events/s\n\
-             ({} completions in {:.3} s; incremental fair-share denominators)\n",
-            t.render(),
-            self.hot_path.transfers,
-            self.hot_path.waves,
-            self.hot_path.events_per_sec(),
-            self.hot_path.events,
-            self.hot_path.secs,
-        )
+        let mut out = t.render();
+        out.push_str("\nsimulator hot path (route-class flight aggregation):\n");
+        for h in &self.hot_path {
+            out.push_str(&format!(
+                "  {:>5} concurrent transfers × {} waves → {:>9.0} events/s \
+                 ({} completions in {:.3} s)\n",
+                h.transfers,
+                h.waves,
+                h.events_per_sec(),
+                h.events,
+                h.secs,
+            ));
+        }
+        out
     }
 
     /// The `BENCH_sweeps.json` document. Timings are measurements, not
@@ -152,15 +168,31 @@ impl BenchReport {
             ));
         }
         out.push_str("  ],\n");
-        out.push_str(&format!(
-            "  \"sim_hot_path\": {{\"concurrent_transfers\": {}, \"waves\": {}, \
-             \"events\": {}, \"secs\": {}, \"events_per_sec\": {}}},\n",
-            self.hot_path.transfers,
-            self.hot_path.waves,
-            self.hot_path.events,
-            number(self.hot_path.secs),
-            number(self.hot_path.events_per_sec()),
-        ));
+        out.push_str("  \"sim_hot_path_scaling\": [\n");
+        for (i, h) in self.hot_path.iter().enumerate() {
+            // Attach the recorded pre-change baseline when this entry is
+            // a canonical scale point, so the speedup is self-describing.
+            let baseline = HOT_PATH_SCALES
+                .iter()
+                .position(|&(t, w)| t == h.transfers && w == h.waves)
+                .map(|idx| HOT_PATH_PRE_CHANGE_EVENTS_PER_SEC[idx]);
+            let baseline_field = match baseline {
+                Some(b) => format!(", \"pre_change_events_per_sec\": {}", number(b)),
+                None => String::new(),
+            };
+            out.push_str(&format!(
+                "    {{\"concurrent_transfers\": {}, \"waves\": {}, \"events\": {}, \
+                 \"secs\": {}, \"events_per_sec\": {}{}}}{}\n",
+                h.transfers,
+                h.waves,
+                h.events,
+                number(h.secs),
+                number(h.events_per_sec()),
+                baseline_field,
+                if i + 1 < self.hot_path.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ],\n");
         out.push_str("  \"summaries\": [\n");
         for (i, s) in self.summaries.iter().enumerate() {
             out.push_str(&format!(
@@ -237,6 +269,14 @@ pub fn hot_path(transfers: usize, waves: usize) -> HotPathTiming {
     }
 }
 
+/// Runs the hot path at every [`HOT_PATH_SCALES`] point.
+pub fn hot_path_scaling() -> Vec<HotPathTiming> {
+    HOT_PATH_SCALES
+        .iter()
+        .map(|&(transfers, waves)| hot_path(transfers, waves))
+        .collect()
+}
+
 /// Runs the full bench suite at `workers` parallel workers.
 pub fn run(workers: usize) -> BenchReport {
     let experiments = vec![
@@ -247,7 +287,7 @@ pub fn run(workers: usize) -> BenchReport {
             harmony_harness::run_conformance(0).render()
         }),
     ];
-    let hot = hot_path(256, 8);
+    let hot = hot_path_scaling();
 
     // Representative summaries for the JSON export — including a
     // PP run whose per-stage swap skew exercises the imbalance field.
@@ -284,6 +324,27 @@ mod tests {
     }
 
     #[test]
+    fn scaling_json_carries_pre_change_baseline() {
+        // A canonical scale point must be exported with the recorded
+        // pre-change baseline so the speedup is visible in the JSON.
+        let report = BenchReport {
+            workers: 1,
+            available_parallelism: 1,
+            experiments: vec![],
+            hot_path: vec![HotPathTiming {
+                transfers: 4096,
+                waves: 1,
+                events: 4096,
+                secs: 0.5,
+            }],
+            summaries: vec![],
+        };
+        let text = report.to_json();
+        assert!(text.contains("\"pre_change_events_per_sec\": 22217"));
+        harmony_trace::json::parse(&text).expect("valid JSON");
+    }
+
+    #[test]
     fn json_is_wellformed_and_null_free() {
         // A tiny report (skip the expensive experiments) must serialise
         // to parseable, null-free JSON even with edge-case timings.
@@ -296,7 +357,7 @@ mod tests {
                 parallel_secs: 0.0, // degenerate: speedup must not emit Inf
                 identical: true,
             }],
-            hot_path: hot_path(4, 1),
+            hot_path: vec![hot_path(4, 1)],
             summaries: vec![RunSummary {
                 name: "unit".to_string(),
                 sim_secs: 1.0,

@@ -24,6 +24,12 @@
 //!   bit-reproducible, invariants must hold under pressure, and every
 //!   scheme must still terminate.
 //!
+//! A fourth, narrower differential ([`simdiff`]) targets the simulator's
+//! network core itself: random scripts of interleaved submissions,
+//! drains, and mid-flight bandwidth changes are replayed through the
+//! indexed fast path and the dense full-rescan reference engine, which
+//! must produce bitwise-identical completion traces.
+//!
 //! [`conformance`] sweeps all of this over a scheme × configuration
 //! matrix and renders a pass/fail table (`repro conformance` in
 //! `harmony-bench`).
@@ -35,6 +41,7 @@ pub mod conformance;
 pub mod differential;
 pub mod faults;
 pub mod oracles;
+pub mod simdiff;
 pub mod workloads;
 
 pub use conformance::{run_conformance, CellOutcome, ConformanceReport};
@@ -45,3 +52,4 @@ pub use differential::{
 };
 pub use faults::FaultPlan;
 pub use oracles::{instrument, instrument_memory, OracleConfig};
+pub use simdiff::{check_fast_vs_dense, SimOp};

@@ -1,6 +1,6 @@
 //! The tensor-residency state machine and per-device capacity accounting.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use crate::observe::{MemEvent, MemObserver};
 use crate::policy::EvictionPolicy;
@@ -98,6 +98,12 @@ pub struct MemoryManager {
     used: Vec<u64>,
     peak_used: Vec<u64>,
     tensors: HashMap<TensorId, TensorInfo>,
+    /// Per-device index of evictable tensors: unpinned and device-resident.
+    /// Maintained at every residency/pin transition so candidate
+    /// enumeration is O(candidates), not a scan over every tensor ever
+    /// registered. `BTreeSet` iteration is ascending by id — the same
+    /// deterministic order the full filter-and-sort produced.
+    evictable: Vec<BTreeSet<TensorId>>,
     next_id: TensorId,
     clock: u64,
     stats: SwapStats,
@@ -113,6 +119,7 @@ impl MemoryManager {
             used: vec![0; n],
             peak_used: vec![0; n],
             tensors: HashMap::new(),
+            evictable: vec![BTreeSet::new(); n],
             next_id: 0,
             clock: 0,
             stats: SwapStats::new(),
@@ -307,6 +314,7 @@ impl MemoryManager {
                 host_copy_valid: false,
             },
         );
+        self.evictable[dev].insert(id);
         self.emit(MemEvent::Alloc {
             id,
             dev,
@@ -336,8 +344,11 @@ impl MemoryManager {
     pub fn pin(&mut self, id: TensorId) -> Result<(), MemError> {
         let info = self.info_mut(id)?;
         match info.residency {
-            Residency::OnDevice(_) => {
+            Residency::OnDevice(d) => {
                 info.pinned += 1;
+                if info.pinned == 1 {
+                    self.evictable[d].remove(&id);
+                }
                 self.emit(MemEvent::Pin { id });
                 Ok(())
             }
@@ -360,6 +371,11 @@ impl MemoryManager {
             });
         }
         info.pinned -= 1;
+        if info.pinned == 0 {
+            if let Residency::OnDevice(d) = info.residency {
+                self.evictable[d].insert(id);
+            }
+        }
         self.emit(MemEvent::Unpin { id });
         Ok(())
     }
@@ -379,6 +395,7 @@ impl MemoryManager {
         match info.residency {
             Residency::OnDevice(d) => {
                 self.release(d, info.bytes);
+                self.evictable[d].remove(&id);
             }
             Residency::OnHost | Residency::Dead => {}
             ref moving => {
@@ -395,14 +412,16 @@ impl MemoryManager {
     }
 
     /// Unpinned tensors resident on `dev`, as eviction candidates.
+    ///
+    /// Served from the per-device `evictable` index, so the cost is
+    /// O(k) in the number of candidates rather than O(total tensors).
+    /// `BTreeSet` iteration is ascending by id — exactly the
+    /// deterministic order the previous full filter-and-sort produced.
     pub fn eviction_candidates(&self, dev: DeviceId) -> Vec<&TensorInfo> {
-        let mut v: Vec<&TensorInfo> = self
-            .tensors
-            .values()
-            .filter(|t| t.pinned == 0 && t.residency == Residency::OnDevice(dev))
-            .collect();
-        v.sort_by_key(|t| t.id); // deterministic order for policies
-        v
+        match self.evictable.get(dev) {
+            Some(set) => set.iter().map(|id| &self.tensors[id]).collect(),
+            None => Vec::new(),
+        }
     }
 
     /// Plans evictions to free at least `bytes` on `dev` (over and above
@@ -497,6 +516,7 @@ impl MemoryManager {
             });
         }
         self.info_mut(id)?.residency = Residency::MovingToHost { src };
+        self.evictable[src].remove(&id);
         self.stats
             .record(src, Direction::Out, info.class, info.bytes);
         self.emit(MemEvent::BeginSwapOut {
@@ -600,6 +620,7 @@ impl MemoryManager {
             dst,
             src: Some(src),
         };
+        self.evictable[src].remove(&id);
         self.stats.record_p2p(info.bytes);
         self.emit(MemEvent::BeginP2p {
             id,
@@ -629,6 +650,9 @@ impl MemoryManager {
                 if src.is_none() {
                     t.dirty = false;
                 }
+                // A moving tensor can never be pinned (pin requires
+                // device residency), so it is evictable on arrival.
+                self.evictable[dst].insert(id);
                 self.emit(MemEvent::FinishMove {
                     id,
                     dst,
@@ -678,6 +702,7 @@ impl MemoryManager {
         match info.residency {
             Residency::OnDevice(d) if !info.dirty && info.host_copy_valid => {
                 self.release(d, info.bytes);
+                self.evictable[d].remove(&id);
                 self.info_mut(id)?.residency = Residency::OnHost;
                 self.emit(MemEvent::DropToHost {
                     id,
@@ -946,6 +971,78 @@ mod dirty_tests {
         assert!(m.drop_to_host(w).is_err());
         m.unpin(w).unwrap();
         assert!(m.drop_to_host(w).is_ok());
+    }
+
+    /// The dense recomputation the indexed `eviction_candidates` replaced.
+    fn dense_candidates(m: &MemoryManager, dev: DeviceId) -> Vec<TensorId> {
+        let mut v: Vec<TensorId> = m
+            .tensors
+            .values()
+            .filter(|t| t.pinned == 0 && t.residency == Residency::OnDevice(dev))
+            .map(|t| t.id)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn assert_index_matches_dense(m: &MemoryManager) {
+        for dev in 0..m.num_devices() {
+            let indexed: Vec<TensorId> = m.eviction_candidates(dev).iter().map(|t| t.id).collect();
+            assert_eq!(
+                indexed,
+                dense_candidates(m, dev),
+                "evictable index diverged from dense filter+sort on dev {dev}"
+            );
+        }
+    }
+
+    #[test]
+    fn eviction_candidate_order_matches_dense_recomputation() {
+        let mut m = MemoryManager::new(vec![1000, 1000]);
+        let a = m.alloc_on_device("a", 100, TensorClass::Weight, 0).unwrap();
+        let b = m
+            .alloc_on_device("b", 200, TensorClass::Activation, 0)
+            .unwrap();
+        let c = m.alloc_on_device("c", 300, TensorClass::Grad, 1).unwrap();
+        let h = m.register_on_host("h", 150, TensorClass::Weight);
+        assert_index_matches_dense(&m);
+
+        m.pin(a).unwrap();
+        assert_index_matches_dense(&m);
+        m.pin(a).unwrap(); // nested pin: still out of the index exactly once
+        assert_index_matches_dense(&m);
+        m.unpin(a).unwrap();
+        assert_index_matches_dense(&m); // still pinned (count 1)
+        m.unpin(a).unwrap();
+        assert_index_matches_dense(&m); // back in the index
+
+        m.begin_swap_out(b).unwrap();
+        assert_index_matches_dense(&m); // in flight: not a candidate
+        m.finish_swap_out(b).unwrap();
+        assert_index_matches_dense(&m);
+
+        m.begin_swap_in(h, 0).unwrap();
+        assert_index_matches_dense(&m);
+        m.finish_move_to_device(h).unwrap();
+        assert_index_matches_dense(&m);
+
+        m.begin_p2p(c, 0).unwrap();
+        assert_index_matches_dense(&m); // leaves dev 1 immediately
+        m.finish_move_to_device(c).unwrap();
+        assert_index_matches_dense(&m); // arrives on dev 0
+
+        m.drop_to_host(h).unwrap();
+        assert_index_matches_dense(&m);
+        m.free(a).unwrap();
+        assert_index_matches_dense(&m);
+
+        // Candidates on dev 0 are ascending by id, as policies require.
+        let ids: Vec<TensorId> = m.eviction_candidates(0).iter().map(|t| t.id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted);
+        // Unknown device: empty, no panic (old behavior preserved).
+        assert!(m.eviction_candidates(7).is_empty());
     }
 
     #[test]

@@ -61,4 +61,5 @@ fn main() {
         secs,
         events as f64 / secs
     );
+    println!("counters: {:?}", s.net_counters());
 }

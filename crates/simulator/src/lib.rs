@@ -12,10 +12,45 @@
 //! * **Bandwidth channels** — directed links from `harmony-topology`.
 //!   Concurrent transfers sharing a channel receive a fair share of its
 //!   capacity; a transfer's instantaneous rate is its *bottleneck share*
-//!   `min_c (bw_c / active_c)` over the channels on its route. Rates are
-//!   recomputed whenever a transfer starts or completes (flow-level network
-//!   simulation). This is what exposes the paper's oversubscribed-host-link
-//!   collapse: four swapping GPUs each get a quarter of the uplink.
+//!   `min_c (bw_c / active_c)` over the channels on its route (flow-level
+//!   network simulation). This is what exposes the paper's
+//!   oversubscribed-host-link collapse: four swapping GPUs each get a
+//!   quarter of the uplink.
+//!
+//! ## Near-O(affected) event processing: route-class flights
+//!
+//! Two transfers with the same route always see the same bottleneck
+//! share, so their rates are equal at every instant. The engine therefore
+//! aggregates in-flight transfers into **flights** (route classes):
+//!
+//! * A per-channel **active count** is the fair-share denominator; a
+//!   per-channel list of the flights crossing it is the index that turns
+//!   an event on a route into its *affected flight set* — no walk over
+//!   the whole in-flight population.
+//! * Byte progress is **lazy and per flight**: a flight stores
+//!   `(drained, rate, touch)` — cumulative bytes drained per member as of
+//!   its last materialization — and is materialized only when its rate
+//!   *value* changes. A member transfer stores a single immutable
+//!   **departure threshold** `depart = bytes + drained(start)`: it
+//!   completes exactly when the flight's drain reaches `depart`.
+//! * Because departures never change after submission, each flight keeps
+//!   its members in a plain min-heap ordered by `(depart, id)` with no
+//!   invalidation: rate changes move predicted *times*, not departure
+//!   *order*. Picking the next completion is a heap peek; the next
+//!   network event is the minimum of the flights' cached predictions.
+//!
+//! Per-event cost is O(affected flights + log members + channels), versus
+//! the previous engine's three full passes over every in-flight transfer
+//! (progress advance, rate recompute, completion min-scan).
+//!
+//! A `dense_reference` mode (behind the `dense_reference` feature, and
+//! always available to in-crate tests) ignores the channel→flight index
+//! and re-derives **every** occupied flight's rate on every network event
+//! — the full-rescan structure of the previous engine. Both modes share
+//! the same per-flight arithmetic, and a flight whose re-derived rate is
+//! bitwise unchanged is left untouched, so the rescan degenerates to a
+//! no-op for unaffected flights and the two engines produce
+//! **bit-identical traces**; the harness checks this differentially.
 //!
 //! The driver (a scheduler runtime) submits compute and transfers with
 //! opaque `tag`s and repeatedly calls [`Simulator::next`] to advance
@@ -23,19 +58,20 @@
 //! *online* task-and-swap scheduler.
 //!
 //! Determinism: ties in the event queue are broken by submission sequence
-//! number; no wall-clock or randomness enters the engine.
+//! number, simultaneous transfer completions resolve lowest-id-first, and
+//! no wall-clock or randomness enters the engine.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod stats;
 
-use std::cmp::Ordering;
+use std::cmp::{Ordering, Reverse};
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use harmony_topology::{ChannelId, Topology};
 
-pub use stats::SimStats;
+pub use stats::{NetCounters, SimStats};
 
 /// Virtual time in seconds.
 pub type SimTime = f64;
@@ -117,22 +153,87 @@ impl PartialOrd for Event {
 }
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Min-heap: earlier time first, then lower seq.
+        // Min-heap: earlier time first, then lower seq. `total_cmp` keeps
+        // the heap a total order even for adversarial times; non-finite
+        // times are rejected at every submission site so none can enter.
         other
             .time
-            .partial_cmp(&self.time)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&self.time)
             .then(other.seq.cmp(&self.seq))
     }
 }
 
-#[derive(Debug, Clone)]
-struct Transfer {
-    id: TransferId,
-    tag: u64,
+/// A flight member awaiting departure: `(departure threshold bits, id,
+/// tag)`. The threshold is a non-negative finite f64 whose raw bit
+/// pattern preserves numeric order, so the derived lexicographic `Ord`
+/// is exactly "earliest departure first, lowest id first" — ids are
+/// unique, so `tag` never decides.
+type Member = (u64, TransferId, u64);
+
+/// A route class: every in-flight transfer with this exact channel route.
+/// All members share one fair-share rate at every instant, so byte
+/// progress is accounted once per flight, not once per transfer.
+#[derive(Debug)]
+struct Flight {
     route: Vec<ChannelId>,
-    remaining: f64,
+    /// Bytes drained per member as of `touch` (reset whenever the flight
+    /// restarts from empty, bounding floating-point cancellation).
+    drained: f64,
+    /// Common bottleneck fair-share rate (bytes/sec) since `touch`.
     rate: f64,
+    /// Virtual time of the last materialization.
+    touch: SimTime,
+    /// Cached predicted time of the earliest member departure (`+inf`
+    /// when empty). Refreshed whenever the rate or the head changes.
+    pred: SimTime,
+    /// Members ordered by `(depart, id)`; departures are immutable, so
+    /// entries are never invalidated or reordered.
+    queue: BinaryHeap<Reverse<Member>>,
+}
+
+impl Flight {
+    /// Credits byte progress under the current rate up to `now`.
+    fn materialize(&mut self, now: SimTime) {
+        let dt = now - self.touch;
+        if dt > 0.0 {
+            self.drained += self.rate * dt;
+        }
+        self.touch = now;
+    }
+
+    /// Refreshes the cached prediction. Must be called at `touch == now`
+    /// (immediately after a materialization or an insert/removal).
+    fn refresh_pred(&mut self, now: SimTime) {
+        self.pred = match self.queue.peek() {
+            None => f64::INFINITY,
+            Some(&Reverse((bits, _, _))) => {
+                let rem = f64::from_bits(bits) - self.drained;
+                // A transfer carries whole bytes, so a sub-byte remainder
+                // is floating-point residue of an already-finished
+                // transfer: pin its departure to `now` so it completes
+                // immediately and releases its bandwidth share.
+                if rem <= RESIDUE_BYTES {
+                    now
+                } else if self.rate > 0.0 && self.rate.is_finite() {
+                    now + rem / self.rate
+                } else {
+                    f64::INFINITY
+                }
+            }
+        };
+    }
+}
+
+// Sub-byte drain remainders are fp residue, not real payload.
+const RESIDUE_BYTES: f64 = 0.5;
+
+/// Bottleneck fair share over `route`: `min_c (bw_c / active_c)`.
+fn derive_rate(channel_bw: &[f64], active: &[u32], route: &[ChannelId]) -> f64 {
+    let mut rate = f64::INFINITY;
+    for &c in route {
+        rate = rate.min(channel_bw[c] / active[c].max(1) as f64);
+    }
+    rate
 }
 
 #[derive(Debug, Default)]
@@ -144,29 +245,60 @@ struct GpuStream {
 /// The discrete-event engine. See module docs.
 #[derive(Debug)]
 pub struct Simulator {
+    /// `dense_reference` mode: every network event re-derives every
+    /// occupied flight (full rescan, the previous engine's structure)
+    /// instead of consulting the channel→flight index. Same arithmetic,
+    /// same traces — the differential oracle.
+    dense: bool,
     now: SimTime,
     seq: u64,
     events: BinaryHeap<Event>,
     streams: Vec<GpuStream>,
     channel_bw: Vec<f64>,
-    transfers: HashMap<TransferId, Transfer>,
-    /// Per-channel count of routed in-flight transfers, maintained
-    /// incrementally at transfer start/finish. This is the fair-share
-    /// denominator; keeping it up to date here replaces the former
-    /// O(transfers × route) rescan on every network event.
+    /// Per-channel count of in-flight routed transfers: the fair-share
+    /// denominator, maintained incrementally.
     active: Vec<u32>,
+    /// Route → flight index.
+    class_of: HashMap<Vec<ChannelId>, usize>,
+    flights: Vec<Flight>,
+    /// Channel → flights whose route crosses it: the affected-set index.
+    chan_flights: Vec<Vec<usize>>,
+    /// Epoch marks for O(affected) flight-set dedup without sorting.
+    flight_epoch: Vec<u32>,
+    epoch: u32,
+    /// Scratch buffers reused across events to avoid per-event allocation.
+    affected_scratch: Vec<usize>,
+    route_scratch: Vec<ChannelId>,
     /// Number of in-flight transfers with a non-empty route.
     routed: usize,
+    /// Tags of pending zero-byte/empty-route transfers, delivered through
+    /// timer events at the current time.
+    immediates: HashMap<TransferId, u64>,
     next_transfer_id: TransferId,
     net_generation: u64,
     last_net_update: SimTime,
     stats: SimStats,
+    counters: NetCounters,
 }
 
 impl Simulator {
     /// Creates a simulator over a topology's GPUs and channels.
     pub fn new(topology: &Topology) -> Self {
+        Self::with_mode(topology, false)
+    }
+
+    /// Creates a simulator in `dense_reference` mode: the previous
+    /// engine's full-rescan structure (every network event re-derives
+    /// every occupied flight) with identical per-flight arithmetic, used
+    /// as the differential oracle against the indexed fast path.
+    #[cfg(any(test, feature = "dense_reference"))]
+    pub fn new_dense_reference(topology: &Topology) -> Self {
+        Self::with_mode(topology, true)
+    }
+
+    fn with_mode(topology: &Topology, dense: bool) -> Self {
         Simulator {
+            dense,
             now: 0.0,
             seq: 0,
             events: BinaryHeap::new(),
@@ -174,13 +306,21 @@ impl Simulator {
                 .map(|_| GpuStream::default())
                 .collect(),
             channel_bw: topology.channels().iter().map(|c| c.bandwidth).collect(),
-            transfers: HashMap::new(),
             active: vec![0; topology.channels().len()],
+            class_of: HashMap::new(),
+            flights: Vec::new(),
+            chan_flights: vec![Vec::new(); topology.channels().len()],
+            flight_epoch: Vec::new(),
+            epoch: 0,
+            affected_scratch: Vec::new(),
+            route_scratch: Vec::new(),
             routed: 0,
+            immediates: HashMap::new(),
             next_transfer_id: 0,
             net_generation: 0,
             last_net_update: 0.0,
             stats: SimStats::new(topology.num_gpus(), topology.channels().len()),
+            counters: NetCounters::default(),
         }
     }
 
@@ -204,8 +344,9 @@ impl Simulator {
 
     /// Changes a channel's bandwidth at the current virtual time (fault
     /// injection: link degradation or recovery). In-flight transfers keep
-    /// the bytes they have already moved; their rates and completion
-    /// times are recomputed under the new capacity.
+    /// the bytes they have already moved; rates and completion
+    /// predictions are recomputed for the flights routed over this
+    /// channel only.
     pub fn set_channel_bandwidth(
         &mut self,
         channel: ChannelId,
@@ -217,10 +358,12 @@ impl Simulator {
         if !(bandwidth.is_finite() && bandwidth > 0.0) {
             return Err(SimError::InvalidParameter(format!("bandwidth {bandwidth}")));
         }
-        // Credit progress under the old rates before switching.
-        self.advance_network_progress();
+        self.advance_busy_time();
         self.channel_bw[channel] = bandwidth;
-        self.recompute_rates_and_schedule();
+        let affected = self.collect_affected(&[channel]);
+        self.recompute_flights(&affected);
+        self.affected_scratch = affected;
+        self.schedule_network_check();
         Ok(())
     }
 
@@ -229,7 +372,16 @@ impl Simulator {
         &self.stats
     }
 
+    /// Diagnostic counters of the network core (per-flight rate
+    /// derivations, queue traffic). These expose the O(affected)
+    /// contract: an event on one route must not touch flights on
+    /// disjoint routes, however many transfers they carry.
+    pub fn net_counters(&self) -> &NetCounters {
+        &self.counters
+    }
+
     fn push(&mut self, time: SimTime, kind: EventKind) {
+        debug_assert!(time.is_finite(), "non-finite event time");
         let seq = self.seq;
         self.seq += 1;
         self.events.push(Event { time, seq, kind });
@@ -252,6 +404,10 @@ impl Simulator {
         Ok(())
     }
 
+    // Immediate (zero-byte) transfers are delivered through timer events
+    // with tags above this bias; real timer tags must stay below it.
+    const IMMEDIATE_BIAS: u64 = 1 << 62;
+
     /// Starts a transfer of `bytes` along `route` (ordered channels).
     /// Returns its id; completion carries `tag`. A zero-byte transfer or an
     /// empty route (same-device move) completes at the current time.
@@ -269,52 +425,45 @@ impl Simulator {
         let id = self.next_transfer_id;
         self.next_transfer_id += 1;
         if bytes == 0 || route.is_empty() {
-            // Completes "immediately": delivered through a timer event at
-            // the current time (tagged above IMMEDIATE_BIAS).
+            self.immediates.insert(id, tag);
             self.push(
                 self.now,
                 EventKind::Timer {
-                    tag: Self::immediate_tag(id),
-                },
-            );
-            self.transfers.insert(
-                id,
-                Transfer {
-                    id,
-                    tag,
-                    route: Vec::new(),
-                    remaining: 0.0,
-                    rate: 0.0,
+                    tag: Self::IMMEDIATE_BIAS + id,
                 },
             );
             return Ok(id);
         }
-        self.advance_network_progress();
+        self.advance_busy_time();
         for &c in route {
             self.stats.channel_bytes[c] += bytes;
             self.active[c] += 1;
         }
         self.routed += 1;
-        self.transfers.insert(
-            id,
-            Transfer {
-                id,
-                tag,
-                route: route.to_vec(),
-                remaining: bytes as f64,
-                rate: 0.0,
-            },
-        );
-        self.recompute_rates_and_schedule();
+        let k = self.flight_for(route);
+        // Every occupied flight crossing one of these channels saw its
+        // denominator grow, strictly lowering its share — including `k`
+        // itself, whose materialization leaves it fresh for the insert.
+        let affected = self.collect_affected(route);
+        self.recompute_flights(&affected);
+        self.affected_scratch = affected;
+        let f = &mut self.flights[k];
+        if f.queue.is_empty() {
+            // Fresh drain epoch: nothing shares this route right now, so
+            // the cumulative drain restarts at zero (bounds cancellation).
+            f.drained = 0.0;
+            f.touch = self.now;
+            f.rate = derive_rate(&self.channel_bw, &self.active, &f.route);
+            self.counters.rate_recomputes += 1;
+        }
+        debug_assert_eq!(f.touch, self.now, "flight must be fresh at insert");
+        let depart = bytes as f64 + f.drained;
+        debug_assert!(depart >= 0.0 && depart.is_finite());
+        self.counters.queue_pushes += 1;
+        f.queue.push(Reverse((depart.to_bits(), id, tag)));
+        f.refresh_pred(self.now);
+        self.schedule_network_check();
         Ok(id)
-    }
-
-    // Immediate (zero-byte) transfers are delivered through timer events
-    // with tags above this bias; real timer tags must stay below it.
-    const IMMEDIATE_BIAS: u64 = 1 << 62;
-
-    fn immediate_tag(id: TransferId) -> u64 {
-        Self::IMMEDIATE_BIAS + id
     }
 
     /// Schedules a timer at absolute time `at` (clamped to now).
@@ -338,49 +487,38 @@ impl Simulator {
         self.events.is_empty()
     }
 
-    /// Removes a transfer, releasing its fair-share slot on every channel
-    /// of its route (the start/finish bookkeeping that keeps
-    /// [`Self::recompute_rates_and_schedule`] scan-free).
-    fn remove_transfer(&mut self, id: TransferId) -> Option<Transfer> {
-        let t = self.transfers.remove(&id)?;
-        if !t.route.is_empty() {
-            for &c in &t.route {
-                debug_assert!(self.active[c] > 0, "active-count underflow on channel {c}");
-                self.active[c] -= 1;
-            }
-            self.routed -= 1;
+    /// Flight index for `route`, created on first use. Flights persist —
+    /// there are at most O(endpoint pairs) distinct routes — and an empty
+    /// flight costs one skip per rescan in dense mode, nothing in fast
+    /// mode.
+    fn flight_for(&mut self, route: &[ChannelId]) -> usize {
+        if let Some(&k) = self.class_of.get(route) {
+            return k;
         }
-        Some(t)
+        let k = self.flights.len();
+        self.class_of.insert(route.to_vec(), k);
+        self.flights.push(Flight {
+            route: route.to_vec(),
+            drained: 0.0,
+            rate: 0.0,
+            touch: self.now,
+            pred: f64::INFINITY,
+            queue: BinaryHeap::new(),
+        });
+        self.flight_epoch.push(0);
+        for &c in route {
+            self.chan_flights[c].push(k);
+        }
+        self.counters.route_classes = self.flights.len() as u64;
+        k
     }
 
-    // A transfer carries whole bytes, so any `remaining` at or below this
-    // threshold is floating-point residue of an already-finished transfer.
-    const RESIDUE_BYTES: f64 = 0.5;
-
-    /// Advances remaining-byte counters of all active transfers to `now`.
-    fn advance_network_progress(&mut self) {
+    /// Advances per-channel busy-time accounting to `now`. A channel is
+    /// busy while any transfer uses it — exactly when its active count is
+    /// nonzero. O(channels), independent of in-flight transfer count.
+    fn advance_busy_time(&mut self) {
         let dt = self.now - self.last_net_update;
         if dt > 0.0 && self.routed > 0 {
-            for t in self.transfers.values_mut() {
-                if !t.route.is_empty() {
-                    let advanced = t.remaining - t.rate * dt;
-                    // Clamp float drift: progress may overshoot the byte
-                    // count by rounding, but never by a meaningful amount.
-                    // (A clamped transfer is completed by the check event
-                    // the next recompute schedules at `now`; it must not
-                    // keep holding fair-share bandwidth — see
-                    // `recompute_rates_and_schedule`.)
-                    debug_assert!(
-                        advanced > -1.0,
-                        "transfer {} overshot by {} bytes — drift beyond fp residue",
-                        t.id,
-                        -advanced
-                    );
-                    t.remaining = advanced.max(0.0);
-                }
-            }
-            // Channel busy time: a channel is busy while any transfer
-            // uses it — exactly when its active count is nonzero.
             for (c, &n) in self.active.iter().enumerate() {
                 if n > 0 {
                     self.stats.channel_busy_secs[c] += dt;
@@ -390,48 +528,99 @@ impl Simulator {
         self.last_net_update = self.now;
     }
 
-    /// Recomputes fair-share rates and schedules the next network check.
-    /// The per-channel share denominators are maintained incrementally
-    /// ([`Self::start_transfer`] / [`Self::remove_transfer`]), so this
-    /// touches each in-flight transfer's route once with no counting
-    /// rescan.
-    fn recompute_rates_and_schedule(&mut self) {
+    /// The flights whose fair-share rate may have changed after an event
+    /// on `channels`: the union of those channels' flight lists (fast
+    /// mode, deduplicated by epoch marks), or every occupied flight
+    /// (dense reference — the full rescan). The returned buffer is
+    /// `affected_scratch`; callers put it back after
+    /// [`Self::recompute_flights`].
+    fn collect_affected(&mut self, channels: &[ChannelId]) -> Vec<usize> {
+        let mut v = std::mem::take(&mut self.affected_scratch);
+        v.clear();
+        if self.dense {
+            for (k, f) in self.flights.iter().enumerate() {
+                if !f.queue.is_empty() {
+                    v.push(k);
+                }
+            }
+        } else {
+            self.epoch = self.epoch.wrapping_add(1);
+            if self.epoch == 0 {
+                self.flight_epoch.fill(0);
+                self.epoch = 1;
+            }
+            for &c in channels {
+                for &k in &self.chan_flights[c] {
+                    if self.flight_epoch[k] != self.epoch && !self.flights[k].queue.is_empty() {
+                        self.flight_epoch[k] = self.epoch;
+                        v.push(k);
+                    }
+                }
+            }
+        }
+        v
+    }
+
+    /// Re-derives the bottleneck fair-share rate of each flight. A flight
+    /// whose rate value is unchanged is left untouched — its lazy drain
+    /// tuple and cached prediction stay valid. (This is what makes the
+    /// indexed and dense modes trace-identical: an unaffected flight's
+    /// inputs are unchanged, so the dense rescan re-derives the same bits
+    /// and also no-ops.) On a change the flight is materialized — drain
+    /// credited under the old rate — then the new rate and prediction are
+    /// installed.
+    fn recompute_flights(&mut self, affected: &[usize]) {
+        for &k in affected {
+            self.counters.rate_recomputes += 1;
+            let f = &mut self.flights[k];
+            let rate = derive_rate(&self.channel_bw, &self.active, &f.route);
+            if rate == f.rate {
+                continue;
+            }
+            f.materialize(self.now);
+            f.rate = rate;
+            f.refresh_pred(self.now);
+        }
+    }
+
+    /// Schedules the next network check at the earliest flight prediction
+    /// (clamped to now), stamped with a fresh generation so checks
+    /// scheduled before this recomputation are ignored. O(flights) in
+    /// both modes — the flight count is bounded by distinct routes, not
+    /// by in-flight transfers.
+    fn schedule_network_check(&mut self) {
         self.net_generation += 1;
         let generation = self.net_generation;
         if self.routed == 0 {
             return;
         }
-        let mut earliest: Option<SimTime> = None;
-        for t in self.transfers.values_mut() {
-            if t.route.is_empty() {
-                continue;
-            }
-            t.rate = t
-                .route
-                .iter()
-                .map(|&c| self.channel_bw[c] / self.active[c].max(1) as f64)
-                .fold(f64::INFINITY, f64::min);
-            // Sub-byte residue means the transfer already finished (drift
-            // clamped it early): force its check to `now` so it releases
-            // its bandwidth share immediately instead of sitting on the
-            // channel until a drifted later ETA.
-            let eta = if t.remaining <= Self::RESIDUE_BYTES {
-                self.now
-            } else if t.rate > 0.0 {
-                self.now + t.remaining / t.rate
-            } else {
-                f64::INFINITY
-            };
-            earliest = Some(match earliest {
-                Some(e) => e.min(eta),
-                None => eta,
-            });
+        let mut min_pred = f64::INFINITY;
+        for f in &self.flights {
+            min_pred = min_pred.min(f.pred);
         }
-        if let Some(e) = earliest {
-            if e.is_finite() {
-                self.push(e, EventKind::NetworkCheck { generation });
+        if min_pred.is_finite() {
+            let at = min_pred.max(self.now);
+            self.push(at, EventKind::NetworkCheck { generation });
+        }
+    }
+
+    /// The flight whose head departs at the current time, if any: among
+    /// due flights (`pred <= now`), the one with the lowest head transfer
+    /// id. One completion per check event keeps ordering deterministic;
+    /// remaining due heads are delivered by the rescheduled check at the
+    /// same virtual time.
+    fn pick_candidate(&self) -> Option<usize> {
+        let mut best: Option<(TransferId, usize)> = None;
+        for (k, f) in self.flights.iter().enumerate() {
+            if f.pred <= self.now {
+                if let Some(&Reverse((_, id, _))) = f.queue.peek() {
+                    if best.is_none_or(|(bid, _)| id < bid) {
+                        best = Some((id, k));
+                    }
+                }
             }
         }
+        best.map(|(_, k)| k)
     }
 
     /// Advances virtual time to the next completion and returns it, or
@@ -463,8 +652,8 @@ impl Simulator {
                     self.now = self.now.max(ev.time);
                     if tag >= Self::IMMEDIATE_BIAS {
                         let id = tag - Self::IMMEDIATE_BIAS;
-                        if let Some(t) = self.remove_transfer(id) {
-                            return Some((self.now, Completion::Transfer { id, tag: t.tag }));
+                        if let Some(user_tag) = self.immediates.remove(&id) {
+                            return Some((self.now, Completion::Transfer { id, tag: user_tag }));
                         }
                         continue;
                     }
@@ -474,45 +663,40 @@ impl Simulator {
                     if generation != self.net_generation {
                         continue; // stale prediction
                     }
+                    self.counters.network_checks += 1;
                     self.now = self.now.max(ev.time);
-                    self.advance_network_progress();
-                    // Complete exactly one finished transfer per event for
-                    // deterministic ordering (lowest id first). Transfers
-                    // carry whole bytes, so anything under half a byte is
-                    // floating-point residue.
-                    let done_id = self
-                        .transfers
-                        .values()
-                        .filter(|t| !t.route.is_empty() && t.remaining <= Self::RESIDUE_BYTES)
-                        .map(|t| t.id)
-                        .min();
-                    // Guard against fp stalls: this event fired at the
-                    // predicted completion time of *some* transfer, so if
-                    // none crossed the threshold (eta - now rounded to
-                    // zero), force the nearest-to-done transfer through —
-                    // otherwise the engine would respin this event forever.
-                    let done_id = done_id.or_else(|| {
-                        self.transfers
-                            .values()
-                            .filter(|t| !t.route.is_empty() && t.rate > 0.0)
-                            .min_by(|a, b| {
-                                (a.remaining / a.rate)
-                                    .partial_cmp(&(b.remaining / b.rate))
-                                    .unwrap_or(std::cmp::Ordering::Equal)
-                                    .then(a.id.cmp(&b.id))
-                            })
-                            .filter(|t| self.now + t.remaining / t.rate <= self.now)
-                            .map(|t| t.id)
-                    });
-                    match done_id {
-                        Some(id) => {
-                            let t = self.remove_transfer(id).expect("id from scan");
-                            self.recompute_rates_and_schedule();
-                            return Some((self.now, Completion::Transfer { id, tag: t.tag }));
+                    self.advance_busy_time();
+                    match self.pick_candidate() {
+                        Some(k) => {
+                            let f = &mut self.flights[k];
+                            f.materialize(self.now);
+                            let Reverse((_, id, tag)) =
+                                f.queue.pop().expect("due flight has a head");
+                            if f.queue.is_empty() {
+                                f.pred = f64::INFINITY;
+                            }
+                            // The head's share frees up on every channel of
+                            // the route: sibling flights (including this
+                            // one, if still occupied) re-derive their rates.
+                            let mut route = std::mem::take(&mut self.route_scratch);
+                            route.clear();
+                            route.extend_from_slice(&self.flights[k].route);
+                            for &c in &route {
+                                self.active[c] -= 1;
+                            }
+                            self.routed -= 1;
+                            let affected = self.collect_affected(&route);
+                            self.recompute_flights(&affected);
+                            self.affected_scratch = affected;
+                            self.route_scratch = route;
+                            self.schedule_network_check();
+                            return Some((self.now, Completion::Transfer { id, tag }));
                         }
                         None => {
-                            // Rounding: nothing actually done; reschedule.
-                            self.recompute_rates_and_schedule();
+                            // Defensive: a valid-generation check implies a
+                            // due flight (its scheduled prediction has
+                            // arrived), but reschedule rather than spin.
+                            self.schedule_network_check();
                             continue;
                         }
                     }
@@ -524,238 +708,4 @@ impl Simulator {
 }
 
 #[cfg(test)]
-mod tests {
-    use super::*;
-    use harmony_topology::presets::{commodity_4x1080ti, GBPS};
-    use harmony_topology::Endpoint;
-
-    fn sim() -> (Simulator, harmony_topology::Topology) {
-        let t = commodity_4x1080ti();
-        (Simulator::new(&t), t)
-    }
-
-    #[test]
-    fn compute_is_fifo_per_gpu() {
-        let (mut s, _) = sim();
-        s.submit_compute(0, 2.0, 1).unwrap();
-        s.submit_compute(0, 3.0, 2).unwrap();
-        s.submit_compute(1, 1.0, 3).unwrap();
-        let (t1, c1) = s.next().unwrap();
-        assert_eq!(c1, Completion::Compute { gpu: 1, tag: 3 });
-        assert!((t1 - 1.0).abs() < 1e-9);
-        let (t2, c2) = s.next().unwrap();
-        assert_eq!(c2, Completion::Compute { gpu: 0, tag: 1 });
-        assert!((t2 - 2.0).abs() < 1e-9);
-        let (t3, c3) = s.next().unwrap();
-        assert_eq!(c3, Completion::Compute { gpu: 0, tag: 2 });
-        assert!((t3 - 5.0).abs() < 1e-9, "queued kernel starts after first");
-        assert!(s.next().is_none());
-    }
-
-    #[test]
-    fn single_transfer_runs_at_bottleneck_rate() {
-        let (mut s, topo) = sim();
-        let route = topo.route(Endpoint::Gpu(0), Endpoint::Host).unwrap();
-        // 12 GB over a 12 GB/s path → 1 s.
-        s.start_transfer(route, (12.0 * GBPS) as u64, 7).unwrap();
-        let (t, c) = s.next().unwrap();
-        assert!(matches!(c, Completion::Transfer { tag: 7, .. }));
-        assert!((t - 1.0).abs() < 1e-6, "t = {t}");
-    }
-
-    #[test]
-    fn shared_uplink_halves_rates() {
-        let (mut s, topo) = sim();
-        let r0 = topo
-            .route(Endpoint::Gpu(0), Endpoint::Host)
-            .unwrap()
-            .to_vec();
-        let r1 = topo
-            .route(Endpoint::Gpu(1), Endpoint::Host)
-            .unwrap()
-            .to_vec();
-        // Two 12 GB swap-outs share the single 12 GB/s uplink → 2 s each.
-        s.start_transfer(&r0, (12.0 * GBPS) as u64, 1).unwrap();
-        s.start_transfer(&r1, (12.0 * GBPS) as u64, 2).unwrap();
-        let (t1, _) = s.next().unwrap();
-        let (t2, _) = s.next().unwrap();
-        assert!((t1 - 2.0).abs() < 1e-6, "t1 = {t1}");
-        assert!((t2 - 2.0).abs() < 1e-6, "t2 = {t2}");
-    }
-
-    #[test]
-    fn p2p_does_not_contend_with_host_swap() {
-        let (mut s, topo) = sim();
-        let host = topo
-            .route(Endpoint::Gpu(0), Endpoint::Host)
-            .unwrap()
-            .to_vec();
-        let p2p = topo
-            .route(Endpoint::Gpu(2), Endpoint::Gpu(3))
-            .unwrap()
-            .to_vec();
-        s.start_transfer(&host, (12.0 * GBPS) as u64, 1).unwrap();
-        s.start_transfer(&p2p, (12.0 * GBPS) as u64, 2).unwrap();
-        // Disjoint channels → both finish at 1 s.
-        let (t1, _) = s.next().unwrap();
-        let (t2, _) = s.next().unwrap();
-        assert!((t1 - 1.0).abs() < 1e-6);
-        assert!((t2 - 1.0).abs() < 1e-6);
-    }
-
-    #[test]
-    fn rates_rise_when_a_competitor_finishes() {
-        let (mut s, topo) = sim();
-        let r0 = topo
-            .route(Endpoint::Gpu(0), Endpoint::Host)
-            .unwrap()
-            .to_vec();
-        let r1 = topo
-            .route(Endpoint::Gpu(1), Endpoint::Host)
-            .unwrap()
-            .to_vec();
-        // 6 GB and 12 GB share the uplink: first finishes at 1 s (6 GB/s
-        // each); the second then speeds up: remaining 6 GB at 12 GB/s →
-        // total 1.5 s.
-        s.start_transfer(&r0, (6.0 * GBPS) as u64, 1).unwrap();
-        s.start_transfer(&r1, (12.0 * GBPS) as u64, 2).unwrap();
-        let (t1, c1) = s.next().unwrap();
-        assert!(matches!(c1, Completion::Transfer { tag: 1, .. }));
-        assert!((t1 - 1.0).abs() < 1e-6, "t1 = {t1}");
-        let (t2, c2) = s.next().unwrap();
-        assert!(matches!(c2, Completion::Transfer { tag: 2, .. }));
-        assert!((t2 - 1.5).abs() < 1e-6, "t2 = {t2}");
-    }
-
-    #[test]
-    fn zero_byte_transfer_completes_now() {
-        let (mut s, topo) = sim();
-        let route = topo.route(Endpoint::Gpu(0), Endpoint::Host).unwrap();
-        s.start_transfer(route, 0, 9).unwrap();
-        let (t, c) = s.next().unwrap();
-        assert_eq!(t, 0.0);
-        assert!(matches!(c, Completion::Transfer { tag: 9, .. }));
-    }
-
-    #[test]
-    fn timers_fire_in_order() {
-        let (mut s, _) = sim();
-        s.set_timer(5.0, 1).unwrap();
-        s.set_timer(2.0, 2).unwrap();
-        assert_eq!(s.next().unwrap().1, Completion::Timer { tag: 2 });
-        assert_eq!(s.next().unwrap().1, Completion::Timer { tag: 1 });
-        assert!(s.idle());
-    }
-
-    #[test]
-    fn invalid_params_are_rejected() {
-        let (mut s, _) = sim();
-        assert!(s.submit_compute(99, 1.0, 0).is_err());
-        assert!(s.submit_compute(0, f64::NAN, 0).is_err());
-        assert!(s.start_transfer(&[9999], 10, 0).is_err());
-        assert!(s.set_timer(f64::INFINITY, 0).is_err());
-    }
-
-    #[test]
-    fn stats_accumulate() {
-        let (mut s, topo) = sim();
-        let route = topo
-            .route(Endpoint::Gpu(0), Endpoint::Host)
-            .unwrap()
-            .to_vec();
-        s.submit_compute(0, 2.0, 1).unwrap();
-        s.start_transfer(&route, (12.0 * GBPS) as u64, 2).unwrap();
-        while s.next().is_some() {}
-        assert!((s.stats().gpu_busy_secs[0] - 2.0).abs() < 1e-9);
-        let total_bytes: u64 = s.stats().channel_bytes.iter().sum();
-        assert_eq!(total_bytes, 2 * (12.0 * GBPS) as u64); // 2 channels on route
-    }
-
-    /// Epsilon-drift regression: two equal transfers share the uplink at a
-    /// rate whose product with the shared ETA overshoots the byte count in
-    /// floating point. The first completion clamps the second's
-    /// `remaining` to 0 *before* its own ETA recomputation — the residue
-    /// path must complete it immediately (releasing its bandwidth share)
-    /// rather than leaving a ghost transfer holding half the channel.
-    #[test]
-    fn drift_residue_completes_and_releases_bandwidth() {
-        let (mut s, topo) = sim();
-        let r0 = topo
-            .route(Endpoint::Gpu(0), Endpoint::Host)
-            .unwrap()
-            .to_vec();
-        let r1 = topo
-            .route(Endpoint::Gpu(1), Endpoint::Host)
-            .unwrap()
-            .to_vec();
-        let uplink = *r0.iter().find(|c| r1.contains(c)).expect("shared uplink");
-        // 3 B/s uplink shared two ways → 1.5 B/s each; 10 B → ETA 20/3 s,
-        // and 1.5 × fl(20/3) > 10 in f64: guaranteed sub-byte overshoot.
-        s.set_channel_bandwidth(uplink, 3.0).unwrap();
-        s.start_transfer(&r0, 10, 1).unwrap();
-        s.start_transfer(&r1, 10, 2).unwrap();
-        let (t1, c1) = s.next().unwrap();
-        let (t2, c2) = s.next().unwrap();
-        assert!(matches!(c1, Completion::Transfer { tag: 1, .. }));
-        assert!(matches!(c2, Completion::Transfer { tag: 2, .. }));
-        assert!((t1 - 20.0 / 3.0).abs() < 1e-6, "t1 = {t1}");
-        assert!((t2 - 20.0 / 3.0).abs() < 1e-6, "t2 = {t2}");
-        assert!(s.next().is_none(), "no respinning ghost events");
-        // The ghost released its share: a fresh transfer gets the full
-        // 3 B/s uplink (30 B → 10 s), not a drifted half share.
-        s.start_transfer(&r0, 30, 3).unwrap();
-        let (t3, c3) = s.next().unwrap();
-        assert!(matches!(c3, Completion::Transfer { tag: 3, .. }));
-        assert!((t3 - (t2 + 10.0)).abs() < 1e-6, "t3 = {t3}");
-    }
-
-    /// The incrementally maintained fair-share denominators must return to
-    /// zero once all work (routed, zero-byte, and queued-behind-busy) has
-    /// drained — underflow or leaks here would silently skew every
-    /// subsequent rate.
-    #[test]
-    fn active_counts_drain_to_zero() {
-        let (mut s, topo) = sim();
-        for g in 0..4 {
-            let r = topo
-                .route(Endpoint::Gpu(g), Endpoint::Host)
-                .unwrap()
-                .to_vec();
-            s.start_transfer(&r, 1_000_000 * (g as u64 + 1), g as u64)
-                .unwrap();
-            s.start_transfer(&r, 0, 100 + g as u64).unwrap();
-        }
-        assert_eq!(s.routed, 4);
-        assert!(s.active.iter().any(|&n| n > 0));
-        while s.next().is_some() {}
-        assert_eq!(s.routed, 0, "routed count leaked");
-        assert!(
-            s.active.iter().all(|&n| n == 0),
-            "active counts leaked: {:?}",
-            s.active
-        );
-    }
-
-    #[test]
-    fn determinism_same_script_same_trace() {
-        let run = || {
-            let topo = commodity_4x1080ti();
-            let mut s = Simulator::new(&topo);
-            for g in 0..4 {
-                s.submit_compute(g, 1.0 + g as f64 * 0.1, g as u64).unwrap();
-                let r = topo
-                    .route(Endpoint::Gpu(g), Endpoint::Host)
-                    .unwrap()
-                    .to_vec();
-                s.start_transfer(&r, 1_000_000_000 * (g as u64 + 1), 100 + g as u64)
-                    .unwrap();
-            }
-            let mut trace = Vec::new();
-            while let Some((t, c)) = s.next() {
-                trace.push((t.to_bits(), format!("{c:?}")));
-            }
-            trace
-        };
-        assert_eq!(run(), run());
-    }
-}
+mod tests;

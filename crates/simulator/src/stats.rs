@@ -30,9 +30,37 @@ impl SimStats {
     }
 }
 
+/// Diagnostic counters of the network core. These are *structural*
+/// measurements (how many per-transfer rate derivations, how much heap
+/// traffic), not wall-clock timings, so tests can assert the
+/// O(affected) complexity contract deterministically: an event on one
+/// route must not re-derive rates for transfers on disjoint routes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetCounters {
+    /// Per-flight bottleneck-rate derivations (one per affected flight
+    /// per network event, plus one for each flight restart from empty).
+    pub rate_recomputes: u64,
+    /// Departure-queue entries pushed (exactly one per routed transfer).
+    pub queue_pushes: u64,
+    /// Network-check events processed with a valid generation.
+    pub network_checks: u64,
+    /// Route classes (flights) created so far — a gauge, bounded by the
+    /// number of distinct routes ever used, not by in-flight transfers.
+    pub route_classes: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn net_counters_default_is_zeroed() {
+        let c = NetCounters::default();
+        assert_eq!(c.rate_recomputes, 0);
+        assert_eq!(c.queue_pushes, 0);
+        assert_eq!(c.network_checks, 0);
+        assert_eq!(c.route_classes, 0);
+    }
 
     #[test]
     fn new_is_zeroed() {
