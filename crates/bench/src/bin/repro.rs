@@ -72,6 +72,53 @@ fn main() {
         }
         return;
     }
+    if arg == "exec-smoke" {
+        // The executor hot path at the largest grid cell (or the full
+        // grid with `--grid`) — the exec-scaling smoke `./verify` runs.
+        let full_grid = std::env::args().nth(2).as_deref() == Some("--grid");
+        let points = if full_grid {
+            sweeps::exec_hot_path_scaling()
+        } else {
+            let (r, m, n, it) =
+                sweeps::EXEC_HOT_PATH_SCALES[sweeps::EXEC_HOT_PATH_SCALES.len() - 1];
+            vec![sweeps::exec_hot_path(r, m, n, it)]
+        };
+        for p in &points {
+            println!(
+                "exec_hot_path R={} m={} N={} iters={}: {:.0} events/s \
+                 ({} events in {:.3} s; dense {:.0} events/s, {:.2}x speedup)",
+                p.layers,
+                p.microbatches,
+                p.gpus,
+                p.iterations,
+                p.events_per_sec(),
+                p.events,
+                p.secs,
+                p.dense_events_per_sec(),
+                p.speedup_vs_dense(),
+            );
+        }
+        if points.iter().any(|p| p.events == 0 || p.secs <= 0.0) {
+            eprintln!("exec hot path produced no events or no wall clock");
+            std::process::exit(1);
+        }
+        // The perf gate proper: on the largest grid cell the wake-set
+        // loop must beat the dense reference timed in the same process
+        // at the same moment — a comparison absolute events/s records
+        // cannot make on a host whose speed drifts between runs.
+        if !full_grid {
+            let largest = points.last().expect("one point");
+            if largest.speedup_vs_dense() <= 1.0 {
+                eprintln!(
+                    "exec perf regression: wake-set loop not faster than dense \
+                     reference ({:.3} s vs {:.3} s)",
+                    largest.secs, largest.dense_secs,
+                );
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     if arg == "custom" {
         let rest: Vec<String> = std::env::args().skip(2).collect();
         match custom::parse(&rest).and_then(|a| custom::run(&a)) {

@@ -197,10 +197,10 @@ pub fn fig4() -> String {
             .iter()
             .filter(|sp| sp.start < last_compute || sp.kind != harmony::prelude::SpanKind::SwapOut)
         {
-            let mut sp = sp.clone();
-            sp.end = sp.end.min(last_compute);
-            if sp.end > sp.start {
-                trimmed.push(sp);
+            let end = sp.end.min(last_compute);
+            if end > sp.start {
+                // Re-intern: symbol ids are per-trace.
+                trimmed.record(sp.start, end, sp.gpu, sp.kind, trace.label(sp));
             }
         }
         out.push_str(&gantt::render(&trimmed, 100));
@@ -210,7 +210,7 @@ pub fn fig4() -> String {
                 .spans
                 .iter()
                 .filter(|sp| sp.gpu == Some(g) && sp.kind == harmony::prelude::SpanKind::Compute)
-                .map(|sp| sp.label.as_str())
+                .map(|sp| trace.label(sp))
                 .collect();
             out.push_str(&format!("  gpu{g} order: {}\n", seq.join(" → ")));
         }

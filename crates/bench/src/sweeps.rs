@@ -14,6 +14,7 @@ use std::time::Instant;
 
 use harmony::prelude::*;
 use harmony::simulate::{self, SchemeKind};
+use harmony_harness::execdiff::{self, ExecDiffCase};
 use harmony_parallel::with_workers;
 use harmony_topology::Endpoint;
 use harmony_trace::json::{number, quote};
@@ -81,6 +82,76 @@ impl HotPathTiming {
     }
 }
 
+/// Events/second of the *executor* hot path: a full Harmony-PP run
+/// (memory virtualization, JIT scheduling, p2p, prefetchless fetch
+/// state machines) on a tight-memory server, measured as simulator
+/// completions per wall-clock second inside `SimExecutor::run`.
+#[derive(Debug, Clone)]
+pub struct ExecHotPathTiming {
+    /// Model depth R (uniform layers).
+    pub layers: usize,
+    /// Microbatches m.
+    pub microbatches: usize,
+    /// GPUs N.
+    pub gpus: usize,
+    /// Back-to-back iterations replayed.
+    pub iterations: u32,
+    /// Simulator events the executor processed.
+    pub events: u64,
+    /// Wall-clock seconds inside the executor's event loop.
+    pub secs: f64,
+    /// Wall-clock seconds of the dense reference loop (re-advance every
+    /// GPU after every event) on the identical plan, timed back-to-back
+    /// in the same process. Absolute events/s is hostage to host
+    /// weather; the fast-vs-dense ratio at the same moment is not.
+    pub dense_secs: f64,
+}
+
+impl ExecHotPathTiming {
+    /// Events per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.secs > 0.0 {
+            self.events as f64 / self.secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Events per wall-clock second of the dense reference loop.
+    pub fn dense_events_per_sec(&self) -> f64 {
+        if self.dense_secs > 0.0 {
+            self.events as f64 / self.dense_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Same-moment wake-set speedup over the dense reference loop.
+    pub fn speedup_vs_dense(&self) -> f64 {
+        if self.secs > 0.0 {
+            self.dense_secs / self.secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The executor scaling grid run by `repro bench`:
+/// `(layers R, microbatches m, gpus N, iterations)`. Event counts grow
+/// roughly with R × m × N × iterations, so per-event scheduling cost
+/// shows up as a falling events/s curve when it is super-constant.
+pub const EXEC_HOT_PATH_SCALES: [(usize, usize, usize, u32); 4] =
+    [(6, 4, 2, 2), (8, 8, 4, 2), (12, 16, 4, 4), (16, 32, 8, 4)];
+
+/// Events/s of the pre-wake-set executor (which re-advanced every GPU
+/// after every completion and allocated a `String` label per trace
+/// span) at each [`EXEC_HOT_PATH_SCALES`] point, measured on the
+/// reference host before the optimization landed. Kept in the JSON
+/// export so the executor speedup stays auditable like the network
+/// core's.
+pub const EXEC_HOT_PATH_PRE_CHANGE_EVENTS_PER_SEC: [f64; 4] =
+    [436_703.0, 429_511.0, 357_550.0, 324_531.0];
+
 /// The full `repro bench` result.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -94,6 +165,9 @@ pub struct BenchReport {
     /// Simulator hot-path scaling sweep, one entry per
     /// [`HOT_PATH_SCALES`] point.
     pub hot_path: Vec<HotPathTiming>,
+    /// Executor hot-path scaling sweep, one entry per
+    /// [`EXEC_HOT_PATH_SCALES`] point.
+    pub exec_hot_path: Vec<ExecHotPathTiming>,
     /// Representative run summaries exported alongside the timings.
     pub summaries: Vec<RunSummary>,
 }
@@ -134,6 +208,22 @@ impl BenchReport {
                 h.events_per_sec(),
                 h.events,
                 h.secs,
+            ));
+        }
+        out.push_str("executor hot path (wake-set event loop, harmony-pp):\n");
+        for h in &self.exec_hot_path {
+            out.push_str(&format!(
+                "  R={:<2} m={:<2} N={} × {} iters → {:>9.0} events/s \
+                 ({} events in {:.3} s; dense reference {:.3} s, {:.2}× speedup)\n",
+                h.layers,
+                h.microbatches,
+                h.gpus,
+                h.iterations,
+                h.events_per_sec(),
+                h.events,
+                h.secs,
+                h.dense_secs,
+                h.speedup_vs_dense(),
             ));
         }
         out
@@ -190,6 +280,41 @@ impl BenchReport {
                 number(h.events_per_sec()),
                 baseline_field,
                 if i + 1 < self.hot_path.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"exec_hot_path_scaling\": [\n");
+        for (i, h) in self.exec_hot_path.iter().enumerate() {
+            let baseline = EXEC_HOT_PATH_SCALES
+                .iter()
+                .position(|&(r, m, n, it)| {
+                    r == h.layers && m == h.microbatches && n == h.gpus && it == h.iterations
+                })
+                .map(|idx| EXEC_HOT_PATH_PRE_CHANGE_EVENTS_PER_SEC[idx]);
+            let baseline_field = match baseline {
+                Some(b) => format!(", \"pre_change_events_per_sec\": {}", number(b)),
+                None => String::new(),
+            };
+            out.push_str(&format!(
+                "    {{\"layers\": {}, \"microbatches\": {}, \"gpus\": {}, \
+                 \"iterations\": {}, \"events\": {}, \"secs\": {}, \
+                 \"events_per_sec\": {}, \"dense_events_per_sec\": {}, \
+                 \"speedup_vs_dense\": {}{}}}{}\n",
+                h.layers,
+                h.microbatches,
+                h.gpus,
+                h.iterations,
+                h.events,
+                number(h.secs),
+                number(h.events_per_sec()),
+                number(h.dense_events_per_sec()),
+                number(h.speedup_vs_dense()),
+                baseline_field,
+                if i + 1 < self.exec_hot_path.len() {
+                    ","
+                } else {
+                    ""
+                },
             ));
         }
         out.push_str("  ],\n");
@@ -277,8 +402,95 @@ pub fn hot_path_scaling() -> Vec<HotPathTiming> {
         .collect()
 }
 
+/// Times the executor hot path: a Harmony-PP run of a uniform `layers`-deep
+/// model with `microbatches` microbatches on a tight-memory `gpus`-GPU
+/// server, replayed `iterations` times. Every swap/fetch/compute decision
+/// flows through `SimExecutor::run`'s event loop, so events/s here measures
+/// per-event *scheduling* cost (not the network core, which the sim hot
+/// path covers).
+pub fn exec_hot_path(
+    layers: usize,
+    microbatches: usize,
+    gpus: usize,
+    iterations: u32,
+) -> ExecHotPathTiming {
+    let model = workloads::uniform_model(layers, 4096);
+    let topo = workloads::tight_topo(gpus);
+    let w = workloads::tight_workload(microbatches);
+    let case = ExecDiffCase {
+        scheme: SchemeKind::HarmonyPp,
+        model: &model,
+        topo: &topo,
+        workload: &w,
+        faults: &[],
+        prefetch: false,
+        iterations,
+    };
+    // Best-of-N after a warmup, per mode, with the two modes
+    // interleaved so they see the same host weather: wall-clock on a
+    // shared host is noisy (scheduling quanta, frequency ramp-up), and
+    // the minimum elapsed time is the least-noise estimator of the
+    // loop's true cost — interference only ever adds time. Small grid
+    // cells finish in a few milliseconds and are noise-dominated, so
+    // they repeat until ~half a second of samples accumulates; the
+    // large cells are long enough that five pairs suffice.
+    let mut runs: Vec<(u64, f64, f64)> = Vec::new();
+    let mut sampled_secs = 0.0;
+    let mut warmed_up = false;
+    while runs.len() < 5 || (sampled_secs < 0.5 && runs.len() < 200) {
+        let (fast, _, _) = execdiff::run_mode(&case, false).expect("exec hot-path run");
+        let (dense, _, _) = execdiff::run_mode(&case, true).expect("exec hot-path dense run");
+        assert_eq!(
+            fast.events_processed, dense.events_processed,
+            "dense and wake-set loops must process identical event streams"
+        );
+        if !warmed_up {
+            // Discard the first pair: it pays one-time costs (page
+            // faults, branch history warm-up) neither loop owns.
+            warmed_up = true;
+            continue;
+        }
+        sampled_secs += fast.elapsed_secs + dense.elapsed_secs;
+        runs.push((fast.events_processed, fast.elapsed_secs, dense.elapsed_secs));
+    }
+    let (events, _, _) = runs[0];
+    let secs = runs
+        .iter()
+        .map(|r| r.1)
+        .min_by(f64::total_cmp)
+        .expect("at least one timed run");
+    let dense_secs = runs
+        .iter()
+        .map(|r| r.2)
+        .min_by(f64::total_cmp)
+        .expect("at least one timed run");
+    ExecHotPathTiming {
+        layers,
+        microbatches,
+        gpus,
+        iterations,
+        events,
+        secs,
+        dense_secs,
+    }
+}
+
+/// Runs the executor hot path at every [`EXEC_HOT_PATH_SCALES`] point.
+pub fn exec_hot_path_scaling() -> Vec<ExecHotPathTiming> {
+    EXEC_HOT_PATH_SCALES
+        .iter()
+        .map(|&(r, m, n, it)| exec_hot_path(r, m, n, it))
+        .collect()
+}
+
 /// Runs the full bench suite at `workers` parallel workers.
 pub fn run(workers: usize) -> BenchReport {
+    // Time the single-threaded hot paths first, before the experiment
+    // sweeps spin up worker pools: the scaling cells are wall-clock
+    // measurements and must not share the process with leftover thread
+    // and allocator churn from the parallel phase.
+    let hot = hot_path_scaling();
+    let exec_hot = exec_hot_path_scaling();
     let experiments = vec![
         experiment("fig2a", workers, || figures::fig2a().0),
         experiment("table_a", workers, || figures::table_a().0),
@@ -287,7 +499,6 @@ pub fn run(workers: usize) -> BenchReport {
             harmony_harness::run_conformance(0).render()
         }),
     ];
-    let hot = hot_path_scaling();
 
     // Representative summaries for the JSON export — including a
     // PP run whose per-stage swap skew exercises the imbalance field.
@@ -308,6 +519,7 @@ pub fn run(workers: usize) -> BenchReport {
         available_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
         experiments,
         hot_path: hot,
+        exec_hot_path: exec_hot,
         summaries,
     }
 }
@@ -337,10 +549,28 @@ mod tests {
                 events: 4096,
                 secs: 0.5,
             }],
+            exec_hot_path: vec![ExecHotPathTiming {
+                layers: EXEC_HOT_PATH_SCALES[3].0,
+                microbatches: EXEC_HOT_PATH_SCALES[3].1,
+                gpus: EXEC_HOT_PATH_SCALES[3].2,
+                iterations: EXEC_HOT_PATH_SCALES[3].3,
+                events: 1000,
+                secs: 0.1,
+                dense_secs: 0.2,
+            }],
             summaries: vec![],
         };
         let text = report.to_json();
         assert!(text.contains("\"pre_change_events_per_sec\": 22217"));
+        let exec_baseline = format!(
+            "\"pre_change_events_per_sec\": {}",
+            number(EXEC_HOT_PATH_PRE_CHANGE_EVENTS_PER_SEC[3])
+        );
+        let exec_section = text
+            .split("\"exec_hot_path_scaling\"")
+            .nth(1)
+            .expect("exec section present");
+        assert!(exec_section.contains(&exec_baseline));
         harmony_trace::json::parse(&text).expect("valid JSON");
     }
 
@@ -358,6 +588,7 @@ mod tests {
                 identical: true,
             }],
             hot_path: vec![hot_path(4, 1)],
+            exec_hot_path: vec![exec_hot_path(4, 2, 2, 1)],
             summaries: vec![RunSummary {
                 name: "unit".to_string(),
                 sim_secs: 1.0,
@@ -369,6 +600,8 @@ mod tests {
                 demand_bytes: vec![1, 1],
                 swap_by_class: Default::default(),
                 channel_busy_secs: Default::default(),
+                events_processed: 7,
+                elapsed_secs: 0.25,
             }],
         };
         let text = report.to_json();

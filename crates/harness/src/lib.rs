@@ -30,6 +30,12 @@
 //! indexed fast path and the dense full-rescan reference engine, which
 //! must produce bitwise-identical completion traces.
 //!
+//! A fifth ([`execdiff`]) does the same for the *executor's* event loop:
+//! the wake-set fast path against the dense re-advance-everything
+//! reference (behind `harmony-sched`'s `dense_advance` feature), which
+//! must produce byte-identical trace and summary JSON across schemes,
+//! fault plans, and prefetch settings.
+//!
 //! [`conformance`] sweeps all of this over a scheme × configuration
 //! matrix and renders a pass/fail table (`repro conformance` in
 //! `harmony-bench`).
@@ -39,6 +45,7 @@
 
 pub mod conformance;
 pub mod differential;
+pub mod execdiff;
 pub mod faults;
 pub mod oracles;
 pub mod simdiff;
@@ -50,6 +57,7 @@ pub use differential::{
     check_swap_volumes_exact, check_work_equivalence, compare_swap_volumes, run_instrumented,
     VolumeDelta,
 };
+pub use execdiff::{check_dense_vs_fast, ExecDiffCase, ExecDiffOutcome};
 pub use faults::FaultPlan;
 pub use oracles::{instrument, instrument_memory, OracleConfig};
 pub use simdiff::{check_fast_vs_dense, SimOp};

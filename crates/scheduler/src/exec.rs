@@ -44,8 +44,37 @@
 //! parallelism): each GPU pins its local gradient shard; when the last GPU
 //! arrives, ring-exchange transfers of `2(N−1)/N · |dW|` per GPU are
 //! issued over the p2p routes.
+//!
+//! ## Wake-set event loop (O(affected) per event)
+//!
+//! The reference semantics are *dense*: after every simulator event, every
+//! GPU is advanced once, in ascending order (one "pass"). An `advance` on
+//! a GPU whose blocking condition has not changed is a no-op, so the
+//! production loop only advances the GPUs an event can actually unblock:
+//!
+//! * a completion wakes the GPU that owns it (transfer purpose / compute
+//!   lane);
+//! * `done`-set insertions wake dependency waiters via a per-`(iter,
+//!   replica, task)` index, registered when `deps_ready` fails;
+//! * tensor state changes (move settled, unpin, free) wake fetch-stall
+//!   waiters via a per-tensor index, registered where `process_targets`
+//!   stalls;
+//! * collective completion and fault application wake every GPU;
+//! * a GPU whose prefetch attempt was *cancelled* (the opportunistic
+//!   double-buffer fallback, which re-touches tensors on every retry) is
+//!   polled every pass until the retry resolves — exactly the dense
+//!   cadence, so LRU recency stays bit-identical.
+//!
+//! Wakes produced *during* a pass for a GPU above the one currently
+//! advancing join the same pass (dense visibility order); wakes at or
+//! below it are deferred to the next event's pass, and are dropped if the
+//! event queue runs dry — matching dense stuck detection. The
+//! `dense_advance` feature exposes the reference mode
+//! ([`SimExecutor::use_dense_advance`]); the harness proves both modes
+//! produce byte-identical traces and summaries, and [`ExecCounters`]
+//! pins the structural claim (no O(N_gpus) rescan per event).
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 
 use harmony_memory::{
     EvictionPolicy, Lru, MemError, MemObserver, MemoryManager, NextUseAware, Residency, TensorId,
@@ -54,7 +83,7 @@ use harmony_models::ModelSpec;
 use harmony_simulator::{Completion, SimError, Simulator, TransferId};
 use harmony_taskgraph::{TaskId, TensorRef};
 use harmony_topology::{ChannelId, Endpoint, Topology, TopologyError};
-use harmony_trace::{summary::RunSummary, SpanKind, Trace};
+use harmony_trace::{summary::RunSummary, SpanKind, SymbolId, Trace};
 
 use crate::config::PolicyKind;
 use crate::obs::{ExecContext, ExecEvent, ExecObserver, Fault, TimedFault};
@@ -177,7 +206,7 @@ struct PendingTransfer {
     start: f64,
     lane: usize,
     kind: SpanKind,
-    label: String,
+    label: SymbolId,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -215,7 +244,30 @@ struct CollectiveState {
 #[derive(Debug, Clone)]
 struct ComputeRec {
     start: f64,
-    label: String,
+    label: SymbolId,
+}
+
+/// Structural counters of the executor's event loop — the complexity
+/// contract of the wake-set scheduler, exposed via
+/// [`SimExecutor::run_counted`].
+///
+/// In dense-reference mode `advance_calls` is exactly
+/// `num_gpus × (passes)`; in wake-set mode it must track the number of
+/// *affected* GPUs per event instead. `wake_set_hits` counts advances
+/// that made progress (mutated executor state), `spurious_wakes` the
+/// no-op remainder. `label_interns` counts label-symbol interning calls —
+/// bounded by the number of *distinct* labels (plan-sized), never by
+/// event count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecCounters {
+    /// Total `advance` invocations across the run.
+    pub advance_calls: u64,
+    /// Advances that mutated executor state (the wake was productive).
+    pub wake_set_hits: u64,
+    /// Advances that were no-ops (over-approximation of the wake set).
+    pub spurious_wakes: u64,
+    /// Trace-label interning calls (cache misses only).
+    pub label_interns: u64,
 }
 
 /// Which step slot of a GPU is being driven.
@@ -252,6 +304,29 @@ pub struct SimExecutor<'a> {
     /// Fail with [`ExecError::Stuck`] after this many simulator events.
     event_budget: Option<u64>,
     events_processed: u64,
+    /// Interned trace label per tensor, assigned at registration/alloc.
+    labels: HashMap<TensorId, SymbolId>,
+    /// Interned compute labels, keyed by (replica, task).
+    task_syms: HashMap<(usize, TaskId), SymbolId>,
+    /// Dense-reference mode: re-advance every GPU after every event.
+    dense: bool,
+    /// GPU currently being advanced inside a pass (None outside passes).
+    advancing: Option<usize>,
+    /// Remaining GPUs of the pass in flight (ascending order).
+    pass: BTreeSet<usize>,
+    /// Wakes deferred to the next event's pass.
+    pending_wakes: BTreeSet<usize>,
+    /// GPUs blocked on a task dependency: `(iter, replica, task)` → waiters.
+    dep_waiters: HashMap<(u32, usize, TaskId), BTreeSet<usize>>,
+    /// GPUs whose fetch stalled on a tensor (in flight / pinned elsewhere).
+    tensor_waiters: HashMap<TensorId, BTreeSet<usize>>,
+    /// GPUs in the prefetch cancel-retry loop: advanced every pass (the
+    /// dense cadence) because each retry re-touches tensors.
+    poll: BTreeSet<usize>,
+    /// Bumped at every executor state change; advance snapshots it to
+    /// classify wakes as productive or spurious.
+    mutations: u64,
+    counters: ExecCounters,
 }
 
 impl<'a> SimExecutor<'a> {
@@ -296,7 +371,21 @@ impl<'a> SimExecutor<'a> {
         );
         let cfg = plan.graph.config();
         let mut ids = HashMap::new();
-        // Persistent per-replica state.
+        let mut trace = Trace::new(plan.name.clone());
+        let mut labels = HashMap::new();
+        let mut counters = ExecCounters::default();
+        // Persistent per-replica state. Labels are interned once here —
+        // the event loop only ever stamps spans with the symbol.
+        let mut register = |mm: &mut MemoryManager, ids: &mut HashMap<Key, TensorId>, key: Key| {
+            let rf = key.2;
+            let bytes = rf.bytes(model, cfg.ubatch_size, cfg.opt_slots);
+            let name = name_of(key.1, rf);
+            let sym = trace.intern(&name);
+            counters.label_interns += 1;
+            let id = mm.register_on_host(name, bytes, rf.class());
+            labels.insert(id, sym);
+            ids.insert(key, id);
+        };
         for r in 0..plan.replicas {
             for l in 0..model.layers.len() {
                 for rf in [
@@ -304,17 +393,12 @@ impl<'a> SimExecutor<'a> {
                     TensorRef::Grad { layer: l },
                     TensorRef::OptState { layer: l },
                 ] {
-                    let bytes = rf.bytes(model, cfg.ubatch_size, cfg.opt_slots);
-                    let id = mm.register_on_host(name_of(r, rf), bytes, rf.class());
-                    ids.insert((0, r, rf), id);
+                    register(&mut mm, &mut ids, (0, r, rf));
                 }
             }
             for u in 0..cfg.microbatches {
                 for it in 0..iterations {
-                    let rf = TensorRef::Input { ubatch: u };
-                    let bytes = rf.bytes(model, cfg.ubatch_size, cfg.opt_slots);
-                    let id = mm.register_on_host(name_of(r, rf), bytes, rf.class());
-                    ids.insert((it, r, rf), id);
+                    register(&mut mm, &mut ids, (it, r, TensorRef::Input { ubatch: u }));
                 }
             }
         }
@@ -365,7 +449,7 @@ impl<'a> SimExecutor<'a> {
             next_compute_tag: 0,
             next_step_id: 0,
             collectives: HashMap::new(),
-            trace: Trace::new(plan.name.clone()),
+            trace,
             next_use,
             iterations,
             observers: Vec::new(),
@@ -373,7 +457,27 @@ impl<'a> SimExecutor<'a> {
             compute_rate: vec![1.0; num_gpus],
             event_budget: None,
             events_processed: 0,
+            labels,
+            task_syms: HashMap::new(),
+            dense: false,
+            advancing: None,
+            pass: BTreeSet::new(),
+            pending_wakes: BTreeSet::new(),
+            dep_waiters: HashMap::new(),
+            tensor_waiters: HashMap::new(),
+            poll: BTreeSet::new(),
+            mutations: 0,
+            counters,
         })
+    }
+
+    /// Switches to the dense-reference event loop: every GPU is
+    /// re-advanced after every event, exactly the pre-wake-set semantics.
+    /// The harness differential proves this mode and the default wake-set
+    /// loop produce byte-identical traces and summaries.
+    #[cfg(feature = "dense_advance")]
+    pub fn use_dense_advance(&mut self) {
+        self.dense = true;
     }
 
     /// Attaches an executor observer (see [`crate::obs`]). Runs with no
@@ -431,9 +535,17 @@ impl<'a> SimExecutor<'a> {
     /// Notifies observers of `event`; no-op (and no allocation) when none
     /// are attached.
     fn emit(&mut self, event: ExecEvent) {
+        self.emit_with(|| event);
+    }
+
+    /// Like [`Self::emit`], but the event is only *constructed* when an
+    /// observer is attached — callers with allocating payloads (route
+    /// vectors) pay nothing on unobserved runs.
+    fn emit_with(&mut self, make: impl FnOnce() -> ExecEvent) {
         if self.observers.is_empty() {
             return;
         }
+        let event = make();
         let mut obs = std::mem::take(&mut self.observers);
         {
             let ctx = ExecContext {
@@ -450,16 +562,106 @@ impl<'a> SimExecutor<'a> {
     }
 
     /// Starts a transfer on the simulator, emitting
-    /// [`ExecEvent::TransferIssued`] when observers are attached.
+    /// [`ExecEvent::TransferIssued`] when observers are attached (the
+    /// route vector is only cloned in that case — `emit_with` guards).
     fn issue_transfer(&mut self, route: &[ChannelId], bytes: u64) -> Result<TransferId, ExecError> {
         let xfer = self.sim.start_transfer(route, bytes, 0)?;
-        if !self.observers.is_empty() {
-            self.emit(ExecEvent::TransferIssued {
-                route: route.to_vec(),
-                bytes,
-            });
-        }
+        self.mutations += 1;
+        self.emit_with(|| ExecEvent::TransferIssued {
+            route: route.to_vec(),
+            bytes,
+        });
         Ok(xfer)
+    }
+
+    /// The interned label of a tensor (assigned at registration/alloc).
+    fn tensor_sym(&self, id: TensorId) -> Result<SymbolId, ExecError> {
+        self.labels
+            .get(&id)
+            .copied()
+            .ok_or_else(|| ExecError::Plan(format!("tensor {id} has no label")))
+    }
+
+    /// Marks `g` as unblockable. During a pass, GPUs above the one
+    /// currently advancing join the same pass (dense visibility order);
+    /// everything else waits for the next event's pass.
+    fn wake(&mut self, g: usize) {
+        if self.dense {
+            return;
+        }
+        match self.advancing {
+            Some(cur) if g > cur => {
+                self.pass.insert(g);
+            }
+            _ => {
+                self.pending_wakes.insert(g);
+            }
+        }
+    }
+
+    /// Wakes every GPU (collective completion, fault application).
+    fn wake_all(&mut self) {
+        for g in 0..self.gpus.len() {
+            self.wake(g);
+        }
+    }
+
+    /// Registers `g` as blocked on completion of `(iter, replica, task)`.
+    fn register_dep_waiter(&mut self, g: usize, iter: u32, item: WorkItem) {
+        if self.dense {
+            return;
+        }
+        let WorkItem::Task { replica, task } = item else {
+            return;
+        };
+        // The first unsatisfied dependency is enough: its completion
+        // re-checks readiness and re-registers on the next one if needed.
+        let missing = self
+            .plan
+            .graph
+            .task(task)
+            .deps
+            .iter()
+            .find(|d| !self.done.contains(&(iter, replica, **d)));
+        if let Some(&d) = missing {
+            self.dep_waiters
+                .entry((iter, replica, d))
+                .or_default()
+                .insert(g);
+        }
+    }
+
+    /// Wakes GPUs blocked on task `(iter, replica, task)` completing.
+    fn wake_dep_waiters(&mut self, iter: u32, replica: usize, task: TaskId) {
+        if self.dense || self.dep_waiters.is_empty() {
+            return;
+        }
+        if let Some(ws) = self.dep_waiters.remove(&(iter, replica, task)) {
+            for g in ws {
+                self.wake(g);
+            }
+        }
+    }
+
+    /// Registers `g` as stalled on tensor `id` (moving / pinned elsewhere).
+    fn register_tensor_waiter(&mut self, g: usize, id: TensorId) {
+        if self.dense {
+            return;
+        }
+        self.tensor_waiters.entry(id).or_default().insert(g);
+    }
+
+    /// Wakes GPUs stalled on tensor `id` (its move settled, or it was
+    /// unpinned or freed).
+    fn wake_tensor_waiters(&mut self, id: TensorId) {
+        if self.dense || self.tensor_waiters.is_empty() {
+            return;
+        }
+        if let Some(ws) = self.tensor_waiters.remove(&id) {
+            for g in ws {
+                self.wake(g);
+            }
+        }
     }
 
     /// Applies an injected fault when its timer fires.
@@ -510,15 +712,67 @@ impl<'a> SimExecutor<'a> {
         }
     }
 
+    /// Advances GPU `g` once, maintaining the structural counters and the
+    /// in-pass wake ordering (`advancing` routes same-pass wakes).
+    fn advance_counted(&mut self, g: usize) -> Result<(), ExecError> {
+        self.advancing = Some(g);
+        self.counters.advance_calls += 1;
+        let before = self.mutations;
+        let res = self.advance(g);
+        self.advancing = None;
+        res?;
+        if self.mutations != before {
+            self.counters.wake_set_hits += 1;
+        } else {
+            self.counters.spurious_wakes += 1;
+        }
+        Ok(())
+    }
+
+    /// One wake-set pass: advances the GPUs woken by the last event (plus
+    /// the poll set) in ascending order. Wakes generated during the pass
+    /// for a GPU above the one currently advancing join the same pass —
+    /// exactly the dense pass's visibility order.
+    fn run_pass(&mut self) -> Result<(), ExecError> {
+        self.pass = std::mem::take(&mut self.pending_wakes);
+        for &g in &self.poll {
+            self.pass.insert(g);
+        }
+        while let Some(&g) = self.pass.iter().next() {
+            self.pass.remove(&g);
+            self.poll.remove(&g);
+            self.advance_counted(g)?;
+        }
+        Ok(())
+    }
+
     /// Runs the plan to completion; returns the run summary and trace.
-    pub fn run(mut self) -> Result<(RunSummary, Trace), ExecError> {
-        for g in 0..self.gpus.len() {
-            self.advance(g)?;
+    pub fn run(self) -> Result<(RunSummary, Trace), ExecError> {
+        let (summary, trace, _) = self.run_counted()?;
+        Ok((summary, trace))
+    }
+
+    /// Like [`SimExecutor::run`], but also returns the event-loop's
+    /// structural [`ExecCounters`].
+    pub fn run_counted(mut self) -> Result<(RunSummary, Trace, ExecCounters), ExecError> {
+        let wall_start = std::time::Instant::now();
+        // Initial pass: every GPU, in both modes.
+        if self.dense {
+            for g in 0..self.gpus.len() {
+                self.advance_counted(g)?;
+            }
+        } else {
+            self.wake_all();
+            self.run_pass()?;
         }
         while let Some(completion) = self.next_event()? {
             self.handle(completion)?;
-            for g in 0..self.gpus.len() {
-                self.advance(g)?;
+            if self.dense {
+                for g in 0..self.gpus.len() {
+                    self.advance_counted(g)?;
+                }
+            } else {
+                self.run_pass()?;
             }
         }
         // Everything must have drained.
@@ -599,8 +853,10 @@ impl<'a> SimExecutor<'a> {
                 .iter()
                 .map(|c| (c.name.clone(), self.sim.stats().channel_busy_secs[c.id]))
                 .collect(),
+            events_processed: self.events_processed,
+            elapsed_secs: wall_start.elapsed().as_secs_f64(),
         };
-        Ok((summary, self.trace))
+        Ok((summary, self.trace, self.counters))
     }
 
     /// Writes back all dirty device-resident persistent state (updated
@@ -625,7 +881,7 @@ impl<'a> SimExecutor<'a> {
         let mut sorted = dirty;
         sorted.sort_unstable();
         for id in sorted {
-            let label = self.mm.info(id)?.name.clone();
+            let label = self.tensor_sym(id)?;
             let (src, bytes) = self.mm.begin_swap_out(id)?;
             let route = self
                 .topo
@@ -761,9 +1017,10 @@ impl<'a> SimExecutor<'a> {
         for &v in victims {
             if self.plan.scheme.clean_drop && self.mm.can_drop(v)? {
                 self.mm.drop_to_host(v)?;
+                self.mutations += 1;
                 continue;
             }
-            let label = self.mm.info(v)?.name.clone();
+            let label = self.tensor_sym(v)?;
             let (src, bytes) = self.mm.begin_swap_out(v)?;
             let route = self
                 .topo
@@ -800,6 +1057,7 @@ impl<'a> SimExecutor<'a> {
                 // frees up.
                 if let Some(p) = self.gpus[g].prefetch.take() {
                     self.gpus[g].step = Some(p);
+                    self.mutations += 1;
                 } else {
                     let Some((seq, iter, item)) = self.gpus[g].queue.pop_front() else {
                         return Ok(());
@@ -816,6 +1074,7 @@ impl<'a> SimExecutor<'a> {
                         pinned: Vec::new(),
                         inflight: InFlight::Idle,
                     });
+                    self.mutations += 1;
                 }
             }
             let step = self.gpus[g].step.as_ref().expect("just ensured");
@@ -830,12 +1089,14 @@ impl<'a> SimExecutor<'a> {
             let (item, iter) = (step.item, step.iter);
             if !step.targets_built {
                 if !self.deps_ready(iter, item) {
+                    self.register_dep_waiter(g, iter, item);
                     return Ok(());
                 }
                 let targets = self.build_targets(g, iter, item);
                 let step = self.gpus[g].step.as_mut().expect("exists");
                 step.targets = targets;
                 step.targets_built = true;
+                self.mutations += 1;
             }
             // Process fetch targets until blocked or done.
             if self.process_targets(g, Slot::Current)? {
@@ -877,7 +1138,11 @@ impl<'a> SimExecutor<'a> {
             let Some(&(_, iter, item)) = self.gpus[g].queue.front() else {
                 return Ok(());
             };
-            if matches!(item, WorkItem::AllReduce { .. }) || !self.deps_ready(iter, item) {
+            if matches!(item, WorkItem::AllReduce { .. }) {
+                return Ok(());
+            }
+            if !self.deps_ready(iter, item) {
+                self.register_dep_waiter(g, iter, item);
                 return Ok(());
             }
             let (seq, iter, item) = self.gpus[g].queue.pop_front().expect("peeked");
@@ -894,6 +1159,7 @@ impl<'a> SimExecutor<'a> {
                 pinned: Vec::new(),
                 inflight: InFlight::Idle,
             });
+            self.mutations += 1;
         }
         // Continue fetching if the prefetch slot is idle. Double-buffering
         // is opportunistic: if the two working sets do not fit together,
@@ -908,6 +1174,10 @@ impl<'a> SimExecutor<'a> {
                 Ok(_) => {}
                 Err(ExecError::Mem(MemError::InsufficientMemory { .. })) => {
                     self.cancel_prefetch(g)?;
+                    // Each retry of the opportunistic double-buffer re-pins
+                    // and re-touches resident tensors (LRU recency), so the
+                    // retry must run every pass — the dense cadence.
+                    self.poll.insert(g);
                 }
                 Err(e) => return Err(e),
             }
@@ -923,10 +1193,12 @@ impl<'a> SimExecutor<'a> {
             debug_assert!(matches!(step.inflight, InFlight::Idle));
             for id in step.pinned {
                 self.mm.unpin(id)?;
+                self.wake_tensor_waiters(id);
             }
             self.gpus[g]
                 .queue
                 .push_front((step.seq, step.iter, step.item));
+            self.mutations += 1;
         }
         Ok(())
     }
@@ -954,6 +1226,7 @@ impl<'a> SimExecutor<'a> {
                             let step = self.step_mut(g, slot).expect("exists");
                             step.pinned.push(id);
                             step.targets.pop_front();
+                            self.mutations += 1;
                             continue;
                         }
                         Residency::OnDevice(src) => {
@@ -972,7 +1245,7 @@ impl<'a> SimExecutor<'a> {
                                             .topo
                                             .route(Endpoint::Gpu(src), Endpoint::Gpu(g))?
                                             .to_vec();
-                                        let label = self.mm.info(id)?.name.clone();
+                                        let label = self.tensor_sym(id)?;
                                         let xfer = self.issue_transfer(&route, bytes)?;
                                         self.transfers.insert(
                                             xfer,
@@ -993,7 +1266,10 @@ impl<'a> SimExecutor<'a> {
                                         return Ok(true);
                                     }
                                     // Pinned on the peer or racing: stall.
-                                    Err(MemError::InvalidState { .. }) => return Ok(false),
+                                    Err(MemError::InvalidState { .. }) => {
+                                        self.register_tensor_waiter(g, id);
+                                        return Ok(false);
+                                    }
                                     Err(e) => return Err(e.into()),
                                 }
                             }
@@ -1005,7 +1281,7 @@ impl<'a> SimExecutor<'a> {
                                         .topo
                                         .route(Endpoint::Gpu(src), Endpoint::Host)?
                                         .to_vec();
-                                    let label = self.mm.info(id)?.name.clone();
+                                    let label = self.tensor_sym(id)?;
                                     let xfer = self.issue_transfer(&route, bytes)?;
                                     self.transfers.insert(
                                         xfer,
@@ -1025,7 +1301,10 @@ impl<'a> SimExecutor<'a> {
                                         InFlight::WaitDemote;
                                     return Ok(true);
                                 }
-                                Err(MemError::InvalidState { .. }) => return Ok(false),
+                                Err(MemError::InvalidState { .. }) => {
+                                    self.register_tensor_waiter(g, id);
+                                    return Ok(false);
+                                }
                                 Err(e) => return Err(e.into()),
                             }
                         }
@@ -1039,7 +1318,7 @@ impl<'a> SimExecutor<'a> {
                             }
                             let bytes = self.mm.begin_swap_in(id, g)?;
                             let route = self.topo.route(Endpoint::Host, Endpoint::Gpu(g))?.to_vec();
-                            let label = self.mm.info(id)?.name.clone();
+                            let label = self.tensor_sym(id)?;
                             let xfer = self.issue_transfer(&route, bytes)?;
                             self.transfers.insert(
                                 xfer,
@@ -1060,7 +1339,8 @@ impl<'a> SimExecutor<'a> {
                         }
                         // In flight somewhere: stall until it settles.
                         Residency::MovingToDevice { .. } | Residency::MovingToHost { .. } => {
-                            return Ok(false)
+                            self.register_tensor_waiter(g, id);
+                            return Ok(false);
                         }
                         Residency::Dead => {
                             return Err(ExecError::Plan(format!(
@@ -1097,15 +1377,18 @@ impl<'a> SimExecutor<'a> {
                         }
                         // All victims dropped instantly; room is free now.
                     }
-                    let id =
-                        self.mm
-                            .alloc_on_device(name_of(key.1, key.2), bytes, key.2.class(), g)?;
+                    let name = name_of(key.1, key.2);
+                    let sym = self.trace.intern(&name);
+                    self.counters.label_interns += 1;
+                    let id = self.mm.alloc_on_device(name, bytes, key.2.class(), g)?;
+                    self.labels.insert(id, sym);
                     self.ids.insert(key, id);
                     self.mm.pin(id)?;
                     self.update_next_use(key, seq)?;
                     let step = self.step_mut(g, slot).expect("exists");
                     step.pinned.push(id);
                     step.targets.pop_front();
+                    self.mutations += 1;
                     continue;
                 }
             }
@@ -1119,14 +1402,24 @@ impl<'a> SimExecutor<'a> {
         let secs = t.flops as f64 / (self.topo.gpu(g)?.flops * self.compute_rate[g]);
         let tag = self.next_compute_tag;
         self.next_compute_tag += 1;
+        let label = match self.task_syms.get(&(replica, task)) {
+            Some(&s) => s,
+            None => {
+                let s = self.trace.intern(&task_label(replica, t.kind));
+                self.counters.label_interns += 1;
+                self.task_syms.insert((replica, task), s);
+                s
+            }
+        };
         self.computes.insert(
             tag,
             ComputeRec {
                 start: self.sim.now(),
-                label: task_label(replica, t.kind),
+                label,
             },
         );
         self.sim.submit_compute(g, secs, tag)?;
+        self.mutations += 1;
         self.gpus[g].step.as_mut().expect("exists").inflight = InFlight::Computing;
         self.emit(ExecEvent::TaskStarted {
             gpu: g,
@@ -1139,12 +1432,15 @@ impl<'a> SimExecutor<'a> {
 
     fn arrive_collective(&mut self, g: usize, iter: u32, pack: usize) -> Result<(), ExecError> {
         self.gpus[g].step.as_mut().expect("exists").inflight = InFlight::Collective;
+        self.mutations += 1;
         let n = self.gpus.len();
         let state = self.collectives.entry((iter, pack)).or_default();
         state.arrived.insert(g);
         if state.arrived.len() < n {
             return Ok(());
         }
+        let label = self.trace.intern(&format!("allreduce p{pack} i{iter}"));
+        self.counters.label_interns += 1;
         // Everyone is here: issue one ring hop per GPU of 2(N−1)/N · |dW|.
         let grad_bytes: u64 = self.plan.graph.packs()[pack]
             .clone()
@@ -1165,7 +1461,7 @@ impl<'a> SimExecutor<'a> {
                     start: self.sim.now(),
                     lane: src,
                     kind: SpanKind::Collective,
-                    label: format!("allreduce p{pack} i{iter}"),
+                    label,
                 },
             );
             self.collectives
@@ -1196,8 +1492,11 @@ impl<'a> SimExecutor<'a> {
                 self.mm.unpin(id)?;
                 // AllReduce rewrites the gradient buffers.
                 self.mm.mark_dirty(id)?;
+                self.wake_tensor_waiters(id);
             }
         }
+        // Every GPU's barrier lifted at once.
+        self.wake_all();
         Ok(())
     }
 
@@ -1213,6 +1512,7 @@ impl<'a> SimExecutor<'a> {
         };
         for id in &step.pinned {
             self.mm.unpin(*id)?;
+            self.wake_tensor_waiters(*id);
         }
         let t = self.plan.graph.task(task);
         for &rf in &t.writes {
@@ -1222,8 +1522,12 @@ impl<'a> SimExecutor<'a> {
         for &rf in &t.frees {
             let id = self.tensor_id(key_of(step.iter, replica, rf))?;
             self.mm.free(id)?;
+            // Waiters stalled on a now-dead tensor must still advance (to
+            // reach the same Dead-tensor error the dense loop would).
+            self.wake_tensor_waiters(id);
         }
         self.done.insert((step.iter, replica, task));
+        self.wake_dep_waiters(step.iter, replica, task);
         self.emit(ExecEvent::TaskFinished {
             gpu: g,
             iter: step.iter,
@@ -1240,7 +1544,7 @@ impl<'a> SimExecutor<'a> {
                     .computes
                     .remove(&tag)
                     .ok_or_else(|| ExecError::Plan(format!("unknown compute tag {tag}")))?;
-                self.trace.record(
+                self.trace.record_sym(
                     rec.start,
                     self.sim.now(),
                     Some(gpu),
@@ -1248,6 +1552,7 @@ impl<'a> SimExecutor<'a> {
                     rec.label,
                 );
                 self.finish_task(gpu)?;
+                self.wake(gpu);
             }
             Completion::Transfer { id, .. } => {
                 let pt = self
@@ -1255,7 +1560,7 @@ impl<'a> SimExecutor<'a> {
                     .remove(&id)
                     .ok_or_else(|| ExecError::Plan(format!("unknown transfer {id}")))?;
                 self.trace
-                    .record(pt.start, self.sim.now(), Some(pt.lane), pt.kind, pt.label);
+                    .record_sym(pt.start, self.sim.now(), Some(pt.lane), pt.kind, pt.label);
                 match pt.purpose {
                     Purpose::Eviction { gpu, step, tensor } => {
                         self.mm.finish_swap_out(tensor)?;
@@ -1269,6 +1574,8 @@ impl<'a> SimExecutor<'a> {
                                 s.inflight = InFlight::Idle;
                             }
                         }
+                        self.wake(gpu);
+                        self.wake_tensor_waiters(tensor);
                     }
                     Purpose::Demote { gpu, step, tensor } => {
                         self.mm.finish_swap_out(tensor)?;
@@ -1279,6 +1586,8 @@ impl<'a> SimExecutor<'a> {
                         if matches!(s.inflight, InFlight::WaitDemote) {
                             s.inflight = InFlight::Idle;
                         }
+                        self.wake(gpu);
+                        self.wake_tensor_waiters(tensor);
                     }
                     Purpose::Move { gpu, step, tensor } => {
                         self.mm.finish_move_to_device(tensor)?;
@@ -1290,6 +1599,8 @@ impl<'a> SimExecutor<'a> {
                         s.pinned.push(tensor);
                         s.targets.pop_front();
                         s.inflight = InFlight::Idle;
+                        self.wake(gpu);
+                        self.wake_tensor_waiters(tensor);
                     }
                     Purpose::Collective { iter, pack } => {
                         let state = self.collectives.get_mut(&(iter, pack)).ok_or_else(|| {
@@ -1302,6 +1613,7 @@ impl<'a> SimExecutor<'a> {
                     }
                     Purpose::Flush { tensor } => {
                         self.mm.finish_swap_out(tensor)?;
+                        self.wake_tensor_waiters(tensor);
                     }
                 }
             }
@@ -1310,6 +1622,10 @@ impl<'a> SimExecutor<'a> {
                 // (e.g. the simulator's zero-byte-transfer bias) are inert.
                 if let Some(tf) = self.faults.get(tag as usize).copied() {
                     self.apply_fault(tf.fault)?;
+                    // A fault can unblock (or re-block) anything: capacity
+                    // and rate changes have global reach. Rare, so the full
+                    // wake is cheap; over-waking is always safe.
+                    self.wake_all();
                 }
             }
         }
@@ -1356,5 +1672,96 @@ fn task_label(replica: usize, kind: harmony_taskgraph::TaskKind) -> String {
         Loss { ubatch } => format!("Loss u{ubatch} r{replica}"),
         Backward { pack, ubatch } => format!("B p{pack} u{ubatch} r{replica}"),
         Update { pack } => format!("U p{pack} r{replica}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorkloadConfig;
+    use crate::dp::plan_baseline_dp;
+    use harmony_models::{LayerClass, LayerSpec, ModelSpec};
+    use harmony_topology::presets::{commodity_server, CommodityParams, GBPS};
+
+    fn tiny_model() -> ModelSpec {
+        ModelSpec {
+            name: "tiny".to_string(),
+            layers: vec![LayerSpec {
+                name: "L0".to_string(),
+                class: LayerClass::Other,
+                params: 64,
+                fwd_flops_per_sample: 128,
+                out_elems_per_sample: 4,
+                extra_stash_elems_per_sample: 4,
+                in_elems_per_sample: 4,
+            }],
+            seq_len: 1,
+        }
+    }
+
+    fn tiny_topo() -> Topology {
+        commodity_server(CommodityParams {
+            num_gpus: 1,
+            gpus_per_switch: 1,
+            pcie_bw: GBPS,
+            host_uplink_bw: GBPS,
+            gpu_mem: 1 << 20,
+            gpu_flops: 1e9,
+        })
+        .unwrap()
+    }
+
+    fn tiny_workload() -> WorkloadConfig {
+        WorkloadConfig {
+            microbatches: 1,
+            ubatch_size: 1,
+            pack_size: 1,
+            opt_slots: 0,
+            group_size: None,
+            recompute: false,
+        }
+    }
+
+    /// Satellite of the wake-set rework: with zero observers attached,
+    /// `emit_with` must not even *construct* the event (no boxing, no
+    /// route-vector clones on the hot path).
+    #[test]
+    fn emit_with_skips_event_construction_without_observers() {
+        let model = tiny_model();
+        let topo = tiny_topo();
+        let plan = plan_baseline_dp(&model, 1, &tiny_workload()).unwrap();
+        let mut ex = SimExecutor::new(&topo, &model, &plan).unwrap();
+        let mut constructed = false;
+        ex.emit_with(|| {
+            constructed = true;
+            ExecEvent::RunFinished
+        });
+        assert!(!constructed, "event must not be built with no observers");
+    }
+
+    /// And the inverse: an attached observer both forces construction and
+    /// sees the event.
+    #[test]
+    fn emit_with_builds_and_delivers_with_an_observer() {
+        #[derive(Debug)]
+        struct Counter(std::rc::Rc<std::cell::Cell<u32>>);
+        impl ExecObserver for Counter {
+            fn on_event(&mut self, _ctx: &ExecContext<'_>, _event: &ExecEvent) {
+                self.0.set(self.0.get() + 1);
+            }
+        }
+        let model = tiny_model();
+        let topo = tiny_topo();
+        let plan = plan_baseline_dp(&model, 1, &tiny_workload()).unwrap();
+        let mut ex = SimExecutor::new(&topo, &model, &plan).unwrap();
+        let seen = std::rc::Rc::new(std::cell::Cell::new(0));
+        ex.attach_observer(Box::new(Counter(seen.clone())));
+        let mut constructed = false;
+        ex.emit_with(|| {
+            constructed = true;
+            ExecEvent::RunFinished
+        });
+        assert!(constructed);
+        assert_eq!(seen.get(), 1);
     }
 }

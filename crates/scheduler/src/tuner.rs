@@ -211,6 +211,8 @@ mod tests {
                 demand_bytes: vec![0],
                 swap_by_class: Default::default(),
                 channel_busy_secs: Default::default(),
+                events_processed: 0,
+                elapsed_secs: 0.0,
             }),
         }
     }

@@ -83,4 +83,24 @@ mod tests {
         let t = Trace::new("e");
         assert!(render(&t, 40).contains("empty trace"));
     }
+
+    #[test]
+    fn golden_two_lane_schedule() {
+        // Pins the exact rendered text for a small schedule so the
+        // symbol-table migration (and any future refactor) provably
+        // keeps the renderer's output identical.
+        let mut t = Trace::new("golden");
+        t.record(0.0, 1.0, Some(0), SpanKind::SwapIn, "W0");
+        t.record(1.0, 2.0, Some(0), SpanKind::Compute, "F L0 u0");
+        t.record(2.0, 3.0, Some(0), SpanKind::SwapOut, "A0");
+        t.record(1.0, 2.0, Some(1), SpanKind::P2p, "A0>1");
+        t.record(2.0, 4.0, Some(1), SpanKind::Compute, "F L1 u0");
+        t.record(3.5, 4.0, Some(0), SpanKind::Collective, "allreduce p0 i0");
+        let got = render(&t, 16);
+        let want = "golden (makespan 4.000s)  \
+                    [#=compute <=swap-in >=swap-out ==p2p +=collective]\n\
+                    gpu0 |<<<<####>>>>..++|\n\
+                    gpu1 |....====########|\n";
+        assert_eq!(got, want);
+    }
 }

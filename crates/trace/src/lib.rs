@@ -66,8 +66,58 @@ impl SpanKind {
     }
 }
 
+/// An interned span label: an index into the owning [`Trace`]'s
+/// [`SymbolTable`]. Copyable, 4 bytes, allocation-free to record — the
+/// executor interns each distinct label once at plan build/registration
+/// and stamps millions of spans with the id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SymbolId(u32);
+
+/// A string interner mapping distinct label texts to dense [`SymbolId`]s.
+///
+/// Lookups are by hash; ids are stable for the table's lifetime, so a
+/// `SymbolId` is only meaningful against the table that produced it
+/// (spans copied between traces must be re-interned — see
+/// [`Trace::label`]).
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    strings: Vec<String>,
+    index: std::collections::HashMap<String, SymbolId>,
+}
+
+impl SymbolTable {
+    /// Returns the id for `s`, interning it on first sight.
+    pub fn intern(&mut self, s: &str) -> SymbolId {
+        if let Some(&id) = self.index.get(s) {
+            return id;
+        }
+        let id = SymbolId(self.strings.len() as u32);
+        self.strings.push(s.to_string());
+        self.index.insert(s.to_string(), id);
+        id
+    }
+
+    /// The text behind `id`. Empty string for an id minted by a
+    /// *different* table (a span moved across traces without
+    /// re-interning) — callers copying spans must go through
+    /// [`Trace::label`] + re-intern.
+    pub fn resolve(&self, id: SymbolId) -> &str {
+        self.strings.get(id.0 as usize).map_or("", String::as_str)
+    }
+
+    /// Number of distinct labels interned.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether the table has no labels.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
 /// One timed span of activity.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Span {
     /// Start time (virtual seconds).
     pub start: f64,
@@ -77,8 +127,9 @@ pub struct Span {
     pub gpu: Option<usize>,
     /// Kind of activity.
     pub kind: SpanKind,
-    /// Short label, e.g. `"F L1 u0"`.
-    pub label: String,
+    /// Short label, e.g. `"F L1 u0"`, interned in the owning trace's
+    /// symbol table (resolve with [`Trace::label`]).
+    pub label: SymbolId,
 }
 
 /// An execution trace: a list of spans plus metadata.
@@ -88,6 +139,8 @@ pub struct Trace {
     pub name: String,
     /// Recorded spans.
     pub spans: Vec<Span>,
+    /// Interned label texts for `spans`.
+    pub symbols: SymbolTable,
 }
 
 impl Trace {
@@ -96,6 +149,7 @@ impl Trace {
         Trace {
             name: name.into(),
             spans: Vec::new(),
+            symbols: SymbolTable::default(),
         }
     }
 
@@ -104,21 +158,45 @@ impl Trace {
         self.spans.push(span);
     }
 
-    /// Convenience: record a span from fields.
+    /// Interns `label` in this trace's symbol table.
+    pub fn intern(&mut self, label: &str) -> SymbolId {
+        self.symbols.intern(label)
+    }
+
+    /// The label text of a span recorded in this trace.
+    pub fn label(&self, span: &Span) -> &str {
+        self.symbols.resolve(span.label)
+    }
+
+    /// Convenience: record a span from fields, interning the label.
     pub fn record(
         &mut self,
         start: f64,
         end: f64,
         gpu: Option<usize>,
         kind: SpanKind,
-        label: impl Into<String>,
+        label: impl AsRef<str>,
+    ) {
+        let label = self.symbols.intern(label.as_ref());
+        self.record_sym(start, end, gpu, kind, label);
+    }
+
+    /// Allocation-free record: stamp a span with an already-interned
+    /// label (the executor hot path).
+    pub fn record_sym(
+        &mut self,
+        start: f64,
+        end: f64,
+        gpu: Option<usize>,
+        kind: SpanKind,
+        label: SymbolId,
     ) {
         self.push(Span {
             start,
             end,
             gpu,
             kind,
-            label: label.into(),
+            label,
         });
     }
 
@@ -161,7 +239,7 @@ impl Trace {
                 json::number(s.end),
                 s.gpu.map_or("null".to_string(), |g| g.to_string()),
                 json::quote(s.kind.as_str()),
-                json::quote(&s.label),
+                json::quote(self.symbols.resolve(s.label)),
             ));
         }
         if !self.spans.is_empty() {
@@ -184,6 +262,7 @@ impl Trace {
             .ok_or_else(|| err("missing `name`"))?
             .to_string();
         let mut spans = Vec::new();
+        let mut symbols = SymbolTable::default();
         for (i, sv) in doc
             .get("spans")
             .and_then(|v| v.as_array())
@@ -209,11 +288,11 @@ impl Trace {
                 .and_then(|v| v.as_str())
                 .and_then(SpanKind::from_str)
                 .ok_or_else(|| err(&format!("span {i}: bad `kind`")))?;
-            let label = sv
-                .get("label")
-                .and_then(|v| v.as_str())
-                .ok_or_else(|| err(&format!("span {i}: missing `label`")))?
-                .to_string();
+            let label = symbols.intern(
+                sv.get("label")
+                    .and_then(|v| v.as_str())
+                    .ok_or_else(|| err(&format!("span {i}: missing `label`")))?,
+            );
             spans.push(Span {
                 start: field("start")?,
                 end: field("end")?,
@@ -222,7 +301,11 @@ impl Trace {
                 label,
             });
         }
-        Ok(Trace { name, spans })
+        Ok(Trace {
+            name,
+            spans,
+            symbols,
+        })
     }
 }
 
@@ -259,6 +342,57 @@ mod tests {
         assert_eq!(back.name, "rt");
         assert_eq!(back.spans.len(), 1);
         assert_eq!(back.spans[0].kind, SpanKind::P2p);
+        assert_eq!(back.label(&back.spans[0]), "x");
+    }
+
+    #[test]
+    fn interning_dedups_and_resolves() {
+        let mut t = Trace::new("sym");
+        let a = t.intern("F L1 u0");
+        let b = t.intern("B L1 u0");
+        assert_ne!(a, b);
+        assert_eq!(t.intern("F L1 u0"), a, "re-intern must hit the cache");
+        assert_eq!(t.symbols.len(), 2);
+        t.record_sym(0.0, 1.0, Some(0), SpanKind::Compute, a);
+        t.record(1.0, 2.0, Some(0), SpanKind::Compute, "F L1 u0");
+        assert_eq!(t.spans[0].label, t.spans[1].label);
+        assert_eq!(t.label(&t.spans[0]), "F L1 u0");
+        assert_eq!(t.symbols.len(), 2, "record must not re-intern");
+    }
+
+    #[test]
+    fn symbols_roundtrip_through_json_export() {
+        // The JSON format carries label *text* (no symbol-table section),
+        // so exports are byte-compatible with the old `label: String`
+        // schema and parse back losslessly whatever the id assignment.
+        let mut t = Trace::new("rt");
+        t.record(0.0, 1.0, Some(0), SpanKind::Compute, "F L0 u0");
+        t.record(1.0, 2.0, Some(1), SpanKind::SwapIn, "W1");
+        t.record(2.0, 3.0, Some(0), SpanKind::Compute, "F L0 u0");
+        let text = t.to_json();
+        assert!(text.contains("\"label\": \"F L0 u0\""));
+        assert!(!text.contains("symbols"), "no table section in JSON");
+        let back = Trace::from_json(&text).unwrap();
+        assert_eq!(back.spans.len(), t.spans.len());
+        for (a, b) in back.spans.iter().zip(&t.spans) {
+            assert_eq!(back.label(a), t.label(b));
+        }
+        // Shared labels stay shared after the round trip.
+        assert_eq!(back.spans[0].label, back.spans[2].label);
+        assert_eq!(back.symbols.len(), 2);
+        // And the re-export is byte-identical.
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn foreign_symbol_resolves_empty_not_panic() {
+        let mut other = Trace::new("other");
+        for i in 0..4 {
+            other.intern(&format!("s{i}"));
+        }
+        let foreign = other.intern("outsider");
+        let t = Trace::new("t");
+        assert_eq!(t.symbols.resolve(foreign), "");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Run summaries: the numbers the paper's figures plot.
 
 /// Aggregate results of one simulated (or executed) training run.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct RunSummary {
     /// Scheme + workload label.
     pub name: String,
@@ -27,6 +27,34 @@ pub struct RunSummary {
     /// Per-channel busy time in seconds, keyed by channel name — identifies
     /// the bottleneck link (the host uplink, in the paper's Fig 2a).
     pub channel_busy_secs: std::collections::BTreeMap<String, f64>,
+    /// Simulator events (completions) the executor processed to produce
+    /// this run — the unit the executor hot-path sweep scales in.
+    pub events_processed: u64,
+    /// Wall-clock seconds the host spent inside the executor's event loop
+    /// (not virtual time). Nondeterministic by nature: comparisons between
+    /// runs must ignore it (see the harness's executor differential).
+    pub elapsed_secs: f64,
+}
+
+/// Equality over the *deterministic* content of a run. `elapsed_secs` is
+/// host wall clock — measurement noise, not part of a run's identity — so
+/// two deterministic replays of the same plan compare equal even though
+/// their clocks differ. (`events_processed` IS deterministic and is
+/// compared.)
+impl PartialEq for RunSummary {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.sim_secs == other.sim_secs
+            && self.samples == other.samples
+            && self.swap_in_bytes == other.swap_in_bytes
+            && self.swap_out_bytes == other.swap_out_bytes
+            && self.p2p_bytes == other.p2p_bytes
+            && self.peak_mem_bytes == other.peak_mem_bytes
+            && self.demand_bytes == other.demand_bytes
+            && self.swap_by_class == other.swap_by_class
+            && self.channel_busy_secs == other.channel_busy_secs
+            && self.events_processed == other.events_processed
+    }
 }
 
 impl RunSummary {
@@ -53,6 +81,17 @@ impl RunSummary {
     /// Global swap volume, both directions.
     pub fn global_swap(&self) -> u64 {
         self.global_swap_in() + self.global_swap_out()
+    }
+
+    /// Executor events per wall-clock second — the hot-path throughput
+    /// `repro bench` tracks across the scaling grid. Zero when no wall
+    /// clock was recorded (hand-built summaries).
+    pub fn events_per_sec(&self) -> f64 {
+        if self.elapsed_secs > 0.0 {
+            self.events_processed as f64 / self.elapsed_secs
+        } else {
+            0.0
+        }
     }
 
     /// Max/min swap imbalance across GPUs — quantifies Fig 2(c).
@@ -111,6 +150,16 @@ impl RunSummary {
         out.push_str(&format!("\"name\": {}, ", quote(&self.name)));
         out.push_str(&format!("\"sim_secs\": {}, ", number(self.sim_secs)));
         out.push_str(&format!("\"samples\": {}, ", self.samples));
+        out.push_str(&format!(
+            "\"events_processed\": {}, ",
+            self.events_processed
+        ));
+        if self.elapsed_secs.is_finite() {
+            out.push_str(&format!(
+                "\"elapsed_secs\": {}, ",
+                number(self.elapsed_secs)
+            ));
+        }
         out.push_str(&format!("\"throughput\": {}, ", number(self.throughput())));
         if let Some(imb) = self.swap_imbalance().filter(|v| v.is_finite()) {
             out.push_str(&format!("\"swap_imbalance\": {}, ", number(imb)));
@@ -179,6 +228,8 @@ mod tests {
             demand_bytes: vec![3000, 1500],
             swap_by_class: Default::default(),
             channel_busy_secs: Default::default(),
+            events_processed: 40,
+            elapsed_secs: 0.5,
         }
     }
 
@@ -229,6 +280,11 @@ mod tests {
                 swap_out_bytes: vec![0, 0],
                 ..summary()
             },
+            // A non-finite wall clock must be omitted, never `null`.
+            RunSummary {
+                elapsed_secs: f64::INFINITY,
+                ..summary()
+            },
         ] {
             let text = s.to_json();
             assert!(
@@ -238,6 +294,18 @@ mod tests {
             let doc = crate::json::parse(&text).expect("valid JSON");
             assert_eq!(doc.get("name").and_then(|v| v.as_str()), Some("test"));
             assert_eq!(doc.get("sim_secs").and_then(|v| v.as_f64()), Some(2.0));
+            assert_eq!(
+                doc.get("events_processed").and_then(|v| v.as_f64()),
+                Some(40.0)
+            );
+            if s.elapsed_secs.is_finite() {
+                assert_eq!(
+                    doc.get("elapsed_secs").and_then(|v| v.as_f64()),
+                    Some(s.elapsed_secs)
+                );
+            } else {
+                assert!(doc.get("elapsed_secs").is_none());
+            }
             match s.swap_imbalance() {
                 Some(v) => {
                     assert_eq!(doc.get("swap_imbalance").and_then(|x| x.as_f64()), Some(v))
@@ -245,6 +313,14 @@ mod tests {
                 None => assert!(doc.get("swap_imbalance").is_none()),
             }
         }
+    }
+
+    #[test]
+    fn events_per_sec_is_events_over_wall_clock() {
+        assert_eq!(summary().events_per_sec(), 80.0);
+        let mut s = summary();
+        s.elapsed_secs = 0.0;
+        assert_eq!(s.events_per_sec(), 0.0);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Property-based tests on trace rendering: never panic, always preserve
 //! structure, for arbitrary span soups.
 
-use harmony_trace::{gantt, table::Table, Span, SpanKind, Trace};
+use harmony_trace::{gantt, table::Table, SpanKind, Trace};
 use proptest::prelude::*;
 
 fn kind_strategy() -> impl Strategy<Value = SpanKind> {
@@ -14,7 +14,11 @@ fn kind_strategy() -> impl Strategy<Value = SpanKind> {
     ]
 }
 
-fn span_strategy() -> impl Strategy<Value = Span> {
+/// Raw span fields; recorded into a trace via `Trace::record` (labels
+/// are interned per trace, so spans can't exist detached from one).
+type SpanFields = (f64, f64, Option<usize>, SpanKind, String);
+
+fn span_strategy() -> impl Strategy<Value = SpanFields> {
     (
         0.0f64..100.0,
         0.0f64..10.0,
@@ -22,13 +26,15 @@ fn span_strategy() -> impl Strategy<Value = Span> {
         kind_strategy(),
         "[a-z]{0,12}",
     )
-        .prop_map(|(start, len, gpu, kind, label)| Span {
-            start,
-            end: start + len,
-            gpu,
-            kind,
-            label,
-        })
+        .prop_map(|(start, len, gpu, kind, label)| (start, start + len, gpu, kind, label))
+}
+
+fn build(name: &str, spans: &[SpanFields]) -> Trace {
+    let mut t = Trace::new(name);
+    for (start, end, gpu, kind, label) in spans {
+        t.record(*start, *end, *gpu, *kind, label);
+    }
+    t
 }
 
 proptest! {
@@ -39,10 +45,7 @@ proptest! {
         spans in prop::collection::vec(span_strategy(), 0..40),
         width in 0usize..200,
     ) {
-        let mut t = Trace::new("prop");
-        for s in spans {
-            t.push(s);
-        }
+        let t = build("prop", &spans);
         let rendered = gantt::render(&t, width);
         if t.duration() > 0.0 && t.num_lanes() > 0 {
             // Header + one line per lane.
@@ -61,16 +64,13 @@ proptest! {
     fn json_roundtrip_preserves_span_structure(
         spans in prop::collection::vec(span_strategy(), 0..30),
     ) {
-        let mut t = Trace::new("rt");
-        for s in spans {
-            t.push(s);
-        }
+        let t = build("rt", &spans);
         let back = Trace::from_json(&t.to_json()).unwrap();
         prop_assert_eq!(back.spans.len(), t.spans.len());
         for (a, b) in back.spans.iter().zip(&t.spans) {
             prop_assert_eq!(a.gpu, b.gpu);
             prop_assert_eq!(a.kind, b.kind);
-            prop_assert_eq!(&a.label, &b.label);
+            prop_assert_eq!(back.label(a), t.label(b));
         }
     }
 
@@ -78,10 +78,7 @@ proptest! {
     fn busy_secs_is_additive_over_kinds(
         spans in prop::collection::vec(span_strategy(), 0..30),
     ) {
-        let mut t = Trace::new("b");
-        for s in spans {
-            t.push(s);
-        }
+        let t = build("b", &spans);
         for g in 0..6 {
             let per_kind: f64 = [
                 SpanKind::Compute,
