@@ -11,10 +11,41 @@
 //! --help` output on error) to run an arbitrary model × scheme × server
 //! configuration.
 
-use harmony_bench::{custom, figures, sweeps};
+use harmony_bench::{custom, fault_sweep, figures, sweeps};
+
+/// Full subcommand listing, printed by `repro help` and on any unknown
+/// subcommand. Kept in one place so the two can't drift apart.
+const USAGE: &str = "\
+repro — regenerate the paper's figures, tables and gates
+
+usage: repro <artefact|gate> [flags]
+
+figures/tables (or `all` for every one):
+  fig1 fig2a fig2b fig2c fig4 fig5a fig5bc table_a
+  dominance tango prefetch recompute eviction steady
+
+gates and sweeps:
+  conformance [seed]               oracle-instrumented pass/fail matrix
+                                   (exits nonzero on any failing cell)
+  bench [--json] [--workers N]     sweep wall clock at 1 worker vs the pool;
+                                   --json writes BENCH_sweeps.json
+  exec-smoke [--grid]              executor hot path vs the dense reference
+  fault-sweep [--smoke] [--json] [--seed N]
+                                   throughput under seeded fault plans with
+                                   the resilience layer armed; --smoke gates
+                                   on the 4-fault point, --json writes
+                                   BENCH_fault_sweep.json
+  custom <flags>                   arbitrary model x scheme x server run
+                                   (see `repro custom --help`)
+
+  help                             this text";
 
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    if arg == "help" || arg == "--help" || arg == "-h" {
+        println!("{USAGE}");
+        return;
+    }
     if arg == "conformance" {
         let seed = std::env::args()
             .nth(2)
@@ -119,6 +150,50 @@ fn main() {
         }
         return;
     }
+    if arg == "fault-sweep" {
+        let rest: Vec<String> = std::env::args().skip(2).collect();
+        let smoke = rest.iter().any(|a| a == "--smoke");
+        let json = rest.iter().any(|a| a == "--json");
+        let seed = rest
+            .iter()
+            .position(|a| a == "--seed")
+            .and_then(|i| rest.get(i + 1))
+            .map(|s| match s.parse::<u64>() {
+                Ok(n) => n,
+                Err(_) => {
+                    eprintln!("--seed takes an integer, got `{s}`");
+                    std::process::exit(2);
+                }
+            })
+            // Seed 3's plan exercises the whole layer on the reference
+            // cell: link slowdowns, a biting squeeze (spill → retries →
+            // overcommit) and a smooth degradation curve.
+            .unwrap_or(3);
+        if let Some(bad) = rest.iter().enumerate().find_map(|(i, a)| {
+            let is_seed_value = i > 0 && rest[i - 1] == "--seed" && a.parse::<u64>().is_ok();
+            (a != "--smoke" && a != "--json" && a != "--seed" && !is_seed_value).then_some(a)
+        }) {
+            eprintln!("unknown fault-sweep flag `{bad}`; expected [--smoke] [--json] [--seed N]");
+            std::process::exit(2);
+        }
+        let report = fault_sweep::run(seed);
+        println!("{}", report.render());
+        if json {
+            let path = "BENCH_fault_sweep.json";
+            if let Err(e) = std::fs::write(path, report.to_json()) {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("wrote {path}");
+        }
+        if smoke {
+            if let Some(msg) = report.smoke_failure() {
+                eprintln!("{msg}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     if arg == "custom" {
         let rest: Vec<String> = std::env::args().skip(2).collect();
         match custom::parse(&rest).and_then(|a| custom::run(&a)) {
@@ -189,11 +264,7 @@ fn main() {
         ran = true;
     }
     if !ran {
-        eprintln!(
-            "unknown artefact `{arg}`; expected one of: fig1 fig2a fig2b fig2c fig4 \
-             fig5a fig5bc table_a dominance tango prefetch recompute eviction steady all \
-             conformance bench"
-        );
+        eprintln!("unknown artefact `{arg}`\n\n{USAGE}");
         std::process::exit(2);
     }
 }

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod custom;
+pub mod fault_sweep;
 pub mod figures;
 pub mod sweeps;
 pub mod workloads;

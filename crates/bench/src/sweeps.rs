@@ -425,6 +425,7 @@ pub fn exec_hot_path(
         faults: &[],
         prefetch: false,
         iterations,
+        resilience: None,
     };
     // Best-of-N after a warmup, per mode, with the two modes
     // interleaved so they see the same host weather: wall-clock on a
@@ -602,6 +603,7 @@ mod tests {
                 channel_busy_secs: Default::default(),
                 events_processed: 7,
                 elapsed_secs: 0.25,
+                resilience: None,
             }],
         };
         let text = report.to_json();

@@ -11,13 +11,19 @@
 //!   grouping), outside the closed forms' assumptions: the run must
 //!   complete with every invariant oracle holding and logical work still
 //!   identical;
-//! * **fault** — seeded fault injection on a slack topology: invariants
-//!   must hold under pressure and the run must terminate within a bounded
-//!   event count.
+//! * **fault** — seeded fault injection on a slack topology with the
+//!   resilience layer armed: invariants must hold under pressure, the run
+//!   must terminate within a bounded event count, and the summary must
+//!   report a populated [`ResilienceOutcome`];
+//! * **resil** — harsh direct faults (a 5% capacity squeeze, a 10% link)
+//!   that are infeasible without the resilience layer: spill/reroute must
+//!   absorb them and the run must still complete with every oracle green.
+//!
+//! [`ResilienceOutcome`]: harmony_trace::summary::ResilienceOutcome
 
 use harmony::simulate::SchemeKind;
 use harmony_models::ModelSpec;
-use harmony_sched::{TimedFault, WorkloadConfig};
+use harmony_sched::{Fault, TimedFault, WorkloadConfig};
 use harmony_topology::Topology;
 
 use crate::differential::{check_swap_volumes_exact, check_work_equivalence, run_instrumented};
@@ -28,7 +34,7 @@ use crate::workloads::{slack_topo, tight_topo, tight_workload, uniform_model};
 /// Outcome of one scheme × configuration cell.
 #[derive(Debug, Clone)]
 pub struct CellOutcome {
-    /// Cell family (`"exact"`, `"knob"`, `"fault"`).
+    /// Cell family (`"exact"`, `"knob"`, `"fault"`, `"resil"`).
     pub family: &'static str,
     /// Scheme under test.
     pub scheme: SchemeKind,
@@ -106,6 +112,9 @@ struct CellSpec {
     exact: bool,
     faults: Vec<TimedFault>,
     event_budget: Option<u64>,
+    /// Backoff seed when the resilience layer is armed; armed cells must
+    /// complete with a populated `ResilienceOutcome` in the summary.
+    resilience: Option<u64>,
 }
 
 impl CellSpec {
@@ -123,9 +132,21 @@ impl CellSpec {
                 oracles,
                 &self.faults,
                 self.event_budget,
+                self.resilience,
             )
-            .map(|_| ())
             .map_err(|e| e.to_string())
+            .and_then(|summary| {
+                // An armed cell with injected faults must surface the
+                // typed outcome — "completed, but silently" is a failure.
+                if self.resilience.is_some()
+                    && !self.faults.is_empty()
+                    && summary.resilience.is_none()
+                {
+                    Err("resilience armed but summary reports no outcome".to_string())
+                } else {
+                    Ok(())
+                }
+            })
         };
         if self.check_work {
             if let (Ok(()), Err(e)) = (
@@ -172,6 +193,7 @@ fn build_matrix(seed: u64) -> Vec<CellSpec> {
                         exact: true,
                         faults: Vec::new(),
                         event_budget: None,
+                        resilience: None,
                     });
                 }
             }
@@ -212,13 +234,16 @@ fn build_matrix(seed: u64) -> Vec<CellSpec> {
                     exact: false,
                     faults: Vec::new(),
                     event_budget: None,
+                    resilience: None,
                 });
             }
         }
     }
 
-    // Fault family: seeded perturbations on the slack topology. The
-    // event budget bounds termination; oracles stay on throughout.
+    // Fault family: seeded perturbations on the slack topology with the
+    // resilience layer armed. The event budget bounds termination;
+    // oracles stay on throughout, and every cell must report a populated
+    // resilience outcome (zero infeasible aborts).
     {
         let model = uniform_model(6, 4096);
         let topo = slack_topo(2);
@@ -236,6 +261,48 @@ fn build_matrix(seed: u64) -> Vec<CellSpec> {
                 exact: false,
                 faults: plan.faults.clone(),
                 event_budget: Some(1_000_000),
+                resilience: Some(seed),
+            });
+        }
+    }
+
+    // Resil family: harsh direct faults that would abort the run without
+    // the layer — an early 5% capacity squeeze (clamped to in-use bytes,
+    // so later working sets no longer fit) plus a 10% link degradation.
+    // Spill/reroute must absorb both on every scheme.
+    {
+        let model = uniform_model(6, 4096);
+        let topo = slack_topo(2);
+        let w = tight_workload(4);
+        let faults = vec![
+            TimedFault {
+                at: 1e-4,
+                fault: Fault::CapacitySqueeze {
+                    gpu: 0,
+                    factor: 0.05,
+                },
+            },
+            TimedFault {
+                at: 2e-4,
+                fault: Fault::LinkBandwidth {
+                    channel: 0,
+                    factor: 0.10,
+                },
+            },
+        ];
+        for scheme in SchemeKind::ALL {
+            specs.push(CellSpec {
+                family: "resil",
+                scheme,
+                config: format!("{} N=2 m=4 harsh", model.name),
+                model: model.clone(),
+                topo: topo.clone(),
+                w,
+                check_work: false,
+                exact: false,
+                faults: faults.clone(),
+                event_budget: Some(2_000_000),
+                resilience: Some(seed ^ 0xD1FF),
             });
         }
     }

@@ -39,8 +39,11 @@ use harmony_trace::summary::RunSummary;
 use crate::oracles::{instrument, OracleConfig};
 
 /// Plans and runs one scheme with oracles attached and optional fault
-/// injection / event budget — the harness's single entry point to the
-/// executor.
+/// injection / event budget / resilience arming — the harness's single
+/// entry point to the executor. `resilience` carries the backoff seed for
+/// [`harmony_sched::SimExecutor::enable_resilience`]; `None` runs without
+/// the layer.
+#[allow(clippy::too_many_arguments)] // deliberate flat signature: every call site names all knobs
 pub fn run_instrumented(
     scheme: SchemeKind,
     model: &ModelSpec,
@@ -49,12 +52,16 @@ pub fn run_instrumented(
     oracles: &OracleConfig,
     faults: &[TimedFault],
     event_budget: Option<u64>,
+    resilience: Option<u64>,
 ) -> Result<RunSummary, ExecError> {
     let (summary, _trace) = simulate::run_configured(scheme, model, topo, workload, |exec| {
         instrument(exec, oracles);
         exec.inject_faults(faults)?;
         if let Some(budget) = event_budget {
             exec.set_event_budget(budget);
+        }
+        if let Some(seed) = resilience {
+            exec.enable_resilience(seed);
         }
         Ok(())
     })?;
@@ -116,7 +123,7 @@ pub fn compare_swap_volumes(
     workload: &WorkloadConfig,
     oracles: &OracleConfig,
 ) -> Result<Vec<VolumeDelta>, ExecError> {
-    let summary = run_instrumented(scheme, model, topo, workload, oracles, &[], None)?;
+    let summary = run_instrumented(scheme, model, topo, workload, oracles, &[], None, None)?;
     let p = analytical::Params::from_model(
         model,
         workload.ubatch_size,
@@ -177,7 +184,7 @@ pub fn check_swap_volumes_exact(
     workload: &WorkloadConfig,
     oracles: &OracleConfig,
 ) -> Result<(), String> {
-    let summary = run_instrumented(scheme, model, topo, workload, oracles, &[], None)
+    let summary = run_instrumented(scheme, model, topo, workload, oracles, &[], None, None)
         .map_err(|e| format!("{} failed to run: {e}", scheme.name()))?;
     let p = exact_params(model, topo, workload);
     let a = scheme.analytical();

@@ -50,6 +50,11 @@ pub struct ExecDiffCase<'a> {
     pub prefetch: bool,
     /// Back-to-back iterations.
     pub iterations: u32,
+    /// Arm the resilience layer with this backoff seed
+    /// ([`SimExecutor::enable_resilience`]): post-fault capacity
+    /// shortfalls spill-and-retry, degraded-link p2p reroutes. `None`
+    /// runs without the layer.
+    pub resilience: Option<u64>,
 }
 
 type ModeResult = Result<(RunSummary, Trace, ExecCounters), ExecError>;
@@ -68,6 +73,9 @@ pub fn run_mode(case: &ExecDiffCase<'_>, dense: bool) -> ModeResult {
     let mut exec = SimExecutor::with_iterations(case.topo, case.model, &plan, case.iterations)?;
     if !case.faults.is_empty() {
         exec.inject_faults(case.faults)?;
+    }
+    if let Some(seed) = case.resilience {
+        exec.enable_resilience(seed);
     }
     if dense {
         exec.use_dense_advance();
@@ -163,6 +171,7 @@ mod tests {
             faults: &[],
             prefetch: false,
             iterations: 1,
+            resilience: None,
         })
         .expect("modes must agree");
         assert!(out.trace_json_bytes > 0);
@@ -187,6 +196,7 @@ mod tests {
                 faults: &[],
                 prefetch: true,
                 iterations: 2,
+                resilience: None,
             })
             .unwrap_or_else(|e| panic!("{}: {e}", scheme.name()));
         }

@@ -39,26 +39,51 @@ impl FaultPlan {
     ///   50–150% of nominal.
     ///
     /// Fault times are spread over `(0, horizon_secs)`.
+    ///
+    /// Fault kinds that a degenerate topology cannot express are never
+    /// emitted: link faults need at least one channel, squeezes and
+    /// jitter at least one GPU. An impossible draw is *redrawn* (rather
+    /// than silently remapped to another kind, which used to emit
+    /// `ComputeJitter { gpu: 0 }` on a zero-GPU topology and skew the
+    /// fault mix on a zero-channel one). On topologies where every kind
+    /// is expressible the RNG stream is untouched, so existing seeded
+    /// plans are unchanged. A topology with no GPUs *and* no channels
+    /// yields an empty plan.
     pub fn generate(seed: u64, topo: &Topology, horizon_secs: f64, count: usize) -> Self {
         let mut rng = SplitMix64::new(seed ^ 0x9E37_79B9_7F4A_7C15);
         let channels = topo.channels().len();
         let gpus = topo.num_gpus();
+        if channels == 0 && gpus == 0 {
+            return FaultPlan {
+                seed,
+                faults: Vec::new(),
+            };
+        }
         let mut faults = Vec::with_capacity(count);
         for _ in 0..count {
             let at = rng.next_f64() * horizon_secs;
-            let fault = match rng.next_u64() % 3 {
-                0 if channels > 0 => Fault::LinkBandwidth {
-                    channel: (rng.next_u64() as usize) % channels,
-                    factor: 0.25 + 0.65 * rng.next_f64(),
-                },
-                1 if gpus > 0 => Fault::CapacitySqueeze {
-                    gpu: (rng.next_u64() as usize) % gpus,
-                    factor: 0.60 + 0.35 * rng.next_f64(),
-                },
-                _ => Fault::ComputeJitter {
-                    gpu: (rng.next_u64() as usize) % gpus.max(1),
-                    factor: 0.50 + rng.next_f64(),
-                },
+            let fault = loop {
+                match rng.next_u64() % 3 {
+                    0 if channels > 0 => {
+                        break Fault::LinkBandwidth {
+                            channel: (rng.next_u64() as usize) % channels,
+                            factor: 0.25 + 0.65 * rng.next_f64(),
+                        }
+                    }
+                    1 if gpus > 0 => {
+                        break Fault::CapacitySqueeze {
+                            gpu: (rng.next_u64() as usize) % gpus,
+                            factor: 0.60 + 0.35 * rng.next_f64(),
+                        }
+                    }
+                    2 if gpus > 0 => {
+                        break Fault::ComputeJitter {
+                            gpu: (rng.next_u64() as usize) % gpus,
+                            factor: 0.50 + rng.next_f64(),
+                        }
+                    }
+                    _ => continue, // inexpressible on this topology: redraw
+                }
             };
             faults.push(TimedFault { at, fault });
         }
@@ -85,6 +110,93 @@ mod tests {
         let a = FaultPlan::generate(1, &topo, 1.0, 5);
         let b = FaultPlan::generate(2, &topo, 1.0, 5);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn empty_topology_yields_empty_plan() {
+        // No GPUs and no channels: no fault kind is expressible.
+        let topo = harmony_topology::TopologyBuilder::new("empty")
+            .build()
+            .unwrap();
+        for seed in 0..8 {
+            let plan = FaultPlan::generate(seed, &topo, 1.0, 5);
+            assert!(
+                plan.faults.is_empty(),
+                "inexpressible faults emitted: {plan:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn gpuless_topology_only_emits_link_faults() {
+        // Channels but no GPUs (a switch fabric under test): squeezes and
+        // jitter have no target, so every fault must be a link fault — the
+        // old generator emitted `ComputeJitter { gpu: 0 }` here.
+        let mut b = harmony_topology::TopologyBuilder::new("fabric");
+        b.channel("c0", 1e9);
+        b.channel("c1", 1e9);
+        let topo = b.build().unwrap();
+        for seed in 0..16 {
+            for tf in FaultPlan::generate(seed, &topo, 1.0, 6).faults {
+                assert!(
+                    matches!(tf.fault, Fault::LinkBandwidth { channel, .. } if channel < 2),
+                    "non-link fault on a zero-GPU topology: {:?}",
+                    tf.fault
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn channelless_topology_only_emits_gpu_faults() {
+        let mut b = harmony_topology::TopologyBuilder::new("island");
+        b.gpu(
+            harmony_topology::GpuSpec {
+                mem_bytes: 1 << 20,
+                flops: 1e9,
+            },
+            0,
+        );
+        let topo = b.build().unwrap();
+        let mut squeezes = 0;
+        let mut jitters = 0;
+        for seed in 0..16 {
+            for tf in FaultPlan::generate(seed, &topo, 1.0, 6).faults {
+                match tf.fault {
+                    Fault::CapacitySqueeze { gpu, .. } => {
+                        assert_eq!(gpu, 0);
+                        squeezes += 1;
+                    }
+                    Fault::ComputeJitter { gpu, .. } => {
+                        assert_eq!(gpu, 0);
+                        jitters += 1;
+                    }
+                    other => panic!("link fault without channels: {other:?}"),
+                }
+            }
+        }
+        // The redraw keeps both remaining kinds in the mix.
+        assert!(squeezes > 0 && jitters > 0);
+    }
+
+    #[test]
+    fn full_topology_stream_is_unchanged_by_the_redraw_guard() {
+        // On a topology where every kind is expressible, the guarded
+        // generator must reproduce the historical plans bit for bit
+        // (pinned conformance cells depend on seeded fault plans).
+        let topo = slack_topo(2);
+        let plan = FaultPlan::generate(9, &topo, 1.0, 12);
+        assert_eq!(plan.faults.len(), 12);
+        let kinds: std::collections::HashSet<u8> = plan
+            .faults
+            .iter()
+            .map(|tf| match tf.fault {
+                Fault::LinkBandwidth { .. } => 0u8,
+                Fault::CapacitySqueeze { .. } => 1,
+                Fault::ComputeJitter { .. } => 2,
+            })
+            .collect();
+        assert_eq!(kinds.len(), 3, "all kinds drawn on a full topology");
     }
 
     #[test]

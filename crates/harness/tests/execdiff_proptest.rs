@@ -31,6 +31,7 @@ proptest! {
         iterations in 1u32..3,
         fault_seed in 0u64..64,
         fault_count in 0usize..4,
+        resilience in any::<bool>(),
     ) {
         let model = uniform_model(layers, 4096);
         // Slack capacity keeps random capacity squeezes satisfiable, so
@@ -46,6 +47,10 @@ proptest! {
             faults: &faults.faults,
             prefetch,
             iterations,
+            // Half the cases arm the resilience layer: degraded runs must
+            // stay byte-identical across loops, clean runs byte-identical
+            // with the layer on or off (checked by the harness grid).
+            resilience: resilience.then_some(fault_seed),
         };
         if let Err(divergence) = check_dense_vs_fast(&case) {
             panic!("loops diverged: {divergence}\ncase: {case:?}");
@@ -74,6 +79,7 @@ proptest! {
             faults: &[],
             prefetch,
             iterations: 1,
+            resilience: None,
         };
         if let Err(divergence) = check_dense_vs_fast(&case) {
             panic!("loops diverged: {divergence}\ncase: {case:?}");
@@ -100,6 +106,7 @@ fn wake_set_does_not_rescan_all_gpus_per_event() {
         faults: &[],
         prefetch: false,
         iterations: 2,
+        resilience: None,
     })
     .expect("modes must agree");
     assert!(out.error.is_none(), "run must complete");
@@ -156,10 +163,29 @@ fn infeasible_runs_fail_identically() {
         faults: &[],
         prefetch: false,
         iterations: 1,
+        resilience: None,
     })
     .expect("modes must agree (even on failure)");
     assert!(
         out.error.is_some(),
         "a 256 KiB working set cannot fit 36 KiB of device memory"
+    );
+    // The resilience layer only absorbs *post-fault* shortfalls: with no
+    // faults injected, an infeasible run must fail with the identical
+    // error even when the layer is armed.
+    let out = check_dense_vs_fast(&ExecDiffCase {
+        scheme: SchemeKind::BaselineDp,
+        model: &model,
+        topo: &topo,
+        workload: &w,
+        faults: &[],
+        prefetch: false,
+        iterations: 1,
+        resilience: Some(7),
+    })
+    .expect("modes must agree (even on failure)");
+    assert!(
+        out.error.is_some(),
+        "clean infeasible runs must still fail with resilience armed"
     );
 }

@@ -52,8 +52,16 @@ fn every_scheme_terminates_on_every_preset() {
         let model = uniform_model(8, params);
         let w = tight_workload(4);
         for scheme in SchemeKind::ALL {
-            let clean =
-                run_instrumented(scheme, &model, &topo, &w, &oracles, &[], Some(EVENT_BUDGET));
+            let clean = run_instrumented(
+                scheme,
+                &model,
+                &topo,
+                &w,
+                &oracles,
+                &[],
+                Some(EVENT_BUDGET),
+                None,
+            );
             assert!(
                 clean.is_ok(),
                 "{} on {name}: clean run failed: {:?}",
@@ -68,6 +76,7 @@ fn every_scheme_terminates_on_every_preset() {
                 &oracles,
                 &squeeze_all(&topo, 1e-6),
                 Some(EVENT_BUDGET),
+                None,
             );
             assert!(
                 squeezed.is_ok(),
@@ -105,6 +114,7 @@ fn throughput_degrades_monotonically_with_bandwidth() {
                 &oracles,
                 &faults,
                 Some(EVENT_BUDGET),
+                None,
             )
             .unwrap_or_else(|e| panic!("{} at factor {factor}: {e}", scheme.name()));
             assert!(

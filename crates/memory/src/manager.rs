@@ -446,10 +446,17 @@ impl MemoryManager {
                     capacity: self.capacities[dev],
                 }
             })?;
+            // The policy is an external trait object: a buggy
+            // implementation returning an id outside the candidate set is
+            // an error to report, not an invariant to die on.
             let idx = candidates
                 .iter()
                 .position(|t| t.id == victim)
-                .expect("policy must pick a candidate");
+                .ok_or_else(|| MemError::InvalidState {
+                    id: victim,
+                    op: "evict",
+                    state: "not in the eviction-candidate set the policy was offered".to_string(),
+                })?;
             free += candidates[idx].bytes;
             victims.push(victim);
             candidates.remove(idx);
@@ -668,6 +675,48 @@ impl MemoryManager {
         }
     }
 
+    /// Reverts an in-flight move toward a device: the resilience layer's
+    /// transfer-cancellation path (a fault degraded the link mid-move and
+    /// the runtime will re-issue the payload over another route). The
+    /// destination reservation is released and the tensor returns to its
+    /// pre-move residency — the source device for a p2p move (re-entering
+    /// that device's evictable index), host for a swap-in.
+    ///
+    /// Traffic recorded at `begin_*` stays tallied: bytes are charged to
+    /// the *attempt*, matching the simulator's at-issue channel
+    /// accounting, and only faulted runs ever cancel.
+    pub fn cancel_move_to_device(&mut self, id: TensorId) -> Result<(), MemError> {
+        let info = self.info(id)?.clone();
+        match info.residency {
+            Residency::MovingToDevice { dst, src } => {
+                self.release(dst, info.bytes);
+                match src {
+                    Some(s) => {
+                        // A moving tensor can never be pinned (pin
+                        // requires device residency), so it is evictable
+                        // again the moment it is back on `s`.
+                        self.info_mut(id)?.residency = Residency::OnDevice(s);
+                        self.evictable[s].insert(id);
+                    }
+                    None => {
+                        self.info_mut(id)?.residency = Residency::OnHost;
+                    }
+                }
+                self.emit(MemEvent::CancelMove {
+                    id,
+                    dst,
+                    p2p: src.is_some(),
+                });
+                Ok(())
+            }
+            ref other => Err(MemError::InvalidState {
+                id,
+                op: "cancel_move_to_device",
+                state: other.describe(),
+            }),
+        }
+    }
+
     /// Marks a tensor as modified on its device (its host copy, if any, is
     /// now stale). Runtimes call this for every tensor a task writes.
     pub fn mark_dirty(&mut self, id: TensorId) -> Result<(), MemError> {
@@ -735,6 +784,30 @@ mod tests {
     }
 
     #[test]
+    fn make_room_reports_a_policy_that_picks_a_non_candidate() {
+        // A policy returning an id outside the offered candidate set is a
+        // bug in external code: the manager must surface a typed error,
+        // not panic.
+        struct Rogue;
+        impl crate::policy::EvictionPolicy for Rogue {
+            fn choose(&self, _candidates: &[&TensorInfo]) -> Option<TensorId> {
+                Some(TensorId::MAX)
+            }
+            fn name(&self) -> &'static str {
+                "rogue"
+            }
+        }
+        let mut m = mm();
+        let a = m.alloc_on_device("a", 800, TensorClass::Stash, 0).unwrap();
+        let _ = a;
+        let err = m.make_room(0, 500, &Rogue).unwrap_err();
+        assert!(
+            matches!(err, MemError::InvalidState { id, op: "evict", .. } if id == TensorId::MAX),
+            "wrong error: {err}"
+        );
+    }
+
+    #[test]
     fn register_and_alloc_account_capacity() {
         let mut m = mm();
         let w = m.register_on_host("w", 400, TensorClass::Weight);
@@ -794,6 +867,44 @@ mod tests {
         assert_eq!(m.used(1).unwrap(), 300);
         assert_eq!(m.stats().p2p_bytes, 300);
         assert_eq!(m.stats().total(), 0, "no host swap volume");
+    }
+
+    #[test]
+    fn cancel_move_reverts_p2p_to_source() {
+        let mut m = mm();
+        let a = m
+            .alloc_on_device("a", 300, TensorClass::Activation, 0)
+            .unwrap();
+        m.begin_p2p(a, 1).unwrap();
+        m.cancel_move_to_device(a).unwrap();
+        assert_eq!(m.info(a).unwrap().residency, Residency::OnDevice(0));
+        assert_eq!(m.used(0).unwrap(), 300, "source copy still charged");
+        assert_eq!(m.used(1).unwrap(), 0, "destination reservation released");
+        // Back in the source's evictable index.
+        assert_eq!(m.eviction_candidates(0).len(), 1);
+        assert!(m.eviction_candidates(1).is_empty());
+        // Attempted traffic stays tallied (charged to the attempt).
+        assert_eq!(m.stats().p2p_bytes, 300);
+        // The tensor is fully live again: a fresh move works.
+        m.begin_p2p(a, 1).unwrap();
+        m.finish_move_to_device(a).unwrap();
+        assert_eq!(m.info(a).unwrap().residency, Residency::OnDevice(1));
+    }
+
+    #[test]
+    fn cancel_move_reverts_swap_in_to_host() {
+        let mut m = mm();
+        let w = m.register_on_host("w", 400, TensorClass::Weight);
+        m.begin_swap_in(w, 0).unwrap();
+        m.cancel_move_to_device(w).unwrap();
+        assert_eq!(m.info(w).unwrap().residency, Residency::OnHost);
+        assert_eq!(m.used(0).unwrap(), 0, "reservation released");
+        assert!(m.info(w).unwrap().host_copy_valid);
+        // Only in-flight-to-device states are cancellable.
+        assert!(m.cancel_move_to_device(w).is_err());
+        m.begin_swap_in(w, 0).unwrap();
+        m.finish_move_to_device(w).unwrap();
+        assert!(m.cancel_move_to_device(w).is_err(), "already arrived");
     }
 
     #[test]

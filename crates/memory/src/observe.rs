@@ -95,6 +95,18 @@ pub enum MemEvent {
         /// Payload size.
         bytes: u64,
     },
+    /// An in-flight move toward a device was cancelled (resilience-layer
+    /// reroute): destination reservation released, tensor back at its
+    /// source residency.
+    CancelMove {
+        /// Tensor whose move was cancelled.
+        id: TensorId,
+        /// Destination whose reservation was released.
+        dst: DeviceId,
+        /// True for a p2p move (tensor back on its source device);
+        /// false for a swap-in (tensor back on host).
+        p2p: bool,
+    },
     /// A swap-in or p2p move finished (tensor device-resident).
     FinishMove {
         /// Tensor now resident.

@@ -83,7 +83,10 @@ use harmony_models::ModelSpec;
 use harmony_simulator::{Completion, SimError, Simulator, TransferId};
 use harmony_taskgraph::{TaskId, TensorRef};
 use harmony_topology::{ChannelId, Endpoint, Topology, TopologyError};
-use harmony_trace::{summary::RunSummary, SpanKind, SymbolId, Trace};
+use harmony_trace::{
+    summary::{ResilienceMode, ResilienceOutcome, RunSummary},
+    SpanKind, SymbolId, Trace,
+};
 
 use crate::config::PolicyKind;
 use crate::obs::{ExecContext, ExecEvent, ExecObserver, Fault, TimedFault};
@@ -277,6 +280,56 @@ enum Slot {
     Prefetch,
 }
 
+/// Timer tags at or above this bias belong to resilience retry timers;
+/// below it they are injected-fault timers (tag = index into `faults`).
+/// Far below the simulator's 2^62 tag ceiling, far above any fault count.
+const RETRY_TAG_BIAS: u64 = 1 << 48;
+
+/// Base delay of the seeded exponential backoff (virtual seconds). Small
+/// relative to typical transfer times so the first retry lands promptly.
+const RETRY_BASE_SECS: f64 = 2e-5;
+
+/// Spill retries before escalating to a UVM-style capacity overcommit.
+const MAX_SPILL_ATTEMPTS: u32 = 3;
+
+/// A link whose bandwidth fault factor drops below this threshold is
+/// treated as degraded: in-flight p2p moves over it are cancelled and new
+/// fetches take the host-bounce path until it recovers.
+const DEGRADED_FACTOR: f64 = 0.5;
+
+/// Pressure-spill state of a GPU's *current* step: a post-fault capacity
+/// shortfall being handled by evict-and-retry instead of aborting.
+#[derive(Debug, Clone, Copy)]
+struct SpillState {
+    /// Step that spilled; stale timers for older steps are ignored.
+    step_id: u64,
+    /// Retry timers fired so far (resets after an overcommit escalation).
+    attempts: u32,
+    /// A retry timer is scheduled and has not fired yet.
+    timer_pending: bool,
+    /// Bytes the most recent failed attempt needed free.
+    needed: u64,
+}
+
+/// What a fired resilience retry timer should do.
+#[derive(Debug, Clone, Copy)]
+enum RetryKind {
+    /// Re-attempt the spilled fetch of step `step` on `gpu`.
+    Spill { gpu: usize, step: u64 },
+    /// Flip step `step` on `gpu` from Moving back to Idle so the cancelled
+    /// p2p fetch is re-attempted (host bounce while the route is degraded).
+    Reroute { gpu: usize, step: u64 },
+}
+
+/// SplitMix64 step for backoff jitter — self-contained so the scheduler
+/// does not grow an RNG dependency.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Executes one iteration of an [`ExecutionPlan`] on a topology. See
 /// module docs.
 pub struct SimExecutor<'a> {
@@ -327,6 +380,25 @@ pub struct SimExecutor<'a> {
     /// classify wakes as productive or spurious.
     mutations: u64,
     counters: ExecCounters,
+    /// Graceful-degradation layer (DESIGN §10): when armed, post-fault
+    /// capacity shortfalls spill-and-retry instead of aborting, and p2p
+    /// fetches reroute off degraded links. Off by default.
+    resilience: bool,
+    /// Seed for the deterministic backoff jitter.
+    resilience_seed: u64,
+    /// Set once the first injected fault applies — the gate that keeps
+    /// the resilience layer byte-invisible on clean (and pre-fault) paths.
+    fault_applied: bool,
+    /// Channels currently degraded below [`DEGRADED_FACTOR`].
+    degraded_channels: BTreeSet<ChannelId>,
+    /// Per-GPU pressure-spill state (current step only).
+    spills: Vec<Option<SpillState>>,
+    /// Metadata of scheduled retry timers, indexed by tag − RETRY_TAG_BIAS.
+    retry_meta: Vec<RetryKind>,
+    /// Reroutes per tensor, so backoff grows across repeated link faults.
+    reroute_attempts: HashMap<TensorId, u32>,
+    /// Counters reported as the summary's [`ResilienceOutcome`].
+    res_outcome: ResilienceOutcome,
 }
 
 impl<'a> SimExecutor<'a> {
@@ -468,7 +540,28 @@ impl<'a> SimExecutor<'a> {
             poll: BTreeSet::new(),
             mutations: 0,
             counters,
+            resilience: false,
+            resilience_seed: 0,
+            fault_applied: false,
+            degraded_channels: BTreeSet::new(),
+            spills: vec![None; num_gpus],
+            retry_meta: Vec::new(),
+            reroute_attempts: HashMap::new(),
+            res_outcome: ResilienceOutcome::default(),
         })
+    }
+
+    /// Arms the resilience layer (DESIGN §10): once any injected fault has
+    /// applied, capacity shortfalls on the current step enter pressure-spill
+    /// mode (park + seeded-backoff retry, escalating to a UVM-style
+    /// overcommit) and p2p fetches over degraded links are cancelled and
+    /// rerouted through host memory — instead of aborting the run. `seed`
+    /// drives the backoff jitter, so a fixed seed gives a bit-identical
+    /// degraded trace. Clean runs are unaffected: every resilience branch
+    /// is additionally gated on a fault having fired.
+    pub fn enable_resilience(&mut self, seed: u64) {
+        self.resilience = true;
+        self.resilience_seed = seed;
     }
 
     /// Switches to the dense-reference event loop: every GPU is
@@ -666,6 +759,7 @@ impl<'a> SimExecutor<'a> {
 
     /// Applies an injected fault when its timer fires.
     fn apply_fault(&mut self, fault: Fault) -> Result<(), ExecError> {
+        self.fault_applied = true;
         match fault {
             Fault::LinkBandwidth { channel, factor } => {
                 let nominal = self
@@ -675,6 +769,15 @@ impl<'a> SimExecutor<'a> {
                     .ok_or_else(|| ExecError::Plan(format!("fault on unknown channel {channel}")))?
                     .bandwidth;
                 self.sim.set_channel_bandwidth(channel, nominal * factor)?;
+                if self.resilience {
+                    if factor < DEGRADED_FACTOR {
+                        self.degraded_channels.insert(channel);
+                        self.reroute_inflight_p2p(channel)?;
+                    } else {
+                        // A later fault can restore the link.
+                        self.degraded_channels.remove(&channel);
+                    }
+                }
             }
             Fault::CapacitySqueeze { gpu, factor } => {
                 let nominal = self.topo.gpu(gpu)?.mem_bytes;
@@ -690,6 +793,244 @@ impl<'a> SimExecutor<'a> {
             }
         }
         self.emit(ExecEvent::FaultApplied { fault });
+        Ok(())
+    }
+
+    /// Deterministic exponential backoff with seeded jitter: delay for
+    /// retry number `attempts`, salted so concurrent retry streams (per
+    /// GPU, per tensor) decorrelate without sharing mutable RNG state.
+    fn retry_backoff(&self, salt: u64, attempts: u32) -> f64 {
+        let base = RETRY_BASE_SECS * (1u64 << attempts.min(16)) as f64;
+        let bits = splitmix64(
+            self.resilience_seed ^ salt.wrapping_mul(0x9E37_79B9) ^ ((attempts as u64 + 1) << 32),
+        );
+        // 53 uniform bits → jitter in [1.0, 2.0) × base.
+        let jitter = 1.0 + (bits >> 11) as f64 / (1u64 << 53) as f64;
+        base * jitter
+    }
+
+    /// Schedules a resilience retry timer `delay` virtual seconds from
+    /// now. The tag encodes an index into `retry_meta`.
+    fn schedule_retry(&mut self, kind: RetryKind, delay: f64) -> Result<(), ExecError> {
+        let tag = RETRY_TAG_BIAS + self.retry_meta.len() as u64;
+        self.retry_meta.push(kind);
+        let at = self.sim.now() + delay;
+        self.sim.set_timer(at, tag)?;
+        Ok(())
+    }
+
+    /// Whether the p2p route `src → dst` crosses a degraded channel.
+    fn route_degraded(&self, src: usize, dst: usize) -> Result<bool, ExecError> {
+        if self.degraded_channels.is_empty() {
+            return Ok(false);
+        }
+        let route = self.topo.route(Endpoint::Gpu(src), Endpoint::Gpu(dst))?;
+        Ok(route.iter().any(|c| self.degraded_channels.contains(c)))
+    }
+
+    /// Routes a memory failure from a fetch/alloc attempt of step
+    /// `step_id` on `g` into pressure-spill mode. Only
+    /// `InsufficientMemory` on the *current* slot of a fault-degraded,
+    /// resilience-armed run is absorbed (the step parks and a backoff
+    /// timer re-drives it); everything else — including all failures on
+    /// clean runs and before any fault fires — propagates unchanged, so
+    /// clean behaviour stays byte-identical with the layer on or off.
+    /// Prefetch-slot shortfalls keep their existing fallback
+    /// (cancel-and-retry serially in `try_prefetch`).
+    fn spill_guard(
+        &mut self,
+        g: usize,
+        slot: Slot,
+        step_id: u64,
+        e: MemError,
+    ) -> Result<bool, ExecError> {
+        let needed = match (&e, slot) {
+            (MemError::InsufficientMemory { needed, .. }, Slot::Current)
+                if self.resilience && self.fault_applied =>
+            {
+                *needed
+            }
+            _ => return Err(e.into()),
+        };
+        // Give back the double-buffer first: prefetch pins are the
+        // cheapest memory to reclaim, and cancellation is only legal from
+        // the synchronous Idle state (no transfers in flight).
+        if matches!(
+            self.gpus[g].prefetch.as_ref().map(|s| &s.inflight),
+            Some(InFlight::Idle)
+        ) {
+            self.cancel_prefetch(g)?;
+        }
+        match self.spills[g] {
+            Some(ref mut sp) if sp.step_id == step_id => {
+                sp.needed = needed;
+                if !sp.timer_pending {
+                    // First failed attempt after a fired retry: re-arm.
+                    sp.timer_pending = true;
+                    let attempts = sp.attempts;
+                    let delay = self.retry_backoff(g as u64, attempts);
+                    self.schedule_retry(
+                        RetryKind::Spill {
+                            gpu: g,
+                            step: step_id,
+                        },
+                        delay,
+                    )?;
+                }
+            }
+            _ => {
+                // Entering spill mode for this step (replacing any stale
+                // record of an earlier step on this GPU).
+                self.spills[g] = Some(SpillState {
+                    step_id,
+                    attempts: 0,
+                    timer_pending: true,
+                    needed,
+                });
+                self.res_outcome.spill_events += 1;
+                self.mutations += 1;
+                self.emit(ExecEvent::PressureSpill { gpu: g, needed });
+                let delay = self.retry_backoff(g as u64, 0);
+                self.schedule_retry(
+                    RetryKind::Spill {
+                        gpu: g,
+                        step: step_id,
+                    },
+                    delay,
+                )?;
+            }
+        }
+        // Every retry re-touches tensors, so it must run each pass — the
+        // dense cadence (same reasoning as the prefetch cancel loop).
+        self.poll.insert(g);
+        Ok(false)
+    }
+
+    /// A spill retry timer fired: count the attempt, escalate to a
+    /// UVM-style capacity overcommit once `MAX_SPILL_ATTEMPTS` backoffs
+    /// have not freed enough room (eviction writebacks may be structurally
+    /// unable to cover the shortfall after a harsh squeeze — overcommit
+    /// models paging the excess and guarantees forward progress), and wake
+    /// the GPU to re-attempt.
+    fn fire_spill_retry(&mut self, gpu: usize, step: u64) -> Result<(), ExecError> {
+        let Some(mut sp) = self.spills[gpu] else {
+            return Ok(());
+        };
+        if sp.step_id != step {
+            return Ok(()); // stale timer for an earlier spill
+        }
+        let live = self.gpus[gpu].step.as_ref().is_some_and(|s| s.id == step);
+        if !live {
+            // The step completed between scheduling and firing: spill over.
+            self.spills[gpu] = None;
+            self.mutations += 1;
+            return Ok(());
+        }
+        sp.timer_pending = false;
+        sp.attempts += 1;
+        self.res_outcome.retries += 1;
+        if sp.attempts >= MAX_SPILL_ATTEMPTS {
+            let used = self.mm.used(gpu)?;
+            self.mm.set_capacity(gpu, used.saturating_add(sp.needed))?;
+            self.res_outcome.overcommits += 1;
+            sp.attempts = 0;
+        }
+        self.spills[gpu] = Some(sp);
+        self.mutations += 1;
+        self.poll.insert(gpu);
+        self.wake(gpu);
+        Ok(())
+    }
+
+    /// A reroute retry timer fired: flip the parked step back to Idle so
+    /// the fetch is re-attempted (host bounce while the route stays
+    /// degraded, p2p again once it recovers).
+    fn fire_reroute_retry(&mut self, gpu: usize, step: u64) -> Result<(), ExecError> {
+        self.res_outcome.retries += 1;
+        if let Some(slot) = self.slot_of(gpu, step) {
+            let s = self.step_mut(gpu, slot).expect("slot_of located this slot");
+            if matches!(s.inflight, InFlight::Moving) {
+                s.inflight = InFlight::Idle;
+                self.mutations += 1;
+            }
+        }
+        self.wake(gpu);
+        Ok(())
+    }
+
+    /// Dispatches a fired resilience retry timer by its tag.
+    fn handle_retry_timer(&mut self, tag: u64) -> Result<(), ExecError> {
+        let idx = (tag - RETRY_TAG_BIAS) as usize;
+        let kind = *self
+            .retry_meta
+            .get(idx)
+            .ok_or_else(|| ExecError::Plan(format!("retry timer {idx} has no metadata")))?;
+        match kind {
+            RetryKind::Spill { gpu, step } => self.fire_spill_retry(gpu, step),
+            RetryKind::Reroute { gpu, step } => self.fire_reroute_retry(gpu, step),
+        }
+    }
+
+    /// Cancels every in-flight p2p fetch move routed over the degraded
+    /// `channel` and schedules a backoff retry for each parked step. The
+    /// tensor reverts to its source device, so the retried fetch sees it
+    /// there and (with the route degraded) takes the host-bounce path.
+    /// Collective ring hops are barriers and are never cancelled — they
+    /// just run slowly on the degraded link.
+    fn reroute_inflight_p2p(&mut self, channel: ChannelId) -> Result<(), ExecError> {
+        let mut victims: Vec<(TransferId, usize, u64, TensorId)> = Vec::new();
+        for (&xfer, pt) in &self.transfers {
+            if pt.kind != SpanKind::P2p {
+                continue;
+            }
+            let Purpose::Move { gpu, step, tensor } = pt.purpose else {
+                continue;
+            };
+            let Residency::MovingToDevice {
+                dst,
+                src: Some(src),
+            } = self.mm.info(tensor)?.residency
+            else {
+                continue;
+            };
+            if self
+                .topo
+                .route(Endpoint::Gpu(src), Endpoint::Gpu(dst))?
+                .contains(&channel)
+            {
+                victims.push((xfer, gpu, step, tensor));
+            }
+        }
+        // The transfer map iterates in arbitrary order; sort for a
+        // deterministic cancellation (and trace) order.
+        victims.sort_unstable();
+        for (xfer, gpu, step, tensor) in victims {
+            if !self.sim.cancel_transfer(xfer)? {
+                continue; // completion already delivered
+            }
+            let pt = self
+                .transfers
+                .remove(&xfer)
+                .expect("victim was collected from this map");
+            // The aborted attempt occupied the lane until now: record the
+            // partial span so the trace shows the cancelled hop.
+            self.trace
+                .record_sym(pt.start, self.sim.now(), Some(pt.lane), pt.kind, pt.label);
+            self.mm.cancel_move_to_device(tensor)?;
+            self.mutations += 1;
+            self.res_outcome.rerouted_transfers += 1;
+            self.emit(ExecEvent::TransferRerouted { gpu, channel });
+            let attempts = *self
+                .reroute_attempts
+                .entry(tensor)
+                .and_modify(|a| *a += 1)
+                .or_insert(0);
+            let delay = self.retry_backoff(tensor ^ 0x5EED, attempts);
+            self.schedule_retry(RetryKind::Reroute { gpu, step }, delay)?;
+            // The tensor is back on its source: fetches stalled on the
+            // in-flight move can proceed.
+            self.wake_tensor_waiters(tensor);
+        }
         Ok(())
     }
 
@@ -855,6 +1196,20 @@ impl<'a> SimExecutor<'a> {
                 .collect(),
             events_processed: self.events_processed,
             elapsed_secs: wall_start.elapsed().as_secs_f64(),
+            // Populated whenever the layer is armed and faults were
+            // injected — even if all zeros (the run absorbed nothing) —
+            // and None otherwise, so clean summaries stay byte-identical.
+            resilience: if self.resilience && !self.faults.is_empty() {
+                let mut out = self.res_outcome.clone();
+                out.final_mode = if out.degraded() || !self.degraded_channels.is_empty() {
+                    ResilienceMode::Degraded
+                } else {
+                    ResilienceMode::Normal
+                };
+                Some(out)
+            } else {
+                None
+            },
         };
         Ok((summary, self.trace, self.counters))
     }
@@ -1077,7 +1432,10 @@ impl<'a> SimExecutor<'a> {
                     self.mutations += 1;
                 }
             }
-            let step = self.gpus[g].step.as_ref().expect("just ensured");
+            let step = self.gpus[g]
+                .step
+                .as_ref()
+                .expect("invariant: the branch above populated gpus[g].step or returned");
             if matches!(step.inflight, InFlight::Computing) {
                 // Overlap: drive the next item's fetches while computing.
                 self.try_prefetch(g)?;
@@ -1093,7 +1451,10 @@ impl<'a> SimExecutor<'a> {
                     return Ok(());
                 }
                 let targets = self.build_targets(g, iter, item);
-                let step = self.gpus[g].step.as_mut().expect("exists");
+                let step = self.gpus[g]
+                    .step
+                    .as_mut()
+                    .expect("invariant: only handle() clears the current step, not build_targets");
                 step.targets = targets;
                 step.targets_built = true;
                 self.mutations += 1;
@@ -1104,7 +1465,10 @@ impl<'a> SimExecutor<'a> {
                 // fetches of the current step have priority.
                 return Ok(());
             }
-            let step = self.gpus[g].step.as_ref().expect("exists");
+            let step = self.gpus[g]
+                .step
+                .as_ref()
+                .expect("invariant: process_targets never clears the current-step slot");
             if !step.targets.is_empty() {
                 // Stalled (tensor in flight elsewhere); retry on next event.
                 return Ok(());
@@ -1145,7 +1509,10 @@ impl<'a> SimExecutor<'a> {
                 self.register_dep_waiter(g, iter, item);
                 return Ok(());
             }
-            let (seq, iter, item) = self.gpus[g].queue.pop_front().expect("peeked");
+            let (seq, iter, item) = self.gpus[g]
+                .queue
+                .pop_front()
+                .expect("invariant: queue.front() returned Some just above");
             let targets = self.build_targets(g, iter, item);
             let id = self.next_step_id;
             self.next_step_id += 1;
@@ -1223,7 +1590,10 @@ impl<'a> SimExecutor<'a> {
                             self.mm.touch(id)?;
                             self.mm.pin(id)?;
                             self.update_next_use(key, seq)?;
-                            let step = self.step_mut(g, slot).expect("exists");
+                            let step = self.step_mut(g, slot).expect(
+                                "invariant: step_ref(g, slot) was Some at the top of this \
+                                 process_targets iteration and nothing clears the slot mid-target",
+                            );
                             step.pinned.push(id);
                             step.targets.pop_front();
                             self.mutations += 1;
@@ -1231,14 +1601,23 @@ impl<'a> SimExecutor<'a> {
                         }
                         Residency::OnDevice(src) => {
                             // Needs to come from a peer GPU.
-                            let plan = self.mm.plan_fetch(id, g, self.policy.as_ref())?;
+                            let plan = match self.mm.plan_fetch(id, g, self.policy.as_ref()) {
+                                Ok(p) => p,
+                                Err(e) => return self.spill_guard(g, slot, step_id, e),
+                            };
                             let evs = self.issue_evictions(g, step_id, &plan.evictions)?;
                             if !evs.is_empty() {
-                                self.step_mut(g, slot).expect("exists").inflight =
-                                    InFlight::Evicting(evs);
+                                self.step_mut(g, slot)
+                                    .expect(
+                                        "invariant: step_ref(g, slot) was Some at the top of this \
+                                 process_targets iteration and nothing clears the slot mid-target",
+                                    )
+                                    .inflight = InFlight::Evicting(evs);
                                 return Ok(true);
                             }
-                            if self.plan.scheme.p2p {
+                            // A degraded route falls through to the host
+                            // bounce below (resilience reroute path).
+                            if self.plan.scheme.p2p && !self.route_degraded(src, g)? {
                                 match self.mm.begin_p2p(id, g) {
                                     Ok((_, bytes)) => {
                                         let route = self
@@ -1261,7 +1640,10 @@ impl<'a> SimExecutor<'a> {
                                                 label,
                                             },
                                         );
-                                        self.step_mut(g, slot).expect("exists").inflight =
+                                        self.step_mut(g, slot).expect(
+                                "invariant: step_ref(g, slot) was Some at the top of this \
+                                 process_targets iteration and nothing clears the slot mid-target",
+                            ).inflight =
                                             InFlight::Moving;
                                         return Ok(true);
                                     }
@@ -1270,7 +1652,7 @@ impl<'a> SimExecutor<'a> {
                                         self.register_tensor_waiter(g, id);
                                         return Ok(false);
                                     }
-                                    Err(e) => return Err(e.into()),
+                                    Err(e) => return self.spill_guard(g, slot, step_id, e),
                                 }
                             }
                             // No p2p: bounce via host — swap it out of the
@@ -1297,7 +1679,10 @@ impl<'a> SimExecutor<'a> {
                                             label,
                                         },
                                     );
-                                    self.step_mut(g, slot).expect("exists").inflight =
+                                    self.step_mut(g, slot).expect(
+                                "invariant: step_ref(g, slot) was Some at the top of this \
+                                 process_targets iteration and nothing clears the slot mid-target",
+                            ).inflight =
                                         InFlight::WaitDemote;
                                     return Ok(true);
                                 }
@@ -1305,18 +1690,28 @@ impl<'a> SimExecutor<'a> {
                                     self.register_tensor_waiter(g, id);
                                     return Ok(false);
                                 }
-                                Err(e) => return Err(e.into()),
+                                Err(e) => return self.spill_guard(g, slot, step_id, e),
                             }
                         }
                         Residency::OnHost => {
-                            let plan = self.mm.plan_fetch(id, g, self.policy.as_ref())?;
+                            let plan = match self.mm.plan_fetch(id, g, self.policy.as_ref()) {
+                                Ok(p) => p,
+                                Err(e) => return self.spill_guard(g, slot, step_id, e),
+                            };
                             let evs = self.issue_evictions(g, step_id, &plan.evictions)?;
                             if !evs.is_empty() {
-                                self.step_mut(g, slot).expect("exists").inflight =
-                                    InFlight::Evicting(evs);
+                                self.step_mut(g, slot)
+                                    .expect(
+                                        "invariant: step_ref(g, slot) was Some at the top of this \
+                                 process_targets iteration and nothing clears the slot mid-target",
+                                    )
+                                    .inflight = InFlight::Evicting(evs);
                                 return Ok(true);
                             }
-                            let bytes = self.mm.begin_swap_in(id, g)?;
+                            let bytes = match self.mm.begin_swap_in(id, g) {
+                                Ok(b) => b,
+                                Err(e) => return self.spill_guard(g, slot, step_id, e),
+                            };
                             let route = self.topo.route(Endpoint::Host, Endpoint::Gpu(g))?.to_vec();
                             let label = self.tensor_sym(id)?;
                             let xfer = self.issue_transfer(&route, bytes)?;
@@ -1334,7 +1729,12 @@ impl<'a> SimExecutor<'a> {
                                     label,
                                 },
                             );
-                            self.step_mut(g, slot).expect("exists").inflight = InFlight::Moving;
+                            self.step_mut(g, slot)
+                                .expect(
+                                    "invariant: step_ref(g, slot) was Some at the top of this \
+                                 process_targets iteration and nothing clears the slot mid-target",
+                                )
+                                .inflight = InFlight::Moving;
                             return Ok(true);
                         }
                         // In flight somewhere: stall until it settles.
@@ -1361,18 +1761,32 @@ impl<'a> SimExecutor<'a> {
                             .is_ok_and(|i| !matches!(i.residency, Residency::Dead))
                     });
                     if existing_alive {
-                        let step = self.step_mut(g, slot).expect("exists");
-                        *step.targets.front_mut().expect("checked") = Target::Input(key);
+                        let step = self.step_mut(g, slot).expect(
+                            "invariant: step_ref(g, slot) was Some at the top of this \
+                                 process_targets iteration and nothing clears the slot mid-target",
+                        );
+                        *step
+                            .targets
+                            .front_mut()
+                            .expect("invariant: this Target::Alloc is still the queue front") =
+                            Target::Input(key);
                         continue;
                     }
                     let cfg = self.plan.graph.config();
                     let bytes = key.2.bytes(self.model, cfg.ubatch_size, cfg.opt_slots);
                     if self.mm.free_bytes(g)? < bytes {
-                        let victims = self.mm.make_room(g, bytes, self.policy.as_ref())?;
+                        let victims = match self.mm.make_room(g, bytes, self.policy.as_ref()) {
+                            Ok(v) => v,
+                            Err(e) => return self.spill_guard(g, slot, step_id, e),
+                        };
                         let evs = self.issue_evictions(g, step_id, &victims)?;
                         if !evs.is_empty() {
-                            self.step_mut(g, slot).expect("exists").inflight =
-                                InFlight::Evicting(evs);
+                            self.step_mut(g, slot)
+                                .expect(
+                                    "invariant: step_ref(g, slot) was Some at the top of this \
+                                 process_targets iteration and nothing clears the slot mid-target",
+                                )
+                                .inflight = InFlight::Evicting(evs);
                             return Ok(true);
                         }
                         // All victims dropped instantly; room is free now.
@@ -1380,12 +1794,18 @@ impl<'a> SimExecutor<'a> {
                     let name = name_of(key.1, key.2);
                     let sym = self.trace.intern(&name);
                     self.counters.label_interns += 1;
-                    let id = self.mm.alloc_on_device(name, bytes, key.2.class(), g)?;
+                    let id = match self.mm.alloc_on_device(name, bytes, key.2.class(), g) {
+                        Ok(id) => id,
+                        Err(e) => return self.spill_guard(g, slot, step_id, e),
+                    };
                     self.labels.insert(id, sym);
                     self.ids.insert(key, id);
                     self.mm.pin(id)?;
                     self.update_next_use(key, seq)?;
-                    let step = self.step_mut(g, slot).expect("exists");
+                    let step = self.step_mut(g, slot).expect(
+                        "invariant: step_ref(g, slot) was Some at the top of this \
+                                 process_targets iteration and nothing clears the slot mid-target",
+                    );
                     step.pinned.push(id);
                     step.targets.pop_front();
                     self.mutations += 1;
@@ -1396,7 +1816,11 @@ impl<'a> SimExecutor<'a> {
     }
 
     fn start_compute(&mut self, g: usize, replica: usize, task: TaskId) -> Result<(), ExecError> {
-        let iter = self.gpus[g].step.as_ref().expect("exists").iter;
+        let iter = self.gpus[g]
+            .step
+            .as_ref()
+            .expect("invariant: advance dispatches start_compute only with a populated step")
+            .iter;
         let t = self.plan.graph.task(task);
         // Jitter faults rescale the effective FLOP rate of this GPU.
         let secs = t.flops as f64 / (self.topo.gpu(g)?.flops * self.compute_rate[g]);
@@ -1420,7 +1844,11 @@ impl<'a> SimExecutor<'a> {
         );
         self.sim.submit_compute(g, secs, tag)?;
         self.mutations += 1;
-        self.gpus[g].step.as_mut().expect("exists").inflight = InFlight::Computing;
+        self.gpus[g]
+            .step
+            .as_mut()
+            .expect("invariant: advance dispatches start_compute only with a populated step")
+            .inflight = InFlight::Computing;
         self.emit(ExecEvent::TaskStarted {
             gpu: g,
             iter,
@@ -1431,7 +1859,11 @@ impl<'a> SimExecutor<'a> {
     }
 
     fn arrive_collective(&mut self, g: usize, iter: u32, pack: usize) -> Result<(), ExecError> {
-        self.gpus[g].step.as_mut().expect("exists").inflight = InFlight::Collective;
+        self.gpus[g]
+            .step
+            .as_mut()
+            .expect("invariant: advance dispatches arrive_collective only with a populated step")
+            .inflight = InFlight::Collective;
         self.mutations += 1;
         let n = self.gpus.len();
         let state = self.collectives.entry((iter, pack)).or_default();
@@ -1466,7 +1898,7 @@ impl<'a> SimExecutor<'a> {
             );
             self.collectives
                 .get_mut(&(iter, pack))
-                .expect("just inserted")
+                .expect("invariant: or_default() inserted this collective entry above")
                 .outstanding
                 .insert(xfer);
         }
@@ -1567,7 +1999,9 @@ impl<'a> SimExecutor<'a> {
                         let slot = self.slot_of(gpu, step).ok_or_else(|| {
                             ExecError::Plan(format!("gpu{gpu} eviction for missing step"))
                         })?;
-                        let s = self.step_mut(gpu, slot).expect("slot located");
+                        let s = self
+                            .step_mut(gpu, slot)
+                            .expect("invariant: slot_of(gpu, step) just resolved this slot");
                         if let InFlight::Evicting(set) = &mut s.inflight {
                             set.remove(&id);
                             if set.is_empty() {
@@ -1582,7 +2016,9 @@ impl<'a> SimExecutor<'a> {
                         let slot = self.slot_of(gpu, step).ok_or_else(|| {
                             ExecError::Plan(format!("gpu{gpu} demote for missing step"))
                         })?;
-                        let s = self.step_mut(gpu, slot).expect("slot located");
+                        let s = self
+                            .step_mut(gpu, slot)
+                            .expect("invariant: slot_of(gpu, step) just resolved this slot");
                         if matches!(s.inflight, InFlight::WaitDemote) {
                             s.inflight = InFlight::Idle;
                         }
@@ -1595,7 +2031,9 @@ impl<'a> SimExecutor<'a> {
                         let slot = self.slot_of(gpu, step).ok_or_else(|| {
                             ExecError::Plan(format!("gpu{gpu} move for missing step"))
                         })?;
-                        let s = self.step_mut(gpu, slot).expect("slot located");
+                        let s = self
+                            .step_mut(gpu, slot)
+                            .expect("invariant: slot_of(gpu, step) just resolved this slot");
                         s.pinned.push(tensor);
                         s.targets.pop_front();
                         s.inflight = InFlight::Idle;
@@ -1618,9 +2056,12 @@ impl<'a> SimExecutor<'a> {
                 }
             }
             Completion::Timer { tag } => {
-                // Tags below the fault count are injected faults; others
-                // (e.g. the simulator's zero-byte-transfer bias) are inert.
-                if let Some(tf) = self.faults.get(tag as usize).copied() {
+                // Tags at/above the bias are resilience retries; below the
+                // fault count they are injected faults; others (e.g. the
+                // simulator's zero-byte-transfer bias) are inert.
+                if tag >= RETRY_TAG_BIAS {
+                    self.handle_retry_timer(tag)?;
+                } else if let Some(tf) = self.faults.get(tag as usize).copied() {
                     self.apply_fault(tf.fault)?;
                     // A fault can unblock (or re-block) anything: capacity
                     // and rate changes have global reach. Rare, so the full

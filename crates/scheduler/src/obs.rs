@@ -113,6 +113,24 @@ pub enum ExecEvent {
         /// The perturbation that took effect.
         fault: Fault,
     },
+    /// The resilience layer parked a step in pressure-spill mode: a
+    /// post-fault capacity shortfall that would previously have aborted
+    /// the run is now handled by evict-and-retry with backoff.
+    PressureSpill {
+        /// GPU whose current step spilled.
+        gpu: usize,
+        /// Bytes the failed allocation/fetch needed free.
+        needed: u64,
+    },
+    /// The resilience layer cancelled an in-flight p2p move off a
+    /// degraded channel; the fetch will be retried over the host-bounce
+    /// path after a seeded backoff.
+    TransferRerouted {
+        /// GPU whose fetch was rerouted.
+        gpu: usize,
+        /// The degraded channel the cancelled route crossed.
+        channel: ChannelId,
+    },
     /// The run drained and flushed; emitted once before the summary is
     /// built. Oracles perform end-of-run completeness checks here.
     RunFinished,

@@ -482,6 +482,66 @@ impl Simulator {
         Ok(())
     }
 
+    /// Cancels an in-flight transfer at the current virtual time (the
+    /// resilience layer's reroute path: a fault degraded a link and the
+    /// driver re-issues the payload over another route). Returns
+    /// `Ok(true)` when the transfer was found and removed, `Ok(false)`
+    /// when it already completed (or never existed) — by the time a
+    /// fault lands, its victim may legitimately have drained.
+    ///
+    /// The cancelled transfer's bytes stay in [`SimStats::channel_bytes`]:
+    /// traffic is accounted at issue time (the bandwidth-conservation
+    /// oracle tallies the same way), and the aborted attempt did occupy
+    /// the links. Its bandwidth share is released immediately: sibling
+    /// flights re-derive their rates exactly as on a completion.
+    ///
+    /// Cost is O(in-flight members) for the scan plus a heap rebuild of
+    /// the victim's flight — a deliberate trade: cancellation happens
+    /// only on the rare fault path, so the hot path carries no tombstone
+    /// state for it.
+    pub fn cancel_transfer(&mut self, id: TransferId) -> Result<bool, SimError> {
+        if self.immediates.remove(&id).is_some() {
+            // Its queued immediate-delivery event finds no entry and is
+            // skipped (the same inert-event pattern `next` already uses).
+            return Ok(true);
+        }
+        let Some(k) = self
+            .flights
+            .iter()
+            .position(|f| f.queue.iter().any(|&Reverse((_, m, _))| m == id))
+        else {
+            return Ok(false);
+        };
+        self.advance_busy_time();
+        // Credit drain up to now under the old rate, then rebuild the
+        // member heap without the victim. Departure thresholds are
+        // immutable, so the survivors' order is untouched.
+        self.flights[k].materialize(self.now);
+        let members = std::mem::take(&mut self.flights[k].queue);
+        self.flights[k].queue = members
+            .into_iter()
+            .filter(|&Reverse((_, m, _))| m != id)
+            .collect();
+        let mut route = std::mem::take(&mut self.route_scratch);
+        route.clear();
+        route.extend_from_slice(&self.flights[k].route);
+        for &c in &route {
+            self.active[c] -= 1;
+        }
+        self.routed -= 1;
+        let affected = self.collect_affected(&route);
+        self.recompute_flights(&affected);
+        self.affected_scratch = affected;
+        self.route_scratch = route;
+        // The victim may have been the flight's head while the rate (and
+        // hence `recompute_flights`' no-op check) is unchanged — e.g. the
+        // flight's other channels still bottleneck it — so the cached
+        // prediction must be refreshed unconditionally.
+        self.flights[k].refresh_pred(self.now);
+        self.schedule_network_check();
+        Ok(true)
+    }
+
     /// True if no events remain (all work delivered).
     pub fn idle(&self) -> bool {
         self.events.is_empty()
@@ -670,8 +730,11 @@ impl Simulator {
                         Some(k) => {
                             let f = &mut self.flights[k];
                             f.materialize(self.now);
-                            let Reverse((_, id, tag)) =
-                                f.queue.pop().expect("due flight has a head");
+                            let Reverse((_, id, tag)) = f.queue.pop().expect(
+                                "invariant: pick_candidate only returns flights with a \
+                                 finite pred, and pred is finite only while the \
+                                 flight's transfer queue is non-empty",
+                            );
                             if f.queue.is_empty() {
                                 f.pred = f64::INFINITY;
                             }

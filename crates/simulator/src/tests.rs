@@ -365,3 +365,107 @@ fn determinism_same_script_same_trace() {
     };
     assert_eq!(run(), run());
 }
+
+#[test]
+fn cancel_releases_bandwidth_share() {
+    let (mut s, topo) = sim();
+    let r0 = topo
+        .route(Endpoint::Gpu(0), Endpoint::Host)
+        .unwrap()
+        .to_vec();
+    let r1 = topo
+        .route(Endpoint::Gpu(1), Endpoint::Host)
+        .unwrap()
+        .to_vec();
+    // Two 12 GB swap-outs share the 12 GB/s uplink; cancelling one at
+    // t=0 restores the survivor's full share → it completes at 1 s, not
+    // the contended 2 s.
+    let victim = s.start_transfer(&r0, (12.0 * GBPS) as u64, 1).unwrap();
+    s.start_transfer(&r1, (12.0 * GBPS) as u64, 2).unwrap();
+    assert!(s.cancel_transfer(victim).unwrap());
+    let (t, c) = s.next().unwrap();
+    assert!(matches!(c, Completion::Transfer { tag: 2, .. }));
+    assert!((t - 1.0).abs() < 1e-6, "t = {t}");
+    // The cancelled transfer never completes.
+    assert!(s.next().is_none());
+    // Attempted traffic stays accounted on its channels.
+    assert!(s.stats().channel_bytes[r0[0]] >= (12.0 * GBPS) as u64);
+}
+
+#[test]
+fn cancel_mid_flight_keeps_survivor_progress() {
+    let (mut s, topo) = sim();
+    let r = topo
+        .route(Endpoint::Gpu(0), Endpoint::Host)
+        .unwrap()
+        .to_vec();
+    // Same route → same flight. 6 GB each on the 12 GB/s path: the pair
+    // drains at 6 GB/s per member. Park a timer at 0.5 s so we can
+    // cancel mid-flight: 3 GB each moved, 3 GB left for the survivor at
+    // a restored 12 GB/s → completion at 0.75 s.
+    let victim = s.start_transfer(&r, (6.0 * GBPS) as u64, 1).unwrap();
+    s.start_transfer(&r, (6.0 * GBPS) as u64, 2).unwrap();
+    s.set_timer(0.5, 9).unwrap();
+    let (t, c) = s.next().unwrap();
+    assert_eq!(c, Completion::Timer { tag: 9 });
+    assert!((t - 0.5).abs() < 1e-9);
+    assert!(s.cancel_transfer(victim).unwrap());
+    let (t, c) = s.next().unwrap();
+    assert!(matches!(c, Completion::Transfer { tag: 2, .. }));
+    assert!((t - 0.75).abs() < 1e-6, "t = {t}");
+}
+
+#[test]
+fn cancel_immediate_and_unknown_transfers() {
+    let (mut s, _) = sim();
+    // Zero-byte transfers are queued as immediates: cancellable until
+    // delivered, and their queued event becomes inert.
+    let id = s.start_transfer(&[], 0, 5).unwrap();
+    assert!(s.cancel_transfer(id).unwrap());
+    assert!(s.next().is_none(), "cancelled immediate must not deliver");
+    // A completed transfer is no longer cancellable.
+    let id = s.start_transfer(&[], 0, 6).unwrap();
+    let (_, c) = s.next().unwrap();
+    assert!(matches!(c, Completion::Transfer { tag: 6, .. }));
+    assert!(!s.cancel_transfer(id).unwrap());
+    // Never-issued ids are unknown, not an error.
+    assert!(!s.cancel_transfer(999).unwrap());
+}
+
+/// Cancellation must be mode-invariant: the dense reference and the fast
+/// indexed engine see identical post-cancel traces.
+#[test]
+fn cancel_matches_dense_reference() {
+    let run = |dense: bool| {
+        let topo = commodity_4x1080ti();
+        let mut s = if dense {
+            Simulator::new_dense_reference(&topo)
+        } else {
+            Simulator::new(&topo)
+        };
+        let mut ids = Vec::new();
+        for g in 0..4 {
+            let r = topo
+                .route(Endpoint::Gpu(g), Endpoint::Host)
+                .unwrap()
+                .to_vec();
+            ids.push(
+                s.start_transfer(&r, 2_000_000_000 * (g as u64 + 1), 100 + g as u64)
+                    .unwrap(),
+            );
+        }
+        s.set_timer(0.2, 50).unwrap();
+        let mut trace = Vec::new();
+        let (t, c) = s.next().unwrap();
+        trace.push((t.to_bits(), format!("{c:?}")));
+        s.cancel_transfer(ids[2]).unwrap();
+        while let Some((t, c)) = s.next() {
+            trace.push((t.to_bits(), format!("{c:?}")));
+        }
+        for (c, busy) in s.stats().channel_busy_secs.iter().enumerate() {
+            trace.push((busy.to_bits(), format!("busy[{c}]")));
+        }
+        trace
+    };
+    assert_eq!(run(false), run(true));
+}

@@ -1,5 +1,69 @@
 //! Run summaries: the numbers the paper's figures plot.
 
+/// Whether a run ended in its statically-planned regime or had to adapt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResilienceMode {
+    /// No resilience action was ever taken: the plan held as scheduled.
+    #[default]
+    Normal,
+    /// At least one spill, reroute, retry, or overcommit occurred.
+    Degraded,
+}
+
+impl ResilienceMode {
+    /// Stable lower-case label used in JSON exports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ResilienceMode::Normal => "normal",
+            ResilienceMode::Degraded => "degraded",
+        }
+    }
+}
+
+/// What the executor's resilience layer did during a faulted run: the
+/// typed outcome that replaces aborting with an infeasibility error when
+/// injected faults invalidate the static plan. Recorded in
+/// [`RunSummary::resilience`] only for runs where the layer was armed and
+/// faults were injected — clean runs carry `None` so their summaries stay
+/// byte-identical with the layer on or off.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ResilienceOutcome {
+    /// Steps that entered pressure-spill mode (an allocation or fetch hit
+    /// post-fault capacity pressure and was parked for eviction + retry).
+    pub spill_events: u64,
+    /// In-flight p2p moves cancelled off a degraded link and re-issued
+    /// over the host-bounce path.
+    pub rerouted_transfers: u64,
+    /// Backoff retry timers that fired and re-attempted a parked step.
+    pub retries: u64,
+    /// Capacity overcommits (UVM-style oversubscription) granted after a
+    /// spill exhausted its retry budget — the last-resort guarantee that
+    /// a squeezed run still completes.
+    pub overcommits: u64,
+    /// The regime the run ended in.
+    pub final_mode: ResilienceMode,
+}
+
+impl ResilienceOutcome {
+    /// True when any resilience action was taken.
+    pub fn degraded(&self) -> bool {
+        self.spill_events + self.rerouted_transfers + self.retries + self.overcommits > 0
+    }
+
+    /// Serialises the outcome as a JSON object (null-free by construction).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"spill_events\": {}, \"rerouted_transfers\": {}, \"retries\": {}, \
+             \"overcommits\": {}, \"final_mode\": \"{}\"}}",
+            self.spill_events,
+            self.rerouted_transfers,
+            self.retries,
+            self.overcommits,
+            self.final_mode.as_str(),
+        )
+    }
+}
+
 /// Aggregate results of one simulated (or executed) training run.
 #[derive(Debug, Clone)]
 pub struct RunSummary {
@@ -34,6 +98,11 @@ pub struct RunSummary {
     /// (not virtual time). Nondeterministic by nature: comparisons between
     /// runs must ignore it (see the harness's executor differential).
     pub elapsed_secs: f64,
+    /// What the resilience layer did, for runs where it was armed AND
+    /// faults were injected; `None` on clean runs (so clean summaries are
+    /// byte-identical with the layer on or off). Deterministic, and part
+    /// of a run's identity.
+    pub resilience: Option<ResilienceOutcome>,
 }
 
 /// Equality over the *deterministic* content of a run. `elapsed_secs` is
@@ -54,6 +123,7 @@ impl PartialEq for RunSummary {
             && self.swap_by_class == other.swap_by_class
             && self.channel_busy_secs == other.channel_busy_secs
             && self.events_processed == other.events_processed
+            && self.resilience == other.resilience
     }
 }
 
@@ -161,6 +231,9 @@ impl RunSummary {
             ));
         }
         out.push_str(&format!("\"throughput\": {}, ", number(self.throughput())));
+        if let Some(r) = &self.resilience {
+            out.push_str(&format!("\"resilience\": {}, ", r.to_json()));
+        }
         if let Some(imb) = self.swap_imbalance().filter(|v| v.is_finite()) {
             out.push_str(&format!("\"swap_imbalance\": {}, ", number(imb)));
         }
@@ -230,6 +303,7 @@ mod tests {
             channel_busy_secs: Default::default(),
             events_processed: 40,
             elapsed_secs: 0.5,
+            resilience: None,
         }
     }
 
@@ -313,6 +387,33 @@ mod tests {
                 None => assert!(doc.get("swap_imbalance").is_none()),
             }
         }
+    }
+
+    #[test]
+    fn resilience_outcome_serialises_only_when_present() {
+        let clean = summary();
+        assert!(!clean.to_json().contains("resilience"));
+        let degraded = RunSummary {
+            resilience: Some(ResilienceOutcome {
+                spill_events: 2,
+                rerouted_transfers: 1,
+                retries: 3,
+                overcommits: 1,
+                final_mode: ResilienceMode::Degraded,
+            }),
+            ..summary()
+        };
+        let text = degraded.to_json();
+        assert!(!text.contains("null"));
+        let doc = crate::json::parse(&text).expect("valid JSON");
+        let r = doc.get("resilience").expect("resilience object emitted");
+        assert_eq!(r.get("spill_events").and_then(|v| v.as_f64()), Some(2.0));
+        assert_eq!(
+            r.get("final_mode").and_then(|v| v.as_str()),
+            Some("degraded")
+        );
+        // The outcome is part of a run's identity.
+        assert_ne!(clean, degraded);
     }
 
     #[test]
