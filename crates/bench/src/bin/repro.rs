@@ -117,7 +117,8 @@ fn main() {
         for p in &points {
             println!(
                 "exec_hot_path R={} m={} N={} iters={}: {:.0} events/s \
-                 ({} events in {:.3} s; dense {:.0} events/s, {:.2}x speedup)",
+                 ({} events in {:.3} s; dense {:.0} events/s, {:.2}x speedup; \
+                 {} slab slots grown)",
                 p.layers,
                 p.microbatches,
                 p.gpus,
@@ -127,26 +128,88 @@ fn main() {
                 p.secs,
                 p.dense_events_per_sec(),
                 p.speedup_vs_dense(),
+                p.slab_fresh_allocs,
             );
         }
         if points.iter().any(|p| p.events == 0 || p.secs <= 0.0) {
             eprintln!("exec hot path produced no events or no wall clock");
             std::process::exit(1);
         }
-        // The perf gate proper: on the largest grid cell the wake-set
-        // loop must beat the dense reference timed in the same process
-        // at the same moment — a comparison absolute events/s records
-        // cannot make on a host whose speed drifts between runs.
-        if !full_grid {
-            let largest = points.last().expect("one point");
-            if largest.speedup_vs_dense() <= 1.0 {
+        // Per-cell perf gates, applied to every measured cell (the whole
+        // grid under `--grid`, the largest cell otherwise). The speedup
+        // gate compares against the dense reference timed in the same
+        // process at the same moment — a comparison absolute events/s
+        // records cannot make on a host whose speed drifts between runs.
+        // The slab gate is structural: slots ever grown must be a
+        // vanishing fraction of events processed, or steady-state
+        // completions are allocating instead of recycling.
+        let mut failed = false;
+        for p in &points {
+            let cell = format!(
+                "R={} m={} N={} iters={}",
+                p.layers, p.microbatches, p.gpus, p.iterations
+            );
+            if p.speedup_vs_dense() < 2.0 {
                 eprintln!(
-                    "exec perf regression: wake-set loop not faster than dense \
-                     reference ({:.3} s vs {:.3} s)",
-                    largest.secs, largest.dense_secs,
+                    "exec perf gate FAILED at cell {cell}: {:.2}x vs dense \
+                     (need >= 2.0x; fast {:.3} s, dense {:.3} s)",
+                    p.speedup_vs_dense(),
+                    p.secs,
+                    p.dense_secs,
                 );
-                std::process::exit(1);
+                failed = true;
             }
+            if p.slab_fresh_allocs * 8 > p.events {
+                eprintln!(
+                    "slab pooling gate FAILED at cell {cell}: {} transfer \
+                     slots grown over {} events — the pool is allocating \
+                     per event, not per plan",
+                    p.slab_fresh_allocs, p.events,
+                );
+                failed = true;
+            }
+        }
+        // Absolute throughput floor on the largest cell only (the last
+        // grid point): the constant-factor campaign's headline number.
+        // Unlike the same-moment speedup ratio, an absolute floor is
+        // exposed to host weather (the container documents ±30% swings),
+        // so a miss is re-measured after a settle — a real regression
+        // fails every window, a busy-host window does not.
+        let mut largest = points.last().expect("one point").clone();
+        let mut floor_attempts = 1;
+        while largest.events_per_sec() < 1_000_000.0 && floor_attempts < 3 {
+            eprintln!(
+                "exec throughput floor miss at cell R={} m={} N={} iters={}: \
+                 {:.0} events/s (attempt {floor_attempts}); re-measuring",
+                largest.layers,
+                largest.microbatches,
+                largest.gpus,
+                largest.iterations,
+                largest.events_per_sec(),
+            );
+            std::thread::sleep(std::time::Duration::from_millis(500));
+            largest = sweeps::exec_hot_path(
+                largest.layers,
+                largest.microbatches,
+                largest.gpus,
+                largest.iterations,
+            );
+            floor_attempts += 1;
+        }
+        if largest.events_per_sec() < 1_000_000.0 {
+            eprintln!(
+                "exec throughput gate FAILED at cell R={} m={} N={} iters={}: \
+                 {:.0} events/s over {floor_attempts} windows (need >= 1000000)",
+                largest.layers,
+                largest.microbatches,
+                largest.gpus,
+                largest.iterations,
+                largest.events_per_sec(),
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
         }
         return;
     }

@@ -105,6 +105,11 @@ pub struct ExecHotPathTiming {
     /// in the same process. Absolute events/s is hostage to host
     /// weather; the fast-vs-dense ratio at the same moment is not.
     pub dense_secs: f64,
+    /// Transfer-slab slots the wake-set run ever grew
+    /// ([`harmony_sched::ExecCounters::slab_fresh_allocs`]): the
+    /// structural no-per-event-allocation witness. Plan-bounded —
+    /// `repro exec-smoke` gates it against the event count.
+    pub slab_fresh_allocs: u64,
 }
 
 impl ExecHotPathTiming {
@@ -189,11 +194,19 @@ impl BenchReport {
             ],
         );
         for e in &self.experiments {
+            // On a single-core host the thread pool cannot beat the
+            // sequential leg no matter how many workers are requested;
+            // say so instead of letting a ~1× row read as a regression.
+            let speedup = if self.available_parallelism == 1 {
+                format!("{:.2}× (host-limited)", e.speedup())
+            } else {
+                format!("{:.2}×", e.speedup())
+            };
             t.row(&[
                 e.name.to_string(),
                 format!("{:.3}", e.sequential_secs),
                 format!("{:.3}", e.parallel_secs),
-                format!("{:.2}×", e.speedup()),
+                speedup,
                 e.identical.to_string(),
             ]);
         }
@@ -299,7 +312,7 @@ impl BenchReport {
                 "    {{\"layers\": {}, \"microbatches\": {}, \"gpus\": {}, \
                  \"iterations\": {}, \"events\": {}, \"secs\": {}, \
                  \"events_per_sec\": {}, \"dense_events_per_sec\": {}, \
-                 \"speedup_vs_dense\": {}{}}}{}\n",
+                 \"speedup_vs_dense\": {}, \"slab_fresh_allocs\": {}{}}}{}\n",
                 h.layers,
                 h.microbatches,
                 h.gpus,
@@ -309,6 +322,7 @@ impl BenchReport {
                 number(h.events_per_sec()),
                 number(h.dense_events_per_sec()),
                 number(h.speedup_vs_dense()),
+                h.slab_fresh_allocs,
                 baseline_field,
                 if i + 1 < self.exec_hot_path.len() {
                     ","
@@ -438,13 +452,15 @@ pub fn exec_hot_path(
     let mut runs: Vec<(u64, f64, f64)> = Vec::new();
     let mut sampled_secs = 0.0;
     let mut warmed_up = false;
+    let mut slab_fresh_allocs = 0u64;
     while runs.len() < 5 || (sampled_secs < 0.5 && runs.len() < 200) {
-        let (fast, _, _) = execdiff::run_mode(&case, false).expect("exec hot-path run");
+        let (fast, _, fc) = execdiff::run_mode(&case, false).expect("exec hot-path run");
         let (dense, _, _) = execdiff::run_mode(&case, true).expect("exec hot-path dense run");
         assert_eq!(
             fast.events_processed, dense.events_processed,
             "dense and wake-set loops must process identical event streams"
         );
+        slab_fresh_allocs = fc.slab_fresh_allocs;
         if !warmed_up {
             // Discard the first pair: it pays one-time costs (page
             // faults, branch history warm-up) neither loop owns.
@@ -473,6 +489,7 @@ pub fn exec_hot_path(
         events,
         secs,
         dense_secs,
+        slab_fresh_allocs,
     }
 }
 
@@ -558,6 +575,7 @@ mod tests {
                 events: 1000,
                 secs: 0.1,
                 dense_secs: 0.2,
+                slab_fresh_allocs: 12,
             }],
             summaries: vec![],
         };
@@ -573,6 +591,29 @@ mod tests {
             .expect("exec section present");
         assert!(exec_section.contains(&exec_baseline));
         harmony_trace::json::parse(&text).expect("valid JSON");
+    }
+
+    #[test]
+    fn render_flags_host_limited_speedups() {
+        // On a 1-core host a ~1× parallel speedup is a fact of the
+        // hardware, not a regression; the table must say so. With real
+        // parallelism available, no annotation.
+        let mut report = BenchReport {
+            workers: 4,
+            available_parallelism: 1,
+            experiments: vec![ExperimentTiming {
+                name: "unit",
+                sequential_secs: 1.0,
+                parallel_secs: 1.0,
+                identical: true,
+            }],
+            hot_path: vec![],
+            exec_hot_path: vec![],
+            summaries: vec![],
+        };
+        assert!(report.render().contains("(host-limited)"));
+        report.available_parallelism = 8;
+        assert!(!report.render().contains("(host-limited)"));
     }
 
     #[test]

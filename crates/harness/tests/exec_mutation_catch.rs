@@ -1,0 +1,98 @@
+//! Mutation-catch battery for the executor's hardened test equipment.
+//!
+//! A differential or structural check is only worth its runtime if it
+//! *fails* when the thing it guards is actually broken. These tests arm
+//! the `mutation_hooks` sabotage points in `harmony-sched` — a dropped
+//! wake registration and a corrupted slab-handle generation — and assert
+//! that the corresponding defense flags each one:
+//!
+//! - the execdiff differential (clean run vs sabotaged run) detects the
+//!   dropped wake as an observable divergence — the sabotaged run gets
+//!   stuck where the clean run completes;
+//! - the transfer slab's generational index surfaces the corrupted
+//!   handle as a typed [`ExecError`] stale-handle error, never a silent
+//!   misread of a recycled slot.
+//!
+//! Both hooks are single-shot and disarm themselves after firing, so a
+//! passing run here proves the sabotage actually executed (an armed hook
+//! that never fires leaves the run clean and the assertions below fail).
+
+use harmony::simulate::{self, SchemeKind};
+use harmony_harness::workloads::{tight_topo, tight_workload, uniform_model};
+use harmony_sched::{ExecError, SimExecutor};
+
+/// Builds the executor for the reference mutation-catch scenario: a
+/// Harmony-PP run under memory pressure on a 2-GPU server, whose stage
+/// handoffs and swap traffic exercise both tensor-waiter registration
+/// (for the wake drop) and pooled transfer completions (for the slab
+/// corruption).
+fn build_exec<'a>(
+    model: &'a harmony_models::ModelSpec,
+    topo: &'a harmony_topology::Topology,
+    plan: &'a harmony_sched::ExecutionPlan,
+) -> SimExecutor<'a> {
+    SimExecutor::with_iterations(topo, model, plan, 2).expect("valid plan")
+}
+
+#[test]
+fn execdiff_flags_a_dropped_wake_registration() {
+    let model = uniform_model(8, 4096);
+    let topo = tight_topo(2);
+    let w = tight_workload(4);
+    let plan = simulate::plan(SchemeKind::HarmonyPp, &model, &topo, &w).expect("plan");
+
+    // Clean control leg: the same configuration completes.
+    let clean = build_exec(&model, &topo, &plan).run();
+    let (clean_summary, clean_trace) = clean.expect("clean run completes");
+
+    // Sabotaged leg: one tensor-waiter registration is silently skipped —
+    // the bug class a wake-set event loop can have (a stalled GPU never
+    // re-advanced). The differential must observe a divergence.
+    let mut sabotaged = build_exec(&model, &topo, &plan);
+    sabotaged.arm_drop_wake();
+    match sabotaged.run() {
+        Err(ExecError::Stuck(msg)) => {
+            // The strongest observable: the run wedges and names the
+            // stalled GPU, exactly what execdiff reports as fast-vs-dense
+            // error divergence.
+            assert!(msg.contains("gpu"), "stuck message names a gpu: {msg}");
+        }
+        Err(other) => panic!("expected a stuck run, got a different error: {other}"),
+        Ok((summary, trace)) => {
+            // If the schedule happens to tolerate the lost wake through a
+            // later wake of the same GPU, the runs must still be
+            // byte-identical to count as undetected — and they are not
+            // allowed to be.
+            assert!(
+                trace.to_json() != clean_trace.to_json()
+                    || summary.to_json() != clean_summary.to_json(),
+                "a dropped wake registration must be observable: the \
+                 sabotaged run produced byte-identical output"
+            );
+        }
+    }
+}
+
+#[test]
+fn slab_generation_check_flags_a_corrupted_handle() {
+    let model = uniform_model(8, 4096);
+    let topo = tight_topo(2);
+    let w = tight_workload(4);
+    let plan = simulate::plan(SchemeKind::HarmonyPp, &model, &topo, &w).expect("plan");
+
+    let mut sabotaged = build_exec(&model, &topo, &plan);
+    sabotaged.arm_corrupt_slab_generation();
+    let err = sabotaged
+        .run()
+        .expect_err("a corrupted slab-handle generation must not pass silently");
+    match err {
+        ExecError::Slab(e) => {
+            let msg = e.to_string();
+            assert!(
+                msg.contains("stale handle"),
+                "the generational index names the staleness: {msg}"
+            );
+        }
+        other => panic!("expected the typed slab error, got: {other}"),
+    }
+}

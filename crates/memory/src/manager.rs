@@ -1,6 +1,6 @@
 //! The tensor-residency state machine and per-device capacity accounting.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 use crate::observe::{MemEvent, MemObserver};
 use crate::policy::EvictionPolicy;
@@ -97,7 +97,11 @@ pub struct MemoryManager {
     capacities: Vec<u64>,
     used: Vec<u64>,
     peak_used: Vec<u64>,
-    tensors: HashMap<TensorId, TensorInfo>,
+    /// Dense per-tensor records, indexed by `TensorId` (ids are assigned
+    /// sequentially and never recycled — freed tensors stay as `Dead`
+    /// records), so the per-event metadata lookup is a bounds-checked
+    /// array index instead of a hash probe.
+    tensors: Vec<TensorInfo>,
     /// Per-device index of evictable tensors: unpinned and device-resident.
     /// Maintained at every residency/pin transition so candidate
     /// enumeration is O(candidates), not a scan over every tensor ever
@@ -118,7 +122,7 @@ impl MemoryManager {
             capacities,
             used: vec![0; n],
             peak_used: vec![0; n],
-            tensors: HashMap::new(),
+            tensors: Vec::new(),
             evictable: vec![BTreeSet::new(); n],
             next_id: 0,
             clock: 0,
@@ -167,9 +171,9 @@ impl MemoryManager {
         Ok(effective)
     }
 
-    /// All tensor records (any residency), in unspecified order.
+    /// All tensor records (any residency), in ascending id order.
     pub fn tensor_infos(&self) -> impl Iterator<Item = &TensorInfo> {
-        self.tensors.values()
+        self.tensors.iter()
     }
 
     /// Number of devices.
@@ -216,7 +220,7 @@ impl MemoryManager {
     /// memory with CPU memory"); this is reporting, not a capacity limit.
     pub fn host_used(&self) -> u64 {
         self.tensors
-            .values()
+            .iter()
             .filter(|t| {
                 matches!(
                     t.residency,
@@ -229,11 +233,15 @@ impl MemoryManager {
 
     /// Tensor metadata.
     pub fn info(&self, id: TensorId) -> Result<&TensorInfo, MemError> {
-        self.tensors.get(&id).ok_or(MemError::UnknownTensor(id))
+        self.tensors
+            .get(id as usize)
+            .ok_or(MemError::UnknownTensor(id))
     }
 
     fn info_mut(&mut self, id: TensorId) -> Result<&mut TensorInfo, MemError> {
-        self.tensors.get_mut(&id).ok_or(MemError::UnknownTensor(id))
+        self.tensors
+            .get_mut(id as usize)
+            .ok_or(MemError::UnknownTensor(id))
     }
 
     fn charge(&mut self, dev: DeviceId, bytes: u64) {
@@ -258,21 +266,19 @@ impl MemoryManager {
         let id = self.next_id;
         self.next_id += 1;
         self.clock += 1;
-        self.tensors.insert(
+        debug_assert_eq!(id as usize, self.tensors.len());
+        self.tensors.push(TensorInfo {
             id,
-            TensorInfo {
-                id,
-                name: name.into(),
-                bytes,
-                class,
-                residency: Residency::OnHost,
-                pinned: 0,
-                last_use: self.clock,
-                next_use_hint: None,
-                dirty: false,
-                host_copy_valid: true,
-            },
-        );
+            name: name.into(),
+            bytes,
+            class,
+            residency: Residency::OnHost,
+            pinned: 0,
+            last_use: self.clock,
+            next_use_hint: None,
+            dirty: false,
+            host_copy_valid: true,
+        });
         self.emit(MemEvent::RegisterHost { id, bytes, class });
         id
     }
@@ -298,22 +304,20 @@ impl MemoryManager {
         let id = self.next_id;
         self.next_id += 1;
         self.clock += 1;
-        self.tensors.insert(
+        debug_assert_eq!(id as usize, self.tensors.len());
+        self.tensors.push(TensorInfo {
             id,
-            TensorInfo {
-                id,
-                name: name.into(),
-                bytes,
-                class,
-                residency: Residency::OnDevice(dev),
-                pinned: 0,
-                last_use: self.clock,
-                next_use_hint: None,
-                // Fresh device-side outputs have no host copy yet.
-                dirty: true,
-                host_copy_valid: false,
-            },
-        );
+            name: name.into(),
+            bytes,
+            class,
+            residency: Residency::OnDevice(dev),
+            pinned: 0,
+            last_use: self.clock,
+            next_use_hint: None,
+            // Fresh device-side outputs have no host copy yet.
+            dirty: true,
+            host_copy_valid: false,
+        });
         self.evictable[dev].insert(id);
         self.emit(MemEvent::Alloc {
             id,
@@ -384,21 +388,24 @@ impl MemoryManager {
     /// is released immediately; no swap traffic is charged (discarding is
     /// free — this is why dead activations should be freed, not evicted).
     pub fn free(&mut self, id: TensorId) -> Result<(), MemError> {
-        let info = self.info(id)?.clone();
-        if info.pinned > 0 {
+        let (residency, pinned, bytes) = {
+            let t = self.info(id)?;
+            (t.residency, t.pinned, t.bytes)
+        };
+        if pinned > 0 {
             return Err(MemError::InvalidState {
                 id,
                 op: "free",
                 state: "pinned".to_string(),
             });
         }
-        match info.residency {
+        match residency {
             Residency::OnDevice(d) => {
-                self.release(d, info.bytes);
+                self.release(d, bytes);
                 self.evictable[d].remove(&id);
             }
             Residency::OnHost | Residency::Dead => {}
-            ref moving => {
+            moving => {
                 return Err(MemError::InvalidState {
                     id,
                     op: "free",
@@ -419,7 +426,7 @@ impl MemoryManager {
     /// deterministic order the previous full filter-and-sort produced.
     pub fn eviction_candidates(&self, dev: DeviceId) -> Vec<&TensorInfo> {
         match self.evictable.get(dev) {
-            Some(set) => set.iter().map(|id| &self.tensors[id]).collect(),
+            Some(set) => set.iter().map(|&id| &self.tensors[id as usize]).collect(),
             None => Vec::new(),
         }
     }
@@ -504,10 +511,13 @@ impl MemoryManager {
     /// [`MemoryManager::finish_swap_out`]. Returns `(src_device, bytes)`
     /// for the transfer. Swap-out volume is tallied here.
     pub fn begin_swap_out(&mut self, id: TensorId) -> Result<(DeviceId, u64), MemError> {
-        let info = self.info(id)?.clone();
-        let src = match info.residency {
+        let (residency, pinned, bytes, class) = {
+            let t = self.info(id)?;
+            (t.residency, t.pinned, t.bytes, t.class)
+        };
+        let src = match residency {
             Residency::OnDevice(d) => d,
-            ref other => {
+            other => {
                 return Err(MemError::InvalidState {
                     id,
                     op: "begin_swap_out",
@@ -515,7 +525,7 @@ impl MemoryManager {
                 })
             }
         };
-        if info.pinned > 0 {
+        if pinned > 0 {
             return Err(MemError::InvalidState {
                 id,
                 op: "begin_swap_out",
@@ -524,34 +534,28 @@ impl MemoryManager {
         }
         self.info_mut(id)?.residency = Residency::MovingToHost { src };
         self.evictable[src].remove(&id);
-        self.stats
-            .record(src, Direction::Out, info.class, info.bytes);
-        self.emit(MemEvent::BeginSwapOut {
-            id,
-            src,
-            bytes: info.bytes,
-        });
-        Ok((src, info.bytes))
+        self.stats.record(src, Direction::Out, class, bytes);
+        self.emit(MemEvent::BeginSwapOut { id, src, bytes });
+        Ok((src, bytes))
     }
 
     /// Completes a swap-out: bytes have left the device; capacity freed.
     pub fn finish_swap_out(&mut self, id: TensorId) -> Result<(), MemError> {
-        let info = self.info(id)?.clone();
-        match info.residency {
+        let (residency, bytes) = {
+            let t = self.info(id)?;
+            (t.residency, t.bytes)
+        };
+        match residency {
             Residency::MovingToHost { src } => {
-                self.release(src, info.bytes);
+                self.release(src, bytes);
                 let t = self.info_mut(id)?;
                 t.residency = Residency::OnHost;
                 t.dirty = false;
                 t.host_copy_valid = true;
-                self.emit(MemEvent::FinishSwapOut {
-                    id,
-                    src,
-                    bytes: info.bytes,
-                });
+                self.emit(MemEvent::FinishSwapOut { id, src, bytes });
                 Ok(())
             }
-            ref other => Err(MemError::InvalidState {
+            other => Err(MemError::InvalidState {
                 id,
                 op: "finish_swap_out",
                 state: other.describe(),
@@ -562,34 +566,36 @@ impl MemoryManager {
     /// Begins a host→device swap-in. Destination capacity is reserved now;
     /// fails if insufficient (evict first). Swap-in volume is tallied here.
     pub fn begin_swap_in(&mut self, id: TensorId, dev: DeviceId) -> Result<u64, MemError> {
-        let info = self.info(id)?.clone();
-        if info.residency != Residency::OnHost {
+        let (residency, bytes, class) = {
+            let t = self.info(id)?;
+            (t.residency, t.bytes, t.class)
+        };
+        if residency != Residency::OnHost {
             return Err(MemError::InvalidState {
                 id,
                 op: "begin_swap_in",
-                state: info.residency.describe(),
+                state: residency.describe(),
             });
         }
-        if self.free_bytes(dev)? < info.bytes {
+        if self.free_bytes(dev)? < bytes {
             return Err(MemError::InsufficientMemory {
                 device: dev,
-                needed: info.bytes,
+                needed: bytes,
                 capacity: self.capacity(dev)?,
             });
         }
-        self.charge(dev, info.bytes);
+        self.charge(dev, bytes);
         self.info_mut(id)?.residency = Residency::MovingToDevice {
             dst: dev,
             src: None,
         };
-        self.stats
-            .record(dev, Direction::In, info.class, info.bytes);
+        self.stats.record(dev, Direction::In, class, bytes);
         self.emit(MemEvent::BeginSwapIn {
             id,
             dst: dev,
-            bytes: info.bytes,
+            bytes,
         });
-        Ok(info.bytes)
+        Ok(bytes)
     }
 
     /// Begins a device→device (p2p) move. Capacity is charged on the
@@ -597,10 +603,13 @@ impl MemoryManager {
     /// (both copies exist in flight). Tallied as p2p, **not** swap volume —
     /// the whole point of Harmony's optimization 3.
     pub fn begin_p2p(&mut self, id: TensorId, dst: DeviceId) -> Result<(DeviceId, u64), MemError> {
-        let info = self.info(id)?.clone();
-        let src = match info.residency {
+        let (residency, pinned, bytes) = {
+            let t = self.info(id)?;
+            (t.residency, t.pinned, t.bytes)
+        };
+        let src = match residency {
             Residency::OnDevice(d) if d != dst => d,
-            ref other => {
+            other => {
                 return Err(MemError::InvalidState {
                     id,
                     op: "begin_p2p",
@@ -608,44 +617,47 @@ impl MemoryManager {
                 })
             }
         };
-        if info.pinned > 0 {
+        if pinned > 0 {
             return Err(MemError::InvalidState {
                 id,
                 op: "begin_p2p",
                 state: "pinned".to_string(),
             });
         }
-        if self.free_bytes(dst)? < info.bytes {
+        if self.free_bytes(dst)? < bytes {
             return Err(MemError::InsufficientMemory {
                 device: dst,
-                needed: info.bytes,
+                needed: bytes,
                 capacity: self.capacity(dst)?,
             });
         }
-        self.charge(dst, info.bytes);
+        self.charge(dst, bytes);
         self.info_mut(id)?.residency = Residency::MovingToDevice {
             dst,
             src: Some(src),
         };
         self.evictable[src].remove(&id);
-        self.stats.record_p2p(info.bytes);
+        self.stats.record_p2p(bytes);
         self.emit(MemEvent::BeginP2p {
             id,
             src,
             dst,
-            bytes: info.bytes,
+            bytes,
         });
-        Ok((src, info.bytes))
+        Ok((src, bytes))
     }
 
     /// Completes a swap-in or p2p move: tensor becomes device-resident;
     /// for p2p the source copy is released.
     pub fn finish_move_to_device(&mut self, id: TensorId) -> Result<DeviceId, MemError> {
-        let info = self.info(id)?.clone();
-        match info.residency {
+        let (residency, bytes) = {
+            let t = self.info(id)?;
+            (t.residency, t.bytes)
+        };
+        match residency {
             Residency::MovingToDevice { dst, src } => {
                 if let Some(s) = src {
-                    self.release(s, info.bytes);
+                    self.release(s, bytes);
                 }
                 self.clock += 1;
                 let clock = self.clock;
@@ -667,7 +679,7 @@ impl MemoryManager {
                 });
                 Ok(dst)
             }
-            ref other => Err(MemError::InvalidState {
+            other => Err(MemError::InvalidState {
                 id,
                 op: "finish_move_to_device",
                 state: other.describe(),
@@ -686,10 +698,13 @@ impl MemoryManager {
     /// the *attempt*, matching the simulator's at-issue channel
     /// accounting, and only faulted runs ever cancel.
     pub fn cancel_move_to_device(&mut self, id: TensorId) -> Result<(), MemError> {
-        let info = self.info(id)?.clone();
-        match info.residency {
+        let (residency, bytes) = {
+            let t = self.info(id)?;
+            (t.residency, t.bytes)
+        };
+        match residency {
             Residency::MovingToDevice { dst, src } => {
-                self.release(dst, info.bytes);
+                self.release(dst, bytes);
                 match src {
                     Some(s) => {
                         // A moving tensor can never be pinned (pin
@@ -709,7 +724,7 @@ impl MemoryManager {
                 });
                 Ok(())
             }
-            ref other => Err(MemError::InvalidState {
+            other => Err(MemError::InvalidState {
                 id,
                 op: "cancel_move_to_device",
                 state: other.describe(),
@@ -740,31 +755,34 @@ impl MemoryManager {
     /// host residency with **no transfer and no swap volume** (the device
     /// copy is simply discarded). Errors unless [`MemoryManager::can_drop`].
     pub fn drop_to_host(&mut self, id: TensorId) -> Result<(), MemError> {
-        let info = self.info(id)?.clone();
-        if info.pinned > 0 {
+        let (residency, pinned, bytes, dirty, host_copy_valid) = {
+            let t = self.info(id)?;
+            (t.residency, t.pinned, t.bytes, t.dirty, t.host_copy_valid)
+        };
+        if pinned > 0 {
             return Err(MemError::InvalidState {
                 id,
                 op: "drop_to_host",
                 state: "pinned".to_string(),
             });
         }
-        match info.residency {
-            Residency::OnDevice(d) if !info.dirty && info.host_copy_valid => {
-                self.release(d, info.bytes);
+        match residency {
+            Residency::OnDevice(d) if !dirty && host_copy_valid => {
+                self.release(d, bytes);
                 self.evictable[d].remove(&id);
                 self.info_mut(id)?.residency = Residency::OnHost;
                 self.emit(MemEvent::DropToHost {
                     id,
                     dev: d,
-                    was_dirty: info.dirty,
-                    had_host_copy: info.host_copy_valid,
+                    was_dirty: dirty,
+                    had_host_copy: host_copy_valid,
                 });
                 Ok(())
             }
-            ref other => Err(MemError::InvalidState {
+            other => Err(MemError::InvalidState {
                 id,
                 op: "drop_to_host",
-                state: if info.dirty {
+                state: if dirty {
                     "dirty".to_string()
                 } else {
                     other.describe()
@@ -1088,7 +1106,7 @@ mod dirty_tests {
     fn dense_candidates(m: &MemoryManager, dev: DeviceId) -> Vec<TensorId> {
         let mut v: Vec<TensorId> = m
             .tensors
-            .values()
+            .iter()
             .filter(|t| t.pinned == 0 && t.residency == Residency::OnDevice(dev))
             .map(|t| t.id)
             .collect();

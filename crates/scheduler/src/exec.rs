@@ -70,11 +70,38 @@
 //! below it are deferred to the next event's pass, and are dropped if the
 //! event queue runs dry — matching dense stuck detection. The
 //! `dense_advance` feature exposes the reference mode
-//! ([`SimExecutor::use_dense_advance`]); the harness proves both modes
-//! produce byte-identical traces and summaries, and [`ExecCounters`]
-//! pins the structural claim (no O(N_gpus) rescan per event).
+//! ([`SimExecutor::use_dense_advance`]), which delegates to the frozen
+//! pre-rewrite executor; the harness proves both modes produce
+//! byte-identical traces and summaries, and [`ExecCounters`] pins the
+//! structural claims (no O(N_gpus) rescan per event, no per-event heap
+//! allocation).
+//!
+//! ## Data layout (DESIGN §11)
+//!
+//! The per-event path touches no keyed container and performs no
+//! steady-state heap allocation:
+//!
+//! * **Dense key arena** — logical tensor keys `(iter, replica, ref)` map
+//!   to indices in a [`KeySpace`]; tensor ids, next-use cursors, and
+//!   future-use sequences live in flat parallel arrays indexed by key.
+//! * **Struct-of-arrays step state** — the current and prefetch step of
+//!   every GPU are planes of parallel vectors ([`StepPlane`]); fetch
+//!   targets are precompiled per queue item into one shared arena and
+//!   walked by cursor.
+//! * **Generational slab** — pending transfers live in a
+//!   [`crate::slab::Slab`]; the packed [`crate::slab::SlabHandle`] rides
+//!   the simulator's completion tag, so the completion path is a
+//!   bounds-checked array index with a typed use-after-free check instead
+//!   of a hash probe.
+//! * **Batched wake words** — wake/poll/pass sets are `u64` bitmask words;
+//!   all wakes of one timestamp coalesce into the words and drain in a
+//!   single ascending bit-scan.
+//! * **Pooled payloads** — route vectors for observer events come from a
+//!   reusable [`crate::obs::EventPool`]; trace spans stamp pre-interned
+//!   [`SymbolId`]s; routes and their simulator flight classes are cached
+//!   per (endpoint, endpoint) pair.
 
-use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 use harmony_memory::{
     EvictionPolicy, Lru, MemError, MemObserver, MemoryManager, NextUseAware, Residency, TensorId,
@@ -89,8 +116,9 @@ use harmony_trace::{
 };
 
 use crate::config::PolicyKind;
-use crate::obs::{ExecContext, ExecEvent, ExecObserver, Fault, TimedFault};
+use crate::obs::{EventPool, ExecContext, ExecEvent, ExecObserver, Fault, TimedFault};
 use crate::plan::{ExecutionPlan, WorkItem};
+use crate::slab::{Slab, SlabHandle};
 
 /// Errors from plan execution.
 #[derive(Debug)]
@@ -106,6 +134,9 @@ pub enum ExecError {
     Plan(String),
     /// No progress possible but work remains (scheduling deadlock).
     Stuck(String),
+    /// A generational slab handle failed to resolve (stale, vacant, or
+    /// out of bounds) — the typed use-after-free check on pooled records.
+    Slab(crate::slab::SlabError),
 }
 
 impl std::fmt::Display for ExecError {
@@ -116,6 +147,7 @@ impl std::fmt::Display for ExecError {
             ExecError::Topo(e) => write!(f, "topology: {e}"),
             ExecError::Plan(m) => write!(f, "plan: {m}"),
             ExecError::Stuck(m) => write!(f, "stuck: {m}"),
+            ExecError::Slab(e) => write!(f, "slab: {e}"),
         }
     }
 }
@@ -137,6 +169,11 @@ impl From<TopologyError> for ExecError {
         ExecError::Topo(e)
     }
 }
+impl From<crate::slab::SlabError> for ExecError {
+    fn from(e: crate::slab::SlabError) -> Self {
+        ExecError::Slab(e)
+    }
+}
 
 /// Logical tensor key: (iteration, replica, reference).
 ///
@@ -156,20 +193,94 @@ fn key_of(iter: u32, replica: usize, rf: TensorRef) -> Key {
     (if persistent { 0 } else { iter }, replica, rf)
 }
 
+/// Dense index space over logical tensor keys. Every `(iter, replica,
+/// ref)` the plan can touch maps to a unique flat index, so tensor ids,
+/// next-use cursors and future-use sequences live in parallel arrays
+/// instead of a `HashMap<Key, _>` probed per event. Dimensions come from
+/// the model/config plus a defensive scan of the graph (`ref_dims`), so a
+/// graph referencing out-of-config indices still fits.
+#[derive(Debug, Clone, Copy)]
+struct KeySpace {
+    /// Exclusive layer bound `L`.
+    layers: usize,
+    /// Exclusive microbatch bound `U`.
+    ubatches: usize,
+    /// Replica slots (covers both plan replicas and GPU-indexed replicas).
+    rslots: usize,
+    /// Refs per (iter, replica) plane: `3L + 3LU + U`.
+    num_refs: usize,
+}
+
+impl KeySpace {
+    /// Flat index of `rf` within one (iter, replica) plane.
+    fn ref_ix(&self, rf: TensorRef) -> usize {
+        let l3 = 3 * self.layers;
+        let lu = self.layers * self.ubatches;
+        match rf {
+            TensorRef::Weight { layer } => layer,
+            TensorRef::Grad { layer } => self.layers + layer,
+            TensorRef::OptState { layer } => 2 * self.layers + layer,
+            TensorRef::Activation { layer, ubatch } => l3 + layer * self.ubatches + ubatch,
+            TensorRef::ActGrad { layer, ubatch } => l3 + lu + layer * self.ubatches + ubatch,
+            TensorRef::Stash { layer, ubatch } => l3 + 2 * lu + layer * self.ubatches + ubatch,
+            TensorRef::Input { ubatch } => l3 + 3 * lu + ubatch,
+        }
+    }
+
+    /// Flat index of a key, collapsing persistent refs to iteration 0
+    /// (mirrors [`key_of`]).
+    fn key_ix(&self, iter: u32, replica: usize, rf: TensorRef) -> usize {
+        let persistent = matches!(
+            rf,
+            TensorRef::Weight { .. } | TensorRef::Grad { .. } | TensorRef::OptState { .. }
+        );
+        let it = if persistent { 0 } else { iter as usize };
+        (it * self.rslots + replica) * self.num_refs + self.ref_ix(rf)
+    }
+}
+
+/// Fetch-target formatting shim: stuck-state diagnostics print targets in
+/// the same `Input(key)` / `Alloc(key)` form the reference executor uses.
 #[derive(Debug, Clone, Copy)]
 enum Target {
     /// Make an existing tensor resident and pin it.
-    Input(Key),
+    // The key is read only through the derived `Debug` impl.
+    Input(#[allow(dead_code)] Key),
     /// Allocate a fresh output tensor on this GPU and pin it.
-    Alloc(Key),
+    Alloc(#[allow(dead_code)] Key),
 }
 
-#[derive(Debug)]
+/// A precompiled fetch target: iteration-independent, shared by every
+/// iteration's instance of its queue item. The full key index is
+/// `KeySpace::key_ix(step_iter, replica, rf)` at use time.
+#[derive(Debug, Clone, Copy)]
+struct CTarget {
+    rf: TensorRef,
+    replica: u32,
+    /// Allocate-and-pin (task output) rather than fetch-and-pin (input).
+    alloc: bool,
+}
+
+/// One flattened queue entry (arena replaces the per-GPU `VecDeque`).
+#[derive(Debug, Clone, Copy)]
+struct QItem {
+    seq: u64,
+    iter: u32,
+    item: WorkItem,
+    /// Precompiled target range in the shared target arena.
+    t_start: u32,
+    t_end: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
 enum InFlight {
     /// Ready to process the next fetch target (or start compute).
     Idle,
-    /// Waiting for eviction writebacks to free room.
-    Evicting(HashSet<TransferId>),
+    /// Waiting for `remaining` eviction writebacks to free room.
+    Evicting {
+        /// In-flight eviction transfers still outstanding.
+        remaining: u32,
+    },
     /// Waiting for the current target's swap-in / p2p move.
     Moving,
     /// Waiting for a needed tensor to finish leaving a peer GPU (host
@@ -181,30 +292,53 @@ enum InFlight {
     Collective,
 }
 
+/// Struct-of-arrays step state for one slot plane (current or prefetch):
+/// `advance` reads only the lanes it needs instead of pulling a whole
+/// `Step` struct (plus its heap-owned target deque) through the cache.
+/// `pinned[g]` is reused across steps — cleared on retire, never
+/// deallocated — so steady-state stepping allocates nothing.
 #[derive(Debug)]
-struct Step {
-    /// Globally unique id — transfers route completions by it, surviving
-    /// promotion from the prefetch slot to the current slot.
-    id: u64,
-    seq: u64,
-    iter: u32,
-    item: WorkItem,
-    targets: VecDeque<Target>,
-    targets_built: bool,
-    pinned: Vec<TensorId>,
-    inflight: InFlight,
+struct StepPlane {
+    live: Vec<bool>,
+    id: Vec<u64>,
+    seq: Vec<u64>,
+    iter: Vec<u32>,
+    item: Vec<WorkItem>,
+    t_cur: Vec<u32>,
+    t_end: Vec<u32>,
+    targets_built: Vec<bool>,
+    /// The front target was an `Alloc` converted in place to an input
+    /// fetch (idempotent re-materialisation after a cancelled prefetch).
+    front_converted: Vec<bool>,
+    inflight: Vec<InFlight>,
+    pinned: Vec<Vec<TensorId>>,
 }
 
-#[derive(Debug)]
-struct GpuState {
-    queue: VecDeque<(u64, u32, WorkItem)>,
-    step: Option<Step>,
-    /// Double-buffered next step, fetched during the current compute.
-    prefetch: Option<Step>,
+impl StepPlane {
+    fn new(n: usize) -> Self {
+        StepPlane {
+            live: vec![false; n],
+            id: vec![0; n],
+            seq: vec![0; n],
+            iter: vec![0; n],
+            item: vec![WorkItem::AllReduce { pack: 0 }; n],
+            t_cur: vec![0; n],
+            t_end: vec![0; n],
+            targets_built: vec![false; n],
+            front_converted: vec![false; n],
+            inflight: vec![InFlight::Idle; n],
+            pinned: (0..n).map(|_| Vec::new()).collect(),
+        }
+    }
 }
 
+/// A pooled record of an in-flight transfer. Lives in the executor's
+/// generational slab; the packed slab handle rides the simulator's
+/// completion tag, so resolution is an index, not a hash probe.
 #[derive(Debug, Clone)]
 struct PendingTransfer {
+    /// The simulator's transfer id (for cancellation).
+    xfer: TransferId,
     purpose: Purpose,
     start: f64,
     lane: usize,
@@ -238,14 +372,23 @@ enum Purpose {
     Flush { tensor: TensorId },
 }
 
-#[derive(Debug, Default)]
-struct CollectiveState {
-    arrived: HashSet<usize>,
-    outstanding: HashSet<TransferId>,
+/// Barrier state of one (iteration, pack) AllReduce, in a flat slot
+/// (index `iter * num_packs + pack`) instead of a keyed map. Reset to
+/// inactive when the collective finishes, so a straggling completion hits
+/// the same "unknown collective" error the reference raises.
+#[derive(Debug, Clone, Copy, Default)]
+struct CollSlot {
+    active: bool,
+    arrived: u32,
+    outstanding: u32,
 }
 
-#[derive(Debug, Clone)]
+/// The single outstanding kernel of a GPU (at most one per GPU, so a
+/// per-GPU slot replaces the tag-keyed map; the globally sequential tag
+/// is kept for cross-checking the simulator's completion).
+#[derive(Debug, Clone, Copy)]
 struct ComputeRec {
+    tag: u64,
     start: f64,
     label: SymbolId,
 }
@@ -260,7 +403,10 @@ struct ComputeRec {
 /// that made progress (mutated executor state), `spurious_wakes` the
 /// no-op remainder. `label_interns` counts label-symbol interning calls —
 /// bounded by the number of *distinct* labels (plan-sized), never by
-/// event count.
+/// event count. `slab_high_water` / `slab_fresh_allocs` pin the
+/// allocation contract: slots ever grown must equal the peak of
+/// concurrently live records (plan-bounded), never track event count —
+/// steady-state completions recycle slots instead of allocating.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ExecCounters {
     /// Total `advance` invocations across the run.
@@ -271,6 +417,14 @@ pub struct ExecCounters {
     pub spurious_wakes: u64,
     /// Trace-label interning calls (cache misses only).
     pub label_interns: u64,
+    /// Peak concurrently live pooled transfer records (plan-bounded).
+    /// Zero in dense-reference mode (the frozen loop predates the slab).
+    pub slab_high_water: u64,
+    /// Transfer-slab slots ever grown. Equals `slab_high_water` when the
+    /// steady-state path recycles instead of allocating (the structural
+    /// zero-per-event-allocation claim); diverging from it — or growing
+    /// with event count — is a pooling regression.
+    pub slab_fresh_allocs: u64,
 }
 
 /// Which step slot of a GPU is being driven.
@@ -278,6 +432,25 @@ pub struct ExecCounters {
 enum Slot {
     Current,
     Prefetch,
+}
+
+/// A cached route between two endpoints plus its lazily registered
+/// simulator flight class. The class is registered at the first
+/// *non-zero-byte* transfer over the route — exactly when the reference
+/// path's `start_transfer` would create it — so flight-class ordering
+/// stays bit-identical.
+#[derive(Debug)]
+struct RouteEntry {
+    route: Vec<ChannelId>,
+    class: Option<usize>,
+}
+
+/// Which cached route a transfer uses.
+#[derive(Debug, Clone, Copy)]
+enum RouteSel {
+    HostToGpu(usize),
+    GpuToHost(usize),
+    P2p(usize, usize),
 }
 
 /// Timer tags at or above this bias belong to resilience retry timers;
@@ -339,47 +512,84 @@ pub struct SimExecutor<'a> {
     sim: Simulator,
     mm: MemoryManager,
     policy: Box<dyn EvictionPolicy>,
-    ids: HashMap<Key, TensorId>,
-    gpus: Vec<GpuState>,
-    done: HashSet<(u32, usize, TaskId)>,
-    transfers: HashMap<TransferId, PendingTransfer>,
-    computes: HashMap<u64, ComputeRec>,
-    next_compute_tag: u64,
-    next_step_id: u64,
-    collectives: HashMap<(u32, usize), CollectiveState>,
-    trace: Trace,
-    next_use: HashMap<Key, VecDeque<u64>>,
+    /// Dense key-index space (see [`KeySpace`]).
+    ks: KeySpace,
     iterations: u32,
+    num_tasks: usize,
+    num_packs: usize,
+    /// Tensor id per key index (None until materialised).
+    ids: Vec<Option<TensorId>>,
+    /// Interned trace label per tensor, dense by `TensorId` (ids are
+    /// handed out sequentially by the memory manager).
+    labels: Vec<SymbolId>,
+    /// Interned compute labels, indexed `replica * num_tasks + task`.
+    task_syms: Vec<Option<SymbolId>>,
+    /// Future-use arena: per key index, the run `nu_seqs[start..end)` with
+    /// a consume cursor (replaces per-key `VecDeque`s).
+    nu_start: Vec<u32>,
+    nu_end: Vec<u32>,
+    nu_cur: Vec<u32>,
+    nu_seqs: Vec<u64>,
+    /// Flattened per-GPU work queues (arena + cursor per GPU).
+    q_items: Vec<QItem>,
+    q_bounds: Vec<(u32, u32)>,
+    q_cursor: Vec<u32>,
+    /// Precompiled fetch targets, ranged into by [`QItem`]s.
+    ct_items: Vec<CTarget>,
+    /// Current / prefetch step planes (struct-of-arrays).
+    cur: StepPlane,
+    pre: StepPlane,
+    next_step_id: u64,
+    /// Pooled in-flight transfer records; handles ride simulator tags.
+    transfers: Slab<PendingTransfer>,
+    /// The single outstanding kernel per GPU.
+    computes: Vec<Option<ComputeRec>>,
+    next_compute_tag: u64,
+    /// AllReduce barrier slots, indexed `iter * num_packs + pack`.
+    collectives: Vec<CollSlot>,
+    /// Completed-task bitset, bit index = dep_ix(iter, replica, task).
+    done_words: Vec<u64>,
+    /// Keyed mirror of the done set, maintained only while observers are
+    /// attached (it backs [`ExecContext::done`]).
+    done_mirror: HashSet<(u32, usize, TaskId)>,
+    /// Words per GPU-bitmask (`ceil(num_queues / 64)`).
+    wpg: usize,
+    /// Dependency waiters: `wpg` words per (iter, replica, task) entry.
+    dep_w: Vec<u64>,
+    dep_live: u64,
+    /// Tensor waiters: `wpg` words per tensor id, grown lazily.
+    tw: Vec<u64>,
+    tw_live: u64,
+    /// Wake bitmask words: the in-flight pass, wakes deferred to the next
+    /// pass, and the every-pass poll set.
+    pass_w: Vec<u64>,
+    pending_w: Vec<u64>,
+    poll_w: Vec<u64>,
+    /// GPU currently being advanced inside a pass (None outside passes).
+    advancing: Option<usize>,
+    /// Bumped at every executor state change; advance snapshots it to
+    /// classify wakes as productive or spurious.
+    mutations: u64,
+    counters: ExecCounters,
+    trace: Trace,
     observers: Vec<Box<dyn ExecObserver>>,
+    /// Reusable payload buffers for observer events.
+    event_pool: EventPool,
     faults: Vec<TimedFault>,
     /// Per-GPU compute-rate multiplier (1.0 nominal), set by jitter faults.
     compute_rate: Vec<f64>,
     /// Fail with [`ExecError::Stuck`] after this many simulator events.
     event_budget: Option<u64>,
     events_processed: u64,
-    /// Interned trace label per tensor, assigned at registration/alloc.
-    labels: HashMap<TensorId, SymbolId>,
-    /// Interned compute labels, keyed by (replica, task).
-    task_syms: HashMap<(usize, TaskId), SymbolId>,
-    /// Dense-reference mode: re-advance every GPU after every event.
+    /// Cached routes (and lazily registered flight classes) per endpoint
+    /// pair: host→GPU, GPU→host, and GPU→GPU (`src * n_topo + dst`).
+    routes_h2g: Vec<Option<RouteEntry>>,
+    routes_g2h: Vec<Option<RouteEntry>>,
+    routes_p2p: Vec<Option<RouteEntry>>,
+    n_topo: usize,
+    /// Dense-reference mode: delegate to the frozen reference executor.
+    #[cfg(feature = "dense_advance")]
     dense: bool,
-    /// GPU currently being advanced inside a pass (None outside passes).
-    advancing: Option<usize>,
-    /// Remaining GPUs of the pass in flight (ascending order).
-    pass: BTreeSet<usize>,
-    /// Wakes deferred to the next event's pass.
-    pending_wakes: BTreeSet<usize>,
-    /// GPUs blocked on a task dependency: `(iter, replica, task)` → waiters.
-    dep_waiters: HashMap<(u32, usize, TaskId), BTreeSet<usize>>,
-    /// GPUs whose fetch stalled on a tensor (in flight / pinned elsewhere).
-    tensor_waiters: HashMap<TensorId, BTreeSet<usize>>,
-    /// GPUs in the prefetch cancel-retry loop: advanced every pass (the
-    /// dense cadence) because each retry re-touches tensors.
-    poll: BTreeSet<usize>,
-    /// Bumped at every executor state change; advance snapshots it to
-    /// classify wakes as productive or spurious.
-    mutations: u64,
-    counters: ExecCounters,
     /// Graceful-degradation layer (DESIGN §10): when armed, post-fault
     /// capacity shortfalls spill-and-retry instead of aborting, and p2p
     /// fetches reroute off degraded links. Off by default.
@@ -399,6 +609,12 @@ pub struct SimExecutor<'a> {
     reroute_attempts: HashMap<TensorId, u32>,
     /// Counters reported as the summary's [`ResilienceOutcome`].
     res_outcome: ResilienceOutcome,
+    /// Sabotage: silently skip the next tensor-waiter registration.
+    #[cfg(feature = "mutation_hooks")]
+    drop_one_wake: bool,
+    /// Sabotage: flip a generation bit on the next transfer completion.
+    #[cfg(feature = "mutation_hooks")]
+    corrupt_one_gen: bool,
 }
 
 impl<'a> SimExecutor<'a> {
@@ -442,21 +658,43 @@ impl<'a> SimExecutor<'a> {
                 .collect::<Result<Vec<_>, _>>()?,
         );
         let cfg = plan.graph.config();
-        let mut ids = HashMap::new();
+        // Key space: model/config dimensions, widened by a defensive scan
+        // of the graph (`ref_dims`) so a graph that references
+        // out-of-config layers or microbatches still maps in bounds (the
+        // reference executor tolerates those and fails later with a
+        // "not materialised" plan error — so must we).
+        let (scan_l, scan_u) = plan.ref_dims();
+        let layers = model.layers.len().max(scan_l);
+        let ubatches = cfg.microbatches.max(scan_u);
+        let rslots = plan.replicas.max(plan.queues.len()).max(1);
+        let num_refs = 3 * layers + 3 * layers * ubatches + ubatches;
+        let ks = KeySpace {
+            layers,
+            ubatches,
+            rslots,
+            num_refs,
+        };
+        let total_keys = iterations as usize * rslots * num_refs;
+        let mut ids: Vec<Option<TensorId>> = vec![None; total_keys];
         let mut trace = Trace::new(plan.name.clone());
-        let mut labels = HashMap::new();
+        trace.reserve_spans(plan.total_items() * iterations as usize * 4);
+        let mut labels: Vec<SymbolId> = Vec::new();
         let mut counters = ExecCounters::default();
         // Persistent per-replica state. Labels are interned once here —
         // the event loop only ever stamps spans with the symbol.
-        let mut register = |mm: &mut MemoryManager, ids: &mut HashMap<Key, TensorId>, key: Key| {
-            let rf = key.2;
+        let mut register = |mm: &mut MemoryManager,
+                            ids: &mut Vec<Option<TensorId>>,
+                            iter: u32,
+                            replica: usize,
+                            rf: TensorRef| {
             let bytes = rf.bytes(model, cfg.ubatch_size, cfg.opt_slots);
-            let name = name_of(key.1, rf);
+            let name = name_of(replica, rf);
             let sym = trace.intern(&name);
             counters.label_interns += 1;
             let id = mm.register_on_host(name, bytes, rf.class());
-            labels.insert(id, sym);
-            ids.insert(key, id);
+            debug_assert_eq!(id as usize, labels.len(), "tensor ids must be sequential");
+            labels.push(sym);
+            ids[ks.key_ix(iter, replica, rf)] = Some(id);
         };
         for r in 0..plan.replicas {
             for l in 0..model.layers.len() {
@@ -465,12 +703,12 @@ impl<'a> SimExecutor<'a> {
                     TensorRef::Grad { layer: l },
                     TensorRef::OptState { layer: l },
                 ] {
-                    register(&mut mm, &mut ids, (0, r, rf));
+                    register(&mut mm, &mut ids, 0, r, rf);
                 }
             }
             for u in 0..cfg.microbatches {
                 for it in 0..iterations {
-                    register(&mut mm, &mut ids, (it, r, TensorRef::Input { ubatch: u }));
+                    register(&mut mm, &mut ids, it, r, TensorRef::Input { ubatch: u });
                 }
             }
         }
@@ -478,34 +716,72 @@ impl<'a> SimExecutor<'a> {
             PolicyKind::Lru => Box::new(Lru),
             PolicyKind::NextUseAware => Box::new(NextUseAware),
         };
-        let gpus = plan
-            .queues
-            .iter()
-            .map(|q| GpuState {
-                queue: (0..iterations)
-                    .flat_map(|it| {
-                        q.iter().enumerate().map(move |(i, item)| {
-                            ((it as u64) * q.len() as u64 + i as u64, it, *item)
-                        })
-                    })
-                    .collect(),
-                step: None,
-                prefetch: None,
-            })
-            .collect();
-        // Future-use table for next-use-aware eviction.
-        let mut next_use: HashMap<Key, VecDeque<u64>> = HashMap::new();
+        // Flatten the work queues and precompile each distinct item's
+        // fetch targets once; every iteration's instance shares the range.
+        let mut q_items: Vec<QItem> = Vec::new();
+        let mut ct_items: Vec<CTarget> = Vec::new();
+        let mut q_bounds: Vec<(u32, u32)> = Vec::with_capacity(plan.queues.len());
+        for (g, q) in plan.queues.iter().enumerate() {
+            let ranges: Vec<(u32, u32)> = q
+                .iter()
+                .map(|item| compile_targets(&mut ct_items, plan, g, *item))
+                .collect();
+            let start = q_items.len() as u32;
+            for it in 0..iterations {
+                for (i, item) in q.iter().enumerate() {
+                    let (t_start, t_end) = ranges[i];
+                    q_items.push(QItem {
+                        seq: (it as u64) * q.len() as u64 + i as u64,
+                        iter: it,
+                        item: *item,
+                        t_start,
+                        t_end,
+                    });
+                }
+            }
+            q_bounds.push((start, q_items.len() as u32));
+        }
+        // Future-use table for next-use-aware eviction, as flat per-key
+        // runs: count, prefix-sum into offsets, then fill — preserving the
+        // reference push order exactly (queue-major, not globally sorted).
+        let mut nu_count: Vec<u32> = vec![0; total_keys];
+        for q in &plan.queues {
+            for it in 0..iterations {
+                for item in q.iter() {
+                    for key in item_keys(plan, it, *item) {
+                        nu_count[ks.key_ix(key.0, key.1, key.2)] += 1;
+                    }
+                }
+            }
+        }
+        let mut nu_start: Vec<u32> = vec![0; total_keys];
+        let mut acc: u32 = 0;
+        for k in 0..total_keys {
+            nu_start[k] = acc;
+            acc += nu_count[k];
+        }
+        let mut nu_end = nu_start.clone();
+        let mut nu_seqs: Vec<u64> = vec![0; acc as usize];
         for q in &plan.queues {
             for it in 0..iterations {
                 for (i, item) in q.iter().enumerate() {
                     let seq = (it as u64) * q.len() as u64 + i as u64;
                     for key in item_keys(plan, it, *item) {
-                        next_use.entry(key).or_default().push_back(seq);
+                        let k = ks.key_ix(key.0, key.1, key.2);
+                        nu_seqs[nu_end[k] as usize] = seq;
+                        nu_end[k] += 1;
                     }
                 }
             }
         }
+        let nu_cur = nu_start.clone();
+        let n_q = plan.queues.len();
         let num_gpus = topo.num_gpus();
+        let num_tasks = plan.graph.tasks().len();
+        let num_packs = plan.graph.packs().len();
+        let wpg = n_q.div_ceil(64).max(1);
+        let dep_entries = iterations as usize * rslots * num_tasks;
+        let q_cursor: Vec<u32> = q_bounds.iter().map(|b| b.0).collect();
         Ok(SimExecutor {
             topo,
             model,
@@ -513,33 +789,54 @@ impl<'a> SimExecutor<'a> {
             sim,
             mm,
             policy,
-            ids,
-            gpus,
-            done: HashSet::new(),
-            transfers: HashMap::new(),
-            computes: HashMap::new(),
-            next_compute_tag: 0,
-            next_step_id: 0,
-            collectives: HashMap::new(),
-            trace,
-            next_use,
+            ks,
             iterations,
+            num_tasks,
+            num_packs,
+            ids,
+            labels,
+            task_syms: vec![None; rslots * num_tasks],
+            nu_start,
+            nu_end,
+            nu_cur,
+            nu_seqs,
+            q_items,
+            q_bounds,
+            q_cursor,
+            ct_items,
+            cur: StepPlane::new(n_q),
+            pre: StepPlane::new(n_q),
+            next_step_id: 0,
+            transfers: Slab::new(),
+            computes: vec![None; n_q],
+            next_compute_tag: 0,
+            collectives: vec![CollSlot::default(); iterations as usize * num_packs],
+            done_words: vec![0; dep_entries.div_ceil(64).max(1)],
+            done_mirror: HashSet::new(),
+            wpg,
+            dep_w: vec![0; dep_entries * wpg],
+            dep_live: 0,
+            tw: Vec::new(),
+            tw_live: 0,
+            pass_w: vec![0; wpg],
+            pending_w: vec![0; wpg],
+            poll_w: vec![0; wpg],
+            advancing: None,
+            mutations: 0,
+            counters,
+            trace,
             observers: Vec::new(),
+            event_pool: EventPool::default(),
             faults: Vec::new(),
             compute_rate: vec![1.0; num_gpus],
             event_budget: None,
             events_processed: 0,
-            labels,
-            task_syms: HashMap::new(),
+            routes_h2g: (0..num_gpus).map(|_| None).collect(),
+            routes_g2h: (0..num_gpus).map(|_| None).collect(),
+            routes_p2p: (0..num_gpus * num_gpus).map(|_| None).collect(),
+            n_topo: num_gpus,
+            #[cfg(feature = "dense_advance")]
             dense: false,
-            advancing: None,
-            pass: BTreeSet::new(),
-            pending_wakes: BTreeSet::new(),
-            dep_waiters: HashMap::new(),
-            tensor_waiters: HashMap::new(),
-            poll: BTreeSet::new(),
-            mutations: 0,
-            counters,
             resilience: false,
             resilience_seed: 0,
             fault_applied: false,
@@ -548,6 +845,10 @@ impl<'a> SimExecutor<'a> {
             retry_meta: Vec::new(),
             reroute_attempts: HashMap::new(),
             res_outcome: ResilienceOutcome::default(),
+            #[cfg(feature = "mutation_hooks")]
+            drop_one_wake: false,
+            #[cfg(feature = "mutation_hooks")]
+            corrupt_one_gen: false,
         })
     }
 
@@ -565,12 +866,32 @@ impl<'a> SimExecutor<'a> {
     }
 
     /// Switches to the dense-reference event loop: every GPU is
-    /// re-advanced after every event, exactly the pre-wake-set semantics.
-    /// The harness differential proves this mode and the default wake-set
-    /// loop produce byte-identical traces and summaries.
+    /// re-advanced after every event, exactly the pre-wake-set semantics
+    /// (the run delegates to the frozen pre-rewrite executor). The harness
+    /// differential proves this mode and the default wake-set loop produce
+    /// byte-identical traces and summaries.
     #[cfg(feature = "dense_advance")]
     pub fn use_dense_advance(&mut self) {
         self.dense = true;
+    }
+
+    /// Arms a single dropped wake: the next tensor-waiter registration is
+    /// silently skipped, exactly the bug class the wake-set loop can have
+    /// (a stalled GPU never re-advanced). The execdiff differential must
+    /// flag the resulting divergence (a stuck run or a trace mismatch).
+    #[cfg(feature = "mutation_hooks")]
+    pub fn arm_drop_wake(&mut self) {
+        self.drop_one_wake = true;
+    }
+
+    /// Arms a single corrupted slab-handle generation: the next transfer
+    /// completion has a generation bit of its pooled-record handle
+    /// flipped, simulating a use-after-free of the record slot. The
+    /// generational index must surface this as a typed
+    /// [`ExecError::Slab`] stale-handle error, never a silent misread.
+    #[cfg(feature = "mutation_hooks")]
+    pub fn arm_corrupt_slab_generation(&mut self) {
+        self.corrupt_one_gen = true;
     }
 
     /// Attaches an executor observer (see [`crate::obs`]). Runs with no
@@ -645,7 +966,7 @@ impl<'a> SimExecutor<'a> {
                 plan: self.plan,
                 mm: &self.mm,
                 sim: &self.sim,
-                done: &self.done,
+                done: &self.done_mirror,
             };
             for o in &mut obs {
                 o.on_event(&ctx, &event);
@@ -654,56 +975,210 @@ impl<'a> SimExecutor<'a> {
         self.observers = obs;
     }
 
-    /// Starts a transfer on the simulator, emitting
-    /// [`ExecEvent::TransferIssued`] when observers are attached (the
-    /// route vector is only cloned in that case — `emit_with` guards).
-    fn issue_transfer(&mut self, route: &[ChannelId], bytes: u64) -> Result<TransferId, ExecError> {
-        let xfer = self.sim.start_transfer(route, bytes, 0)?;
-        self.mutations += 1;
-        self.emit_with(|| ExecEvent::TransferIssued {
-            route: route.to_vec(),
-            bytes,
+    /// Emits [`ExecEvent::TransferIssued`] for a transfer just started on
+    /// `sel`'s cached route. The route payload comes from (and returns to)
+    /// the event pool, so observed runs do not allocate per transfer
+    /// either; unobserved runs pay only the `is_empty` branch.
+    fn emit_transfer_issued(&mut self, sel: RouteSel, bytes: u64) {
+        if self.observers.is_empty() {
+            return;
+        }
+        let mut route = self.event_pool.take_route();
+        {
+            let entry = match sel {
+                RouteSel::HostToGpu(g) => self.routes_h2g[g].as_ref(),
+                RouteSel::GpuToHost(g) => self.routes_g2h[g].as_ref(),
+                RouteSel::P2p(s, d) => self.routes_p2p[s * self.n_topo + d].as_ref(),
+            }
+            .expect("invariant: start_on cached this route before emitting");
+            route.extend_from_slice(&entry.route);
+        }
+        let event = ExecEvent::TransferIssued { route, bytes };
+        let mut obs = std::mem::take(&mut self.observers);
+        {
+            let ctx = ExecContext {
+                plan: self.plan,
+                mm: &self.mm,
+                sim: &self.sim,
+                done: &self.done_mirror,
+            };
+            for o in &mut obs {
+                o.on_event(&ctx, &event);
+            }
+        }
+        self.observers = obs;
+        if let ExecEvent::TransferIssued { route, .. } = event {
+            self.event_pool.reclaim_route(route);
+        }
+    }
+
+    /// Starts a transfer over the cached route for `sel`, registering the
+    /// route's simulator flight class at its first non-zero-byte use (the
+    /// same creation point the uncached reference path has, so flight
+    /// ordering is bit-identical). Zero-byte transfers keep the immediate
+    /// path of `start_transfer`. Route errors are not cached: a failing
+    /// pair re-surfaces its topology error on every attempt, like the
+    /// reference.
+    fn start_on(&mut self, sel: RouteSel, bytes: u64, tag: u64) -> Result<TransferId, ExecError> {
+        let Self {
+            topo,
+            sim,
+            routes_h2g,
+            routes_g2h,
+            routes_p2p,
+            n_topo,
+            ..
+        } = self;
+        let slot: &mut Option<RouteEntry> = match sel {
+            RouteSel::HostToGpu(g) => &mut routes_h2g[g],
+            RouteSel::GpuToHost(g) => &mut routes_g2h[g],
+            RouteSel::P2p(s, d) => &mut routes_p2p[s * *n_topo + d],
+        };
+        if slot.is_none() {
+            let (a, b) = match sel {
+                RouteSel::HostToGpu(g) => (Endpoint::Host, Endpoint::Gpu(g)),
+                RouteSel::GpuToHost(g) => (Endpoint::Gpu(g), Endpoint::Host),
+                RouteSel::P2p(s, d) => (Endpoint::Gpu(s), Endpoint::Gpu(d)),
+            };
+            let route = topo.route(a, b)?.to_vec();
+            *slot = Some(RouteEntry { route, class: None });
+        }
+        let entry = slot.as_mut().expect("invariant: populated just above");
+        if bytes == 0 {
+            return Ok(sim.start_transfer(&entry.route, 0, tag)?);
+        }
+        let class = match entry.class {
+            Some(c) => c,
+            None => {
+                let c = sim.register_route_class(&entry.route)?;
+                entry.class = Some(c);
+                c
+            }
+        };
+        Ok(sim.start_transfer_on_class(class, bytes, tag)?)
+    }
+
+    /// Pools a [`PendingTransfer`] record, starts the transfer with the
+    /// slab handle as its completion tag, and emits the observer event.
+    /// On failure the record is returned to the pool before the error
+    /// propagates.
+    fn issue_recorded(
+        &mut self,
+        sel: RouteSel,
+        bytes: u64,
+        purpose: Purpose,
+        lane: usize,
+        kind: SpanKind,
+        label: SymbolId,
+    ) -> Result<TransferId, ExecError> {
+        let start = self.sim.now();
+        let h = self.transfers.insert(PendingTransfer {
+            xfer: 0,
+            purpose,
+            start,
+            lane,
+            kind,
+            label,
         });
-        Ok(xfer)
+        match self.start_on(sel, bytes, h.to_bits()) {
+            Ok(xfer) => {
+                self.transfers
+                    .get_mut(h)
+                    .expect("invariant: inserted just above")
+                    .xfer = xfer;
+                self.mutations += 1;
+                self.emit_transfer_issued(sel, bytes);
+                Ok(xfer)
+            }
+            Err(e) => {
+                let _ = self.transfers.remove(h);
+                Err(e)
+            }
+        }
     }
 
     /// The interned label of a tensor (assigned at registration/alloc).
     fn tensor_sym(&self, id: TensorId) -> Result<SymbolId, ExecError> {
         self.labels
-            .get(&id)
+            .get(id as usize)
             .copied()
             .ok_or_else(|| ExecError::Plan(format!("tensor {id} has no label")))
+    }
+
+    /// Records the label of a freshly allocated tensor (ids are sequential,
+    /// so this is a push in steady state).
+    fn set_label(&mut self, id: TensorId, sym: SymbolId) {
+        let ix = id as usize;
+        if ix == self.labels.len() {
+            self.labels.push(sym);
+        } else if ix < self.labels.len() {
+            self.labels[ix] = sym;
+        } else {
+            self.labels.resize(ix + 1, sym);
+        }
+    }
+
+    /// The tensor id at key index `kix`; the key tuple is reconstructed
+    /// only on the error path.
+    fn tensor_id_at(
+        &self,
+        kix: usize,
+        iter: u32,
+        replica: usize,
+        rf: TensorRef,
+    ) -> Result<TensorId, ExecError> {
+        self.ids[kix].ok_or_else(|| {
+            let key = key_of(iter, replica, rf);
+            ExecError::Plan(format!("tensor {key:?} not materialised"))
+        })
+    }
+
+    /// Flat index of a done/dep entry.
+    fn dep_ix(&self, iter: u32, replica: usize, task: TaskId) -> usize {
+        (iter as usize * self.ks.rslots + replica) * self.num_tasks + task
+    }
+
+    fn is_done(&self, iter: u32, replica: usize, task: TaskId) -> bool {
+        let ix = self.dep_ix(iter, replica, task);
+        self.done_words[ix / 64] & (1u64 << (ix % 64)) != 0
+    }
+
+    /// Marks a task done; the keyed mirror (for observers) is maintained
+    /// only while observers are attached.
+    fn set_done(&mut self, iter: u32, replica: usize, task: TaskId) {
+        let ix = self.dep_ix(iter, replica, task);
+        self.done_words[ix / 64] |= 1u64 << (ix % 64);
+        if !self.observers.is_empty() {
+            self.done_mirror.insert((iter, replica, task));
+        }
     }
 
     /// Marks `g` as unblockable. During a pass, GPUs above the one
     /// currently advancing join the same pass (dense visibility order);
     /// everything else waits for the next event's pass.
     fn wake(&mut self, g: usize) {
-        if self.dense {
-            return;
-        }
+        let (wi, bit) = (g / 64, 1u64 << (g % 64));
         match self.advancing {
-            Some(cur) if g > cur => {
-                self.pass.insert(g);
-            }
-            _ => {
-                self.pending_wakes.insert(g);
-            }
+            Some(cur) if g > cur => self.pass_w[wi] |= bit,
+            _ => self.pending_w[wi] |= bit,
         }
     }
 
     /// Wakes every GPU (collective completion, fault application).
     fn wake_all(&mut self) {
-        for g in 0..self.gpus.len() {
+        for g in 0..self.q_bounds.len() {
             self.wake(g);
         }
     }
 
+    /// Adds `g` to the every-pass poll set (the dense cadence for retry
+    /// loops that re-touch tensors each pass).
+    fn poll_insert(&mut self, g: usize) {
+        self.poll_w[g / 64] |= 1u64 << (g % 64);
+    }
+
     /// Registers `g` as blocked on completion of `(iter, replica, task)`.
     fn register_dep_waiter(&mut self, g: usize, iter: u32, item: WorkItem) {
-        if self.dense {
-            return;
-        }
         let WorkItem::Task { replica, task } = item else {
             return;
         };
@@ -715,44 +1190,79 @@ impl<'a> SimExecutor<'a> {
             .task(task)
             .deps
             .iter()
-            .find(|d| !self.done.contains(&(iter, replica, **d)));
+            .find(|d| !self.is_done(iter, replica, **d));
         if let Some(&d) = missing {
-            self.dep_waiters
-                .entry((iter, replica, d))
-                .or_default()
-                .insert(g);
+            let base = self.dep_ix(iter, replica, d) * self.wpg;
+            let w = &mut self.dep_w[base + g / 64];
+            let bit = 1u64 << (g % 64);
+            if *w & bit == 0 {
+                *w |= bit;
+                self.dep_live += 1;
+            }
         }
     }
 
     /// Wakes GPUs blocked on task `(iter, replica, task)` completing.
     fn wake_dep_waiters(&mut self, iter: u32, replica: usize, task: TaskId) {
-        if self.dense || self.dep_waiters.is_empty() {
+        if self.dep_live == 0 {
             return;
         }
-        if let Some(ws) = self.dep_waiters.remove(&(iter, replica, task)) {
-            for g in ws {
-                self.wake(g);
+        let base = self.dep_ix(iter, replica, task) * self.wpg;
+        for wi in 0..self.wpg {
+            let w = std::mem::take(&mut self.dep_w[base + wi]);
+            if w == 0 {
+                continue;
+            }
+            self.dep_live -= u64::from(w.count_ones());
+            let mut rem = w;
+            while rem != 0 {
+                let b = rem.trailing_zeros() as usize;
+                rem &= rem - 1;
+                self.wake(wi * 64 + b);
             }
         }
     }
 
     /// Registers `g` as stalled on tensor `id` (moving / pinned elsewhere).
     fn register_tensor_waiter(&mut self, g: usize, id: TensorId) {
-        if self.dense {
+        #[cfg(feature = "mutation_hooks")]
+        if self.drop_one_wake {
+            self.drop_one_wake = false;
             return;
         }
-        self.tensor_waiters.entry(id).or_default().insert(g);
+        let base = id as usize * self.wpg;
+        if self.tw.len() < base + self.wpg {
+            self.tw.resize(base + self.wpg, 0);
+        }
+        let w = &mut self.tw[base + g / 64];
+        let bit = 1u64 << (g % 64);
+        if *w & bit == 0 {
+            *w |= bit;
+            self.tw_live += 1;
+        }
     }
 
     /// Wakes GPUs stalled on tensor `id` (its move settled, or it was
     /// unpinned or freed).
     fn wake_tensor_waiters(&mut self, id: TensorId) {
-        if self.dense || self.tensor_waiters.is_empty() {
+        if self.tw_live == 0 {
             return;
         }
-        if let Some(ws) = self.tensor_waiters.remove(&id) {
-            for g in ws {
-                self.wake(g);
+        let base = id as usize * self.wpg;
+        if self.tw.len() < base + self.wpg {
+            return;
+        }
+        for wi in 0..self.wpg {
+            let w = std::mem::take(&mut self.tw[base + wi]);
+            if w == 0 {
+                continue;
+            }
+            self.tw_live -= u64::from(w.count_ones());
+            let mut rem = w;
+            while rem != 0 {
+                let b = rem.trailing_zeros() as usize;
+                rem &= rem - 1;
+                self.wake(wi * 64 + b);
             }
         }
     }
@@ -855,10 +1365,7 @@ impl<'a> SimExecutor<'a> {
         // Give back the double-buffer first: prefetch pins are the
         // cheapest memory to reclaim, and cancellation is only legal from
         // the synchronous Idle state (no transfers in flight).
-        if matches!(
-            self.gpus[g].prefetch.as_ref().map(|s| &s.inflight),
-            Some(InFlight::Idle)
-        ) {
+        if self.pre.live[g] && matches!(self.pre.inflight[g], InFlight::Idle) {
             self.cancel_prefetch(g)?;
         }
         match self.spills[g] {
@@ -902,7 +1409,7 @@ impl<'a> SimExecutor<'a> {
         }
         // Every retry re-touches tensors, so it must run each pass — the
         // dense cadence (same reasoning as the prefetch cancel loop).
-        self.poll.insert(g);
+        self.poll_insert(g);
         Ok(false)
     }
 
@@ -919,7 +1426,7 @@ impl<'a> SimExecutor<'a> {
         if sp.step_id != step {
             return Ok(()); // stale timer for an earlier spill
         }
-        let live = self.gpus[gpu].step.as_ref().is_some_and(|s| s.id == step);
+        let live = self.cur.live[gpu] && self.cur.id[gpu] == step;
         if !live {
             // The step completed between scheduling and firing: spill over.
             self.spills[gpu] = None;
@@ -937,7 +1444,7 @@ impl<'a> SimExecutor<'a> {
         }
         self.spills[gpu] = Some(sp);
         self.mutations += 1;
-        self.poll.insert(gpu);
+        self.poll_insert(gpu);
         self.wake(gpu);
         Ok(())
     }
@@ -948,9 +1455,9 @@ impl<'a> SimExecutor<'a> {
     fn fire_reroute_retry(&mut self, gpu: usize, step: u64) -> Result<(), ExecError> {
         self.res_outcome.retries += 1;
         if let Some(slot) = self.slot_of(gpu, step) {
-            let s = self.step_mut(gpu, slot).expect("slot_of located this slot");
-            if matches!(s.inflight, InFlight::Moving) {
-                s.inflight = InFlight::Idle;
+            let plane = self.plane_mut(slot);
+            if matches!(plane.inflight[gpu], InFlight::Moving) {
+                plane.inflight[gpu] = InFlight::Idle;
                 self.mutations += 1;
             }
         }
@@ -978,8 +1485,8 @@ impl<'a> SimExecutor<'a> {
     /// Collective ring hops are barriers and are never cancelled — they
     /// just run slowly on the degraded link.
     fn reroute_inflight_p2p(&mut self, channel: ChannelId) -> Result<(), ExecError> {
-        let mut victims: Vec<(TransferId, usize, u64, TensorId)> = Vec::new();
-        for (&xfer, pt) in &self.transfers {
+        let mut victims: Vec<(TransferId, usize, u64, TensorId, SlabHandle)> = Vec::new();
+        for (h, pt) in self.transfers.iter() {
             if pt.kind != SpanKind::P2p {
                 continue;
             }
@@ -998,20 +1505,18 @@ impl<'a> SimExecutor<'a> {
                 .route(Endpoint::Gpu(src), Endpoint::Gpu(dst))?
                 .contains(&channel)
             {
-                victims.push((xfer, gpu, step, tensor));
+                victims.push((pt.xfer, gpu, step, tensor, h));
             }
         }
-        // The transfer map iterates in arbitrary order; sort for a
-        // deterministic cancellation (and trace) order.
+        // The slab iterates in slot order; sort by transfer id for the
+        // same deterministic cancellation (and trace) order as the
+        // keyed-map reference.
         victims.sort_unstable();
-        for (xfer, gpu, step, tensor) in victims {
+        for (xfer, gpu, step, tensor, h) in victims {
             if !self.sim.cancel_transfer(xfer)? {
                 continue; // completion already delivered
             }
-            let pt = self
-                .transfers
-                .remove(&xfer)
-                .expect("victim was collected from this map");
+            let pt = self.transfers.remove(h)?;
             // The aborted attempt occupied the lane until now: record the
             // partial span so the trace shows the cancelled hop.
             self.trace
@@ -1071,18 +1576,27 @@ impl<'a> SimExecutor<'a> {
     }
 
     /// One wake-set pass: advances the GPUs woken by the last event (plus
-    /// the poll set) in ascending order. Wakes generated during the pass
-    /// for a GPU above the one currently advancing join the same pass —
-    /// exactly the dense pass's visibility order.
+    /// the poll set) in ascending order, as a single drain of the batched
+    /// wake words. Wakes generated during the pass for a GPU above the one
+    /// currently advancing join the same pass — exactly the dense pass's
+    /// visibility order (such wakes can only set bits above the cursor,
+    /// so the ascending scan finds them).
     fn run_pass(&mut self) -> Result<(), ExecError> {
-        self.pass = std::mem::take(&mut self.pending_wakes);
-        for &g in &self.poll {
-            self.pass.insert(g);
+        for wi in 0..self.wpg {
+            self.pass_w[wi] = std::mem::take(&mut self.pending_w[wi]) | self.poll_w[wi];
         }
-        while let Some(&g) = self.pass.iter().next() {
-            self.pass.remove(&g);
-            self.poll.remove(&g);
-            self.advance_counted(g)?;
+        let mut wi = 0;
+        while wi < self.wpg {
+            let word = self.pass_w[wi];
+            if word == 0 {
+                wi += 1;
+                continue;
+            }
+            let b = word.trailing_zeros() as usize;
+            let bit = 1u64 << b;
+            self.pass_w[wi] &= !bit;
+            self.poll_w[wi] &= !bit;
+            self.advance_counted(wi * 64 + b)?;
         }
         Ok(())
     }
@@ -1096,58 +1610,51 @@ impl<'a> SimExecutor<'a> {
     /// Like [`SimExecutor::run`], but also returns the event-loop's
     /// structural [`ExecCounters`].
     pub fn run_counted(mut self) -> Result<(RunSummary, Trace, ExecCounters), ExecError> {
-        let wall_start = std::time::Instant::now();
-        // Initial pass: every GPU, in both modes.
+        #[cfg(feature = "dense_advance")]
         if self.dense {
-            for g in 0..self.gpus.len() {
-                self.advance_counted(g)?;
-            }
-        } else {
-            self.wake_all();
-            self.run_pass()?;
+            return self.run_dense();
         }
+        let wall_start = std::time::Instant::now();
+        // Initial pass: every GPU.
+        self.wake_all();
+        self.run_pass()?;
         while let Some(completion) = self.next_event()? {
             self.handle(completion)?;
-            if self.dense {
-                for g in 0..self.gpus.len() {
-                    self.advance_counted(g)?;
-                }
-            } else {
-                self.run_pass()?;
-            }
+            self.run_pass()?;
         }
         // Everything must have drained.
         let mut stuck = Vec::new();
-        for (g, st) in self.gpus.iter().enumerate() {
-            if st.step.is_some() || !st.queue.is_empty() {
-                let detail = st
-                    .step
-                    .as_ref()
-                    .map(|s| {
-                        let front = s.targets.front().map(|t| {
-                            let key = match t {
-                                Target::Input(k) | Target::Alloc(k) => *k,
-                            };
-                            let res = self
-                                .ids
-                                .get(&key)
-                                .and_then(|id| self.mm.info(*id).ok())
-                                .map(|i| format!("{:?} pinned={}", i.residency, i.pinned))
-                                .unwrap_or_else(|| "unmaterialised".to_string());
-                            format!("front target {t:?} [{res}]")
-                        });
-                        format!(
-                            "{:?} inflight={:?} {}",
-                            s.item,
-                            s.inflight,
-                            front.unwrap_or_default()
-                        )
-                    })
-                    .unwrap_or_default();
-                stuck.push(format!(
-                    "gpu{g}: {} queued, current={detail}",
-                    st.queue.len()
-                ));
+        for g in 0..self.q_bounds.len() {
+            let queued = (self.q_bounds[g].1 - self.q_cursor[g]) as usize;
+            if self.cur.live[g] || queued > 0 {
+                let detail = if self.cur.live[g] {
+                    let front = if self.cur.t_cur[g] < self.cur.t_end[g] {
+                        let ct = self.ct_items[self.cur.t_cur[g] as usize];
+                        let key = key_of(self.cur.iter[g], ct.replica as usize, ct.rf);
+                        let t = if ct.alloc && !self.cur.front_converted[g] {
+                            Target::Alloc(key)
+                        } else {
+                            Target::Input(key)
+                        };
+                        let kix = self.ks.key_ix(self.cur.iter[g], ct.replica as usize, ct.rf);
+                        let res = self.ids[kix]
+                            .and_then(|id| self.mm.info(id).ok())
+                            .map(|i| format!("{:?} pinned={}", i.residency, i.pinned))
+                            .unwrap_or_else(|| "unmaterialised".to_string());
+                        Some(format!("front target {t:?} [{res}]"))
+                    } else {
+                        None
+                    };
+                    format!(
+                        "{:?} inflight={:?} {}",
+                        self.cur.item[g],
+                        self.cur.inflight[g],
+                        front.unwrap_or_default()
+                    )
+                } else {
+                    String::new()
+                };
+                stuck.push(format!("gpu{g}: {queued} queued, current={detail}"));
             }
         }
         if !stuck.is_empty() {
@@ -1155,7 +1662,9 @@ impl<'a> SimExecutor<'a> {
         }
         self.flush_dirty_state()?;
         self.emit(ExecEvent::RunFinished);
-        let n = self.gpus.len();
+        self.counters.slab_high_water = u64::from(self.transfers.high_water());
+        self.counters.slab_fresh_allocs = self.transfers.fresh_allocs();
+        let n = self.q_bounds.len();
         let summary = RunSummary {
             name: self.plan.name.clone(),
             sim_secs: self.sim.now(),
@@ -1214,6 +1723,35 @@ impl<'a> SimExecutor<'a> {
         Ok((summary, self.trace, self.counters))
     }
 
+    /// Delegates a dense-reference run to the frozen pre-rewrite executor
+    /// (`crate::dense`), forwarding every pre-run configuration knob. The
+    /// reference keeps the old keyed-map internals verbatim, so the
+    /// execdiff differential compares the slab/SoA engine against true
+    /// reference semantics, not a re-skin of itself.
+    #[cfg(feature = "dense_advance")]
+    fn run_dense(mut self) -> Result<(RunSummary, Trace, ExecCounters), ExecError> {
+        let mut r = crate::dense::ReferenceExecutor::with_iterations(
+            self.topo,
+            self.model,
+            self.plan,
+            self.iterations,
+        )?;
+        if self.resilience {
+            r.enable_resilience(self.resilience_seed);
+        }
+        r.inject_faults(&self.faults)?;
+        if let Some(budget) = self.event_budget {
+            r.set_event_budget(budget);
+        }
+        for o in std::mem::take(&mut self.observers) {
+            r.attach_observer(o);
+        }
+        for o in self.mm.take_observers() {
+            r.attach_mem_observer(o);
+        }
+        r.run_counted()
+    }
+
     /// Writes back all dirty device-resident persistent state (updated
     /// weights, reset gradient buffers, optimizer state) at the end of the
     /// iteration — checkpoint semantics. Without this, whichever tensors
@@ -1222,10 +1760,10 @@ impl<'a> SimExecutor<'a> {
     /// per-iteration analytical model. Clean tensors flush for free under
     /// either scheme (their host copy is already valid).
     fn flush_dirty_state(&mut self) -> Result<(), ExecError> {
-        let dirty: Vec<TensorId> = self
+        let mut sorted: Vec<TensorId> = self
             .ids
-            .values()
-            .copied()
+            .iter()
+            .filter_map(|o| *o)
             .filter(|&id| {
                 self.mm
                     .info(id)
@@ -1233,26 +1771,18 @@ impl<'a> SimExecutor<'a> {
                     .unwrap_or(false)
             })
             .collect();
-        let mut sorted = dirty;
         sorted.sort_unstable();
         for id in sorted {
             let label = self.tensor_sym(id)?;
             let (src, bytes) = self.mm.begin_swap_out(id)?;
-            let route = self
-                .topo
-                .route(Endpoint::Gpu(src), Endpoint::Host)?
-                .to_vec();
-            let xfer = self.issue_transfer(&route, bytes)?;
-            self.transfers.insert(
-                xfer,
-                PendingTransfer {
-                    purpose: Purpose::Flush { tensor: id },
-                    start: self.sim.now(),
-                    lane: src,
-                    kind: SpanKind::SwapOut,
-                    label,
-                },
-            );
+            self.issue_recorded(
+                RouteSel::GpuToHost(src),
+                bytes,
+                Purpose::Flush { tensor: id },
+                src,
+                SpanKind::SwapOut,
+                label,
+            )?;
         }
         while let Some(completion) = self.next_event()? {
             self.handle(completion)?;
@@ -1268,74 +1798,15 @@ impl<'a> SimExecutor<'a> {
                 .task(task)
                 .deps
                 .iter()
-                .all(|d| self.done.contains(&(iter, replica, *d))),
+                .all(|d| self.is_done(iter, replica, *d)),
             WorkItem::AllReduce { .. } => true, // queue order + barrier
         }
     }
 
-    fn build_targets(&self, gpu: usize, iter: u32, item: WorkItem) -> VecDeque<Target> {
-        let mut targets = VecDeque::new();
-        match item {
-            WorkItem::Task { replica, task } => {
-                let t = self.plan.graph.task(task);
-                let mut seen: Vec<TensorRef> = Vec::new();
-                for &rf in &t.reads {
-                    if !seen.contains(&rf) {
-                        seen.push(rf);
-                        targets.push_back(Target::Input(key_of(iter, replica, rf)));
-                    }
-                }
-                for &rf in &t.writes {
-                    if !seen.contains(&rf) {
-                        seen.push(rf);
-                        targets.push_back(Target::Alloc(key_of(iter, replica, rf)));
-                    }
-                }
-            }
-            WorkItem::AllReduce { pack } => {
-                let replica = gpu;
-                for l in self.plan.graph.packs()[pack].clone() {
-                    targets.push_back(Target::Input(key_of(
-                        iter,
-                        replica,
-                        TensorRef::Grad { layer: l },
-                    )));
-                }
-            }
-        }
-        targets
-    }
-
-    fn tensor_id(&self, key: Key) -> Result<TensorId, ExecError> {
-        self.ids
-            .get(&key)
-            .copied()
-            .ok_or_else(|| ExecError::Plan(format!("tensor {key:?} not materialised")))
-    }
-
-    fn update_next_use(&mut self, key: Key, seq: u64) -> Result<(), ExecError> {
-        if let Some(q) = self.next_use.get_mut(&key) {
-            while q.front().is_some_and(|&f| f <= seq) {
-                q.pop_front();
-            }
-            let hint = q.front().copied();
-            let id = self.tensor_id(key)?;
-            self.mm.set_next_use(id, hint)?;
-        }
-        Ok(())
-    }
-
-    fn step_mut(&mut self, gpu: usize, slot: Slot) -> Option<&mut Step> {
+    fn plane_mut(&mut self, slot: Slot) -> &mut StepPlane {
         match slot {
-            Slot::Current => self.gpus[gpu].step.as_mut(),
-            Slot::Prefetch => self.gpus[gpu].prefetch.as_mut(),
-        }
-    }
-
-    fn step_ref(&self, gpu: usize, slot: Slot) -> Option<&Step> {
-        match slot {
-            Slot::Current => self.gpus[gpu].step.as_ref(),
-            Slot::Prefetch => self.gpus[gpu].prefetch.as_ref(),
+            Slot::Current => &mut self.cur,
+            Slot::Prefetch => &mut self.pre,
         }
     }
 
@@ -1343,32 +1814,53 @@ impl<'a> SimExecutor<'a> {
     /// step may have been promoted from prefetch to current since the
     /// transfer was issued).
     fn slot_of(&self, gpu: usize, step_id: u64) -> Option<Slot> {
-        if self.gpus[gpu]
-            .step
-            .as_ref()
-            .is_some_and(|s| s.id == step_id)
-        {
+        if self.cur.live[gpu] && self.cur.id[gpu] == step_id {
             Some(Slot::Current)
-        } else if self.gpus[gpu]
-            .prefetch
-            .as_ref()
-            .is_some_and(|s| s.id == step_id)
-        {
+        } else if self.pre.live[gpu] && self.pre.id[gpu] == step_id {
             Some(Slot::Prefetch)
         } else {
             None
         }
     }
 
+    /// Advances the per-key future-use cursor past `seq` and pushes the
+    /// next-use hint to the memory manager (when the key has a future-use
+    /// run at all).
+    fn update_next_use(
+        &mut self,
+        kix: usize,
+        seq: u64,
+        iter: u32,
+        replica: usize,
+        rf: TensorRef,
+    ) -> Result<(), ExecError> {
+        let (start, end) = (self.nu_start[kix], self.nu_end[kix]);
+        if end > start {
+            let mut cur = self.nu_cur[kix];
+            while cur < end && self.nu_seqs[cur as usize] <= seq {
+                cur += 1;
+            }
+            self.nu_cur[kix] = cur;
+            let hint = if cur < end {
+                Some(self.nu_seqs[cur as usize])
+            } else {
+                None
+            };
+            let id = self.tensor_id_at(kix, iter, replica, rf)?;
+            self.mm.set_next_use(id, hint)?;
+        }
+        Ok(())
+    }
+
     /// Issues writebacks (or free drops) for eviction victims. Returns the
-    /// set of in-flight transfer ids (empty when every victim was dropped).
+    /// number of in-flight transfers (zero when every victim was dropped).
     fn issue_evictions(
         &mut self,
         gpu: usize,
         step_id: u64,
         victims: &[TensorId],
-    ) -> Result<HashSet<TransferId>, ExecError> {
-        let mut set = HashSet::new();
+    ) -> Result<u32, ExecError> {
+        let mut count = 0u32;
         for &v in victims {
             if self.plan.scheme.clean_drop && self.mm.can_drop(v)? {
                 self.mm.drop_to_host(v)?;
@@ -1377,114 +1869,105 @@ impl<'a> SimExecutor<'a> {
             }
             let label = self.tensor_sym(v)?;
             let (src, bytes) = self.mm.begin_swap_out(v)?;
-            let route = self
-                .topo
-                .route(Endpoint::Gpu(src), Endpoint::Host)?
-                .to_vec();
-            let xfer = self.issue_transfer(&route, bytes)?;
-            self.transfers.insert(
-                xfer,
-                PendingTransfer {
-                    purpose: Purpose::Eviction {
-                        gpu,
-                        step: step_id,
-                        tensor: v,
-                    },
-                    start: self.sim.now(),
-                    lane: src,
-                    kind: SpanKind::SwapOut,
-                    label,
+            self.issue_recorded(
+                RouteSel::GpuToHost(src),
+                bytes,
+                Purpose::Eviction {
+                    gpu,
+                    step: step_id,
+                    tensor: v,
                 },
-            );
-            set.insert(xfer);
+                src,
+                SpanKind::SwapOut,
+                label,
+            )?;
+            count += 1;
         }
-        Ok(set)
+        Ok(count)
+    }
+
+    /// Promotes the prefetched step of `g` into the current slot (scalar
+    /// copies plus a pin-vector swap — no allocation).
+    fn promote(&mut self, g: usize) {
+        let (cur, pre) = (&mut self.cur, &mut self.pre);
+        debug_assert!(cur.pinned[g].is_empty(), "retire cleared the pin list");
+        cur.live[g] = true;
+        cur.id[g] = pre.id[g];
+        cur.seq[g] = pre.seq[g];
+        cur.iter[g] = pre.iter[g];
+        cur.item[g] = pre.item[g];
+        cur.t_cur[g] = pre.t_cur[g];
+        cur.t_end[g] = pre.t_end[g];
+        cur.targets_built[g] = pre.targets_built[g];
+        cur.front_converted[g] = pre.front_converted[g];
+        cur.inflight[g] = pre.inflight[g];
+        std::mem::swap(&mut cur.pinned[g], &mut pre.pinned[g]);
+        pre.live[g] = false;
     }
 
     /// Drives GPU `g` as far as possible without waiting on events.
     /// Single pass: every exit either blocks on a simulator event (whose
     /// completion re-invokes `advance`) or submits work.
     fn advance(&mut self, g: usize) -> Result<(), ExecError> {
-        {
-            // Pop a new item if idle.
-            if self.gpus[g].step.is_none() {
+        // Pop a new item if idle.
+        if !self.cur.live[g] {
+            if self.pre.live[g] {
                 // A prefetched step becomes current the moment the slot
                 // frees up.
-                if let Some(p) = self.gpus[g].prefetch.take() {
-                    self.gpus[g].step = Some(p);
-                    self.mutations += 1;
-                } else {
-                    let Some((seq, iter, item)) = self.gpus[g].queue.pop_front() else {
-                        return Ok(());
-                    };
-                    let id = self.next_step_id;
-                    self.next_step_id += 1;
-                    self.gpus[g].step = Some(Step {
-                        id,
-                        seq,
-                        iter,
-                        item,
-                        targets: VecDeque::new(),
-                        targets_built: false,
-                        pinned: Vec::new(),
-                        inflight: InFlight::Idle,
-                    });
-                    self.mutations += 1;
-                }
-            }
-            let step = self.gpus[g]
-                .step
-                .as_ref()
-                .expect("invariant: the branch above populated gpus[g].step or returned");
-            if matches!(step.inflight, InFlight::Computing) {
-                // Overlap: drive the next item's fetches while computing.
-                self.try_prefetch(g)?;
-                return Ok(());
-            }
-            if !matches!(step.inflight, InFlight::Idle) {
-                return Ok(()); // waiting on an event
-            }
-            let (item, iter) = (step.item, step.iter);
-            if !step.targets_built {
-                if !self.deps_ready(iter, item) {
-                    self.register_dep_waiter(g, iter, item);
+                self.promote(g);
+                self.mutations += 1;
+            } else {
+                let c = self.q_cursor[g];
+                if c >= self.q_bounds[g].1 {
                     return Ok(());
                 }
-                let targets = self.build_targets(g, iter, item);
-                let step = self.gpus[g]
-                    .step
-                    .as_mut()
-                    .expect("invariant: only handle() clears the current step, not build_targets");
-                step.targets = targets;
-                step.targets_built = true;
+                self.q_cursor[g] = c + 1;
+                let qi = self.q_items[c as usize];
+                let id = self.next_step_id;
+                self.next_step_id += 1;
+                load_step(&mut self.cur, g, id, &qi, false);
                 self.mutations += 1;
             }
-            // Process fetch targets until blocked or done.
-            if self.process_targets(g, Slot::Current)? {
-                // Blocked on a transfer; still try to overlap nothing —
-                // fetches of the current step have priority.
+        }
+        if matches!(self.cur.inflight[g], InFlight::Computing) {
+            // Overlap: drive the next item's fetches while computing.
+            self.try_prefetch(g)?;
+            return Ok(());
+        }
+        if !matches!(self.cur.inflight[g], InFlight::Idle) {
+            return Ok(()); // waiting on an event
+        }
+        let (item, iter) = (self.cur.item[g], self.cur.iter[g]);
+        if !self.cur.targets_built[g] {
+            if !self.deps_ready(iter, item) {
+                self.register_dep_waiter(g, iter, item);
                 return Ok(());
             }
-            let step = self.gpus[g]
-                .step
-                .as_ref()
-                .expect("invariant: process_targets never clears the current-step slot");
-            if !step.targets.is_empty() {
-                // Stalled (tensor in flight elsewhere); retry on next event.
-                return Ok(());
+            // Targets are precompiled; "building" is the readiness gate.
+            self.cur.targets_built[g] = true;
+            self.mutations += 1;
+        }
+        // Process fetch targets until blocked or done.
+        if self.process_targets(g, Slot::Current)? {
+            // Blocked on a transfer; still try to overlap nothing —
+            // fetches of the current step have priority.
+            return Ok(());
+        }
+        if self.cur.t_cur[g] < self.cur.t_end[g] {
+            // Stalled (tensor in flight elsewhere); retry on next event.
+            return Ok(());
+        }
+        // All tensors resident and pinned: run.
+        match item {
+            WorkItem::Task { replica, task } => {
+                self.start_compute(g, replica, task)?;
+                // Kick off the prefetch for the overlapped window.
+                self.try_prefetch(g)?;
+                Ok(())
             }
-            // All tensors resident and pinned: run.
-            match item {
-                WorkItem::Task { replica, task } => {
-                    self.start_compute(g, replica, task)?;
-                    // Kick off the prefetch for the overlapped window.
-                    self.try_prefetch(g)?;
-                    Ok(())
-                }
-                WorkItem::AllReduce { pack } => {
-                    self.arrive_collective(g, iter, pack)?;
-                    Ok(())
-                }
+            WorkItem::AllReduce { pack } => {
+                self.arrive_collective(g, iter, pack)?;
+                Ok(())
             }
         }
     }
@@ -1495,37 +1978,26 @@ impl<'a> SimExecutor<'a> {
         if !self.plan.scheme.prefetch {
             return Ok(());
         }
-        if self.gpus[g].prefetch.is_none() {
+        if !self.pre.live[g] {
             // Only prefetch plain tasks whose dependencies are already
             // satisfied; collectives are barriers and must not be entered
             // early.
-            let Some(&(_, iter, item)) = self.gpus[g].queue.front() else {
-                return Ok(());
-            };
-            if matches!(item, WorkItem::AllReduce { .. }) {
+            let c = self.q_cursor[g];
+            if c >= self.q_bounds[g].1 {
                 return Ok(());
             }
-            if !self.deps_ready(iter, item) {
-                self.register_dep_waiter(g, iter, item);
+            let qi = self.q_items[c as usize];
+            if matches!(qi.item, WorkItem::AllReduce { .. }) {
                 return Ok(());
             }
-            let (seq, iter, item) = self.gpus[g]
-                .queue
-                .pop_front()
-                .expect("invariant: queue.front() returned Some just above");
-            let targets = self.build_targets(g, iter, item);
+            if !self.deps_ready(qi.iter, qi.item) {
+                self.register_dep_waiter(g, qi.iter, qi.item);
+                return Ok(());
+            }
+            self.q_cursor[g] = c + 1;
             let id = self.next_step_id;
             self.next_step_id += 1;
-            self.gpus[g].prefetch = Some(Step {
-                id,
-                seq,
-                iter,
-                item,
-                targets,
-                targets_built: true,
-                pinned: Vec::new(),
-                inflight: InFlight::Idle,
-            });
+            load_step(&mut self.pre, g, id, &qi, true);
             self.mutations += 1;
         }
         // Continue fetching if the prefetch slot is idle. Double-buffering
@@ -1533,10 +2005,7 @@ impl<'a> SimExecutor<'a> {
         // cancel the prefetch and fall back to serial fetching rather than
         // failing the run — the memory cost of prefetch is exactly the
         // trade-off under study (§4).
-        if matches!(
-            self.gpus[g].prefetch.as_ref().map(|s| &s.inflight),
-            Some(InFlight::Idle)
-        ) {
+        if self.pre.live[g] && matches!(self.pre.inflight[g], InFlight::Idle) {
             match self.process_targets(g, Slot::Prefetch) {
                 Ok(_) => {}
                 Err(ExecError::Mem(MemError::InsufficientMemory { .. })) => {
@@ -1544,7 +2013,7 @@ impl<'a> SimExecutor<'a> {
                     // Each retry of the opportunistic double-buffer re-pins
                     // and re-touches resident tensors (LRU recency), so the
                     // retry must run every pass — the dense cadence.
-                    self.poll.insert(g);
+                    self.poll_insert(g);
                 }
                 Err(e) => return Err(e),
             }
@@ -1552,19 +2021,27 @@ impl<'a> SimExecutor<'a> {
         Ok(())
     }
 
-    /// Abandons an in-progress prefetch: releases its pins and returns its
-    /// work item to the head of the queue (no transfers can be in flight —
-    /// cancellation only happens from the synchronous Idle state).
+    /// Abandons an in-progress prefetch: releases its pins and rewinds the
+    /// queue cursor (no transfers can be in flight — cancellation only
+    /// happens from the synchronous Idle state, and pops only happen while
+    /// the prefetch slot is empty, so the prefetched entry is always the
+    /// last one popped).
     fn cancel_prefetch(&mut self, g: usize) -> Result<(), ExecError> {
-        if let Some(step) = self.gpus[g].prefetch.take() {
-            debug_assert!(matches!(step.inflight, InFlight::Idle));
-            for id in step.pinned {
+        if self.pre.live[g] {
+            debug_assert!(matches!(self.pre.inflight[g], InFlight::Idle));
+            self.pre.live[g] = false;
+            let mut pins = std::mem::take(&mut self.pre.pinned[g]);
+            for id in pins.drain(..) {
                 self.mm.unpin(id)?;
                 self.wake_tensor_waiters(id);
             }
-            self.gpus[g]
-                .queue
-                .push_front((step.seq, step.iter, step.item));
+            self.pre.pinned[g] = pins;
+            let c = self.q_cursor[g] - 1;
+            debug_assert_eq!(
+                self.q_items[c as usize].seq, self.pre.seq[g],
+                "the prefetched step is the last popped queue entry"
+            );
+            self.q_cursor[g] = c;
             self.mutations += 1;
         }
         Ok(())
@@ -1575,117 +2052,71 @@ impl<'a> SimExecutor<'a> {
     /// front target could not progress (stall) or targets are exhausted.
     fn process_targets(&mut self, g: usize, slot: Slot) -> Result<bool, ExecError> {
         loop {
-            let Some(step) = self.step_ref(g, slot) else {
-                return Ok(false);
+            let plane = match slot {
+                Slot::Current => &self.cur,
+                Slot::Prefetch => &self.pre,
             };
-            let (seq, step_id) = (step.seq, step.id);
-            let Some(front) = step.targets.front() else {
+            if !plane.live[g] {
                 return Ok(false);
-            };
-            match *front {
-                Target::Input(key) => {
-                    let id = self.tensor_id(key)?;
-                    match self.mm.info(id)?.residency {
-                        Residency::OnDevice(d) if d == g => {
-                            self.mm.touch(id)?;
-                            self.mm.pin(id)?;
-                            self.update_next_use(key, seq)?;
-                            let step = self.step_mut(g, slot).expect(
-                                "invariant: step_ref(g, slot) was Some at the top of this \
-                                 process_targets iteration and nothing clears the slot mid-target",
-                            );
-                            step.pinned.push(id);
-                            step.targets.pop_front();
-                            self.mutations += 1;
-                            continue;
+            }
+            let (seq, step_id) = (plane.seq[g], plane.id[g]);
+            let t_cur = plane.t_cur[g];
+            if t_cur >= plane.t_end[g] {
+                return Ok(false);
+            }
+            let iter = plane.iter[g];
+            let converted = plane.front_converted[g];
+            let ct = self.ct_items[t_cur as usize];
+            let replica = ct.replica as usize;
+            let kix = self.ks.key_ix(iter, replica, ct.rf);
+            if !ct.alloc || converted {
+                let id = self.tensor_id_at(kix, iter, replica, ct.rf)?;
+                match self.mm.info(id)?.residency {
+                    Residency::OnDevice(d) if d == g => {
+                        self.mm.touch(id)?;
+                        self.mm.pin(id)?;
+                        self.update_next_use(kix, seq, iter, replica, ct.rf)?;
+                        let plane = self.plane_mut(slot);
+                        plane.pinned[g].push(id);
+                        plane.t_cur[g] = t_cur + 1;
+                        plane.front_converted[g] = false;
+                        self.mutations += 1;
+                        continue;
+                    }
+                    Residency::OnDevice(src) => {
+                        // Needs to come from a peer GPU.
+                        let plan = match self.mm.plan_fetch(id, g, self.policy.as_ref()) {
+                            Ok(p) => p,
+                            Err(e) => return self.spill_guard(g, slot, step_id, e),
+                        };
+                        let evs = self.issue_evictions(g, step_id, &plan.evictions)?;
+                        if evs > 0 {
+                            self.plane_mut(slot).inflight[g] =
+                                InFlight::Evicting { remaining: evs };
+                            return Ok(true);
                         }
-                        Residency::OnDevice(src) => {
-                            // Needs to come from a peer GPU.
-                            let plan = match self.mm.plan_fetch(id, g, self.policy.as_ref()) {
-                                Ok(p) => p,
-                                Err(e) => return self.spill_guard(g, slot, step_id, e),
-                            };
-                            let evs = self.issue_evictions(g, step_id, &plan.evictions)?;
-                            if !evs.is_empty() {
-                                self.step_mut(g, slot)
-                                    .expect(
-                                        "invariant: step_ref(g, slot) was Some at the top of this \
-                                 process_targets iteration and nothing clears the slot mid-target",
-                                    )
-                                    .inflight = InFlight::Evicting(evs);
-                                return Ok(true);
-                            }
-                            // A degraded route falls through to the host
-                            // bounce below (resilience reroute path).
-                            if self.plan.scheme.p2p && !self.route_degraded(src, g)? {
-                                match self.mm.begin_p2p(id, g) {
-                                    Ok((_, bytes)) => {
-                                        let route = self
-                                            .topo
-                                            .route(Endpoint::Gpu(src), Endpoint::Gpu(g))?
-                                            .to_vec();
-                                        let label = self.tensor_sym(id)?;
-                                        let xfer = self.issue_transfer(&route, bytes)?;
-                                        self.transfers.insert(
-                                            xfer,
-                                            PendingTransfer {
-                                                purpose: Purpose::Move {
-                                                    gpu: g,
-                                                    step: step_id,
-                                                    tensor: id,
-                                                },
-                                                start: self.sim.now(),
-                                                lane: g,
-                                                kind: SpanKind::P2p,
-                                                label,
-                                            },
-                                        );
-                                        self.step_mut(g, slot).expect(
-                                "invariant: step_ref(g, slot) was Some at the top of this \
-                                 process_targets iteration and nothing clears the slot mid-target",
-                            ).inflight =
-                                            InFlight::Moving;
-                                        return Ok(true);
-                                    }
-                                    // Pinned on the peer or racing: stall.
-                                    Err(MemError::InvalidState { .. }) => {
-                                        self.register_tensor_waiter(g, id);
-                                        return Ok(false);
-                                    }
-                                    Err(e) => return self.spill_guard(g, slot, step_id, e),
-                                }
-                            }
-                            // No p2p: bounce via host — swap it out of the
-                            // peer first (§2: "only CPU-GPU swaps").
-                            match self.mm.begin_swap_out(id) {
-                                Ok((src, bytes)) => {
-                                    let route = self
-                                        .topo
-                                        .route(Endpoint::Gpu(src), Endpoint::Host)?
-                                        .to_vec();
+                        // A degraded route falls through to the host
+                        // bounce below (resilience reroute path).
+                        if self.plan.scheme.p2p && !self.route_degraded(src, g)? {
+                            match self.mm.begin_p2p(id, g) {
+                                Ok((_, bytes)) => {
                                     let label = self.tensor_sym(id)?;
-                                    let xfer = self.issue_transfer(&route, bytes)?;
-                                    self.transfers.insert(
-                                        xfer,
-                                        PendingTransfer {
-                                            purpose: Purpose::Demote {
-                                                gpu: g,
-                                                step: step_id,
-                                                tensor: id,
-                                            },
-                                            start: self.sim.now(),
-                                            lane: src,
-                                            kind: SpanKind::SwapOut,
-                                            label,
+                                    self.issue_recorded(
+                                        RouteSel::P2p(src, g),
+                                        bytes,
+                                        Purpose::Move {
+                                            gpu: g,
+                                            step: step_id,
+                                            tensor: id,
                                         },
-                                    );
-                                    self.step_mut(g, slot).expect(
-                                "invariant: step_ref(g, slot) was Some at the top of this \
-                                 process_targets iteration and nothing clears the slot mid-target",
-                            ).inflight =
-                                        InFlight::WaitDemote;
+                                        g,
+                                        SpanKind::P2p,
+                                        label,
+                                    )?;
+                                    self.plane_mut(slot).inflight[g] = InFlight::Moving;
                                     return Ok(true);
                                 }
+                                // Pinned on the peer or racing: stall.
                                 Err(MemError::InvalidState { .. }) => {
                                     self.register_tensor_waiter(g, id);
                                     return Ok(false);
@@ -1693,162 +2124,152 @@ impl<'a> SimExecutor<'a> {
                                 Err(e) => return self.spill_guard(g, slot, step_id, e),
                             }
                         }
-                        Residency::OnHost => {
-                            let plan = match self.mm.plan_fetch(id, g, self.policy.as_ref()) {
-                                Ok(p) => p,
-                                Err(e) => return self.spill_guard(g, slot, step_id, e),
-                            };
-                            let evs = self.issue_evictions(g, step_id, &plan.evictions)?;
-                            if !evs.is_empty() {
-                                self.step_mut(g, slot)
-                                    .expect(
-                                        "invariant: step_ref(g, slot) was Some at the top of this \
-                                 process_targets iteration and nothing clears the slot mid-target",
-                                    )
-                                    .inflight = InFlight::Evicting(evs);
-                                return Ok(true);
-                            }
-                            let bytes = match self.mm.begin_swap_in(id, g) {
-                                Ok(b) => b,
-                                Err(e) => return self.spill_guard(g, slot, step_id, e),
-                            };
-                            let route = self.topo.route(Endpoint::Host, Endpoint::Gpu(g))?.to_vec();
-                            let label = self.tensor_sym(id)?;
-                            let xfer = self.issue_transfer(&route, bytes)?;
-                            self.transfers.insert(
-                                xfer,
-                                PendingTransfer {
-                                    purpose: Purpose::Move {
+                        // No p2p: bounce via host — swap it out of the
+                        // peer first (§2: "only CPU-GPU swaps").
+                        match self.mm.begin_swap_out(id) {
+                            Ok((src, bytes)) => {
+                                let label = self.tensor_sym(id)?;
+                                self.issue_recorded(
+                                    RouteSel::GpuToHost(src),
+                                    bytes,
+                                    Purpose::Demote {
                                         gpu: g,
                                         step: step_id,
                                         tensor: id,
                                     },
-                                    start: self.sim.now(),
-                                    lane: g,
-                                    kind: SpanKind::SwapIn,
+                                    src,
+                                    SpanKind::SwapOut,
                                     label,
-                                },
-                            );
-                            self.step_mut(g, slot)
-                                .expect(
-                                    "invariant: step_ref(g, slot) was Some at the top of this \
-                                 process_targets iteration and nothing clears the slot mid-target",
-                                )
-                                .inflight = InFlight::Moving;
-                            return Ok(true);
-                        }
-                        // In flight somewhere: stall until it settles.
-                        Residency::MovingToDevice { .. } | Residency::MovingToHost { .. } => {
-                            self.register_tensor_waiter(g, id);
-                            return Ok(false);
-                        }
-                        Residency::Dead => {
-                            return Err(ExecError::Plan(format!(
-                                "task needs dead tensor {}",
-                                self.mm.info(id)?.name
-                            )))
+                                )?;
+                                self.plane_mut(slot).inflight[g] = InFlight::WaitDemote;
+                                return Ok(true);
+                            }
+                            Err(MemError::InvalidState { .. }) => {
+                                self.register_tensor_waiter(g, id);
+                                return Ok(false);
+                            }
+                            Err(e) => return self.spill_guard(g, slot, step_id, e),
                         }
                     }
-                }
-                Target::Alloc(key) => {
-                    // Idempotence: a cancelled prefetch may already have
-                    // allocated this output. If a live tensor exists for
-                    // the key, fetch it like an input instead of leaking a
-                    // second allocation.
-                    let existing_alive = self.ids.get(&key).is_some_and(|&id| {
-                        self.mm
-                            .info(id)
-                            .is_ok_and(|i| !matches!(i.residency, Residency::Dead))
-                    });
-                    if existing_alive {
-                        let step = self.step_mut(g, slot).expect(
-                            "invariant: step_ref(g, slot) was Some at the top of this \
-                                 process_targets iteration and nothing clears the slot mid-target",
-                        );
-                        *step
-                            .targets
-                            .front_mut()
-                            .expect("invariant: this Target::Alloc is still the queue front") =
-                            Target::Input(key);
-                        continue;
-                    }
-                    let cfg = self.plan.graph.config();
-                    let bytes = key.2.bytes(self.model, cfg.ubatch_size, cfg.opt_slots);
-                    if self.mm.free_bytes(g)? < bytes {
-                        let victims = match self.mm.make_room(g, bytes, self.policy.as_ref()) {
-                            Ok(v) => v,
+                    Residency::OnHost => {
+                        let plan = match self.mm.plan_fetch(id, g, self.policy.as_ref()) {
+                            Ok(p) => p,
                             Err(e) => return self.spill_guard(g, slot, step_id, e),
                         };
-                        let evs = self.issue_evictions(g, step_id, &victims)?;
-                        if !evs.is_empty() {
-                            self.step_mut(g, slot)
-                                .expect(
-                                    "invariant: step_ref(g, slot) was Some at the top of this \
-                                 process_targets iteration and nothing clears the slot mid-target",
-                                )
-                                .inflight = InFlight::Evicting(evs);
+                        let evs = self.issue_evictions(g, step_id, &plan.evictions)?;
+                        if evs > 0 {
+                            self.plane_mut(slot).inflight[g] =
+                                InFlight::Evicting { remaining: evs };
                             return Ok(true);
                         }
-                        // All victims dropped instantly; room is free now.
+                        let bytes = match self.mm.begin_swap_in(id, g) {
+                            Ok(b) => b,
+                            Err(e) => return self.spill_guard(g, slot, step_id, e),
+                        };
+                        let label = self.tensor_sym(id)?;
+                        self.issue_recorded(
+                            RouteSel::HostToGpu(g),
+                            bytes,
+                            Purpose::Move {
+                                gpu: g,
+                                step: step_id,
+                                tensor: id,
+                            },
+                            g,
+                            SpanKind::SwapIn,
+                            label,
+                        )?;
+                        self.plane_mut(slot).inflight[g] = InFlight::Moving;
+                        return Ok(true);
                     }
-                    let name = name_of(key.1, key.2);
-                    let sym = self.trace.intern(&name);
-                    self.counters.label_interns += 1;
-                    let id = match self.mm.alloc_on_device(name, bytes, key.2.class(), g) {
-                        Ok(id) => id,
-                        Err(e) => return self.spill_guard(g, slot, step_id, e),
-                    };
-                    self.labels.insert(id, sym);
-                    self.ids.insert(key, id);
-                    self.mm.pin(id)?;
-                    self.update_next_use(key, seq)?;
-                    let step = self.step_mut(g, slot).expect(
-                        "invariant: step_ref(g, slot) was Some at the top of this \
-                                 process_targets iteration and nothing clears the slot mid-target",
-                    );
-                    step.pinned.push(id);
-                    step.targets.pop_front();
-                    self.mutations += 1;
+                    // In flight somewhere: stall until it settles.
+                    Residency::MovingToDevice { .. } | Residency::MovingToHost { .. } => {
+                        self.register_tensor_waiter(g, id);
+                        return Ok(false);
+                    }
+                    Residency::Dead => {
+                        return Err(ExecError::Plan(format!(
+                            "task needs dead tensor {}",
+                            self.mm.info(id)?.name
+                        )))
+                    }
+                }
+            } else {
+                // Idempotence: a cancelled prefetch may already have
+                // allocated this output. If a live tensor exists for
+                // the key, fetch it like an input instead of leaking a
+                // second allocation (the conversion is a flag on the
+                // shared precompiled target, reset whenever the cursor
+                // moves).
+                let existing_alive = self.ids[kix].is_some_and(|id| {
+                    self.mm
+                        .info(id)
+                        .is_ok_and(|i| !matches!(i.residency, Residency::Dead))
+                });
+                if existing_alive {
+                    self.plane_mut(slot).front_converted[g] = true;
                     continue;
                 }
+                let cfg = self.plan.graph.config();
+                let bytes = ct.rf.bytes(self.model, cfg.ubatch_size, cfg.opt_slots);
+                if self.mm.free_bytes(g)? < bytes {
+                    let victims = match self.mm.make_room(g, bytes, self.policy.as_ref()) {
+                        Ok(v) => v,
+                        Err(e) => return self.spill_guard(g, slot, step_id, e),
+                    };
+                    let evs = self.issue_evictions(g, step_id, &victims)?;
+                    if evs > 0 {
+                        self.plane_mut(slot).inflight[g] = InFlight::Evicting { remaining: evs };
+                        return Ok(true);
+                    }
+                    // All victims dropped instantly; room is free now.
+                }
+                let name = name_of(replica, ct.rf);
+                let sym = self.trace.intern(&name);
+                self.counters.label_interns += 1;
+                let id = match self.mm.alloc_on_device(name, bytes, ct.rf.class(), g) {
+                    Ok(id) => id,
+                    Err(e) => return self.spill_guard(g, slot, step_id, e),
+                };
+                self.set_label(id, sym);
+                self.ids[kix] = Some(id);
+                self.mm.pin(id)?;
+                self.update_next_use(kix, seq, iter, replica, ct.rf)?;
+                let plane = self.plane_mut(slot);
+                plane.pinned[g].push(id);
+                plane.t_cur[g] = t_cur + 1;
+                plane.front_converted[g] = false;
+                self.mutations += 1;
+                continue;
             }
         }
     }
 
     fn start_compute(&mut self, g: usize, replica: usize, task: TaskId) -> Result<(), ExecError> {
-        let iter = self.gpus[g]
-            .step
-            .as_ref()
-            .expect("invariant: advance dispatches start_compute only with a populated step")
-            .iter;
+        let iter = self.cur.iter[g];
         let t = self.plan.graph.task(task);
         // Jitter faults rescale the effective FLOP rate of this GPU.
         let secs = t.flops as f64 / (self.topo.gpu(g)?.flops * self.compute_rate[g]);
         let tag = self.next_compute_tag;
         self.next_compute_tag += 1;
-        let label = match self.task_syms.get(&(replica, task)) {
-            Some(&s) => s,
+        let six = replica * self.num_tasks + task;
+        let label = match self.task_syms[six] {
+            Some(s) => s,
             None => {
                 let s = self.trace.intern(&task_label(replica, t.kind));
                 self.counters.label_interns += 1;
-                self.task_syms.insert((replica, task), s);
+                self.task_syms[six] = Some(s);
                 s
             }
         };
-        self.computes.insert(
+        self.computes[g] = Some(ComputeRec {
             tag,
-            ComputeRec {
-                start: self.sim.now(),
-                label,
-            },
-        );
+            start: self.sim.now(),
+            label,
+        });
         self.sim.submit_compute(g, secs, tag)?;
         self.mutations += 1;
-        self.gpus[g]
-            .step
-            .as_mut()
-            .expect("invariant: advance dispatches start_compute only with a populated step")
-            .inflight = InFlight::Computing;
+        self.cur.inflight[g] = InFlight::Computing;
         self.emit(ExecEvent::TaskStarted {
             gpu: g,
             iter,
@@ -1859,16 +2280,20 @@ impl<'a> SimExecutor<'a> {
     }
 
     fn arrive_collective(&mut self, g: usize, iter: u32, pack: usize) -> Result<(), ExecError> {
-        self.gpus[g]
-            .step
-            .as_mut()
-            .expect("invariant: advance dispatches arrive_collective only with a populated step")
-            .inflight = InFlight::Collective;
+        self.cur.inflight[g] = InFlight::Collective;
         self.mutations += 1;
-        let n = self.gpus.len();
-        let state = self.collectives.entry((iter, pack)).or_default();
-        state.arrived.insert(g);
-        if state.arrived.len() < n {
+        let n = self.q_bounds.len();
+        let cix = iter as usize * self.num_packs + pack;
+        let slot = &mut self.collectives[cix];
+        if !slot.active {
+            *slot = CollSlot {
+                active: true,
+                arrived: 0,
+                outstanding: 0,
+            };
+        }
+        slot.arrived += 1;
+        if (slot.arrived as usize) < n {
             return Ok(());
         }
         let label = self.trace.intern(&format!("allreduce p{pack} i{iter}"));
@@ -1881,38 +2306,30 @@ impl<'a> SimExecutor<'a> {
         let ring_bytes = 2 * (n as u64 - 1) * grad_bytes / n as u64;
         for src in 0..n {
             let dst = (src + 1) % n;
-            let route = self
-                .topo
-                .route(Endpoint::Gpu(src), Endpoint::Gpu(dst))?
-                .to_vec();
-            let xfer = self.issue_transfer(&route, ring_bytes)?;
-            self.transfers.insert(
-                xfer,
-                PendingTransfer {
-                    purpose: Purpose::Collective { iter, pack },
-                    start: self.sim.now(),
-                    lane: src,
-                    kind: SpanKind::Collective,
-                    label,
-                },
-            );
-            self.collectives
-                .get_mut(&(iter, pack))
-                .expect("invariant: or_default() inserted this collective entry above")
-                .outstanding
-                .insert(xfer);
+            self.issue_recorded(
+                RouteSel::P2p(src, dst),
+                ring_bytes,
+                Purpose::Collective { iter, pack },
+                src,
+                SpanKind::Collective,
+                label,
+            )?;
+            self.collectives[cix].outstanding += 1;
         }
         Ok(())
     }
 
     fn finish_collective(&mut self, iter: u32, pack: usize) -> Result<(), ExecError> {
-        self.collectives.remove(&(iter, pack));
-        for g in 0..self.gpus.len() {
-            let step = self.gpus[g]
-                .step
-                .take()
-                .ok_or_else(|| ExecError::Plan(format!("gpu{g} has no step at collective end")))?;
-            match step.item {
+        // Reset to inactive: a straggling completion for this barrier hits
+        // the same "unknown collective" error the reference raises.
+        self.collectives[iter as usize * self.num_packs + pack] = CollSlot::default();
+        for g in 0..self.q_bounds.len() {
+            if !self.cur.live[g] {
+                return Err(ExecError::Plan(format!(
+                    "gpu{g} has no step at collective end"
+                )));
+            }
+            match self.cur.item[g] {
                 WorkItem::AllReduce { pack: p } if p == pack => {}
                 other => {
                     return Err(ExecError::Plan(format!(
@@ -1920,12 +2337,15 @@ impl<'a> SimExecutor<'a> {
                     )))
                 }
             }
-            for id in step.pinned {
+            self.cur.live[g] = false;
+            let mut pins = std::mem::take(&mut self.cur.pinned[g]);
+            for id in pins.drain(..) {
                 self.mm.unpin(id)?;
                 // AllReduce rewrites the gradient buffers.
                 self.mm.mark_dirty(id)?;
                 self.wake_tensor_waiters(id);
             }
+            self.cur.pinned[g] = pins;
         }
         // Every GPU's barrier lifted at once.
         self.wake_all();
@@ -1933,36 +2353,42 @@ impl<'a> SimExecutor<'a> {
     }
 
     fn finish_task(&mut self, g: usize) -> Result<(), ExecError> {
-        let step = self.gpus[g]
-            .step
-            .take()
-            .ok_or_else(|| ExecError::Plan(format!("gpu{g} compute done with no step")))?;
-        let WorkItem::Task { replica, task } = step.item else {
+        if !self.cur.live[g] {
+            return Err(ExecError::Plan(format!("gpu{g} compute done with no step")));
+        }
+        let WorkItem::Task { replica, task } = self.cur.item[g] else {
             return Err(ExecError::Plan(format!(
                 "gpu{g} compute completion for non-task item"
             )));
         };
-        for id in &step.pinned {
-            self.mm.unpin(*id)?;
-            self.wake_tensor_waiters(*id);
+        let iter = self.cur.iter[g];
+        self.cur.live[g] = false;
+        let mut pins = std::mem::take(&mut self.cur.pinned[g]);
+        for &id in pins.iter() {
+            self.mm.unpin(id)?;
+            self.wake_tensor_waiters(id);
         }
+        pins.clear();
+        self.cur.pinned[g] = pins;
         let t = self.plan.graph.task(task);
         for &rf in &t.writes {
-            let id = self.tensor_id(key_of(step.iter, replica, rf))?;
+            let kix = self.ks.key_ix(iter, replica, rf);
+            let id = self.tensor_id_at(kix, iter, replica, rf)?;
             self.mm.mark_dirty(id)?;
         }
         for &rf in &t.frees {
-            let id = self.tensor_id(key_of(step.iter, replica, rf))?;
+            let kix = self.ks.key_ix(iter, replica, rf);
+            let id = self.tensor_id_at(kix, iter, replica, rf)?;
             self.mm.free(id)?;
             // Waiters stalled on a now-dead tensor must still advance (to
             // reach the same Dead-tensor error the dense loop would).
             self.wake_tensor_waiters(id);
         }
-        self.done.insert((step.iter, replica, task));
-        self.wake_dep_waiters(step.iter, replica, task);
+        self.set_done(iter, replica, task);
+        self.wake_dep_waiters(iter, replica, task);
         self.emit(ExecEvent::TaskFinished {
             gpu: g,
-            iter: step.iter,
+            iter,
             replica,
             task,
         });
@@ -1972,10 +2398,16 @@ impl<'a> SimExecutor<'a> {
     fn handle(&mut self, completion: Completion) -> Result<(), ExecError> {
         match completion {
             Completion::Compute { gpu, tag } => {
-                let rec = self
-                    .computes
-                    .remove(&tag)
-                    .ok_or_else(|| ExecError::Plan(format!("unknown compute tag {tag}")))?;
+                // At most one kernel per GPU: the tag cross-checks the
+                // per-GPU slot (no keyed map on the completion path).
+                let rec = match self.computes.get(gpu) {
+                    Some(Some(rec)) if rec.tag == tag => {
+                        let rec = *rec;
+                        self.computes[gpu] = None;
+                        rec
+                    }
+                    _ => return Err(ExecError::Plan(format!("unknown compute tag {tag}"))),
+                };
                 self.trace.record_sym(
                     rec.start,
                     self.sim.now(),
@@ -1986,11 +2418,20 @@ impl<'a> SimExecutor<'a> {
                 self.finish_task(gpu)?;
                 self.wake(gpu);
             }
-            Completion::Transfer { id, .. } => {
-                let pt = self
-                    .transfers
-                    .remove(&id)
-                    .ok_or_else(|| ExecError::Plan(format!("unknown transfer {id}")))?;
+            Completion::Transfer { id, tag } => {
+                #[cfg(feature = "mutation_hooks")]
+                let tag = if self.corrupt_one_gen {
+                    self.corrupt_one_gen = false;
+                    tag ^ (1 << 32)
+                } else {
+                    tag
+                };
+                // The tag IS the pooled record's handle: resolution is a
+                // generation-checked index, and a stale or forged handle
+                // is a typed error, never a misread of a recycled slot.
+                let h = SlabHandle::from_bits(tag);
+                let pt = self.transfers.remove(h)?;
+                debug_assert_eq!(pt.xfer, id, "pooled record matches the completed transfer");
                 self.trace
                     .record_sym(pt.start, self.sim.now(), Some(pt.lane), pt.kind, pt.label);
                 match pt.purpose {
@@ -1999,13 +2440,11 @@ impl<'a> SimExecutor<'a> {
                         let slot = self.slot_of(gpu, step).ok_or_else(|| {
                             ExecError::Plan(format!("gpu{gpu} eviction for missing step"))
                         })?;
-                        let s = self
-                            .step_mut(gpu, slot)
-                            .expect("invariant: slot_of(gpu, step) just resolved this slot");
-                        if let InFlight::Evicting(set) = &mut s.inflight {
-                            set.remove(&id);
-                            if set.is_empty() {
-                                s.inflight = InFlight::Idle;
+                        let plane = self.plane_mut(slot);
+                        if let InFlight::Evicting { remaining } = &mut plane.inflight[gpu] {
+                            *remaining -= 1;
+                            if *remaining == 0 {
+                                plane.inflight[gpu] = InFlight::Idle;
                             }
                         }
                         self.wake(gpu);
@@ -2016,11 +2455,9 @@ impl<'a> SimExecutor<'a> {
                         let slot = self.slot_of(gpu, step).ok_or_else(|| {
                             ExecError::Plan(format!("gpu{gpu} demote for missing step"))
                         })?;
-                        let s = self
-                            .step_mut(gpu, slot)
-                            .expect("invariant: slot_of(gpu, step) just resolved this slot");
-                        if matches!(s.inflight, InFlight::WaitDemote) {
-                            s.inflight = InFlight::Idle;
+                        let plane = self.plane_mut(slot);
+                        if matches!(plane.inflight[gpu], InFlight::WaitDemote) {
+                            plane.inflight[gpu] = InFlight::Idle;
                         }
                         self.wake(gpu);
                         self.wake_tensor_waiters(tensor);
@@ -2031,21 +2468,26 @@ impl<'a> SimExecutor<'a> {
                         let slot = self.slot_of(gpu, step).ok_or_else(|| {
                             ExecError::Plan(format!("gpu{gpu} move for missing step"))
                         })?;
-                        let s = self
-                            .step_mut(gpu, slot)
-                            .expect("invariant: slot_of(gpu, step) just resolved this slot");
-                        s.pinned.push(tensor);
-                        s.targets.pop_front();
-                        s.inflight = InFlight::Idle;
+                        let plane = self.plane_mut(slot);
+                        plane.pinned[gpu].push(tensor);
+                        plane.t_cur[gpu] += 1;
+                        plane.front_converted[gpu] = false;
+                        plane.inflight[gpu] = InFlight::Idle;
                         self.wake(gpu);
                         self.wake_tensor_waiters(tensor);
                     }
                     Purpose::Collective { iter, pack } => {
-                        let state = self.collectives.get_mut(&(iter, pack)).ok_or_else(|| {
-                            ExecError::Plan(format!("unknown collective {pack}@{iter}"))
-                        })?;
-                        state.outstanding.remove(&id);
-                        if state.outstanding.is_empty() && state.arrived.len() == self.gpus.len() {
+                        let cix = iter as usize * self.num_packs + pack;
+                        let n = self.q_bounds.len();
+                        let slot = self
+                            .collectives
+                            .get_mut(cix)
+                            .filter(|s| s.active)
+                            .ok_or_else(|| {
+                                ExecError::Plan(format!("unknown collective {pack}@{iter}"))
+                            })?;
+                        slot.outstanding -= 1;
+                        if slot.outstanding == 0 && slot.arrived as usize == n {
                             self.finish_collective(iter, pack)?;
                         }
                     }
@@ -2057,8 +2499,7 @@ impl<'a> SimExecutor<'a> {
             }
             Completion::Timer { tag } => {
                 // Tags at/above the bias are resilience retries; below the
-                // fault count they are injected faults; others (e.g. the
-                // simulator's zero-byte-transfer bias) are inert.
+                // fault count they are injected faults; others are inert.
                 if tag >= RETRY_TAG_BIAS {
                     self.handle_retry_timer(tag)?;
                 } else if let Some(tf) = self.faults.get(tag as usize).copied() {
@@ -2072,6 +2513,77 @@ impl<'a> SimExecutor<'a> {
         }
         Ok(())
     }
+}
+
+/// Compiles the fetch-target list of one work item into the shared dense
+/// target arena, returning its `[start, end)` range. Order and dedup are
+/// the reference's exactly: reads first, then writes, first occurrence
+/// wins; an allreduce targets its pack's gradient buffers for the replica
+/// resident on `gpu`. Iteration is *not* baked in — every iteration's
+/// instance of the item shares one compiled range, with the key
+/// reconstructed from the running step's iteration at fetch time.
+fn compile_targets(
+    ct_items: &mut Vec<CTarget>,
+    plan: &ExecutionPlan,
+    gpu: usize,
+    item: WorkItem,
+) -> (u32, u32) {
+    let start = ct_items.len() as u32;
+    match item {
+        WorkItem::Task { replica, task } => {
+            let t = plan.graph.task(task);
+            let mut seen: Vec<TensorRef> = Vec::new();
+            for &rf in &t.reads {
+                if !seen.contains(&rf) {
+                    seen.push(rf);
+                    ct_items.push(CTarget {
+                        rf,
+                        replica: replica as u32,
+                        alloc: false,
+                    });
+                }
+            }
+            for &rf in &t.writes {
+                if !seen.contains(&rf) {
+                    seen.push(rf);
+                    ct_items.push(CTarget {
+                        rf,
+                        replica: replica as u32,
+                        alloc: true,
+                    });
+                }
+            }
+        }
+        WorkItem::AllReduce { pack } => {
+            let replica = gpu;
+            for l in plan.graph.packs()[pack].clone() {
+                ct_items.push(CTarget {
+                    rf: TensorRef::Grad { layer: l },
+                    replica: replica as u32,
+                    alloc: false,
+                });
+            }
+        }
+    }
+    (start, ct_items.len() as u32)
+}
+
+/// Loads a popped queue entry into lane `g` of a step plane. The pin list
+/// is reused from the plane (cleared by retirement), so loading allocates
+/// nothing.
+fn load_step(plane: &mut StepPlane, g: usize, id: u64, qi: &QItem, targets_built: bool) {
+    debug_assert!(!plane.live[g]);
+    debug_assert!(plane.pinned[g].is_empty());
+    plane.live[g] = true;
+    plane.id[g] = id;
+    plane.seq[g] = qi.seq;
+    plane.iter[g] = qi.iter;
+    plane.item[g] = qi.item;
+    plane.t_cur[g] = qi.t_start;
+    plane.t_end[g] = qi.t_end;
+    plane.targets_built[g] = targets_built;
+    plane.front_converted[g] = false;
+    plane.inflight[g] = InFlight::Idle;
 }
 
 /// Tensor keys an item touches during iteration `iter` (for the

@@ -28,11 +28,14 @@
 #![warn(missing_docs)]
 
 pub mod config;
+#[cfg(feature = "dense_advance")]
+pub(crate) mod dense;
 pub mod dp;
 pub mod exec;
 pub mod obs;
 pub mod plan;
 pub mod pp;
+pub mod slab;
 pub mod tuner;
 
 pub use config::{PolicyKind, SchemeConfig, WorkloadConfig};
@@ -41,3 +44,4 @@ pub use exec::{ExecCounters, ExecError, SimExecutor};
 pub use obs::{ExecContext, ExecEvent, ExecObserver, Fault, TimedFault};
 pub use plan::{ExecutionPlan, WorkItem};
 pub use pp::{partition_packs, plan_baseline_pp, plan_harmony_pp, PartitionObjective};
+pub use slab::{Slab, SlabError, SlabHandle};

@@ -141,3 +141,33 @@ pub trait ExecObserver: std::fmt::Debug {
     /// Called after each transition; `ctx` reflects the state *after* it.
     fn on_event(&mut self, ctx: &ExecContext<'_>, event: &ExecEvent);
 }
+
+/// A reuse pool for heap-carrying [`ExecEvent`] payloads.
+///
+/// Events are delivered to observers by reference and dropped after
+/// dispatch, so any buffer inside one (today: the route vector of
+/// [`ExecEvent::TransferIssued`]) can be recycled instead of reallocated
+/// per event. The executor takes a cleared buffer before constructing the
+/// event and reclaims it after dispatch; with zero observers attached no
+/// event is built and the pool is never touched. Capacity is retained
+/// across reuse, so a steady-state observed run performs no per-event
+/// heap allocation for event payloads.
+#[derive(Debug, Default)]
+pub struct EventPool {
+    routes: Vec<Vec<ChannelId>>,
+}
+
+impl EventPool {
+    /// Takes an empty route buffer out of the pool (allocating only when
+    /// the pool is dry — the first few events of a run).
+    pub fn take_route(&mut self) -> Vec<ChannelId> {
+        self.routes.pop().unwrap_or_default()
+    }
+
+    /// Returns a route buffer to the pool, clearing it but keeping its
+    /// capacity for the next event.
+    pub fn reclaim_route(&mut self, mut route: Vec<ChannelId>) {
+        route.clear();
+        self.routes.push(route);
+    }
+}

@@ -1,6 +1,6 @@
 //! Execution plans: the planner → executor interface.
 
-use harmony_taskgraph::{TaskGraph, TaskId};
+use harmony_taskgraph::{TaskGraph, TaskId, TensorRef};
 
 use crate::config::SchemeConfig;
 
@@ -49,6 +49,40 @@ impl ExecutionPlan {
     /// Total number of work items across all queues.
     pub fn total_items(&self) -> usize {
         self.queues.iter().map(Vec::len).sum()
+    }
+
+    /// Exclusive upper bounds `(layers, ubatches)` over every tensor
+    /// reference reachable from this plan's graph: reads, writes, **and
+    /// frees** of every task (the executor resolves freed refs too), plus
+    /// pack layer ranges (collectives target per-layer gradients). Used to
+    /// size the executor's dense key space defensively — a graph that
+    /// references a layer or microbatch beyond the model/workload config
+    /// still gets in-bounds indices.
+    pub fn ref_dims(&self) -> (usize, usize) {
+        let mut layers = 0usize;
+        let mut ubatches = 0usize;
+        let mut visit = |rf: &TensorRef| {
+            let (l, u) = match *rf {
+                TensorRef::Weight { layer }
+                | TensorRef::Grad { layer }
+                | TensorRef::OptState { layer } => (layer + 1, 0),
+                TensorRef::Activation { layer, ubatch }
+                | TensorRef::ActGrad { layer, ubatch }
+                | TensorRef::Stash { layer, ubatch } => (layer + 1, ubatch + 1),
+                TensorRef::Input { ubatch } => (0, ubatch + 1),
+            };
+            layers = layers.max(l);
+            ubatches = ubatches.max(u);
+        };
+        for t in self.graph.tasks() {
+            for rf in t.reads.iter().chain(&t.writes).chain(&t.frees) {
+                visit(rf);
+            }
+        }
+        for p in self.graph.packs() {
+            layers = layers.max(p.end);
+        }
+        (layers, ubatches)
     }
 
     /// Validates structural invariants: every referenced task exists, every

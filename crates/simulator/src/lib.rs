@@ -466,6 +466,81 @@ impl Simulator {
         Ok(id)
     }
 
+    /// Pre-registers (or looks up) the flight class for `route`, so
+    /// repeat senders can skip per-transfer route validation and the
+    /// route-key hash via [`Simulator::start_transfer_on_class`]. The
+    /// class is created exactly as the first non-empty
+    /// [`Simulator::start_transfer`] over `route` would create it, so
+    /// interleaving the two entry points never perturbs flight order.
+    /// Empty routes have no flight (they complete immediately) and are
+    /// rejected.
+    pub fn register_route_class(&mut self, route: &[ChannelId]) -> Result<usize, SimError> {
+        for &c in route {
+            if c >= self.channel_bw.len() {
+                return Err(SimError::UnknownChannel(c));
+            }
+        }
+        if route.is_empty() {
+            return Err(SimError::InvalidParameter(
+                "empty route has no flight class".to_string(),
+            ));
+        }
+        Ok(self.flight_for(route))
+    }
+
+    /// Starts a transfer of `bytes > 0` on a class previously returned by
+    /// [`Simulator::register_route_class`]. Behaviour (ids, event order,
+    /// accounting) is bit-identical to [`Simulator::start_transfer`] over
+    /// the class's route; only the per-call route validation and hash
+    /// lookup are skipped.
+    pub fn start_transfer_on_class(
+        &mut self,
+        class: usize,
+        bytes: u64,
+        tag: u64,
+    ) -> Result<TransferId, SimError> {
+        if class >= self.flights.len() {
+            return Err(SimError::InvalidParameter(format!(
+                "unknown route class {class}"
+            )));
+        }
+        if bytes == 0 {
+            return Err(SimError::InvalidParameter(
+                "zero-byte transfers take the immediate path of start_transfer".to_string(),
+            ));
+        }
+        let id = self.next_transfer_id;
+        self.next_transfer_id += 1;
+        self.advance_busy_time();
+        let mut route = std::mem::take(&mut self.route_scratch);
+        route.clear();
+        route.extend_from_slice(&self.flights[class].route);
+        for &c in &route {
+            self.stats.channel_bytes[c] += bytes;
+            self.active[c] += 1;
+        }
+        self.routed += 1;
+        let affected = self.collect_affected(&route);
+        self.recompute_flights(&affected);
+        self.affected_scratch = affected;
+        self.route_scratch = route;
+        let f = &mut self.flights[class];
+        if f.queue.is_empty() {
+            f.drained = 0.0;
+            f.touch = self.now;
+            f.rate = derive_rate(&self.channel_bw, &self.active, &f.route);
+            self.counters.rate_recomputes += 1;
+        }
+        debug_assert_eq!(f.touch, self.now, "flight must be fresh at insert");
+        let depart = bytes as f64 + f.drained;
+        debug_assert!(depart >= 0.0 && depart.is_finite());
+        self.counters.queue_pushes += 1;
+        f.queue.push(Reverse((depart.to_bits(), id, tag)));
+        f.refresh_pred(self.now);
+        self.schedule_network_check();
+        Ok(id)
+    }
+
     /// Schedules a timer at absolute time `at` (clamped to now).
     /// `tag` must be below `2^62`.
     pub fn set_timer(&mut self, at: SimTime, tag: u64) -> Result<(), SimError> {

@@ -158,6 +158,14 @@ impl Trace {
         self.spans.push(span);
     }
 
+    /// Reserves room for at least `extra` further spans. Callers that can
+    /// bound their span count up front (the executor: a handful per work
+    /// item) use this to keep the hot recording path free of growth
+    /// reallocations.
+    pub fn reserve_spans(&mut self, extra: usize) {
+        self.spans.reserve(extra);
+    }
+
     /// Interns `label` in this trace's symbol table.
     pub fn intern(&mut self, label: &str) -> SymbolId {
         self.symbols.intern(label)
