@@ -67,18 +67,24 @@ fn main() {
     if arg == "bench" {
         let rest: Vec<String> = std::env::args().skip(2).collect();
         let json = rest.iter().any(|a| a == "--json");
-        let workers = rest
-            .iter()
-            .position(|a| a == "--workers")
-            .and_then(|i| rest.get(i + 1))
-            .map(|s| match s.parse::<usize>() {
-                Ok(n) if n >= 1 => n,
-                _ => {
-                    eprintln!("--workers takes a positive integer, got `{s}`");
+        // `--workers` demands a value: a bare trailing flag must not
+        // silently fall back to the default pool size.
+        let workers = match rest.iter().position(|a| a == "--workers") {
+            None => 4,
+            Some(i) => match rest.get(i + 1) {
+                None => {
+                    eprintln!("--workers requires a value; expected [--json] [--workers N]");
                     std::process::exit(2);
                 }
-            })
-            .unwrap_or(4);
+                Some(s) => match s.parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("--workers takes a positive integer, got `{s}`");
+                        std::process::exit(2);
+                    }
+                },
+            },
+        };
         if let Some(bad) = rest.iter().enumerate().find_map(|(i, a)| {
             let is_workers_value =
                 i > 0 && rest[i - 1] == "--workers" && a.parse::<usize>().is_ok();
@@ -101,12 +107,23 @@ fn main() {
             eprintln!("determinism violation: parallel output diverged from sequential");
             std::process::exit(1);
         }
+        if report.dp_shard.iter().any(|d| !d.identical) {
+            eprintln!("determinism violation: sharded run diverged from the whole run");
+            std::process::exit(1);
+        }
         return;
     }
     if arg == "exec-smoke" {
         // The executor hot path at the largest grid cell (or the full
         // grid with `--grid`) — the exec-scaling smoke `./verify` runs.
-        let full_grid = std::env::args().nth(2).as_deref() == Some("--grid");
+        // Reject anything else: a typo like `--gird` must fail loudly,
+        // not silently time the single-cell variant.
+        let rest: Vec<String> = std::env::args().skip(2).collect();
+        if let Some(bad) = rest.iter().find(|a| a.as_str() != "--grid") {
+            eprintln!("unknown exec-smoke flag `{bad}`; expected [--grid]");
+            std::process::exit(2);
+        }
+        let full_grid = rest.iter().any(|a| a == "--grid");
         let points = if full_grid {
             sweeps::exec_hot_path_scaling()
         } else {

@@ -157,6 +157,41 @@ pub const EXEC_HOT_PATH_SCALES: [(usize, usize, usize, u32); 4] =
 pub const EXEC_HOT_PATH_PRE_CHANGE_EVENTS_PER_SEC: [f64; 4] =
     [436_703.0, 429_511.0, 357_550.0, 324_531.0];
 
+/// Requested shard counts for the DP-shard scaling sweep: the unsharded
+/// fallback, a balanced split of the 4-atom server, and one shard per
+/// atom.
+pub const DP_SHARD_SCALES: [usize; 3] = [1, 2, 4];
+
+/// Wall clock of the sharded DP executor (DESIGN §12) at one requested
+/// shard count, with the unsharded whole run of the identical plan timed
+/// back-to-back in the same process. `identical` is the determinism
+/// contract: the merged trace and summary must be byte-identical to the
+/// whole run's.
+#[derive(Debug, Clone)]
+pub struct DpShardTiming {
+    /// Shards requested of the runner.
+    pub shards_requested: usize,
+    /// Shards that actually ran after clamping to contention atoms.
+    pub shards_used: usize,
+    /// Wall-clock seconds of the sharded run.
+    pub secs: f64,
+    /// Wall-clock seconds of the unsharded whole run.
+    pub unsharded_secs: f64,
+    /// Whether the merged output was byte-identical to the whole run's.
+    pub identical: bool,
+}
+
+impl DpShardTiming {
+    /// Unsharded-over-sharded wall-clock ratio.
+    pub fn speedup(&self) -> f64 {
+        if self.secs > 0.0 {
+            self.unsharded_secs / self.secs
+        } else {
+            0.0
+        }
+    }
+}
+
 /// The full `repro bench` result.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -173,6 +208,8 @@ pub struct BenchReport {
     /// Executor hot-path scaling sweep, one entry per
     /// [`EXEC_HOT_PATH_SCALES`] point.
     pub exec_hot_path: Vec<ExecHotPathTiming>,
+    /// DP-shard scaling sweep, one entry per [`DP_SHARD_SCALES`] point.
+    pub dp_shard: Vec<DpShardTiming>,
     /// Representative run summaries exported alongside the timings.
     pub summaries: Vec<RunSummary>,
 }
@@ -238,6 +275,29 @@ impl BenchReport {
                 h.dense_secs,
                 h.speedup_vs_dense(),
             ));
+        }
+        if !self.dp_shard.is_empty() {
+            out.push_str("dp-shard scaling (sharded executor vs whole run, harmony-dp):\n");
+            for d in &self.dp_shard {
+                // A 1-core host cannot run shards concurrently: a ~1×
+                // row there is the hardware's fact, not a regression.
+                let host_note = if self.available_parallelism == 1 {
+                    " (host-limited)"
+                } else {
+                    ""
+                };
+                out.push_str(&format!(
+                    "  shards={} (ran {}) → {:.2}× vs unsharded{} \
+                     ({:.3} s vs {:.3} s; identical: {})\n",
+                    d.shards_requested,
+                    d.shards_used,
+                    d.speedup(),
+                    host_note,
+                    d.secs,
+                    d.unsharded_secs,
+                    d.identical,
+                ));
+            }
         }
         out
     }
@@ -332,6 +392,23 @@ impl BenchReport {
             ));
         }
         out.push_str("  ],\n");
+        out.push_str("  \"dp_shard_scaling\": [\n");
+        for (i, d) in self.dp_shard.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"shards_requested\": {}, \"shards_used\": {}, \"secs\": {}, \
+                 \"unsharded_secs\": {}, \"speedup\": {}, \"identical\": {}, \
+                 \"host_limited\": {}}}{}\n",
+                d.shards_requested,
+                d.shards_used,
+                number(d.secs),
+                number(d.unsharded_secs),
+                number(d.speedup()),
+                d.identical,
+                self.available_parallelism == 1,
+                if i + 1 < self.dp_shard.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ],\n");
         out.push_str("  \"summaries\": [\n");
         for (i, s) in self.summaries.iter().enumerate() {
             out.push_str(&format!(
@@ -393,8 +470,13 @@ pub fn hot_path(transfers: usize, waves: usize) -> HotPathTiming {
     for wave in 0..waves {
         for i in 0..transfers {
             let bytes = (1 + (i as u64 % 17)) * 100_000_000;
-            s.start_transfer(&routes[i % gpus], bytes, (wave * transfers + i) as u64)
-                .expect("transfer");
+            s.start_transfer(
+                &routes[i % gpus],
+                bytes,
+                (wave * transfers + i) as u64,
+                (i % gpus) as u32,
+            )
+            .expect("transfer");
         }
         while s.next().is_some() {
             events += 1;
@@ -501,6 +583,60 @@ pub fn exec_hot_path_scaling() -> Vec<ExecHotPathTiming> {
         .collect()
 }
 
+/// Times the sharded DP executor at every [`DP_SHARD_SCALES`] point
+/// against the unsharded whole run, re-proving the byte-identity
+/// contract (DESIGN §12) in the production path on every `repro bench`.
+/// The server is 4 single-GPU switches — four contention atoms, the
+/// shape the partitioner can split — with the harness's slack capacity
+/// so Harmony-DP working sets fit.
+pub fn dp_shard_scaling() -> Vec<DpShardTiming> {
+    let model = harmony_harness::workloads::uniform_model(8, 4096);
+    let topo = harmony_harness::workloads::atomized_topo(4);
+    let w = harmony_harness::workloads::tight_workload(4);
+    let case = ExecDiffCase {
+        scheme: SchemeKind::HarmonyDp,
+        model: &model,
+        topo: &topo,
+        workload: &w,
+        faults: &[],
+        prefetch: false,
+        iterations: 4,
+        resilience: None,
+    };
+    // Whole-run reference: output for the identity check, best-of-3
+    // wall clock after a warmup (interference only ever adds time).
+    let (mut ref_summary, ref_trace, _) =
+        execdiff::run_mode(&case, false).expect("dp-shard unsharded reference");
+    ref_summary.elapsed_secs = 0.0;
+    let (ref_tj, ref_sj) = (ref_trace.to_json(), ref_summary.to_json());
+    let unsharded_secs = (0..3)
+        .map(|_| timed(|| execdiff::run_mode(&case, false)).0)
+        .min_by(f64::total_cmp)
+        .expect("three timed runs");
+    DP_SHARD_SCALES
+        .iter()
+        .map(|&shards| {
+            // One worker per shard, so shard concurrency is real
+            // wherever the host can offer it.
+            let run = || with_workers(shards.max(1), || execdiff::run_sharded_mode(&case, shards));
+            let (mut s, t, rep) = run().expect("dp-shard sharded run");
+            s.elapsed_secs = 0.0;
+            let identical = t.to_json() == ref_tj && s.to_json() == ref_sj;
+            let secs = (0..3)
+                .map(|_| timed(run).0)
+                .min_by(f64::total_cmp)
+                .expect("three timed runs");
+            DpShardTiming {
+                shards_requested: shards,
+                shards_used: rep.shards_used,
+                secs,
+                unsharded_secs,
+                identical,
+            }
+        })
+        .collect()
+}
+
 /// Runs the full bench suite at `workers` parallel workers.
 pub fn run(workers: usize) -> BenchReport {
     // Time the single-threaded hot paths first, before the experiment
@@ -509,6 +645,7 @@ pub fn run(workers: usize) -> BenchReport {
     // and allocator churn from the parallel phase.
     let hot = hot_path_scaling();
     let exec_hot = exec_hot_path_scaling();
+    let dp_shard = dp_shard_scaling();
     let experiments = vec![
         experiment("fig2a", workers, || figures::fig2a().0),
         experiment("table_a", workers, || figures::table_a().0),
@@ -538,6 +675,7 @@ pub fn run(workers: usize) -> BenchReport {
         experiments,
         hot_path: hot,
         exec_hot_path: exec_hot,
+        dp_shard,
         summaries,
     }
 }
@@ -577,6 +715,7 @@ mod tests {
                 dense_secs: 0.2,
                 slab_fresh_allocs: 12,
             }],
+            dp_shard: vec![],
             summaries: vec![],
         };
         let text = report.to_json();
@@ -609,11 +748,35 @@ mod tests {
             }],
             hot_path: vec![],
             exec_hot_path: vec![],
+            dp_shard: vec![DpShardTiming {
+                shards_requested: 2,
+                shards_used: 2,
+                secs: 1.0,
+                unsharded_secs: 1.0,
+                identical: true,
+            }],
             summaries: vec![],
         };
         assert!(report.render().contains("(host-limited)"));
+        assert!(report.to_json().contains("\"host_limited\": true"));
         report.available_parallelism = 8;
         assert!(!report.render().contains("(host-limited)"));
+        assert!(report.to_json().contains("\"host_limited\": false"));
+    }
+
+    #[test]
+    fn dp_shard_sweep_is_identical_and_clamped() {
+        let rows = dp_shard_scaling();
+        assert_eq!(rows.len(), DP_SHARD_SCALES.len());
+        for d in &rows {
+            assert!(
+                d.identical,
+                "shards={} merged output diverged from the whole run",
+                d.shards_requested
+            );
+            assert!(d.shards_used >= 1 && d.shards_used <= 4);
+            assert!(d.shards_used <= d.shards_requested.max(1));
+        }
     }
 
     #[test]
@@ -631,6 +794,13 @@ mod tests {
             }],
             hot_path: vec![hot_path(4, 1)],
             exec_hot_path: vec![exec_hot_path(4, 2, 2, 1)],
+            dp_shard: vec![DpShardTiming {
+                shards_requested: 4,
+                shards_used: 3,
+                secs: 0.0, // degenerate: speedup must not emit Inf
+                unsharded_secs: 0.25,
+                identical: true,
+            }],
             summaries: vec![RunSummary {
                 name: "unit".to_string(),
                 sim_secs: 1.0,

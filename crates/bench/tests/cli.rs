@@ -1,0 +1,69 @@
+//! CLI strictness of the `repro` binary: malformed invocations must
+//! fail loudly (exit 2 with a diagnostic), never silently fall back to
+//! a default. Each test here pins a bug that used to do exactly that —
+//! `exec-smoke` ignored everything but `nth(2) == "--grid"`, and
+//! `bench --workers` with a missing value quietly ran at the default
+//! pool size.
+
+use std::process::{Command, Output};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("repro binary must spawn")
+}
+
+fn assert_usage_error(out: &Output, needle: &str, what: &str) {
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{what}: expected exit 2, got {:?} (stderr: {stderr})",
+        out.status.code()
+    );
+    assert!(
+        stderr.contains(needle),
+        "{what}: stderr must name the problem (`{needle}`), got: {stderr}"
+    );
+}
+
+#[test]
+fn exec_smoke_rejects_unknown_flags() {
+    // A typo like `--gird` must not silently time the single-cell
+    // variant as if no flag had been passed.
+    let out = repro(&["exec-smoke", "--gird"]);
+    assert_usage_error(&out, "--gird", "exec-smoke --gird");
+    let out = repro(&["exec-smoke", "extra"]);
+    assert_usage_error(&out, "extra", "exec-smoke extra");
+}
+
+#[test]
+fn bench_workers_requires_a_value() {
+    // A bare trailing `--workers` used to fall back to the default pool
+    // size; it must be a usage error instead.
+    let out = repro(&["bench", "--workers"]);
+    assert_usage_error(&out, "--workers requires a value", "bench --workers");
+}
+
+#[test]
+fn bench_workers_rejects_non_positive_and_garbage_values() {
+    for bad in ["0", "-3", "four"] {
+        let out = repro(&["bench", "--workers", bad]);
+        assert_usage_error(&out, "positive integer", &format!("bench --workers {bad}"));
+    }
+}
+
+#[test]
+fn bench_rejects_unknown_flags() {
+    let out = repro(&["bench", "--jsno"]);
+    assert_usage_error(&out, "--jsno", "bench --jsno");
+}
+
+#[test]
+fn unknown_subcommand_prints_usage_and_exits_2() {
+    let out = repro(&["frobnicate"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr.contains("frobnicate") && stderr.contains("usage:"));
+}

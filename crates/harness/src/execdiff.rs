@@ -14,7 +14,10 @@
 
 use harmony::simulate::{self, SchemeKind};
 use harmony_models::ModelSpec;
-use harmony_sched::{ExecCounters, ExecError, SimExecutor, TimedFault, WorkloadConfig};
+use harmony_sched::{
+    run_sharded, ExecCounters, ExecError, ShardReport, ShardRunConfig, SimExecutor, TimedFault,
+    WorkloadConfig,
+};
 use harmony_topology::Topology;
 use harmony_trace::{summary::RunSummary, Trace};
 
@@ -83,26 +86,78 @@ pub fn run_mode(case: &ExecDiffCase<'_>, dense: bool) -> ModeResult {
     exec.run_counted()
 }
 
+/// Plans and runs `case` through the sharded executor
+/// ([`harmony_sched::run_sharded`], DESIGN §12), configured identically
+/// to [`run_mode`]. `shards` is the *requested* count — the runner clamps
+/// to the topology's contention atoms and reports what actually ran.
+pub fn run_sharded_mode(
+    case: &ExecDiffCase<'_>,
+    shards: usize,
+) -> Result<(RunSummary, Trace, ShardReport), ExecError> {
+    let mut plan = simulate::plan(case.scheme, case.model, case.topo, case.workload)?;
+    if case.prefetch {
+        plan.scheme = plan.scheme.clone().with_prefetch();
+        plan.name = format!("{}+prefetch", plan.name);
+    }
+    run_sharded(
+        case.topo,
+        case.model,
+        &plan,
+        &ShardRunConfig {
+            iterations: case.iterations,
+            shards,
+            faults: case.faults,
+            resilience: case.resilience,
+        },
+    )
+}
+
 /// Runs `case` through the wake-set loop and the dense reference and
 /// checks byte-identical results, or returns a message naming the first
 /// divergence.
 pub fn check_dense_vs_fast(case: &ExecDiffCase<'_>) -> Result<ExecDiffOutcome, String> {
     let fast = run_mode(case, false);
     let dense = run_mode(case, true);
-    match (fast, dense) {
+    compare_modes(fast, dense, "fast", "dense")
+}
+
+/// Runs `case` sharded `shards` ways and unsharded and checks the merged
+/// output byte-identical to the whole run (same contract as
+/// [`check_dense_vs_fast`]: trace JSON, summary JSON with `elapsed_secs`
+/// zeroed, and matched error strings when both fail). The outcome's
+/// `fast` counters are the sharded run's merged counters, `dense` the
+/// unsharded run's.
+pub fn check_sharded_vs_unsharded(
+    case: &ExecDiffCase<'_>,
+    shards: usize,
+) -> Result<ExecDiffOutcome, String> {
+    let sharded = run_sharded_mode(case, shards).map(|(s, t, rep)| (s, t, rep.counters));
+    let whole = run_mode(case, false);
+    compare_modes(sharded, whole, "sharded", "unsharded")
+}
+
+/// Byte-compares two mode results (see [`check_dense_vs_fast`] for the
+/// contract); `a_name`/`b_name` label the sides in divergence messages.
+fn compare_modes(
+    a: ModeResult,
+    b: ModeResult,
+    a_name: &str,
+    b_name: &str,
+) -> Result<ExecDiffOutcome, String> {
+    match (a, b) {
         (Ok((mut fs, ft, fc)), Ok((mut ds, dt, dc))) => {
             // Wall clock is the one legitimately nondeterministic field.
             fs.elapsed_secs = 0.0;
             ds.elapsed_secs = 0.0;
             let (ftj, dtj) = (ft.to_json(), dt.to_json());
             if ftj != dtj {
-                return Err(first_diff("trace JSON", &ftj, &dtj));
+                return Err(first_diff("trace JSON", a_name, b_name, &ftj, &dtj));
             }
             let (fsj, dsj) = (fs.to_json(), ds.to_json());
             if fsj != dsj {
-                return Err(first_diff("summary JSON", &fsj, &dsj));
+                return Err(first_diff("summary JSON", a_name, b_name, &fsj, &dsj));
             }
-            if fc.advance_calls > dc.advance_calls {
+            if a_name == "fast" && fc.advance_calls > dc.advance_calls {
                 return Err(format!(
                     "wake-set loop advanced MORE than dense: {} vs {}",
                     fc.advance_calls, dc.advance_calls
@@ -118,7 +173,9 @@ pub fn check_dense_vs_fast(case: &ExecDiffCase<'_>) -> Result<ExecDiffOutcome, S
         (Err(fe), Err(de)) => {
             let (fe, de) = (fe.to_string(), de.to_string());
             if fe != de {
-                return Err(format!("errors diverge: fast `{fe}` vs dense `{de}`"));
+                return Err(format!(
+                    "errors diverge: {a_name} `{fe}` vs {b_name} `{de}`"
+                ));
             }
             Ok(ExecDiffOutcome {
                 trace_json_bytes: 0,
@@ -127,13 +184,13 @@ pub fn check_dense_vs_fast(case: &ExecDiffCase<'_>) -> Result<ExecDiffOutcome, S
                 error: Some(fe),
             })
         }
-        (Ok(_), Err(de)) => Err(format!("fast succeeded but dense failed: {de}")),
-        (Err(fe), Ok(_)) => Err(format!("dense succeeded but fast failed: {fe}")),
+        (Ok(_), Err(de)) => Err(format!("{a_name} succeeded but {b_name} failed: {de}")),
+        (Err(fe), Ok(_)) => Err(format!("{b_name} succeeded but {a_name} failed: {fe}")),
     }
 }
 
 /// Locates the first divergent byte and quotes a window around it.
-fn first_diff(what: &str, a: &str, b: &str) -> String {
+fn first_diff(what: &str, a_name: &str, b_name: &str, a: &str, b: &str) -> String {
     let pos = a
         .bytes()
         .zip(b.bytes())
@@ -145,7 +202,7 @@ fn first_diff(what: &str, a: &str, b: &str) -> String {
         s.get(lo..hi).unwrap_or("<non-utf8 boundary>").to_string()
     };
     format!(
-        "{what} diverges at byte {pos} (fast {} B, dense {} B): fast `…{}…` vs dense `…{}…`",
+        "{what} diverges at byte {pos} ({a_name} {} B, {b_name} {} B): {a_name} `…{}…` vs {b_name} `…{}…`",
         a.len(),
         b.len(),
         ctx(a),
@@ -156,7 +213,59 @@ fn first_diff(what: &str, a: &str, b: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::workloads::{slack_topo, tight_topo, tight_workload, uniform_model};
+    use crate::workloads::{atomized_topo, slack_topo, tight_topo, tight_workload, uniform_model};
+
+    #[test]
+    fn sharded_dp_run_is_byte_identical() {
+        let model = uniform_model(4, 4096);
+        let topo = atomized_topo(3);
+        let w = tight_workload(2);
+        for scheme in [SchemeKind::BaselineDp, SchemeKind::HarmonyDp] {
+            for shards in [2usize, 3] {
+                let out = check_sharded_vs_unsharded(
+                    &ExecDiffCase {
+                        scheme,
+                        model: &model,
+                        topo: &topo,
+                        workload: &w,
+                        faults: &[],
+                        prefetch: false,
+                        iterations: 2,
+                        resilience: None,
+                    },
+                    shards,
+                )
+                .unwrap_or_else(|e| panic!("{} x{shards}: {e}", scheme.name()));
+                assert!(out.trace_json_bytes > 0);
+                assert!(out.error.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn sharding_a_pipeline_plan_is_a_typed_error() {
+        let model = uniform_model(4, 4096);
+        let topo = atomized_topo(2);
+        let w = tight_workload(2);
+        let err = run_sharded_mode(
+            &ExecDiffCase {
+                scheme: SchemeKind::HarmonyPp,
+                model: &model,
+                topo: &topo,
+                workload: &w,
+                faults: &[],
+                prefetch: false,
+                iterations: 1,
+                resilience: None,
+            },
+            2,
+        )
+        .expect_err("pipeline plans must refuse to shard");
+        assert!(
+            err.to_string().contains("replica-aligned"),
+            "unexpected error: {err}"
+        );
+    }
 
     #[test]
     fn clean_run_is_byte_identical_across_modes() {

@@ -112,7 +112,7 @@ pub fn run_script(sim: &mut Simulator, topo: &Topology, ops: &[SimOp]) -> Vec<Tr
                     .route(Endpoint::Gpu(gpu % gpus), Endpoint::Host)
                     .expect("route")
                     .to_vec();
-                sim.start_transfer(&route, mb as u64 * 1_000_000, tag)
+                sim.start_transfer(&route, mb as u64 * 1_000_000, tag, (gpu % gpus) as u32)
                     .expect("to-host");
             }
             SimOp::FromHost { gpu, mb } => {
@@ -120,7 +120,7 @@ pub fn run_script(sim: &mut Simulator, topo: &Topology, ops: &[SimOp]) -> Vec<Tr
                     .route(Endpoint::Host, Endpoint::Gpu(gpu % gpus))
                     .expect("route")
                     .to_vec();
-                sim.start_transfer(&route, mb as u64 * 1_000_000, tag)
+                sim.start_transfer(&route, mb as u64 * 1_000_000, tag, (gpu % gpus) as u32)
                     .expect("from-host");
             }
             SimOp::P2p { src, dst, mb } => {
@@ -130,7 +130,7 @@ pub fn run_script(sim: &mut Simulator, topo: &Topology, ops: &[SimOp]) -> Vec<Tr
                         .route(Endpoint::Gpu(src), Endpoint::Gpu(dst))
                         .expect("route")
                         .to_vec();
-                    sim.start_transfer(&route, mb as u64 * 1_000_000, tag)
+                    sim.start_transfer(&route, mb as u64 * 1_000_000, tag, src as u32)
                         .expect("p2p");
                 }
             }

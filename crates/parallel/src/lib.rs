@@ -22,24 +22,50 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Process-wide worker override installed by [`with_workers`]
 /// (0 = no override).
 static WORKER_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
+/// Whether a malformed `HARMONY_WORKERS` value has already been reported
+/// (the warning is one-time per process, not per [`worker_count`] call).
+static WORKERS_ENV_WARNED: AtomicBool = AtomicBool::new(false);
+
+/// Parses a `HARMONY_WORKERS` value: a positive integer, or an error
+/// message naming the rejected value. Split out of [`worker_count`] so
+/// the rejection paths are unit-testable without mutating process-global
+/// environment state.
+fn parse_workers_env(raw: &str) -> Result<usize, String> {
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        Ok(_) => Err(format!(
+            "HARMONY_WORKERS must be a positive worker count, got `{raw}`"
+        )),
+        Err(_) => Err(format!(
+            "HARMONY_WORKERS must be a positive integer, got `{raw}`"
+        )),
+    }
+}
+
 /// Resolves the worker count: [`with_workers`] override, else the
 /// `HARMONY_WORKERS` environment variable, else available parallelism
-/// (at least 1).
+/// (at least 1). A set-but-malformed `HARMONY_WORKERS` (e.g. `abc` or
+/// `0`) falls back to available parallelism with a one-time stderr
+/// warning naming the rejected value — a misconfigured CI job must not
+/// silently serialize or oversubscribe.
 pub fn worker_count() -> usize {
     let o = WORKER_OVERRIDE.load(Ordering::Relaxed);
     if o > 0 {
         return o;
     }
     if let Ok(v) = std::env::var("HARMONY_WORKERS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
+        match parse_workers_env(&v) {
+            Ok(n) => return n,
+            Err(msg) => {
+                if !WORKERS_ENV_WARNED.swap(true, Ordering::Relaxed) {
+                    eprintln!("warning: {msg}; falling back to available parallelism");
+                }
             }
         }
     }
@@ -123,6 +149,41 @@ where
         .collect()
 }
 
+/// Runs every task on its own scoped thread **concurrently** and returns
+/// the results in input order.
+///
+/// This is the primitive for *cooperating* tasks — ones that rendezvous
+/// with each other through barriers or condvars, like the sharded
+/// executor's per-shard event loops (DESIGN §12). [`par_map`] must not
+/// be used for those: its workers claim items from a cursor, so with
+/// fewer workers than items a blocked task waits forever for a peer that
+/// was never started. Here the thread count equals the task count by
+/// construction (the OS timeslices when that exceeds the core count),
+/// so every peer is always live. A panicking task propagates the panic
+/// after all threads have been joined.
+pub fn join_all<R, F>(tasks: Vec<F>) -> Vec<R>
+where
+    R: Send,
+    F: FnOnce() -> R + Send,
+{
+    if tasks.is_empty() {
+        return Vec::new();
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = tasks.into_iter().map(|t| scope.spawn(t)).collect();
+        // Collect every join before unwrapping: a panic in one task must
+        // not detach its siblings mid-rendezvous.
+        let joined: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+        joined
+            .into_iter()
+            .map(|r| match r {
+                Ok(v) => v,
+                Err(p) => std::panic::resume_unwind(p),
+            })
+            .collect()
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,5 +230,41 @@ mod tests {
     fn workers_exceeding_items_are_clamped() {
         let items: Vec<u32> = (0..3).collect();
         assert_eq!(par_map_workers(100, &items, |_, &x| x * 2), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn workers_env_rejects_non_numeric_and_zero() {
+        assert_eq!(parse_workers_env("4"), Ok(4));
+        assert_eq!(parse_workers_env(" 2 "), Ok(2));
+        let zero = parse_workers_env("0").unwrap_err();
+        assert!(zero.contains("`0`"), "message must name the value: {zero}");
+        let junk = parse_workers_env("abc").unwrap_err();
+        assert!(
+            junk.contains("`abc`"),
+            "message must name the value: {junk}"
+        );
+        assert!(parse_workers_env("-3").is_err());
+        assert!(parse_workers_env("").is_err());
+        assert!(parse_workers_env("4.5").is_err());
+    }
+
+    #[test]
+    fn join_all_preserves_order_and_runs_concurrently() {
+        use std::sync::{Arc, Barrier};
+        assert!(join_all(Vec::<Box<dyn FnOnce() -> u32 + Send>>::new()).is_empty());
+        // All eight tasks meet at one barrier: only possible if every
+        // task is live at once, whatever the host's core count.
+        let barrier = Arc::new(Barrier::new(8));
+        let tasks: Vec<_> = (0..8u32)
+            .map(|i| {
+                let b = Arc::clone(&barrier);
+                move || {
+                    b.wait();
+                    i * 10
+                }
+            })
+            .collect();
+        let out = join_all(tasks);
+        assert_eq!(out, (0..8u32).map(|i| i * 10).collect::<Vec<_>>());
     }
 }

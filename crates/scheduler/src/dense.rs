@@ -465,7 +465,7 @@ impl<'a> ReferenceExecutor<'a> {
             }
             let tag = self.faults.len() as u64;
             self.faults.push(tf);
-            self.sim.set_timer(tf.at, tag)?;
+            self.sim.set_timer(tf.at, tag, 0)?;
         }
         Ok(())
     }
@@ -520,8 +520,13 @@ impl<'a> ReferenceExecutor<'a> {
     /// Starts a transfer on the simulator, emitting
     /// [`ExecEvent::TransferIssued`] when observers are attached (the
     /// route vector is only cloned in that case — `emit_with` guards).
-    fn issue_transfer(&mut self, route: &[ChannelId], bytes: u64) -> Result<TransferId, ExecError> {
-        let xfer = self.sim.start_transfer(route, bytes, 0)?;
+    fn issue_transfer(
+        &mut self,
+        route: &[ChannelId],
+        bytes: u64,
+        lane: usize,
+    ) -> Result<TransferId, ExecError> {
+        let xfer = self.sim.start_transfer(route, bytes, 0, lane as u32)?;
         self.mutations += 1;
         self.emit_with(|| ExecEvent::TransferIssued {
             route: route.to_vec(),
@@ -676,9 +681,12 @@ impl<'a> ReferenceExecutor<'a> {
     /// now. The tag encodes an index into `retry_meta`.
     fn schedule_retry(&mut self, kind: RetryKind, delay: f64) -> Result<(), ExecError> {
         let tag = RETRY_TAG_BIAS + self.retry_meta.len() as u64;
+        let lane = match kind {
+            RetryKind::Spill { gpu, .. } | RetryKind::Reroute { gpu, .. } => gpu as u32,
+        };
         self.retry_meta.push(kind);
         let at = self.sim.now() + delay;
-        self.sim.set_timer(at, tag)?;
+        self.sim.set_timer(at, tag, lane)?;
         Ok(())
     }
 
@@ -877,8 +885,14 @@ impl<'a> ReferenceExecutor<'a> {
                 .expect("victim was collected from this map");
             // The aborted attempt occupied the lane until now: record the
             // partial span so the trace shows the cancelled hop.
-            self.trace
-                .record_sym(pt.start, self.sim.now(), Some(pt.lane), pt.kind, pt.label);
+            self.trace.record_sym(
+                pt.start,
+                self.sim.now(),
+                Some(pt.lane),
+                pt.kind,
+                pt.label,
+                self.sim.current_wave(),
+            );
             self.mm.cancel_move_to_device(tensor)?;
             self.mutations += 1;
             self.res_outcome.rerouted_transfers += 1;
@@ -1105,7 +1119,7 @@ impl<'a> ReferenceExecutor<'a> {
                 .topo
                 .route(Endpoint::Gpu(src), Endpoint::Host)?
                 .to_vec();
-            let xfer = self.issue_transfer(&route, bytes)?;
+            let xfer = self.issue_transfer(&route, bytes, src)?;
             self.transfers.insert(
                 xfer,
                 PendingTransfer {
@@ -1244,7 +1258,7 @@ impl<'a> ReferenceExecutor<'a> {
                 .topo
                 .route(Endpoint::Gpu(src), Endpoint::Host)?
                 .to_vec();
-            let xfer = self.issue_transfer(&route, bytes)?;
+            let xfer = self.issue_transfer(&route, bytes, src)?;
             self.transfers.insert(
                 xfer,
                 PendingTransfer {
@@ -1488,7 +1502,7 @@ impl<'a> ReferenceExecutor<'a> {
                                             .route(Endpoint::Gpu(src), Endpoint::Gpu(g))?
                                             .to_vec();
                                         let label = self.tensor_sym(id)?;
-                                        let xfer = self.issue_transfer(&route, bytes)?;
+                                        let xfer = self.issue_transfer(&route, bytes, g)?;
                                         self.transfers.insert(
                                             xfer,
                                             PendingTransfer {
@@ -1527,7 +1541,7 @@ impl<'a> ReferenceExecutor<'a> {
                                         .route(Endpoint::Gpu(src), Endpoint::Host)?
                                         .to_vec();
                                     let label = self.tensor_sym(id)?;
-                                    let xfer = self.issue_transfer(&route, bytes)?;
+                                    let xfer = self.issue_transfer(&route, bytes, src)?;
                                     self.transfers.insert(
                                         xfer,
                                         PendingTransfer {
@@ -1577,7 +1591,7 @@ impl<'a> ReferenceExecutor<'a> {
                             };
                             let route = self.topo.route(Endpoint::Host, Endpoint::Gpu(g))?.to_vec();
                             let label = self.tensor_sym(id)?;
-                            let xfer = self.issue_transfer(&route, bytes)?;
+                            let xfer = self.issue_transfer(&route, bytes, g)?;
                             self.transfers.insert(
                                 xfer,
                                 PendingTransfer {
@@ -1748,7 +1762,7 @@ impl<'a> ReferenceExecutor<'a> {
                 .topo
                 .route(Endpoint::Gpu(src), Endpoint::Gpu(dst))?
                 .to_vec();
-            let xfer = self.issue_transfer(&route, ring_bytes)?;
+            let xfer = self.issue_transfer(&route, ring_bytes, src)?;
             self.transfers.insert(
                 xfer,
                 PendingTransfer {
@@ -1845,6 +1859,7 @@ impl<'a> ReferenceExecutor<'a> {
                     Some(gpu),
                     SpanKind::Compute,
                     rec.label,
+                    self.sim.current_wave(),
                 );
                 self.finish_task(gpu)?;
                 self.wake(gpu);
@@ -1854,8 +1869,14 @@ impl<'a> ReferenceExecutor<'a> {
                     .transfers
                     .remove(&id)
                     .ok_or_else(|| ExecError::Plan(format!("unknown transfer {id}")))?;
-                self.trace
-                    .record_sym(pt.start, self.sim.now(), Some(pt.lane), pt.kind, pt.label);
+                self.trace.record_sym(
+                    pt.start,
+                    self.sim.now(),
+                    Some(pt.lane),
+                    pt.kind,
+                    pt.label,
+                    self.sim.current_wave(),
+                );
                 match pt.purpose {
                     Purpose::Eviction { gpu, step, tensor } => {
                         self.mm.finish_swap_out(tensor)?;

@@ -137,6 +137,10 @@ pub enum ExecError {
     /// A generational slab handle failed to resolve (stale, vacant, or
     /// out of bounds) — the typed use-after-free check on pooled records.
     Slab(crate::slab::SlabError),
+    /// A peer shard of a sharded run failed, cutting this shard's barrier
+    /// wait short. Internal to [`crate::shard::run_sharded`], which
+    /// replaces it with the failing peer's own error — it never surfaces.
+    ShardAborted(String),
 }
 
 impl std::fmt::Display for ExecError {
@@ -148,6 +152,7 @@ impl std::fmt::Display for ExecError {
             ExecError::Plan(m) => write!(f, "plan: {m}"),
             ExecError::Stuck(m) => write!(f, "stuck: {m}"),
             ExecError::Slab(e) => write!(f, "slab: {e}"),
+            ExecError::ShardAborted(m) => write!(f, "shard aborted: {m}"),
         }
     }
 }
@@ -458,6 +463,14 @@ enum RouteSel {
 /// Far below the simulator's 2^62 tag ceiling, far above any fault count.
 const RETRY_TAG_BIAS: u64 = 1 << 48;
 
+/// Sharded-run control timers (DESIGN §12) occupy `[2^47, 2^48)`: below
+/// the retry band, far above any fault index. `SHARD_SYNC_TAG` itself is
+/// the inert final-rendezvous tick that advances a shard's clock to the
+/// global drain time before the flush; tags above it are collective GO
+/// timers, `SHARD_GO_TAG_BIAS + collective index`.
+const SHARD_SYNC_TAG: u64 = 1 << 47;
+const SHARD_GO_TAG_BIAS: u64 = (1 << 47) + 1;
+
 /// Base delay of the seeded exponential backoff (virtual seconds). Small
 /// relative to typical transfer times so the first retry lands promptly.
 const RETRY_BASE_SECS: f64 = 2e-5;
@@ -581,6 +594,15 @@ pub struct SimExecutor<'a> {
     /// Fail with [`ExecError::Stuck`] after this many simulator events.
     event_budget: Option<u64>,
     events_processed: u64,
+    /// Sharded-run context (None = ordinary whole-run executor). See
+    /// [`crate::shard`] and DESIGN §12.
+    shard: Option<crate::shard::ShardCtx>,
+    /// Completions this shard processed that the unsharded run would not
+    /// attribute to it: peer-lane collective hops, fault timers on shards
+    /// other than 0, and the GO/sync control timers (which do not exist
+    /// unsharded). Subtracted from the summary's `events_processed` so
+    /// the per-shard counts sum to the unsharded total.
+    shard_foreign_events: u64,
     /// Cached routes (and lazily registered flight classes) per endpoint
     /// pair: host→GPU, GPU→host, and GPU→GPU (`src * n_topo + dst`).
     routes_h2g: Vec<Option<RouteEntry>>,
@@ -644,6 +666,22 @@ impl<'a> SimExecutor<'a> {
             return Err(ExecError::Plan("iterations must be positive".to_string()));
         }
         plan.validate().map_err(ExecError::Plan)?;
+        Self::with_iterations_unchecked(topo, model, plan, iterations)
+    }
+
+    /// [`SimExecutor::with_iterations`] without the plan validation pass.
+    /// Only for [`crate::shard`]: a shard's sub-plan is the (validated)
+    /// parent plan with foreign queues emptied, which `validate` would
+    /// reject as unbalanced even though the parent already passed.
+    pub(crate) fn with_iterations_unchecked(
+        topo: &'a Topology,
+        model: &'a ModelSpec,
+        plan: &'a ExecutionPlan,
+        iterations: u32,
+    ) -> Result<Self, ExecError> {
+        if iterations == 0 {
+            return Err(ExecError::Plan("iterations must be positive".to_string()));
+        }
         if plan.queues.len() > topo.num_gpus() {
             return Err(ExecError::Plan(format!(
                 "plan uses {} GPUs, topology has {}",
@@ -831,6 +869,8 @@ impl<'a> SimExecutor<'a> {
             compute_rate: vec![1.0; num_gpus],
             event_budget: None,
             events_processed: 0,
+            shard: None,
+            shard_foreign_events: 0,
             routes_h2g: (0..num_gpus).map(|_| None).collect(),
             routes_g2h: (0..num_gpus).map(|_| None).collect(),
             routes_p2p: (0..num_gpus * num_gpus).map(|_| None).collect(),
@@ -923,7 +963,7 @@ impl<'a> SimExecutor<'a> {
             }
             let tag = self.faults.len() as u64;
             self.faults.push(tf);
-            self.sim.set_timer(tf.at, tag)?;
+            self.sim.set_timer(tf.at, tag, 0)?;
         }
         Ok(())
     }
@@ -1019,7 +1059,13 @@ impl<'a> SimExecutor<'a> {
     /// path of `start_transfer`. Route errors are not cached: a failing
     /// pair re-surfaces its topology error on every attempt, like the
     /// reference.
-    fn start_on(&mut self, sel: RouteSel, bytes: u64, tag: u64) -> Result<TransferId, ExecError> {
+    fn start_on(
+        &mut self,
+        sel: RouteSel,
+        bytes: u64,
+        tag: u64,
+        lane: u32,
+    ) -> Result<TransferId, ExecError> {
         let Self {
             topo,
             sim,
@@ -1045,7 +1091,7 @@ impl<'a> SimExecutor<'a> {
         }
         let entry = slot.as_mut().expect("invariant: populated just above");
         if bytes == 0 {
-            return Ok(sim.start_transfer(&entry.route, 0, tag)?);
+            return Ok(sim.start_transfer(&entry.route, 0, tag, lane)?);
         }
         let class = match entry.class {
             Some(c) => c,
@@ -1055,7 +1101,7 @@ impl<'a> SimExecutor<'a> {
                 c
             }
         };
-        Ok(sim.start_transfer_on_class(class, bytes, tag)?)
+        Ok(sim.start_transfer_on_class(class, bytes, tag, lane)?)
     }
 
     /// Pools a [`PendingTransfer`] record, starts the transfer with the
@@ -1080,7 +1126,7 @@ impl<'a> SimExecutor<'a> {
             kind,
             label,
         });
-        match self.start_on(sel, bytes, h.to_bits()) {
+        match self.start_on(sel, bytes, h.to_bits(), lane as u32) {
             Ok(xfer) => {
                 self.transfers
                     .get_mut(h)
@@ -1157,6 +1203,11 @@ impl<'a> SimExecutor<'a> {
     /// currently advancing join the same pass (dense visibility order);
     /// everything else waits for the next event's pass.
     fn wake(&mut self, g: usize) {
+        // Sharded: foreign lanes exist (full plan, so registration and
+        // the future-use table match the whole run) but never run.
+        if self.shard.as_ref().is_some_and(|s| !s.local[g]) {
+            return;
+        }
         let (wi, bit) = (g / 64, 1u64 << (g % 64));
         match self.advancing {
             Some(cur) if g > cur => self.pass_w[wi] |= bit,
@@ -1323,9 +1374,12 @@ impl<'a> SimExecutor<'a> {
     /// now. The tag encodes an index into `retry_meta`.
     fn schedule_retry(&mut self, kind: RetryKind, delay: f64) -> Result<(), ExecError> {
         let tag = RETRY_TAG_BIAS + self.retry_meta.len() as u64;
+        let lane = match kind {
+            RetryKind::Spill { gpu, .. } | RetryKind::Reroute { gpu, .. } => gpu as u32,
+        };
         self.retry_meta.push(kind);
         let at = self.sim.now() + delay;
-        self.sim.set_timer(at, tag)?;
+        self.sim.set_timer(at, tag, lane)?;
         Ok(())
     }
 
@@ -1519,8 +1573,14 @@ impl<'a> SimExecutor<'a> {
             let pt = self.transfers.remove(h)?;
             // The aborted attempt occupied the lane until now: record the
             // partial span so the trace shows the cancelled hop.
-            self.trace
-                .record_sym(pt.start, self.sim.now(), Some(pt.lane), pt.kind, pt.label);
+            self.trace.record_sym(
+                pt.start,
+                self.sim.now(),
+                Some(pt.lane),
+                pt.kind,
+                pt.label,
+                self.sim.current_wave(),
+            );
             self.mm.cancel_move_to_device(tensor)?;
             self.mutations += 1;
             self.res_outcome.rerouted_transfers += 1;
@@ -1615,6 +1675,16 @@ impl<'a> SimExecutor<'a> {
             return self.run_dense();
         }
         let wall_start = std::time::Instant::now();
+        self.run_core()?;
+        let summary = self.build_summary(wall_start.elapsed().as_secs_f64());
+        Ok((summary, self.trace, self.counters))
+    }
+
+    /// The event loop proper: initial pass, drain, stuck check, (sharded:
+    /// final rendezvous), dirty-state flush. Split from [`Self::run_counted`]
+    /// so [`crate::shard`] can drive it on a borrowed executor and read the
+    /// simulator clock afterwards for error ordering.
+    pub(crate) fn run_core(&mut self) -> Result<(), ExecError> {
         // Initial pass: every GPU.
         self.wake_all();
         self.run_pass()?;
@@ -1625,6 +1695,10 @@ impl<'a> SimExecutor<'a> {
         // Everything must have drained.
         let mut stuck = Vec::new();
         for g in 0..self.q_bounds.len() {
+            // Foreign lanes keep their full (never-started) queues.
+            if self.shard.as_ref().is_some_and(|s| !s.local[g]) {
+                continue;
+            }
             let queued = (self.q_bounds[g].1 - self.q_cursor[g]) as usize;
             if self.cur.live[g] || queued > 0 {
                 let detail = if self.cur.live[g] {
@@ -1660,12 +1734,45 @@ impl<'a> SimExecutor<'a> {
         if !stuck.is_empty() {
             return Err(ExecError::Stuck(stuck.join("; ")));
         }
+        // Sharded: the local queues drained at this shard's *local* time,
+        // but the unsharded run flushes once everything everywhere is
+        // done. Rendezvous on the global max drain time and pump an inert
+        // sync timer so the clock (and therefore every flush span and
+        // `sim_secs`) matches the unsharded run bit-for-bit.
+        if let Some(ctx) = &self.shard {
+            let barrier = std::sync::Arc::clone(&ctx.barrier);
+            let (t_end, w_end) = barrier
+                .arrive(
+                    crate::shard::Round::Final,
+                    (self.sim.now(), self.sim.current_wave()),
+                )
+                .map_err(ExecError::ShardAborted)?;
+            self.sim.set_timer_at_wave(
+                t_end,
+                SHARD_SYNC_TAG,
+                harmony_simulator::CONTROL_LANE,
+                w_end,
+            )?;
+            while let Some(completion) = self.next_event()? {
+                self.handle(completion)?;
+                self.run_pass()?;
+            }
+        }
         self.flush_dirty_state()?;
         self.emit(ExecEvent::RunFinished);
         self.counters.slab_high_water = u64::from(self.transfers.high_water());
         self.counters.slab_fresh_allocs = self.transfers.fresh_allocs();
+        Ok(())
+    }
+
+    /// Assembles the [`RunSummary`] after [`Self::run_core`] succeeds. In a
+    /// sharded run the per-GPU vectors still span *all* GPUs (foreign
+    /// entries report this shard's view — registration-time zeros) and the
+    /// merge keeps each owner's entries; `events_processed` excludes
+    /// foreign completions so the shard counts sum to the unsharded total.
+    pub(crate) fn build_summary(&self, elapsed_secs: f64) -> RunSummary {
         let n = self.q_bounds.len();
-        let summary = RunSummary {
+        RunSummary {
             name: self.plan.name.clone(),
             sim_secs: self.sim.now(),
             samples: self.plan.samples_per_iteration * self.iterations as u64,
@@ -1703,8 +1810,8 @@ impl<'a> SimExecutor<'a> {
                 .iter()
                 .map(|c| (c.name.clone(), self.sim.stats().channel_busy_secs[c.id]))
                 .collect(),
-            events_processed: self.events_processed,
-            elapsed_secs: wall_start.elapsed().as_secs_f64(),
+            events_processed: self.events_processed - self.shard_foreign_events,
+            elapsed_secs,
             // Populated whenever the layer is armed and faults were
             // injected — even if all zeros (the run absorbed nothing) —
             // and None otherwise, so clean summaries stay byte-identical.
@@ -1719,8 +1826,22 @@ impl<'a> SimExecutor<'a> {
             } else {
                 None
             },
-        };
-        Ok((summary, self.trace, self.counters))
+        }
+    }
+
+    /// Installs the sharded-run context ([`crate::shard`]).
+    pub(crate) fn set_shard_ctx(&mut self, ctx: crate::shard::ShardCtx) {
+        self.shard = Some(ctx);
+    }
+
+    /// The current virtual time — the error-ordering key for sharded runs.
+    pub(crate) fn sim_now(&self) -> f64 {
+        self.sim.now()
+    }
+
+    /// Moves the trace and counters out after a sharded [`Self::run_core`].
+    pub(crate) fn take_parts(&mut self) -> (Trace, ExecCounters) {
+        (std::mem::take(&mut self.trace), self.counters)
     }
 
     /// Delegates a dense-reference run to the frozen pre-rewrite executor
@@ -2279,10 +2400,17 @@ impl<'a> SimExecutor<'a> {
         Ok(())
     }
 
+    /// How many local arrivals complete a collective barrier: the shard's
+    /// replica count in a sharded run, all GPUs otherwise.
+    fn collective_quorum(&self) -> usize {
+        self.shard
+            .as_ref()
+            .map_or(self.q_bounds.len(), |s| s.local_n)
+    }
+
     fn arrive_collective(&mut self, g: usize, iter: u32, pack: usize) -> Result<(), ExecError> {
         self.cur.inflight[g] = InFlight::Collective;
         self.mutations += 1;
-        let n = self.q_bounds.len();
         let cix = iter as usize * self.num_packs + pack;
         let slot = &mut self.collectives[cix];
         if !slot.active {
@@ -2293,12 +2421,46 @@ impl<'a> SimExecutor<'a> {
             };
         }
         slot.arrived += 1;
-        if (slot.arrived as usize) < n {
+        if (slot.arrived as usize) < self.collective_quorum() {
             return Ok(());
         }
+        if let Some(ctx) = &self.shard {
+            // Last local arrival: rendezvous with the peer shards, then
+            // lift the barrier for everyone at the same virtual instant
+            // via a GO timer at the globally latest arrival time. A GPU
+            // only arrives here when its network is locally quiescent
+            // (fetches settled and pinned, prefetch never crosses an
+            // AllReduce), so delaying the hop issue to the global time
+            // cannot reorder against any pending local event — the hop
+            // timeline every shard then computes is the unsharded one.
+            let barrier = std::sync::Arc::clone(&ctx.barrier);
+            let (t_go, w_go) = barrier
+                .arrive(
+                    crate::shard::Round::Collective { iter, pack },
+                    (self.sim.now(), self.sim.current_wave()),
+                )
+                .map_err(ExecError::ShardAborted)?;
+            self.sim.set_timer_at_wave(
+                t_go,
+                SHARD_GO_TAG_BIAS + cix as u64,
+                harmony_simulator::CONTROL_LANE,
+                w_go,
+            )?;
+            return Ok(());
+        }
+        self.issue_collective_ring(iter, pack)
+    }
+
+    /// Issues the ring-exchange hops of a collective whose barrier has
+    /// lifted: one hop per GPU of 2(N−1)/N · |dW|, ascending source. In a
+    /// sharded run *every* shard issues all N hops (the hops are the
+    /// shared global timeline); each shard then attributes each hop span
+    /// to its owner lane at merge time.
+    fn issue_collective_ring(&mut self, iter: u32, pack: usize) -> Result<(), ExecError> {
+        let n = self.q_bounds.len();
+        let cix = iter as usize * self.num_packs + pack;
         let label = self.trace.intern(&format!("allreduce p{pack} i{iter}"));
         self.counters.label_interns += 1;
-        // Everyone is here: issue one ring hop per GPU of 2(N−1)/N · |dW|.
         let grad_bytes: u64 = self.plan.graph.packs()[pack]
             .clone()
             .map(|l| self.model.layers[l].grad_bytes())
@@ -2324,6 +2486,10 @@ impl<'a> SimExecutor<'a> {
         // the same "unknown collective" error the reference raises.
         self.collectives[iter as usize * self.num_packs + pack] = CollSlot::default();
         for g in 0..self.q_bounds.len() {
+            // Sharded: foreign GPUs' steps live in their owner shard.
+            if self.shard.as_ref().is_some_and(|s| !s.local[g]) {
+                continue;
+            }
             if !self.cur.live[g] {
                 return Err(ExecError::Plan(format!(
                     "gpu{g} has no step at collective end"
@@ -2414,6 +2580,7 @@ impl<'a> SimExecutor<'a> {
                     Some(gpu),
                     SpanKind::Compute,
                     rec.label,
+                    self.sim.current_wave(),
                 );
                 self.finish_task(gpu)?;
                 self.wake(gpu);
@@ -2432,8 +2599,14 @@ impl<'a> SimExecutor<'a> {
                 let h = SlabHandle::from_bits(tag);
                 let pt = self.transfers.remove(h)?;
                 debug_assert_eq!(pt.xfer, id, "pooled record matches the completed transfer");
-                self.trace
-                    .record_sym(pt.start, self.sim.now(), Some(pt.lane), pt.kind, pt.label);
+                self.trace.record_sym(
+                    pt.start,
+                    self.sim.now(),
+                    Some(pt.lane),
+                    pt.kind,
+                    pt.label,
+                    self.sim.current_wave(),
+                );
                 match pt.purpose {
                     Purpose::Eviction { gpu, step, tensor } => {
                         self.mm.finish_swap_out(tensor)?;
@@ -2477,8 +2650,14 @@ impl<'a> SimExecutor<'a> {
                         self.wake_tensor_waiters(tensor);
                     }
                     Purpose::Collective { iter, pack } => {
+                        // Sharded: hops on peer lanes complete here too
+                        // (every shard simulates the full ring) but belong
+                        // to the lane's owner in the merged event count.
+                        if self.shard.as_ref().is_some_and(|s| !s.local[pt.lane]) {
+                            self.shard_foreign_events += 1;
+                        }
                         let cix = iter as usize * self.num_packs + pack;
-                        let n = self.q_bounds.len();
+                        let quorum = self.collective_quorum();
                         let slot = self
                             .collectives
                             .get_mut(cix)
@@ -2487,7 +2666,7 @@ impl<'a> SimExecutor<'a> {
                                 ExecError::Plan(format!("unknown collective {pack}@{iter}"))
                             })?;
                         slot.outstanding -= 1;
-                        if slot.outstanding == 0 && slot.arrived as usize == n {
+                        if slot.outstanding == 0 && slot.arrived as usize == quorum {
                             self.finish_collective(iter, pack)?;
                         }
                     }
@@ -2498,11 +2677,29 @@ impl<'a> SimExecutor<'a> {
                 }
             }
             Completion::Timer { tag } => {
-                // Tags at/above the bias are resilience retries; below the
-                // fault count they are injected faults; others are inert.
+                // Tags at/above the bias are resilience retries; the shard
+                // band below it carries sharded-run control timers; below
+                // the fault count they are injected faults; others inert.
                 if tag >= RETRY_TAG_BIAS {
                     self.handle_retry_timer(tag)?;
+                } else if self.shard.is_some() && tag >= SHARD_SYNC_TAG {
+                    // Control timers exist only in sharded runs: always
+                    // foreign to the merged event count. The sync tick is
+                    // inert (it only advanced the clock); a GO tag lifts
+                    // the collective barrier every shard agreed on.
+                    self.shard_foreign_events += 1;
+                    if tag >= SHARD_GO_TAG_BIAS {
+                        let cix = (tag - SHARD_GO_TAG_BIAS) as usize;
+                        let iter = (cix / self.num_packs) as u32;
+                        let pack = cix % self.num_packs;
+                        self.issue_collective_ring(iter, pack)?;
+                    }
                 } else if let Some(tf) = self.faults.get(tag as usize).copied() {
+                    // Fault timers fire in every shard (shared fault list);
+                    // shard 0 owns them in the merged count.
+                    if self.shard.as_ref().is_some_and(|s| s.shard_index != 0) {
+                        self.shard_foreign_events += 1;
+                    }
                     self.apply_fault(tf.fault)?;
                     // A fault can unblock (or re-block) anything: capacity
                     // and rate changes have global reach. Rare, so the full

@@ -35,6 +35,7 @@ pub mod exec;
 pub mod obs;
 pub mod plan;
 pub mod pp;
+pub mod shard;
 pub mod slab;
 pub mod tuner;
 
@@ -44,4 +45,5 @@ pub use exec::{ExecCounters, ExecError, SimExecutor};
 pub use obs::{ExecContext, ExecEvent, ExecObserver, Fault, TimedFault};
 pub use plan::{ExecutionPlan, WorkItem};
 pub use pp::{partition_packs, plan_baseline_pp, plan_harmony_pp, PartitionObjective};
+pub use shard::{run_sharded, ShardReport, ShardRunConfig};
 pub use slab::{Slab, SlabError, SlabHandle};

@@ -1,0 +1,456 @@
+//! Sharded data-parallel execution (DESIGN §12).
+//!
+//! [`run_sharded`] partitions a replica-aligned [`ExecutionPlan`] along
+//! its replica axis, runs each partition through its own [`SimExecutor`]
+//! on its own OS thread, and reassembles one whole-run trace and
+//! [`RunSummary`] that is **byte-identical** to the unsharded executor's
+//! output — the first time `harmony-parallel` machinery runs *inside* a
+//! single run rather than around whole runs.
+//!
+//! ## Why this is sound
+//!
+//! * **Partition boundary = contention boundary.** Shards are unions of
+//!   *contention atoms*: connected components of GPUs that share a
+//!   host-route channel. Replica-aligned DP traffic (fetches, evictions,
+//!   flushes) never leaves a GPU's own host routes, so traffic from
+//!   different shards never shares a channel and per-shard fair-share
+//!   bandwidth math reproduces the global run exactly. A topology where
+//!   all GPUs share one switch uplink is a single atom — the shard count
+//!   is clamped and the run falls back to the ordinary executor rather
+//!   than silently diverging.
+//! * **Collectives are rendezvous points.** A GPU arrives at an
+//!   AllReduce only when its network is locally quiescent, so the shards
+//!   agree (via [`ShardBarrier`]) on the globally latest arrival time
+//!   and *every* shard issues the full N-hop ring at that instant — the
+//!   hop timeline is identical everywhere, and each hop span/completion
+//!   is attributed to its owner shard at merge time.
+//! * **The final flush is a rendezvous too.** Shards drain their local
+//!   queues at different local times; a last barrier + inert sync timer
+//!   advances every shard's clock to the global drain time before
+//!   [`SimExecutor`] flushes dirty state, so flush spans and `sim_secs`
+//!   match the unsharded run.
+//!
+//! The merge itself ([`harmony_trace::merge`]) is a stable k-way merge
+//! on the span key `(end-bits, wave, lane)` with owner filtering;
+//! summaries merge by per-GPU/per-channel ownership. The simulator's
+//! wave-major, lane-major same-instant order — both labels shard-
+//! invariant, and the rendezvous carries `(time, wave)` so control
+//! timers re-enter the whole run's wave — makes that key reproduce the
+//! unsharded emission order; the execdiff harness additionally *proves*
+//! byte equality per tested configuration.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Condvar, Mutex};
+
+use harmony_models::ModelSpec;
+use harmony_topology::{ChannelId, Endpoint, Topology};
+use harmony_trace::merge::{merge_summaries, merge_traces, MergeSpec};
+use harmony_trace::{summary::RunSummary, Trace};
+
+use crate::exec::{ExecCounters, ExecError, SimExecutor};
+use crate::obs::TimedFault;
+use crate::plan::{ExecutionPlan, WorkItem};
+
+/// A rendezvous round. Every shard must arrive at the *same* round — the
+/// key cross-checks the protocol itself (a mismatch means the plan was
+/// not actually replica-aligned and poisons the barrier).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Round {
+    /// The AllReduce barrier of `(iter, pack)`.
+    Collective {
+        /// Iteration index.
+        iter: u32,
+        /// Pack index.
+        pack: usize,
+    },
+    /// The end-of-run rendezvous before the dirty-state flush.
+    Final,
+}
+
+/// Per-shard context installed into a [`SimExecutor`].
+pub(crate) struct ShardCtx {
+    /// Rendezvous barrier shared by all shards of the run.
+    pub barrier: Arc<ShardBarrier>,
+    /// `local[g]` — GPU `g`'s replica belongs to this shard.
+    pub local: Vec<bool>,
+    /// Number of local replicas (the collective quorum).
+    pub local_n: usize,
+    /// This shard's index (shard 0 owns fault timers and unowned channels).
+    pub shard_index: usize,
+}
+
+#[derive(Default)]
+struct BarrierState {
+    arrived: usize,
+    key: Option<Round>,
+    t_max: (f64, u32),
+    release: (f64, u32),
+    generation: u64,
+    poison: Option<String>,
+}
+
+/// A reusable rendezvous barrier over virtual time: each round, every
+/// shard arrives with its local clock and intra-instant wave, and all of
+/// them are released with the lexicographic `(time, wave)` maximum — the
+/// instant *and causal phase* the unsharded run would act at (its
+/// barrier logic runs inside the handler of the globally last arrival,
+/// whose wave is exactly that maximum). Poisonable, so one shard's
+/// failure (error or panic) releases the others instead of deadlocking
+/// them mid-round.
+pub(crate) struct ShardBarrier {
+    shards: usize,
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+}
+
+impl ShardBarrier {
+    fn new(shards: usize) -> Self {
+        ShardBarrier {
+            shards,
+            state: Mutex::new(BarrierState::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until all shards arrive at `round`; returns the maximum
+    /// `(arrival time, wave)`, or the poison message if a peer failed.
+    pub(crate) fn arrive(&self, round: Round, t: (f64, u32)) -> Result<(f64, u32), String> {
+        let later = |a: (f64, u32), b: (f64, u32)| -> bool {
+            a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).is_gt()
+        };
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(m) = &st.poison {
+            return Err(m.clone());
+        }
+        if st.arrived == 0 {
+            st.key = Some(round);
+            st.t_max = t;
+        } else if st.key != Some(round) {
+            let m = format!(
+                "shard rendezvous mismatch: {:?} vs {:?} (plan not replica-aligned?)",
+                st.key, round
+            );
+            st.poison = Some(m.clone());
+            self.cv.notify_all();
+            return Err(m);
+        } else if later(t, st.t_max) {
+            st.t_max = t;
+        }
+        st.arrived += 1;
+        if st.arrived == self.shards {
+            st.arrived = 0;
+            st.key = None;
+            st.release = st.t_max;
+            st.generation += 1;
+            self.cv.notify_all();
+            return Ok(st.release);
+        }
+        let gen = st.generation;
+        loop {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            if let Some(m) = &st.poison {
+                return Err(m.clone());
+            }
+            if st.generation != gen {
+                return Ok(st.release);
+            }
+        }
+    }
+
+    /// Marks the run failed and releases every waiter (first message wins).
+    pub(crate) fn poison(&self, msg: &str) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.poison.is_none() {
+            st.poison = Some(msg.to_string());
+        }
+        self.cv.notify_all();
+    }
+}
+
+/// Configuration of a sharded run, mirroring the pre-run knobs the
+/// harness applies to a plain [`SimExecutor`].
+#[derive(Debug, Clone, Copy)]
+pub struct ShardRunConfig<'f> {
+    /// Back-to-back plan replays ([`SimExecutor::with_iterations`]).
+    pub iterations: u32,
+    /// Requested shard count; clamped to the number of contention atoms
+    /// (1 ⇒ the ordinary unsharded executor runs instead).
+    pub shards: usize,
+    /// Injected faults (shared by every shard; shard 0 owns their timers).
+    pub faults: &'f [TimedFault],
+    /// Resilience-layer seed ([`SimExecutor::enable_resilience`]).
+    pub resilience: Option<u64>,
+}
+
+/// What a sharded run actually did, alongside the merged outputs.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardReport {
+    /// Shards that ran after clamping (1 = fell back to unsharded).
+    pub shards_used: usize,
+    /// Structural counters summed across shards (`slab_high_water` is the
+    /// per-shard maximum). Diagnostic only — sharded counters legitimately
+    /// differ from unsharded ones (every shard simulates the full ring).
+    pub counters: ExecCounters,
+}
+
+/// A shard thread's result: the merged inputs, a real failure with its
+/// virtual-time position, or a barrier wait cut short by a failing peer.
+enum ShardOut {
+    Done(Box<(RunSummary, Trace, ExecCounters)>),
+    Failed { at: f64, error: ExecError },
+    PeerAborted,
+}
+
+/// True when the plan's queues map one replica to one GPU and never run
+/// another replica's tasks — the shape `run_sharded` can partition.
+/// Pipeline plans (shared replica 0 across GPUs) are not shardable.
+fn replica_aligned(plan: &ExecutionPlan) -> bool {
+    plan.replicas == plan.queues.len()
+        && plan.queues.iter().enumerate().all(|(g, q)| {
+            q.iter().all(|item| match item {
+                WorkItem::Task { replica, .. } => *replica == g,
+                WorkItem::AllReduce { .. } => true,
+            })
+        })
+}
+
+/// Assigns each GPU its *contention atom*: connected components under
+/// "shares a host-route channel", numbered by first appearance. Replica
+/// traffic stays on host routes, so distinct atoms never contend.
+fn contention_atoms(topo: &Topology, n: usize) -> Result<Vec<usize>, ExecError> {
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let mut chan_rep: HashMap<ChannelId, usize> = HashMap::new();
+    for g in 0..n {
+        for (src, dst) in [
+            (Endpoint::Host, Endpoint::Gpu(g)),
+            (Endpoint::Gpu(g), Endpoint::Host),
+        ] {
+            for &c in topo.route(src, dst)? {
+                match chan_rep.get(&c) {
+                    Some(&o) => {
+                        let (a, b) = (find(&mut parent, g), find(&mut parent, o));
+                        parent[a.max(b)] = a.min(b);
+                    }
+                    None => {
+                        chan_rep.insert(c, g);
+                    }
+                }
+            }
+        }
+    }
+    let mut atom_of_root: HashMap<usize, usize> = HashMap::new();
+    let mut atoms = Vec::with_capacity(n);
+    for g in 0..n {
+        let r = find(&mut parent, g);
+        let next = atom_of_root.len();
+        atoms.push(*atom_of_root.entry(r).or_insert(next));
+    }
+    Ok(atoms)
+}
+
+/// The unsharded fallback, configured exactly as the harness configures a
+/// plain executor — so clamped runs are bit-for-bit ordinary runs.
+fn run_unsharded(
+    topo: &Topology,
+    model: &ModelSpec,
+    plan: &ExecutionPlan,
+    cfg: &ShardRunConfig<'_>,
+) -> Result<(RunSummary, Trace, ShardReport), ExecError> {
+    let mut exec = SimExecutor::with_iterations(topo, model, plan, cfg.iterations)?;
+    exec.inject_faults(cfg.faults)?;
+    if let Some(seed) = cfg.resilience {
+        exec.enable_resilience(seed);
+    }
+    let (summary, trace, counters) = exec.run_counted()?;
+    Ok((
+        summary,
+        trace,
+        ShardReport {
+            shards_used: 1,
+            counters,
+        },
+    ))
+}
+
+/// Runs `plan` sharded across `cfg.shards` threads of the
+/// `harmony-parallel` pool and merges the result; byte-identical to
+/// [`SimExecutor::run_counted`] on the same inputs (trace and summary;
+/// see module docs). Errors reproduce the unsharded run's first failure:
+/// shards report the virtual time they failed at and the earliest
+/// `(time, shard)` wins, which is the unsharded order because shard state
+/// is identical to the whole run up to that instant.
+///
+/// Plans that are not replica-aligned (pipeline schemes) are a typed
+/// [`ExecError::Plan`] when `cfg.shards > 1` — sharding them is not
+/// meaningful, and silently falling back would misreport a scaling sweep.
+pub fn run_sharded(
+    topo: &Topology,
+    model: &ModelSpec,
+    plan: &ExecutionPlan,
+    cfg: &ShardRunConfig<'_>,
+) -> Result<(RunSummary, Trace, ShardReport), ExecError> {
+    let wall = std::time::Instant::now();
+    let n = plan.queues.len();
+    // Single shard, trivial plans, or a GPU-count mismatch (let the
+    // ordinary constructor produce its own error): no shard machinery —
+    // even the rendezvous indirection must not run, so S=1 is exactly
+    // the ordinary executor.
+    if cfg.shards <= 1 || n <= 1 || n > topo.num_gpus() {
+        return run_unsharded(topo, model, plan, cfg);
+    }
+    plan.validate().map_err(ExecError::Plan)?;
+    if !replica_aligned(plan) {
+        return Err(ExecError::Plan(format!(
+            "cannot shard `{}`: queues are not replica-aligned (pipeline schemes share one replica across GPUs)",
+            plan.name
+        )));
+    }
+    let atoms = contention_atoms(topo, n)?;
+    let num_atoms = atoms.iter().copied().max().map_or(1, |m| m + 1);
+    let shards = cfg.shards.min(num_atoms);
+    if shards <= 1 {
+        return run_unsharded(topo, model, plan, cfg);
+    }
+    // Contiguous balanced grouping of atoms onto shards.
+    let (base, rem) = (num_atoms / shards, num_atoms % shards);
+    let mut atom_shard = vec![0usize; num_atoms];
+    let mut next = 0;
+    for (s, slot) in (0..shards).map(|s| (s, base + usize::from(s < rem))) {
+        for a in &mut atom_shard[next..next + slot] {
+            *a = s;
+        }
+        next += slot;
+    }
+    let lane_owner: Vec<usize> = atoms.iter().map(|&a| atom_shard[a]).collect();
+    // Channel ownership follows the lane owner of the GPU whose host
+    // routes use the channel (consistent within an atom by construction);
+    // channels outside every host route carry only ring-hop traffic,
+    // which every shard simulates identically, so the merge's shard-0
+    // default for them is exact.
+    let mut channel_owner: BTreeMap<String, usize> = BTreeMap::new();
+    for (g, &owner) in lane_owner.iter().enumerate() {
+        for (src, dst) in [
+            (Endpoint::Host, Endpoint::Gpu(g)),
+            (Endpoint::Gpu(g), Endpoint::Host),
+        ] {
+            for &c in topo.route(src, dst)? {
+                channel_owner.insert(topo.channels()[c].name.clone(), owner);
+            }
+        }
+    }
+    // Every shard runs the FULL plan — foreign lanes are simply never
+    // woken (the executor's `wake`/`advance` skip them). Emptying foreign
+    // queues instead would change the future-use table the eviction
+    // policy reads (its per-key runs are filled queue-major across *all*
+    // queues, and AllReduce items contribute entries for every replica),
+    // silently shifting next-use hints and with them victim choice.
+    let barrier = Arc::new(ShardBarrier::new(shards));
+    let tasks: Vec<_> = (0..shards)
+        .map(|s| {
+            let barrier = Arc::clone(&barrier);
+            let local: Vec<bool> = lane_owner.iter().map(|&o| o == s).collect();
+            let local_n = local.iter().filter(|&&b| b).count();
+            let cfg = *cfg;
+            move || {
+                // A panicking shard must release its peers, not strand
+                // them mid-rendezvous; `join_all` then re-raises the
+                // panic after every thread has been joined.
+                struct PoisonOnPanic(Arc<ShardBarrier>);
+                impl Drop for PoisonOnPanic {
+                    fn drop(&mut self) {
+                        if std::thread::panicking() {
+                            self.0.poison("peer shard panicked");
+                        }
+                    }
+                }
+                let _guard = PoisonOnPanic(Arc::clone(&barrier));
+                let run = || -> Result<(RunSummary, Trace, ExecCounters), (f64, ExecError)> {
+                    let mut exec =
+                        SimExecutor::with_iterations_unchecked(topo, model, plan, cfg.iterations)
+                            .map_err(|e| (0.0, e))?;
+                    exec.inject_faults(cfg.faults).map_err(|e| (0.0, e))?;
+                    if let Some(seed) = cfg.resilience {
+                        exec.enable_resilience(seed);
+                    }
+                    exec.set_shard_ctx(ShardCtx {
+                        barrier: Arc::clone(&barrier),
+                        local,
+                        local_n,
+                        shard_index: s,
+                    });
+                    exec.run_core().map_err(|e| (exec.sim_now(), e))?;
+                    let summary = exec.build_summary(0.0);
+                    let (trace, counters) = exec.take_parts();
+                    Ok((summary, trace, counters))
+                };
+                match run() {
+                    Ok(parts) => ShardOut::Done(Box::new(parts)),
+                    Err((_, ExecError::ShardAborted(_))) => ShardOut::PeerAborted,
+                    Err((at, error)) => {
+                        barrier.poison(&error.to_string());
+                        ShardOut::Failed { at, error }
+                    }
+                }
+            }
+        })
+        .collect();
+    let outs = harmony_parallel::join_all(tasks);
+    // Earliest failure in (virtual time, shard index) order is the error
+    // the unsharded run would have hit first.
+    let mut failed: Option<(f64, ExecError)> = None;
+    let mut parts: Vec<(RunSummary, Trace, ExecCounters)> = Vec::new();
+    for out in outs {
+        match out {
+            ShardOut::Done(b) => parts.push(*b),
+            ShardOut::PeerAborted => {}
+            ShardOut::Failed { at, error } => {
+                if failed.as_ref().is_none_or(|(t, _)| at.total_cmp(t).is_lt()) {
+                    failed = Some((at, error));
+                }
+            }
+        }
+    }
+    if let Some((_, e)) = failed {
+        return Err(e);
+    }
+    if parts.len() != shards {
+        return Err(ExecError::Plan(
+            "internal: shard aborted without a failing peer".to_string(),
+        ));
+    }
+    let spec = MergeSpec {
+        lane_owner,
+        channel_owner,
+    };
+    let mut summaries = Vec::with_capacity(parts.len());
+    let mut traces = Vec::with_capacity(parts.len());
+    let mut counters = ExecCounters::default();
+    for (s, t, c) in parts {
+        summaries.push(s);
+        traces.push(t);
+        counters.advance_calls += c.advance_calls;
+        counters.wake_set_hits += c.wake_set_hits;
+        counters.spurious_wakes += c.spurious_wakes;
+        counters.label_interns += c.label_interns;
+        counters.slab_high_water = counters.slab_high_water.max(c.slab_high_water);
+        counters.slab_fresh_allocs += c.slab_fresh_allocs;
+    }
+    let mut summary = merge_summaries(&summaries, &spec);
+    let trace = merge_traces(&traces, &spec);
+    summary.elapsed_secs = wall.elapsed().as_secs_f64();
+    Ok((
+        summary,
+        trace,
+        ShardReport {
+            shards_used: shards,
+            counters,
+        },
+    ))
+}

@@ -45,7 +45,7 @@ fn main() {
             // Varied sizes so completions interleave and every arrival /
             // departure re-shares the bottleneck uplink.
             let bytes = (1 + (i as u64 % 17)) * 100_000_000;
-            s.start_transfer(&routes[g], bytes, (wave * transfers + i) as u64)
+            s.start_transfer(&routes[g], bytes, (wave * transfers + i) as u64, g as u32)
                 .expect("transfer");
         }
         while s.next().is_some() {

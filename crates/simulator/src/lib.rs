@@ -57,9 +57,17 @@
 //! virtual time and receive completions — the structure of Harmony's
 //! *online* task-and-swap scheduler.
 //!
-//! Determinism: ties in the event queue are broken by submission sequence
-//! number, simultaneous transfer completions resolve lowest-id-first, and
-//! no wall-clock or randomness enters the engine.
+//! Determinism: same-instant events order canonically by
+//! `(wave, lane, event-kind rank, submission seq)` — the wave counts
+//! intra-instant causal phases (events spawned while the instant's own
+//! handlers run join a later wave) and the lane is the driver's logical
+//! lane (GPU index), so the cross-lane order at an instant is a
+//! function of each lane's own causal history, never of global
+//! submission interleaving. Simultaneous transfer completions resolve
+//! lowest-`(wave, lane, id)`-first. No wall clock or randomness enters
+//! the engine. The wave-major, then lane-major canonical order is what
+//! lets the sharded executor (DESIGN §12) reproduce a whole run's event
+//! order from per-shard simulations.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -67,7 +75,7 @@
 pub mod stats;
 
 use std::cmp::{Ordering, Reverse};
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
 
 use harmony_topology::{ChannelId, Topology};
 
@@ -133,9 +141,36 @@ enum EventKind {
     Timer { tag: u64 },
 }
 
+impl EventKind {
+    /// Canonical within-(time, lane) rank: timers fire first (fault
+    /// injection precedes the work it perturbs, matching the old
+    /// seq-order behaviour where fault timers carry the lowest seqs),
+    /// then compute completions, then network deliveries (a kernel's
+    /// completion is typically submitted before the network check that
+    /// races it, so this also matches the common old order).
+    fn rank(self) -> u8 {
+        match self {
+            EventKind::Timer { .. } => 0,
+            EventKind::ComputeDone { .. } => 1,
+            EventKind::NetworkCheck { .. } => 2,
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Event {
     time: SimTime,
+    /// Intra-instant causality wave (see [`Event::cmp`]): 0 for events
+    /// scheduled from an earlier instant, `w + 1` for events spawned at
+    /// the current instant while a wave-`w` event was being processed.
+    /// Waves make the same-instant order *spawn-phased*: everything
+    /// already due when the instant opens fires (lane-major) before
+    /// anything the instant's own handlers create.
+    wave: u32,
+    /// Canonical ordering lane (see [`Event::cmp`]): the submitting
+    /// driver's logical lane (GPU index for compute and lane-attributed
+    /// transfers/timers; [`CONTROL_LANE`] for cross-lane control).
+    lane: u32,
     seq: u64,
     kind: EventKind,
 }
@@ -153,22 +188,38 @@ impl PartialOrd for Event {
 }
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Min-heap: earlier time first, then lower seq. `total_cmp` keeps
-        // the heap a total order even for adversarial times; non-finite
-        // times are rejected at every submission site so none can enter.
+        // Min-heap: earlier time first; same-instant events order by
+        // (wave, lane, kind rank, seq). The wave/lane keys make the
+        // same-instant order *canonical* — spawn-phase-major, then a
+        // function of each lane's own history, never of global
+        // submission interleaving — which is what lets a sharded run
+        // (DESIGN §12) reproduce the whole run's event order from
+        // per-shard simulations. `total_cmp` keeps the heap a total
+        // order even for adversarial times; non-finite times are
+        // rejected at every submission site so none can enter.
         other
             .time
             .total_cmp(&self.time)
+            .then(other.wave.cmp(&self.wave))
+            .then(other.lane.cmp(&self.lane))
+            .then(other.kind.rank().cmp(&self.kind.rank()))
             .then(other.seq.cmp(&self.seq))
     }
 }
 
+/// Heap lane for events that belong to no single lane (used for
+/// cross-lane control timers): sorts after every real lane at the same
+/// instant.
+pub const CONTROL_LANE: u32 = u32::MAX;
+
 /// A flight member awaiting departure: `(departure threshold bits, id,
-/// tag)`. The threshold is a non-negative finite f64 whose raw bit
-/// pattern preserves numeric order, so the derived lexicographic `Ord`
-/// is exactly "earliest departure first, lowest id first" — ids are
-/// unique, so `tag` never decides.
-type Member = (u64, TransferId, u64);
+/// tag, lane)`. The threshold is a non-negative finite f64 whose raw
+/// bit pattern preserves numeric order, so the derived lexicographic
+/// `Ord` is exactly "earliest departure first, lowest id first" — ids
+/// are unique, so `tag` and `lane` never decide. The lane rides along
+/// for the cross-flight delivery order (see
+/// [`Simulator::pick_candidate`]).
+type Member = (u64, TransferId, u64, u32);
 
 /// A route class: every in-flight transfer with this exact channel route.
 /// All members share one fair-share rate at every instant, so byte
@@ -186,6 +237,11 @@ struct Flight {
     /// Cached predicted time of the earliest member departure (`+inf`
     /// when empty). Refreshed whenever the rate or the head changes.
     pred: SimTime,
+    /// Wave at which a *due* prediction fires: 0 when `pred` lies in the
+    /// future (it opens its own instant), the spawning wave + 1 when a
+    /// refresh pinned `pred` to the current instant (the head became due
+    /// mid-instant and must not outrun completions already due).
+    pred_wave: u32,
     /// Members ordered by `(depart, id)`; departures are immutable, so
     /// entries are never invalidated or reordered.
     queue: BinaryHeap<Reverse<Member>>,
@@ -203,10 +259,12 @@ impl Flight {
 
     /// Refreshes the cached prediction. Must be called at `touch == now`
     /// (immediately after a materialization or an insert/removal).
-    fn refresh_pred(&mut self, now: SimTime) {
+    /// `due_wave` is the wave a due-right-now prediction belongs to
+    /// (the caller's spawn wave); future predictions reset to wave 0.
+    fn refresh_pred(&mut self, now: SimTime, due_wave: u32) {
         self.pred = match self.queue.peek() {
             None => f64::INFINITY,
-            Some(&Reverse((bits, _, _))) => {
+            Some(&Reverse((bits, _, _, _))) => {
                 let rem = f64::from_bits(bits) - self.drained;
                 // A transfer carries whole bytes, so a sub-byte remainder
                 // is floating-point residue of an already-finished
@@ -221,6 +279,7 @@ impl Flight {
                 }
             }
         };
+        self.pred_wave = if self.pred <= now { due_wave } else { 0 };
     }
 }
 
@@ -240,6 +299,15 @@ fn derive_rate(channel_bw: &[f64], active: &[u32], route: &[ChannelId]) -> f64 {
 struct GpuStream {
     busy: bool,
     queue: VecDeque<(f64, u64)>, // (duration, tag)
+}
+
+/// What the network check delivers next: the due completion with the
+/// lowest `(wave, lane, id)`, which is either a pending immediate (by
+/// its map key) or the head of a due flight (by index).
+#[derive(Debug, Clone, Copy)]
+enum Candidate {
+    Immediate((u32, u32, TransferId)),
+    Flight(usize),
 }
 
 /// The discrete-event engine. See module docs.
@@ -271,12 +339,27 @@ pub struct Simulator {
     route_scratch: Vec<ChannelId>,
     /// Number of in-flight transfers with a non-empty route.
     routed: usize,
-    /// Tags of pending zero-byte/empty-route transfers, delivered through
-    /// timer events at the current time.
-    immediates: HashMap<TransferId, u64>,
+    /// Tags of pending zero-byte/empty-route transfers, keyed by
+    /// `(wave, lane, id)` — the wave is the spawn wave at insertion.
+    /// They are delivered through the network-check path: at any
+    /// instant, all due completions — immediate or routed — are handed
+    /// out in ascending `(wave, lane, id)`. That total order depends
+    /// only on spawn phase and each lane's own issue order, never on
+    /// event-heap sequence numbers or cross-lane interleaving, which is
+    /// what lets a sharded run (DESIGN §12) reproduce the whole run's
+    /// span order from per-shard simulations.
+    immediates: BTreeMap<(u32, u32, TransferId), u64>,
     next_transfer_id: TransferId,
     net_generation: u64,
-    last_net_update: SimTime,
+    /// Wave of the event currently being processed (the last pop);
+    /// pushes at the same instant join wave `cur_wave + 1`.
+    cur_wave: u32,
+    /// Whether any event has been popped yet: pre-run submissions at
+    /// `t == 0` are wave 0, not spawns of a phantom instant.
+    popped: bool,
+    /// Per-channel busy-accrual watermark: the last time each channel's
+    /// own activity (start/finish/cancel/bandwidth change) was accounted.
+    last_busy_update: Vec<SimTime>,
     stats: SimStats,
     counters: NetCounters,
 }
@@ -315,10 +398,12 @@ impl Simulator {
             affected_scratch: Vec::new(),
             route_scratch: Vec::new(),
             routed: 0,
-            immediates: HashMap::new(),
+            immediates: BTreeMap::new(),
             next_transfer_id: 0,
             net_generation: 0,
-            last_net_update: 0.0,
+            cur_wave: 0,
+            popped: false,
+            last_busy_update: vec![0.0; topology.channels().len()],
             stats: SimStats::new(topology.num_gpus(), topology.channels().len()),
             counters: NetCounters::default(),
         }
@@ -327,6 +412,15 @@ impl Simulator {
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Intra-instant wave of the event behind the completion most
+    /// recently returned by [`Self::next`] (0 before any pop). Drivers
+    /// stamp trace spans with it: together with the span's end time and
+    /// lane it reconstructs the global emission order from per-shard
+    /// runs (see the trace crate's merge module).
+    pub fn current_wave(&self) -> u32 {
+        self.cur_wave
     }
 
     /// Number of bandwidth channels.
@@ -358,7 +452,7 @@ impl Simulator {
         if !(bandwidth.is_finite() && bandwidth > 0.0) {
             return Err(SimError::InvalidParameter(format!("bandwidth {bandwidth}")));
         }
-        self.advance_busy_time();
+        self.accrue_busy_time(&[channel]);
         self.channel_bw[channel] = bandwidth;
         let affected = self.collect_affected(&[channel]);
         self.recompute_flights(&affected);
@@ -380,11 +474,33 @@ impl Simulator {
         &self.counters
     }
 
-    fn push(&mut self, time: SimTime, kind: EventKind) {
+    /// Wave that an event spawned at `time` belongs to: `cur_wave + 1`
+    /// when spawned at the instant being processed, 0 when it opens an
+    /// instant of its own.
+    fn spawn_wave(&self, time: SimTime) -> u32 {
+        if self.popped && time == self.now {
+            self.cur_wave + 1
+        } else {
+            0
+        }
+    }
+
+    fn push(&mut self, time: SimTime, lane: u32, kind: EventKind) {
+        let wave = self.spawn_wave(time);
+        self.push_at_wave(time, wave, lane, kind);
+    }
+
+    fn push_at_wave(&mut self, time: SimTime, wave: u32, lane: u32, kind: EventKind) {
         debug_assert!(time.is_finite(), "non-finite event time");
         let seq = self.seq;
         self.seq += 1;
-        self.events.push(Event { time, seq, kind });
+        self.events.push(Event {
+            time,
+            wave,
+            lane,
+            seq,
+            kind,
+        });
     }
 
     /// Submits a compute kernel of `secs` duration to `gpu`'s FIFO stream.
@@ -399,16 +515,19 @@ impl Simulator {
             stream.busy = true;
             self.stats.gpu_busy_secs[gpu] += secs;
             let t = self.now + secs;
-            self.push(t, EventKind::ComputeDone { gpu, tag });
+            self.push(t, gpu as u32, EventKind::ComputeDone { gpu, tag });
         }
         Ok(())
     }
 
-    // Immediate (zero-byte) transfers are delivered through timer events
-    // with tags above this bias; real timer tags must stay below it.
+    // Reserved ceiling for user timer tags (immediate transfers formerly
+    // rode timer events above this bias; they now deliver through the
+    // network-check path so same-instant completions stay id-ordered).
     const IMMEDIATE_BIAS: u64 = 1 << 62;
 
-    /// Starts a transfer of `bytes` along `route` (ordered channels).
+    /// Starts a transfer of `bytes` along `route` (ordered channels),
+    /// attributed to ordering lane `lane` (the driver's logical lane —
+    /// same-instant completions deliver in ascending `(wave, lane, id)`).
     /// Returns its id; completion carries `tag`. A zero-byte transfer or an
     /// empty route (same-device move) completes at the current time.
     pub fn start_transfer(
@@ -416,6 +535,7 @@ impl Simulator {
         route: &[ChannelId],
         bytes: u64,
         tag: u64,
+        lane: u32,
     ) -> Result<TransferId, SimError> {
         for &c in route {
             if c >= self.channel_bw.len() {
@@ -425,16 +545,15 @@ impl Simulator {
         let id = self.next_transfer_id;
         self.next_transfer_id += 1;
         if bytes == 0 || route.is_empty() {
-            self.immediates.insert(id, tag);
-            self.push(
-                self.now,
-                EventKind::Timer {
-                    tag: Self::IMMEDIATE_BIAS + id,
-                },
-            );
+            // Queue for the network-check path: it completes "now", but
+            // in ascending-(wave, lane, id) order with every other due
+            // completion.
+            let wave = self.spawn_wave(self.now);
+            self.immediates.insert((wave, lane, id), tag);
+            self.schedule_network_check();
             return Ok(id);
         }
-        self.advance_busy_time();
+        self.accrue_busy_time(route);
         for &c in route {
             self.stats.channel_bytes[c] += bytes;
             self.active[c] += 1;
@@ -460,8 +579,9 @@ impl Simulator {
         let depart = bytes as f64 + f.drained;
         debug_assert!(depart >= 0.0 && depart.is_finite());
         self.counters.queue_pushes += 1;
-        f.queue.push(Reverse((depart.to_bits(), id, tag)));
-        f.refresh_pred(self.now);
+        f.queue.push(Reverse((depart.to_bits(), id, tag, lane)));
+        let due_wave = self.spawn_wave(self.now);
+        self.flights[k].refresh_pred(self.now, due_wave);
         self.schedule_network_check();
         Ok(id)
     }
@@ -498,6 +618,7 @@ impl Simulator {
         class: usize,
         bytes: u64,
         tag: u64,
+        lane: u32,
     ) -> Result<TransferId, SimError> {
         if class >= self.flights.len() {
             return Err(SimError::InvalidParameter(format!(
@@ -511,10 +632,10 @@ impl Simulator {
         }
         let id = self.next_transfer_id;
         self.next_transfer_id += 1;
-        self.advance_busy_time();
         let mut route = std::mem::take(&mut self.route_scratch);
         route.clear();
         route.extend_from_slice(&self.flights[class].route);
+        self.accrue_busy_time(&route);
         for &c in &route {
             self.stats.channel_bytes[c] += bytes;
             self.active[c] += 1;
@@ -535,15 +656,17 @@ impl Simulator {
         let depart = bytes as f64 + f.drained;
         debug_assert!(depart >= 0.0 && depart.is_finite());
         self.counters.queue_pushes += 1;
-        f.queue.push(Reverse((depart.to_bits(), id, tag)));
-        f.refresh_pred(self.now);
+        f.queue.push(Reverse((depart.to_bits(), id, tag, lane)));
+        let due_wave = self.spawn_wave(self.now);
+        self.flights[class].refresh_pred(self.now, due_wave);
         self.schedule_network_check();
         Ok(id)
     }
 
-    /// Schedules a timer at absolute time `at` (clamped to now).
-    /// `tag` must be below `2^62`.
-    pub fn set_timer(&mut self, at: SimTime, tag: u64) -> Result<(), SimError> {
+    /// Schedules a timer at absolute time `at` (clamped to now) on
+    /// ordering lane `lane` ([`CONTROL_LANE`] sorts after every real
+    /// lane at the same instant). `tag` must be below `2^62`.
+    pub fn set_timer(&mut self, at: SimTime, tag: u64, lane: u32) -> Result<(), SimError> {
         if !at.is_finite() {
             return Err(SimError::InvalidParameter(format!("time {at}")));
         }
@@ -553,7 +676,32 @@ impl Simulator {
             )));
         }
         let t = at.max(self.now);
-        self.push(t, EventKind::Timer { tag });
+        self.push(t, lane, EventKind::Timer { tag });
+        Ok(())
+    }
+
+    /// Like [`Self::set_timer`], but pins the timer's intra-instant wave
+    /// instead of deriving it from the spawning context. Sharded-run
+    /// control timers use this to re-enter the wave the *whole* run
+    /// would act at (the rendezvous carries `(time, wave)`), so the
+    /// events they spawn get whole-run wave labels.
+    pub fn set_timer_at_wave(
+        &mut self,
+        at: SimTime,
+        tag: u64,
+        lane: u32,
+        wave: u32,
+    ) -> Result<(), SimError> {
+        if !at.is_finite() {
+            return Err(SimError::InvalidParameter(format!("time {at}")));
+        }
+        if tag >= Self::IMMEDIATE_BIAS {
+            return Err(SimError::InvalidParameter(format!(
+                "timer tag {tag} too large"
+            )));
+        }
+        let t = at.max(self.now);
+        self.push_at_wave(t, wave, lane, EventKind::Timer { tag });
         Ok(())
     }
 
@@ -575,19 +723,23 @@ impl Simulator {
     /// only on the rare fault path, so the hot path carries no tombstone
     /// state for it.
     pub fn cancel_transfer(&mut self, id: TransferId) -> Result<bool, SimError> {
-        if self.immediates.remove(&id).is_some() {
-            // Its queued immediate-delivery event finds no entry and is
-            // skipped (the same inert-event pattern `next` already uses).
+        if let Some(&key) = self.immediates.keys().find(|&&(_, _, i)| i == id) {
+            // The pending network check simply finds one fewer candidate;
+            // if none remain it reschedules itself away.
+            self.immediates.remove(&key);
             return Ok(true);
         }
         let Some(k) = self
             .flights
             .iter()
-            .position(|f| f.queue.iter().any(|&Reverse((_, m, _))| m == id))
+            .position(|f| f.queue.iter().any(|&Reverse((_, m, _, _))| m == id))
         else {
             return Ok(false);
         };
-        self.advance_busy_time();
+        let mut route = std::mem::take(&mut self.route_scratch);
+        route.clear();
+        route.extend_from_slice(&self.flights[k].route);
+        self.accrue_busy_time(&route);
         // Credit drain up to now under the old rate, then rebuild the
         // member heap without the victim. Departure thresholds are
         // immutable, so the survivors' order is untouched.
@@ -595,11 +747,8 @@ impl Simulator {
         let members = std::mem::take(&mut self.flights[k].queue);
         self.flights[k].queue = members
             .into_iter()
-            .filter(|&Reverse((_, m, _))| m != id)
+            .filter(|&Reverse((_, m, _, _))| m != id)
             .collect();
-        let mut route = std::mem::take(&mut self.route_scratch);
-        route.clear();
-        route.extend_from_slice(&self.flights[k].route);
         for &c in &route {
             self.active[c] -= 1;
         }
@@ -612,7 +761,8 @@ impl Simulator {
         // hence `recompute_flights`' no-op check) is unchanged — e.g. the
         // flight's other channels still bottleneck it — so the cached
         // prediction must be refreshed unconditionally.
-        self.flights[k].refresh_pred(self.now);
+        let due_wave = self.spawn_wave(self.now);
+        self.flights[k].refresh_pred(self.now, due_wave);
         self.schedule_network_check();
         Ok(true)
     }
@@ -638,6 +788,7 @@ impl Simulator {
             rate: 0.0,
             touch: self.now,
             pred: f64::INFINITY,
+            pred_wave: 0,
             queue: BinaryHeap::new(),
         });
         self.flight_epoch.push(0);
@@ -648,19 +799,24 @@ impl Simulator {
         k
     }
 
-    /// Advances per-channel busy-time accounting to `now`. A channel is
-    /// busy while any transfer uses it — exactly when its active count is
-    /// nonzero. O(channels), independent of in-flight transfer count.
-    fn advance_busy_time(&mut self) {
-        let dt = self.now - self.last_net_update;
-        if dt > 0.0 && self.routed > 0 {
-            for (c, &n) in self.active.iter().enumerate() {
-                if n > 0 {
-                    self.stats.channel_busy_secs[c] += dt;
-                }
+    /// Advances busy-time accounting for `channels` to `now`. A channel
+    /// is busy while any transfer uses it — exactly when its active count
+    /// is nonzero. Accrual happens only at a channel's *own* transitions
+    /// (a transfer starting, finishing or cancelling on it, or a
+    /// bandwidth change), so each channel's floating-point accumulation
+    /// order is a function of its own event times alone — activity on
+    /// disjoint channels cannot re-partition the sum. That independence
+    /// is what lets the sharded executor (DESIGN §12) reproduce the
+    /// unsharded run's busy figures bit-for-bit from per-shard
+    /// simulators. O(route length) per event.
+    fn accrue_busy_time(&mut self, channels: &[ChannelId]) {
+        for &c in channels {
+            let dt = self.now - self.last_busy_update[c];
+            if dt > 0.0 && self.active[c] > 0 {
+                self.stats.channel_busy_secs[c] += dt;
             }
+            self.last_busy_update[c] = self.now;
         }
-        self.last_net_update = self.now;
     }
 
     /// The flights whose fair-share rate may have changed after an event
@@ -705,6 +861,7 @@ impl Simulator {
     /// credited under the old rate — then the new rate and prediction are
     /// installed.
     fn recompute_flights(&mut self, affected: &[usize]) {
+        let due_wave = self.spawn_wave(self.now);
         for &k in affected {
             self.counters.rate_recomputes += 1;
             let f = &mut self.flights[k];
@@ -714,48 +871,81 @@ impl Simulator {
             }
             f.materialize(self.now);
             f.rate = rate;
-            f.refresh_pred(self.now);
+            f.refresh_pred(self.now, due_wave);
         }
     }
 
     /// Schedules the next network check at the earliest flight prediction
     /// (clamped to now), stamped with a fresh generation so checks
-    /// scheduled before this recomputation are ignored. O(flights) in
-    /// both modes — the flight count is bounded by distinct routes, not
-    /// by in-flight transfers.
+    /// scheduled before this recomputation are ignored. The event's heap
+    /// lane mirrors the candidate [`Self::pick_candidate`] will deliver
+    /// at that time — any later state change reschedules with a fresh
+    /// generation, so the stamp cannot go stale. O(flights) in both
+    /// modes — the flight count is bounded by distinct routes, not by
+    /// in-flight transfers.
     fn schedule_network_check(&mut self) {
         self.net_generation += 1;
         let generation = self.net_generation;
-        if self.routed == 0 {
+        if self.routed == 0 && self.immediates.is_empty() {
             return;
         }
-        let mut min_pred = f64::INFINITY;
+        // A pending immediate is due right away; routed flights at their
+        // predicted head departure.
+        let mut min_pred = if self.immediates.is_empty() {
+            f64::INFINITY
+        } else {
+            self.now
+        };
         for f in &self.flights {
             min_pred = min_pred.min(f.pred);
         }
         if min_pred.is_finite() {
             let at = min_pred.max(self.now);
-            self.push(at, EventKind::NetworkCheck { generation });
+            let mut best: Option<(u32, u32, TransferId)> = self.immediates.keys().next().copied();
+            for f in &self.flights {
+                if f.pred <= at {
+                    if let Some(&Reverse((_, id, _, lane))) = f.queue.peek() {
+                        let key = (f.pred_wave, lane, id);
+                        if best.is_none_or(|b| key < b) {
+                            best = Some(key);
+                        }
+                    }
+                }
+            }
+            // The check rides the wave and lane of the candidate it will
+            // deliver, so delivery never outruns (or lags) its phase.
+            let (wave, lane) = best.map_or((0, 0), |(w, l, _)| (w, l));
+            self.push_at_wave(at, wave, lane, EventKind::NetworkCheck { generation });
         }
     }
 
-    /// The flight whose head departs at the current time, if any: among
-    /// due flights (`pred <= now`), the one with the lowest head transfer
-    /// id. One completion per check event keeps ordering deterministic;
-    /// remaining due heads are delivered by the rescheduled check at the
-    /// same virtual time.
-    fn pick_candidate(&self) -> Option<usize> {
-        let mut best: Option<(TransferId, usize)> = None;
+    /// The completion due at the current time with the lowest
+    /// `(wave, lane, id)`, if any: the head of a due flight
+    /// (`pred <= now`) or a pending immediate (always due). One
+    /// completion per check event keeps ordering deterministic;
+    /// remaining due completions are delivered by the rescheduled check
+    /// at the same virtual time. Ascending-(wave, lane, id) delivery
+    /// makes the same-instant order spawn-phase-major, then lane-major,
+    /// with each lane's sub-order a function of its own issue order
+    /// alone — the property the sharded merge (DESIGN §12) relies on.
+    fn pick_candidate(&self) -> Option<Candidate> {
+        let mut best: Option<((u32, u32, TransferId), usize)> = None;
         for (k, f) in self.flights.iter().enumerate() {
             if f.pred <= self.now {
-                if let Some(&Reverse((_, id, _))) = f.queue.peek() {
-                    if best.is_none_or(|(bid, _)| id < bid) {
-                        best = Some((id, k));
+                if let Some(&Reverse((_, id, _, lane))) = f.queue.peek() {
+                    let key = (f.pred_wave, lane, id);
+                    if best.is_none_or(|(b, _)| key < b) {
+                        best = Some((key, k));
                     }
                 }
             }
         }
-        best.map(|(_, k)| k)
+        match (self.immediates.keys().next().copied(), best) {
+            (Some(i), Some((b, _))) if i < b => Some(Candidate::Immediate(i)),
+            (_, Some((_, k))) => Some(Candidate::Flight(k)),
+            (Some(i), None) => Some(Candidate::Immediate(i)),
+            (None, None) => None,
+        }
     }
 
     /// Advances virtual time to the next completion and returns it, or
@@ -771,13 +961,15 @@ impl Simulator {
             match ev.kind {
                 EventKind::ComputeDone { gpu, tag } => {
                     self.now = self.now.max(ev.time);
+                    self.cur_wave = ev.wave;
+                    self.popped = true;
                     // Start next queued kernel, if any.
                     let next = self.streams[gpu].queue.pop_front();
                     match next {
                         Some((secs, next_tag)) => {
                             self.stats.gpu_busy_secs[gpu] += secs;
                             let t = self.now + secs;
-                            self.push(t, EventKind::ComputeDone { gpu, tag: next_tag });
+                            self.push(t, gpu as u32, EventKind::ComputeDone { gpu, tag: next_tag });
                         }
                         None => self.streams[gpu].busy = false,
                     }
@@ -785,13 +977,8 @@ impl Simulator {
                 }
                 EventKind::Timer { tag } => {
                     self.now = self.now.max(ev.time);
-                    if tag >= Self::IMMEDIATE_BIAS {
-                        let id = tag - Self::IMMEDIATE_BIAS;
-                        if let Some(user_tag) = self.immediates.remove(&id) {
-                            return Some((self.now, Completion::Transfer { id, tag: user_tag }));
-                        }
-                        continue;
-                    }
+                    self.cur_wave = ev.wave;
+                    self.popped = true;
                     return Some((self.now, Completion::Timer { tag }));
                 }
                 EventKind::NetworkCheck { generation } => {
@@ -800,12 +987,29 @@ impl Simulator {
                     }
                     self.counters.network_checks += 1;
                     self.now = self.now.max(ev.time);
-                    self.advance_busy_time();
+                    self.popped = true;
+                    // The event's own wave only ordered the check in the
+                    // heap; the wave the run observes is the *delivered
+                    // candidate's* — the check may deliver a different
+                    // completion than the one it was scheduled for.
                     match self.pick_candidate() {
-                        Some(k) => {
+                        Some(Candidate::Immediate(key)) => {
+                            self.cur_wave = key.0;
+                            let tag = self
+                                .immediates
+                                .remove(&key)
+                                .expect("pick_candidate returned a pending immediate");
+                            // No channel state to release (never routed);
+                            // later due completions ride the reschedule.
+                            self.schedule_network_check();
+                            let (_, _, id) = key;
+                            return Some((self.now, Completion::Transfer { id, tag }));
+                        }
+                        Some(Candidate::Flight(k)) => {
+                            self.cur_wave = self.flights[k].pred_wave;
                             let f = &mut self.flights[k];
                             f.materialize(self.now);
-                            let Reverse((_, id, tag)) = f.queue.pop().expect(
+                            let Reverse((_, id, tag, _)) = f.queue.pop().expect(
                                 "invariant: pick_candidate only returns flights with a \
                                  finite pred, and pred is finite only while the \
                                  flight's transfer queue is non-empty",
@@ -819,6 +1023,7 @@ impl Simulator {
                             let mut route = std::mem::take(&mut self.route_scratch);
                             route.clear();
                             route.extend_from_slice(&self.flights[k].route);
+                            self.accrue_busy_time(&route);
                             for &c in &route {
                                 self.active[c] -= 1;
                             }

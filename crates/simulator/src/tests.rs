@@ -30,7 +30,7 @@ fn single_transfer_runs_at_bottleneck_rate() {
     let (mut s, topo) = sim();
     let route = topo.route(Endpoint::Gpu(0), Endpoint::Host).unwrap();
     // 12 GB over a 12 GB/s path → 1 s.
-    s.start_transfer(route, (12.0 * GBPS) as u64, 7).unwrap();
+    s.start_transfer(route, (12.0 * GBPS) as u64, 7, 0).unwrap();
     let (t, c) = s.next().unwrap();
     assert!(matches!(c, Completion::Transfer { tag: 7, .. }));
     assert!((t - 1.0).abs() < 1e-6, "t = {t}");
@@ -48,8 +48,8 @@ fn shared_uplink_halves_rates() {
         .unwrap()
         .to_vec();
     // Two 12 GB swap-outs share the single 12 GB/s uplink → 2 s each.
-    s.start_transfer(&r0, (12.0 * GBPS) as u64, 1).unwrap();
-    s.start_transfer(&r1, (12.0 * GBPS) as u64, 2).unwrap();
+    s.start_transfer(&r0, (12.0 * GBPS) as u64, 1, 0).unwrap();
+    s.start_transfer(&r1, (12.0 * GBPS) as u64, 2, 0).unwrap();
     let (t1, _) = s.next().unwrap();
     let (t2, _) = s.next().unwrap();
     assert!((t1 - 2.0).abs() < 1e-6, "t1 = {t1}");
@@ -67,8 +67,8 @@ fn p2p_does_not_contend_with_host_swap() {
         .route(Endpoint::Gpu(2), Endpoint::Gpu(3))
         .unwrap()
         .to_vec();
-    s.start_transfer(&host, (12.0 * GBPS) as u64, 1).unwrap();
-    s.start_transfer(&p2p, (12.0 * GBPS) as u64, 2).unwrap();
+    s.start_transfer(&host, (12.0 * GBPS) as u64, 1, 0).unwrap();
+    s.start_transfer(&p2p, (12.0 * GBPS) as u64, 2, 0).unwrap();
     // Disjoint channels → both finish at 1 s.
     let (t1, _) = s.next().unwrap();
     let (t2, _) = s.next().unwrap();
@@ -90,8 +90,8 @@ fn rates_rise_when_a_competitor_finishes() {
     // 6 GB and 12 GB share the uplink: first finishes at 1 s (6 GB/s
     // each); the second then speeds up: remaining 6 GB at 12 GB/s →
     // total 1.5 s.
-    s.start_transfer(&r0, (6.0 * GBPS) as u64, 1).unwrap();
-    s.start_transfer(&r1, (12.0 * GBPS) as u64, 2).unwrap();
+    s.start_transfer(&r0, (6.0 * GBPS) as u64, 1, 0).unwrap();
+    s.start_transfer(&r1, (12.0 * GBPS) as u64, 2, 0).unwrap();
     let (t1, c1) = s.next().unwrap();
     assert!(matches!(c1, Completion::Transfer { tag: 1, .. }));
     assert!((t1 - 1.0).abs() < 1e-6, "t1 = {t1}");
@@ -104,7 +104,7 @@ fn rates_rise_when_a_competitor_finishes() {
 fn zero_byte_transfer_completes_now() {
     let (mut s, topo) = sim();
     let route = topo.route(Endpoint::Gpu(0), Endpoint::Host).unwrap();
-    s.start_transfer(route, 0, 9).unwrap();
+    s.start_transfer(route, 0, 9, 0).unwrap();
     let (t, c) = s.next().unwrap();
     assert_eq!(t, 0.0);
     assert!(matches!(c, Completion::Transfer { tag: 9, .. }));
@@ -113,8 +113,8 @@ fn zero_byte_transfer_completes_now() {
 #[test]
 fn timers_fire_in_order() {
     let (mut s, _) = sim();
-    s.set_timer(5.0, 1).unwrap();
-    s.set_timer(2.0, 2).unwrap();
+    s.set_timer(5.0, 1, 0).unwrap();
+    s.set_timer(2.0, 2, 0).unwrap();
     assert_eq!(s.next().unwrap().1, Completion::Timer { tag: 2 });
     assert_eq!(s.next().unwrap().1, Completion::Timer { tag: 1 });
     assert!(s.idle());
@@ -125,8 +125,8 @@ fn invalid_params_are_rejected() {
     let (mut s, _) = sim();
     assert!(s.submit_compute(99, 1.0, 0).is_err());
     assert!(s.submit_compute(0, f64::NAN, 0).is_err());
-    assert!(s.start_transfer(&[9999], 10, 0).is_err());
-    assert!(s.set_timer(f64::INFINITY, 0).is_err());
+    assert!(s.start_transfer(&[9999], 10, 0, 0).is_err());
+    assert!(s.set_timer(f64::INFINITY, 0, 0).is_err());
 }
 
 /// NaN/∞ times are rejected at every submission site, so the event
@@ -139,16 +139,16 @@ fn nan_times_rejected_at_submission() {
     assert!(s.submit_compute(0, f64::NAN, 1).is_err());
     assert!(s.submit_compute(0, f64::INFINITY, 1).is_err());
     assert!(s.submit_compute(0, -1.0, 1).is_err());
-    assert!(s.set_timer(f64::NAN, 1).is_err());
-    assert!(s.set_timer(f64::NEG_INFINITY, 1).is_err());
+    assert!(s.set_timer(f64::NAN, 1, 0).is_err());
+    assert!(s.set_timer(f64::NEG_INFINITY, 1, 0).is_err());
     assert!(s.set_channel_bandwidth(0, f64::NAN).is_err());
     assert!(s.set_channel_bandwidth(0, 0.0).is_err());
     assert!(s.set_channel_bandwidth(0, -3.0).is_err());
     // The engine stays consistent after the rejections: a normal script
     // still runs to completion in order.
     let route = topo.route(Endpoint::Gpu(0), Endpoint::Host).unwrap();
-    s.set_timer(0.5, 2).unwrap();
-    s.start_transfer(route, (12.0 * GBPS) as u64, 3).unwrap();
+    s.set_timer(0.5, 2, 0).unwrap();
+    s.start_transfer(route, (12.0 * GBPS) as u64, 3, 0).unwrap();
     assert_eq!(s.next().unwrap().1, Completion::Timer { tag: 2 });
     assert!(matches!(
         s.next().unwrap().1,
@@ -165,7 +165,8 @@ fn stats_accumulate() {
         .unwrap()
         .to_vec();
     s.submit_compute(0, 2.0, 1).unwrap();
-    s.start_transfer(&route, (12.0 * GBPS) as u64, 2).unwrap();
+    s.start_transfer(&route, (12.0 * GBPS) as u64, 2, 0)
+        .unwrap();
     while s.next().is_some() {}
     assert!((s.stats().gpu_busy_secs[0] - 2.0).abs() < 1e-9);
     let total_bytes: u64 = s.stats().channel_bytes.iter().sum();
@@ -193,8 +194,8 @@ fn drift_residue_completes_and_releases_bandwidth() {
     // 20/3 s, and 1.5 × fl(20/3) > 10 in f64: guaranteed sub-byte
     // overshoot when the second flight is materialized.
     s.set_channel_bandwidth(uplink, 3.0).unwrap();
-    s.start_transfer(&r0, 10, 1).unwrap();
-    s.start_transfer(&r1, 10, 2).unwrap();
+    s.start_transfer(&r0, 10, 1, 0).unwrap();
+    s.start_transfer(&r1, 10, 2, 0).unwrap();
     let (t1, c1) = s.next().unwrap();
     let (t2, c2) = s.next().unwrap();
     assert!(matches!(c1, Completion::Transfer { tag: 1, .. }));
@@ -204,7 +205,7 @@ fn drift_residue_completes_and_releases_bandwidth() {
     assert!(s.next().is_none(), "no respinning ghost events");
     // The ghost released its share: a fresh transfer gets the full
     // 3 B/s uplink (30 B → 10 s), not a drifted half share.
-    s.start_transfer(&r0, 30, 3).unwrap();
+    s.start_transfer(&r0, 30, 3, 0).unwrap();
     let (t3, c3) = s.next().unwrap();
     assert!(matches!(c3, Completion::Transfer { tag: 3, .. }));
     assert!((t3 - (t2 + 10.0)).abs() < 1e-6, "t3 = {t3}");
@@ -221,9 +222,9 @@ fn active_counts_drain_to_zero() {
             .route(Endpoint::Gpu(g), Endpoint::Host)
             .unwrap()
             .to_vec();
-        s.start_transfer(&r, 1_000_000 * (g as u64 + 1), g as u64)
+        s.start_transfer(&r, 1_000_000 * (g as u64 + 1), g as u64, 0)
             .unwrap();
-        s.start_transfer(&r, 0, 100 + g as u64).unwrap();
+        s.start_transfer(&r, 0, 100 + g as u64, 0).unwrap();
     }
     assert_eq!(s.routed, 4);
     assert!(s.active.iter().any(|&n| n > 0));
@@ -257,11 +258,11 @@ fn unrelated_routes_do_not_rescan_the_flight() {
         .to_vec();
     let population = 64;
     for i in 0..population {
-        s.start_transfer(&host, 1 << 30, i).unwrap();
+        s.start_transfer(&host, 1 << 30, i, 0).unwrap();
     }
     let before = s.net_counters().rate_recomputes;
     // Start + drain one transfer on a disjoint route.
-    s.start_transfer(&p2p, 1 << 20, 999).unwrap();
+    s.start_transfer(&p2p, 1 << 20, 999, 0).unwrap();
     let (_, c) = s.next().unwrap();
     assert!(matches!(c, Completion::Transfer { tag: 999, .. }));
     let delta = s.net_counters().rate_recomputes - before;
@@ -286,10 +287,10 @@ fn set_channel_bandwidth_touches_only_affected_transfers() {
         .unwrap()
         .to_vec();
     for i in 0..8 {
-        s.start_transfer(&host, 1 << 30, i).unwrap();
+        s.start_transfer(&host, 1 << 30, i, 0).unwrap();
     }
-    s.start_transfer(&p2p, 1 << 30, 100).unwrap();
-    s.start_transfer(&p2p, 1 << 30, 101).unwrap();
+    s.start_transfer(&p2p, 1 << 30, 100, 0).unwrap();
+    s.start_transfer(&p2p, 1 << 30, 101, 0).unwrap();
     let before = s.net_counters().rate_recomputes;
     // Degrade the p2p link: only the p2p flight crosses it.
     s.set_channel_bandwidth(p2p[0], GBPS).unwrap();
@@ -320,7 +321,7 @@ fn fast_matches_dense_reference() {
                 .route(Endpoint::Gpu(g), Endpoint::Host)
                 .unwrap()
                 .to_vec();
-            s.start_transfer(&r, 3_000_000_000 * (g as u64 + 1), 100 + g as u64)
+            s.start_transfer(&r, 3_000_000_000 * (g as u64 + 1), 100 + g as u64, 0)
                 .unwrap();
         }
         for _ in 0..3 {
@@ -354,7 +355,7 @@ fn determinism_same_script_same_trace() {
                 .route(Endpoint::Gpu(g), Endpoint::Host)
                 .unwrap()
                 .to_vec();
-            s.start_transfer(&r, 1_000_000_000 * (g as u64 + 1), 100 + g as u64)
+            s.start_transfer(&r, 1_000_000_000 * (g as u64 + 1), 100 + g as u64, 0)
                 .unwrap();
         }
         let mut trace = Vec::new();
@@ -380,8 +381,8 @@ fn cancel_releases_bandwidth_share() {
     // Two 12 GB swap-outs share the 12 GB/s uplink; cancelling one at
     // t=0 restores the survivor's full share → it completes at 1 s, not
     // the contended 2 s.
-    let victim = s.start_transfer(&r0, (12.0 * GBPS) as u64, 1).unwrap();
-    s.start_transfer(&r1, (12.0 * GBPS) as u64, 2).unwrap();
+    let victim = s.start_transfer(&r0, (12.0 * GBPS) as u64, 1, 0).unwrap();
+    s.start_transfer(&r1, (12.0 * GBPS) as u64, 2, 0).unwrap();
     assert!(s.cancel_transfer(victim).unwrap());
     let (t, c) = s.next().unwrap();
     assert!(matches!(c, Completion::Transfer { tag: 2, .. }));
@@ -403,9 +404,9 @@ fn cancel_mid_flight_keeps_survivor_progress() {
     // drains at 6 GB/s per member. Park a timer at 0.5 s so we can
     // cancel mid-flight: 3 GB each moved, 3 GB left for the survivor at
     // a restored 12 GB/s → completion at 0.75 s.
-    let victim = s.start_transfer(&r, (6.0 * GBPS) as u64, 1).unwrap();
-    s.start_transfer(&r, (6.0 * GBPS) as u64, 2).unwrap();
-    s.set_timer(0.5, 9).unwrap();
+    let victim = s.start_transfer(&r, (6.0 * GBPS) as u64, 1, 0).unwrap();
+    s.start_transfer(&r, (6.0 * GBPS) as u64, 2, 0).unwrap();
+    s.set_timer(0.5, 9, 0).unwrap();
     let (t, c) = s.next().unwrap();
     assert_eq!(c, Completion::Timer { tag: 9 });
     assert!((t - 0.5).abs() < 1e-9);
@@ -420,11 +421,11 @@ fn cancel_immediate_and_unknown_transfers() {
     let (mut s, _) = sim();
     // Zero-byte transfers are queued as immediates: cancellable until
     // delivered, and their queued event becomes inert.
-    let id = s.start_transfer(&[], 0, 5).unwrap();
+    let id = s.start_transfer(&[], 0, 5, 0).unwrap();
     assert!(s.cancel_transfer(id).unwrap());
     assert!(s.next().is_none(), "cancelled immediate must not deliver");
     // A completed transfer is no longer cancellable.
-    let id = s.start_transfer(&[], 0, 6).unwrap();
+    let id = s.start_transfer(&[], 0, 6, 0).unwrap();
     let (_, c) = s.next().unwrap();
     assert!(matches!(c, Completion::Transfer { tag: 6, .. }));
     assert!(!s.cancel_transfer(id).unwrap());
@@ -450,11 +451,11 @@ fn cancel_matches_dense_reference() {
                 .unwrap()
                 .to_vec();
             ids.push(
-                s.start_transfer(&r, 2_000_000_000 * (g as u64 + 1), 100 + g as u64)
+                s.start_transfer(&r, 2_000_000_000 * (g as u64 + 1), 100 + g as u64, 0)
                     .unwrap(),
             );
         }
-        s.set_timer(0.2, 50).unwrap();
+        s.set_timer(0.2, 50, 0).unwrap();
         let mut trace = Vec::new();
         let (t, c) = s.next().unwrap();
         trace.push((t.to_bits(), format!("{c:?}")));

@@ -54,7 +54,7 @@ fn run(jobs: &[Job], n: usize) -> (Vec<(u64, String)>, f64, u64) {
                     .to_vec();
                 let b = mb as u64 * 1_000_000;
                 issued_bytes += b * route.len() as u64;
-                sim.start_transfer(&route, b, i as u64).unwrap();
+                sim.start_transfer(&route, b, i as u64, 0).unwrap();
                 expected += 1;
             }
             Job::FromHost { gpu, mb } => {
@@ -64,7 +64,7 @@ fn run(jobs: &[Job], n: usize) -> (Vec<(u64, String)>, f64, u64) {
                     .to_vec();
                 let b = mb as u64 * 1_000_000;
                 issued_bytes += b * route.len() as u64;
-                sim.start_transfer(&route, b, i as u64).unwrap();
+                sim.start_transfer(&route, b, i as u64, 0).unwrap();
                 expected += 1;
             }
             Job::P2p { src, dst, mb } => {
@@ -75,7 +75,7 @@ fn run(jobs: &[Job], n: usize) -> (Vec<(u64, String)>, f64, u64) {
                         .to_vec();
                     let b = mb as u64 * 1_000_000;
                     issued_bytes += b * route.len() as u64;
-                    sim.start_transfer(&route, b, i as u64).unwrap();
+                    sim.start_transfer(&route, b, i as u64, 0).unwrap();
                     expected += 1;
                 }
             }
@@ -116,10 +116,10 @@ proptest! {
         let mut sim = Simulator::new(&t);
         let route = t.route(Endpoint::Gpu(gpu), Endpoint::Host).unwrap().to_vec();
         let bytes = mb as u64 * 1_000_000;
-        sim.start_transfer(&route, bytes, 999).unwrap();
+        sim.start_transfer(&route, bytes, 999, 0).unwrap();
         for (i, (g, emb)) in extra.iter().enumerate() {
             let r = t.route(Endpoint::Gpu(*g), Endpoint::Host).unwrap().to_vec();
-            sim.start_transfer(&r, *emb as u64 * 1_000_000, i as u64).unwrap();
+            sim.start_transfer(&r, *emb as u64 * 1_000_000, i as u64, 0).unwrap();
         }
         let ideal = t
             .ideal_transfer_secs(Endpoint::Gpu(gpu), Endpoint::Host, bytes)

@@ -1,0 +1,324 @@
+//! Deterministic cross-shard merge of traces and run summaries.
+//!
+//! The sharded executor (DESIGN §12) runs the replicas of one
+//! data-parallel plan through per-shard `SimExecutor` instances and
+//! reassembles a single run from their outputs. Each shard simulates its
+//! own GPUs exactly as the unsharded executor would (their channels are
+//! disjoint and collectives rendezvous at barriers), and additionally
+//! observes every collective ring hop — so reassembly is a matter of
+//! ownership plus ordering:
+//!
+//! * Every span and every counter is **owned** by exactly one shard —
+//!   the shard whose GPUs produced it. Collective hops, which every
+//!   shard records identically, are owned by the shard of their source
+//!   lane; that dedups them in the merge.
+//! * Owned span streams are each in the unsharded recording order
+//!   restricted to their lanes (recording order is completion-pop order,
+//!   monotone in span end time). The simulator pops same-instant events
+//!   in ascending `(wave, lane)` order — the *wave* is the intra-instant
+//!   spawn phase: events scheduled from an earlier instant are wave 0,
+//!   and an event spawned while a wave-*w* handler runs joins wave
+//!   *w* + 1 (e.g. the zero-length fetches a finished collective wakes).
+//!   Both labels are shard-invariant — the wave counts causal phases and
+//!   the lane is the producing GPU — and the executor stamps each span
+//!   with its emitting event's wave. A stable k-way merge keyed on
+//!   `(end, wave, lane)` — bit-exact `f64` end comparison, within-shard
+//!   order preserved — therefore reconstructs the exact interleaving;
+//!   lane ownership is unique, so no two shards contribute the same key.
+//!
+//! The functions here are pure data-plumbing over [`Trace`] and
+//! [`RunSummary`]; which shard owns which lane/channel is the
+//! scheduler's knowledge, passed in as a [`MergeSpec`].
+
+use std::collections::BTreeMap;
+
+use crate::summary::{ResilienceMode, ResilienceOutcome, RunSummary};
+use crate::Trace;
+
+/// Ownership map for a sharded run: which shard's output is
+/// authoritative for each GPU lane and each channel.
+#[derive(Debug, Clone)]
+pub struct MergeSpec {
+    /// Owning shard index per GPU lane (index = lane).
+    pub lane_owner: Vec<usize>,
+    /// Owning shard index per channel name. Channels absent from the map
+    /// (never used, or carrying only collective traffic every shard
+    /// accounts identically) default to shard 0.
+    pub channel_owner: BTreeMap<String, usize>,
+}
+
+impl MergeSpec {
+    fn owner_of_lane(&self, lane: Option<usize>) -> usize {
+        lane.and_then(|g| self.lane_owner.get(g).copied())
+            .unwrap_or(0)
+    }
+}
+
+/// Merges per-shard traces into the single trace of the logical run.
+///
+/// Keeps from each shard only the spans it owns (per
+/// [`MergeSpec::lane_owner`]; lane-less spans belong to shard 0), then
+/// interleaves the streams by `(end, wave, lane)` with a bit-exact end
+/// comparison, preserving within-shard order and breaking residual
+/// cross-shard ties toward the lower shard index. Labels are re-interned
+/// into the output trace in merged span order — label *text* is what the
+/// JSON export carries, so symbol-table numbering is free to differ from
+/// the unsharded run's.
+pub fn merge_traces(parts: &[Trace], spec: &MergeSpec) -> Trace {
+    let mut out = Trace::new(parts.first().map(|t| t.name.as_str()).unwrap_or(""));
+    // Per-shard cursors over owned spans only.
+    let owned: Vec<Vec<usize>> = parts
+        .iter()
+        .enumerate()
+        .map(|(s, t)| {
+            (0..t.spans.len())
+                .filter(|&i| spec.owner_of_lane(t.spans[i].gpu) == s)
+                .collect()
+        })
+        .collect();
+    out.reserve_spans(owned.iter().map(Vec::len).sum());
+    let mut cursor = vec![0usize; parts.len()];
+    loop {
+        let mut best: Option<(usize, (u64, u32, usize))> = None;
+        for (s, t) in parts.iter().enumerate() {
+            let Some(&i) = owned[s].get(cursor[s]) else {
+                continue;
+            };
+            let sp = &t.spans[i];
+            // Times are non-negative finite, so the IEEE bit patterns
+            // order exactly as the values do — and byte-exactly, which
+            // `f64: Ord` via epsilon comparisons could not guarantee.
+            let key = (sp.end.to_bits(), sp.wave, sp.gpu.map_or(usize::MAX, |g| g));
+            if best.is_none_or(|(_, bk)| key < bk) {
+                best = Some((s, key));
+            }
+        }
+        let Some((s, _)) = best else { break };
+        let i = owned[s][cursor[s]];
+        cursor[s] += 1;
+        let sp = parts[s].spans[i];
+        let label = out.intern(parts[s].label(&sp));
+        out.record_sym(sp.start, sp.end, sp.gpu, sp.kind, label, sp.wave);
+    }
+    out
+}
+
+/// Merges per-shard run summaries into the summary of the logical run.
+///
+/// Per-GPU vectors take each lane from its owning shard (foreign lanes
+/// are idle in a shard, so their entries are the registration-time
+/// zeros); global byte counters and event counts sum (each shard reports
+/// only owned events); per-channel busy times take each channel from its
+/// owning shard (bit-identical across shards for shared collective
+/// channels, thanks to the simulator's per-channel busy accrual);
+/// `sim_secs` is the latest shard clock. `elapsed_secs` is left at 0 —
+/// wall clock belongs to the caller that timed the whole sharded run.
+///
+/// `name`, `samples` and `demand_bytes` are plan-derived and identical
+/// in every part; they are taken from the first.
+pub fn merge_summaries(parts: &[RunSummary], spec: &MergeSpec) -> RunSummary {
+    let first = parts.first().expect("at least one shard");
+    let n = spec.lane_owner.len();
+    let pick = |f: fn(&RunSummary) -> &Vec<u64>| -> Vec<u64> {
+        (0..n).map(|g| f(&parts[spec.lane_owner[g]])[g]).collect()
+    };
+    let mut swap_by_class: BTreeMap<String, u64> = BTreeMap::new();
+    for p in parts {
+        for (k, v) in &p.swap_by_class {
+            *swap_by_class.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+    let channel_busy_secs: BTreeMap<String, f64> = first
+        .channel_busy_secs
+        .keys()
+        .map(|name| {
+            let owner = spec.channel_owner.get(name).copied().unwrap_or(0);
+            (name.clone(), parts[owner].channel_busy_secs[name])
+        })
+        .collect();
+    let armed: Vec<&ResilienceOutcome> =
+        parts.iter().filter_map(|p| p.resilience.as_ref()).collect();
+    let resilience = (!armed.is_empty()).then(|| ResilienceOutcome {
+        spill_events: armed.iter().map(|r| r.spill_events).sum(),
+        rerouted_transfers: armed.iter().map(|r| r.rerouted_transfers).sum(),
+        retries: armed.iter().map(|r| r.retries).sum(),
+        overcommits: armed.iter().map(|r| r.overcommits).sum(),
+        final_mode: if armed
+            .iter()
+            .any(|r| r.final_mode == ResilienceMode::Degraded)
+        {
+            ResilienceMode::Degraded
+        } else {
+            ResilienceMode::Normal
+        },
+    });
+    RunSummary {
+        name: first.name.clone(),
+        sim_secs: parts.iter().map(|p| p.sim_secs).fold(0.0, f64::max),
+        samples: first.samples,
+        swap_in_bytes: pick(|p| &p.swap_in_bytes),
+        swap_out_bytes: pick(|p| &p.swap_out_bytes),
+        p2p_bytes: parts.iter().map(|p| p.p2p_bytes).sum(),
+        peak_mem_bytes: pick(|p| &p.peak_mem_bytes),
+        demand_bytes: first.demand_bytes.clone(),
+        swap_by_class,
+        channel_busy_secs,
+        events_processed: parts.iter().map(|p| p.events_processed).sum(),
+        elapsed_secs: 0.0,
+        resilience,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpanKind;
+
+    fn spec2() -> MergeSpec {
+        MergeSpec {
+            lane_owner: vec![0, 1],
+            channel_owner: BTreeMap::from([
+                ("gpu0->host".to_string(), 0),
+                ("gpu1->host".to_string(), 1),
+            ]),
+        }
+    }
+
+    #[test]
+    fn merge_filters_foreign_lanes_and_orders_by_end_wave_lane() {
+        // Both shards record the symmetric hop pair (lanes 0 and 1); each
+        // also records its own compute. The merge must dedup the hops by
+        // lane ownership and interleave by (end, wave, lane).
+        let mut a = Trace::new("run");
+        a.record(0.0, 1.0, Some(0), SpanKind::Compute, "F g0");
+        a.record(1.0, 2.0, Some(0), SpanKind::Collective, "hop0");
+        a.record(1.0, 2.0, Some(1), SpanKind::Collective, "hop1");
+        let mut b = Trace::new("run");
+        b.record(0.0, 1.0, Some(1), SpanKind::Compute, "F g1");
+        b.record(1.0, 2.0, Some(0), SpanKind::Collective, "hop0");
+        b.record(1.0, 2.0, Some(1), SpanKind::Collective, "hop1");
+        let m = merge_traces(&[a, b], &spec2());
+        let got: Vec<(f64, f64, Option<usize>, String)> = m
+            .spans
+            .iter()
+            .map(|s| (s.start, s.end, s.gpu, m.label(s).to_string()))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                (0.0, 1.0, Some(0), "F g0".to_string()),
+                (0.0, 1.0, Some(1), "F g1".to_string()),
+                (1.0, 2.0, Some(0), "hop0".to_string()),
+                (1.0, 2.0, Some(1), "hop1".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn same_instant_waves_order_before_lanes() {
+        // Two spans end at the same instant, but the lane-0 span sits in
+        // a later wave (e.g. the zero-length fetch a finished collective
+        // spawned mid-instant). Waves emit before lanes: the merge keys
+        // (end, wave, lane), so the wave-0 lane-1 span comes first even
+        // though its lane number is higher.
+        let mut a = Trace::new("run");
+        let l0 = a.intern("late-wave g0");
+        a.record_sym(0.5, 1.0, Some(0), SpanKind::SwapIn, l0, 1);
+        let mut b = Trace::new("run");
+        let l1 = b.intern("early-wave g1");
+        b.record_sym(0.2, 1.0, Some(1), SpanKind::SwapIn, l1, 0);
+        let m = merge_traces(&[a, b], &spec2());
+        assert_eq!(m.label(&m.spans[0]), "early-wave g1");
+        assert_eq!(m.label(&m.spans[1]), "late-wave g0");
+        assert_eq!(m.spans[0].wave, 0, "merged spans keep their wave");
+        assert_eq!(m.spans[1].wave, 1);
+    }
+
+    #[test]
+    fn merge_is_stable_within_a_shard() {
+        // Shard 0 records two same-key spans in a known order; the merge
+        // must not swap them even though their keys are equal.
+        let mut a = Trace::new("run");
+        a.record(0.5, 1.0, Some(0), SpanKind::SwapIn, "first");
+        a.record(0.5, 1.0, Some(0), SpanKind::SwapOut, "second");
+        let b = Trace::new("run");
+        let m = merge_traces(&[a, b], &spec2());
+        assert_eq!(m.label(&m.spans[0]), "first");
+        assert_eq!(m.label(&m.spans[1]), "second");
+    }
+
+    #[test]
+    fn summary_merge_applies_ownership_rules() {
+        let mk = |swap_in: Vec<u64>, events: u64, busy: [f64; 2], sim: f64| RunSummary {
+            name: "run".into(),
+            sim_secs: sim,
+            samples: 8,
+            swap_in_bytes: swap_in,
+            swap_out_bytes: vec![0, 0],
+            p2p_bytes: 3,
+            peak_mem_bytes: vec![10, 20],
+            demand_bytes: vec![100, 100],
+            swap_by_class: BTreeMap::from([("weight".to_string(), 5)]),
+            channel_busy_secs: BTreeMap::from([
+                ("gpu0->host".to_string(), busy[0]),
+                ("gpu1->host".to_string(), busy[1]),
+            ]),
+            events_processed: events,
+            elapsed_secs: 9.9,
+            resilience: None,
+        };
+        let s0 = mk(vec![7, 0], 11, [1.5, 0.0], 2.0);
+        let s1 = mk(vec![0, 9], 22, [0.0, 2.5], 3.0);
+        let m = merge_summaries(&[s0, s1], &spec2());
+        assert_eq!(m.swap_in_bytes, vec![7, 9]);
+        assert_eq!(m.events_processed, 33);
+        assert_eq!(m.p2p_bytes, 6);
+        assert_eq!(m.swap_by_class["weight"], 10);
+        assert_eq!(m.channel_busy_secs["gpu0->host"], 1.5);
+        assert_eq!(m.channel_busy_secs["gpu1->host"], 2.5);
+        assert_eq!(m.sim_secs, 3.0);
+        assert_eq!(m.samples, 8);
+        assert_eq!(m.elapsed_secs, 0.0);
+        assert!(m.resilience.is_none());
+    }
+
+    #[test]
+    fn summary_merge_combines_resilience_outcomes() {
+        let base = RunSummary {
+            name: "run".into(),
+            sim_secs: 1.0,
+            samples: 1,
+            swap_in_bytes: vec![0, 0],
+            swap_out_bytes: vec![0, 0],
+            p2p_bytes: 0,
+            peak_mem_bytes: vec![0, 0],
+            demand_bytes: vec![0, 0],
+            swap_by_class: BTreeMap::new(),
+            channel_busy_secs: BTreeMap::new(),
+            events_processed: 0,
+            elapsed_secs: 0.0,
+            resilience: Some(ResilienceOutcome {
+                spill_events: 1,
+                rerouted_transfers: 0,
+                retries: 2,
+                overcommits: 0,
+                final_mode: ResilienceMode::Normal,
+            }),
+        };
+        let mut degraded = base.clone();
+        degraded.resilience = Some(ResilienceOutcome {
+            spill_events: 0,
+            rerouted_transfers: 4,
+            retries: 1,
+            overcommits: 1,
+            final_mode: ResilienceMode::Degraded,
+        });
+        let m = merge_summaries(&[base, degraded], &spec2());
+        let r = m.resilience.expect("armed in every shard");
+        assert_eq!(r.spill_events, 1);
+        assert_eq!(r.rerouted_transfers, 4);
+        assert_eq!(r.retries, 3);
+        assert_eq!(r.overcommits, 1);
+        assert_eq!(r.final_mode, ResilienceMode::Degraded);
+    }
+}
