@@ -11,7 +11,7 @@
 //! --help` output on error) to run an arbitrary model × scheme × server
 //! configuration.
 
-use harmony_bench::{custom, fault_sweep, figures, sweeps};
+use harmony_bench::{cli, custom, fault_sweep, figures, sweeps};
 
 /// Full subcommand listing, printed by `repro help` and on any unknown
 /// subcommand. Kept in one place so the two can't drift apart.
@@ -30,6 +30,9 @@ gates and sweeps:
   bench [--json] [--workers N]     sweep wall clock at 1 worker vs the pool;
                                    --json writes BENCH_sweeps.json
   exec-smoke [--grid]              executor hot path vs the dense reference
+  mem-smoke [--grid]               memory-manager hot path vs the frozen
+                                   dense core, plus the allocation-free
+                                   planning gate
   fault-sweep [--smoke] [--json] [--seed N]
                                    throughput under seeded fault plans with
                                    the resilience layer armed; --smoke gates
@@ -39,6 +42,15 @@ gates and sweeps:
                                    (see `repro custom --help`)
 
   help                             this text";
+
+/// Parses `args` against `spec` ([`cli::parse`]) or prints the
+/// diagnostic and exits 2 — the usage-error contract `tests/cli.rs` pins.
+fn parse_or_exit<'a>(spec: &cli::Spec, args: &'a [String]) -> cli::Parsed<'a> {
+    cli::parse(spec, args).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    })
+}
 
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
@@ -66,33 +78,9 @@ fn main() {
     }
     if arg == "bench" {
         let rest: Vec<String> = std::env::args().skip(2).collect();
-        let json = rest.iter().any(|a| a == "--json");
-        // `--workers` demands a value: a bare trailing flag must not
-        // silently fall back to the default pool size.
-        let workers = match rest.iter().position(|a| a == "--workers") {
-            None => 4,
-            Some(i) => match rest.get(i + 1) {
-                None => {
-                    eprintln!("--workers requires a value; expected [--json] [--workers N]");
-                    std::process::exit(2);
-                }
-                Some(s) => match s.parse::<usize>() {
-                    Ok(n) if n >= 1 => n,
-                    _ => {
-                        eprintln!("--workers takes a positive integer, got `{s}`");
-                        std::process::exit(2);
-                    }
-                },
-            },
-        };
-        if let Some(bad) = rest.iter().enumerate().find_map(|(i, a)| {
-            let is_workers_value =
-                i > 0 && rest[i - 1] == "--workers" && a.parse::<usize>().is_ok();
-            (a != "--json" && a != "--workers" && !is_workers_value).then_some(a)
-        }) {
-            eprintln!("unknown bench flag `{bad}`; expected [--json] [--workers N]");
-            std::process::exit(2);
-        }
+        let flags = parse_or_exit(&cli::BENCH, &rest);
+        let json = flags.has("--json");
+        let workers = flags.value("--workers").map_or(4, |n| n as usize);
         let report = sweeps::run(workers);
         println!("{}", report.render());
         if json {
@@ -119,11 +107,7 @@ fn main() {
         // Reject anything else: a typo like `--gird` must fail loudly,
         // not silently time the single-cell variant.
         let rest: Vec<String> = std::env::args().skip(2).collect();
-        if let Some(bad) = rest.iter().find(|a| a.as_str() != "--grid") {
-            eprintln!("unknown exec-smoke flag `{bad}`; expected [--grid]");
-            std::process::exit(2);
-        }
-        let full_grid = rest.iter().any(|a| a == "--grid");
+        let full_grid = parse_or_exit(&cli::EXEC_SMOKE, &rest).has("--grid");
         let points = if full_grid {
             sweeps::exec_hot_path_scaling()
         } else {
@@ -230,32 +214,109 @@ fn main() {
         }
         return;
     }
+    if arg == "mem-smoke" {
+        // The memory-manager hot path vs the frozen dense core at the
+        // largest grid cell (or the full grid with `--grid`) — the
+        // memory-scaling smoke `./verify` runs. Both legs are timed
+        // interleaved in the same process, so the gate is a same-moment
+        // ratio, not an absolute record exposed to host weather.
+        let rest: Vec<String> = std::env::args().skip(2).collect();
+        let full_grid = parse_or_exit(&cli::MEM_SMOKE, &rest).has("--grid");
+        let points = if full_grid {
+            sweeps::mem_hot_path_scaling()
+        } else {
+            let (r, m, n, it) = sweeps::MEM_HOT_PATH_SCALES[sweeps::MEM_HOT_PATH_SCALES.len() - 1];
+            vec![sweeps::mem_hot_path(r, m, n, it)]
+        };
+        for p in &points {
+            println!(
+                "mem_hot_path R={} m={} N={} iters={}: {:.0} events/s \
+                 ({} events in {:.3} s; dense core {:.0} events/s, {:.2}x speedup; \
+                 {} fresh plan allocs, {} victim pops)",
+                p.layers,
+                p.microbatches,
+                p.gpus,
+                p.iterations,
+                p.events_per_sec(),
+                p.events,
+                p.secs,
+                p.dense_mem_events_per_sec(),
+                p.speedup_vs_dense_mem(),
+                p.fresh_allocs,
+                p.victim_pops,
+            );
+        }
+        if points.iter().any(|p| p.events == 0 || p.secs <= 0.0) {
+            eprintln!("mem hot path produced no events or no wall clock");
+            std::process::exit(1);
+        }
+        let mut failed = false;
+        for p in &points {
+            let cell = format!(
+                "R={} m={} N={} iters={}",
+                p.layers, p.microbatches, p.gpus, p.iterations
+            );
+            // Perf gate: the rewrite must never run slower than the
+            // frozen core it replaced. The two legs interleave in one
+            // process, but a near-1.0 ratio can still wobble on a busy
+            // host, so a miss is re-measured after a settle — a real
+            // regression fails every window.
+            let mut point = p.clone();
+            let mut attempts = 1;
+            while point.speedup_vs_dense_mem() < 1.0 && attempts < 3 {
+                eprintln!(
+                    "mem planning gate miss at cell {cell}: {:.2}x vs dense core \
+                     (attempt {attempts}); re-measuring",
+                    point.speedup_vs_dense_mem(),
+                );
+                std::thread::sleep(std::time::Duration::from_millis(500));
+                point = sweeps::mem_hot_path(
+                    point.layers,
+                    point.microbatches,
+                    point.gpus,
+                    point.iterations,
+                );
+                attempts += 1;
+            }
+            if point.speedup_vs_dense_mem() < 1.0 {
+                eprintln!(
+                    "mem planning gate FAILED at cell {cell}: {:.2}x vs dense core \
+                     over {attempts} windows (need >= 1.0x; fast {:.3} s, dense {:.3} s)",
+                    point.speedup_vs_dense_mem(),
+                    point.secs,
+                    point.dense_mem_secs,
+                );
+                failed = true;
+            }
+            // Structural gate: planning must be allocation-free. The
+            // manager's fresh_allocs counts scratch `Vec`s it could not
+            // reuse plus one-time lazy victim-index builds — bounded by
+            // the device count, never by the plan count. A per-plan
+            // allocation regression shows up as thousands over a run.
+            if point.fresh_allocs > point.gpus as u64 * 8 {
+                eprintln!(
+                    "allocation-free planning gate FAILED at cell {cell}: {} fresh \
+                     planning allocations on a {}-GPU server over {} events — the \
+                     hot path is allocating per plan, not reusing scratch",
+                    point.fresh_allocs, point.gpus, point.events,
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        return;
+    }
     if arg == "fault-sweep" {
         let rest: Vec<String> = std::env::args().skip(2).collect();
-        let smoke = rest.iter().any(|a| a == "--smoke");
-        let json = rest.iter().any(|a| a == "--json");
-        let seed = rest
-            .iter()
-            .position(|a| a == "--seed")
-            .and_then(|i| rest.get(i + 1))
-            .map(|s| match s.parse::<u64>() {
-                Ok(n) => n,
-                Err(_) => {
-                    eprintln!("--seed takes an integer, got `{s}`");
-                    std::process::exit(2);
-                }
-            })
-            // Seed 3's plan exercises the whole layer on the reference
-            // cell: link slowdowns, a biting squeeze (spill → retries →
-            // overcommit) and a smooth degradation curve.
-            .unwrap_or(3);
-        if let Some(bad) = rest.iter().enumerate().find_map(|(i, a)| {
-            let is_seed_value = i > 0 && rest[i - 1] == "--seed" && a.parse::<u64>().is_ok();
-            (a != "--smoke" && a != "--json" && a != "--seed" && !is_seed_value).then_some(a)
-        }) {
-            eprintln!("unknown fault-sweep flag `{bad}`; expected [--smoke] [--json] [--seed N]");
-            std::process::exit(2);
-        }
+        let flags = parse_or_exit(&cli::FAULT_SWEEP, &rest);
+        let smoke = flags.has("--smoke");
+        let json = flags.has("--json");
+        // Seed 3's plan exercises the whole layer on the reference
+        // cell: link slowdowns, a biting squeeze (spill → retries →
+        // overcommit) and a smooth degradation curve.
+        let seed = flags.value("--seed").unwrap_or(3);
         let report = fault_sweep::run(seed);
         println!("{}", report.render());
         if json {

@@ -1,0 +1,234 @@
+//! Strict flag parsing shared by the `repro` gates (`bench`,
+//! `exec-smoke`, `mem-smoke`, `fault-sweep`).
+//!
+//! One table-driven parser instead of four hand-rolled loops, so the
+//! strictness contract is uniform and cannot drift per subcommand:
+//! unknown flags are usage errors (exit 2 in the binary), value flags
+//! never silently fall back to a default when their value is missing or
+//! malformed, and the diagnostic always names the offending token plus
+//! the accepted grammar. Each test in `tests/cli.rs` pins a bug that
+//! used to do exactly the silent thing.
+
+/// How a value-taking flag treats a missing value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueKind {
+    /// `usize >= 1`; a bare trailing flag is a usage error
+    /// (`--workers` must never quietly mean "the default pool").
+    PositiveInt,
+    /// `u64`; a bare trailing flag falls back to the subcommand's
+    /// default (`--seed` alone means "the documented default seed"),
+    /// but a present-and-malformed value is still an error.
+    OptionalInt,
+}
+
+/// One value-taking flag.
+#[derive(Debug, Clone, Copy)]
+pub struct ValueFlag {
+    /// Flag token, e.g. `--workers`.
+    pub name: &'static str,
+    /// Missing-value and parse discipline.
+    pub kind: ValueKind,
+}
+
+/// The flag grammar of one subcommand.
+#[derive(Debug, Clone, Copy)]
+pub struct Spec {
+    /// Subcommand name, used in the unknown-flag diagnostic.
+    pub cmd: &'static str,
+    /// Grammar summary quoted in diagnostics, e.g.
+    /// `[--json] [--workers N]`.
+    pub expected: &'static str,
+    /// Presence-only flags.
+    pub bools: &'static [&'static str],
+    /// Value-taking flags.
+    pub values: &'static [ValueFlag],
+}
+
+/// `repro bench [--json] [--workers N]`.
+pub const BENCH: Spec = Spec {
+    cmd: "bench",
+    expected: "[--json] [--workers N]",
+    bools: &["--json"],
+    values: &[ValueFlag {
+        name: "--workers",
+        kind: ValueKind::PositiveInt,
+    }],
+};
+
+/// `repro exec-smoke [--grid]`.
+pub const EXEC_SMOKE: Spec = Spec {
+    cmd: "exec-smoke",
+    expected: "[--grid]",
+    bools: &["--grid"],
+    values: &[],
+};
+
+/// `repro mem-smoke [--grid]`.
+pub const MEM_SMOKE: Spec = Spec {
+    cmd: "mem-smoke",
+    expected: "[--grid]",
+    bools: &["--grid"],
+    values: &[],
+};
+
+/// `repro fault-sweep [--smoke] [--json] [--seed N]`.
+pub const FAULT_SWEEP: Spec = Spec {
+    cmd: "fault-sweep",
+    expected: "[--smoke] [--json] [--seed N]",
+    bools: &["--smoke", "--json"],
+    values: &[ValueFlag {
+        name: "--seed",
+        kind: ValueKind::OptionalInt,
+    }],
+};
+
+/// A successfully parsed invocation; query with [`Parsed::has`] and
+/// [`Parsed::value`].
+#[derive(Debug)]
+pub struct Parsed<'a> {
+    args: &'a [String],
+    values: Vec<(&'static str, Option<u64>)>,
+}
+
+impl Parsed<'_> {
+    /// Whether the presence-only flag `name` appeared.
+    pub fn has(&self, name: &str) -> bool {
+        self.args.iter().any(|a| a == name)
+    }
+
+    /// The parsed value of flag `name`, `None` when absent (or bare and
+    /// [`ValueKind::OptionalInt`]).
+    pub fn value(&self, name: &str) -> Option<u64> {
+        self.values
+            .iter()
+            .find(|(n, _)| *n == name)
+            .and_then(|(_, v)| *v)
+    }
+}
+
+/// Parses `args` against `spec`; the returned error is the exact
+/// diagnostic to print before exiting 2. Value flags are resolved (and
+/// their errors reported) before the unknown-flag sweep, so
+/// `--workers garbage --bogus` names the garbage value first — the more
+/// actionable of the two problems.
+pub fn parse<'a>(spec: &Spec, args: &'a [String]) -> Result<Parsed<'a>, String> {
+    let mut values = Vec::with_capacity(spec.values.len());
+    for vf in spec.values {
+        let v = match args.iter().position(|a| a == vf.name) {
+            None => None,
+            Some(i) => match args.get(i + 1) {
+                None => match vf.kind {
+                    ValueKind::PositiveInt => {
+                        return Err(format!(
+                            "{} requires a value; expected {}",
+                            vf.name, spec.expected
+                        ));
+                    }
+                    ValueKind::OptionalInt => None,
+                },
+                Some(s) => match vf.kind {
+                    ValueKind::PositiveInt => match s.parse::<u64>() {
+                        Ok(n) if n >= 1 => Some(n),
+                        _ => {
+                            return Err(format!("{} takes a positive integer, got `{s}`", vf.name));
+                        }
+                    },
+                    ValueKind::OptionalInt => match s.parse::<u64>() {
+                        Ok(n) => Some(n),
+                        Err(_) => {
+                            return Err(format!("{} takes an integer, got `{s}`", vf.name));
+                        }
+                    },
+                },
+            },
+        };
+        values.push((vf.name, v));
+    }
+    if let Some(bad) = args.iter().enumerate().find_map(|(i, a)| {
+        let known = spec.bools.contains(&a.as_str()) || spec.values.iter().any(|vf| vf.name == a);
+        let is_value = i > 0
+            && spec.values.iter().any(|vf| vf.name == args[i - 1])
+            && a.parse::<u64>().is_ok();
+        (!known && !is_value).then_some(a)
+    }) {
+        return Err(format!(
+            "unknown {} flag `{bad}`; expected {}",
+            spec.cmd, spec.expected
+        ));
+    }
+    Ok(Parsed { args, values })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn bools_and_values_round_trip() {
+        let args = argv(&["--json", "--workers", "3"]);
+        let p = parse(&BENCH, &args).expect("valid invocation");
+        assert!(p.has("--json"));
+        assert_eq!(p.value("--workers"), Some(3));
+        let args = argv(&[]);
+        let p = parse(&BENCH, &args).expect("empty is valid");
+        assert!(!p.has("--json"));
+        assert_eq!(p.value("--workers"), None);
+    }
+
+    #[test]
+    fn bare_required_value_flag_is_an_error() {
+        let args = argv(&["--workers"]);
+        let e = parse(&BENCH, &args).expect_err("bare --workers");
+        assert_eq!(
+            e,
+            "--workers requires a value; expected [--json] [--workers N]"
+        );
+    }
+
+    #[test]
+    fn bare_optional_value_flag_falls_back() {
+        let args = argv(&["--smoke", "--seed"]);
+        let p = parse(&FAULT_SWEEP, &args).expect("bare --seed defaults");
+        assert!(p.has("--smoke"));
+        assert_eq!(p.value("--seed"), None);
+    }
+
+    #[test]
+    fn malformed_values_are_errors_with_the_exact_message() {
+        for bad in ["0", "-3", "four"] {
+            let args = argv(&["--workers", bad]);
+            let e = parse(&BENCH, &args).expect_err("bad workers value");
+            assert_eq!(
+                e,
+                format!("--workers takes a positive integer, got `{bad}`")
+            );
+        }
+        let args = argv(&["--seed", "x"]);
+        let e = parse(&FAULT_SWEEP, &args).expect_err("bad seed value");
+        assert_eq!(e, "--seed takes an integer, got `x`");
+    }
+
+    #[test]
+    fn unknown_flags_name_the_token_and_the_grammar() {
+        let args = argv(&["--gird"]);
+        let e = parse(&MEM_SMOKE, &args).expect_err("typo");
+        assert_eq!(e, "unknown mem-smoke flag `--gird`; expected [--grid]");
+        let args = argv(&["--workers", "2", "extra"]);
+        let e = parse(&BENCH, &args).expect_err("stray operand");
+        assert_eq!(
+            e,
+            "unknown bench flag `extra`; expected [--json] [--workers N]"
+        );
+    }
+
+    #[test]
+    fn value_errors_win_over_unknown_flag_errors() {
+        let args = argv(&["--workers", "--json"]);
+        let e = parse(&BENCH, &args).expect_err("flag where value expected");
+        assert_eq!(e, "--workers takes a positive integer, got `--json`");
+    }
+}

@@ -15,6 +15,7 @@ use std::time::Instant;
 use harmony::prelude::*;
 use harmony::simulate::{self, SchemeKind};
 use harmony_harness::execdiff::{self, ExecDiffCase};
+use harmony_harness::memdiff;
 use harmony_parallel::with_workers;
 use harmony_topology::Endpoint;
 use harmony_trace::json::{number, quote};
@@ -141,6 +142,70 @@ impl ExecHotPathTiming {
     }
 }
 
+/// Events/second of the executor with each *memory-manager core*: the
+/// same wake-set event loop run twice, once on the rewritten
+/// SoA/ordered-index manager and once converted to the frozen dense
+/// reference core (`MemoryManager::convert_to_dense`). Per-event cost
+/// differences here are pure planning cost — candidate scans, victim
+/// selection, per-plan allocation — because everything else about the
+/// two runs is byte-identical (the memdiff contract).
+#[derive(Debug, Clone)]
+pub struct MemHotPathTiming {
+    /// Model depth R (uniform layers).
+    pub layers: usize,
+    /// Microbatches m.
+    pub microbatches: usize,
+    /// GPUs N.
+    pub gpus: usize,
+    /// Back-to-back iterations replayed.
+    pub iterations: u32,
+    /// Simulator events the executor processed.
+    pub events: u64,
+    /// Wall-clock seconds with the rewritten manager.
+    pub secs: f64,
+    /// Wall-clock seconds with the dense reference core on the identical
+    /// plan, timed interleaved in the same process (same-moment ratio,
+    /// immune to host weather).
+    pub dense_mem_secs: f64,
+    /// Planning `Vec`s the rewritten manager freshly allocated
+    /// ([`harmony_memory::MemCounters::fresh_allocs`]): the structural
+    /// allocation-free-planning witness. Plan-bounded — `repro
+    /// mem-smoke` gates it against the event count.
+    pub fresh_allocs: u64,
+    /// Victims taken off the ordered index (vs rescanned): evidence the
+    /// O(log n) path, not the fallback, served the run.
+    pub victim_pops: u64,
+}
+
+impl MemHotPathTiming {
+    /// Events per wall-clock second with the rewritten manager.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.secs > 0.0 {
+            self.events as f64 / self.secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Events per wall-clock second with the dense reference core.
+    pub fn dense_mem_events_per_sec(&self) -> f64 {
+        if self.dense_mem_secs > 0.0 {
+            self.events as f64 / self.dense_mem_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Same-moment speedup of the rewritten manager over the dense core.
+    pub fn speedup_vs_dense_mem(&self) -> f64 {
+        if self.secs > 0.0 {
+            self.dense_mem_secs / self.secs
+        } else {
+            0.0
+        }
+    }
+}
+
 /// The executor scaling grid run by `repro bench`:
 /// `(layers R, microbatches m, gpus N, iterations)`. Event counts grow
 /// roughly with R × m × N × iterations, so per-event scheduling cost
@@ -156,6 +221,25 @@ pub const EXEC_HOT_PATH_SCALES: [(usize, usize, usize, u32); 4] =
 /// core's.
 pub const EXEC_HOT_PATH_PRE_CHANGE_EVENTS_PER_SEC: [f64; 4] =
     [436_703.0, 429_511.0, 357_550.0, 324_531.0];
+
+/// The memory-manager scaling grid run by `repro bench`: the same
+/// `(layers R, microbatches m, gpus N, iterations)` cells as
+/// [`EXEC_HOT_PATH_SCALES`], so the two hot paths stay comparable. The
+/// tight-memory server keeps every cell under constant eviction
+/// pressure — each fetch decision exercises `plan_fetch`/`make_room`,
+/// which is what this sweep times.
+pub const MEM_HOT_PATH_SCALES: [(usize, usize, usize, u32); 4] =
+    [(6, 4, 2, 2), (8, 8, 4, 2), (12, 16, 4, 4), (16, 32, 8, 4)];
+
+/// Events/s of the pre-rewrite memory manager (the frozen dense core
+/// behind `harmony-memory`'s `dense_memory` feature: `Vec<TensorInfo>`
+/// storage, full candidate materialisation with per-victim `String`
+/// clones, fresh `Vec` per plan) at each [`MEM_HOT_PATH_SCALES`] point,
+/// measured on the reference host before the SoA/ordered-index rewrite
+/// landed. Kept in the JSON export so the constant-factor speedup stays
+/// auditable like the network core's and the executor's.
+pub const MEM_HOT_PATH_PRE_CHANGE_EVENTS_PER_SEC: [f64; 4] =
+    [1_653_355.0, 1_554_525.0, 1_373_248.0, 1_139_941.0];
 
 /// Requested shard counts for the DP-shard scaling sweep: the unsharded
 /// fallback, a balanced split of the 4-atom server, and one shard per
@@ -208,6 +292,9 @@ pub struct BenchReport {
     /// Executor hot-path scaling sweep, one entry per
     /// [`EXEC_HOT_PATH_SCALES`] point.
     pub exec_hot_path: Vec<ExecHotPathTiming>,
+    /// Memory-manager hot-path scaling sweep, one entry per
+    /// [`MEM_HOT_PATH_SCALES`] point.
+    pub mem_hot_path: Vec<MemHotPathTiming>,
     /// DP-shard scaling sweep, one entry per [`DP_SHARD_SCALES`] point.
     pub dp_shard: Vec<DpShardTiming>,
     /// Representative run summaries exported alongside the timings.
@@ -275,6 +362,27 @@ impl BenchReport {
                 h.dense_secs,
                 h.speedup_vs_dense(),
             ));
+        }
+        if !self.mem_hot_path.is_empty() {
+            out.push_str("memory-manager hot path (SoA planes + ordered victim index):\n");
+            for h in &self.mem_hot_path {
+                out.push_str(&format!(
+                    "  R={:<2} m={:<2} N={} × {} iters → {:>9.0} events/s \
+                     ({} events in {:.3} s; dense core {:.3} s, {:.2}× speedup; \
+                     {} fresh plan allocs, {} victim pops)\n",
+                    h.layers,
+                    h.microbatches,
+                    h.gpus,
+                    h.iterations,
+                    h.events_per_sec(),
+                    h.events,
+                    h.secs,
+                    h.dense_mem_secs,
+                    h.speedup_vs_dense_mem(),
+                    h.fresh_allocs,
+                    h.victim_pops,
+                ));
+            }
         }
         if !self.dp_shard.is_empty() {
             out.push_str("dp-shard scaling (sharded executor vs whole run, harmony-dp):\n");
@@ -385,6 +493,44 @@ impl BenchReport {
                 h.slab_fresh_allocs,
                 baseline_field,
                 if i + 1 < self.exec_hot_path.len() {
+                    ","
+                } else {
+                    ""
+                },
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"mem_hot_path_scaling\": [\n");
+        for (i, h) in self.mem_hot_path.iter().enumerate() {
+            let baseline = MEM_HOT_PATH_SCALES
+                .iter()
+                .position(|&(r, m, n, it)| {
+                    r == h.layers && m == h.microbatches && n == h.gpus && it == h.iterations
+                })
+                .map(|idx| MEM_HOT_PATH_PRE_CHANGE_EVENTS_PER_SEC[idx]);
+            let baseline_field = match baseline {
+                Some(b) => format!(", \"pre_change_events_per_sec\": {}", number(b)),
+                None => String::new(),
+            };
+            out.push_str(&format!(
+                "    {{\"layers\": {}, \"microbatches\": {}, \"gpus\": {}, \
+                 \"iterations\": {}, \"events\": {}, \"secs\": {}, \
+                 \"events_per_sec\": {}, \"dense_mem_events_per_sec\": {}, \
+                 \"speedup_vs_dense_mem\": {}, \"fresh_allocs\": {}, \
+                 \"victim_pops\": {}{}}}{}\n",
+                h.layers,
+                h.microbatches,
+                h.gpus,
+                h.iterations,
+                h.events,
+                number(h.secs),
+                number(h.events_per_sec()),
+                number(h.dense_mem_events_per_sec()),
+                number(h.speedup_vs_dense_mem()),
+                h.fresh_allocs,
+                h.victim_pops,
+                baseline_field,
+                if i + 1 < self.mem_hot_path.len() {
                     ","
                 } else {
                     ""
@@ -583,6 +729,111 @@ pub fn exec_hot_path_scaling() -> Vec<ExecHotPathTiming> {
         .collect()
 }
 
+/// Times the memory-manager hot path: the identical Harmony-PP run as
+/// [`exec_hot_path`], executed once with the rewritten manager and once
+/// converted to the frozen dense core
+/// ([`harmony_harness::memdiff::run_mode_mem`]), interleaved best-of-N
+/// so both cores see the same host weather. The tight-memory server
+/// keeps eviction planning on the critical path of every fetch.
+pub fn mem_hot_path(
+    layers: usize,
+    microbatches: usize,
+    gpus: usize,
+    iterations: u32,
+) -> MemHotPathTiming {
+    let model = workloads::uniform_model(layers, 4096);
+    let topo = workloads::tight_topo(gpus);
+    let w = workloads::tight_workload(microbatches);
+    let case = ExecDiffCase {
+        scheme: SchemeKind::HarmonyPp,
+        model: &model,
+        topo: &topo,
+        workload: &w,
+        faults: &[],
+        prefetch: false,
+        iterations,
+        resilience: None,
+    };
+    // Same estimator as `exec_hot_path`: warmup pair discarded, minimum
+    // over interleaved pairs, small cells repeated until ~half a second
+    // of samples accumulates. One refinement: the two cores are within a
+    // few percent of each other here, so the within-pair ordering bias
+    // (the second leg inherits warmed caches and a ramped clock from the
+    // first) is no longer in the noise — the legs alternate order across
+    // pairs so each collects first-position and second-position samples
+    // and the per-leg minimum compares like with like.
+    let mut runs: Vec<(u64, f64, f64)> = Vec::new();
+    let mut sampled_secs = 0.0;
+    let mut warmed_up = false;
+    let mut fresh_allocs = 0u64;
+    let mut victim_pops = 0u64;
+    let mut fast_first = true;
+    while runs.len() < 5 || (sampled_secs < 0.5 && runs.len() < 200) {
+        let (fast, dense);
+        if fast_first {
+            fast = memdiff::run_mode_mem(&case, false)
+                .expect("mem hot-path run")
+                .0;
+            dense = memdiff::run_mode_mem(&case, true)
+                .expect("mem hot-path dense-memory run")
+                .0;
+        } else {
+            dense = memdiff::run_mode_mem(&case, true)
+                .expect("mem hot-path dense-memory run")
+                .0;
+            fast = memdiff::run_mode_mem(&case, false)
+                .expect("mem hot-path run")
+                .0;
+        }
+        fast_first = !fast_first;
+        assert_eq!(
+            fast.events_processed, dense.events_processed,
+            "the two memory cores must drive identical event streams"
+        );
+        let c = fast
+            .mem_counters
+            .expect("executor summaries carry planning counters");
+        fresh_allocs = c.fresh_allocs;
+        victim_pops = c.victim_pops;
+        if !warmed_up {
+            warmed_up = true;
+            continue;
+        }
+        sampled_secs += fast.elapsed_secs + dense.elapsed_secs;
+        runs.push((fast.events_processed, fast.elapsed_secs, dense.elapsed_secs));
+    }
+    let (events, _, _) = runs[0];
+    let secs = runs
+        .iter()
+        .map(|r| r.1)
+        .min_by(f64::total_cmp)
+        .expect("at least one timed run");
+    let dense_mem_secs = runs
+        .iter()
+        .map(|r| r.2)
+        .min_by(f64::total_cmp)
+        .expect("at least one timed run");
+    MemHotPathTiming {
+        layers,
+        microbatches,
+        gpus,
+        iterations,
+        events,
+        secs,
+        dense_mem_secs,
+        fresh_allocs,
+        victim_pops,
+    }
+}
+
+/// Runs the memory hot path at every [`MEM_HOT_PATH_SCALES`] point.
+pub fn mem_hot_path_scaling() -> Vec<MemHotPathTiming> {
+    MEM_HOT_PATH_SCALES
+        .iter()
+        .map(|&(r, m, n, it)| mem_hot_path(r, m, n, it))
+        .collect()
+}
+
 /// Times the sharded DP executor at every [`DP_SHARD_SCALES`] point
 /// against the unsharded whole run, re-proving the byte-identity
 /// contract (DESIGN §12) in the production path on every `repro bench`.
@@ -608,6 +859,9 @@ pub fn dp_shard_scaling() -> Vec<DpShardTiming> {
     let (mut ref_summary, ref_trace, _) =
         execdiff::run_mode(&case, false).expect("dp-shard unsharded reference");
     ref_summary.elapsed_secs = 0.0;
+    // Planning counters, like wall clock, describe how a summary was
+    // computed, not what it computed — a merged summary carries none.
+    ref_summary.mem_counters = None;
     let (ref_tj, ref_sj) = (ref_trace.to_json(), ref_summary.to_json());
     let unsharded_secs = (0..3)
         .map(|_| timed(|| execdiff::run_mode(&case, false)).0)
@@ -621,6 +875,7 @@ pub fn dp_shard_scaling() -> Vec<DpShardTiming> {
             let run = || with_workers(shards.max(1), || execdiff::run_sharded_mode(&case, shards));
             let (mut s, t, rep) = run().expect("dp-shard sharded run");
             s.elapsed_secs = 0.0;
+            s.mem_counters = None;
             let identical = t.to_json() == ref_tj && s.to_json() == ref_sj;
             let secs = (0..3)
                 .map(|_| timed(run).0)
@@ -645,6 +900,7 @@ pub fn run(workers: usize) -> BenchReport {
     // and allocator churn from the parallel phase.
     let hot = hot_path_scaling();
     let exec_hot = exec_hot_path_scaling();
+    let mem_hot = mem_hot_path_scaling();
     let dp_shard = dp_shard_scaling();
     let experiments = vec![
         experiment("fig2a", workers, || figures::fig2a().0),
@@ -675,6 +931,7 @@ pub fn run(workers: usize) -> BenchReport {
         experiments,
         hot_path: hot,
         exec_hot_path: exec_hot,
+        mem_hot_path: mem_hot,
         dp_shard,
         summaries,
     }
@@ -715,6 +972,17 @@ mod tests {
                 dense_secs: 0.2,
                 slab_fresh_allocs: 12,
             }],
+            mem_hot_path: vec![MemHotPathTiming {
+                layers: MEM_HOT_PATH_SCALES[3].0,
+                microbatches: MEM_HOT_PATH_SCALES[3].1,
+                gpus: MEM_HOT_PATH_SCALES[3].2,
+                iterations: MEM_HOT_PATH_SCALES[3].3,
+                events: 1000,
+                secs: 0.1,
+                dense_mem_secs: 0.2,
+                fresh_allocs: 3,
+                victim_pops: 40,
+            }],
             dp_shard: vec![],
             summaries: vec![],
         };
@@ -729,6 +997,15 @@ mod tests {
             .nth(1)
             .expect("exec section present");
         assert!(exec_section.contains(&exec_baseline));
+        let mem_baseline = format!(
+            "\"pre_change_events_per_sec\": {}",
+            number(MEM_HOT_PATH_PRE_CHANGE_EVENTS_PER_SEC[3])
+        );
+        let mem_section = text
+            .split("\"mem_hot_path_scaling\"")
+            .nth(1)
+            .expect("mem section present");
+        assert!(mem_section.contains(&mem_baseline));
         harmony_trace::json::parse(&text).expect("valid JSON");
     }
 
@@ -748,6 +1025,7 @@ mod tests {
             }],
             hot_path: vec![],
             exec_hot_path: vec![],
+            mem_hot_path: vec![],
             dp_shard: vec![DpShardTiming {
                 shards_requested: 2,
                 shards_used: 2,
@@ -794,6 +1072,7 @@ mod tests {
             }],
             hot_path: vec![hot_path(4, 1)],
             exec_hot_path: vec![exec_hot_path(4, 2, 2, 1)],
+            mem_hot_path: vec![mem_hot_path(4, 2, 2, 1)],
             dp_shard: vec![DpShardTiming {
                 shards_requested: 4,
                 shards_used: 3,
@@ -815,6 +1094,7 @@ mod tests {
                 events_processed: 7,
                 elapsed_secs: 0.25,
                 resilience: None,
+                mem_counters: None,
             }],
         };
         let text = report.to_json();

@@ -39,6 +39,24 @@ fn exec_smoke_rejects_unknown_flags() {
 }
 
 #[test]
+fn mem_smoke_rejects_unknown_flags() {
+    // Same contract as exec-smoke: a typo must not silently time the
+    // single-cell variant.
+    let out = repro(&["mem-smoke", "--gird"]);
+    assert_usage_error(&out, "--gird", "mem-smoke --gird");
+    let out = repro(&["mem-smoke", "extra"]);
+    assert_usage_error(&out, "extra", "mem-smoke extra");
+}
+
+#[test]
+fn fault_sweep_rejects_garbage_seed_and_unknown_flags() {
+    let out = repro(&["fault-sweep", "--seed", "x"]);
+    assert_usage_error(&out, "--seed takes an integer", "fault-sweep --seed x");
+    let out = repro(&["fault-sweep", "--smoek"]);
+    assert_usage_error(&out, "--smoek", "fault-sweep --smoek");
+}
+
+#[test]
 fn bench_workers_requires_a_value() {
     // A bare trailing `--workers` used to fall back to the default pool
     // size; it must be a usage error instead.

@@ -60,7 +60,7 @@ pub struct ExecDiffCase<'a> {
     pub resilience: Option<u64>,
 }
 
-type ModeResult = Result<(RunSummary, Trace, ExecCounters), ExecError>;
+pub(crate) type ModeResult = Result<(RunSummary, Trace, ExecCounters), ExecError>;
 
 /// Plans and runs `case` once, in the dense reference loop when `dense`
 /// is set and the wake-set loop otherwise. Public so the bench crate
@@ -138,7 +138,9 @@ pub fn check_sharded_vs_unsharded(
 
 /// Byte-compares two mode results (see [`check_dense_vs_fast`] for the
 /// contract); `a_name`/`b_name` label the sides in divergence messages.
-fn compare_modes(
+/// Shared with `memdiff`, whose full-run differential has the identical
+/// contract (only the reference core under test differs).
+pub(crate) fn compare_modes(
     a: ModeResult,
     b: ModeResult,
     a_name: &str,
@@ -146,9 +148,14 @@ fn compare_modes(
 ) -> Result<ExecDiffOutcome, String> {
     match (a, b) {
         (Ok((mut fs, ft, fc)), Ok((mut ds, dt, dc))) => {
-            // Wall clock is the one legitimately nondeterministic field.
+            // Wall clock is the one legitimately nondeterministic field;
+            // planning counters legitimately differ between manager
+            // implementations (and merged summaries carry none). Neither
+            // is part of a run's identity.
             fs.elapsed_secs = 0.0;
             ds.elapsed_secs = 0.0;
+            fs.mem_counters = None;
+            ds.mem_counters = None;
             let (ftj, dtj) = (ft.to_json(), dt.to_json());
             if ftj != dtj {
                 return Err(first_diff("trace JSON", a_name, b_name, &ftj, &dtj));

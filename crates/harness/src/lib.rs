@@ -47,6 +47,7 @@ pub mod conformance;
 pub mod differential;
 pub mod execdiff;
 pub mod faults;
+pub mod memdiff;
 pub mod oracles;
 pub mod simdiff;
 pub mod workloads;
@@ -59,5 +60,6 @@ pub use differential::{
 };
 pub use execdiff::{check_dense_vs_fast, ExecDiffCase, ExecDiffOutcome};
 pub use faults::FaultPlan;
+pub use memdiff::{check_fast_vs_dense_memory, check_script, MemScriptOp};
 pub use oracles::{instrument, instrument_memory, OracleConfig};
 pub use simdiff::{check_fast_vs_dense, SimOp};

@@ -38,16 +38,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+#[cfg(feature = "dense_memory")]
+mod dense;
 pub mod manager;
 pub mod observe;
 pub mod policy;
 pub mod stats;
 pub mod store;
 
-pub use manager::{FetchPlan, MemoryManager, Residency, TensorInfo};
+pub use manager::{FetchAction, FetchPlan, MemoryManager, Residency, TensorInfo, TensorView};
 pub use observe::{MemEvent, MemObserver};
-pub use policy::{EvictionPolicy, Lru, NextUseAware};
-pub use stats::{Direction, SwapStats};
+pub use policy::{EvictionPolicy, Lru, NextUseAware, PolicyIndexKind};
+pub use stats::{Direction, MemCounters, SwapStats};
 pub use store::TensorStore;
 
 use std::fmt;

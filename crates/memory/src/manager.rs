@@ -1,9 +1,17 @@
 //! The tensor-residency state machine and per-device capacity accounting.
+//!
+//! Internally the manager keeps its per-tensor hot fields in flat
+//! struct-of-arrays planes indexed by [`TensorId`] and maintains, per
+//! device, an *ordered victim index* keyed by the eviction policy's exact
+//! comparison, so `make_room` pops victims in O(log n) each and
+//! `plan_fetch` plans without allocating (DESIGN §13). The pre-rewrite
+//! manager survives as `crate::dense` behind the `dense_memory` feature
+//! and `harness::memdiff` proves the two byte-identical.
 
 use std::collections::BTreeSet;
 
 use crate::observe::{MemEvent, MemObserver};
-use crate::policy::EvictionPolicy;
+use crate::policy::{EvictionPolicy, PolicyIndexKind};
 use crate::stats::{Direction, SwapStats};
 use crate::{DeviceId, MemError, TensorClass, TensorId};
 
@@ -34,7 +42,7 @@ pub enum Residency {
 }
 
 impl Residency {
-    fn describe(&self) -> String {
+    pub(crate) fn describe(&self) -> String {
         match self {
             Residency::OnHost => "on host".to_string(),
             Residency::OnDevice(d) => format!("on device {d}"),
@@ -48,8 +56,10 @@ impl Residency {
     }
 }
 
-/// Metadata the manager keeps per tensor (also the view given to eviction
-/// policies).
+/// Owned per-tensor metadata record — the view given to eviction policies
+/// (and the storage layout of the frozen `dense_memory` reference). The
+/// manager's own hot path keeps these fields in flat planes instead; use
+/// [`MemoryManager::info`] for an allocation-free borrowed [`TensorView`].
 #[derive(Debug, Clone)]
 pub struct TensorInfo {
     /// Tensor id.
@@ -77,6 +87,67 @@ pub struct TensorInfo {
     pub host_copy_valid: bool,
 }
 
+/// Borrowed, allocation-free view of one tensor's metadata. Same fields as
+/// [`TensorInfo`] with the name borrowed from the manager.
+#[derive(Debug, Clone, Copy)]
+pub struct TensorView<'a> {
+    /// Tensor id.
+    pub id: TensorId,
+    /// Debug name, e.g. `"L3.W"`.
+    pub name: &'a str,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// Swap-model class.
+    pub class: TensorClass,
+    /// Current residency.
+    pub residency: Residency,
+    /// Pin count; pinned tensors are never eviction candidates.
+    pub pinned: u32,
+    /// Logical clock of last access (LRU).
+    pub last_use: u64,
+    /// Scheduler hint: logical time of next use (Belady-style eviction).
+    pub next_use_hint: Option<u64>,
+    /// True if the device copy has been modified since the last host sync.
+    pub dirty: bool,
+    /// True if a valid copy of the bytes exists in host memory.
+    pub host_copy_valid: bool,
+}
+
+impl<'a> TensorView<'a> {
+    // Only the frozen dense core stores owned records to view through.
+    #[cfg_attr(not(feature = "dense_memory"), allow(dead_code))]
+    pub(crate) fn of(t: &'a TensorInfo) -> Self {
+        TensorView {
+            id: t.id,
+            name: &t.name,
+            bytes: t.bytes,
+            class: t.class,
+            residency: t.residency,
+            pinned: t.pinned,
+            last_use: t.last_use,
+            next_use_hint: t.next_use_hint,
+            dirty: t.dirty,
+            host_copy_valid: t.host_copy_valid,
+        }
+    }
+
+    /// Owned copy of this record (e.g. to offer to an [`EvictionPolicy`]).
+    pub fn to_owned_info(&self) -> TensorInfo {
+        TensorInfo {
+            id: self.id,
+            name: self.name.to_string(),
+            bytes: self.bytes,
+            class: self.class,
+            residency: self.residency,
+            pinned: self.pinned,
+            last_use: self.last_use,
+            next_use_hint: self.next_use_hint,
+            dirty: self.dirty,
+            host_copy_valid: self.host_copy_valid,
+        }
+    }
+}
+
 /// What the runtime must do to make a tensor resident on a device.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FetchPlan {
@@ -91,42 +162,77 @@ pub struct FetchPlan {
     pub src_device: Option<DeviceId>,
 }
 
+/// The transfer half of a fetch plan, as returned by the allocation-free
+/// [`MemoryManager::plan_fetch_into`] (evictions land in the caller's
+/// buffer instead of a fresh `Vec`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchAction {
+    /// Whether a transfer is required (false → already resident).
+    pub needs_transfer: bool,
+    /// If the tensor currently sits on another device, that device
+    /// (enables a p2p move instead of a host round-trip).
+    pub src_device: Option<DeviceId>,
+}
+
+/// Dispatches `$body` against the active core, binding it to `$c` (shared
+/// borrow). With `dense_memory` off this compiles to a direct field access.
+macro_rules! with_core {
+    ($self:expr, $c:ident => $body:expr) => {{
+        #[cfg(feature = "dense_memory")]
+        {
+            if let Some($c) = $self.dense.as_deref() {
+                $body
+            } else {
+                let $c = &$self.fast;
+                $body
+            }
+        }
+        #[cfg(not(feature = "dense_memory"))]
+        {
+            let $c = &$self.fast;
+            $body
+        }
+    }};
+}
+
+/// Mutable-borrow variant of [`with_core!`].
+macro_rules! with_core_mut {
+    ($self:expr, $c:ident => $body:expr) => {{
+        #[cfg(feature = "dense_memory")]
+        {
+            if let Some($c) = $self.dense.as_deref_mut() {
+                $body
+            } else {
+                let $c = &mut $self.fast;
+                $body
+            }
+        }
+        #[cfg(not(feature = "dense_memory"))]
+        {
+            let $c = &mut $self.fast;
+            $body
+        }
+    }};
+}
+
 /// Per-device capacity accounting + tensor state machine. See module docs.
 #[derive(Debug)]
 pub struct MemoryManager {
-    capacities: Vec<u64>,
-    used: Vec<u64>,
-    peak_used: Vec<u64>,
-    /// Dense per-tensor records, indexed by `TensorId` (ids are assigned
-    /// sequentially and never recycled — freed tensors stay as `Dead`
-    /// records), so the per-event metadata lookup is a bounds-checked
-    /// array index instead of a hash probe.
-    tensors: Vec<TensorInfo>,
-    /// Per-device index of evictable tensors: unpinned and device-resident.
-    /// Maintained at every residency/pin transition so candidate
-    /// enumeration is O(candidates), not a scan over every tensor ever
-    /// registered. `BTreeSet` iteration is ascending by id — the same
-    /// deterministic order the full filter-and-sort produced.
-    evictable: Vec<BTreeSet<TensorId>>,
-    next_id: TensorId,
-    clock: u64,
-    stats: SwapStats,
+    fast: FastCore,
+    /// When `Some`, every operation routes to the frozen pre-rewrite core
+    /// instead (the `dense_memory` differential reference).
+    #[cfg(feature = "dense_memory")]
+    dense: Option<Box<crate::dense::DenseCore>>,
     observers: Vec<Box<dyn MemObserver>>,
 }
 
 impl MemoryManager {
     /// Creates a manager for devices with the given capacities (bytes).
     pub fn new(capacities: Vec<u64>) -> Self {
-        let n = capacities.len();
         MemoryManager {
-            capacities,
-            used: vec![0; n],
-            peak_used: vec![0; n],
-            tensors: Vec::new(),
-            evictable: vec![BTreeSet::new(); n],
-            next_id: 0,
-            clock: 0,
-            stats: SwapStats::new(),
+            fast: FastCore::new(capacities),
+            #[cfg(feature = "dense_memory")]
+            dense: None,
             observers: Vec::new(),
         }
     }
@@ -134,26 +240,41 @@ impl MemoryManager {
     /// Attaches an observer; every subsequent state transition is reported
     /// to it. With no observers attached, operations pay one branch.
     pub fn attach_observer(&mut self, observer: Box<dyn MemObserver>) {
+        with_core_mut!(self, c => c.record = true);
         self.observers.push(observer);
     }
 
     /// Detaches and returns all observers (e.g. to read accumulated state
     /// after a run).
     pub fn take_observers(&mut self) -> Vec<Box<dyn MemObserver>> {
+        with_core_mut!(self, c => {
+            c.record = false;
+            c.pending.clear();
+        });
         std::mem::take(&mut self.observers)
     }
 
-    fn emit(&mut self, event: MemEvent) {
+    /// Delivers events the active core buffered during the last operation.
+    /// Observers get `&self`; they are temporarily detached so the borrow
+    /// of the manager is clean.
+    fn flush_events(&mut self) {
         if self.observers.is_empty() {
             return;
         }
-        // Observers get `&self`; temporarily detach them so the borrow
-        // of the manager is clean.
+        let mut events = with_core_mut!(self, c => std::mem::take(&mut c.pending));
+        if events.is_empty() {
+            with_core_mut!(self, c => c.pending = events);
+            return;
+        }
         let mut obs = std::mem::take(&mut self.observers);
-        for o in &mut obs {
-            o.on_event(self, &event);
+        for e in &events {
+            for o in &mut obs {
+                o.on_event(self, e);
+            }
         }
         self.observers = obs;
+        events.clear();
+        with_core_mut!(self, c => c.pending = events);
     }
 
     /// Resizes a device's capacity at runtime (fault injection: a capacity
@@ -161,87 +282,575 @@ impl MemoryManager {
     /// capacity invariant (`used ≤ capacity`) survives the change; returns
     /// the effective capacity.
     pub fn set_capacity(&mut self, dev: DeviceId, bytes: u64) -> Result<u64, MemError> {
+        let r = with_core_mut!(self, c => c.set_capacity(dev, bytes));
+        self.flush_events();
+        r
+    }
+
+    /// All tensor records (any residency), in ascending id order.
+    pub fn tensor_infos(&self) -> impl Iterator<Item = TensorView<'_>> {
+        let n = with_core!(self, c => c.tensor_count()) as TensorId;
+        (0..n).map(move |id| self.view_known(id))
+    }
+
+    fn view_known(&self, id: TensorId) -> TensorView<'_> {
+        with_core!(self, c => c.view(id).expect("id below tensor_count is registered"))
+    }
+
+    /// Number of devices.
+    pub fn num_devices(&self) -> usize {
+        with_core!(self, c => c.num_devices())
+    }
+
+    /// Capacity of a device.
+    pub fn capacity(&self, dev: DeviceId) -> Result<u64, MemError> {
+        with_core!(self, c => c.capacity(dev))
+    }
+
+    /// Bytes currently charged on a device (resident + reserved in-flight).
+    pub fn used(&self, dev: DeviceId) -> Result<u64, MemError> {
+        with_core!(self, c => c.used(dev))
+    }
+
+    /// Free bytes on a device.
+    pub fn free_bytes(&self, dev: DeviceId) -> Result<u64, MemError> {
+        with_core!(self, c => c.free_bytes(dev))
+    }
+
+    /// Peak bytes ever charged on a device.
+    pub fn peak_used(&self, dev: DeviceId) -> Result<u64, MemError> {
+        with_core!(self, c => c.peak_used(dev))
+    }
+
+    /// Swap statistics.
+    pub fn stats(&self) -> &SwapStats {
+        with_core!(self, c => c.stats())
+    }
+
+    /// Bytes currently resident in host memory (tensors on host or on
+    /// their way there). The paper treats host RAM as ample ("backing GPU
+    /// memory with CPU memory"); this is reporting, not a capacity limit.
+    /// Maintained incrementally at every residency transition — O(1), not
+    /// a re-scan (the frozen dense core still re-sums; a regression test
+    /// checks the two agree).
+    pub fn host_used(&self) -> u64 {
+        with_core!(self, c => c.host_used())
+    }
+
+    /// Tensor metadata, as a borrowed allocation-free view.
+    pub fn info(&self, id: TensorId) -> Result<TensorView<'_>, MemError> {
+        with_core!(self, c => c.view(id)).ok_or(MemError::UnknownTensor(id))
+    }
+
+    /// Registers a host-resident tensor (e.g. initial weights, inputs).
+    pub fn register_on_host(
+        &mut self,
+        name: impl Into<String>,
+        bytes: u64,
+        class: TensorClass,
+    ) -> TensorId {
+        let name = name.into();
+        let id = with_core_mut!(self, c => c.register_on_host(name, bytes, class));
+        self.flush_events();
+        id
+    }
+
+    /// Registers a freshly produced device-resident tensor (a task output).
+    /// Fails if the device lacks free capacity — callers must evict first
+    /// (see [`MemoryManager::make_room`]).
+    pub fn alloc_on_device(
+        &mut self,
+        name: impl Into<String>,
+        bytes: u64,
+        class: TensorClass,
+        dev: DeviceId,
+    ) -> Result<TensorId, MemError> {
+        let name = name.into();
+        let r = with_core_mut!(self, c => c.alloc_on_device(name, bytes, class, dev));
+        self.flush_events();
+        r
+    }
+
+    /// Marks a tensor as just-accessed (bumps the LRU clock).
+    pub fn touch(&mut self, id: TensorId) -> Result<(), MemError> {
+        let r = with_core_mut!(self, c => c.touch(id));
+        self.flush_events();
+        r
+    }
+
+    /// Installs/clears the scheduler's next-use hint.
+    pub fn set_next_use(&mut self, id: TensorId, hint: Option<u64>) -> Result<(), MemError> {
+        with_core_mut!(self, c => c.set_next_use(id, hint))
+    }
+
+    /// Pins a tensor (must be device-resident); pinned tensors cannot be
+    /// evicted. Pins nest.
+    pub fn pin(&mut self, id: TensorId) -> Result<(), MemError> {
+        let r = with_core_mut!(self, c => c.pin(id));
+        self.flush_events();
+        r
+    }
+
+    /// Releases one pin.
+    pub fn unpin(&mut self, id: TensorId) -> Result<(), MemError> {
+        let r = with_core_mut!(self, c => c.unpin(id));
+        self.flush_events();
+        r
+    }
+
+    /// Frees a tensor (any non-in-flight, unpinned state). Device capacity
+    /// is released immediately; no swap traffic is charged (discarding is
+    /// free — this is why dead activations should be freed, not evicted).
+    pub fn free(&mut self, id: TensorId) -> Result<(), MemError> {
+        let r = with_core_mut!(self, c => c.free(id));
+        self.flush_events();
+        r
+    }
+
+    /// Unpinned tensors resident on `dev`, as eviction candidates, in
+    /// ascending id order — served straight off the per-device residency
+    /// index without materializing a `Vec`. The fast core's membership
+    /// includes pinned tensors (pin/unpin are pure field writes there),
+    /// so the pinned filter lives here; the dense core's set is already
+    /// unpinned-only and passes the filter trivially.
+    pub fn eviction_candidates(&self, dev: DeviceId) -> impl Iterator<Item = TensorView<'_>> {
+        let set = with_core!(self, c => c.evictable_set(dev));
+        set.into_iter()
+            .flat_map(|s| s.iter())
+            .map(move |&id| self.view_known(id))
+            .filter(|v| v.pinned == 0)
+    }
+
+    /// Plans evictions to free at least `bytes` on `dev` (over and above
+    /// current free space), appending victims to `out` in eviction order.
+    /// Does not change residency state; on error the contents appended to
+    /// `out` are unspecified. This is the allocation-free planning entry:
+    /// with an index-declaring policy ([`EvictionPolicy::index_kind`])
+    /// victims pop off the ordered victim index in O(log n) each.
+    pub fn make_room_into(
+        &mut self,
+        dev: DeviceId,
+        bytes: u64,
+        policy: &dyn EvictionPolicy,
+        out: &mut Vec<TensorId>,
+    ) -> Result<(), MemError> {
+        with_core_mut!(self, c => c.make_room_into(dev, bytes, policy, out))
+    }
+
+    /// Allocating convenience wrapper over
+    /// [`MemoryManager::make_room_into`] (counts one `fresh_alloc`).
+    pub fn make_room(
+        &mut self,
+        dev: DeviceId,
+        bytes: u64,
+        policy: &dyn EvictionPolicy,
+    ) -> Result<Vec<TensorId>, MemError> {
+        with_core_mut!(self, c => c.stats_mut().counters.fresh_allocs += 1);
+        let mut out = Vec::new();
+        self.make_room_into(dev, bytes, policy, &mut out)?;
+        Ok(out)
+    }
+
+    /// Plans how to make tensor `id` resident on `dev`, appending required
+    /// evictions to `out`. Does not change residency state; on error the
+    /// contents appended to `out` are unspecified.
+    pub fn plan_fetch_into(
+        &mut self,
+        id: TensorId,
+        dev: DeviceId,
+        policy: &dyn EvictionPolicy,
+        out: &mut Vec<TensorId>,
+    ) -> Result<FetchAction, MemError> {
+        with_core_mut!(self, c => c.plan_fetch_into(id, dev, policy, out))
+    }
+
+    /// Allocating convenience wrapper over
+    /// [`MemoryManager::plan_fetch_into`] (counts one `fresh_alloc`).
+    pub fn plan_fetch(
+        &mut self,
+        id: TensorId,
+        dev: DeviceId,
+        policy: &dyn EvictionPolicy,
+    ) -> Result<FetchPlan, MemError> {
+        with_core_mut!(self, c => c.stats_mut().counters.fresh_allocs += 1);
+        let mut evictions = Vec::new();
+        let action = self.plan_fetch_into(id, dev, policy, &mut evictions)?;
+        Ok(FetchPlan {
+            tensor: id,
+            evictions,
+            needs_transfer: action.needs_transfer,
+            src_device: action.src_device,
+        })
+    }
+
+    /// Begins evicting a tensor to host. Capacity stays charged until
+    /// [`MemoryManager::finish_swap_out`]. Returns `(src_device, bytes)`
+    /// for the transfer. Swap-out volume is tallied here.
+    pub fn begin_swap_out(&mut self, id: TensorId) -> Result<(DeviceId, u64), MemError> {
+        let r = with_core_mut!(self, c => c.begin_swap_out(id));
+        self.flush_events();
+        r
+    }
+
+    /// Completes a swap-out: bytes have left the device; capacity freed.
+    pub fn finish_swap_out(&mut self, id: TensorId) -> Result<(), MemError> {
+        let r = with_core_mut!(self, c => c.finish_swap_out(id));
+        self.flush_events();
+        r
+    }
+
+    /// Begins a host→device swap-in. Destination capacity is reserved now;
+    /// fails if insufficient (evict first). Swap-in volume is tallied here.
+    pub fn begin_swap_in(&mut self, id: TensorId, dev: DeviceId) -> Result<u64, MemError> {
+        let r = with_core_mut!(self, c => c.begin_swap_in(id, dev));
+        self.flush_events();
+        r
+    }
+
+    /// Begins a device→device (p2p) move. Capacity is charged on the
+    /// destination while the source stays charged until the move finishes
+    /// (both copies exist in flight). Tallied as p2p, **not** swap volume —
+    /// the whole point of Harmony's optimization 3.
+    pub fn begin_p2p(&mut self, id: TensorId, dst: DeviceId) -> Result<(DeviceId, u64), MemError> {
+        let r = with_core_mut!(self, c => c.begin_p2p(id, dst));
+        self.flush_events();
+        r
+    }
+
+    /// Completes a swap-in or p2p move: tensor becomes device-resident;
+    /// for p2p the source copy is released.
+    pub fn finish_move_to_device(&mut self, id: TensorId) -> Result<DeviceId, MemError> {
+        let r = with_core_mut!(self, c => c.finish_move_to_device(id));
+        self.flush_events();
+        r
+    }
+
+    /// Reverts an in-flight move toward a device: the resilience layer's
+    /// transfer-cancellation path (a fault degraded the link mid-move and
+    /// the runtime will re-issue the payload over another route). The
+    /// destination reservation is released and the tensor returns to its
+    /// pre-move residency — the source device for a p2p move (re-entering
+    /// that device's evictable index), host for a swap-in.
+    ///
+    /// Traffic recorded at `begin_*` stays tallied: bytes are charged to
+    /// the *attempt*, matching the simulator's at-issue channel
+    /// accounting, and only faulted runs ever cancel.
+    pub fn cancel_move_to_device(&mut self, id: TensorId) -> Result<(), MemError> {
+        let r = with_core_mut!(self, c => c.cancel_move_to_device(id));
+        self.flush_events();
+        r
+    }
+
+    /// Marks a tensor as modified on its device (its host copy, if any, is
+    /// now stale). Runtimes call this for every tensor a task writes.
+    pub fn mark_dirty(&mut self, id: TensorId) -> Result<(), MemError> {
+        let r = with_core_mut!(self, c => c.mark_dirty(id));
+        self.flush_events();
+        r
+    }
+
+    /// True if evicting this tensor needs no writeback: it is clean and a
+    /// valid host copy exists. Harmony exploits this to make post-forward
+    /// weight evictions free (the "3 vs 4m+2" asymmetry of §3); baseline
+    /// per-GPU virtualization ignores it and always writes back.
+    pub fn can_drop(&self, id: TensorId) -> Result<bool, MemError> {
+        with_core!(self, c => c.can_drop(id))
+    }
+
+    /// Instantly demotes a clean, host-backed, unpinned device tensor to
+    /// host residency with **no transfer and no swap volume** (the device
+    /// copy is simply discarded). Errors unless [`MemoryManager::can_drop`].
+    pub fn drop_to_host(&mut self, id: TensorId) -> Result<(), MemError> {
+        let r = with_core_mut!(self, c => c.drop_to_host(id));
+        self.flush_events();
+        r
+    }
+
+    /// Transplants the manager's state into the frozen pre-rewrite core;
+    /// every subsequent operation runs the seed-era dense logic. Valid at
+    /// any point in a run (both cores expose identical logical state).
+    /// This is the `dense_memory` differential seam used by
+    /// `harness::memdiff` — the memory analogue of `use_dense_advance`.
+    #[cfg(feature = "dense_memory")]
+    pub fn convert_to_dense(&mut self) {
+        if self.dense.is_some() {
+            return;
+        }
+        let f = &self.fast;
+        let tensors: Vec<TensorInfo> = (0..f.names.len())
+            .map(|i| TensorInfo {
+                id: i as TensorId,
+                name: f.names[i].clone(),
+                bytes: f.bytes[i],
+                class: f.classes[i],
+                residency: f.residency[i],
+                pinned: f.pinned[i],
+                last_use: f.last_use[i],
+                next_use_hint: f.next_use[i],
+                dirty: f.dirty[i],
+                host_copy_valid: f.host_copy[i],
+            })
+            .collect();
+        // The dense core maintains an unpinned-only evictable set; the
+        // fast core's resident membership includes pinned tensors, so
+        // filter here rather than handing it over verbatim.
+        let evictable: Vec<BTreeSet<TensorId>> = f
+            .resident
+            .iter()
+            .map(|s| {
+                s.iter()
+                    .copied()
+                    .filter(|&id| f.pinned[id as usize] == 0)
+                    .collect()
+            })
+            .collect();
+        let core = crate::dense::DenseCore::from_parts(
+            f.capacities.clone(),
+            f.used.clone(),
+            f.peak_used.clone(),
+            tensors,
+            evictable,
+            f.next_id,
+            f.clock,
+            f.stats.clone(),
+            f.record,
+            f.pending.clone(),
+        );
+        self.dense = Some(Box::new(core));
+    }
+
+    /// Sabotage hook for differential mutation-catch tests: silently drops
+    /// one tensor from the fast core's evictable/victim indexes without
+    /// changing its logical state — the "missed membership update" bug
+    /// class the memdiff differential must flag. Returns false if there
+    /// was nothing to desync (or the dense core is active).
+    #[cfg(feature = "mutation_hooks")]
+    pub fn arm_index_desync(&mut self, dev: DeviceId) -> bool {
+        #[cfg(feature = "dense_memory")]
+        if self.dense.is_some() {
+            return false;
+        }
+        self.fast.arm_index_desync(dev)
+    }
+}
+
+/// Ordered-victim-index key for LRU: ascending `(last_use, id)`.
+/// `last_use` values are globally unique (the logical clock strictly
+/// increases and each value is assigned to at most one tensor), so keys
+/// never collide across tensors.
+type LruKey = (u64, TensorId);
+
+/// Ordered-victim-index key for next-use-aware eviction: ascending
+/// `(u64::MAX - hint_or_max, last_use, id)` — the componentwise
+/// order-reversal of [`crate::NextUseAware`]'s `max_by_key`, so the set's
+/// first element is exactly the policy's choice.
+type NextUseKey = (u64, u64, TensorId);
+
+/// Device population above which a next-use victim walk builds the
+/// ordered NU index. Below it, planning runs a direct selection scan
+/// over the resident set: hints churn on every tensor use, so a built
+/// index charges `set_next_use` two tree ops per shrinking key, which
+/// only amortizes once per-victim scans cost more than the churn.
+const NU_INDEX_BUILD_ABOVE: usize = 96;
+
+/// Device population below which an already-built NU index is dropped
+/// again (planning reverts to the scan, `set_next_use` back to a pure
+/// field write). Strictly less than [`NU_INDEX_BUILD_ABOVE`] so the
+/// boundary has hysteresis instead of thrash.
+const NU_INDEX_DROP_BELOW: usize = 32;
+
+/// The rewritten hot-path core: SoA planes + incrementally maintained
+/// ordered victim indexes + O(1) aggregate counters.
+#[derive(Debug)]
+struct FastCore {
+    capacities: Vec<u64>,
+    used: Vec<u64>,
+    peak_used: Vec<u64>,
+    /// Incrementally maintained host-resident byte total (tensors on host
+    /// or moving there) — replaces the seed's O(tensors) re-scan.
+    host_bytes: u64,
+    // --- SoA planes, indexed flat by TensorId ---
+    names: Vec<String>,
+    classes: Vec<TensorClass>,
+    bytes: Vec<u64>,
+    residency: Vec<Residency>,
+    pinned: Vec<u32>,
+    last_use: Vec<u64>,
+    next_use: Vec<Option<u64>>,
+    dirty: Vec<bool>,
+    host_copy: Vec<bool>,
+    /// Per-device membership index of device-resident tensors (pinned
+    /// included — pin/unpin stay pure field writes), ascending by id.
+    /// The public candidate order filters `pinned == 0` at read time.
+    resident: Vec<BTreeSet<TensorId>>,
+    /// Lazily built per-device ordered victim index for [`crate::Lru`]
+    /// (first *valid* element = the policy's choice). `None` until the
+    /// first `make_room` with an LRU-kind policy on that device.
+    ///
+    /// Maintained under a *lazy one-entry* discipline so the executor's
+    /// hot transitions (`touch`/`pin`/`unpin`) stay pure field writes:
+    /// each resident tensor has exactly one entry, recorded in the
+    /// `lru_entry` plane, whose key is a lower bound on the tensor's
+    /// current key (LRU keys only grow on touch, so touching just leaves
+    /// the old entry as that bound). Victim walks detect staleness
+    /// (stored key != recomputed key), drop the entry, and re-insert the
+    /// exact current key — which sorts after the walk cursor, preserving
+    /// the policy's exact order; a run of touches between walks thus
+    /// costs one normalization instead of one re-key each. Pinned-but-
+    /// valid entries are skipped in place (pin/unpin never touch the
+    /// index). Departures (`begin_swap_out`/`begin_p2p`/`free`/
+    /// `drop_to_host`) remove their entry exactly via the stored key, so
+    /// the index never accumulates garbage.
+    lru_index: Vec<Option<BTreeSet<LruKey>>>,
+    /// Same, for [`crate::NextUseAware`]-kind policies — with one twist:
+    /// a *growing* next-use hint shrinks the order-reversed key, so
+    /// `set_next_use` eagerly re-keys (remove stored + insert exact)
+    /// whenever the new key drops below the stored one — the only
+    /// transition that can violate the lower bound.
+    nu_index: Vec<Option<BTreeSet<NextUseKey>>>,
+    /// `last_use` value of this tensor's current `lru_index` entry (the
+    /// stored key is `(lru_entry[i], id)`); meaningful only while the
+    /// tensor is device-resident and the index is built.
+    lru_entry: Vec<u64>,
+    /// This tensor's current `nu_index` entry; meaningful only while the
+    /// tensor is device-resident and the index is built.
+    nu_entry: Vec<NextUseKey>,
+    next_id: TensorId,
+    clock: u64,
+    stats: SwapStats,
+    /// True while observers are attached on the wrapper: transitions
+    /// buffer a [`MemEvent`] for the wrapper to flush.
+    record: bool,
+    pending: Vec<MemEvent>,
+    /// Reused owned-record scratch for the foreign-policy fallback.
+    fallback_infos: Vec<TensorInfo>,
+}
+
+impl FastCore {
+    fn new(capacities: Vec<u64>) -> Self {
+        let n = capacities.len();
+        FastCore {
+            capacities,
+            used: vec![0; n],
+            peak_used: vec![0; n],
+            host_bytes: 0,
+            names: Vec::new(),
+            classes: Vec::new(),
+            bytes: Vec::new(),
+            residency: Vec::new(),
+            pinned: Vec::new(),
+            last_use: Vec::new(),
+            next_use: Vec::new(),
+            dirty: Vec::new(),
+            host_copy: Vec::new(),
+            resident: vec![BTreeSet::new(); n],
+            lru_index: vec![None; n],
+            nu_index: vec![None; n],
+            lru_entry: Vec::new(),
+            nu_entry: Vec::new(),
+            next_id: 0,
+            clock: 0,
+            stats: SwapStats::new(),
+            record: false,
+            pending: Vec::new(),
+            fallback_infos: Vec::new(),
+        }
+    }
+
+    fn note(&mut self, event: MemEvent) {
+        if self.record {
+            self.pending.push(event);
+        }
+    }
+
+    fn set_capacity(&mut self, dev: DeviceId, bytes: u64) -> Result<u64, MemError> {
         let used = self.used(dev)?;
         let effective = bytes.max(used);
         self.capacities[dev] = effective;
-        self.emit(MemEvent::CapacityChanged {
+        self.note(MemEvent::CapacityChanged {
             dev,
             capacity: effective,
         });
         Ok(effective)
     }
 
-    /// All tensor records (any residency), in ascending id order.
-    pub fn tensor_infos(&self) -> impl Iterator<Item = &TensorInfo> {
-        self.tensors.iter()
+    fn tensor_count(&self) -> usize {
+        self.names.len()
     }
 
-    /// Number of devices.
-    pub fn num_devices(&self) -> usize {
+    fn view(&self, id: TensorId) -> Option<TensorView<'_>> {
+        let i = id as usize;
+        if i >= self.names.len() {
+            return None;
+        }
+        Some(TensorView {
+            id,
+            name: &self.names[i],
+            bytes: self.bytes[i],
+            class: self.classes[i],
+            residency: self.residency[i],
+            pinned: self.pinned[i],
+            last_use: self.last_use[i],
+            next_use_hint: self.next_use[i],
+            dirty: self.dirty[i],
+            host_copy_valid: self.host_copy[i],
+        })
+    }
+
+    fn evictable_set(&self, dev: DeviceId) -> Option<&BTreeSet<TensorId>> {
+        // Resident including pinned; the wrapper filters `pinned == 0`.
+        self.resident.get(dev)
+    }
+
+    fn num_devices(&self) -> usize {
         self.capacities.len()
     }
 
-    /// Capacity of a device.
-    pub fn capacity(&self, dev: DeviceId) -> Result<u64, MemError> {
+    fn capacity(&self, dev: DeviceId) -> Result<u64, MemError> {
         self.capacities
             .get(dev)
             .copied()
             .ok_or(MemError::UnknownDevice(dev))
     }
 
-    /// Bytes currently charged on a device (resident + reserved in-flight).
-    pub fn used(&self, dev: DeviceId) -> Result<u64, MemError> {
+    fn used(&self, dev: DeviceId) -> Result<u64, MemError> {
         self.used
             .get(dev)
             .copied()
             .ok_or(MemError::UnknownDevice(dev))
     }
 
-    /// Free bytes on a device.
-    pub fn free_bytes(&self, dev: DeviceId) -> Result<u64, MemError> {
+    fn free_bytes(&self, dev: DeviceId) -> Result<u64, MemError> {
         Ok(self.capacity(dev)? - self.used(dev)?)
     }
 
-    /// Peak bytes ever charged on a device.
-    pub fn peak_used(&self, dev: DeviceId) -> Result<u64, MemError> {
+    fn peak_used(&self, dev: DeviceId) -> Result<u64, MemError> {
         self.peak_used
             .get(dev)
             .copied()
             .ok_or(MemError::UnknownDevice(dev))
     }
 
-    /// Swap statistics.
-    pub fn stats(&self) -> &SwapStats {
+    fn stats(&self) -> &SwapStats {
         &self.stats
     }
 
-    /// Bytes currently resident in host memory (tensors on host or on
-    /// their way there). The paper treats host RAM as ample ("backing GPU
-    /// memory with CPU memory"); this is reporting, not a capacity limit.
-    pub fn host_used(&self) -> u64 {
-        self.tensors
-            .iter()
-            .filter(|t| {
-                matches!(
-                    t.residency,
-                    Residency::OnHost | Residency::MovingToHost { .. }
-                )
-            })
-            .map(|t| t.bytes)
-            .sum()
+    fn stats_mut(&mut self) -> &mut SwapStats {
+        &mut self.stats
     }
 
-    /// Tensor metadata.
-    pub fn info(&self, id: TensorId) -> Result<&TensorInfo, MemError> {
-        self.tensors
-            .get(id as usize)
-            .ok_or(MemError::UnknownTensor(id))
+    fn host_used(&self) -> u64 {
+        self.host_bytes
     }
 
-    fn info_mut(&mut self, id: TensorId) -> Result<&mut TensorInfo, MemError> {
-        self.tensors
-            .get_mut(id as usize)
-            .ok_or(MemError::UnknownTensor(id))
+    /// Plane index for a registered tensor, or `UnknownTensor`.
+    fn check(&self, id: TensorId) -> Result<usize, MemError> {
+        let i = id as usize;
+        if i < self.names.len() {
+            Ok(i)
+        } else {
+            Err(MemError::UnknownTensor(id))
+        }
     }
 
     fn charge(&mut self, dev: DeviceId, bytes: u64) {
@@ -256,39 +865,84 @@ impl MemoryManager {
         self.used[dev] = self.used[dev].saturating_sub(bytes);
     }
 
-    /// Registers a host-resident tensor (e.g. initial weights, inputs).
-    pub fn register_on_host(
-        &mut self,
-        name: impl Into<String>,
-        bytes: u64,
-        class: TensorClass,
-    ) -> TensorId {
+    fn lru_key(&self, i: usize, id: TensorId) -> LruKey {
+        (self.last_use[i], id)
+    }
+
+    fn nu_key(&self, i: usize, id: TensorId) -> NextUseKey {
+        (
+            u64::MAX - self.next_use[i].map_or(u64::MAX, |h| h),
+            self.last_use[i],
+            id,
+        )
+    }
+
+    /// Enters `id` into `dev`'s resident membership and seeds its exact
+    /// key into any built ordered index (keys are computed from the
+    /// current planes — call after updating them), recording the stored
+    /// keys for exact removal at departure.
+    fn arrive(&mut self, dev: DeviceId, id: TensorId) {
+        self.resident[dev].insert(id);
+        let i = id as usize;
+        let lru = self.lru_key(i, id);
+        let nu = self.nu_key(i, id);
+        let mut ops = 0u64;
+        if let Some(idx) = self.lru_index[dev].as_mut() {
+            idx.insert(lru);
+            self.lru_entry[i] = lru.0;
+            ops += 1;
+        }
+        if let Some(idx) = self.nu_index[dev].as_mut() {
+            idx.insert(nu);
+            self.nu_entry[i] = nu;
+            ops += 1;
+        }
+        self.stats.counters.index_ops += ops;
+    }
+
+    /// Removes `id` from `dev`'s resident membership and drops its one
+    /// ordered-index entry per built index, located exactly by the
+    /// stored key (the live key may have drifted since — that's the
+    /// lazy discipline; the stored key is the ground truth).
+    fn depart(&mut self, dev: DeviceId, id: TensorId) {
+        self.resident[dev].remove(&id);
+        let i = id as usize;
+        let mut ops = 0u64;
+        if let Some(idx) = self.lru_index[dev].as_mut() {
+            idx.remove(&(self.lru_entry[i], id));
+            ops += 1;
+        }
+        if let Some(idx) = self.nu_index[dev].as_mut() {
+            idx.remove(&self.nu_entry[i]);
+            ops += 1;
+        }
+        self.stats.counters.index_ops += ops;
+    }
+
+    fn register_on_host(&mut self, name: String, bytes: u64, class: TensorClass) -> TensorId {
         let id = self.next_id;
         self.next_id += 1;
         self.clock += 1;
-        debug_assert_eq!(id as usize, self.tensors.len());
-        self.tensors.push(TensorInfo {
-            id,
-            name: name.into(),
-            bytes,
-            class,
-            residency: Residency::OnHost,
-            pinned: 0,
-            last_use: self.clock,
-            next_use_hint: None,
-            dirty: false,
-            host_copy_valid: true,
-        });
-        self.emit(MemEvent::RegisterHost { id, bytes, class });
+        debug_assert_eq!(id as usize, self.names.len());
+        self.names.push(name);
+        self.classes.push(class);
+        self.bytes.push(bytes);
+        self.residency.push(Residency::OnHost);
+        self.pinned.push(0);
+        self.last_use.push(self.clock);
+        self.next_use.push(None);
+        self.dirty.push(false);
+        self.host_copy.push(true);
+        self.lru_entry.push(0);
+        self.nu_entry.push((0, 0, 0));
+        self.host_bytes += bytes;
+        self.note(MemEvent::RegisterHost { id, bytes, class });
         id
     }
 
-    /// Registers a freshly produced device-resident tensor (a task output).
-    /// Fails if the device lacks free capacity — callers must evict first
-    /// (see [`MemoryManager::make_room`]).
-    pub fn alloc_on_device(
+    fn alloc_on_device(
         &mut self,
-        name: impl Into<String>,
+        name: String,
         bytes: u64,
         class: TensorClass,
         dev: DeviceId,
@@ -304,22 +958,21 @@ impl MemoryManager {
         let id = self.next_id;
         self.next_id += 1;
         self.clock += 1;
-        debug_assert_eq!(id as usize, self.tensors.len());
-        self.tensors.push(TensorInfo {
-            id,
-            name: name.into(),
-            bytes,
-            class,
-            residency: Residency::OnDevice(dev),
-            pinned: 0,
-            last_use: self.clock,
-            next_use_hint: None,
-            // Fresh device-side outputs have no host copy yet.
-            dirty: true,
-            host_copy_valid: false,
-        });
-        self.evictable[dev].insert(id);
-        self.emit(MemEvent::Alloc {
+        debug_assert_eq!(id as usize, self.names.len());
+        self.names.push(name);
+        self.classes.push(class);
+        self.bytes.push(bytes);
+        self.residency.push(Residency::OnDevice(dev));
+        self.pinned.push(0);
+        self.last_use.push(self.clock);
+        self.next_use.push(None);
+        // Fresh device-side outputs have no host copy yet.
+        self.dirty.push(true);
+        self.host_copy.push(false);
+        self.lru_entry.push(0);
+        self.nu_entry.push((0, 0, 0));
+        self.arrive(dev, id);
+        self.note(MemEvent::Alloc {
             id,
             dev,
             bytes,
@@ -328,35 +981,55 @@ impl MemoryManager {
         Ok(id)
     }
 
-    /// Marks a tensor as just-accessed (bumps the LRU clock).
-    pub fn touch(&mut self, id: TensorId) -> Result<(), MemError> {
+    fn touch(&mut self, id: TensorId) -> Result<(), MemError> {
+        // The clock bumps before validation — seed behavior.
         self.clock += 1;
         let clock = self.clock;
-        self.info_mut(id)?.last_use = clock;
-        self.emit(MemEvent::Use { id });
+        let i = self.check(id)?;
+        // Pure field write: the LRU key `(last_use, id)` only grows, so
+        // any stale ordered-index entry is a lower bound that the next
+        // victim walk normalizes in place.
+        self.last_use[i] = clock;
+        self.note(MemEvent::Use { id });
         Ok(())
     }
 
-    /// Installs/clears the scheduler's next-use hint.
-    pub fn set_next_use(&mut self, id: TensorId, hint: Option<u64>) -> Result<(), MemError> {
-        self.info_mut(id)?.next_use_hint = hint;
-        Ok(())
-    }
-
-    /// Pins a tensor (must be device-resident); pinned tensors cannot be
-    /// evicted. Pins nest.
-    pub fn pin(&mut self, id: TensorId) -> Result<(), MemError> {
-        let info = self.info_mut(id)?;
-        match info.residency {
-            Residency::OnDevice(d) => {
-                info.pinned += 1;
-                if info.pinned == 1 {
-                    self.evictable[d].remove(&id);
+    fn set_next_use(&mut self, id: TensorId, hint: Option<u64>) -> Result<(), MemError> {
+        let i = self.check(id)?;
+        if let Residency::OnDevice(d) = self.residency[i] {
+            if self.nu_index[d].is_some() {
+                // A growing hint shrinks the order-reversed NU key; only
+                // a key dropping below the *stored* entry must re-key
+                // eagerly to keep the lower-bound invariant. Grown keys
+                // normalize lazily at the next victim walk.
+                self.next_use[i] = hint;
+                let new = self.nu_key(i, id);
+                if new < self.nu_entry[i] {
+                    let idx = self.nu_index[d].as_mut().expect("checked is_some above");
+                    idx.remove(&self.nu_entry[i]);
+                    idx.insert(new);
+                    self.nu_entry[i] = new;
+                    self.stats.counters.index_ops += 2;
                 }
-                self.emit(MemEvent::Pin { id });
+                return Ok(());
+            }
+        }
+        self.next_use[i] = hint;
+        Ok(())
+    }
+
+    fn pin(&mut self, id: TensorId) -> Result<(), MemError> {
+        let i = self.check(id)?;
+        match self.residency[i] {
+            Residency::OnDevice(_) => {
+                // Pure field write: pinned tensors stay in the resident
+                // membership and ordered indexes; candidate reads and
+                // victim walks skip them by the `pinned` plane.
+                self.pinned[i] += 1;
+                self.note(MemEvent::Pin { id });
                 Ok(())
             }
-            ref other => Err(MemError::InvalidState {
+            other => Err(MemError::InvalidState {
                 id,
                 op: "pin",
                 state: other.describe(),
@@ -364,35 +1037,25 @@ impl MemoryManager {
         }
     }
 
-    /// Releases one pin.
-    pub fn unpin(&mut self, id: TensorId) -> Result<(), MemError> {
-        let info = self.info_mut(id)?;
-        if info.pinned == 0 {
+    fn unpin(&mut self, id: TensorId) -> Result<(), MemError> {
+        let i = self.check(id)?;
+        if self.pinned[i] == 0 {
             return Err(MemError::InvalidState {
                 id,
                 op: "unpin",
                 state: "not pinned".to_string(),
             });
         }
-        info.pinned -= 1;
-        if info.pinned == 0 {
-            if let Residency::OnDevice(d) = info.residency {
-                self.evictable[d].insert(id);
-            }
-        }
-        self.emit(MemEvent::Unpin { id });
+        self.pinned[i] -= 1;
+        self.note(MemEvent::Unpin { id });
         Ok(())
     }
 
-    /// Frees a tensor (any non-in-flight, unpinned state). Device capacity
-    /// is released immediately; no swap traffic is charged (discarding is
-    /// free — this is why dead activations should be freed, not evicted).
-    pub fn free(&mut self, id: TensorId) -> Result<(), MemError> {
-        let (residency, pinned, bytes) = {
-            let t = self.info(id)?;
-            (t.residency, t.pinned, t.bytes)
-        };
-        if pinned > 0 {
+    fn free(&mut self, id: TensorId) -> Result<(), MemError> {
+        let i = self.check(id)?;
+        let residency = self.residency[i];
+        let bytes = self.bytes[i];
+        if self.pinned[i] > 0 {
             return Err(MemError::InvalidState {
                 id,
                 op: "free",
@@ -402,9 +1065,12 @@ impl MemoryManager {
         match residency {
             Residency::OnDevice(d) => {
                 self.release(d, bytes);
-                self.evictable[d].remove(&id);
+                self.depart(d, id);
             }
-            Residency::OnHost | Residency::Dead => {}
+            Residency::OnHost => {
+                self.host_bytes -= bytes;
+            }
+            Residency::Dead => {}
             moving => {
                 return Err(MemError::InvalidState {
                     id,
@@ -413,93 +1079,350 @@ impl MemoryManager {
                 })
             }
         }
-        self.info_mut(id)?.residency = Residency::Dead;
-        self.emit(MemEvent::Free { id });
+        self.residency[i] = Residency::Dead;
+        self.note(MemEvent::Free { id });
         Ok(())
     }
 
-    /// Unpinned tensors resident on `dev`, as eviction candidates.
-    ///
-    /// Served from the per-device `evictable` index, so the cost is
-    /// O(k) in the number of candidates rather than O(total tensors).
-    /// `BTreeSet` iteration is ascending by id — exactly the
-    /// deterministic order the previous full filter-and-sort produced.
-    pub fn eviction_candidates(&self, dev: DeviceId) -> Vec<&TensorInfo> {
-        match self.evictable.get(dev) {
-            Some(set) => set.iter().map(|&id| &self.tensors[id as usize]).collect(),
-            None => Vec::new(),
-        }
-    }
-
-    /// Plans evictions to free at least `bytes` on `dev` (over and above
-    /// current free space). Does not change state.
-    pub fn make_room(
-        &self,
+    fn make_room_into(
+        &mut self,
         dev: DeviceId,
         bytes: u64,
         policy: &dyn EvictionPolicy,
-    ) -> Result<Vec<TensorId>, MemError> {
-        let mut free = self.free_bytes(dev)?;
+        out: &mut Vec<TensorId>,
+    ) -> Result<(), MemError> {
+        let free = self.free_bytes(dev)?;
         if free >= bytes {
-            return Ok(Vec::new());
+            return Ok(());
         }
-        let mut candidates = self.eviction_candidates(dev);
-        let mut victims = Vec::new();
-        while free < bytes {
-            let victim = policy.choose(&candidates).ok_or({
-                MemError::InsufficientMemory {
+        match policy.index_kind() {
+            Some(PolicyIndexKind::Lru) => {
+                self.ensure_lru_index(dev);
+                let mut freed = free;
+                let mut pops = 0u64;
+                let mut norm_ops = 0u64;
+                let mut cursor: Option<LruKey> = None;
+                // Walk ascending, normalizing stale entries as they
+                // surface. LRU keys only grow, so a normalized re-insert
+                // lands *after* the cursor: the walk visits each live
+                // tensor exactly once, in the policy's exact order, and
+                // a run of touches between walks costs one
+                // normalization here instead of one re-key per touch.
+                let result = loop {
+                    if freed >= bytes {
+                        break Ok(());
+                    }
+                    let next = {
+                        let idx = self.lru_index[dev].as_ref().expect("built just above");
+                        match cursor {
+                            None => idx.iter().next().copied(),
+                            Some(c) => idx
+                                .range((std::ops::Bound::Excluded(c), std::ops::Bound::Unbounded))
+                                .next()
+                                .copied(),
+                        }
+                    };
+                    let Some(entry) = next else {
+                        break Err(MemError::InsufficientMemory {
+                            device: dev,
+                            needed: bytes,
+                            capacity: self.capacities[dev],
+                        });
+                    };
+                    cursor = Some(entry);
+                    let id = entry.1;
+                    let i = id as usize;
+                    if self.last_use[i] != entry.0 {
+                        // Stale lower bound: re-key to the exact spot
+                        // (always ahead of the cursor — keys only grow).
+                        let exact = (self.last_use[i], id);
+                        let idx = self.lru_index[dev].as_mut().expect("built just above");
+                        idx.remove(&entry);
+                        idx.insert(exact);
+                        self.lru_entry[i] = exact.0;
+                        norm_ops += 2;
+                        continue;
+                    }
+                    if self.pinned[i] > 0 {
+                        continue; // valid entry, just not currently evictable
+                    }
+                    freed += self.bytes[i];
+                    out.push(id);
+                    pops += 1;
+                };
+                self.stats.counters.victim_pops += pops;
+                self.stats.counters.index_ops += norm_ops;
+                result
+            }
+            Some(PolicyIndexKind::NextUse) => {
+                // Adaptive: next-use hints churn on every tensor use, so
+                // a built NU index charges `set_next_use` an eager
+                // re-key (two tree ops) per shrinking key — a net loss
+                // on small device populations where a direct selection
+                // scan over the resident set is a few cache lines. The
+                // index pays for itself only at scale; hysteresis keeps
+                // the build/drop boundary from thrashing.
+                let n = self.resident[dev].len();
+                match &self.nu_index[dev] {
+                    None if n <= NU_INDEX_BUILD_ABOVE => {
+                        return self.make_room_scan_nu(dev, bytes, free, out);
+                    }
+                    Some(_) if n < NU_INDEX_DROP_BELOW => {
+                        self.nu_index[dev] = None;
+                        return self.make_room_scan_nu(dev, bytes, free, out);
+                    }
+                    _ => {}
+                }
+                self.ensure_nu_index(dev);
+                let mut freed = free;
+                let mut pops = 0u64;
+                let mut norm_ops = 0u64;
+                let mut cursor: Option<NextUseKey> = None;
+                // As above; keys that *shrank* were re-keyed eagerly by
+                // `set_next_use`, so every stale entry's exact key is
+                // ahead of the cursor — never missed.
+                let result = loop {
+                    if freed >= bytes {
+                        break Ok(());
+                    }
+                    let next = {
+                        let idx = self.nu_index[dev].as_ref().expect("built just above");
+                        match cursor {
+                            None => idx.iter().next().copied(),
+                            Some(c) => idx
+                                .range((std::ops::Bound::Excluded(c), std::ops::Bound::Unbounded))
+                                .next()
+                                .copied(),
+                        }
+                    };
+                    let Some(entry) = next else {
+                        break Err(MemError::InsufficientMemory {
+                            device: dev,
+                            needed: bytes,
+                            capacity: self.capacities[dev],
+                        });
+                    };
+                    cursor = Some(entry);
+                    let id = entry.2;
+                    let i = id as usize;
+                    let exact = self.nu_key(i, id);
+                    if exact != entry {
+                        let idx = self.nu_index[dev].as_mut().expect("built just above");
+                        idx.remove(&entry);
+                        idx.insert(exact);
+                        self.nu_entry[i] = exact;
+                        norm_ops += 2;
+                        continue;
+                    }
+                    if self.pinned[i] > 0 {
+                        continue; // valid entry, just not currently evictable
+                    }
+                    freed += self.bytes[i];
+                    out.push(id);
+                    pops += 1;
+                };
+                self.stats.counters.victim_pops += pops;
+                self.stats.counters.index_ops += norm_ops;
+                result
+            }
+            None => self.make_room_fallback(dev, bytes, free, policy, out),
+        }
+    }
+
+    /// Allocation-free next-use planning for small device populations: a
+    /// selection loop straight over the resident membership and the SoA
+    /// planes — no index maintenance anywhere on the hot path, no
+    /// materialized candidate set. Victim order is the policy's exact
+    /// comparison (min ascending NU key == `NextUseAware`'s
+    /// `max_by_key`), with already-planned victims of *this* call
+    /// excluded exactly like the dense choose-loop's shrinking slice.
+    fn make_room_scan_nu(
+        &mut self,
+        dev: DeviceId,
+        bytes: u64,
+        free: u64,
+        out: &mut Vec<TensorId>,
+    ) -> Result<(), MemError> {
+        let start = out.len();
+        let mut freed = free;
+        let mut pops = 0u64;
+        let result = loop {
+            if freed >= bytes {
+                break Ok(());
+            }
+            let mut best: Option<NextUseKey> = None;
+            for &id in &self.resident[dev] {
+                let i = id as usize;
+                if self.pinned[i] > 0 || out[start..].contains(&id) {
+                    continue;
+                }
+                let key = self.nu_key(i, id);
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
+            }
+            let Some((_, _, id)) = best else {
+                break Err(MemError::InsufficientMemory {
                     device: dev,
                     needed: bytes,
                     capacity: self.capacities[dev],
-                }
-            })?;
-            // The policy is an external trait object: a buggy
-            // implementation returning an id outside the candidate set is
-            // an error to report, not an invariant to die on.
-            let idx = candidates
-                .iter()
-                .position(|t| t.id == victim)
-                .ok_or_else(|| MemError::InvalidState {
-                    id: victim,
-                    op: "evict",
-                    state: "not in the eviction-candidate set the policy was offered".to_string(),
-                })?;
-            free += candidates[idx].bytes;
-            victims.push(victim);
-            candidates.remove(idx);
-        }
-        Ok(victims)
+                });
+            };
+            freed += self.bytes[id as usize];
+            out.push(id);
+            pops += 1;
+        };
+        self.stats.counters.victim_pops += pops;
+        result
     }
 
-    /// Plans how to make tensor `id` resident on `dev`: which tensors to
-    /// evict and whether/where a transfer is needed. Does not change state.
-    pub fn plan_fetch(
-        &self,
+    /// Foreign-policy path: preserves the seed semantics exactly (owned
+    /// candidate snapshot in ascending id order, `choose` re-offered the
+    /// shrinking set once per victim, same errors) — just through a
+    /// reused scratch buffer.
+    fn make_room_fallback(
+        &mut self,
+        dev: DeviceId,
+        bytes: u64,
+        mut free: u64,
+        policy: &dyn EvictionPolicy,
+        out: &mut Vec<TensorId>,
+    ) -> Result<(), MemError> {
+        let mut infos = std::mem::take(&mut self.fallback_infos);
+        infos.clear();
+        if let Some(set) = self.resident.get(dev) {
+            for &id in set.iter() {
+                let i = id as usize;
+                if self.pinned[i] > 0 {
+                    continue; // resident membership includes pinned; the policy sees only evictables
+                }
+                infos.push(TensorInfo {
+                    id,
+                    name: self.names[i].clone(),
+                    bytes: self.bytes[i],
+                    class: self.classes[i],
+                    residency: self.residency[i],
+                    pinned: self.pinned[i],
+                    last_use: self.last_use[i],
+                    next_use_hint: self.next_use[i],
+                    dirty: self.dirty[i],
+                    host_copy_valid: self.host_copy[i],
+                });
+            }
+        }
+        let mut scans = 0u64;
+        let result = {
+            let mut candidates: Vec<&TensorInfo> = infos.iter().collect();
+            loop {
+                if free >= bytes {
+                    break Ok(());
+                }
+                scans += candidates.len() as u64;
+                let Some(victim) = policy.choose(&candidates) else {
+                    break Err(MemError::InsufficientMemory {
+                        device: dev,
+                        needed: bytes,
+                        capacity: self.capacities[dev],
+                    });
+                };
+                // The policy is an external trait object: a buggy
+                // implementation returning an id outside the candidate
+                // set is an error to report, not an invariant to die on.
+                match candidates.iter().position(|t| t.id == victim) {
+                    Some(idx) => {
+                        free += candidates[idx].bytes;
+                        out.push(victim);
+                        candidates.remove(idx);
+                    }
+                    None => {
+                        break Err(MemError::InvalidState {
+                            id: victim,
+                            op: "evict",
+                            state: "not in the eviction-candidate set the policy was offered"
+                                .to_string(),
+                        })
+                    }
+                }
+            }
+        };
+        self.stats.counters.fresh_allocs += 1;
+        self.stats.counters.candidate_scans += scans;
+        self.fallback_infos = infos;
+        result
+    }
+
+    /// Builds `dev`'s LRU victim index from the resident set (pinned
+    /// included — they may unpin without another key-changing touch) on
+    /// first use; lazy lower-bound maintenance keeps it walkable
+    /// afterwards.
+    fn ensure_lru_index(&mut self, dev: DeviceId) {
+        if self.lru_index[dev].is_some() {
+            return;
+        }
+        let mut set = BTreeSet::new();
+        for &id in &self.resident[dev] {
+            let i = id as usize;
+            self.lru_entry[i] = self.last_use[i];
+            set.insert((self.last_use[i], id));
+        }
+        self.stats.counters.fresh_allocs += 1;
+        self.stats.counters.index_ops += set.len() as u64;
+        self.lru_index[dev] = Some(set);
+    }
+
+    /// Builds `dev`'s next-use victim index from the resident set on
+    /// first use; lazy lower-bound maintenance keeps it walkable
+    /// afterwards.
+    fn ensure_nu_index(&mut self, dev: DeviceId) {
+        if self.nu_index[dev].is_some() {
+            return;
+        }
+        let mut set = BTreeSet::new();
+        for &id in &self.resident[dev] {
+            let i = id as usize;
+            let key = (
+                u64::MAX - self.next_use[i].map_or(u64::MAX, |h| h),
+                self.last_use[i],
+                id,
+            );
+            self.nu_entry[i] = key;
+            set.insert(key);
+        }
+        self.stats.counters.fresh_allocs += 1;
+        self.stats.counters.index_ops += set.len() as u64;
+        self.nu_index[dev] = Some(set);
+    }
+
+    fn plan_fetch_into(
+        &mut self,
         id: TensorId,
         dev: DeviceId,
         policy: &dyn EvictionPolicy,
-    ) -> Result<FetchPlan, MemError> {
-        let info = self.info(id)?;
-        match info.residency {
-            Residency::OnDevice(d) if d == dev => Ok(FetchPlan {
-                tensor: id,
-                evictions: Vec::new(),
+        out: &mut Vec<TensorId>,
+    ) -> Result<FetchAction, MemError> {
+        let i = self.check(id)?;
+        let bytes = self.bytes[i];
+        let residency = self.residency[i];
+        match residency {
+            Residency::OnDevice(d) if d == dev => Ok(FetchAction {
                 needs_transfer: false,
                 src_device: None,
             }),
-            Residency::OnDevice(src) => Ok(FetchPlan {
-                tensor: id,
-                evictions: self.make_room(dev, info.bytes, policy)?,
-                needs_transfer: true,
-                src_device: Some(src),
-            }),
-            Residency::OnHost => Ok(FetchPlan {
-                tensor: id,
-                evictions: self.make_room(dev, info.bytes, policy)?,
-                needs_transfer: true,
-                src_device: None,
-            }),
-            ref other => Err(MemError::InvalidState {
+            Residency::OnDevice(src) => {
+                self.make_room_into(dev, bytes, policy, out)?;
+                Ok(FetchAction {
+                    needs_transfer: true,
+                    src_device: Some(src),
+                })
+            }
+            Residency::OnHost => {
+                self.make_room_into(dev, bytes, policy, out)?;
+                Ok(FetchAction {
+                    needs_transfer: true,
+                    src_device: None,
+                })
+            }
+            other => Err(MemError::InvalidState {
                 id,
                 op: "plan_fetch",
                 state: other.describe(),
@@ -507,14 +1430,11 @@ impl MemoryManager {
         }
     }
 
-    /// Begins evicting a tensor to host. Capacity stays charged until
-    /// [`MemoryManager::finish_swap_out`]. Returns `(src_device, bytes)`
-    /// for the transfer. Swap-out volume is tallied here.
-    pub fn begin_swap_out(&mut self, id: TensorId) -> Result<(DeviceId, u64), MemError> {
-        let (residency, pinned, bytes, class) = {
-            let t = self.info(id)?;
-            (t.residency, t.pinned, t.bytes, t.class)
-        };
+    fn begin_swap_out(&mut self, id: TensorId) -> Result<(DeviceId, u64), MemError> {
+        let i = self.check(id)?;
+        let residency = self.residency[i];
+        let bytes = self.bytes[i];
+        let class = self.classes[i];
         let src = match residency {
             Residency::OnDevice(d) => d,
             other => {
@@ -525,34 +1445,31 @@ impl MemoryManager {
                 })
             }
         };
-        if pinned > 0 {
+        if self.pinned[i] > 0 {
             return Err(MemError::InvalidState {
                 id,
                 op: "begin_swap_out",
                 state: "pinned".to_string(),
             });
         }
-        self.info_mut(id)?.residency = Residency::MovingToHost { src };
-        self.evictable[src].remove(&id);
+        self.residency[i] = Residency::MovingToHost { src };
+        self.depart(src, id);
+        self.host_bytes += bytes;
         self.stats.record(src, Direction::Out, class, bytes);
-        self.emit(MemEvent::BeginSwapOut { id, src, bytes });
+        self.note(MemEvent::BeginSwapOut { id, src, bytes });
         Ok((src, bytes))
     }
 
-    /// Completes a swap-out: bytes have left the device; capacity freed.
-    pub fn finish_swap_out(&mut self, id: TensorId) -> Result<(), MemError> {
-        let (residency, bytes) = {
-            let t = self.info(id)?;
-            (t.residency, t.bytes)
-        };
-        match residency {
+    fn finish_swap_out(&mut self, id: TensorId) -> Result<(), MemError> {
+        let i = self.check(id)?;
+        match self.residency[i] {
             Residency::MovingToHost { src } => {
+                let bytes = self.bytes[i];
                 self.release(src, bytes);
-                let t = self.info_mut(id)?;
-                t.residency = Residency::OnHost;
-                t.dirty = false;
-                t.host_copy_valid = true;
-                self.emit(MemEvent::FinishSwapOut { id, src, bytes });
+                self.residency[i] = Residency::OnHost;
+                self.dirty[i] = false;
+                self.host_copy[i] = true;
+                self.note(MemEvent::FinishSwapOut { id, src, bytes });
                 Ok(())
             }
             other => Err(MemError::InvalidState {
@@ -563,13 +1480,11 @@ impl MemoryManager {
         }
     }
 
-    /// Begins a host→device swap-in. Destination capacity is reserved now;
-    /// fails if insufficient (evict first). Swap-in volume is tallied here.
-    pub fn begin_swap_in(&mut self, id: TensorId, dev: DeviceId) -> Result<u64, MemError> {
-        let (residency, bytes, class) = {
-            let t = self.info(id)?;
-            (t.residency, t.bytes, t.class)
-        };
+    fn begin_swap_in(&mut self, id: TensorId, dev: DeviceId) -> Result<u64, MemError> {
+        let i = self.check(id)?;
+        let residency = self.residency[i];
+        let bytes = self.bytes[i];
+        let class = self.classes[i];
         if residency != Residency::OnHost {
             return Err(MemError::InvalidState {
                 id,
@@ -585,12 +1500,13 @@ impl MemoryManager {
             });
         }
         self.charge(dev, bytes);
-        self.info_mut(id)?.residency = Residency::MovingToDevice {
+        self.residency[i] = Residency::MovingToDevice {
             dst: dev,
             src: None,
         };
+        self.host_bytes -= bytes;
         self.stats.record(dev, Direction::In, class, bytes);
-        self.emit(MemEvent::BeginSwapIn {
+        self.note(MemEvent::BeginSwapIn {
             id,
             dst: dev,
             bytes,
@@ -598,15 +1514,10 @@ impl MemoryManager {
         Ok(bytes)
     }
 
-    /// Begins a device→device (p2p) move. Capacity is charged on the
-    /// destination while the source stays charged until the move finishes
-    /// (both copies exist in flight). Tallied as p2p, **not** swap volume —
-    /// the whole point of Harmony's optimization 3.
-    pub fn begin_p2p(&mut self, id: TensorId, dst: DeviceId) -> Result<(DeviceId, u64), MemError> {
-        let (residency, pinned, bytes) = {
-            let t = self.info(id)?;
-            (t.residency, t.pinned, t.bytes)
-        };
+    fn begin_p2p(&mut self, id: TensorId, dst: DeviceId) -> Result<(DeviceId, u64), MemError> {
+        let i = self.check(id)?;
+        let residency = self.residency[i];
+        let bytes = self.bytes[i];
         let src = match residency {
             Residency::OnDevice(d) if d != dst => d,
             other => {
@@ -617,7 +1528,7 @@ impl MemoryManager {
                 })
             }
         };
-        if pinned > 0 {
+        if self.pinned[i] > 0 {
             return Err(MemError::InvalidState {
                 id,
                 op: "begin_p2p",
@@ -632,13 +1543,13 @@ impl MemoryManager {
             });
         }
         self.charge(dst, bytes);
-        self.info_mut(id)?.residency = Residency::MovingToDevice {
+        self.residency[i] = Residency::MovingToDevice {
             dst,
             src: Some(src),
         };
-        self.evictable[src].remove(&id);
+        self.depart(src, id);
         self.stats.record_p2p(bytes);
-        self.emit(MemEvent::BeginP2p {
+        self.note(MemEvent::BeginP2p {
             id,
             src,
             dst,
@@ -647,32 +1558,26 @@ impl MemoryManager {
         Ok((src, bytes))
     }
 
-    /// Completes a swap-in or p2p move: tensor becomes device-resident;
-    /// for p2p the source copy is released.
-    pub fn finish_move_to_device(&mut self, id: TensorId) -> Result<DeviceId, MemError> {
-        let (residency, bytes) = {
-            let t = self.info(id)?;
-            (t.residency, t.bytes)
-        };
-        match residency {
+    fn finish_move_to_device(&mut self, id: TensorId) -> Result<DeviceId, MemError> {
+        let i = self.check(id)?;
+        match self.residency[i] {
             Residency::MovingToDevice { dst, src } => {
+                let bytes = self.bytes[i];
                 if let Some(s) = src {
                     self.release(s, bytes);
                 }
                 self.clock += 1;
-                let clock = self.clock;
-                let t = self.info_mut(id)?;
-                t.residency = Residency::OnDevice(dst);
-                t.last_use = clock;
+                self.residency[i] = Residency::OnDevice(dst);
+                self.last_use[i] = self.clock;
                 // A host->device copy leaves the host copy valid; a p2p
                 // move does not touch host validity.
                 if src.is_none() {
-                    t.dirty = false;
+                    self.dirty[i] = false;
                 }
                 // A moving tensor can never be pinned (pin requires
                 // device residency), so it is evictable on arrival.
-                self.evictable[dst].insert(id);
-                self.emit(MemEvent::FinishMove {
+                self.arrive(dst, id);
+                self.note(MemEvent::FinishMove {
                     id,
                     dst,
                     p2p: src.is_some(),
@@ -687,37 +1592,26 @@ impl MemoryManager {
         }
     }
 
-    /// Reverts an in-flight move toward a device: the resilience layer's
-    /// transfer-cancellation path (a fault degraded the link mid-move and
-    /// the runtime will re-issue the payload over another route). The
-    /// destination reservation is released and the tensor returns to its
-    /// pre-move residency — the source device for a p2p move (re-entering
-    /// that device's evictable index), host for a swap-in.
-    ///
-    /// Traffic recorded at `begin_*` stays tallied: bytes are charged to
-    /// the *attempt*, matching the simulator's at-issue channel
-    /// accounting, and only faulted runs ever cancel.
-    pub fn cancel_move_to_device(&mut self, id: TensorId) -> Result<(), MemError> {
-        let (residency, bytes) = {
-            let t = self.info(id)?;
-            (t.residency, t.bytes)
-        };
-        match residency {
+    fn cancel_move_to_device(&mut self, id: TensorId) -> Result<(), MemError> {
+        let i = self.check(id)?;
+        match self.residency[i] {
             Residency::MovingToDevice { dst, src } => {
+                let bytes = self.bytes[i];
                 self.release(dst, bytes);
                 match src {
                     Some(s) => {
                         // A moving tensor can never be pinned (pin
                         // requires device residency), so it is evictable
                         // again the moment it is back on `s`.
-                        self.info_mut(id)?.residency = Residency::OnDevice(s);
-                        self.evictable[s].insert(id);
+                        self.residency[i] = Residency::OnDevice(s);
+                        self.arrive(s, id);
                     }
                     None => {
-                        self.info_mut(id)?.residency = Residency::OnHost;
+                        self.residency[i] = Residency::OnHost;
+                        self.host_bytes += bytes;
                     }
                 }
-                self.emit(MemEvent::CancelMove {
+                self.note(MemEvent::CancelMove {
                     id,
                     dst,
                     p2p: src.is_some(),
@@ -732,34 +1626,28 @@ impl MemoryManager {
         }
     }
 
-    /// Marks a tensor as modified on its device (its host copy, if any, is
-    /// now stale). Runtimes call this for every tensor a task writes.
-    pub fn mark_dirty(&mut self, id: TensorId) -> Result<(), MemError> {
-        let t = self.info_mut(id)?;
-        t.dirty = true;
-        t.host_copy_valid = false;
-        self.emit(MemEvent::MarkDirty { id });
+    fn mark_dirty(&mut self, id: TensorId) -> Result<(), MemError> {
+        let i = self.check(id)?;
+        self.dirty[i] = true;
+        self.host_copy[i] = false;
+        self.note(MemEvent::MarkDirty { id });
         Ok(())
     }
 
-    /// True if evicting this tensor needs no writeback: it is clean and a
-    /// valid host copy exists. Harmony exploits this to make post-forward
-    /// weight evictions free (the "3 vs 4m+2" asymmetry of §3); baseline
-    /// per-GPU virtualization ignores it and always writes back.
-    pub fn can_drop(&self, id: TensorId) -> Result<bool, MemError> {
-        let t = self.info(id)?;
-        Ok(!t.dirty && t.host_copy_valid && matches!(t.residency, Residency::OnDevice(_)))
+    fn can_drop(&self, id: TensorId) -> Result<bool, MemError> {
+        let i = self.check(id)?;
+        Ok(!self.dirty[i]
+            && self.host_copy[i]
+            && matches!(self.residency[i], Residency::OnDevice(_)))
     }
 
-    /// Instantly demotes a clean, host-backed, unpinned device tensor to
-    /// host residency with **no transfer and no swap volume** (the device
-    /// copy is simply discarded). Errors unless [`MemoryManager::can_drop`].
-    pub fn drop_to_host(&mut self, id: TensorId) -> Result<(), MemError> {
-        let (residency, pinned, bytes, dirty, host_copy_valid) = {
-            let t = self.info(id)?;
-            (t.residency, t.pinned, t.bytes, t.dirty, t.host_copy_valid)
-        };
-        if pinned > 0 {
+    fn drop_to_host(&mut self, id: TensorId) -> Result<(), MemError> {
+        let i = self.check(id)?;
+        let residency = self.residency[i];
+        let bytes = self.bytes[i];
+        let dirty = self.dirty[i];
+        let host_copy_valid = self.host_copy[i];
+        if self.pinned[i] > 0 {
             return Err(MemError::InvalidState {
                 id,
                 op: "drop_to_host",
@@ -769,9 +1657,10 @@ impl MemoryManager {
         match residency {
             Residency::OnDevice(d) if !dirty && host_copy_valid => {
                 self.release(d, bytes);
-                self.evictable[d].remove(&id);
-                self.info_mut(id)?.residency = Residency::OnHost;
-                self.emit(MemEvent::DropToHost {
+                self.depart(d, id);
+                self.residency[i] = Residency::OnHost;
+                self.host_bytes += bytes;
+                self.note(MemEvent::DropToHost {
                     id,
                     dev: d,
                     was_dirty: dirty,
@@ -789,6 +1678,30 @@ impl MemoryManager {
                 },
             }),
         }
+    }
+
+    /// See [`MemoryManager::arm_index_desync`].
+    #[cfg(feature = "mutation_hooks")]
+    fn arm_index_desync(&mut self, dev: DeviceId) -> bool {
+        // Pick an unpinned resident (a pinned one is invisible to both
+        // candidates and victim walks, so dropping it would be a silent
+        // no-op the differential could legitimately miss).
+        let Some(&id) = self
+            .resident
+            .get(dev)
+            .and_then(|s| s.iter().find(|&&id| self.pinned[id as usize] == 0))
+        else {
+            return false;
+        };
+        let i = id as usize;
+        if let Some(idx) = self.lru_index[dev].as_mut() {
+            idx.remove(&(self.lru_entry[i], id));
+        }
+        if let Some(idx) = self.nu_index[dev].as_mut() {
+            idx.remove(&self.nu_entry[i]);
+        }
+        self.resident[dev].remove(&id);
+        true
     }
 }
 
@@ -899,8 +1812,8 @@ mod tests {
         assert_eq!(m.used(0).unwrap(), 300, "source copy still charged");
         assert_eq!(m.used(1).unwrap(), 0, "destination reservation released");
         // Back in the source's evictable index.
-        assert_eq!(m.eviction_candidates(0).len(), 1);
-        assert!(m.eviction_candidates(1).is_empty());
+        assert_eq!(m.eviction_candidates(0).count(), 1);
+        assert_eq!(m.eviction_candidates(1).count(), 0);
         // Attempted traffic stays tallied (charged to the attempt).
         assert_eq!(m.stats().p2p_bytes, 300);
         // The tensor is fully live again: a fresh move works.
@@ -932,10 +1845,10 @@ mod tests {
         m.pin(a).unwrap();
         assert!(m.begin_swap_out(a).is_err());
         assert!(m.free(a).is_err());
-        assert!(m.eviction_candidates(0).is_empty());
+        assert_eq!(m.eviction_candidates(0).count(), 0);
         m.unpin(a).unwrap();
         assert!(m.unpin(a).is_err(), "unbalanced unpin");
-        assert_eq!(m.eviction_candidates(0).len(), 1);
+        assert_eq!(m.eviction_candidates(0).count(), 1);
     }
 
     #[test]
@@ -1036,6 +1949,60 @@ mod tests {
         assert_eq!(m.host_used(), 0);
     }
 
+    /// The dense recomputation the incremental `host_used` counter
+    /// replaced (satellite: mirrors the evictable-index regression test).
+    fn dense_host_used(m: &MemoryManager) -> u64 {
+        m.tensor_infos()
+            .filter(|t| {
+                matches!(
+                    t.residency,
+                    Residency::OnHost | Residency::MovingToHost { .. }
+                )
+            })
+            .map(|t| t.bytes)
+            .sum()
+    }
+
+    #[test]
+    fn host_used_matches_dense_recomputation_across_all_transitions() {
+        let mut m = mm();
+        let check = |m: &MemoryManager| {
+            assert_eq!(
+                m.host_used(),
+                dense_host_used(m),
+                "incremental host_used diverged from dense re-scan"
+            );
+        };
+        let w = m.register_on_host("w", 400, TensorClass::Weight);
+        let a = m.alloc_on_device("a", 200, TensorClass::Stash, 0).unwrap();
+        check(&m);
+        m.begin_swap_in(w, 0).unwrap();
+        check(&m); // leaving host
+        m.cancel_move_to_device(w).unwrap();
+        check(&m); // back on host
+        m.begin_swap_in(w, 0).unwrap();
+        m.finish_move_to_device(w).unwrap();
+        check(&m); // arrived on device
+        m.begin_p2p(w, 1).unwrap();
+        check(&m); // p2p: host total untouched
+        m.cancel_move_to_device(w).unwrap();
+        check(&m); // p2p cancel: back to source, not host
+        m.begin_swap_out(w).unwrap();
+        check(&m); // moving-to-host counts
+        m.finish_swap_out(w).unwrap();
+        check(&m);
+        m.begin_swap_in(w, 0).unwrap();
+        m.finish_move_to_device(w).unwrap();
+        m.drop_to_host(w).unwrap();
+        check(&m); // dropped copies count on host
+        m.free(w).unwrap();
+        check(&m); // freeing a host tensor releases its host bytes
+        m.free(a).unwrap();
+        check(&m); // freeing a device tensor leaves host untouched
+        m.free(a).unwrap();
+        check(&m); // double-free of a dead tensor is a no-op
+    }
+
     #[test]
     fn unknown_ids_and_devices_error() {
         let mut m = mm();
@@ -1043,6 +2010,198 @@ mod tests {
         assert!(m.touch(99).is_err());
         assert!(m.capacity(7).is_err());
         assert!(m.alloc_on_device("x", 10, TensorClass::Weight, 9).is_err());
+    }
+
+    /// Replays the policy's own `choose` loop over owned candidate copies
+    /// — the seed-era semantics the ordered victim index must match.
+    fn choose_loop_victims(
+        m: &MemoryManager,
+        dev: DeviceId,
+        bytes: u64,
+        policy: &dyn EvictionPolicy,
+    ) -> Result<Vec<TensorId>, MemError> {
+        let mut free = m.free_bytes(dev)?;
+        if free >= bytes {
+            return Ok(Vec::new());
+        }
+        let infos: Vec<TensorInfo> = m
+            .tensor_infos()
+            .filter(|t| t.pinned == 0 && t.residency == Residency::OnDevice(dev))
+            .map(|t| t.to_owned_info())
+            .collect();
+        let mut candidates: Vec<&TensorInfo> = infos.iter().collect();
+        let mut victims = Vec::new();
+        while free < bytes {
+            let victim = policy
+                .choose(&candidates)
+                .ok_or(MemError::InsufficientMemory {
+                    device: dev,
+                    needed: bytes,
+                    capacity: m.capacity(dev)?,
+                })?;
+            let idx = candidates.iter().position(|t| t.id == victim).unwrap();
+            free += candidates[idx].bytes;
+            victims.push(victim);
+            candidates.remove(idx);
+        }
+        Ok(victims)
+    }
+
+    #[test]
+    fn ordered_index_matches_choose_loop_across_transitions() {
+        let mut m = mm();
+        let a = m.alloc_on_device("a", 200, TensorClass::Weight, 0).unwrap();
+        let b = m.alloc_on_device("b", 250, TensorClass::Stash, 0).unwrap();
+        let c = m.alloc_on_device("c", 300, TensorClass::Grad, 0).unwrap();
+        // Small population: LRU planning walks the ordered index (built
+        // on first use), next-use planning runs the selection scan. The
+        // at-scale indexed NU walk is covered separately in
+        // `nu_index_walk_matches_choose_loop_at_scale`.
+        for need in [100, 400, 800] {
+            assert_eq!(
+                m.make_room(0, need, &Lru).unwrap(),
+                choose_loop_victims(&m, 0, need, &Lru).unwrap()
+            );
+            assert_eq!(
+                m.make_room(0, need, &NextUseAware).unwrap(),
+                choose_loop_victims(&m, 0, need, &NextUseAware).unwrap()
+            );
+        }
+        let verify = |m: &mut MemoryManager| {
+            for need in [100, 400, 800] {
+                let fast = m.make_room(0, need, &Lru);
+                let dense = choose_loop_victims(m, 0, need, &Lru);
+                assert_eq!(fast.ok(), dense.ok(), "lru victims diverged");
+                let fast = m.make_room(0, need, &NextUseAware);
+                let dense = choose_loop_victims(m, 0, need, &NextUseAware);
+                assert_eq!(fast.ok(), dense.ok(), "next-use victims diverged");
+            }
+        };
+        m.touch(a).unwrap(); // re-keys a in the built LRU index
+        verify(&mut m);
+        m.set_next_use(b, Some(7)).unwrap(); // re-keys b in the NU index
+        verify(&mut m);
+        m.set_next_use(b, None).unwrap();
+        verify(&mut m);
+        m.pin(c).unwrap(); // leaves both indexes
+        verify(&mut m);
+        m.unpin(c).unwrap(); // re-enters with its old last_use (middle insert)
+        verify(&mut m);
+        m.begin_p2p(c, 1).unwrap();
+        verify(&mut m);
+        m.cancel_move_to_device(c).unwrap(); // re-enters dev 0's indexes
+        verify(&mut m);
+        m.begin_swap_out(b).unwrap();
+        m.finish_swap_out(b).unwrap();
+        verify(&mut m);
+        m.begin_swap_in(b, 0).unwrap();
+        m.finish_move_to_device(b).unwrap(); // fresh arrival, new last_use
+        verify(&mut m);
+        m.free(a).unwrap();
+        verify(&mut m);
+    }
+
+    #[test]
+    fn nu_index_walk_matches_choose_loop_at_scale() {
+        // Below NU_INDEX_BUILD_ABOVE residents, next-use planning runs
+        // the selection scan; this test crosses the threshold so the
+        // maintained ordered index serves the walk, then exercises every
+        // maintenance path against the policy's own choose loop.
+        let mut m = MemoryManager::new(vec![100_000]);
+        let ids: Vec<TensorId> = (0..120)
+            .map(|i| {
+                m.alloc_on_device(format!("t{i}"), 100, TensorClass::Stash, 0)
+                    .unwrap()
+            })
+            .collect();
+        for (k, &id) in ids.iter().enumerate() {
+            let hint = if k % 7 == 0 {
+                None
+            } else {
+                Some((k * 3 % 41) as u64)
+            };
+            m.set_next_use(id, hint).unwrap();
+        }
+        let verify = |m: &mut MemoryManager| {
+            for need in [88_500, 89_000] {
+                assert_eq!(
+                    m.make_room(0, need, &NextUseAware).unwrap(),
+                    choose_loop_victims(m, 0, need, &NextUseAware).unwrap(),
+                    "indexed next-use victims diverged from the choose loop"
+                );
+            }
+        };
+        verify(&mut m); // first plan at 120 residents builds the index
+        assert!(
+            m.fast.nu_index[0].is_some(),
+            "120 residents must build the ordered NU index"
+        );
+        m.touch(ids[5]).unwrap(); // lazy: normalized at the next walk
+        verify(&mut m);
+        m.set_next_use(ids[9], Some(1_000)).unwrap(); // key shrink: eager re-key
+        verify(&mut m);
+        m.set_next_use(ids[9], Some(2)).unwrap(); // key growth: lazy
+        verify(&mut m);
+        m.pin(ids[0]).unwrap(); // field write; walk skips in place
+        verify(&mut m);
+        m.unpin(ids[0]).unwrap();
+        verify(&mut m);
+        m.begin_swap_out(ids[3]).unwrap(); // departure removes its entry
+        m.finish_swap_out(ids[3]).unwrap();
+        verify(&mut m);
+        m.begin_swap_in(ids[3], 0).unwrap();
+        m.finish_move_to_device(ids[3]).unwrap(); // arrival seeds a fresh key
+        verify(&mut m);
+        assert!(m.fast.nu_index[0].is_some(), "population stayed large");
+    }
+
+    #[test]
+    fn nu_index_drops_back_to_scan_when_population_shrinks() {
+        let mut m = MemoryManager::new(vec![100_000]);
+        let ids: Vec<TensorId> = (0..120)
+            .map(|i| {
+                m.alloc_on_device(format!("t{i}"), 100, TensorClass::Stash, 0)
+                    .unwrap()
+            })
+            .collect();
+        m.make_room(0, 88_500, &NextUseAware).unwrap();
+        assert!(m.fast.nu_index[0].is_some());
+        for &id in &ids[..100] {
+            m.free(id).unwrap();
+        }
+        // 20 residents < NU_INDEX_DROP_BELOW: the next walk drops the
+        // index (set_next_use reverts to a pure field write) and the
+        // scan still matches the choose loop exactly.
+        assert_eq!(
+            m.make_room(0, 98_500, &NextUseAware).unwrap(),
+            choose_loop_victims(&m, 0, 98_500, &NextUseAware).unwrap()
+        );
+        assert!(
+            m.fast.nu_index[0].is_none(),
+            "a shrunken population must drop the NU index"
+        );
+    }
+
+    #[test]
+    fn into_planning_is_plan_bounded_on_fresh_allocs() {
+        let mut m = mm();
+        for i in 0..8 {
+            m.alloc_on_device(format!("t{i}"), 100, TensorClass::Stash, 0)
+                .unwrap();
+        }
+        let mut scratch = Vec::new();
+        for _ in 0..100 {
+            scratch.clear();
+            m.make_room_into(0, 300, &Lru, &mut scratch).unwrap();
+            assert_eq!(scratch.len(), 1, "one 100 B victim frees 300 B of 200 free");
+        }
+        let c = m.stats().counters;
+        assert_eq!(
+            c.fresh_allocs, 1,
+            "one lazy index build; repeated planning allocates nothing"
+        );
+        assert_eq!(c.victim_pops, 100);
+        assert_eq!(c.candidate_scans, 0, "indexed path never calls choose");
     }
 }
 
@@ -1105,8 +2264,7 @@ mod dirty_tests {
     /// The dense recomputation the indexed `eviction_candidates` replaced.
     fn dense_candidates(m: &MemoryManager, dev: DeviceId) -> Vec<TensorId> {
         let mut v: Vec<TensorId> = m
-            .tensors
-            .iter()
+            .tensor_infos()
             .filter(|t| t.pinned == 0 && t.residency == Residency::OnDevice(dev))
             .map(|t| t.id)
             .collect();
@@ -1116,7 +2274,7 @@ mod dirty_tests {
 
     fn assert_index_matches_dense(m: &MemoryManager) {
         for dev in 0..m.num_devices() {
-            let indexed: Vec<TensorId> = m.eviction_candidates(dev).iter().map(|t| t.id).collect();
+            let indexed: Vec<TensorId> = m.eviction_candidates(dev).map(|t| t.id).collect();
             assert_eq!(
                 indexed,
                 dense_candidates(m, dev),
@@ -1166,12 +2324,12 @@ mod dirty_tests {
         assert_index_matches_dense(&m);
 
         // Candidates on dev 0 are ascending by id, as policies require.
-        let ids: Vec<TensorId> = m.eviction_candidates(0).iter().map(|t| t.id).collect();
+        let ids: Vec<TensorId> = m.eviction_candidates(0).map(|t| t.id).collect();
         let mut sorted = ids.clone();
         sorted.sort_unstable();
         assert_eq!(ids, sorted);
         // Unknown device: empty, no panic (old behavior preserved).
-        assert!(m.eviction_candidates(7).is_empty());
+        assert_eq!(m.eviction_candidates(7).count(), 0);
     }
 
     #[test]

@@ -9,6 +9,23 @@
 use crate::manager::TensorInfo;
 use crate::TensorId;
 
+/// The ordered-victim-index key a policy's comparison corresponds to.
+///
+/// A policy that declares its kind promises that for any candidate set its
+/// [`EvictionPolicy::choose`] returns exactly the minimum of the matching
+/// index key — which lets [`crate::MemoryManager`] pop victims off an
+/// incrementally maintained `BTreeSet` in O(log n) instead of re-offering
+/// a freshly materialized candidate slice per victim (DESIGN §13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyIndexKind {
+    /// `choose` == min over `(last_use, id)` (see [`Lru`]).
+    Lru,
+    /// `choose` == min over `(u64::MAX - hint_or_max, last_use, id)` where
+    /// `hint_or_max = next_use_hint.map_or(u64::MAX, |h| h)` — the
+    /// componentwise order-reversal of [`NextUseAware`]'s `max_by_key`.
+    NextUse,
+}
+
 /// Chooses which resident tensor to evict from a device.
 pub trait EvictionPolicy {
     /// Picks a victim among `candidates` (all unpinned, resident on the
@@ -17,6 +34,16 @@ pub trait EvictionPolicy {
 
     /// Policy name for traces.
     fn name(&self) -> &'static str;
+
+    /// The ordered-index key this policy's choice is the minimum of, if
+    /// any. Defaults to `None`: foreign policies keep today's semantics
+    /// (the manager materializes the candidate set and calls `choose`
+    /// per victim); only return `Some` if `choose` is *exactly*
+    /// equivalent to the declared key order — the manager then never
+    /// calls `choose` on the hot path.
+    fn index_kind(&self) -> Option<PolicyIndexKind> {
+        None
+    }
 }
 
 /// Least-recently-used eviction (what LMS-style per-GPU virtualization
@@ -34,6 +61,10 @@ impl EvictionPolicy for Lru {
 
     fn name(&self) -> &'static str {
         "lru"
+    }
+
+    fn index_kind(&self) -> Option<PolicyIndexKind> {
+        Some(PolicyIndexKind::Lru)
     }
 }
 
@@ -61,6 +92,10 @@ impl EvictionPolicy for NextUseAware {
 
     fn name(&self) -> &'static str {
         "next_use_aware"
+    }
+
+    fn index_kind(&self) -> Option<PolicyIndexKind> {
+        Some(PolicyIndexKind::NextUse)
     }
 }
 

@@ -13,6 +13,33 @@ pub enum Direction {
     Out,
 }
 
+/// Structural counters of the memory manager's planning hot path — the
+/// complexity contract of the ordered-victim-index rewrite (DESIGN §13),
+/// the memory-side analogue of the executor's `ExecCounters`.
+///
+/// `fresh_allocs` is the no-per-fetch-allocation witness: it counts
+/// planning-path buffer/index materialisations (compat-wrapper `Vec`s,
+/// foreign-policy candidate snapshots, lazy ordered-index builds), so in
+/// a run that plans through the `_into` API with an indexable policy it
+/// stays bounded by the device count — never by the fetch count.
+/// `repro mem-smoke` gates on exactly that.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemCounters {
+    /// Planning-path heap materialisations (buffers and index builds).
+    /// Plan-bounded on the fast path; grows per fetch on the dense
+    /// reference (it snapshots the candidate set every `make_room`).
+    pub fresh_allocs: u64,
+    /// Candidate records offered to `EvictionPolicy::choose` across all
+    /// victim selections — the dense path re-offers the whole remaining
+    /// slice per victim, the indexed path never calls `choose` at all.
+    pub candidate_scans: u64,
+    /// Ordered-victim-index mutations (inserts, removes, re-keys) at
+    /// residency/pin/recency transitions.
+    pub index_ops: u64,
+    /// Victims taken straight off the ordered index in O(log n) pops.
+    pub victim_pops: u64,
+}
+
 /// Per-device, per-class swap tallies — the raw data behind Fig 2(a)
 /// (global swap-out volume), Fig 2(c) (per-GPU swap imbalance), and the §3
 /// analytical comparison.
@@ -22,6 +49,8 @@ pub struct SwapStats {
     by_key: HashMap<(DeviceId, Direction, TensorClass), u64>,
     /// Bytes moved device-to-device (p2p), counted once per transfer.
     pub p2p_bytes: u64,
+    /// Planning hot-path counters (see [`MemCounters`]).
+    pub counters: MemCounters,
 }
 
 impl SwapStats {

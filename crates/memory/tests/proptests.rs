@@ -3,7 +3,8 @@
 //! statistics must exactly mirror the transfers performed.
 
 use harmony_memory::{
-    Direction, Lru, MemoryManager, NextUseAware, Residency, TensorClass, TensorId,
+    Direction, EvictionPolicy, Lru, MemError, MemoryManager, NextUseAware, Residency, TensorClass,
+    TensorId, TensorInfo,
 };
 use proptest::prelude::*;
 
@@ -205,6 +206,256 @@ proptest! {
                 prop_assert!(
                     mm.free_bytes(0).unwrap() + unpinned < need,
                     "manager refused although room existed"
+                );
+            }
+        }
+    }
+}
+
+/// Ops for the ordered-victim-index differential: all 8 residency/pin
+/// transitions (register/alloc, swap in, swap out, p2p, pin, unpin, free,
+/// finish/cancel), plus drop_to_host, touch, mark_dirty, and set_next_use
+/// re-keying — with `make_room` probes interleaved so the ordered indexes
+/// get built mid-sequence and every later transition exercises the
+/// incremental maintenance.
+#[derive(Debug, Clone)]
+enum IxOp {
+    RegisterHost(u64),
+    AllocDevice(u64, usize),
+    SwapIn(usize, usize),
+    SwapInCancelled(usize, usize),
+    SwapOut(usize),
+    P2p(usize, usize),
+    P2pCancelled(usize, usize),
+    Pin(usize),
+    Unpin(usize),
+    Free(usize),
+    Touch(usize),
+    Drop(usize),
+    MarkDirty(usize),
+    SetNextUse(usize, Option<u64>),
+    MakeRoom(usize, u64, bool),
+}
+
+fn ix_op_strategy() -> impl Strategy<Value = IxOp> {
+    prop_oneof![
+        (1u64..3000).prop_map(IxOp::RegisterHost),
+        ((1u64..3000), (0usize..3)).prop_map(|(b, d)| IxOp::AllocDevice(b, d)),
+        ((0usize..40), (0usize..3)).prop_map(|(t, d)| IxOp::SwapIn(t, d)),
+        ((0usize..40), (0usize..3)).prop_map(|(t, d)| IxOp::SwapInCancelled(t, d)),
+        (0usize..40).prop_map(IxOp::SwapOut),
+        ((0usize..40), (0usize..3)).prop_map(|(t, d)| IxOp::P2p(t, d)),
+        ((0usize..40), (0usize..3)).prop_map(|(t, d)| IxOp::P2pCancelled(t, d)),
+        (0usize..40).prop_map(IxOp::Pin),
+        (0usize..40).prop_map(IxOp::Unpin),
+        (0usize..40).prop_map(IxOp::Free),
+        (0usize..40).prop_map(IxOp::Touch),
+        (0usize..40).prop_map(IxOp::Drop),
+        (0usize..40).prop_map(IxOp::MarkDirty),
+        ((0usize..40), prop::option::of(0u64..100)).prop_map(|(t, h)| IxOp::SetNextUse(t, h)),
+        ((0usize..3), (1u64..4000), any::<bool>()).prop_map(|(d, b, nu)| IxOp::MakeRoom(d, b, nu)),
+    ]
+}
+
+/// Dense recomputation of the seed-era `make_room` semantics through the
+/// public API: filter-and-sort the candidate set, then re-offer the
+/// shrinking owned snapshot to `policy.choose` once per victim.
+fn dense_make_room(
+    mm: &MemoryManager,
+    dev: usize,
+    bytes: u64,
+    policy: &dyn EvictionPolicy,
+) -> Result<Vec<TensorId>, MemError> {
+    let mut free = mm.free_bytes(dev)?;
+    let infos: Vec<TensorInfo> = mm
+        .tensor_infos()
+        .filter(|t| t.pinned == 0 && t.residency == Residency::OnDevice(dev))
+        .map(|t| t.to_owned_info())
+        .collect();
+    let mut candidates: Vec<&TensorInfo> = infos.iter().collect();
+    let mut victims = Vec::new();
+    while free < bytes {
+        let victim = policy
+            .choose(&candidates)
+            .ok_or(MemError::InsufficientMemory {
+                device: dev,
+                needed: bytes,
+                capacity: mm.capacity(dev)?,
+            })?;
+        let idx = candidates
+            .iter()
+            .position(|t| t.id == victim)
+            .expect("built-in policies pick from the offered set");
+        free += candidates[idx].bytes;
+        victims.push(victim);
+        candidates.remove(idx);
+    }
+    Ok(victims)
+}
+
+/// Dense recomputation of the evictable-candidate order.
+fn dense_candidates(mm: &MemoryManager, dev: usize) -> Vec<TensorId> {
+    let mut v: Vec<TensorId> = mm
+        .tensor_infos()
+        .filter(|t| t.pinned == 0 && t.residency == Residency::OnDevice(dev))
+        .map(|t| t.id)
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+/// Dense recomputation of the incremental host-resident byte counter.
+fn dense_host_used(mm: &MemoryManager) -> u64 {
+    mm.tensor_infos()
+        .filter(|t| {
+            matches!(
+                t.residency,
+                Residency::OnHost | Residency::MovingToHost { .. }
+            )
+        })
+        .map(|t| t.bytes)
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The tentpole's correctness core: after arbitrary interleavings of
+    /// every residency/pin transition (including cancel_move_to_device
+    /// and drop_to_host), the incrementally maintained ordered victim
+    /// index produces exactly the victims (and errors) of a dense
+    /// filter-and-sort + choose-loop recomputation, for both built-in
+    /// policies; candidate order and host_used stay dense-equal too.
+    #[test]
+    fn ordered_victim_index_matches_dense_recompute(
+        ops in prop::collection::vec(ix_op_strategy(), 1..140),
+    ) {
+        let caps = vec![8_000u64, 5_000, 2_500];
+        let mut mm = MemoryManager::new(caps.clone());
+        let mut ids: Vec<TensorId> = Vec::new();
+
+        for op in ops {
+            match op {
+                IxOp::RegisterHost(b) => {
+                    ids.push(mm.register_on_host("t", b, TensorClass::Weight));
+                }
+                IxOp::AllocDevice(b, d) => {
+                    if let Ok(id) = mm.alloc_on_device("a", b, TensorClass::Stash, d) {
+                        ids.push(id);
+                    }
+                }
+                IxOp::SwapIn(t, d) => {
+                    if let Some(&id) = ids.get(t) {
+                        if mm.begin_swap_in(id, d).is_ok() {
+                            mm.finish_move_to_device(id).unwrap();
+                        }
+                    }
+                }
+                IxOp::SwapInCancelled(t, d) => {
+                    if let Some(&id) = ids.get(t) {
+                        if mm.begin_swap_in(id, d).is_ok() {
+                            mm.cancel_move_to_device(id).unwrap();
+                        }
+                    }
+                }
+                IxOp::SwapOut(t) => {
+                    if let Some(&id) = ids.get(t) {
+                        if mm.begin_swap_out(id).is_ok() {
+                            mm.finish_swap_out(id).unwrap();
+                        }
+                    }
+                }
+                IxOp::P2p(t, d) => {
+                    if let Some(&id) = ids.get(t) {
+                        if mm.begin_p2p(id, d).is_ok() {
+                            mm.finish_move_to_device(id).unwrap();
+                        }
+                    }
+                }
+                IxOp::P2pCancelled(t, d) => {
+                    if let Some(&id) = ids.get(t) {
+                        if mm.begin_p2p(id, d).is_ok() {
+                            mm.cancel_move_to_device(id).unwrap();
+                        }
+                    }
+                }
+                IxOp::Pin(t) => {
+                    if let Some(&id) = ids.get(t) {
+                        let _ = mm.pin(id);
+                    }
+                }
+                IxOp::Unpin(t) => {
+                    if let Some(&id) = ids.get(t) {
+                        let _ = mm.unpin(id);
+                    }
+                }
+                IxOp::Free(t) => {
+                    if let Some(&id) = ids.get(t) {
+                        let _ = mm.free(id);
+                    }
+                }
+                IxOp::Touch(t) => {
+                    if let Some(&id) = ids.get(t) {
+                        let _ = mm.touch(id);
+                    }
+                }
+                IxOp::Drop(t) => {
+                    if let Some(&id) = ids.get(t) {
+                        if mm.can_drop(id).unwrap_or(false) {
+                            mm.drop_to_host(id).unwrap();
+                        }
+                    }
+                }
+                IxOp::MarkDirty(t) => {
+                    if let Some(&id) = ids.get(t) {
+                        let _ = mm.mark_dirty(id);
+                    }
+                }
+                IxOp::SetNextUse(t, h) => {
+                    if let Some(&id) = ids.get(t) {
+                        let _ = mm.set_next_use(id, h);
+                    }
+                }
+                IxOp::MakeRoom(d, b, next_use) => {
+                    // Planning probe: builds the device's ordered index on
+                    // first use, walks it afterwards. Must match the dense
+                    // recompute exactly — victims, order, and errors.
+                    let policy: &dyn EvictionPolicy =
+                        if next_use { &NextUseAware } else { &Lru };
+                    let dense = dense_make_room(&mm, d, b, policy);
+                    let fast = mm.make_room(d, b, policy);
+                    prop_assert_eq!(
+                        &fast, &dense,
+                        "indexed make_room diverged from dense recompute \
+                         (dev {}, need {}, policy {})",
+                        d, b, policy.name()
+                    );
+                }
+            }
+            // After every op: candidate order and host_used stay
+            // dense-equal (catches a missed index update immediately, at
+            // the op that caused it).
+            for d in 0..caps.len() {
+                let indexed: Vec<TensorId> = mm.eviction_candidates(d).map(|t| t.id).collect();
+                prop_assert_eq!(
+                    indexed,
+                    dense_candidates(&mm, d),
+                    "evictable index diverged on device {}", d
+                );
+            }
+            prop_assert_eq!(mm.host_used(), dense_host_used(&mm), "host_used drift");
+        }
+        // Final sweep: force planning on every device with both policies
+        // so sequences that never drew a MakeRoom still check the index.
+        for (d, &cap) in caps.iter().enumerate() {
+            for need in [1u64, cap / 2, cap] {
+                prop_assert_eq!(
+                    mm.make_room(d, need, &Lru),
+                    dense_make_room(&mm, d, need, &Lru)
+                );
+                prop_assert_eq!(
+                    mm.make_room(d, need, &NextUseAware),
+                    dense_make_room(&mm, d, need, &NextUseAware)
                 );
             }
         }

@@ -1087,6 +1087,15 @@ impl<'a> ReferenceExecutor<'a> {
             } else {
                 None
             },
+            mem_counters: {
+                let c = self.mm.stats().counters;
+                Some(harmony_trace::summary::MemPlanningCounters {
+                    fresh_allocs: c.fresh_allocs,
+                    candidate_scans: c.candidate_scans,
+                    index_ops: c.index_ops,
+                    victim_pops: c.victim_pops,
+                })
+            },
         };
         Ok((summary, self.trace, self.counters))
     }

@@ -631,6 +631,9 @@ pub struct SimExecutor<'a> {
     reroute_attempts: HashMap<TensorId, u32>,
     /// Counters reported as the summary's [`ResilienceOutcome`].
     res_outcome: ResilienceOutcome,
+    /// Reusable victim buffer for `plan_fetch_into`/`make_room_into`, so
+    /// the per-fetch planning path allocates nothing (DESIGN §13).
+    evict_scratch: Vec<TensorId>,
     /// Sabotage: silently skip the next tensor-waiter registration.
     #[cfg(feature = "mutation_hooks")]
     drop_one_wake: bool,
@@ -885,6 +888,7 @@ impl<'a> SimExecutor<'a> {
             retry_meta: Vec::new(),
             reroute_attempts: HashMap::new(),
             res_outcome: ResilienceOutcome::default(),
+            evict_scratch: Vec::new(),
             #[cfg(feature = "mutation_hooks")]
             drop_one_wake: false,
             #[cfg(feature = "mutation_hooks")]
@@ -913,6 +917,17 @@ impl<'a> SimExecutor<'a> {
     #[cfg(feature = "dense_advance")]
     pub fn use_dense_advance(&mut self) {
         self.dense = true;
+    }
+
+    /// Routes every memory-manager operation through the frozen
+    /// pre-rewrite core (`harmony-memory`'s `dense_memory` reference
+    /// mode) — the memory analogue of
+    /// [`SimExecutor::use_dense_advance`]. The `harness::memdiff`
+    /// differential proves this mode and the default SoA/ordered-index
+    /// manager produce byte-identical traces and summaries.
+    #[cfg(feature = "dense_memory")]
+    pub fn use_dense_memory(&mut self) {
+        self.mm.convert_to_dense();
     }
 
     /// Arms a single dropped wake: the next tensor-waiter registration is
@@ -1826,6 +1841,15 @@ impl<'a> SimExecutor<'a> {
             } else {
                 None
             },
+            mem_counters: {
+                let c = self.mm.stats().counters;
+                Some(harmony_trace::summary::MemPlanningCounters {
+                    fresh_allocs: c.fresh_allocs,
+                    candidate_scans: c.candidate_scans,
+                    index_ops: c.index_ops,
+                    victim_pops: c.victim_pops,
+                })
+            },
         }
     }
 
@@ -2206,11 +2230,18 @@ impl<'a> SimExecutor<'a> {
                     }
                     Residency::OnDevice(src) => {
                         // Needs to come from a peer GPU.
-                        let plan = match self.mm.plan_fetch(id, g, self.policy.as_ref()) {
-                            Ok(p) => p,
-                            Err(e) => return self.spill_guard(g, slot, step_id, e),
-                        };
-                        let evs = self.issue_evictions(g, step_id, &plan.evictions)?;
+                        let mut victims = std::mem::take(&mut self.evict_scratch);
+                        victims.clear();
+                        if let Err(e) =
+                            self.mm
+                                .plan_fetch_into(id, g, self.policy.as_ref(), &mut victims)
+                        {
+                            self.evict_scratch = victims;
+                            return self.spill_guard(g, slot, step_id, e);
+                        }
+                        let evs = self.issue_evictions(g, step_id, &victims);
+                        self.evict_scratch = victims;
+                        let evs = evs?;
                         if evs > 0 {
                             self.plane_mut(slot).inflight[g] =
                                 InFlight::Evicting { remaining: evs };
@@ -2273,11 +2304,18 @@ impl<'a> SimExecutor<'a> {
                         }
                     }
                     Residency::OnHost => {
-                        let plan = match self.mm.plan_fetch(id, g, self.policy.as_ref()) {
-                            Ok(p) => p,
-                            Err(e) => return self.spill_guard(g, slot, step_id, e),
-                        };
-                        let evs = self.issue_evictions(g, step_id, &plan.evictions)?;
+                        let mut victims = std::mem::take(&mut self.evict_scratch);
+                        victims.clear();
+                        if let Err(e) =
+                            self.mm
+                                .plan_fetch_into(id, g, self.policy.as_ref(), &mut victims)
+                        {
+                            self.evict_scratch = victims;
+                            return self.spill_guard(g, slot, step_id, e);
+                        }
+                        let evs = self.issue_evictions(g, step_id, &victims);
+                        self.evict_scratch = victims;
+                        let evs = evs?;
                         if evs > 0 {
                             self.plane_mut(slot).inflight[g] =
                                 InFlight::Evicting { remaining: evs };
@@ -2334,11 +2372,18 @@ impl<'a> SimExecutor<'a> {
                 let cfg = self.plan.graph.config();
                 let bytes = ct.rf.bytes(self.model, cfg.ubatch_size, cfg.opt_slots);
                 if self.mm.free_bytes(g)? < bytes {
-                    let victims = match self.mm.make_room(g, bytes, self.policy.as_ref()) {
-                        Ok(v) => v,
-                        Err(e) => return self.spill_guard(g, slot, step_id, e),
-                    };
-                    let evs = self.issue_evictions(g, step_id, &victims)?;
+                    let mut victims = std::mem::take(&mut self.evict_scratch);
+                    victims.clear();
+                    if let Err(e) =
+                        self.mm
+                            .make_room_into(g, bytes, self.policy.as_ref(), &mut victims)
+                    {
+                        self.evict_scratch = victims;
+                        return self.spill_guard(g, slot, step_id, e);
+                    }
+                    let evs = self.issue_evictions(g, step_id, &victims);
+                    self.evict_scratch = victims;
+                    let evs = evs?;
                     if evs > 0 {
                         self.plane_mut(slot).inflight[g] = InFlight::Evicting { remaining: evs };
                         return Ok(true);

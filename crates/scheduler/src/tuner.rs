@@ -213,6 +213,7 @@ mod tests {
                 channel_busy_secs: Default::default(),
                 events_processed: 0,
                 elapsed_secs: 0.0,
+                mem_counters: None,
                 resilience: None,
             }),
         }

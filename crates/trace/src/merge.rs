@@ -166,6 +166,9 @@ pub fn merge_summaries(parts: &[RunSummary], spec: &MergeSpec) -> RunSummary {
         events_processed: parts.iter().map(|p| p.events_processed).sum(),
         elapsed_secs: 0.0,
         resilience,
+        // Planning counters are per-manager implementation detail; a
+        // merged summary has no single manager to attribute them to.
+        mem_counters: None,
     }
 }
 
@@ -266,6 +269,7 @@ mod tests {
             events_processed: events,
             elapsed_secs: 9.9,
             resilience: None,
+            mem_counters: None,
         };
         let s0 = mk(vec![7, 0], 11, [1.5, 0.0], 2.0);
         let s1 = mk(vec![0, 9], 22, [0.0, 2.5], 3.0);
@@ -304,6 +308,7 @@ mod tests {
                 overcommits: 0,
                 final_mode: ResilienceMode::Normal,
             }),
+            mem_counters: None,
         };
         let mut degraded = base.clone();
         degraded.resilience = Some(ResilienceOutcome {

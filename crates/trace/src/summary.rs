@@ -64,6 +64,34 @@ impl ResilienceOutcome {
     }
 }
 
+/// Structural counters of the memory manager's planning hot path, as
+/// exported into run summaries (a dependency-free mirror of
+/// `harmony-memory`'s `MemCounters` — this crate sits below the memory
+/// crate in the dependency order). `fresh_allocs` is the
+/// no-per-fetch-allocation witness `repro mem-smoke` gates on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemPlanningCounters {
+    /// Planning-path heap materialisations (buffers and index builds).
+    pub fresh_allocs: u64,
+    /// Candidate records offered to `EvictionPolicy::choose`.
+    pub candidate_scans: u64,
+    /// Ordered-victim-index mutations at state transitions.
+    pub index_ops: u64,
+    /// Victims taken straight off the ordered index.
+    pub victim_pops: u64,
+}
+
+impl MemPlanningCounters {
+    /// Serialises the counters as a JSON object (null-free by construction).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"fresh_allocs\": {}, \"candidate_scans\": {}, \"index_ops\": {}, \
+             \"victim_pops\": {}}}",
+            self.fresh_allocs, self.candidate_scans, self.index_ops, self.victim_pops,
+        )
+    }
+}
+
 /// Aggregate results of one simulated (or executed) training run.
 #[derive(Debug, Clone)]
 pub struct RunSummary {
@@ -103,6 +131,13 @@ pub struct RunSummary {
     /// byte-identical with the layer on or off). Deterministic, and part
     /// of a run's identity.
     pub resilience: Option<ResilienceOutcome>,
+    /// Memory-manager planning hot-path counters, when the producer
+    /// exports them (`None` for hand-built or merged summaries). Like
+    /// `elapsed_secs` these describe *how* the run was computed, not what
+    /// it computed: the dense-memory reference legitimately allocates per
+    /// fetch where the indexed manager does not, so counters are excluded
+    /// from equality and stripped before byte-for-byte JSON comparisons.
+    pub mem_counters: Option<MemPlanningCounters>,
 }
 
 /// Equality over the *deterministic* content of a run. `elapsed_secs` is
@@ -234,6 +269,9 @@ impl RunSummary {
         if let Some(r) = &self.resilience {
             out.push_str(&format!("\"resilience\": {}, ", r.to_json()));
         }
+        if let Some(c) = &self.mem_counters {
+            out.push_str(&format!("\"mem_counters\": {}, ", c.to_json()));
+        }
         if let Some(imb) = self.swap_imbalance().filter(|v| v.is_finite()) {
             out.push_str(&format!("\"swap_imbalance\": {}, ", number(imb)));
         }
@@ -304,6 +342,7 @@ mod tests {
             events_processed: 40,
             elapsed_secs: 0.5,
             resilience: None,
+            mem_counters: None,
         }
     }
 
@@ -414,6 +453,30 @@ mod tests {
         );
         // The outcome is part of a run's identity.
         assert_ne!(clean, degraded);
+    }
+
+    #[test]
+    fn mem_counters_serialise_only_when_present_and_skip_equality() {
+        let plain = summary();
+        assert!(!plain.to_json().contains("mem_counters"));
+        let counted = RunSummary {
+            mem_counters: Some(MemPlanningCounters {
+                fresh_allocs: 3,
+                candidate_scans: 0,
+                index_ops: 120,
+                victim_pops: 17,
+            }),
+            ..summary()
+        };
+        let text = counted.to_json();
+        assert!(!text.contains("null"));
+        let doc = crate::json::parse(&text).expect("valid JSON");
+        let c = doc.get("mem_counters").expect("counters object emitted");
+        assert_eq!(c.get("fresh_allocs").and_then(|v| v.as_f64()), Some(3.0));
+        assert_eq!(c.get("victim_pops").and_then(|v| v.as_f64()), Some(17.0));
+        // Counters describe how the run was computed, not what it
+        // computed: they do not participate in run identity.
+        assert_eq!(plain, counted);
     }
 
     #[test]
