@@ -55,6 +55,17 @@ pub const BENCH: Spec = Spec {
     }],
 };
 
+/// `repro sweep-smoke [--cells N]`.
+pub const SWEEP_SMOKE: Spec = Spec {
+    cmd: "sweep-smoke",
+    expected: "[--cells N]",
+    bools: &[],
+    values: &[ValueFlag {
+        name: "--cells",
+        kind: ValueKind::PositiveInt,
+    }],
+};
+
 /// `repro exec-smoke [--grid]`.
 pub const EXEC_SMOKE: Spec = Spec {
     cmd: "exec-smoke",
@@ -223,6 +234,19 @@ mod tests {
             e,
             "unknown bench flag `extra`; expected [--json] [--workers N]"
         );
+    }
+
+    #[test]
+    fn sweep_smoke_grammar_is_strict() {
+        let args = argv(&["--cells", "32"]);
+        let p = parse(&SWEEP_SMOKE, &args).expect("valid invocation");
+        assert_eq!(p.value("--cells"), Some(32));
+        let args = argv(&["--cells"]);
+        let e = parse(&SWEEP_SMOKE, &args).expect_err("bare --cells");
+        assert_eq!(e, "--cells requires a value; expected [--cells N]");
+        let args = argv(&["--cels", "32"]);
+        let e = parse(&SWEEP_SMOKE, &args).expect_err("typo");
+        assert_eq!(e, "unknown sweep-smoke flag `--cels`; expected [--cells N]");
     }
 
     #[test]

@@ -16,6 +16,7 @@ use harmony::prelude::*;
 use harmony::simulate::{self, SchemeKind};
 use harmony_harness::execdiff::{self, ExecDiffCase};
 use harmony_harness::memdiff;
+use harmony_harness::reusediff;
 use harmony_parallel::with_workers;
 use harmony_topology::Endpoint;
 use harmony_trace::json::{number, quote};
@@ -28,6 +29,8 @@ use crate::{figures, workloads};
 pub struct ExperimentTiming {
     /// Experiment name (`fig2a`, `table_a`, `tango`, `conformance`).
     pub name: &'static str,
+    /// Grid cells (independent simulations) the experiment runs.
+    pub cells: usize,
     /// Wall-clock seconds pinned to one worker.
     pub sequential_secs: f64,
     /// Wall-clock seconds on the requested worker count.
@@ -41,6 +44,16 @@ impl ExperimentTiming {
     pub fn speedup(&self) -> f64 {
         if self.parallel_secs > 0.0 {
             self.sequential_secs / self.parallel_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Grid cells per wall-clock second on the parallel leg — the
+    /// sweep-campaign throughput unit the pooled-session gate works in.
+    pub fn cells_per_sec(&self) -> f64 {
+        if self.parallel_secs > 0.0 {
+            self.cells as f64 / self.parallel_secs
         } else {
             0.0
         }
@@ -276,6 +289,71 @@ impl DpShardTiming {
     }
 }
 
+/// Cells of the sweep-throughput campaign measured by `repro bench` and
+/// gated by `repro sweep-smoke`: a 12-spec grid (4 schemes × 3
+/// microbatch counts) cycled to this length, so revisited specs exercise
+/// the plan cache the way a multi-seed or repeated-measurement campaign
+/// does.
+pub const SWEEP_THROUGHPUT_CELLS: usize = 48;
+
+/// Cells/s of the pre-session sweep path (fresh plan + fresh executor
+/// arenas per cell, the only path before the `SweepSession` layer
+/// landed) at the [`SWEEP_THROUGHPUT_CELLS`] point, measured on the
+/// reference host. Kept in the JSON export so the pooled-session
+/// speedup stays auditable like the hot-path rewrites'.
+pub const SWEEP_PRE_CHANGE_CELLS_PER_SEC: f64 = 4_760.0;
+
+/// Wall clock of one sweep-throughput measurement: the identical cell
+/// sequence run fresh (plan + construct per cell) and through a pooled
+/// [`SweepSession`] (memoized plans, recycled arenas), interleaved
+/// best-of-N in the same process so both legs see the same host weather.
+/// `identical` is the reuse contract: the pooled leg's trace and summary
+/// JSON must be byte-identical to the fresh leg's on every cell.
+#[derive(Debug, Clone)]
+pub struct SweepThroughputTiming {
+    /// Cells per leg.
+    pub cells: usize,
+    /// Best wall-clock seconds of the fresh leg.
+    pub fresh_secs: f64,
+    /// Best wall-clock seconds of the pooled leg.
+    pub pooled_secs: f64,
+    /// Plan-cache hits the pooled session recorded (all legs).
+    pub plan_cache_hits: u64,
+    /// Plan-cache misses the pooled session recorded (all legs).
+    pub plan_cache_misses: u64,
+    /// Whether every cell's pooled output was byte-identical to fresh.
+    pub identical: bool,
+}
+
+impl SweepThroughputTiming {
+    /// Cells per wall-clock second of the fresh leg.
+    pub fn fresh_cells_per_sec(&self) -> f64 {
+        if self.fresh_secs > 0.0 {
+            self.cells as f64 / self.fresh_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Cells per wall-clock second of the pooled leg.
+    pub fn pooled_cells_per_sec(&self) -> f64 {
+        if self.pooled_secs > 0.0 {
+            self.cells as f64 / self.pooled_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Same-moment pooled-over-fresh throughput ratio.
+    pub fn speedup(&self) -> f64 {
+        if self.pooled_secs > 0.0 {
+            self.fresh_secs / self.pooled_secs
+        } else {
+            0.0
+        }
+    }
+}
+
 /// The full `repro bench` result.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -297,6 +375,14 @@ pub struct BenchReport {
     pub mem_hot_path: Vec<MemHotPathTiming>,
     /// DP-shard scaling sweep, one entry per [`DP_SHARD_SCALES`] point.
     pub dp_shard: Vec<DpShardTiming>,
+    /// Sweep-throughput campaign: fresh vs pooled-session legs at
+    /// [`SWEEP_THROUGHPUT_CELLS`].
+    pub sweep_throughput: Vec<SweepThroughputTiming>,
+    /// Plan-cache hits the Performance Tuner's pack sweep recorded
+    /// (grid cells whose plan key collided with an earlier cell).
+    pub tuner_plan_cache_hits: u64,
+    /// Plan-cache misses (distinct plan keys) of the same tune.
+    pub tuner_plan_cache_misses: u64,
     /// Representative run summaries exported alongside the timings.
     pub summaries: Vec<RunSummary>,
 }
@@ -311,9 +397,11 @@ impl BenchReport {
             ),
             &[
                 "experiment",
+                "cells",
                 "sequential (s)",
                 "parallel (s)",
                 "speedup",
+                "cells/s",
                 "identical",
             ],
         );
@@ -328,9 +416,11 @@ impl BenchReport {
             };
             t.row(&[
                 e.name.to_string(),
+                e.cells.to_string(),
                 format!("{:.3}", e.sequential_secs),
                 format!("{:.3}", e.parallel_secs),
                 speedup,
+                format!("{:.1}", e.cells_per_sec()),
                 e.identical.to_string(),
             ]);
         }
@@ -407,6 +497,26 @@ impl BenchReport {
                 ));
             }
         }
+        if !self.sweep_throughput.is_empty() {
+            out.push_str("sweep throughput (pooled session vs fresh per-cell setup):\n");
+            for s in &self.sweep_throughput {
+                out.push_str(&format!(
+                    "  {} cells → pooled {:>7.0} cells/s vs fresh {:>7.0} cells/s \
+                     ({:.2}× speedup; {} plan-cache hits, {} misses; identical: {})\n",
+                    s.cells,
+                    s.pooled_cells_per_sec(),
+                    s.fresh_cells_per_sec(),
+                    s.speedup(),
+                    s.plan_cache_hits,
+                    s.plan_cache_misses,
+                    s.identical,
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "tuner pack sweep: {} plan-cache hits, {} misses\n",
+            self.tuner_plan_cache_hits, self.tuner_plan_cache_misses,
+        ));
         out
     }
 
@@ -424,12 +534,15 @@ impl BenchReport {
         out.push_str("  \"experiments\": [\n");
         for (i, e) in self.experiments.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"name\": {}, \"sequential_secs\": {}, \"parallel_secs\": {}, \
-                 \"speedup\": {}, \"identical\": {}}}{}\n",
+                "    {{\"name\": {}, \"cells\": {}, \"sequential_secs\": {}, \
+                 \"parallel_secs\": {}, \"speedup\": {}, \"cells_per_sec\": {}, \
+                 \"identical\": {}}}{}\n",
                 quote(e.name),
+                e.cells,
                 number(e.sequential_secs),
                 number(e.parallel_secs),
                 number(e.speedup()),
+                number(e.cells_per_sec()),
                 e.identical,
                 if i + 1 < self.experiments.len() {
                     ","
@@ -555,6 +668,46 @@ impl BenchReport {
             ));
         }
         out.push_str("  ],\n");
+        out.push_str("  \"sweep_throughput\": [\n");
+        for (i, s) in self.sweep_throughput.iter().enumerate() {
+            // Attach the recorded pre-change baseline at the canonical
+            // cell count, so the speedup is self-describing like the
+            // hot-path sections'.
+            let baseline_field = if s.cells == SWEEP_THROUGHPUT_CELLS {
+                format!(
+                    ", \"pre_change_cells_per_sec\": {}",
+                    number(SWEEP_PRE_CHANGE_CELLS_PER_SEC)
+                )
+            } else {
+                String::new()
+            };
+            out.push_str(&format!(
+                "    {{\"cells\": {}, \"fresh_secs\": {}, \"pooled_secs\": {}, \
+                 \"fresh_cells_per_sec\": {}, \"pooled_cells_per_sec\": {}, \
+                 \"speedup\": {}, \"plan_cache_hits\": {}, \"plan_cache_misses\": {}, \
+                 \"identical\": {}{}}}{}\n",
+                s.cells,
+                number(s.fresh_secs),
+                number(s.pooled_secs),
+                number(s.fresh_cells_per_sec()),
+                number(s.pooled_cells_per_sec()),
+                number(s.speedup()),
+                s.plan_cache_hits,
+                s.plan_cache_misses,
+                s.identical,
+                baseline_field,
+                if i + 1 < self.sweep_throughput.len() {
+                    ","
+                } else {
+                    ""
+                },
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"tuner\": {{\"plan_cache_hits\": {}, \"plan_cache_misses\": {}}},\n",
+            self.tuner_plan_cache_hits, self.tuner_plan_cache_misses,
+        ));
         out.push_str("  \"summaries\": [\n");
         for (i, s) in self.summaries.iter().enumerate() {
             out.push_str(&format!(
@@ -578,11 +731,17 @@ fn timed<R>(f: impl FnOnce() -> R) -> (f64, R) {
     (start.elapsed().as_secs_f64(), r)
 }
 
-fn experiment(name: &'static str, workers: usize, run: impl Fn() -> String) -> ExperimentTiming {
+fn experiment(
+    name: &'static str,
+    cells: usize,
+    workers: usize,
+    run: impl Fn() -> String,
+) -> ExperimentTiming {
     let (sequential_secs, seq_out) = timed(|| with_workers(1, &run));
     let (parallel_secs, par_out) = timed(|| with_workers(workers, &run));
     ExperimentTiming {
         name,
+        cells,
         sequential_secs,
         parallel_secs,
         identical: seq_out == par_out,
@@ -859,6 +1018,7 @@ pub fn dp_shard_scaling() -> Vec<DpShardTiming> {
     let (mut ref_summary, ref_trace, _) =
         execdiff::run_mode(&case, false).expect("dp-shard unsharded reference");
     ref_summary.elapsed_secs = 0.0;
+    ref_summary.setup_secs = 0.0;
     // Planning counters, like wall clock, describe how a summary was
     // computed, not what it computed — a merged summary carries none.
     ref_summary.mem_counters = None;
@@ -875,6 +1035,7 @@ pub fn dp_shard_scaling() -> Vec<DpShardTiming> {
             let run = || with_workers(shards.max(1), || execdiff::run_sharded_mode(&case, shards));
             let (mut s, t, rep) = run().expect("dp-shard sharded run");
             s.elapsed_secs = 0.0;
+            s.setup_secs = 0.0;
             s.mem_counters = None;
             let identical = t.to_json() == ref_tj && s.to_json() == ref_sj;
             let secs = (0..3)
@@ -892,6 +1053,119 @@ pub fn dp_shard_scaling() -> Vec<DpShardTiming> {
         .collect()
 }
 
+/// The sweep-throughput cell sequence: 4 schemes × 3 microbatch counts
+/// (12 distinct plan keys) cycled to `cells` entries, so every key past
+/// the first dozen cells is a revisit — the shape of a multi-seed or
+/// repeated-measurement campaign, where plan memoization pays.
+fn sweep_cells(cells: usize) -> Vec<CellSpec> {
+    let microbatch_counts = [1usize, 2, 3];
+    (0..cells)
+        .map(|i| {
+            CellSpec::new(
+                SchemeKind::ALL[i % SchemeKind::ALL.len()],
+                workloads::tight_workload(
+                    microbatch_counts[(i / SchemeKind::ALL.len()) % microbatch_counts.len()],
+                ),
+            )
+        })
+        .collect()
+}
+
+/// One cell of the fresh leg: plan and construct from nothing, exactly
+/// the only path that existed before the session layer.
+fn fresh_cell(model: &ModelSpec, topo: &Topology, c: &CellSpec) {
+    let plan = simulate::plan(c.scheme, model, topo, &c.workload).expect("sweep cell plan");
+    let exec = harmony_sched::SimExecutor::with_iterations(topo, model, &plan, c.iterations)
+        .expect("sweep cell executor");
+    exec.run().expect("sweep cell run");
+}
+
+/// Times the sweep-throughput campaign: `cells` grid cells run fresh and
+/// through one pooled [`SweepSession`], interleaved best-of-N with the
+/// leg order alternating across pairs (same estimator as
+/// [`mem_hot_path`]) so the pooled-over-fresh ratio is a same-moment
+/// comparison. Byte-identity of the two legs is checked first, outside
+/// the timed region, through the harness's `reusediff` differential.
+pub fn sweep_throughput(cells: usize) -> SweepThroughputTiming {
+    let model = workloads::uniform_model(6, 4096);
+    let topo = workloads::tight_topo(2);
+    let specs = sweep_cells(cells);
+
+    // Identity first: every cell's pooled output (on arenas dirtied by
+    // all cells before it) byte-identical to fresh.
+    let rcs: Vec<reusediff::ReuseCell> = specs
+        .iter()
+        .map(|c| reusediff::ReuseCell {
+            cell: c.clone(),
+            faults: Vec::new(),
+            resilience: None,
+        })
+        .collect();
+    let identical = reusediff::check_cell_sequence(&model, &topo, &rcs).is_ok();
+
+    let mut session = SweepSession::new();
+    let mut runs: Vec<(f64, f64)> = Vec::new();
+    let mut sampled_secs = 0.0;
+    let mut warmed_up = false;
+    let mut fresh_first = true;
+    while runs.len() < 5 || (sampled_secs < 0.5 && runs.len() < 200) {
+        let fresh_leg = || {
+            timed(|| {
+                for c in &specs {
+                    fresh_cell(&model, &topo, c);
+                }
+            })
+            .0
+        };
+        let mut pooled_leg = || {
+            timed(|| {
+                for c in &specs {
+                    let (_, trace) = session.run(&model, &topo, c).expect("pooled sweep cell");
+                    session.recycle_trace(trace);
+                }
+            })
+            .0
+        };
+        let (fresh, pooled) = if fresh_first {
+            let f = fresh_leg();
+            let p = pooled_leg();
+            (f, p)
+        } else {
+            let p = pooled_leg();
+            let f = fresh_leg();
+            (f, p)
+        };
+        fresh_first = !fresh_first;
+        if !warmed_up {
+            // The first pair pays one-time costs (page faults, the
+            // pooled leg's initial plan-cache misses and arena growth)
+            // neither leg owns in steady state.
+            warmed_up = true;
+            continue;
+        }
+        sampled_secs += fresh + pooled;
+        runs.push((fresh, pooled));
+    }
+    let fresh_secs = runs
+        .iter()
+        .map(|r| r.0)
+        .min_by(f64::total_cmp)
+        .expect("at least one timed pair");
+    let pooled_secs = runs
+        .iter()
+        .map(|r| r.1)
+        .min_by(f64::total_cmp)
+        .expect("at least one timed pair");
+    SweepThroughputTiming {
+        cells,
+        fresh_secs,
+        pooled_secs,
+        plan_cache_hits: session.plan_cache_hits(),
+        plan_cache_misses: session.plan_cache_misses(),
+        identical,
+    }
+}
+
 /// Runs the full bench suite at `workers` parallel workers.
 pub fn run(workers: usize) -> BenchReport {
     // Time the single-threaded hot paths first, before the experiment
@@ -902,14 +1176,19 @@ pub fn run(workers: usize) -> BenchReport {
     let exec_hot = exec_hot_path_scaling();
     let mem_hot = mem_hot_path_scaling();
     let dp_shard = dp_shard_scaling();
+    let sweep = vec![sweep_throughput(SWEEP_THROUGHPUT_CELLS)];
+    // Cell counts: fig2a sweeps N ∈ 1..=4; table_a runs 4 (m, N)
+    // configurations × 3 schemes; tango runs 4 group sizes + 5 pack
+    // sizes; conformance's matrix is 80 cells (`repro conformance`).
     let experiments = vec![
-        experiment("fig2a", workers, || figures::fig2a().0),
-        experiment("table_a", workers, || figures::table_a().0),
-        experiment("tango", workers, || figures::tango().0),
-        experiment("conformance", workers, || {
+        experiment("fig2a", 4, workers, || figures::fig2a().0),
+        experiment("table_a", 12, workers, || figures::table_a().0),
+        experiment("tango", 9, workers, || figures::tango().0),
+        experiment("conformance", 80, workers, || {
             harmony_harness::run_conformance(0).render()
         }),
     ];
+    let tune = figures::pack_sweep_tune();
 
     // Representative summaries for the JSON export — including a
     // PP run whose per-stage swap skew exercises the imbalance field.
@@ -933,6 +1212,9 @@ pub fn run(workers: usize) -> BenchReport {
         exec_hot_path: exec_hot,
         mem_hot_path: mem_hot,
         dp_shard,
+        sweep_throughput: sweep,
+        tuner_plan_cache_hits: tune.plan_cache_hits,
+        tuner_plan_cache_misses: tune.plan_cache_misses,
         summaries,
     }
 }
@@ -984,10 +1266,29 @@ mod tests {
                 victim_pops: 40,
             }],
             dp_shard: vec![],
+            sweep_throughput: vec![SweepThroughputTiming {
+                cells: SWEEP_THROUGHPUT_CELLS,
+                fresh_secs: 0.2,
+                pooled_secs: 0.1,
+                plan_cache_hits: 36,
+                plan_cache_misses: 12,
+                identical: true,
+            }],
+            tuner_plan_cache_hits: 0,
+            tuner_plan_cache_misses: 5,
             summaries: vec![],
         };
         let text = report.to_json();
         assert!(text.contains("\"pre_change_events_per_sec\": 22217"));
+        let sweep_baseline = format!(
+            "\"pre_change_cells_per_sec\": {}",
+            number(SWEEP_PRE_CHANGE_CELLS_PER_SEC)
+        );
+        let sweep_section = text
+            .split("\"sweep_throughput\"")
+            .nth(1)
+            .expect("sweep section present");
+        assert!(sweep_section.contains(&sweep_baseline));
         let exec_baseline = format!(
             "\"pre_change_events_per_sec\": {}",
             number(EXEC_HOT_PATH_PRE_CHANGE_EVENTS_PER_SEC[3])
@@ -1019,6 +1320,7 @@ mod tests {
             available_parallelism: 1,
             experiments: vec![ExperimentTiming {
                 name: "unit",
+                cells: 4,
                 sequential_secs: 1.0,
                 parallel_secs: 1.0,
                 identical: true,
@@ -1033,6 +1335,9 @@ mod tests {
                 unsharded_secs: 1.0,
                 identical: true,
             }],
+            sweep_throughput: vec![],
+            tuner_plan_cache_hits: 0,
+            tuner_plan_cache_misses: 0,
             summaries: vec![],
         };
         assert!(report.render().contains("(host-limited)"));
@@ -1058,6 +1363,18 @@ mod tests {
     }
 
     #[test]
+    fn sweep_throughput_is_identical_and_caches_plans() {
+        // A small sequence keeps the test fast; 16 cells over 12 distinct
+        // plan keys still forces revisits, so the cache must show hits.
+        let t = sweep_throughput(16);
+        assert!(t.identical, "pooled leg diverged from fresh");
+        assert_eq!(t.cells, 16);
+        assert_eq!(t.plan_cache_misses, 12, "12 distinct plan keys");
+        assert!(t.plan_cache_hits > 0, "revisits must hit the plan cache");
+        assert!(t.fresh_secs > 0.0 && t.pooled_secs > 0.0);
+    }
+
+    #[test]
     fn json_is_wellformed_and_null_free() {
         // A tiny report (skip the expensive experiments) must serialise
         // to parseable, null-free JSON even with edge-case timings.
@@ -1066,6 +1383,7 @@ mod tests {
             available_parallelism: 1,
             experiments: vec![ExperimentTiming {
                 name: "unit",
+                cells: 4,
                 sequential_secs: 0.25,
                 parallel_secs: 0.0, // degenerate: speedup must not emit Inf
                 identical: true,
@@ -1080,6 +1398,16 @@ mod tests {
                 unsharded_secs: 0.25,
                 identical: true,
             }],
+            sweep_throughput: vec![SweepThroughputTiming {
+                cells: 12,
+                fresh_secs: 0.2,
+                pooled_secs: 0.0, // degenerate: speedup must not emit Inf
+                plan_cache_hits: 0,
+                plan_cache_misses: 12,
+                identical: true,
+            }],
+            tuner_plan_cache_hits: 0,
+            tuner_plan_cache_misses: 5,
             summaries: vec![RunSummary {
                 name: "unit".to_string(),
                 sim_secs: 1.0,
@@ -1093,6 +1421,7 @@ mod tests {
                 channel_busy_secs: Default::default(),
                 events_processed: 7,
                 elapsed_secs: 0.25,
+                setup_secs: 0.01,
                 resilience: None,
                 mem_counters: None,
             }],

@@ -49,6 +49,18 @@ fn mem_smoke_rejects_unknown_flags() {
 }
 
 #[test]
+fn sweep_smoke_rejects_unknown_flags_and_bare_cells() {
+    // Same contract as the other smokes: a typo must not silently run
+    // the default cell count, and a bare `--cells` must not either.
+    let out = repro(&["sweep-smoke", "--cels", "32"]);
+    assert_usage_error(&out, "--cels", "sweep-smoke --cels");
+    let out = repro(&["sweep-smoke", "--cells"]);
+    assert_usage_error(&out, "--cells requires a value", "sweep-smoke --cells");
+    let out = repro(&["sweep-smoke", "--cells", "0"]);
+    assert_usage_error(&out, "positive integer", "sweep-smoke --cells 0");
+}
+
+#[test]
 fn fault_sweep_rejects_garbage_seed_and_unknown_flags() {
     let out = repro(&["fault-sweep", "--seed", "x"]);
     assert_usage_error(&out, "--seed takes an integer", "fault-sweep --seed x");

@@ -23,6 +23,9 @@
 //!   Harmony's decomposed, grouped, JIT schedule on capacity-limited
 //!   virtual devices with real tensor swapping, and verify bit-identical
 //!   parameters against the user's sequential program.
+//! * [`sweep`] — run whole *grids* of simulations through a
+//!   [`sweep::SweepSession`]: plans are memoized across cells and
+//!   executor arenas recycled, byte-identically to fresh runs.
 //!
 //! ```
 //! use harmony::prelude::*;
@@ -40,11 +43,13 @@
 
 pub mod functional;
 pub mod simulate;
+pub mod sweep;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use crate::functional::{FunctionalSession, SessionConfig, StepReport};
     pub use crate::simulate;
+    pub use crate::sweep::{CellSpec, SweepSession};
     pub use harmony_analytical as analytical;
     pub use harmony_models::exec::{mlp, tiny_transformer, ExecModel};
     pub use harmony_models::{zoo, LayerClass, LayerSpec, ModelSpec, TransformerConfig};

@@ -76,8 +76,12 @@ pub fn run(
     topo: &Topology,
     workload: &WorkloadConfig,
 ) -> Result<(RunSummary, Trace), ExecError> {
+    let plan_start = std::time::Instant::now();
     let plan = plan(scheme, model, topo, workload)?;
-    SimExecutor::new(topo, model, &plan)?.run()
+    let plan_secs = plan_start.elapsed().as_secs_f64();
+    let mut exec = SimExecutor::new(topo, model, &plan)?;
+    exec.add_setup_secs(plan_secs);
+    exec.run()
 }
 
 /// Like [`run`], but hands the executor to `configure` before starting
@@ -93,8 +97,11 @@ pub fn run_configured(
     workload: &WorkloadConfig,
     configure: impl FnOnce(&mut SimExecutor<'_>) -> Result<(), ExecError>,
 ) -> Result<(RunSummary, Trace), ExecError> {
+    let plan_start = std::time::Instant::now();
     let plan = plan(scheme, model, topo, workload)?;
+    let plan_secs = plan_start.elapsed().as_secs_f64();
     let mut exec = SimExecutor::new(topo, model, &plan)?;
+    exec.add_setup_secs(plan_secs);
     configure(&mut exec)?;
     exec.run()
 }
@@ -110,8 +117,12 @@ pub fn run_iterations(
     workload: &WorkloadConfig,
     iterations: u32,
 ) -> Result<(RunSummary, Trace), ExecError> {
+    let plan_start = std::time::Instant::now();
     let plan = plan(scheme, model, topo, workload)?;
-    SimExecutor::with_iterations(topo, model, &plan, iterations)?.run()
+    let plan_secs = plan_start.elapsed().as_secs_f64();
+    let mut exec = SimExecutor::with_iterations(topo, model, &plan, iterations)?;
+    exec.add_setup_secs(plan_secs);
+    exec.run()
 }
 
 /// Like [`run`], but with prefetch/double-buffering enabled: each GPU
@@ -123,10 +134,14 @@ pub fn run_with_prefetch(
     topo: &Topology,
     workload: &WorkloadConfig,
 ) -> Result<(RunSummary, Trace), ExecError> {
+    let plan_start = std::time::Instant::now();
     let mut plan = plan(scheme, model, topo, workload)?;
     plan.scheme = plan.scheme.clone().with_prefetch();
     plan.name = format!("{}+prefetch", plan.name);
-    SimExecutor::new(topo, model, &plan)?.run()
+    let plan_secs = plan_start.elapsed().as_secs_f64();
+    let mut exec = SimExecutor::new(topo, model, &plan)?;
+    exec.add_setup_secs(plan_secs);
+    exec.run()
 }
 
 #[cfg(test)]

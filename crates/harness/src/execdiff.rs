@@ -154,6 +154,8 @@ pub(crate) fn compare_modes(
             // is part of a run's identity.
             fs.elapsed_secs = 0.0;
             ds.elapsed_secs = 0.0;
+            fs.setup_secs = 0.0;
+            ds.setup_secs = 0.0;
             fs.mem_counters = None;
             ds.mem_counters = None;
             let (ftj, dtj) = (ft.to_json(), dt.to_json());
@@ -197,7 +199,8 @@ pub(crate) fn compare_modes(
 }
 
 /// Locates the first divergent byte and quotes a window around it.
-fn first_diff(what: &str, a_name: &str, b_name: &str, a: &str, b: &str) -> String {
+/// Shared with `reusediff`, whose divergence messages have the same shape.
+pub(crate) fn first_diff(what: &str, a_name: &str, b_name: &str, a: &str, b: &str) -> String {
     let pos = a
         .bytes()
         .zip(b.bytes())

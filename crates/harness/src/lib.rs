@@ -36,6 +36,13 @@
 //! must produce byte-identical trace and summary JSON across schemes,
 //! fault plans, and prefetch settings.
 //!
+//! A sixth ([`reusediff`]) guards the sweep-throughput layer: random
+//! cell sequences run through a pooled `SweepSession` (memoized plans,
+//! recycled executor arenas) must be byte-identical — trace JSON,
+//! summary JSON, matched errors — to the same cells run fresh, at any
+//! worker count; an armed leak-one-plane-across-reset mutant must be
+//! caught.
+//!
 //! [`conformance`] sweeps all of this over a scheme × configuration
 //! matrix and renders a pass/fail table (`repro conformance` in
 //! `harmony-bench`).
@@ -49,6 +56,7 @@ pub mod execdiff;
 pub mod faults;
 pub mod memdiff;
 pub mod oracles;
+pub mod reusediff;
 pub mod simdiff;
 pub mod workloads;
 
@@ -62,4 +70,5 @@ pub use execdiff::{check_dense_vs_fast, ExecDiffCase, ExecDiffOutcome};
 pub use faults::FaultPlan;
 pub use memdiff::{check_fast_vs_dense_memory, check_script, MemScriptOp};
 pub use oracles::{instrument, instrument_memory, OracleConfig};
+pub use reusediff::{check_cell_sequence, ReuseCell, ReuseDiffOutcome};
 pub use simdiff::{check_fast_vs_dense, SimOp};

@@ -1,0 +1,313 @@
+//! Differential checking of the pooled sweep path: a
+//! [`SweepSession`] run (memoized plan + recycled executor arenas,
+//! DESIGN §14) against a fresh plan-and-construct run of the same cell.
+//!
+//! The pooled path must be **byte-identical** on everything a run
+//! produces: the trace's JSON export and the summary's JSON export (with
+//! the wall clocks `elapsed_secs`/`setup_secs` zeroed on both sides —
+//! host measurement noise, not run identity). Errors must match too: an
+//! infeasible cell must fail with the same message whether its plan was
+//! freshly rejected or replayed from the session's error cache, and a
+//! failed cell must leave the pool in a state that keeps *subsequent*
+//! cells identical. Unlike `execdiff`, the memory-planning counters are
+//! **not** stripped: both legs run the same manager core, so even the
+//! how-it-was-computed counters must survive recycling bit-for-bit.
+//!
+//! The proptest in `tests/reusediff_proptest.rs` feeds this with random
+//! cell sequences (schemes × knobs × eviction-policy overrides × armed
+//! faults × iteration counts) at several worker counts; the
+//! mutation-catch test arms the memory manager's
+//! leak-one-plane-across-reset sabotage and requires the differential to
+//! flag the leak.
+
+use harmony::simulate::{self, SchemeKind};
+use harmony::sweep::{CellSpec, SweepSession};
+use harmony_models::ModelSpec;
+use harmony_sched::{ExecError, SimExecutor, TimedFault};
+use harmony_topology::Topology;
+use harmony_trace::summary::RunSummary;
+
+use crate::execdiff::first_diff;
+
+/// One cell of a sweep sequence: the session-visible [`CellSpec`] plus
+/// the executor configuration (faults, resilience) applied through the
+/// `configure` hook on both legs.
+#[derive(Debug, Clone)]
+pub struct ReuseCell {
+    /// Scheme, workload knobs, policy/prefetch overrides, iterations.
+    pub cell: CellSpec,
+    /// Timed faults injected into both legs.
+    pub faults: Vec<TimedFault>,
+    /// Resilience backoff seed ([`SimExecutor::enable_resilience`]);
+    /// `None` leaves the layer off.
+    pub resilience: Option<u64>,
+}
+
+impl ReuseCell {
+    /// A clean cell: no faults, no resilience.
+    pub fn new(scheme: SchemeKind, workload: harmony_sched::WorkloadConfig) -> Self {
+        ReuseCell {
+            cell: CellSpec::new(scheme, workload),
+            faults: Vec::new(),
+            resilience: None,
+        }
+    }
+}
+
+/// Canonical byte form of one cell's outcome: summary and trace JSON on
+/// success, the error message on failure. Two legs agree iff their
+/// `CellOutput`s are equal.
+pub type CellOutput = Result<(String, String), String>;
+
+/// What a matched fresh-vs-pooled sequence produced.
+#[derive(Debug, Clone)]
+pub struct ReuseDiffOutcome {
+    /// Cells compared.
+    pub cells: usize,
+    /// Cells where both legs failed with the same message.
+    pub matched_errors: usize,
+    /// Total bytes of (identical) trace JSON across successful cells.
+    pub trace_json_bytes: usize,
+    /// Plan-cache hits the pooled session recorded over the sequence.
+    pub plan_cache_hits: u64,
+    /// Plan-cache misses the pooled session recorded over the sequence.
+    pub plan_cache_misses: u64,
+}
+
+/// Zeroes the sanctioned nondeterminism (wall clocks) and serialises.
+fn canon(mut s: RunSummary) -> String {
+    s.elapsed_secs = 0.0;
+    s.setup_secs = 0.0;
+    s.to_json()
+}
+
+/// Runs one cell fresh: plan via [`simulate::plan`] with the cell's
+/// overrides applied, a fresh [`SimExecutor`], no pooling anywhere.
+/// This is the oracle leg — the code path every differential and bench
+/// in the workspace already exercises.
+pub fn run_fresh(model: &ModelSpec, topo: &Topology, rc: &ReuseCell) -> CellOutput {
+    let fresh = || -> Result<(String, String), ExecError> {
+        let mut plan = simulate::plan(rc.cell.scheme, model, topo, &rc.cell.workload)?;
+        if let Some(policy) = rc.cell.policy {
+            plan.scheme.policy = policy;
+        }
+        if rc.cell.prefetch {
+            plan.scheme = plan.scheme.clone().with_prefetch();
+            plan.name = format!("{}+prefetch", plan.name);
+        }
+        let mut exec = SimExecutor::with_iterations(topo, model, &plan, rc.cell.iterations)?;
+        configure(&mut exec, rc)?;
+        let (summary, trace) = exec.run()?;
+        Ok((canon(summary), trace.to_json()))
+    };
+    fresh().map_err(|e| e.to_string())
+}
+
+/// Runs one cell through `session`'s pooled path, recycling the trace
+/// back into the session afterwards (the differential keeps only the
+/// JSON, so the arena can go straight back to work).
+pub fn run_pooled(
+    session: &mut SweepSession,
+    model: &ModelSpec,
+    topo: &Topology,
+    rc: &ReuseCell,
+) -> CellOutput {
+    match session.run_configured(model, topo, &rc.cell, |exec| configure(exec, rc)) {
+        Ok((summary, trace)) => {
+            let tj = trace.to_json();
+            session.recycle_trace(trace);
+            Ok((canon(summary), tj))
+        }
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+/// The shared executor configuration of both legs.
+fn configure(exec: &mut SimExecutor<'_>, rc: &ReuseCell) -> Result<(), ExecError> {
+    if !rc.faults.is_empty() {
+        exec.inject_faults(&rc.faults)?;
+    }
+    if let Some(seed) = rc.resilience {
+        exec.enable_resilience(seed);
+    }
+    Ok(())
+}
+
+/// Runs `cells` in order through ONE pooled session and, cell by cell,
+/// through the fresh path, and checks byte-identical outcomes — or
+/// returns a message naming the first divergent cell and byte. Order
+/// matters and is the point: cell *i*'s pooled leg runs on arenas dirtied
+/// by cells *0..i*, so any state that survives a reset observably shows
+/// up as a divergence at the first cell it taints.
+pub fn check_cell_sequence(
+    model: &ModelSpec,
+    topo: &Topology,
+    cells: &[ReuseCell],
+) -> Result<ReuseDiffOutcome, String> {
+    let mut session = SweepSession::new();
+    let mut matched_errors = 0;
+    let mut trace_json_bytes = 0;
+    for (i, rc) in cells.iter().enumerate() {
+        let pooled = run_pooled(&mut session, model, topo, rc);
+        let fresh = run_fresh(model, topo, rc);
+        match (pooled, fresh) {
+            (Ok((ps, pt)), Ok((fs, ft))) => {
+                if pt != ft {
+                    return Err(format!(
+                        "cell {i} ({}): {}",
+                        rc.cell.scheme.name(),
+                        first_diff("trace JSON", "pooled", "fresh", &pt, &ft)
+                    ));
+                }
+                if ps != fs {
+                    return Err(format!(
+                        "cell {i} ({}): {}",
+                        rc.cell.scheme.name(),
+                        first_diff("summary JSON", "pooled", "fresh", &ps, &fs)
+                    ));
+                }
+                trace_json_bytes += pt.len();
+            }
+            (Err(pe), Err(fe)) => {
+                if pe != fe {
+                    return Err(format!(
+                        "cell {i} ({}): errors diverge: pooled `{pe}` vs fresh `{fe}`",
+                        rc.cell.scheme.name()
+                    ));
+                }
+                matched_errors += 1;
+            }
+            (Ok(_), Err(fe)) => {
+                return Err(format!(
+                    "cell {i} ({}): pooled succeeded but fresh failed: {fe}",
+                    rc.cell.scheme.name()
+                ));
+            }
+            (Err(pe), Ok(_)) => {
+                return Err(format!(
+                    "cell {i} ({}): fresh succeeded but pooled failed: {pe}",
+                    rc.cell.scheme.name()
+                ));
+            }
+        }
+    }
+    Ok(ReuseDiffOutcome {
+        cells: cells.len(),
+        matched_errors,
+        trace_json_bytes,
+        plan_cache_hits: session.plan_cache_hits(),
+        plan_cache_misses: session.plan_cache_misses(),
+    })
+}
+
+/// Runs `cells` through per-worker pooled sessions at an explicit worker
+/// count ([`harmony_parallel::par_map_workers_with`]) and returns each
+/// cell's canonical output in input order. Which session serves which
+/// cell varies with claim interleaving; the outputs must not — the
+/// worker-invariance proptest compares these against [`run_fresh`]
+/// outputs for every worker count.
+pub fn pooled_outputs_at(
+    workers: usize,
+    model: &ModelSpec,
+    topo: &Topology,
+    cells: &[ReuseCell],
+) -> Vec<CellOutput> {
+    harmony_parallel::par_map_workers_with(workers, cells, SweepSession::new, |session, _, rc| {
+        run_pooled(session, model, topo, rc)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::{tight_topo, tight_workload, uniform_model};
+    use harmony_sched::PolicyKind;
+
+    fn cells() -> Vec<ReuseCell> {
+        let w2 = tight_workload(2);
+        let w3 = tight_workload(3);
+        vec![
+            ReuseCell::new(SchemeKind::HarmonyDp, w2),
+            ReuseCell::new(SchemeKind::BaselinePp, w3),
+            ReuseCell {
+                cell: CellSpec {
+                    policy: Some(PolicyKind::Lru),
+                    iterations: 2,
+                    ..CellSpec::new(SchemeKind::HarmonyPp, w2)
+                },
+                faults: Vec::new(),
+                resilience: None,
+            },
+            // Revisit the first cell: pure plan-cache hit + warm arenas.
+            ReuseCell::new(SchemeKind::HarmonyDp, w2),
+        ]
+    }
+
+    #[test]
+    fn pooled_sequence_is_byte_identical() {
+        let model = uniform_model(4, 4096);
+        let topo = tight_topo(2);
+        let out = check_cell_sequence(&model, &topo, &cells()).expect("legs must agree");
+        assert_eq!(out.cells, 4);
+        assert_eq!(out.matched_errors, 0);
+        assert!(out.trace_json_bytes > 0);
+        assert_eq!(out.plan_cache_hits, 1, "the revisited cell must hit");
+        assert_eq!(out.plan_cache_misses, 3);
+    }
+
+    #[test]
+    fn infeasible_cells_fail_identically_and_poison_nothing() {
+        let model = uniform_model(4, 4096);
+        let topo = tight_topo(2);
+        let mut seq = cells();
+        // An unplannable cell (zero microbatches) between two good ones,
+        // run twice so the second failure replays the cached error.
+        let bad = ReuseCell::new(SchemeKind::HarmonyPp, tight_workload(0));
+        seq.insert(1, bad.clone());
+        seq.insert(3, bad);
+        let out = check_cell_sequence(&model, &topo, &seq).expect("legs must agree");
+        assert_eq!(out.cells, 6);
+        assert_eq!(out.matched_errors, 2);
+        assert_eq!(out.plan_cache_hits, 2, "revisit + replayed error");
+    }
+
+    #[test]
+    fn worker_counts_do_not_change_pooled_outputs() {
+        let model = uniform_model(4, 4096);
+        let topo = tight_topo(2);
+        let seq = cells();
+        let fresh: Vec<CellOutput> = seq.iter().map(|rc| run_fresh(&model, &topo, rc)).collect();
+        for workers in [1usize, 2, 3, 8] {
+            let pooled = pooled_outputs_at(workers, &model, &topo, &seq);
+            assert_eq!(pooled, fresh, "workers = {workers} diverged from fresh");
+        }
+    }
+
+    #[test]
+    fn armed_reset_leak_is_caught() {
+        let model = uniform_model(4, 4096);
+        let topo = tight_topo(2);
+        let mut session = SweepSession::new();
+        // Cell A with a heavier working set than cell B, so A's leaked
+        // peak plane is visible in B's peak_mem_bytes.
+        let heavy = ReuseCell::new(SchemeKind::HarmonyDp, tight_workload(4));
+        let light = ReuseCell::new(SchemeKind::HarmonyDp, tight_workload(1));
+        let first = run_pooled(&mut session, &model, &topo, &heavy);
+        assert!(first.is_ok(), "heavy cell must run: {first:?}");
+        assert!(
+            session.arm_leak_plane_across_reset(),
+            "pool must hold a manager after a run"
+        );
+        let pooled = run_pooled(&mut session, &model, &topo, &light);
+        let fresh = run_fresh(&model, &topo, &light);
+        assert_ne!(
+            pooled, fresh,
+            "differential failed to catch the armed reset leak"
+        );
+        let (ps, _) = pooled.expect("leaked run still completes");
+        assert!(
+            ps.contains("peak_mem_bytes"),
+            "summary JSON must still carry the leaked plane"
+        );
+    }
+}

@@ -115,6 +115,7 @@ fn sharded_runs_are_identical_across_shard_and_worker_counts() {
             let (mut ref_summary, ref_trace, _) =
                 run_mode(&case, false).expect("unsharded reference must run");
             ref_summary.elapsed_secs = 0.0;
+            ref_summary.setup_secs = 0.0;
             ref_summary.mem_counters = None;
             let (ref_tj, ref_sj) = (ref_trace.to_json(), ref_summary.to_json());
             for shards in SHARD_COUNTS {
@@ -124,6 +125,7 @@ fn sharded_runs_are_identical_across_shard_and_worker_counts() {
                             panic!("{} x{shards} w{workers} armed={armed}: {e}", scheme.name())
                         });
                     s.elapsed_secs = 0.0;
+                    s.setup_secs = 0.0;
                     s.mem_counters = None;
                     assert!(rep.shards_used >= 1 && rep.shards_used <= 3);
                     assert_eq!(

@@ -133,6 +133,7 @@ fn clean_runs_are_byte_identical_with_layer_on_and_off() {
             let (mut summary, trace, _) =
                 run_mode(&case, false).unwrap_or_else(|e| panic!("{}: {e}", scheme.name()));
             summary.elapsed_secs = 0.0;
+            summary.setup_secs = 0.0;
             (summary.to_json(), trace.to_json())
         };
         let (s_off, t_off) = run(None);

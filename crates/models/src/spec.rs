@@ -34,7 +34,7 @@ pub enum LayerClass {
 }
 
 /// One schedulable layer of a model, with size/cost formulas.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct LayerSpec {
     /// Human-readable name, e.g. `"block3.attn"`.
     pub name: String,
@@ -95,7 +95,7 @@ impl LayerSpec {
 }
 
 /// A complete model: an ordered sequence of layers plus workload metadata.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ModelSpec {
     /// Model name (e.g. `"bert-48"`).
     pub name: String,

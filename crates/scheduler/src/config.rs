@@ -1,7 +1,7 @@
 //! Scheme and workload configuration.
 
 /// Which eviction policy the memory manager uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PolicyKind {
     /// Least-recently-used (baseline per-GPU virtualization).
     Lru,
@@ -60,8 +60,9 @@ impl SchemeConfig {
     }
 }
 
-/// Workload parameters shared by all planners.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// Workload parameters shared by all planners. `Eq + Hash` (every field
+/// is integral) so a workload can key the sweep-session plan cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct WorkloadConfig {
     /// Microbatches per GPU (`m` of the analytical model). For pipeline
     /// schemes the mini-batch is `m · N` microbatches, all of which flow

@@ -1073,6 +1073,9 @@ impl<'a> ReferenceExecutor<'a> {
                 .collect(),
             events_processed: self.events_processed,
             elapsed_secs: wall_start.elapsed().as_secs_f64(),
+            // The frozen reference predates setup timing; differentials
+            // zero both sides' wall clocks before comparing.
+            setup_secs: 0.0,
             // Populated whenever the layer is armed and faults were
             // injected — even if all zeros (the run absorbed nothing) —
             // and None otherwise, so clean summaries stay byte-identical.

@@ -335,6 +335,44 @@ impl StepPlane {
             pinned: (0..n).map(|_| Vec::new()).collect(),
         }
     }
+
+    /// Returns the plane to the exact `StepPlane::new(n)` state while
+    /// keeping every lane's capacity (including the per-GPU pin lists) —
+    /// the pooled-run recycling contract. A cleared-and-refilled lane
+    /// holds the same values as a freshly allocated one, so recycled
+    /// planes are byte-indistinguishable from fresh ones.
+    fn reset(&mut self, n: usize) {
+        self.live.clear();
+        self.live.resize(n, false);
+        self.id.clear();
+        self.id.resize(n, 0);
+        self.seq.clear();
+        self.seq.resize(n, 0);
+        self.iter.clear();
+        self.iter.resize(n, 0);
+        self.item.clear();
+        self.item.resize(n, WorkItem::AllReduce { pack: 0 });
+        self.t_cur.clear();
+        self.t_cur.resize(n, 0);
+        self.t_end.clear();
+        self.t_end.resize(n, 0);
+        self.targets_built.clear();
+        self.targets_built.resize(n, false);
+        self.front_converted.clear();
+        self.front_converted.resize(n, false);
+        self.inflight.clear();
+        self.inflight.resize(n, InFlight::Idle);
+        for p in &mut self.pinned {
+            p.clear();
+        }
+        self.pinned.resize_with(n, Vec::new);
+    }
+}
+
+impl Default for StepPlane {
+    fn default() -> Self {
+        StepPlane::new(0)
+    }
 }
 
 /// A pooled record of an in-flight transfer. Lives in the executor's
@@ -640,6 +678,108 @@ pub struct SimExecutor<'a> {
     /// Sabotage: flip a generation bit on the next transfer completion.
     #[cfg(feature = "mutation_hooks")]
     corrupt_one_gen: bool,
+    /// Wall-clock seconds spent constructing this executor (arenas,
+    /// registration, queue compilation), plus any planning time added via
+    /// [`SimExecutor::add_setup_secs`]. Exported as the summary's
+    /// `setup_secs`.
+    setup_secs: f64,
+}
+
+/// Recyclable heap state for pooled executor construction (DESIGN §14).
+///
+/// [`SimExecutor::pooled`] draws every owned container from the pool
+/// instead of allocating, and [`SimExecutor::run_pooled`] hands them back
+/// afterwards — on success *and* on error, so failed sweep cells recycle
+/// too. A default (empty) pool vends empty containers, which makes the
+/// pooled build path *literally* the fresh build path:
+/// [`SimExecutor::with_iterations`] constructs through the same code with
+/// a throwaway empty pool, so byte-identity of pooled and fresh runs is
+/// structural, not incidental.
+///
+/// Hash-ordered containers whose iteration order could reach an
+/// observable output (`done_mirror`, `reroute_attempts`,
+/// `degraded_channels`) are deliberately *not* pooled — they are rebuilt
+/// fresh per run, as are the policy box, observers, faults and counters.
+#[derive(Debug, Default)]
+pub struct ExecPool {
+    sim: Option<Simulator>,
+    mm: Option<MemoryManager>,
+    trace: Option<Trace>,
+    cur: Option<StepPlane>,
+    pre: Option<StepPlane>,
+    transfers: Slab<PendingTransfer>,
+    event_pool: EventPool,
+    ids: Vec<Option<TensorId>>,
+    labels: Vec<SymbolId>,
+    task_syms: Vec<Option<SymbolId>>,
+    nu_count: Vec<u32>,
+    nu_start: Vec<u32>,
+    nu_end: Vec<u32>,
+    nu_cur: Vec<u32>,
+    nu_seqs: Vec<u64>,
+    q_items: Vec<QItem>,
+    q_bounds: Vec<(u32, u32)>,
+    q_cursor: Vec<u32>,
+    ct_items: Vec<CTarget>,
+    computes: Vec<Option<ComputeRec>>,
+    collectives: Vec<CollSlot>,
+    done_words: Vec<u64>,
+    dep_w: Vec<u64>,
+    tw: Vec<u64>,
+    pass_w: Vec<u64>,
+    pending_w: Vec<u64>,
+    poll_w: Vec<u64>,
+    compute_rate: Vec<f64>,
+    routes_h2g: Vec<Option<RouteEntry>>,
+    routes_g2h: Vec<Option<RouteEntry>>,
+    routes_p2p: Vec<Option<RouteEntry>>,
+    spills: Vec<Option<SpillState>>,
+    retry_meta: Vec<RetryKind>,
+    evict_scratch: Vec<TensorId>,
+}
+
+impl ExecPool {
+    /// An empty pool. The first pooled run through it behaves exactly like
+    /// a fresh run (there is nothing to recycle yet); subsequent runs
+    /// reuse its arenas.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a finished run's trace to the pool so the next pooled build
+    /// recycles its span arena and interned symbol table.
+    /// [`SimExecutor::run_pooled`] hands the trace to the caller (it is
+    /// part of the run's output); call this once done reading it.
+    pub fn recycle_trace(&mut self, trace: Trace) {
+        self.trace = Some(trace);
+    }
+
+    /// Sabotage (testing only): arm the pooled memory manager's
+    /// leak-one-plane-across-reset mutant, so its next recycled build
+    /// keeps the previous run's peak-memory plane. Returns whether a
+    /// retained manager was armed (an empty pool has nothing to leak
+    /// from). The `reusediff` mutation-catch test uses this to prove the
+    /// fresh-vs-pooled differential detects reset leaks.
+    #[cfg(feature = "mutation_hooks")]
+    pub fn arm_leak_plane_across_reset(&mut self) -> bool {
+        match self.mm.as_mut() {
+            Some(mm) => {
+                mm.arm_leak_plane_across_reset();
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// Takes the vector out of its pool slot, cleared and ready to refill.
+/// Clearing before reuse is what makes recycling byte-invisible: a
+/// cleared-then-refilled vector holds exactly the contents a freshly
+/// allocated one would, whatever its capacity.
+fn recycled<T>(slot: &mut Vec<T>) -> Vec<T> {
+    let mut v = std::mem::take(slot);
+    v.clear();
+    v
 }
 
 impl<'a> SimExecutor<'a> {
@@ -682,6 +822,43 @@ impl<'a> SimExecutor<'a> {
         plan: &'a ExecutionPlan,
         iterations: u32,
     ) -> Result<Self, ExecError> {
+        // A fresh build is a pooled build that draws from an empty
+        // throwaway pool: taking from an empty slot yields an empty
+        // container, so one constructor body serves both paths and the
+        // pooled path cannot drift from this one.
+        Self::build(topo, model, plan, iterations, &mut ExecPool::default())
+    }
+
+    /// Like [`SimExecutor::with_iterations`], drawing every owned
+    /// container from `pool` instead of allocating (and recycling the
+    /// pool's retained simulator, memory manager and trace when present).
+    /// Run the result with [`SimExecutor::run_pooled`] to hand the
+    /// containers back for the next cell. Byte-identity with the fresh
+    /// path is structural: both construct through [`Self::build`]; a
+    /// fresh build simply draws from an empty throwaway pool.
+    pub fn pooled(
+        topo: &'a Topology,
+        model: &'a ModelSpec,
+        plan: &'a ExecutionPlan,
+        iterations: u32,
+        pool: &mut ExecPool,
+    ) -> Result<Self, ExecError> {
+        if iterations == 0 {
+            return Err(ExecError::Plan("iterations must be positive".to_string()));
+        }
+        plan.validate().map_err(ExecError::Plan)?;
+        Self::build(topo, model, plan, iterations, pool)
+    }
+
+    /// The one constructor body behind both the fresh and pooled paths.
+    fn build(
+        topo: &'a Topology,
+        model: &'a ModelSpec,
+        plan: &'a ExecutionPlan,
+        iterations: u32,
+        pool: &mut ExecPool,
+    ) -> Result<Self, ExecError> {
+        let setup_start = std::time::Instant::now();
         if iterations == 0 {
             return Err(ExecError::Plan("iterations must be positive".to_string()));
         }
@@ -692,12 +869,23 @@ impl<'a> SimExecutor<'a> {
                 topo.num_gpus()
             )));
         }
-        let sim = Simulator::new(topo);
-        let mut mm = MemoryManager::new(
-            (0..topo.num_gpus())
-                .map(|g| topo.gpu(g).map(|s| s.mem_bytes))
-                .collect::<Result<Vec<_>, _>>()?,
-        );
+        let sim = match pool.sim.take() {
+            Some(mut s) => {
+                s.reset(topo);
+                s
+            }
+            None => Simulator::new(topo),
+        };
+        let capacities = (0..topo.num_gpus())
+            .map(|g| topo.gpu(g).map(|s| s.mem_bytes))
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut mm = match pool.mm.take() {
+            Some(mut m) => {
+                m.reset(capacities);
+                m
+            }
+            None => MemoryManager::new(capacities),
+        };
         let cfg = plan.graph.config();
         // Key space: model/config dimensions, widened by a defensive scan
         // of the graph (`ref_dims`) so a graph that references
@@ -716,10 +904,12 @@ impl<'a> SimExecutor<'a> {
             num_refs,
         };
         let total_keys = iterations as usize * rslots * num_refs;
-        let mut ids: Vec<Option<TensorId>> = vec![None; total_keys];
-        let mut trace = Trace::new(plan.name.clone());
+        let mut ids: Vec<Option<TensorId>> = recycled(&mut pool.ids);
+        ids.resize(total_keys, None);
+        let mut trace = pool.trace.take().unwrap_or_default();
+        trace.reset(plan.name.clone());
         trace.reserve_spans(plan.total_items() * iterations as usize * 4);
-        let mut labels: Vec<SymbolId> = Vec::new();
+        let mut labels: Vec<SymbolId> = recycled(&mut pool.labels);
         let mut counters = ExecCounters::default();
         // Persistent per-replica state. Labels are interned once here —
         // the event loop only ever stamps spans with the symbol.
@@ -759,9 +949,10 @@ impl<'a> SimExecutor<'a> {
         };
         // Flatten the work queues and precompile each distinct item's
         // fetch targets once; every iteration's instance shares the range.
-        let mut q_items: Vec<QItem> = Vec::new();
-        let mut ct_items: Vec<CTarget> = Vec::new();
-        let mut q_bounds: Vec<(u32, u32)> = Vec::with_capacity(plan.queues.len());
+        let mut q_items: Vec<QItem> = recycled(&mut pool.q_items);
+        let mut ct_items: Vec<CTarget> = recycled(&mut pool.ct_items);
+        let mut q_bounds: Vec<(u32, u32)> = recycled(&mut pool.q_bounds);
+        q_bounds.reserve(plan.queues.len());
         for (g, q) in plan.queues.iter().enumerate() {
             let ranges: Vec<(u32, u32)> = q
                 .iter()
@@ -785,7 +976,8 @@ impl<'a> SimExecutor<'a> {
         // Future-use table for next-use-aware eviction, as flat per-key
         // runs: count, prefix-sum into offsets, then fill — preserving the
         // reference push order exactly (queue-major, not globally sorted).
-        let mut nu_count: Vec<u32> = vec![0; total_keys];
+        let mut nu_count: Vec<u32> = recycled(&mut pool.nu_count);
+        nu_count.resize(total_keys, 0);
         for q in &plan.queues {
             for it in 0..iterations {
                 for item in q.iter() {
@@ -795,14 +987,17 @@ impl<'a> SimExecutor<'a> {
                 }
             }
         }
-        let mut nu_start: Vec<u32> = vec![0; total_keys];
+        let mut nu_start: Vec<u32> = recycled(&mut pool.nu_start);
+        nu_start.resize(total_keys, 0);
         let mut acc: u32 = 0;
         for k in 0..total_keys {
             nu_start[k] = acc;
             acc += nu_count[k];
         }
-        let mut nu_end = nu_start.clone();
-        let mut nu_seqs: Vec<u64> = vec![0; acc as usize];
+        let mut nu_end = recycled(&mut pool.nu_end);
+        nu_end.extend_from_slice(&nu_start);
+        let mut nu_seqs: Vec<u64> = recycled(&mut pool.nu_seqs);
+        nu_seqs.resize(acc as usize, 0);
         for q in &plan.queues {
             for it in 0..iterations {
                 for (i, item) in q.iter().enumerate() {
@@ -815,14 +1010,55 @@ impl<'a> SimExecutor<'a> {
                 }
             }
         }
-        let nu_cur = nu_start.clone();
+        let mut nu_cur = recycled(&mut pool.nu_cur);
+        nu_cur.extend_from_slice(&nu_start);
+        // The count table is build-only scratch: hand it straight back.
+        nu_count.clear();
+        pool.nu_count = nu_count;
         let n_q = plan.queues.len();
         let num_gpus = topo.num_gpus();
         let num_tasks = plan.graph.tasks().len();
         let num_packs = plan.graph.packs().len();
         let wpg = n_q.div_ceil(64).max(1);
         let dep_entries = iterations as usize * rslots * num_tasks;
-        let q_cursor: Vec<u32> = q_bounds.iter().map(|b| b.0).collect();
+        let mut q_cursor: Vec<u32> = recycled(&mut pool.q_cursor);
+        q_cursor.extend(q_bounds.iter().map(|b| b.0));
+        let mut task_syms = recycled(&mut pool.task_syms);
+        task_syms.resize(rslots * num_tasks, None);
+        let mut cur = pool.cur.take().unwrap_or_default();
+        cur.reset(n_q);
+        let mut pre = pool.pre.take().unwrap_or_default();
+        pre.reset(n_q);
+        let mut transfers = std::mem::take(&mut pool.transfers);
+        transfers.reset();
+        let mut computes = recycled(&mut pool.computes);
+        computes.resize(n_q, None);
+        let mut collectives = recycled(&mut pool.collectives);
+        collectives.resize(iterations as usize * num_packs, CollSlot::default());
+        let mut done_words = recycled(&mut pool.done_words);
+        done_words.resize(dep_entries.div_ceil(64).max(1), 0);
+        let mut dep_w = recycled(&mut pool.dep_w);
+        dep_w.resize(dep_entries * wpg, 0);
+        let tw = recycled(&mut pool.tw);
+        let mut pass_w = recycled(&mut pool.pass_w);
+        pass_w.resize(wpg, 0);
+        let mut pending_w = recycled(&mut pool.pending_w);
+        pending_w.resize(wpg, 0);
+        let mut poll_w = recycled(&mut pool.poll_w);
+        poll_w.resize(wpg, 0);
+        let event_pool = std::mem::take(&mut pool.event_pool);
+        let mut compute_rate = recycled(&mut pool.compute_rate);
+        compute_rate.resize(num_gpus, 1.0);
+        let mut routes_h2g = recycled(&mut pool.routes_h2g);
+        routes_h2g.resize_with(num_gpus, || None);
+        let mut routes_g2h = recycled(&mut pool.routes_g2h);
+        routes_g2h.resize_with(num_gpus, || None);
+        let mut routes_p2p = recycled(&mut pool.routes_p2p);
+        routes_p2p.resize_with(num_gpus * num_gpus, || None);
+        let mut spills = recycled(&mut pool.spills);
+        spills.resize(num_gpus, None);
+        let retry_meta = recycled(&mut pool.retry_meta);
+        let evict_scratch = recycled(&mut pool.evict_scratch);
         Ok(SimExecutor {
             topo,
             model,
@@ -836,7 +1072,7 @@ impl<'a> SimExecutor<'a> {
             num_packs,
             ids,
             labels,
-            task_syms: vec![None; rslots * num_tasks],
+            task_syms,
             nu_start,
             nu_end,
             nu_cur,
@@ -845,38 +1081,38 @@ impl<'a> SimExecutor<'a> {
             q_bounds,
             q_cursor,
             ct_items,
-            cur: StepPlane::new(n_q),
-            pre: StepPlane::new(n_q),
+            cur,
+            pre,
             next_step_id: 0,
-            transfers: Slab::new(),
-            computes: vec![None; n_q],
+            transfers,
+            computes,
             next_compute_tag: 0,
-            collectives: vec![CollSlot::default(); iterations as usize * num_packs],
-            done_words: vec![0; dep_entries.div_ceil(64).max(1)],
+            collectives,
+            done_words,
             done_mirror: HashSet::new(),
             wpg,
-            dep_w: vec![0; dep_entries * wpg],
+            dep_w,
             dep_live: 0,
-            tw: Vec::new(),
+            tw,
             tw_live: 0,
-            pass_w: vec![0; wpg],
-            pending_w: vec![0; wpg],
-            poll_w: vec![0; wpg],
+            pass_w,
+            pending_w,
+            poll_w,
             advancing: None,
             mutations: 0,
             counters,
             trace,
             observers: Vec::new(),
-            event_pool: EventPool::default(),
+            event_pool,
             faults: Vec::new(),
-            compute_rate: vec![1.0; num_gpus],
+            compute_rate,
             event_budget: None,
             events_processed: 0,
             shard: None,
             shard_foreign_events: 0,
-            routes_h2g: (0..num_gpus).map(|_| None).collect(),
-            routes_g2h: (0..num_gpus).map(|_| None).collect(),
-            routes_p2p: (0..num_gpus * num_gpus).map(|_| None).collect(),
+            routes_h2g,
+            routes_g2h,
+            routes_p2p,
             n_topo: num_gpus,
             #[cfg(feature = "dense_advance")]
             dense: false,
@@ -884,15 +1120,16 @@ impl<'a> SimExecutor<'a> {
             resilience_seed: 0,
             fault_applied: false,
             degraded_channels: BTreeSet::new(),
-            spills: vec![None; num_gpus],
-            retry_meta: Vec::new(),
+            spills,
+            retry_meta,
             reroute_attempts: HashMap::new(),
             res_outcome: ResilienceOutcome::default(),
-            evict_scratch: Vec::new(),
+            evict_scratch,
             #[cfg(feature = "mutation_hooks")]
             drop_one_wake: false,
             #[cfg(feature = "mutation_hooks")]
             corrupt_one_gen: false,
+            setup_secs: setup_start.elapsed().as_secs_f64(),
         })
     }
 
@@ -1695,6 +1932,89 @@ impl<'a> SimExecutor<'a> {
         Ok((summary, self.trace, self.counters))
     }
 
+    /// Like [`SimExecutor::run`], but returns every recyclable container
+    /// to `pool` afterwards — on success *and* on error, so a failed
+    /// sweep cell (a planner rejection happens before construction, an
+    /// execution error after) still recycles its arenas. The returned
+    /// trace is part of the run's output; hand it back with
+    /// [`ExecPool::recycle_trace`] once read.
+    ///
+    /// Dense-reference mode is delegated to the frozen executor and not
+    /// pooled (the reference predates the pooling layer); the pool is
+    /// left untouched in that case.
+    pub fn run_pooled(mut self, pool: &mut ExecPool) -> Result<(RunSummary, Trace), ExecError> {
+        #[cfg(feature = "dense_advance")]
+        if self.dense {
+            let (summary, trace, _) = self.run_dense()?;
+            return Ok((summary, trace));
+        }
+        let wall_start = std::time::Instant::now();
+        match self.run_core() {
+            Ok(()) => {
+                let summary = self.build_summary(wall_start.elapsed().as_secs_f64());
+                let trace = std::mem::take(&mut self.trace);
+                self.dismantle(pool);
+                Ok((summary, trace))
+            }
+            Err(e) => {
+                self.dismantle(pool);
+                Err(e)
+            }
+        }
+    }
+
+    /// Returns every recyclable container to `pool`, consuming the
+    /// executor. Hash-ordered state (`done_mirror`, `reroute_attempts`,
+    /// `degraded_channels`) and run-specific state (policy, observers,
+    /// faults, counters) are dropped — rebuilt fresh each run, so no
+    /// iteration-order artifact can leak across cells.
+    fn dismantle(self, pool: &mut ExecPool) {
+        pool.sim = Some(self.sim);
+        pool.mm = Some(self.mm);
+        // `run_pooled` takes the real trace before dismantling (it is the
+        // run's output); what lands here on the error path still carries
+        // its arena, which is all the pool wants.
+        pool.trace = Some(self.trace);
+        pool.cur = Some(self.cur);
+        pool.pre = Some(self.pre);
+        pool.transfers = self.transfers;
+        pool.event_pool = self.event_pool;
+        pool.ids = self.ids;
+        pool.labels = self.labels;
+        pool.task_syms = self.task_syms;
+        pool.nu_start = self.nu_start;
+        pool.nu_end = self.nu_end;
+        pool.nu_cur = self.nu_cur;
+        pool.nu_seqs = self.nu_seqs;
+        pool.q_items = self.q_items;
+        pool.q_bounds = self.q_bounds;
+        pool.q_cursor = self.q_cursor;
+        pool.ct_items = self.ct_items;
+        pool.computes = self.computes;
+        pool.collectives = self.collectives;
+        pool.done_words = self.done_words;
+        pool.dep_w = self.dep_w;
+        pool.tw = self.tw;
+        pool.pass_w = self.pass_w;
+        pool.pending_w = self.pending_w;
+        pool.poll_w = self.poll_w;
+        pool.compute_rate = self.compute_rate;
+        pool.routes_h2g = self.routes_h2g;
+        pool.routes_g2h = self.routes_g2h;
+        pool.routes_p2p = self.routes_p2p;
+        pool.spills = self.spills;
+        pool.retry_meta = self.retry_meta;
+        pool.evict_scratch = self.evict_scratch;
+    }
+
+    /// Adds planning (or other caller-side setup) wall time to the
+    /// summary's `setup_secs`, which otherwise covers only executor
+    /// construction. The core crate's run helpers use this to fold the
+    /// `plan()` call into the reported setup cost.
+    pub fn add_setup_secs(&mut self, secs: f64) {
+        self.setup_secs += secs;
+    }
+
     /// The event loop proper: initial pass, drain, stuck check, (sharded:
     /// final rendezvous), dirty-state flush. Split from [`Self::run_counted`]
     /// so [`crate::shard`] can drive it on a borrowed executor and read the
@@ -1827,6 +2147,7 @@ impl<'a> SimExecutor<'a> {
                 .collect(),
             events_processed: self.events_processed - self.shard_foreign_events,
             elapsed_secs,
+            setup_secs: self.setup_secs,
             // Populated whenever the layer is armed and faults were
             // injected — even if all zeros (the run absorbed nothing) —
             // and None otherwise, so clean summaries stay byte-identical.

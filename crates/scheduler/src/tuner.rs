@@ -43,6 +43,12 @@ pub struct TuneResult {
     pub points: Vec<TunePoint>,
     /// Index of the best feasible point (highest throughput), if any.
     pub best: Option<usize>,
+    /// Grid cells whose plan-relevant knobs `(pack_size, microbatches)`
+    /// duplicated an earlier cell: served from that cell's profile
+    /// instead of being re-planned and re-simulated.
+    pub plan_cache_hits: u64,
+    /// Distinct cells actually planned and profiled.
+    pub plan_cache_misses: u64,
 }
 
 impl TuneResult {
@@ -76,7 +82,23 @@ where
         .iter()
         .flat_map(|&pack| microbatch_counts.iter().map(move |&m| (pack, m)))
         .collect();
-    let points = harmony_parallel::par_map(&grid, |_, &(pack, m)| {
+    // The planner is a pure function of the workload, so two cells with
+    // the same plan key `(pack, m)` would produce identical plans and
+    // identical simulations. Profile each distinct cell once and fan the
+    // results back out in sweep order — a caller-supplied grid with
+    // repeated knob values costs one simulation per *distinct* cell.
+    let mut unique: Vec<(usize, usize)> = Vec::new();
+    let mut slot: Vec<usize> = Vec::with_capacity(grid.len());
+    for &cell in &grid {
+        match unique.iter().position(|&u| u == cell) {
+            Some(i) => slot.push(i),
+            None => {
+                slot.push(unique.len());
+                unique.push(cell);
+            }
+        }
+    }
+    let profiled = harmony_parallel::par_map(&unique, |_, &(pack, m)| {
         let w = WorkloadConfig {
             pack_size: pack,
             microbatches: m,
@@ -93,8 +115,14 @@ where
             summary,
         }
     });
+    let points: Vec<TunePoint> = slot.iter().map(|&i| profiled[i].clone()).collect();
     let best = select_best(&points);
-    TuneResult { points, best }
+    TuneResult {
+        points,
+        best,
+        plan_cache_hits: (grid.len() - unique.len()) as u64,
+        plan_cache_misses: unique.len() as u64,
+    }
 }
 
 /// Deterministic argmax over feasible points: highest finite throughput
@@ -213,6 +241,7 @@ mod tests {
                 channel_busy_secs: Default::default(),
                 events_processed: 0,
                 elapsed_secs: 0.0,
+                setup_secs: 0.0,
                 mem_counters: None,
                 resilience: None,
             }),
@@ -265,6 +294,29 @@ mod tests {
             let parallel = harmony_parallel::with_workers(workers, sweep);
             assert_eq!(parallel, sequential, "workers = {workers} diverged");
         }
+    }
+
+    #[test]
+    fn duplicate_grid_cells_hit_the_plan_cache() {
+        let m = model();
+        let t = topo(96 * 1024);
+        // 3×2 grid with one repeated pack size: 6 cells, 4 distinct.
+        let deduped = tune(&m, &t, &base(), &[1, 2, 1], &[1, 2], |m, w| {
+            plan_harmony_pp(m, 2, w).map_err(|e| e.to_string())
+        });
+        assert_eq!(deduped.points.len(), 6, "sweep order keeps every cell");
+        assert_eq!(deduped.plan_cache_hits, 2);
+        assert_eq!(deduped.plan_cache_misses, 4);
+        // The fanned-back points are the distinct cells' profiles verbatim.
+        assert_eq!(deduped.points[0], deduped.points[4]);
+        assert_eq!(deduped.points[1], deduped.points[5]);
+        // And a duplicate-free sweep reports no hits.
+        let fresh = tune(&m, &t, &base(), &[1, 2], &[1, 2], |m, w| {
+            plan_harmony_pp(m, 2, w).map_err(|e| e.to_string())
+        });
+        assert_eq!(fresh.plan_cache_hits, 0);
+        assert_eq!(fresh.plan_cache_misses, 4);
+        assert_eq!(&deduped.points[..4], &fresh.points[..]);
     }
 
     #[test]

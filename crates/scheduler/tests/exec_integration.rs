@@ -653,6 +653,7 @@ mod resilience {
         }
         let (mut summary, trace) = ex.run()?;
         summary.elapsed_secs = 0.0;
+        summary.setup_secs = 0.0;
         let tj = trace.to_json();
         Ok((summary, tj))
     }

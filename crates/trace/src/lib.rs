@@ -115,6 +115,16 @@ impl SymbolTable {
     pub fn is_empty(&self) -> bool {
         self.strings.is_empty()
     }
+
+    /// Empties the table, retaining its capacity. Ids are minted densely
+    /// from `strings.len()` and the hash index is lookup-only (never
+    /// iterated), so a cleared table re-interns the same label sequence
+    /// to the same ids as a fresh one — the pooled-trace identity
+    /// contract (DESIGN §14).
+    pub fn clear(&mut self) {
+        self.strings.clear();
+        self.index.clear();
+    }
 }
 
 /// One timed span of activity.
@@ -158,6 +168,17 @@ impl Trace {
             spans: Vec::new(),
             symbols: SymbolTable::default(),
         }
+    }
+
+    /// Rebinds a recycled trace to a new run: renames it and empties the
+    /// span list and symbol table while keeping their capacity, so a
+    /// pooled sweep records without growth reallocations. Equivalent to
+    /// `Trace::new(name)` for every observable output (spans, labels,
+    /// JSON) — symbol ids re-intern densely from zero.
+    pub fn reset(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+        self.spans.clear();
+        self.symbols.clear();
     }
 
     /// Records a span.
@@ -401,6 +422,22 @@ mod tests {
         assert_eq!(back.symbols.len(), 2);
         // And the re-export is byte-identical.
         assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn reset_trace_matches_fresh_trace_byte_for_byte() {
+        let mut pooled = Trace::new("first");
+        pooled.record(0.0, 1.0, Some(0), SpanKind::Compute, "old-a");
+        pooled.record(1.0, 2.0, Some(1), SpanKind::SwapIn, "old-b");
+        pooled.reset("second");
+        let mut fresh = Trace::new("second");
+        for t in [&mut pooled, &mut fresh] {
+            t.record(0.0, 1.0, Some(0), SpanKind::P2p, "x");
+            t.record(1.0, 2.0, Some(0), SpanKind::P2p, "y");
+        }
+        assert_eq!(pooled.to_json(), fresh.to_json());
+        assert_eq!(pooled.spans[0].label, fresh.spans[0].label);
+        assert_eq!(pooled.symbols.len(), fresh.symbols.len());
     }
 
     #[test]

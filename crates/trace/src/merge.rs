@@ -165,6 +165,9 @@ pub fn merge_summaries(parts: &[RunSummary], spec: &MergeSpec) -> RunSummary {
         channel_busy_secs,
         events_processed: parts.iter().map(|p| p.events_processed).sum(),
         elapsed_secs: 0.0,
+        // Like elapsed_secs: wall clock belongs to whoever timed the
+        // whole sharded run, not to any single shard.
+        setup_secs: 0.0,
         resilience,
         // Planning counters are per-manager implementation detail; a
         // merged summary has no single manager to attribute them to.
@@ -268,6 +271,7 @@ mod tests {
             ]),
             events_processed: events,
             elapsed_secs: 9.9,
+            setup_secs: 0.3,
             resilience: None,
             mem_counters: None,
         };
@@ -301,6 +305,7 @@ mod tests {
             channel_busy_secs: BTreeMap::new(),
             events_processed: 0,
             elapsed_secs: 0.0,
+            setup_secs: 0.0,
             resilience: Some(ResilienceOutcome {
                 spill_events: 1,
                 rerouted_transfers: 0,

@@ -126,6 +126,14 @@ pub struct RunSummary {
     /// (not virtual time). Nondeterministic by nature: comparisons between
     /// runs must ignore it (see the harness's executor differential).
     pub elapsed_secs: f64,
+    /// Wall-clock seconds spent *setting up* the run — planning plus
+    /// executor construction (key arenas, registration, queue
+    /// compilation) — as opposed to executing it (`elapsed_secs`). The
+    /// sweep-session work (DESIGN §14) exists to amortise exactly this
+    /// cost, so it is observable per run. Wall clock like `elapsed_secs`:
+    /// excluded from equality and zeroed before byte-for-byte
+    /// comparisons.
+    pub setup_secs: f64,
     /// What the resilience layer did, for runs where it was armed AND
     /// faults were injected; `None` on clean runs (so clean summaries are
     /// byte-identical with the layer on or off). Deterministic, and part
@@ -140,11 +148,11 @@ pub struct RunSummary {
     pub mem_counters: Option<MemPlanningCounters>,
 }
 
-/// Equality over the *deterministic* content of a run. `elapsed_secs` is
-/// host wall clock — measurement noise, not part of a run's identity — so
-/// two deterministic replays of the same plan compare equal even though
-/// their clocks differ. (`events_processed` IS deterministic and is
-/// compared.)
+/// Equality over the *deterministic* content of a run. `elapsed_secs`
+/// and `setup_secs` are host wall clock — measurement noise, not part of
+/// a run's identity — so two deterministic replays of the same plan
+/// compare equal even though their clocks differ. (`events_processed` IS
+/// deterministic and is compared.)
 impl PartialEq for RunSummary {
     fn eq(&self, other: &Self) -> bool {
         self.name == other.name
@@ -265,6 +273,9 @@ impl RunSummary {
                 number(self.elapsed_secs)
             ));
         }
+        if self.setup_secs.is_finite() {
+            out.push_str(&format!("\"setup_secs\": {}, ", number(self.setup_secs)));
+        }
         out.push_str(&format!("\"throughput\": {}, ", number(self.throughput())));
         if let Some(r) = &self.resilience {
             out.push_str(&format!("\"resilience\": {}, ", r.to_json()));
@@ -341,6 +352,7 @@ mod tests {
             channel_busy_secs: Default::default(),
             events_processed: 40,
             elapsed_secs: 0.5,
+            setup_secs: 0.1,
             resilience: None,
             mem_counters: None,
         }
@@ -398,6 +410,10 @@ mod tests {
                 elapsed_secs: f64::INFINITY,
                 ..summary()
             },
+            RunSummary {
+                setup_secs: f64::NAN,
+                ..summary()
+            },
         ] {
             let text = s.to_json();
             assert!(
@@ -418,6 +434,14 @@ mod tests {
                 );
             } else {
                 assert!(doc.get("elapsed_secs").is_none());
+            }
+            if s.setup_secs.is_finite() {
+                assert_eq!(
+                    doc.get("setup_secs").and_then(|v| v.as_f64()),
+                    Some(s.setup_secs)
+                );
+            } else {
+                assert!(doc.get("setup_secs").is_none());
             }
             match s.swap_imbalance() {
                 Some(v) => {
@@ -477,6 +501,14 @@ mod tests {
         // Counters describe how the run was computed, not what it
         // computed: they do not participate in run identity.
         assert_eq!(plain, counted);
+    }
+
+    #[test]
+    fn wall_clocks_do_not_participate_in_identity() {
+        let mut replay = summary();
+        replay.elapsed_secs = 99.0;
+        replay.setup_secs = 42.0;
+        assert_eq!(summary(), replay);
     }
 
     #[test]
