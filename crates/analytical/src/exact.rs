@@ -146,6 +146,45 @@ pub fn weight_swap_volume_exact(scheme: Scheme, p: &ExactParams) -> u64 {
                 .sum::<u64>()
                 * w
         }
+        Scheme::Pipe1F1B => {
+            // Backward reads the stashed version, so the live-weight
+            // class only sees forward reads (2 per microbatch per layer)
+            // and the update round-trip — and the baseline-PP boundary
+            // savings evaporate: the loss-turnaround and microbatch-seam
+            // adjacencies were backward-side weight reads, and the
+            // updates run after the drain with the working set long
+            // evicted. When every stage is pressured (≥ 2 layers) the
+            // exact count **is** the steady-state form. Each
+            // single-layer stage shrinks the pipeline's drained working
+            // set enough that one more warmup-adjacent weight stays
+            // resident: with k such stages the savings are
+            // 2(N−1), 2(N−2), …, 2(N−k) layer-swaps (m-independent).
+            let _ = m;
+            let k = p.stage_layers.iter().filter(|&&s| s == 1).count() as u64;
+            let steady = (2 * p.m_total() + 2) * l;
+            let saving: u64 = (0..k).map(|j| 2 * (n - 1).saturating_sub(j)).sum();
+            (steady - saving) * w
+        }
+    }
+}
+
+/// Exact stashed-weight-version swap volume per iteration — zero for all
+/// schemes but 1F1B weight stashing.
+///
+/// Each microbatch's forward writes one per-layer weight copy (swap-out)
+/// that its backward reads back (swap-in): `2·M` layer-swaps per layer in
+/// steady state. The last layer of the pipeline is the exception: its
+/// forward is immediately followed (modulo the loss computation) by its
+/// backward, so that stash never leaves the device at all —
+/// `2·M·(L−1)` layer-swaps total.
+pub fn weight_stash_swap_volume_exact(scheme: Scheme, p: &ExactParams) -> u64 {
+    match scheme {
+        Scheme::Pipe1F1B => {
+            let w = p.layer_weight_bytes;
+            let mt = p.m_total();
+            2 * mt * (p.layers - 1) * w
+        }
+        _ => 0,
     }
 }
 
@@ -183,6 +222,18 @@ pub fn grad_swap_volume_exact(scheme: Scheme, p: &ExactParams) -> u64 {
                 .sum::<u64>()
                 * w
         }
+        Scheme::Pipe1F1B => {
+            // Steady per layer, like baseline-PP under pressure — but
+            // single-layer stages are *not* gradient-resident here (the
+            // stash copies evict them). Instead, as for the weight
+            // class, each of the k single-layer stages converts one
+            // warmup-adjacent gradient round-trip into residency:
+            // savings 2N, 2(N−1), …, 2(N−k+1) layer-swaps.
+            let k = p.stage_layers.iter().filter(|&&s| s == 1).count() as u64;
+            let steady = (2 * p.m_total() + 2) * l;
+            let saving: u64 = (0..k).map(|j| 2 * (n - j)).sum();
+            (steady - saving) * w
+        }
     }
 }
 
@@ -205,7 +256,9 @@ pub fn opt_state_swap_volume_exact(_scheme: Scheme, _p: &ExactParams) -> u64 {
 pub fn p2p_volume_exact(scheme: Scheme, p: &ExactParams) -> Option<u64> {
     match scheme {
         Scheme::BaselineDp | Scheme::HarmonyDp => Some(0),
-        Scheme::BaselinePp => Some(p.m_total() * (p.n - 1) * 2 * p.boundary_act_bytes),
+        Scheme::BaselinePp | Scheme::Pipe1F1B => {
+            Some(p.m_total() * (p.n - 1) * 2 * p.boundary_act_bytes)
+        }
         Scheme::HarmonyPp => None,
     }
 }
@@ -268,10 +321,15 @@ mod tests {
                 1.0 - weight_swap_volume_exact(scheme, &p) as f64
                     / weight_swap_volume(scheme, &sp) as f64
             };
+            // Pipe-1F1B's pressured-partition correction is already
+            // exactly zero, so "shrinks" degenerates to "stays zero".
             assert!(
-                large < small && large < 0.02,
+                large <= small && large < 0.02,
                 "{scheme:?}: correction should shrink ({small} -> {large})"
             );
+            if scheme == Scheme::Pipe1F1B {
+                assert_eq!(small, 0.0, "pressured partitions have no correction");
+            }
         }
     }
 

@@ -45,15 +45,23 @@ pub enum Scheme {
     HarmonyDp,
     /// Harmony pipeline parallelism (grouping + JIT + p2p + packing).
     HarmonyPp,
+    /// 1F1B pipeline parallelism with PipeDream weight stashing: the
+    /// baseline-PP schedule plus one stashed weight version per in-flight
+    /// microbatch, so each backward reads the weights its forward used.
+    /// The stash copies swap as their own tensor class
+    /// ([`weight_stash_swap_volume`]); the live-weight class shrinks by
+    /// exactly the backward reads the stash absorbs.
+    Pipe1F1B,
 }
 
 impl Scheme {
-    /// All four schemes, baselines first.
-    pub const ALL: [Scheme; 4] = [
+    /// Every scheme, baselines first, extensions last.
+    pub const ALL: [Scheme; 5] = [
         Scheme::BaselineDp,
         Scheme::BaselinePp,
         Scheme::HarmonyDp,
         Scheme::HarmonyPp,
+        Scheme::Pipe1F1B,
     ];
 
     /// Display name.
@@ -63,6 +71,7 @@ impl Scheme {
             Scheme::BaselinePp => "PP + per-GPU virtualization",
             Scheme::HarmonyDp => "Harmony-DP",
             Scheme::HarmonyPp => "Harmony-PP",
+            Scheme::Pipe1F1B => "PP + 1F1B weight stashing",
         }
     }
 }
@@ -108,6 +117,8 @@ impl Params {
 pub struct SwapBreakdown {
     /// Weight tensor swaps.
     pub weight: u64,
+    /// Stashed weight-version swaps (1F1B weight stashing only).
+    pub weight_stash: u64,
     /// Gradient-buffer swaps.
     pub grad: u64,
     /// Optimizer-state swaps.
@@ -123,7 +134,7 @@ pub struct SwapBreakdown {
 impl SwapBreakdown {
     /// Total host swap volume (p2p excluded — it bypasses the host link).
     pub fn total(&self) -> u64 {
-        self.weight + self.grad + self.opt_state + self.stash + self.act
+        self.weight + self.weight_stash + self.grad + self.opt_state + self.stash + self.act
     }
 }
 
@@ -157,6 +168,27 @@ pub fn weight_swap_volume(scheme: Scheme, p: &Params) -> u64 {
         Scheme::HarmonyDp => 3 * n * w,
         // As Harmony-DP but weights are partitioned, not replicated.
         Scheme::HarmonyPp => 3 * w,
+        // As baseline-PP, except backward reads the stashed version
+        // (counted in `weight_stash_swap_volume`), not the live weights:
+        // in+out per fwd microbatch (2mN) + in+out at update (2).
+        Scheme::Pipe1F1B => (2 * m * n + 2) * w,
+    }
+}
+
+/// Stashed weight-version swap volume per iteration — zero for every
+/// scheme except 1F1B weight stashing, where each microbatch's forward
+/// swaps one full weight copy out and its backward swaps it back in:
+/// `2·m·N·|W|` across the pipeline's stages.
+pub fn weight_stash_swap_volume(scheme: Scheme, p: &Params) -> u64 {
+    let Params {
+        m,
+        n,
+        weight_bytes: w,
+        ..
+    } = *p;
+    match scheme {
+        Scheme::Pipe1F1B => 2 * m * n * w,
+        _ => 0,
     }
 }
 
@@ -172,7 +204,7 @@ pub fn grad_swap_volume(scheme: Scheme, p: &Params) -> u64 {
         // Accumulation forces the buffer in+out on every backward
         // microbatch, plus in+out at the (late) update.
         Scheme::BaselineDp => (2 * m + 2) * n * w,
-        Scheme::BaselinePp => (2 * m * n + 2) * w,
+        Scheme::BaselinePp | Scheme::Pipe1F1B => (2 * m * n + 2) * w,
         // Grouped backward brings dW in once; the JIT update consumes it
         // while resident and the reset buffer is swapped out once.
         Scheme::HarmonyDp => 2 * n * w,
@@ -191,7 +223,7 @@ pub fn opt_state_swap_volume(scheme: Scheme, p: &Params) -> u64 {
         // In+out once per update, on every replica (DP) or once per
         // partition (PP / Harmony-PP).
         Scheme::BaselineDp | Scheme::HarmonyDp => 2 * n * k,
-        Scheme::BaselinePp | Scheme::HarmonyPp => 2 * k,
+        Scheme::BaselinePp | Scheme::HarmonyPp | Scheme::Pipe1F1B => 2 * k,
     }
 }
 
@@ -209,9 +241,11 @@ pub fn stash_swap_volume(scheme: Scheme, p: &Params) -> u64 {
     match scheme {
         // DP: m microbatches on each of N replicas. PP: m·N microbatches
         // through the partitioned layers (same total stash bytes).
-        Scheme::BaselineDp | Scheme::HarmonyDp | Scheme::BaselinePp | Scheme::HarmonyPp => {
-            2 * m * n * s
-        }
+        Scheme::BaselineDp
+        | Scheme::HarmonyDp
+        | Scheme::BaselinePp
+        | Scheme::HarmonyPp
+        | Scheme::Pipe1F1B => 2 * m * n * s,
     }
 }
 
@@ -227,7 +261,7 @@ pub fn act_swap_volume(scheme: Scheme, p: &Params) -> u64 {
         // Rigid per-microbatch execution order evicts each boundary
         // activation (and its gradient on the way back): out+in, twice.
         Scheme::BaselineDp => 4 * m * n * a,
-        Scheme::BaselinePp => 4 * m * n * a,
+        Scheme::BaselinePp | Scheme::Pipe1F1B => 4 * m * n * a,
         // Grouping keeps the producer's outputs resident until the
         // consumer task runs next (DP: same GPU, zero swaps); PP moves
         // them p2p instead (accounted in `p2p`, not here).
@@ -246,7 +280,7 @@ pub fn p2p_volume(scheme: Scheme, p: &Params) -> u64 {
         ..
     } = *p;
     match scheme {
-        Scheme::BaselineDp | Scheme::BaselinePp | Scheme::HarmonyDp => {
+        Scheme::BaselineDp | Scheme::BaselinePp | Scheme::HarmonyDp | Scheme::Pipe1F1B => {
             // DP gradient AllReduce traffic is p2p-capable on both DP
             // schemes; baselines route it through host in the worst case,
             // but we count ring-allreduce traffic uniformly for fairness.
@@ -266,6 +300,7 @@ pub fn p2p_volume(scheme: Scheme, p: &Params) -> u64 {
 pub fn breakdown(scheme: Scheme, p: &Params) -> SwapBreakdown {
     SwapBreakdown {
         weight: weight_swap_volume(scheme, p),
+        weight_stash: weight_stash_swap_volume(scheme, p),
         grad: grad_swap_volume(scheme, p),
         opt_state: opt_state_swap_volume(scheme, p),
         stash: stash_swap_volume(scheme, p),
@@ -344,7 +379,12 @@ mod tests {
             for n in 1..=8 {
                 let p = params(m, n);
                 let hpp = breakdown(Scheme::HarmonyPp, &p).total();
-                for s in [Scheme::BaselineDp, Scheme::BaselinePp, Scheme::HarmonyDp] {
+                for s in [
+                    Scheme::BaselineDp,
+                    Scheme::BaselinePp,
+                    Scheme::HarmonyDp,
+                    Scheme::Pipe1F1B,
+                ] {
                     assert!(
                         hpp <= breakdown(s, &p).total(),
                         "m={m} n={n}: Harmony-PP {hpp} vs {} {}",

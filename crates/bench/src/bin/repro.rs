@@ -25,13 +25,18 @@ figures/tables (or `all` for every one):
   dominance tango prefetch recompute eviction steady
 
 gates and sweeps:
-  conformance [seed]               oracle-instrumented pass/fail matrix
-                                   (exits nonzero on any failing cell)
-  bench [--json] [--workers N]     sweep wall clock at 1 worker vs the pool;
-                                   --json writes BENCH_sweeps.json
+  conformance [seed] [--scheme NAME]
+                                   oracle-instrumented pass/fail matrix
+                                   (exits nonzero on any failing cell);
+                                   --scheme restricts to one scheme's cells
+  bench [--json] [--workers N] [--scheme NAME]
+                                   sweep wall clock at 1 worker vs the pool;
+                                   --json writes BENCH_sweeps.json; --scheme
+                                   filters the scheme-filterable legs
   sweep-smoke [--cells N]          pooled-session sweep throughput vs fresh
                                    per-cell setup, byte-identity checked
-  exec-smoke [--grid]              executor hot path vs the dense reference
+  exec-smoke [--grid] [--scheme NAME]
+                                   executor hot path vs the dense reference
   mem-smoke [--grid]               memory-manager hot path vs the frozen
                                    dense core, plus the allocation-free
                                    planning gate
@@ -61,8 +66,14 @@ fn main() {
         return;
     }
     if arg == "conformance" {
-        let seed = std::env::args()
-            .nth(2)
+        // Positional-seed back-compat (`conformance 7`): strip a leading
+        // non-flag token as the seed, then flag-parse the rest strictly.
+        let rest: Vec<String> = std::env::args().skip(2).collect();
+        let (seed_arg, flag_args) = match rest.first() {
+            Some(tok) if !tok.starts_with("--") => (Some(tok.clone()), rest[1..].to_vec()),
+            _ => (None, rest),
+        };
+        let seed = seed_arg
             .map(|s| match s.parse::<u64>() {
                 Ok(seed) => seed,
                 Err(_) => {
@@ -71,7 +82,8 @@ fn main() {
                 }
             })
             .unwrap_or(0);
-        let report = harmony_harness::run_conformance(seed);
+        let scheme = parse_or_exit(&cli::CONFORMANCE, &flag_args).scheme("--scheme");
+        let report = harmony_harness::run_conformance_filtered(seed, scheme);
         println!("{}", report.render());
         if !report.all_passed() {
             std::process::exit(1);
@@ -83,7 +95,7 @@ fn main() {
         let flags = parse_or_exit(&cli::BENCH, &rest);
         let json = flags.has("--json");
         let workers = flags.value("--workers").map_or(4, |n| n as usize);
-        let report = sweeps::run(workers);
+        let report = sweeps::run_filtered(workers, flags.scheme("--scheme"));
         println!("{}", report.render());
         if json {
             let path = "BENCH_sweeps.json";
@@ -164,13 +176,17 @@ fn main() {
         // Reject anything else: a typo like `--gird` must fail loudly,
         // not silently time the single-cell variant.
         let rest: Vec<String> = std::env::args().skip(2).collect();
-        let full_grid = parse_or_exit(&cli::EXEC_SMOKE, &rest).has("--grid");
+        let flags = parse_or_exit(&cli::EXEC_SMOKE, &rest);
+        let full_grid = flags.has("--grid");
+        let scheme = flags
+            .scheme("--scheme")
+            .unwrap_or(harmony::simulate::SchemeKind::HarmonyPp);
         let points = if full_grid {
-            sweeps::exec_hot_path_scaling()
+            sweeps::exec_hot_path_scaling_for(scheme)
         } else {
             let (r, m, n, it) =
                 sweeps::EXEC_HOT_PATH_SCALES[sweeps::EXEC_HOT_PATH_SCALES.len() - 1];
-            vec![sweeps::exec_hot_path(r, m, n, it)]
+            vec![sweeps::exec_hot_path_for(scheme, r, m, n, it)]
         };
         for p in &points {
             println!(

@@ -9,6 +9,8 @@
 //! the accepted grammar. Each test in `tests/cli.rs` pins a bug that
 //! used to do exactly the silent thing.
 
+use harmony::simulate::SchemeKind;
+
 /// How a value-taking flag treats a missing value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ValueKind {
@@ -19,6 +21,21 @@ pub enum ValueKind {
     /// default (`--seed` alone means "the documented default seed"),
     /// but a present-and-malformed value is still an error.
     OptionalInt,
+    /// A scheme name from [`SchemeKind::ALL`]; a bare flag or a name
+    /// [`SchemeKind::from_name`] does not know is a usage error listing
+    /// the valid schemes — a misspelt `--scheme` must never silently
+    /// run the unfiltered (or an empty) grid.
+    Scheme,
+}
+
+/// The `a|b|c` list of valid scheme names quoted in `--scheme`
+/// diagnostics.
+fn scheme_names() -> String {
+    SchemeKind::ALL
+        .iter()
+        .map(|s| s.name())
+        .collect::<Vec<_>>()
+        .join("|")
 }
 
 /// One value-taking flag.
@@ -44,14 +61,33 @@ pub struct Spec {
     pub values: &'static [ValueFlag],
 }
 
-/// `repro bench [--json] [--workers N]`.
+/// `repro bench [--json] [--workers N] [--scheme NAME]`.
 pub const BENCH: Spec = Spec {
     cmd: "bench",
-    expected: "[--json] [--workers N]",
+    expected: "[--json] [--workers N] [--scheme NAME]",
     bools: &["--json"],
+    values: &[
+        ValueFlag {
+            name: "--workers",
+            kind: ValueKind::PositiveInt,
+        },
+        ValueFlag {
+            name: "--scheme",
+            kind: ValueKind::Scheme,
+        },
+    ],
+};
+
+/// `repro conformance [seed] [--scheme NAME]` — the positional seed is
+/// stripped by the binary before flag parsing (back-compat with
+/// `conformance 7`).
+pub const CONFORMANCE: Spec = Spec {
+    cmd: "conformance",
+    expected: "[seed] [--scheme NAME]",
+    bools: &[],
     values: &[ValueFlag {
-        name: "--workers",
-        kind: ValueKind::PositiveInt,
+        name: "--scheme",
+        kind: ValueKind::Scheme,
     }],
 };
 
@@ -66,12 +102,15 @@ pub const SWEEP_SMOKE: Spec = Spec {
     }],
 };
 
-/// `repro exec-smoke [--grid]`.
+/// `repro exec-smoke [--grid] [--scheme NAME]`.
 pub const EXEC_SMOKE: Spec = Spec {
     cmd: "exec-smoke",
-    expected: "[--grid]",
+    expected: "[--grid] [--scheme NAME]",
     bools: &["--grid"],
-    values: &[],
+    values: &[ValueFlag {
+        name: "--scheme",
+        kind: ValueKind::Scheme,
+    }],
 };
 
 /// `repro mem-smoke [--grid]`.
@@ -115,6 +154,12 @@ impl Parsed<'_> {
             .find(|(n, _)| *n == name)
             .and_then(|(_, v)| *v)
     }
+
+    /// The scheme a [`ValueKind::Scheme`] flag named, `None` when absent.
+    /// (Stored as its index into [`SchemeKind::ALL`] by `parse`.)
+    pub fn scheme(&self, name: &str) -> Option<SchemeKind> {
+        self.value(name).map(|i| SchemeKind::ALL[i as usize])
+    }
 }
 
 /// Parses `args` against `spec`; the returned error is the exact
@@ -135,6 +180,13 @@ pub fn parse<'a>(spec: &Spec, args: &'a [String]) -> Result<Parsed<'a>, String> 
                             vf.name, spec.expected
                         ));
                     }
+                    ValueKind::Scheme => {
+                        return Err(format!(
+                            "{} requires a scheme name; one of {}",
+                            vf.name,
+                            scheme_names()
+                        ));
+                    }
                     ValueKind::OptionalInt => None,
                 },
                 Some(s) => match vf.kind {
@@ -150,6 +202,18 @@ pub fn parse<'a>(spec: &Spec, args: &'a [String]) -> Result<Parsed<'a>, String> 
                             return Err(format!("{} takes an integer, got `{s}`", vf.name));
                         }
                     },
+                    ValueKind::Scheme => match SchemeKind::from_name(s) {
+                        Some(k) => {
+                            let ix = SchemeKind::ALL.iter().position(|&a| a == k);
+                            Some(ix.expect("ALL contains every SchemeKind") as u64)
+                        }
+                        None => {
+                            return Err(format!(
+                                "unknown scheme `{s}`; valid schemes: {}",
+                                scheme_names()
+                            ));
+                        }
+                    },
                 },
             },
         };
@@ -157,9 +221,13 @@ pub fn parse<'a>(spec: &Spec, args: &'a [String]) -> Result<Parsed<'a>, String> 
     }
     if let Some(bad) = args.iter().enumerate().find_map(|(i, a)| {
         let known = spec.bools.contains(&a.as_str()) || spec.values.iter().any(|vf| vf.name == a);
+        // A token right after a value flag is that flag's value when it
+        // fits the flag's grammar — integers, or (for `--scheme`) any
+        // valid scheme name: an invalid one already errored above.
         let is_value = i > 0
-            && spec.values.iter().any(|vf| vf.name == args[i - 1])
-            && a.parse::<u64>().is_ok();
+            && spec.values.iter().any(|vf| {
+                vf.name == args[i - 1] && (a.parse::<u64>().is_ok() || vf.kind == ValueKind::Scheme)
+            });
         (!known && !is_value).then_some(a)
     }) {
         return Err(format!(
@@ -196,7 +264,7 @@ mod tests {
         let e = parse(&BENCH, &args).expect_err("bare --workers");
         assert_eq!(
             e,
-            "--workers requires a value; expected [--json] [--workers N]"
+            "--workers requires a value; expected [--json] [--workers N] [--scheme NAME]"
         );
     }
 
@@ -232,7 +300,7 @@ mod tests {
         let e = parse(&BENCH, &args).expect_err("stray operand");
         assert_eq!(
             e,
-            "unknown bench flag `extra`; expected [--json] [--workers N]"
+            "unknown bench flag `extra`; expected [--json] [--workers N] [--scheme NAME]"
         );
     }
 
@@ -247,6 +315,59 @@ mod tests {
         let args = argv(&["--cels", "32"]);
         let e = parse(&SWEEP_SMOKE, &args).expect_err("typo");
         assert_eq!(e, "unknown sweep-smoke flag `--cels`; expected [--cells N]");
+    }
+
+    #[test]
+    fn scheme_flags_round_trip_every_valid_name() {
+        for (i, k) in SchemeKind::ALL.iter().enumerate() {
+            let args = argv(&["--scheme", k.name()]);
+            for spec in [&BENCH, &EXEC_SMOKE, &CONFORMANCE] {
+                let p = parse(spec, &args)
+                    .unwrap_or_else(|e| panic!("{} --scheme {}: {e}", spec.cmd, k.name()));
+                assert_eq!(p.scheme("--scheme"), Some(*k), "index {i}");
+            }
+        }
+        let args = argv(&[]);
+        let p = parse(&CONFORMANCE, &args).expect("empty is valid");
+        assert_eq!(p.scheme("--scheme"), None);
+    }
+
+    #[test]
+    fn unknown_scheme_names_list_the_valid_schemes() {
+        // A misspelt scheme must never silently run the unfiltered (or
+        // an empty) grid — the diagnostic lists every valid name.
+        for bad in ["pipe-1f2b", "harmony", "PIPE-1F1B", ""] {
+            let args = argv(&["--scheme", bad]);
+            let e = parse(&CONFORMANCE, &args).expect_err("bad scheme name");
+            assert_eq!(
+                e,
+                format!(
+                    "unknown scheme `{bad}`; valid schemes: \
+                     baseline-dp|baseline-pp|harmony-dp|harmony-pp|pipe-1f1b"
+                )
+            );
+        }
+        let args = argv(&["--scheme"]);
+        let e = parse(&EXEC_SMOKE, &args).expect_err("bare --scheme");
+        assert_eq!(
+            e,
+            "--scheme requires a scheme name; one of \
+             baseline-dp|baseline-pp|harmony-dp|harmony-pp|pipe-1f1b"
+        );
+    }
+
+    #[test]
+    fn scheme_values_are_not_stray_operands() {
+        // The unknown-flag sweep must not flag a scheme name that is the
+        // value of the preceding `--scheme`.
+        let args = argv(&["--grid", "--scheme", "pipe-1f1b"]);
+        let p = parse(&EXEC_SMOKE, &args).expect("grid + scheme filter");
+        assert!(p.has("--grid"));
+        assert_eq!(p.scheme("--scheme"), Some(SchemeKind::Pipe1F1B));
+        // ...but the same name anywhere else is still a stray operand.
+        let args = argv(&["pipe-1f1b"]);
+        let e = parse(&EXEC_SMOKE, &args).expect_err("stray scheme operand");
+        assert!(e.contains("unknown exec-smoke flag `pipe-1f1b`"), "{e}");
     }
 
     #[test]

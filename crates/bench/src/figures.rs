@@ -385,7 +385,7 @@ pub fn table_a() -> (String, Vec<TableARow>) {
     )
 }
 
-/// §3 dominance: full per-class breakdown for all four schemes on the
+/// §3 dominance: full per-class breakdown for all four paper schemes on the
 /// large-model workload, analytic and simulated.
 pub fn dominance() -> (String, Vec<(SchemeKind, u64)>) {
     let model = workloads::analytical_model();
@@ -469,6 +469,7 @@ pub fn pack_sweep_tune() -> tuner::TuneResult {
         },
         &[1, 2, 4, 8, 16],
         &[base.microbatches],
+        &[false],
         |m, w| harmony_sched::plan_harmony_pp(m, 4, w).map_err(|e| e.to_string()),
     )
 }

@@ -290,7 +290,7 @@ impl DpShardTiming {
 }
 
 /// Cells of the sweep-throughput campaign measured by `repro bench` and
-/// gated by `repro sweep-smoke`: a 12-spec grid (4 schemes × 3
+/// gated by `repro sweep-smoke`: a 15-spec grid (5 schemes × 3
 /// microbatch counts) cycled to this length, so revisited specs exercise
 /// the plan cache the way a multi-seed or repeated-measurement campaign
 /// does.
@@ -302,6 +302,67 @@ pub const SWEEP_THROUGHPUT_CELLS: usize = 48;
 /// reference host. Kept in the JSON export so the pooled-session
 /// speedup stays auditable like the hot-path rewrites'.
 pub const SWEEP_PRE_CHANGE_CELLS_PER_SEC: f64 = 4_760.0;
+
+/// Pack sizes of the recompute-vs-swap sweep exported by `repro bench
+/// --json`: the §4 ablation grid of [`figures::recompute_ablation`].
+pub const RECOMPUTE_SWEEP_PACKS: [usize; 3] = [1, 2, 4];
+
+/// `(stash seqs/s, recompute seqs/s)` at each [`RECOMPUTE_SWEEP_PACKS`]
+/// point, recorded when the recompute-vs-swap sweep landed (the
+/// simulator is deterministic, so these are exact references, not noisy
+/// wall-clock measurements). Kept in the JSON export so a future change
+/// to the recompute path or the swap planner shows up as a drift from
+/// the recorded trade-off, the way the hot-path sections pin their
+/// pre-change events/s.
+pub const RECOMPUTE_SWEEP_PRE_CHANGE_SEQS_PER_SEC: [(f64, f64); 3] = [
+    (0.218429, 0.236342),
+    (0.213477, 0.242686),
+    (0.214410, 0.239200),
+];
+
+/// One pack-size point of the recompute-vs-swap sweep: the same
+/// Harmony-PP cell run with per-layer stashing and with pack-boundary
+/// recomputation (§4's trade), side by side.
+#[derive(Debug, Clone)]
+pub struct RecomputeSweepPoint {
+    /// Layers per pack.
+    pub pack_size: usize,
+    /// Throughput with per-layer stashing (seqs/s).
+    pub stash_throughput: f64,
+    /// Throughput with recompute (seqs/s).
+    pub recompute_throughput: f64,
+    /// Total swap bytes with stashing.
+    pub stash_swap_bytes: u64,
+    /// Total swap bytes with recompute.
+    pub recompute_swap_bytes: u64,
+    /// Stash-class swap bytes with stashing — the traffic recompute
+    /// eliminates (the recompute leg's stash class is structurally 0).
+    pub stash_class_bytes: u64,
+}
+
+impl RecomputeSweepPoint {
+    /// Whether trading swap traffic for recomputation FLOPs won here.
+    pub fn recompute_wins(&self) -> bool {
+        self.recompute_throughput > self.stash_throughput
+    }
+}
+
+/// Runs the §4 recompute-vs-swap grid ([`figures::recompute_ablation`])
+/// and flattens it for the bench report.
+pub fn recompute_sweep() -> Vec<RecomputeSweepPoint> {
+    figures::recompute_ablation()
+        .1
+        .into_iter()
+        .map(|(pack, stash, rec)| RecomputeSweepPoint {
+            pack_size: pack,
+            stash_throughput: stash.throughput(),
+            recompute_throughput: rec.throughput(),
+            stash_swap_bytes: stash.global_swap(),
+            recompute_swap_bytes: rec.global_swap(),
+            stash_class_bytes: stash.swap_by_class["stash"],
+        })
+        .collect()
+}
 
 /// Wall clock of one sweep-throughput measurement: the identical cell
 /// sequence run fresh (plan + construct per cell) and through a pooled
@@ -378,6 +439,8 @@ pub struct BenchReport {
     /// Sweep-throughput campaign: fresh vs pooled-session legs at
     /// [`SWEEP_THROUGHPUT_CELLS`].
     pub sweep_throughput: Vec<SweepThroughputTiming>,
+    /// Recompute-vs-swap sweep over [`RECOMPUTE_SWEEP_PACKS`].
+    pub recompute_sweep: Vec<RecomputeSweepPoint>,
     /// Plan-cache hits the Performance Tuner's pack sweep recorded
     /// (grid cells whose plan key collided with an earlier cell).
     pub tuner_plan_cache_hits: u64,
@@ -510,6 +573,25 @@ impl BenchReport {
                     s.plan_cache_hits,
                     s.plan_cache_misses,
                     s.identical,
+                ));
+            }
+        }
+        if !self.recompute_sweep.is_empty() {
+            out.push_str("recompute-vs-swap sweep (harmony-pp, §4 ablation grid):\n");
+            for p in &self.recompute_sweep {
+                out.push_str(&format!(
+                    "  pack={} → stash {:.2} seqs/s vs recompute {:.2} seqs/s ({}; \
+                     swap {:.1} GB → {:.1} GB)\n",
+                    p.pack_size,
+                    p.stash_throughput,
+                    p.recompute_throughput,
+                    if p.recompute_wins() {
+                        "recompute wins"
+                    } else {
+                        "stash wins"
+                    },
+                    p.stash_swap_bytes as f64 / 1e9,
+                    p.recompute_swap_bytes as f64 / 1e9,
                 ));
             }
         }
@@ -704,6 +786,44 @@ impl BenchReport {
             ));
         }
         out.push_str("  ],\n");
+        out.push_str("  \"recompute_vs_swap\": [\n");
+        for (i, p) in self.recompute_sweep.iter().enumerate() {
+            // Attach the recorded reference trade-off at canonical pack
+            // sizes, so a drift in either leg is self-describing.
+            let baseline_field = RECOMPUTE_SWEEP_PACKS
+                .iter()
+                .position(|&k| k == p.pack_size)
+                .map(|idx| {
+                    let (st, rc) = RECOMPUTE_SWEEP_PRE_CHANGE_SEQS_PER_SEC[idx];
+                    format!(
+                        ", \"pre_change_stash_seqs_per_sec\": {}, \
+                         \"pre_change_recompute_seqs_per_sec\": {}",
+                        number(st),
+                        number(rc)
+                    )
+                })
+                .unwrap_or_default();
+            out.push_str(&format!(
+                "    {{\"pack_size\": {}, \"stash_seqs_per_sec\": {}, \
+                 \"recompute_seqs_per_sec\": {}, \"recompute_wins\": {}, \
+                 \"stash_swap_bytes\": {}, \"recompute_swap_bytes\": {}, \
+                 \"stash_class_bytes\": {}{}}}{}\n",
+                p.pack_size,
+                number(p.stash_throughput),
+                number(p.recompute_throughput),
+                p.recompute_wins(),
+                p.stash_swap_bytes,
+                p.recompute_swap_bytes,
+                p.stash_class_bytes,
+                baseline_field,
+                if i + 1 < self.recompute_sweep.len() {
+                    ","
+                } else {
+                    ""
+                },
+            ));
+        }
+        out.push_str("  ],\n");
         out.push_str(&format!(
             "  \"tuner\": {{\"plan_cache_hits\": {}, \"plan_cache_misses\": {}}},\n",
             self.tuner_plan_cache_hits, self.tuner_plan_cache_misses,
@@ -815,11 +935,30 @@ pub fn exec_hot_path(
     gpus: usize,
     iterations: u32,
 ) -> ExecHotPathTiming {
+    exec_hot_path_for(
+        SchemeKind::HarmonyPp,
+        layers,
+        microbatches,
+        gpus,
+        iterations,
+    )
+}
+
+/// [`exec_hot_path`] under an arbitrary scheme (`repro exec-smoke
+/// --scheme NAME`): the same grid cell and estimator, with the event
+/// loop driven by the named scheme's plan instead of Harmony-PP's.
+pub fn exec_hot_path_for(
+    scheme: SchemeKind,
+    layers: usize,
+    microbatches: usize,
+    gpus: usize,
+    iterations: u32,
+) -> ExecHotPathTiming {
     let model = workloads::uniform_model(layers, 4096);
     let topo = workloads::tight_topo(gpus);
     let w = workloads::tight_workload(microbatches);
     let case = ExecDiffCase {
-        scheme: SchemeKind::HarmonyPp,
+        scheme,
         model: &model,
         topo: &topo,
         workload: &w,
@@ -882,9 +1021,14 @@ pub fn exec_hot_path(
 
 /// Runs the executor hot path at every [`EXEC_HOT_PATH_SCALES`] point.
 pub fn exec_hot_path_scaling() -> Vec<ExecHotPathTiming> {
+    exec_hot_path_scaling_for(SchemeKind::HarmonyPp)
+}
+
+/// [`exec_hot_path_scaling`] under an arbitrary scheme.
+pub fn exec_hot_path_scaling_for(scheme: SchemeKind) -> Vec<ExecHotPathTiming> {
     EXEC_HOT_PATH_SCALES
         .iter()
-        .map(|&(r, m, n, it)| exec_hot_path(r, m, n, it))
+        .map(|&(r, m, n, it)| exec_hot_path_for(scheme, r, m, n, it))
         .collect()
 }
 
@@ -1053,20 +1197,25 @@ pub fn dp_shard_scaling() -> Vec<DpShardTiming> {
         .collect()
 }
 
-/// The sweep-throughput cell sequence: 4 schemes × 3 microbatch counts
-/// (12 distinct plan keys) cycled to `cells` entries, so every key past
-/// the first dozen cells is a revisit — the shape of a multi-seed or
+/// The sweep-throughput cell sequence: 5 schemes × 3 microbatch counts
+/// (15 distinct plan keys) cycled to `cells` entries, so every key past
+/// the first fifteen cells is a revisit — the shape of a multi-seed or
 /// repeated-measurement campaign, where plan memoization pays.
-fn sweep_cells(cells: usize) -> Vec<CellSpec> {
+fn sweep_cells(cells: usize, scheme: Option<SchemeKind>) -> Vec<CellSpec> {
     let microbatch_counts = [1usize, 2, 3];
     (0..cells)
         .map(|i| {
-            CellSpec::new(
-                SchemeKind::ALL[i % SchemeKind::ALL.len()],
-                workloads::tight_workload(
+            // Filtered campaigns (`repro bench --scheme NAME`) cycle one
+            // scheme over the microbatch counts — 3 distinct plan keys
+            // instead of 15, the rest revisits.
+            let (s, m) = match scheme {
+                None => (
+                    SchemeKind::ALL[i % SchemeKind::ALL.len()],
                     microbatch_counts[(i / SchemeKind::ALL.len()) % microbatch_counts.len()],
                 ),
-            )
+                Some(s) => (s, microbatch_counts[i % microbatch_counts.len()]),
+            };
+            CellSpec::new(s, workloads::tight_workload(m))
         })
         .collect()
 }
@@ -1087,9 +1236,18 @@ fn fresh_cell(model: &ModelSpec, topo: &Topology, c: &CellSpec) {
 /// comparison. Byte-identity of the two legs is checked first, outside
 /// the timed region, through the harness's `reusediff` differential.
 pub fn sweep_throughput(cells: usize) -> SweepThroughputTiming {
+    sweep_throughput_filtered(cells, None)
+}
+
+/// [`sweep_throughput`] restricted to one scheme's cells (`repro bench
+/// --scheme NAME`); `None` cycles the full 5-scheme grid.
+pub fn sweep_throughput_filtered(
+    cells: usize,
+    scheme: Option<SchemeKind>,
+) -> SweepThroughputTiming {
     let model = workloads::uniform_model(6, 4096);
     let topo = workloads::tight_topo(2);
-    let specs = sweep_cells(cells);
+    let specs = sweep_cells(cells, scheme);
 
     // Identity first: every cell's pooled output (on arenas dirtied by
     // all cells before it) byte-identical to fresh.
@@ -1168,6 +1326,15 @@ pub fn sweep_throughput(cells: usize) -> SweepThroughputTiming {
 
 /// Runs the full bench suite at `workers` parallel workers.
 pub fn run(workers: usize) -> BenchReport {
+    run_filtered(workers, None)
+}
+
+/// [`run`] with the scheme-filterable legs (the sweep-throughput
+/// campaign and the conformance experiment) restricted to one scheme
+/// (`repro bench --scheme NAME`). The hot-path scaling sweeps and the
+/// figure experiments are scheme-specific measurements already and run
+/// unchanged.
+pub fn run_filtered(workers: usize, scheme: Option<SchemeKind>) -> BenchReport {
     // Time the single-threaded hot paths first, before the experiment
     // sweeps spin up worker pools: the scaling cells are wall-clock
     // measurements and must not share the process with leftover thread
@@ -1176,19 +1343,22 @@ pub fn run(workers: usize) -> BenchReport {
     let exec_hot = exec_hot_path_scaling();
     let mem_hot = mem_hot_path_scaling();
     let dp_shard = dp_shard_scaling();
-    let sweep = vec![sweep_throughput(SWEEP_THROUGHPUT_CELLS)];
+    let sweep = vec![sweep_throughput_filtered(SWEEP_THROUGHPUT_CELLS, scheme)];
     // Cell counts: fig2a sweeps N ∈ 1..=4; table_a runs 4 (m, N)
     // configurations × 3 schemes; tango runs 4 group sizes + 5 pack
-    // sizes; conformance's matrix is 80 cells (`repro conformance`).
+    // sizes; conformance's matrix is 145 cells (`repro conformance`),
+    // 29 per scheme when filtered.
+    let conformance_cells = if scheme.is_some() { 29 } else { 145 };
     let experiments = vec![
         experiment("fig2a", 4, workers, || figures::fig2a().0),
         experiment("table_a", 12, workers, || figures::table_a().0),
         experiment("tango", 9, workers, || figures::tango().0),
-        experiment("conformance", 80, workers, || {
-            harmony_harness::run_conformance(0).render()
+        experiment("conformance", conformance_cells, workers, move || {
+            harmony_harness::run_conformance_filtered(0, scheme).render()
         }),
     ];
     let tune = figures::pack_sweep_tune();
+    let recompute = recompute_sweep();
 
     // Representative summaries for the JSON export — including a
     // PP run whose per-stage swap skew exercises the imbalance field.
@@ -1213,6 +1383,7 @@ pub fn run(workers: usize) -> BenchReport {
         mem_hot_path: mem_hot,
         dp_shard,
         sweep_throughput: sweep,
+        recompute_sweep: recompute,
         tuner_plan_cache_hits: tune.plan_cache_hits,
         tuner_plan_cache_misses: tune.plan_cache_misses,
         summaries,
@@ -1274,6 +1445,14 @@ mod tests {
                 plan_cache_misses: 12,
                 identical: true,
             }],
+            recompute_sweep: vec![RecomputeSweepPoint {
+                pack_size: RECOMPUTE_SWEEP_PACKS[0],
+                stash_throughput: 0.2,
+                recompute_throughput: 0.3,
+                stash_swap_bytes: 100,
+                recompute_swap_bytes: 40,
+                stash_class_bytes: 60,
+            }],
             tuner_plan_cache_hits: 0,
             tuner_plan_cache_misses: 5,
             summaries: vec![],
@@ -1307,6 +1486,16 @@ mod tests {
             .nth(1)
             .expect("mem section present");
         assert!(mem_section.contains(&mem_baseline));
+        let recompute_section = text
+            .split("\"recompute_vs_swap\"")
+            .nth(1)
+            .expect("recompute section present");
+        let recompute_baseline = format!(
+            "\"pre_change_stash_seqs_per_sec\": {}",
+            number(RECOMPUTE_SWEEP_PRE_CHANGE_SEQS_PER_SEC[0].0)
+        );
+        assert!(recompute_section.contains(&recompute_baseline));
+        assert!(recompute_section.contains("\"recompute_wins\": true"));
         harmony_trace::json::parse(&text).expect("valid JSON");
     }
 
@@ -1336,6 +1525,7 @@ mod tests {
                 identical: true,
             }],
             sweep_throughput: vec![],
+            recompute_sweep: vec![],
             tuner_plan_cache_hits: 0,
             tuner_plan_cache_misses: 0,
             summaries: vec![],
@@ -1364,12 +1554,12 @@ mod tests {
 
     #[test]
     fn sweep_throughput_is_identical_and_caches_plans() {
-        // A small sequence keeps the test fast; 16 cells over 12 distinct
-        // plan keys still forces revisits, so the cache must show hits.
+        // A small sequence keeps the test fast; 16 cells over 15 distinct
+        // plan keys still forces a revisit, so the cache must show hits.
         let t = sweep_throughput(16);
         assert!(t.identical, "pooled leg diverged from fresh");
         assert_eq!(t.cells, 16);
-        assert_eq!(t.plan_cache_misses, 12, "12 distinct plan keys");
+        assert_eq!(t.plan_cache_misses, 15, "15 distinct plan keys");
         assert!(t.plan_cache_hits > 0, "revisits must hit the plan cache");
         assert!(t.fresh_secs > 0.0 && t.pooled_secs > 0.0);
     }
@@ -1406,6 +1596,7 @@ mod tests {
                 plan_cache_misses: 12,
                 identical: true,
             }],
+            recompute_sweep: vec![],
             tuner_plan_cache_hits: 0,
             tuner_plan_cache_misses: 5,
             summaries: vec![RunSummary {

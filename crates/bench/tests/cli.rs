@@ -91,6 +91,46 @@ fn bench_rejects_unknown_flags() {
 }
 
 #[test]
+fn scheme_filters_reject_unknown_and_bare_names() {
+    // A misspelt or unknown scheme name must exit 2 listing the valid
+    // schemes — never panic, and never silently run the unfiltered (or
+    // an empty) grid.
+    for cmd in ["conformance", "bench", "exec-smoke"] {
+        let out = repro(&[cmd, "--scheme", "pipe-1f2b"]);
+        assert_usage_error(
+            &out,
+            "unknown scheme `pipe-1f2b`",
+            &format!("{cmd} --scheme pipe-1f2b"),
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("baseline-dp|baseline-pp|harmony-dp|harmony-pp|pipe-1f1b"),
+            "{cmd}: diagnostic must list the valid schemes, got: {stderr}"
+        );
+        let out = repro(&[cmd, "--scheme"]);
+        assert_usage_error(
+            &out,
+            "--scheme requires a scheme name",
+            &format!("bare {cmd} --scheme"),
+        );
+    }
+}
+
+#[test]
+fn conformance_keeps_positional_seed_and_rejects_garbage() {
+    // `conformance 7 --scheme ...` still accepts the positional seed;
+    // a non-integer seed stays a usage error.
+    let out = repro(&["conformance", "x7"]);
+    assert_usage_error(
+        &out,
+        "conformance seed must be an integer",
+        "conformance x7",
+    );
+    let out = repro(&["conformance", "7", "--schem", "pipe-1f1b"]);
+    assert_usage_error(&out, "--schem", "conformance --schem typo");
+}
+
+#[test]
 fn unknown_subcommand_prints_usage_and_exits_2() {
     let out = repro(&["frobnicate"]);
     let stderr = String::from_utf8_lossy(&out.stderr);

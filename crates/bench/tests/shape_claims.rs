@@ -194,7 +194,7 @@ fn steady_state_volumes_stay_on_the_closed_forms() {
             SchemeKind::BaselineDp => (4.0 * 4.0 + 2.0) * 2.0,
             SchemeKind::HarmonyDp => 3.0 * 2.0,
             SchemeKind::HarmonyPp => 3.0,
-            SchemeKind::BaselinePp => unreachable!("not in the table"),
+            SchemeKind::BaselinePp | SchemeKind::Pipe1F1B => unreachable!("not in the table"),
         }
     };
     for (kind, k, per_iter) in &rows {

@@ -3,13 +3,14 @@
 
 use harmony_models::ModelSpec;
 use harmony_sched::{
-    plan_baseline_dp, plan_baseline_pp, plan_harmony_dp, plan_harmony_pp, ExecError, ExecutionPlan,
-    SimExecutor, WorkloadConfig,
+    plan_baseline_dp, plan_baseline_pp, plan_harmony_dp, plan_harmony_pp, plan_pipe_1f1b,
+    ExecError, ExecutionPlan, SimExecutor, WorkloadConfig,
 };
 use harmony_topology::Topology;
 use harmony_trace::{summary::RunSummary, Trace};
 
-/// The four training schemes of the paper's analytical comparison.
+/// The training schemes of the paper's analytical comparison, plus the
+/// PipeDream 1F1B-with-weight-stashing extension (ROADMAP item 3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SchemeKind {
     /// Data parallelism + per-GPU memory virtualization.
@@ -20,15 +21,20 @@ pub enum SchemeKind {
     HarmonyDp,
     /// Harmony pipeline parallelism.
     HarmonyPp,
+    /// 1F1B with PipeDream weight stashing: per-GPU virtualization plus
+    /// one stashed weight version per in-flight microbatch, so backward
+    /// sees the weights its forward used.
+    Pipe1F1B,
 }
 
 impl SchemeKind {
-    /// All four, baselines first.
-    pub const ALL: [SchemeKind; 4] = [
+    /// Every scheme, baselines first, extensions last.
+    pub const ALL: [SchemeKind; 5] = [
         SchemeKind::BaselineDp,
         SchemeKind::BaselinePp,
         SchemeKind::HarmonyDp,
         SchemeKind::HarmonyPp,
+        SchemeKind::Pipe1F1B,
     ];
 
     /// Display name.
@@ -38,7 +44,14 @@ impl SchemeKind {
             SchemeKind::BaselinePp => "baseline-pp",
             SchemeKind::HarmonyDp => "harmony-dp",
             SchemeKind::HarmonyPp => "harmony-pp",
+            SchemeKind::Pipe1F1B => "pipe-1f1b",
         }
+    }
+
+    /// Parses a display name back into a scheme (the `--scheme` grid
+    /// filters of `repro`). Returns `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<SchemeKind> {
+        SchemeKind::ALL.into_iter().find(|s| s.name() == name)
     }
 
     /// The matching analytical-model scheme.
@@ -48,6 +61,7 @@ impl SchemeKind {
             SchemeKind::BaselinePp => harmony_analytical::Scheme::BaselinePp,
             SchemeKind::HarmonyDp => harmony_analytical::Scheme::HarmonyDp,
             SchemeKind::HarmonyPp => harmony_analytical::Scheme::HarmonyPp,
+            SchemeKind::Pipe1F1B => harmony_analytical::Scheme::Pipe1F1B,
         }
     }
 }
@@ -65,6 +79,7 @@ pub fn plan(
         SchemeKind::BaselinePp => plan_baseline_pp(model, n, workload),
         SchemeKind::HarmonyDp => plan_harmony_dp(model, n, workload),
         SchemeKind::HarmonyPp => plan_harmony_pp(model, n, workload),
+        SchemeKind::Pipe1F1B => plan_pipe_1f1b(model, n, workload),
     };
     p.map_err(|e| ExecError::Plan(e.to_string()))
 }

@@ -121,6 +121,12 @@ impl CellSpec {
     /// Evaluates the cell. Pure function of the spec — deterministic and
     /// independent of every other cell, whatever thread runs it.
     fn evaluate(&self, oracles: &OracleConfig) -> CellOutcome {
+        // The recompute oracle is workload-conditional (stashing cells
+        // swap stashes legitimately), so each cell arms it for itself.
+        let oracles = &OracleConfig {
+            recompute_no_stash_fetch: self.w.recompute,
+            ..*oracles
+        };
         let mut result = if self.exact {
             check_swap_volumes_exact(self.scheme, &self.model, &self.topo, &self.w, oracles)
         } else {
@@ -169,13 +175,17 @@ impl CellSpec {
 fn build_matrix(seed: u64) -> Vec<CellSpec> {
     let mut specs = Vec::new();
 
-    // Exact family: 2 models × 4 GPU counts × 2 microbatch counts ×
-    // 4 schemes = 64 cells in the boundary-exact forms' pinned regime.
+    // Exact family: 2 models × 4 GPU counts × 3 microbatch counts ×
+    // 5 schemes = 120 cells in the boundary-exact forms' pinned regime.
+    // m = 1 pins the degenerate boundary the closed forms' `(4m+2)` /
+    // `(2mN+2)` families silently glide over: a single microbatch per
+    // GPU leaves no microbatch seams, so any off-by-one in the seam
+    // corrections diverges exactly here.
     for &(layers, params) in &[(6usize, 4096u64), (8, 4096)] {
         let model = uniform_model(layers, params);
         for &n in &[1usize, 2, 3, 4] {
             let topo = tight_topo(n);
-            for &m in &[2usize, 4] {
+            for &m in &[1usize, 2, 4] {
                 let w = tight_workload(m);
                 let config = format!("{} N={n} m={m}", model.name);
                 for scheme in SchemeKind::ALL {
@@ -217,6 +227,17 @@ fn build_matrix(seed: u64) -> Vec<CellSpec> {
                 "group=2",
                 WorkloadConfig {
                     group_size: Some(2),
+                    ..tight_workload(4)
+                },
+            ),
+            // Recompute replaces per-layer stashes with pack-boundary
+            // recomputation (§4); outside the stash closed forms, so an
+            // invariant-oracle cell: in particular no recomputed
+            // activation may ever be fetched back from the host.
+            (
+                "recompute",
+                WorkloadConfig {
+                    recompute: true,
                     ..tight_workload(4)
                 },
             ),
@@ -319,8 +340,20 @@ fn build_matrix(seed: u64) -> Vec<CellSpec> {
 /// order (and therefore its rendering) is the canonical sequential order
 /// regardless of worker count.
 pub fn run_conformance(seed: u64) -> ConformanceReport {
+    run_conformance_filtered(seed, None)
+}
+
+/// [`run_conformance`] restricted to one scheme's cells (`repro
+/// conformance --scheme NAME`). `None` runs the full matrix. Every
+/// scheme appears in every family, so a filtered matrix is never empty;
+/// the scheme-set-wide logical-work equivalence check only runs when its
+/// anchor scheme (the set's first) is included.
+pub fn run_conformance_filtered(seed: u64, scheme: Option<SchemeKind>) -> ConformanceReport {
     let oracles = OracleConfig::all();
-    let specs = build_matrix(seed);
+    let specs: Vec<CellSpec> = build_matrix(seed)
+        .into_iter()
+        .filter(|c| scheme.is_none_or(|s| c.scheme == s))
+        .collect();
     ConformanceReport {
         cells: harmony_parallel::par_map(&specs, |_, spec| spec.evaluate(&oracles)),
     }

@@ -15,12 +15,12 @@
 //! grouping, SGD — see [`crate::workloads`]) the simulator must match
 //! the boundary-exact forms **byte for byte** for every
 //! schedule-independent class: weights, gradients, optimizer state, and
-//! (for three of four schemes) p2p traffic. Any drift means one of the
+//! (where schedule-independent) p2p traffic. Any drift means one of the
 //! two models changed meaning. [`compare_swap_volumes`] reports the
 //! steady-state deltas for all six classes so convergence can be
 //! eyeballed; [`check_swap_volumes_exact`] is the hard oracle.
 //!
-//! Independently of memory, all four schemes must decompose a training
+//! Independently of memory, all five schemes must decompose a training
 //! iteration into the *same logical work* — identical per-layer
 //! traversal multisets and FLOPs once replication is accounted for
 //! ([`check_work_equivalence`]).
@@ -29,7 +29,7 @@ use harmony::simulate::{self, SchemeKind};
 use harmony_analytical as analytical;
 use harmony_analytical::exact::{
     grad_swap_volume_exact, opt_state_swap_volume_exact, p2p_volume_exact,
-    weight_swap_volume_exact, ExactParams,
+    weight_stash_swap_volume_exact, weight_swap_volume_exact, ExactParams,
 };
 use harmony_models::ModelSpec;
 use harmony_sched::{ExecError, TimedFault, WorkloadConfig};
@@ -140,6 +140,11 @@ pub fn compare_swap_volumes(
             measured: class("weight"),
         },
         VolumeDelta {
+            class: "weight_stash",
+            expected: analytical::weight_stash_swap_volume(a, &p),
+            measured: class("weight_stash"),
+        },
+        VolumeDelta {
             class: "grad",
             expected: analytical::grad_swap_volume(a, &p),
             measured: class("grad"),
@@ -170,7 +175,7 @@ pub fn compare_swap_volumes(
 /// Asserts byte-exact agreement between the simulator and the
 /// boundary-exact closed forms for every schedule-independent class:
 ///
-/// * `weight`, `grad`, `opt_state` — exact for all four schemes;
+/// * `weight`, `grad`, `opt_state` — exact for all five schemes;
 /// * `p2p` — exact for both DP schemes (zero) and baseline-PP;
 ///   Harmony-PP's split between direct p2p and host bounces is
 ///   schedule-sensitive, so it is bounded instead: nonzero when `N > 1`
@@ -199,6 +204,11 @@ pub fn check_swap_volumes_exact(
         }
     };
     check("weight", weight_swap_volume_exact(a, &p), class("weight"));
+    check(
+        "weight_stash",
+        weight_stash_swap_volume_exact(a, &p),
+        class("weight_stash"),
+    );
     check("grad", grad_swap_volume_exact(a, &p), class("grad"));
     check(
         "opt_state",
@@ -237,7 +247,7 @@ pub fn check_swap_volumes_exact(
     }
 }
 
-/// Asserts all four schemes decompose the iteration into identical
+/// Asserts all five schemes decompose the iteration into identical
 /// logical work: per-layer forward/backward traversal counts, loss count,
 /// and forward+backward FLOPs agree once each plan's graph is scaled by
 /// its replica count, and every scheme updates each weight copy exactly

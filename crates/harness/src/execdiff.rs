@@ -253,28 +253,40 @@ mod tests {
     }
 
     #[test]
-    fn sharding_a_pipeline_plan_is_a_typed_error() {
+    fn sharding_a_pipeline_plan_is_a_typed_error_naming_the_scheme() {
         let model = uniform_model(4, 4096);
         let topo = atomized_topo(2);
         let w = tight_workload(2);
-        let err = run_sharded_mode(
-            &ExecDiffCase {
-                scheme: SchemeKind::HarmonyPp,
-                model: &model,
-                topo: &topo,
-                workload: &w,
-                faults: &[],
-                prefetch: false,
-                iterations: 1,
-                resilience: None,
-            },
-            2,
-        )
-        .expect_err("pipeline plans must refuse to shard");
-        assert!(
-            err.to_string().contains("replica-aligned"),
-            "unexpected error: {err}"
-        );
+        // Every pipeline scheme — including 1F1B weight stashing — must
+        // refuse, and the typed error must name the offending scheme so a
+        // sweep harness can report which cell was asked to shard.
+        for scheme in [
+            SchemeKind::BaselinePp,
+            SchemeKind::HarmonyPp,
+            SchemeKind::Pipe1F1B,
+        ] {
+            let err = run_sharded_mode(
+                &ExecDiffCase {
+                    scheme,
+                    model: &model,
+                    topo: &topo,
+                    workload: &w,
+                    faults: &[],
+                    prefetch: false,
+                    iterations: 1,
+                    resilience: None,
+                },
+                2,
+            )
+            .expect_err("pipeline plans must refuse to shard");
+            let text = err.to_string();
+            assert!(text.contains("replica-aligned"), "unexpected error: {text}");
+            assert!(
+                text.contains(&format!("scheme `{}`", scheme.name())),
+                "refusal must name `{}`, got: {text}",
+                scheme.name()
+            );
+        }
     }
 
     #[test]
@@ -296,6 +308,41 @@ mod tests {
         assert!(out.trace_json_bytes > 0);
         assert!(out.error.is_none());
         assert!(out.fast.advance_calls <= out.dense.advance_calls);
+    }
+
+    #[test]
+    fn pipe_1f1b_and_recompute_cells_are_byte_identical_across_modes() {
+        // The two scheme-zoo additions stress the wake-set fast path in
+        // opposite directions: weight stashing widens the tensor key
+        // space (one stashed version per in-flight microbatch), while
+        // recompute shrinks it (no stash plane at all, backward re-runs
+        // forward). Both must match the dense reference byte-for-byte.
+        let model = uniform_model(6, 4096);
+        let topo = tight_topo(2);
+        let stash = tight_workload(3);
+        let recompute = harmony_sched::WorkloadConfig {
+            recompute: true,
+            ..tight_workload(3)
+        };
+        for (label, scheme, w) in [
+            ("pipe-1f1b", SchemeKind::Pipe1F1B, &stash),
+            ("pipe-1f1b recompute", SchemeKind::Pipe1F1B, &recompute),
+            ("harmony-pp recompute", SchemeKind::HarmonyPp, &recompute),
+        ] {
+            let out = check_dense_vs_fast(&ExecDiffCase {
+                scheme,
+                model: &model,
+                topo: &topo,
+                workload: w,
+                faults: &[],
+                prefetch: true,
+                iterations: 2,
+                resilience: None,
+            })
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
+            assert!(out.trace_json_bytes > 0);
+            assert!(out.error.is_none());
+        }
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! * **Differential scheme checking** ([`differential`]) — every scheme
 //!   is simulated in the §3 analytical regime and its per-class swap
 //!   volumes must match `harmony-analytical`'s closed forms **exactly**;
-//!   independently, all four schemes must decompose an iteration into
+//!   independently, all five schemes must decompose an iteration into
 //!   identical logical work (per-layer traversal multisets and FLOPs).
 //! * **Deterministic fault injection** ([`faults`]) — seeded link
 //!   degradation, capacity squeezes, and compute jitter injected through
@@ -60,7 +60,7 @@ pub mod reusediff;
 pub mod simdiff;
 pub mod workloads;
 
-pub use conformance::{run_conformance, CellOutcome, ConformanceReport};
+pub use conformance::{run_conformance, run_conformance_filtered, CellOutcome, ConformanceReport};
 pub use differential::exact_params;
 pub use differential::{
     check_swap_volumes_exact, check_work_equivalence, compare_swap_volumes, run_instrumented,
@@ -69,6 +69,9 @@ pub use differential::{
 pub use execdiff::{check_dense_vs_fast, ExecDiffCase, ExecDiffOutcome};
 pub use faults::FaultPlan;
 pub use memdiff::{check_fast_vs_dense_memory, check_script, MemScriptOp};
-pub use oracles::{instrument, instrument_memory, OracleConfig};
+pub use oracles::{
+    check_stash_access, instrument, instrument_memory, OracleConfig, RecomputeFetchOracle,
+    StashWindowOracle,
+};
 pub use reusediff::{check_cell_sequence, ReuseCell, ReuseDiffOutcome};
 pub use simdiff::{check_fast_vs_dense, SimOp};

@@ -313,7 +313,13 @@ mod tests {
         let model = uniform_model(6, 4096);
         let topo = tight_topo(2);
         let w = tight_workload(3);
-        for scheme in [SchemeKind::HarmonyPp, SchemeKind::BaselinePp] {
+        for scheme in [
+            SchemeKind::HarmonyPp,
+            SchemeKind::BaselinePp,
+            // Weight stashing adds the WeightStash plane to the victim
+            // index — the heaviest per-class pressure mix.
+            SchemeKind::Pipe1F1B,
+        ] {
             check_fast_vs_dense_memory(&ExecDiffCase {
                 scheme,
                 model: &model,
@@ -325,6 +331,31 @@ mod tests {
                 resilience: None,
             })
             .unwrap_or_else(|e| panic!("{}: {e}", scheme.name()));
+        }
+    }
+
+    #[test]
+    fn recompute_cells_are_byte_identical_across_memory_cores() {
+        // Recompute eliminates the stash plane entirely; the cores must
+        // agree on the reshaped working set for every scheme.
+        let model = uniform_model(6, 4096);
+        let topo = tight_topo(2);
+        let w = harmony_sched::WorkloadConfig {
+            recompute: true,
+            ..tight_workload(3)
+        };
+        for scheme in SchemeKind::ALL {
+            check_fast_vs_dense_memory(&ExecDiffCase {
+                scheme,
+                model: &model,
+                topo: &topo,
+                workload: &w,
+                faults: &[],
+                prefetch: true,
+                iterations: 2,
+                resilience: None,
+            })
+            .unwrap_or_else(|e| panic!("{} recompute: {e}", scheme.name()));
         }
     }
 

@@ -12,10 +12,12 @@
 //! production runs attach none and pay nothing beyond an `is_empty`
 //! branch per event.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::ops::Range;
 
-use harmony_memory::{MemEvent, MemObserver, MemoryManager, Residency, TensorId};
+use harmony_memory::{MemEvent, MemObserver, MemoryManager, Residency, TensorClass, TensorId};
 use harmony_sched::{ExecContext, ExecEvent, ExecObserver, SimExecutor};
+use harmony_taskgraph::{TaskKind, TensorRef};
 
 /// Which invariant oracles to attach. See [`instrument`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +43,18 @@ pub struct OracleConfig {
     /// No dirty device-resident tensor survives the end-of-run flush
     /// ([`FlushOracle`]).
     pub flush: bool,
+    /// 1F1B weight-stash lifetime: a stashed weight version is accessed
+    /// only inside its microbatch's forward→backward window
+    /// ([`StashWindowOracle`]). A no-op on schemes without weight
+    /// stashing, so it is always on in [`OracleConfig::all`].
+    pub stash_window: bool,
+    /// Recomputation leaves no per-layer stash: no `Stash`-class tensor
+    /// is ever registered, allocated, or fetched back from the host
+    /// ([`RecomputeFetchOracle`]). Only valid on `recompute = true`
+    /// workloads — stashing schemes legitimately swap stashes — so
+    /// [`OracleConfig::all`] leaves it off and the conformance matrix
+    /// arms it per recompute cell.
+    pub recompute_no_stash_fetch: bool,
 }
 
 impl OracleConfig {
@@ -54,6 +68,8 @@ impl OracleConfig {
             dependency: true,
             bandwidth: true,
             flush: true,
+            stash_window: true,
+            recompute_no_stash_fetch: false,
         }
     }
 
@@ -67,6 +83,8 @@ impl OracleConfig {
             dependency: false,
             bandwidth: false,
             flush: false,
+            stash_window: false,
+            recompute_no_stash_fetch: false,
         }
     }
 }
@@ -92,6 +110,9 @@ pub fn instrument(exec: &mut SimExecutor<'_>, cfg: &OracleConfig) {
     }
     if cfg.flush {
         exec.attach_observer(Box::new(FlushOracle));
+    }
+    if cfg.stash_window {
+        exec.attach_observer(Box::new(StashWindowOracle::default()));
     }
 }
 
@@ -119,6 +140,9 @@ fn collect_mem_oracles(cfg: &OracleConfig, out: &mut Vec<Box<dyn MemObserver>>) 
     }
     if cfg.clean_drop {
         out.push(Box::new(CleanDropOracle));
+    }
+    if cfg.recompute_no_stash_fetch {
+        out.push(Box::new(RecomputeFetchOracle));
     }
 }
 
@@ -314,6 +338,136 @@ impl ExecObserver for FlushOracle {
                     info.name
                 );
             }
+        }
+    }
+}
+
+/// Panics unless `kind` may legitimately access `WeightStash{layer, ubatch}`.
+///
+/// The stashed weight version's lifetime spans exactly its microbatch's
+/// in-flight forward→backward window: it is *written* only by
+/// `Forward{pack, ubatch}` with `layer ∈ packs[pack]` (the forward that
+/// stashes the version it used) and *read* only by the matching
+/// `Backward{pack, ubatch}` (which differentiates against it and frees
+/// it). Every other access — a different microbatch, a different pack, a
+/// loss or update task — reads a weight version it was never meant to
+/// see.
+pub fn check_stash_access(
+    kind: TaskKind,
+    layer: usize,
+    ubatch: usize,
+    write: bool,
+    packs: &[Range<usize>],
+) {
+    let legal = match kind {
+        TaskKind::Forward { pack, ubatch: u } => {
+            write && u == ubatch && packs[pack].contains(&layer)
+        }
+        TaskKind::Backward { pack, ubatch: u } => {
+            !write && u == ubatch && packs[pack].contains(&layer)
+        }
+        TaskKind::Loss { .. } | TaskKind::Update { .. } => false,
+    };
+    assert!(
+        legal,
+        "stash-window oracle: {kind:?} {} WeightStash{{layer:{layer}, ubatch:{ubatch}}} — \
+         a stashed weight version belongs exclusively to its own microbatch's \
+         forward→backward window over the pack containing its layer",
+        if write { "writes" } else { "reads" }
+    );
+}
+
+/// **Invariant:** 1F1B weight-stash lifetime — a stashed weight version
+/// `WeightStash{layer, ubatch}` is written only by its own microbatch's
+/// forward over the pack containing `layer`, read only by that
+/// microbatch's backward over the same pack, and never accessed again
+/// once that backward has finished (the in-flight window closed and the
+/// stash was freed). A stale read past the window is exactly the
+/// PipeDream staleness bug weight stashing exists to prevent.
+#[derive(Debug, Clone, Default)]
+pub struct StashWindowOracle {
+    /// Windows already closed: `(iter, replica, layer, ubatch)` of every
+    /// freed stashed version.
+    closed: HashSet<(u32, usize, usize, usize)>,
+}
+
+impl ExecObserver for StashWindowOracle {
+    fn on_event(&mut self, ctx: &ExecContext<'_>, event: &ExecEvent) {
+        match *event {
+            ExecEvent::TaskStarted {
+                iter,
+                replica,
+                task,
+                gpu,
+            } => {
+                let t = ctx.plan.graph.task(task);
+                let packs = ctx.plan.graph.packs();
+                for (refs, write) in [(&t.reads, false), (&t.writes, true)] {
+                    for r in refs.iter() {
+                        if let TensorRef::WeightStash { layer, ubatch } = *r {
+                            assert!(
+                                !self.closed.contains(&(iter, replica, layer, ubatch)),
+                                "stash-window oracle: {:?} on gpu{gpu} (iter {iter}, replica \
+                                 {replica}) accesses WeightStash{{layer:{layer}, \
+                                 ubatch:{ubatch}}} after its window closed",
+                                t.kind
+                            );
+                            check_stash_access(t.kind, layer, ubatch, write, packs);
+                        }
+                    }
+                }
+            }
+            ExecEvent::TaskFinished {
+                iter,
+                replica,
+                task,
+                ..
+            } => {
+                for r in &ctx.plan.graph.task(task).frees {
+                    if let TensorRef::WeightStash { layer, ubatch } = *r {
+                        self.closed.insert((iter, replica, layer, ubatch));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// **Invariant:** recomputation (§4) eliminates the per-layer stash —
+/// forward keeps only each pack's boundary input alive and backward
+/// re-runs the pack's forward, so no `Stash`-class tensor may ever be
+/// registered, allocated, or fetched back from the host. A host fetch of
+/// a stash under recompute means the run is paying both the recompute
+/// FLOPs *and* the swap traffic the knob was meant to eliminate.
+///
+/// Only attach on `recompute = true` workloads: stashing schemes swap
+/// stashes legitimately.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecomputeFetchOracle;
+
+impl MemObserver for RecomputeFetchOracle {
+    fn on_event(&mut self, mm: &MemoryManager, event: &MemEvent) {
+        match *event {
+            MemEvent::RegisterHost { id, class, .. } | MemEvent::Alloc { id, class, .. } => {
+                assert_ne!(
+                    class,
+                    TensorClass::Stash,
+                    "recompute oracle: stash tensor {id} materialized — recomputation \
+                     must not create per-layer stashes"
+                );
+            }
+            MemEvent::BeginSwapIn { id, dst, .. } => {
+                let info = mm.info(id).expect("in-flight tensor exists");
+                assert_ne!(
+                    info.class,
+                    TensorClass::Stash,
+                    "recompute oracle: stash tensor {id} ({}) fetched from host toward \
+                     device {dst} — recomputed activations are never swapped back in",
+                    info.name
+                );
+            }
+            _ => {}
         }
     }
 }

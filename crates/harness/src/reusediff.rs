@@ -240,6 +240,20 @@ mod tests {
             },
             // Revisit the first cell: pure plan-cache hit + warm arenas.
             ReuseCell::new(SchemeKind::HarmonyDp, w2),
+            // The 1F1B weight-stashing scheme and the recompute knob:
+            // both must pool byte-identically, and the recompute cell
+            // must miss the cache (the knob is part of the plan key — a
+            // stashing plan reused for it would diverge immediately).
+            ReuseCell::new(SchemeKind::Pipe1F1B, w2),
+            ReuseCell::new(
+                SchemeKind::HarmonyPp,
+                harmony_sched::WorkloadConfig {
+                    recompute: true,
+                    ..w2
+                },
+            ),
+            // Revisit the 1F1B cell: its stash-heavy plan must hit too.
+            ReuseCell::new(SchemeKind::Pipe1F1B, w2),
         ]
     }
 
@@ -248,11 +262,11 @@ mod tests {
         let model = uniform_model(4, 4096);
         let topo = tight_topo(2);
         let out = check_cell_sequence(&model, &topo, &cells()).expect("legs must agree");
-        assert_eq!(out.cells, 4);
+        assert_eq!(out.cells, 7);
         assert_eq!(out.matched_errors, 0);
         assert!(out.trace_json_bytes > 0);
-        assert_eq!(out.plan_cache_hits, 1, "the revisited cell must hit");
-        assert_eq!(out.plan_cache_misses, 3);
+        assert_eq!(out.plan_cache_hits, 2, "both revisited cells must hit");
+        assert_eq!(out.plan_cache_misses, 5);
     }
 
     #[test]
@@ -266,9 +280,9 @@ mod tests {
         seq.insert(1, bad.clone());
         seq.insert(3, bad);
         let out = check_cell_sequence(&model, &topo, &seq).expect("legs must agree");
-        assert_eq!(out.cells, 6);
+        assert_eq!(out.cells, 9);
         assert_eq!(out.matched_errors, 2);
-        assert_eq!(out.plan_cache_hits, 2, "revisit + replayed error");
+        assert_eq!(out.plan_cache_hits, 3, "two revisits + replayed error");
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The full conformance matrix must pass, and its exact family alone
-//! must cover at least 48 scheme × configuration cells.
+//! must cover at least 120 scheme × configuration cells — including the
+//! m = 1 boundary regression row and the pipe-1f1b scheme family.
 
 use harmony_harness::run_conformance;
 
@@ -7,11 +8,31 @@ use harmony_harness::run_conformance;
 fn conformance_matrix_passes() {
     let report = run_conformance(0xC0FFEE);
     let exact = report.cells.iter().filter(|c| c.family == "exact").count();
-    assert!(exact >= 48, "only {exact} exact cells");
+    assert!(exact >= 120, "only {exact} exact cells");
     assert!(
-        report.cells.len() >= 48,
+        report.cells.len() >= 145,
         "only {} cells total",
         report.cells.len()
+    );
+    // The boundary regression row and the new scheme family are pinned:
+    // losing either shrinks the grid and must fail loudly.
+    assert!(
+        report
+            .cells
+            .iter()
+            .any(|c| c.family == "exact" && c.config.ends_with("m=1")),
+        "m=1 boundary cells missing from the exact family"
+    );
+    assert!(
+        report
+            .cells
+            .iter()
+            .any(|c| c.scheme.name() == "pipe-1f1b" && c.family == "exact"),
+        "pipe-1f1b missing from the exact family"
+    );
+    assert!(
+        report.cells.iter().any(|c| c.config.contains("recompute")),
+        "recompute knob cells missing"
     );
     assert!(report.all_passed(), "failures:\n{}", report.render());
 }

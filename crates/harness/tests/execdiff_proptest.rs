@@ -25,7 +25,7 @@ proptest! {
     /// for byte — trace JSON, summary JSON, or identical errors.
     #[test]
     fn wake_set_and_dense_loops_are_byte_identical(
-        scheme_ix in 0usize..4,
+        scheme_ix in 0usize..5,
         layers in 2usize..7,
         microbatches in 1usize..4,
         gpus in 1usize..4,
@@ -101,7 +101,7 @@ proptest! {
     /// would deadlock or reorder the trace.
     #[test]
     fn pressure_regime_agrees_byte_for_byte(
-        scheme_ix in 0usize..4,
+        scheme_ix in 0usize..5,
         layers in 2usize..6,
         microbatches in 1usize..4,
         gpus in 1usize..3,

@@ -80,7 +80,7 @@ proptest! {
         hidden_kb in 2u64..6,
         gpus in 1usize..3,
         m in 1usize..4,
-        scheme_ix in 0usize..4,
+        scheme_ix in 0usize..5,
         prefetch in any::<bool>(),
     ) {
         let model = uniform_model(layers, hidden_kb * 1024);

@@ -188,9 +188,15 @@ fn tuner_sweep_is_identical_across_worker_counts() {
         recompute: false,
     };
     let sweep = || {
-        tuner::tune(&model, &topo, &base, &[1, 2, 4], &[1, 2, 4], |m, w| {
-            plan_harmony_pp(m, 2, w).map_err(|e| e.to_string())
-        })
+        tuner::tune(
+            &model,
+            &topo,
+            &base,
+            &[1, 2, 4],
+            &[1, 2, 4],
+            &[false, true],
+            |m, w| plan_harmony_pp(m, 2, w).map_err(|e| e.to_string()),
+        )
     };
     let sequential = with_workers(1, sweep);
     for w in WORKER_COUNTS {

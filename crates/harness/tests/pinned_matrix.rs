@@ -2,7 +2,7 @@
 //! byte-exact simulator ↔ analytical agreement for every scheme over
 //! m ∈ {1..8}, N ∈ {1..4}, with all invariant oracles enabled.
 //!
-//! These 128 cells are the harness's ground truth. If a planner, the
+//! These 160 cells are the harness's ground truth. If a planner, the
 //! executor, or the memory manager changes behaviour — an extra
 //! eviction, a missed writeback, a reordered stage — some cell here
 //! diverges from `harmony_analytical::exact` and names the class that
@@ -14,7 +14,7 @@ use harmony_harness::{check_swap_volumes_exact, check_work_equivalence, OracleCo
 
 /// L = 8 keeps every pipeline stage at ≥ 2 layers for N ≤ 4, so all
 /// stages are memory-pressured (the regime the §3 analysis assumes).
-/// The 128 cells are independent simulations and fan out on the work
+/// The 160 cells are independent simulations and fan out on the work
 /// pool; failures are collected in canonical cell order.
 #[test]
 fn table_a_exact_m1_to_8_n1_to_4() {
@@ -29,7 +29,7 @@ fn table_a_exact_m1_to_8_n1_to_4() {
             }
         }
     }
-    assert_eq!(cells.len(), 128);
+    assert_eq!(cells.len(), 160);
     let failures: Vec<String> = harmony_parallel::par_map(&cells, |_, (topo, w, scheme)| {
         check_swap_volumes_exact(*scheme, &model, topo, w, &oracles).err()
     })
@@ -38,7 +38,7 @@ fn table_a_exact_m1_to_8_n1_to_4() {
     .collect();
     assert!(
         failures.is_empty(),
-        "{} of 128 cells diverged:\n{}",
+        "{} of 160 cells diverged:\n{}",
         failures.len(),
         failures.join("\n")
     );

@@ -31,7 +31,7 @@ proptest! {
     /// populated exactly when faults were injected.
     #[test]
     fn no_fault_plan_aborts_with_resilience_enabled(
-        scheme_ix in 0usize..4,
+        scheme_ix in 0usize..5,
         gpus in 1usize..4,
         microbatches in 1usize..4,
         fault_seed in 0u64..256,
@@ -71,7 +71,7 @@ proptest! {
     /// guarantee forward progress.
     #[test]
     fn harsh_squeezes_complete_with_populated_outcome(
-        scheme_ix in 0usize..4,
+        scheme_ix in 0usize..5,
         gpus in 1usize..3,
         pct in 1u32..30,
         at_frac in 1u32..10,

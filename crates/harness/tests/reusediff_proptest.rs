@@ -130,7 +130,7 @@ proptest! {
     /// plausibly leak across cells.
     #[test]
     fn pressure_regime_sequences_are_byte_identical(
-        scheme_ix in 0usize..4,
+        scheme_ix in 0usize..5,
         microbatches in 1usize..4,
         prefetch in any::<bool>(),
         iterations in 1u32..3,

@@ -74,6 +74,10 @@ pub enum TensorClass {
     Activation,
     /// Activations stashed by forward for backward (`Stashed X`).
     Stash,
+    /// Weight versions stashed by forward for backward under 1F1B weight
+    /// stashing (PipeDream): backward must see the weights its forward
+    /// used, so each in-flight microbatch pins one stashed copy.
+    WeightStash,
     /// Scratch / framework workspace.
     Workspace,
 }
@@ -86,6 +90,7 @@ impl fmt::Display for TensorClass {
             TensorClass::OptState => "opt_state",
             TensorClass::Activation => "activation",
             TensorClass::Stash => "stash",
+            TensorClass::WeightStash => "weight_stash",
             TensorClass::Workspace => "workspace",
         };
         f.write_str(s)

@@ -1060,6 +1060,7 @@ impl<'a> ReferenceExecutor<'a> {
                 harmony_memory::TensorClass::OptState,
                 harmony_memory::TensorClass::Activation,
                 harmony_memory::TensorClass::Stash,
+                harmony_memory::TensorClass::WeightStash,
                 harmony_memory::TensorClass::Workspace,
             ]
             .iter()
@@ -1998,6 +1999,7 @@ fn name_of(replica: usize, rf: TensorRef) -> String {
         TensorRef::Activation { layer, ubatch } => format!("r{replica}.L{layer}.Y.u{ubatch}"),
         TensorRef::ActGrad { layer, ubatch } => format!("r{replica}.L{layer}.dY.u{ubatch}"),
         TensorRef::Stash { layer, ubatch } => format!("r{replica}.L{layer}.stash.u{ubatch}"),
+        TensorRef::WeightStash { layer, ubatch } => format!("r{replica}.L{layer}.Wstash.u{ubatch}"),
         TensorRef::Input { ubatch } => format!("r{replica}.input.u{ubatch}"),
     }
 }

@@ -212,7 +212,7 @@ struct KeySpace {
     ubatches: usize,
     /// Replica slots (covers both plan replicas and GPU-indexed replicas).
     rslots: usize,
-    /// Refs per (iter, replica) plane: `3L + 3LU + U`.
+    /// Refs per (iter, replica) plane: `3L + 4LU + U`.
     num_refs: usize,
 }
 
@@ -228,7 +228,10 @@ impl KeySpace {
             TensorRef::Activation { layer, ubatch } => l3 + layer * self.ubatches + ubatch,
             TensorRef::ActGrad { layer, ubatch } => l3 + lu + layer * self.ubatches + ubatch,
             TensorRef::Stash { layer, ubatch } => l3 + 2 * lu + layer * self.ubatches + ubatch,
-            TensorRef::Input { ubatch } => l3 + 3 * lu + ubatch,
+            TensorRef::WeightStash { layer, ubatch } => {
+                l3 + 3 * lu + layer * self.ubatches + ubatch
+            }
+            TensorRef::Input { ubatch } => l3 + 4 * lu + ubatch,
         }
     }
 
@@ -896,7 +899,7 @@ impl<'a> SimExecutor<'a> {
         let layers = model.layers.len().max(scan_l);
         let ubatches = cfg.microbatches.max(scan_u);
         let rslots = plan.replicas.max(plan.queues.len()).max(1);
-        let num_refs = 3 * layers + 3 * layers * ubatches + ubatches;
+        let num_refs = 3 * layers + 4 * layers * ubatches + ubatches;
         let ks = KeySpace {
             layers,
             ubatches,
@@ -2134,6 +2137,7 @@ impl<'a> SimExecutor<'a> {
                 harmony_memory::TensorClass::OptState,
                 harmony_memory::TensorClass::Activation,
                 harmony_memory::TensorClass::Stash,
+                harmony_memory::TensorClass::WeightStash,
                 harmony_memory::TensorClass::Workspace,
             ]
             .iter()
@@ -3177,6 +3181,7 @@ fn name_of(replica: usize, rf: TensorRef) -> String {
         TensorRef::Activation { layer, ubatch } => format!("r{replica}.L{layer}.Y.u{ubatch}"),
         TensorRef::ActGrad { layer, ubatch } => format!("r{replica}.L{layer}.dY.u{ubatch}"),
         TensorRef::Stash { layer, ubatch } => format!("r{replica}.L{layer}.stash.u{ubatch}"),
+        TensorRef::WeightStash { layer, ubatch } => format!("r{replica}.L{layer}.Wstash.u{ubatch}"),
         TensorRef::Input { ubatch } => format!("r{replica}.input.u{ubatch}"),
     }
 }

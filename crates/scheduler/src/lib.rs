@@ -44,6 +44,8 @@ pub use dp::{plan_baseline_dp, plan_harmony_dp};
 pub use exec::{ExecCounters, ExecError, ExecPool, SimExecutor};
 pub use obs::{ExecContext, ExecEvent, ExecObserver, Fault, TimedFault};
 pub use plan::{ExecutionPlan, WorkItem};
-pub use pp::{partition_packs, plan_baseline_pp, plan_harmony_pp, PartitionObjective};
+pub use pp::{
+    partition_packs, plan_baseline_pp, plan_harmony_pp, plan_pipe_1f1b, PartitionObjective,
+};
 pub use shard::{run_sharded, ShardReport, ShardRunConfig};
 pub use slab::{Slab, SlabError, SlabHandle};

@@ -68,7 +68,8 @@ impl ExecutionPlan {
                 | TensorRef::OptState { layer } => (layer + 1, 0),
                 TensorRef::Activation { layer, ubatch }
                 | TensorRef::ActGrad { layer, ubatch }
-                | TensorRef::Stash { layer, ubatch } => (layer + 1, ubatch + 1),
+                | TensorRef::Stash { layer, ubatch }
+                | TensorRef::WeightStash { layer, ubatch } => (layer + 1, ubatch + 1),
                 TensorRef::Input { ubatch } => (0, ubatch + 1),
             };
             layers = layers.max(l);

@@ -125,6 +125,14 @@ fn stage_state_bytes(graph: &TaskGraph, model: &ModelSpec, stage: &Range<usize>,
         .sum()
 }
 
+fn stage_weight_bytes(graph: &TaskGraph, model: &ModelSpec, stage: &Range<usize>) -> u64 {
+    stage
+        .clone()
+        .flat_map(|p| graph.packs()[p].clone())
+        .map(|l| model.layers[l].weight_bytes())
+        .sum()
+}
+
 fn stage_stash_per_ubatch(
     graph: &TaskGraph,
     model: &ModelSpec,
@@ -138,6 +146,19 @@ fn stage_stash_per_ubatch(
         .sum()
 }
 
+/// The pipeline-parallel scheme families one planner body serves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PpFlavor {
+    /// PipeDream-style 1F1B with per-GPU virtualization, no stashing of
+    /// weight versions (backward reads the live weights).
+    Baseline,
+    /// Harmony-PP: grouped sweeps, JIT updates, p2p handoffs.
+    Harmony,
+    /// 1F1B with PipeDream weight stashing: each in-flight microbatch
+    /// carries a stashed weight copy from its forward to its backward.
+    Pipe1F1B,
+}
+
 /// Baseline pipeline parallelism: compute-balanced contiguous stages, the
 /// 1F1B (one-forward-one-backward) schedule of PipeDream, per-GPU memory
 /// virtualization, updates at the end of the iteration. Stage `s` keeps up
@@ -148,7 +169,7 @@ pub fn plan_baseline_pp(
     n_gpus: usize,
     w: &WorkloadConfig,
 ) -> Result<ExecutionPlan, GraphError> {
-    plan_pp(model, n_gpus, w, false)
+    plan_pp(model, n_gpus, w, PpFlavor::Baseline)
 }
 
 /// Harmony-PP: multi-dimensionally balanced stages, input-batch grouping
@@ -159,17 +180,38 @@ pub fn plan_harmony_pp(
     n_gpus: usize,
     w: &WorkloadConfig,
 ) -> Result<ExecutionPlan, GraphError> {
-    plan_pp(model, n_gpus, w, true)
+    plan_pp(model, n_gpus, w, PpFlavor::Harmony)
+}
+
+/// 1F1B with PipeDream weight stashing: the baseline 1F1B schedule, but
+/// every microbatch's forward stashes the weight version it used and its
+/// backward differentiates against that copy (the stashed-weight tensors'
+/// lifetimes span exactly the in-flight microbatch window). The extra
+/// per-stage footprint is `in_flight × stage weights` — the memory cost
+/// PipeDream pays for update semantics without pipeline flushes.
+pub fn plan_pipe_1f1b(
+    model: &ModelSpec,
+    n_gpus: usize,
+    w: &WorkloadConfig,
+) -> Result<ExecutionPlan, GraphError> {
+    plan_pp(model, n_gpus, w, PpFlavor::Pipe1F1B)
 }
 
 fn plan_pp(
     model: &ModelSpec,
     n_gpus: usize,
     w: &WorkloadConfig,
-    harmony: bool,
+    flavor: PpFlavor,
 ) -> Result<ExecutionPlan, GraphError> {
+    let harmony = flavor == PpFlavor::Harmony;
     let m_total = w.microbatches * n_gpus;
-    let graph = TaskGraph::build(model, w.graph_config(m_total))?;
+    let graph = TaskGraph::build(
+        model,
+        harmony_taskgraph::GraphConfig {
+            weight_stash: flavor == PpFlavor::Pipe1F1B,
+            ..w.graph_config(m_total)
+        },
+    )?;
     let objective = if harmony {
         PartitionObjective::MultiDim
     } else {
@@ -251,19 +293,31 @@ fn plan_pp(
                 q.push(t(TaskKind::Update { pack: p }));
             }
         }
-        // Logical demand: per-stage state + in-flight stashes.
+        // Logical demand: per-stage state + in-flight stashes (+ one
+        // stashed weight copy per in-flight microbatch under 1F1B weight
+        // stashing).
         let in_flight = if harmony {
             m_total as u64
         } else {
             (s_count - s).min(m_total) as u64
         };
+        let weight_stash_demand = if flavor == PpFlavor::Pipe1F1B {
+            stage_weight_bytes(&graph, model, stage) * in_flight
+        } else {
+            0
+        };
         demand.push(
             stage_state_bytes(&graph, model, stage, w.opt_slots)
-                + stage_stash_per_ubatch(&graph, model, stage, w.ubatch_size) * in_flight,
+                + stage_stash_per_ubatch(&graph, model, stage, w.ubatch_size) * in_flight
+                + weight_stash_demand,
         );
         queues.push(q);
     }
-    let name = if harmony { "harmony-pp" } else { "baseline-pp" };
+    let name = match flavor {
+        PpFlavor::Harmony => "harmony-pp",
+        PpFlavor::Baseline => "baseline-pp",
+        PpFlavor::Pipe1F1B => "pipe-1f1b",
+    };
     Ok(ExecutionPlan {
         name: format!("{name}(N={n_gpus},m={m_total})"),
         graph,
@@ -272,9 +326,10 @@ fn plan_pp(
         scheme: if harmony {
             SchemeConfig::harmony(name)
         } else {
-            // Baseline PP still hands activations to the next stage over
-            // p2p when they are resident — PipeDream-style direct sends —
-            // but lacks cleanliness tracking and next-use hints.
+            // Baseline PP (and 1F1B) still hands activations to the next
+            // stage over p2p when they are resident — PipeDream-style
+            // direct sends — but lacks cleanliness tracking and next-use
+            // hints.
             let mut s = SchemeConfig::baseline(name);
             s.p2p = true;
             s

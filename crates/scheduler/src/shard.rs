@@ -307,9 +307,11 @@ pub fn run_sharded(
     }
     plan.validate().map_err(ExecError::Plan)?;
     if !replica_aligned(plan) {
+        // Name the offending scheme, not just the plan: sweep harnesses
+        // match on it to report *which* scheme was asked to shard.
         return Err(ExecError::Plan(format!(
-            "cannot shard `{}`: queues are not replica-aligned (pipeline schemes share one replica across GPUs)",
-            plan.name
+            "cannot shard scheme `{}` (plan `{}`): queues are not replica-aligned (pipeline schemes share one replica across GPUs)",
+            plan.scheme.name, plan.name
         )));
     }
     let atoms = contention_atoms(topo, n)?;

@@ -1,5 +1,6 @@
 //! The Performance Tuner (paper §3, Fig 3): profile-guided search over the
-//! "memory–performance tango" (§4) — pack size × microbatch count.
+//! "memory–performance tango" (§4) — pack size × microbatch count ×
+//! recompute-vs-swap.
 //!
 //! The paper leaves the policy open ("a reinforcement learning agent can
 //! be used"); this implementation does what its Fig 3 requires of the
@@ -24,6 +25,9 @@ pub struct TunePoint {
     pub pack_size: usize,
     /// Microbatches per GPU.
     pub microbatches: usize,
+    /// Whether pack-boundary recomputation replaced activation stashing
+    /// (§4's recompute-vs-swap trade).
+    pub recompute: bool,
     /// Measured summary (None if the configuration was infeasible, e.g. a
     /// pack's working set exceeded device memory).
     pub summary: Option<RunSummary>,
@@ -43,9 +47,9 @@ pub struct TuneResult {
     pub points: Vec<TunePoint>,
     /// Index of the best feasible point (highest throughput), if any.
     pub best: Option<usize>,
-    /// Grid cells whose plan-relevant knobs `(pack_size, microbatches)`
-    /// duplicated an earlier cell: served from that cell's profile
-    /// instead of being re-planned and re-simulated.
+    /// Grid cells whose plan-relevant knobs `(pack_size, microbatches,
+    /// recompute)` duplicated an earlier cell: served from that cell's
+    /// profile instead of being re-planned and re-simulated.
     pub plan_cache_hits: u64,
     /// Distinct cells actually planned and profiled.
     pub plan_cache_misses: u64,
@@ -73,21 +77,26 @@ pub fn tune<F>(
     base: &WorkloadConfig,
     pack_sizes: &[usize],
     microbatch_counts: &[usize],
+    recompute_options: &[bool],
     planner: F,
 ) -> TuneResult
 where
     F: Fn(&ModelSpec, &WorkloadConfig) -> Result<ExecutionPlan, String> + Sync,
 {
-    let grid: Vec<(usize, usize)> = pack_sizes
+    let grid: Vec<(usize, usize, bool)> = pack_sizes
         .iter()
-        .flat_map(|&pack| microbatch_counts.iter().map(move |&m| (pack, m)))
+        .flat_map(|&pack| {
+            microbatch_counts
+                .iter()
+                .flat_map(move |&m| recompute_options.iter().map(move |&rc| (pack, m, rc)))
+        })
         .collect();
     // The planner is a pure function of the workload, so two cells with
-    // the same plan key `(pack, m)` would produce identical plans and
-    // identical simulations. Profile each distinct cell once and fan the
-    // results back out in sweep order — a caller-supplied grid with
+    // the same plan key `(pack, m, recompute)` would produce identical
+    // plans and identical simulations. Profile each distinct cell once and
+    // fan the results back out in sweep order — a caller-supplied grid with
     // repeated knob values costs one simulation per *distinct* cell.
-    let mut unique: Vec<(usize, usize)> = Vec::new();
+    let mut unique: Vec<(usize, usize, bool)> = Vec::new();
     let mut slot: Vec<usize> = Vec::with_capacity(grid.len());
     for &cell in &grid {
         match unique.iter().position(|&u| u == cell) {
@@ -98,10 +107,11 @@ where
             }
         }
     }
-    let profiled = harmony_parallel::par_map(&unique, |_, &(pack, m)| {
+    let profiled = harmony_parallel::par_map(&unique, |_, &(pack, m, rc)| {
         let w = WorkloadConfig {
             pack_size: pack,
             microbatches: m,
+            recompute: rc,
             ..*base
         };
         let summary = planner(model, &w)
@@ -112,6 +122,7 @@ where
         TunePoint {
             pack_size: pack,
             microbatches: m,
+            recompute: rc,
             summary,
         }
     });
@@ -127,9 +138,11 @@ where
 
 /// Deterministic argmax over feasible points: highest finite throughput
 /// (`f64::total_cmp`, so NaN/∞ summaries are treated as infeasible rather
-/// than silently winning or tying), ties broken toward the smaller
-/// `pack_size`, then the smaller `microbatches` — the same `best` whatever
-/// the sweep order or worker count.
+/// than silently winning or tying), ties broken first toward
+/// `recompute = false` (recomputation burns FLOPs; it must *strictly* beat
+/// swapping to be selected), then toward the smaller `pack_size`, then the
+/// smaller `microbatches` — the same `best` whatever the sweep order or
+/// worker count.
 fn select_best(points: &[TunePoint]) -> Option<usize> {
     points
         .iter()
@@ -141,6 +154,7 @@ fn select_best(points: &[TunePoint]) -> Option<usize> {
                 // `max_by` keeps the later element on Equal; reverse the
                 // knob comparisons so the smaller configuration compares
                 // greater and wins deterministically.
+                .then_with(|| b.recompute.cmp(&a.recompute))
                 .then_with(|| b.pack_size.cmp(&a.pack_size))
                 .then_with(|| b.microbatches.cmp(&a.microbatches))
         })
@@ -199,7 +213,7 @@ mod tests {
     fn tune_profiles_every_grid_point_and_picks_the_argmax() {
         let m = model();
         let t = topo(96 * 1024);
-        let result = tune(&m, &t, &base(), &[1, 2], &[1, 2], |m, w| {
+        let result = tune(&m, &t, &base(), &[1, 2], &[1, 2], &[false], |m, w| {
             plan_harmony_pp(m, 2, w).map_err(|e| e.to_string())
         });
         assert_eq!(result.points.len(), 4);
@@ -215,7 +229,7 @@ mod tests {
         // Capacity below even a single-layer update working set: every
         // point infeasible.
         let t = topo(8 * 1024);
-        let result = tune(&m, &t, &base(), &[1, 4], &[1], |m, w| {
+        let result = tune(&m, &t, &base(), &[1, 4], &[1], &[false], |m, w| {
             plan_harmony_pp(m, 2, w).map_err(|e| e.to_string())
         });
         assert_eq!(result.points.len(), 2);
@@ -225,9 +239,14 @@ mod tests {
     }
 
     fn point(pack: usize, m: usize, sim_secs: f64, samples: u64) -> TunePoint {
+        rc_point(pack, m, false, sim_secs, samples)
+    }
+
+    fn rc_point(pack: usize, m: usize, recompute: bool, sim_secs: f64, samples: u64) -> TunePoint {
         TunePoint {
             pack_size: pack,
             microbatches: m,
+            recompute,
             summary: Some(RunSummary {
                 name: format!("p{pack}m{m}"),
                 sim_secs,
@@ -281,13 +300,79 @@ mod tests {
     }
 
     #[test]
+    fn argmax_prefers_swapping_over_recompute_on_ties() {
+        // Recompute burns extra forward FLOPs for the same logical work,
+        // so on a throughput tie the non-recompute plan must win — and it
+        // outranks the pack-size tie-break: a tied recompute point never
+        // wins on a smaller pack.
+        let tied = vec![rc_point(1, 2, true, 1.0, 5), rc_point(1, 2, false, 1.0, 5)];
+        assert_eq!(select_best(&tied), Some(1));
+        let reversed: Vec<TunePoint> = tied.iter().rev().cloned().collect();
+        assert_eq!(select_best(&reversed), Some(0));
+        let cross = vec![rc_point(1, 2, true, 1.0, 5), rc_point(4, 2, false, 1.0, 5)];
+        assert_eq!(select_best(&cross), Some(1));
+        // A strictly faster recompute point still wins outright.
+        let faster = vec![rc_point(1, 2, false, 2.0, 5), rc_point(1, 2, true, 1.0, 5)];
+        assert_eq!(select_best(&faster), Some(1));
+    }
+
+    /// A stash-heavy layer under tight memory: stashed activations are
+    /// forced through the PCIe swap channel every microbatch, while the
+    /// layer's forward is cheap — §4's regime where recomputation beats
+    /// swapping. The tuner's grid must surface a cell where the recompute
+    /// plan's measured throughput strictly exceeds the swap plan's, and
+    /// the argmax must select it despite the recompute=false tie-break.
+    #[test]
+    fn recompute_beats_swapping_on_stash_heavy_cells() {
+        let m = ModelSpec {
+            name: "stash-heavy".to_string(),
+            layers: (0..8)
+                .map(|i| LayerSpec {
+                    name: format!("L{i}"),
+                    class: LayerClass::Other,
+                    params: 4096,
+                    fwd_flops_per_sample: 8192,
+                    out_elems_per_sample: 64,
+                    // 16× the weight bytes in per-microbatch stash traffic.
+                    extra_stash_elems_per_sample: 16384,
+                    in_elems_per_sample: 64,
+                })
+                .collect(),
+            seq_len: 1,
+        };
+        let t = topo(96 * 1024);
+        let result = tune(&m, &t, &base(), &[1], &[2], &[false, true], |m, w| {
+            plan_harmony_pp(m, 2, w).map_err(|e| e.to_string())
+        });
+        assert_eq!(result.points.len(), 2);
+        let swap = result.points.iter().find(|p| !p.recompute).unwrap();
+        let recomp = result.points.iter().find(|p| p.recompute).unwrap();
+        assert!(
+            recomp.throughput() > swap.throughput(),
+            "recompute {} should strictly beat swapping {}",
+            recomp.throughput(),
+            swap.throughput()
+        );
+        assert!(
+            result.best_point().unwrap().recompute,
+            "argmax must surface the recompute cell"
+        );
+    }
+
+    #[test]
     fn tune_is_identical_across_worker_counts() {
         let m = model();
         let t = topo(96 * 1024);
         let sweep = || {
-            tune(&m, &t, &base(), &[1, 2, 4, 8], &[1, 2], |m, w| {
-                plan_harmony_pp(m, 2, w).map_err(|e| e.to_string())
-            })
+            tune(
+                &m,
+                &t,
+                &base(),
+                &[1, 2, 4, 8],
+                &[1, 2],
+                &[false, true],
+                |m, w| plan_harmony_pp(m, 2, w).map_err(|e| e.to_string()),
+            )
         };
         let sequential = harmony_parallel::with_workers(1, sweep);
         for workers in [2, 3, 8] {
@@ -301,7 +386,7 @@ mod tests {
         let m = model();
         let t = topo(96 * 1024);
         // 3×2 grid with one repeated pack size: 6 cells, 4 distinct.
-        let deduped = tune(&m, &t, &base(), &[1, 2, 1], &[1, 2], |m, w| {
+        let deduped = tune(&m, &t, &base(), &[1, 2, 1], &[1, 2], &[false], |m, w| {
             plan_harmony_pp(m, 2, w).map_err(|e| e.to_string())
         });
         assert_eq!(deduped.points.len(), 6, "sweep order keeps every cell");
@@ -311,7 +396,7 @@ mod tests {
         assert_eq!(deduped.points[0], deduped.points[4]);
         assert_eq!(deduped.points[1], deduped.points[5]);
         // And a duplicate-free sweep reports no hits.
-        let fresh = tune(&m, &t, &base(), &[1, 2], &[1, 2], |m, w| {
+        let fresh = tune(&m, &t, &base(), &[1, 2], &[1, 2], &[false], |m, w| {
             plan_harmony_pp(m, 2, w).map_err(|e| e.to_string())
         });
         assert_eq!(fresh.plan_cache_hits, 0);
@@ -324,7 +409,7 @@ mod tests {
         let m = model();
         // Packs of 8 layers exceed the 96 KiB device; packs of 1 fit.
         let t = topo(96 * 1024);
-        let result = tune(&m, &t, &base(), &[1, 8], &[2], |m, w| {
+        let result = tune(&m, &t, &base(), &[1, 8], &[2], &[false], |m, w| {
             plan_harmony_pp(m, 2, w).map_err(|e| e.to_string())
         });
         let feasible: Vec<bool> = result.points.iter().map(|p| p.summary.is_some()).collect();

@@ -1,4 +1,4 @@
-//! Integration tests: run all four schemes end-to-end on the simulator and
+//! Integration tests: run all five schemes end-to-end on the simulator and
 //! check that the paper's claims *emerge* from the shared executor.
 
 use harmony_models::{LayerClass, LayerSpec, ModelSpec};

@@ -97,6 +97,12 @@ pub struct GraphConfig {
     /// `(1 + bwd_flops_mult)`× backward compute for eliminating the
     /// per-layer stash footprint and its swap traffic.
     pub recompute: bool,
+    /// 1F1B weight stashing (PipeDream): each microbatch's forward stashes
+    /// the weight version it used ([`TensorRef::WeightStash`]); its
+    /// backward differentiates against that stashed copy instead of the
+    /// live weights and releases it. The stashed copy's lifetime spans
+    /// exactly the microbatch's in-flight forward→backward window.
+    pub weight_stash: bool,
 }
 
 impl Default for GraphConfig {
@@ -109,6 +115,7 @@ impl Default for GraphConfig {
             update_flops_per_param: 4.0,
             opt_slots: 2,
             recompute: false,
+            weight_stash: false,
         }
     }
 }
@@ -198,6 +205,14 @@ impl TaskGraph {
                 let mut flops = 0f64;
                 for l in range.clone() {
                     reads.push(TensorRef::Weight { layer: l });
+                    if config.weight_stash {
+                        // 1F1B: stash the weight version this microbatch's
+                        // forward saw; its backward reads the copy.
+                        writes.push(TensorRef::WeightStash {
+                            layer: l,
+                            ubatch: u,
+                        });
+                    }
                     if !config.recompute {
                         writes.push(TensorRef::Stash {
                             layer: l,
@@ -308,7 +323,21 @@ impl TaskGraph {
                     reads.push(input);
                 }
                 for l in range.clone() {
-                    reads.push(TensorRef::Weight { layer: l });
+                    if config.weight_stash {
+                        // Differentiate against the stashed version, not
+                        // the live weights; the copy dies here (its
+                        // microbatch window closes with this backward).
+                        reads.push(TensorRef::WeightStash {
+                            layer: l,
+                            ubatch: u,
+                        });
+                        frees.push(TensorRef::WeightStash {
+                            layer: l,
+                            ubatch: u,
+                        });
+                    } else {
+                        reads.push(TensorRef::Weight { layer: l });
+                    }
                     if config.recompute {
                         flops += model.layers[l].fwd_flops(config.ubatch_size) as f64
                             * (1.0 + config.bwd_flops_mult);

@@ -48,6 +48,17 @@ pub enum TensorRef {
         /// Microbatch index.
         ubatch: usize,
     },
+    /// The weight version of `layer` stashed by microbatch `ubatch`'s
+    /// forward under 1F1B weight stashing (PipeDream): backward must
+    /// differentiate against the weights its forward actually used, so
+    /// each in-flight microbatch carries a stashed copy whose lifetime
+    /// spans its forward→backward window.
+    WeightStash {
+        /// Layer index.
+        layer: usize,
+        /// Microbatch index.
+        ubatch: usize,
+    },
     /// The model input for a microbatch.
     Input {
         /// Microbatch index.
@@ -66,6 +77,7 @@ impl TensorRef {
                 TensorClass::Activation
             }
             TensorRef::Stash { .. } => TensorClass::Stash,
+            TensorRef::WeightStash { .. } => TensorClass::WeightStash,
         }
     }
 
@@ -81,6 +93,9 @@ impl TensorRef {
             // dY has the shape of the producing layer's output.
             TensorRef::ActGrad { layer: l, .. } => layer(l).out_bytes(ubatch_size),
             TensorRef::Stash { layer: l, .. } => layer(l).stash_bytes(ubatch_size),
+            // A stashed weight version is a full copy of the layer's
+            // weights; it does not scale with the microbatch size.
+            TensorRef::WeightStash { layer: l, .. } => layer(l).weight_bytes(),
             TensorRef::Input { .. } => model
                 .layers
                 .first()
@@ -97,7 +112,8 @@ impl TensorRef {
             | TensorRef::OptState { layer }
             | TensorRef::Activation { layer, .. }
             | TensorRef::ActGrad { layer, .. }
-            | TensorRef::Stash { layer, .. } => Some(layer),
+            | TensorRef::Stash { layer, .. }
+            | TensorRef::WeightStash { layer, .. } => Some(layer),
             TensorRef::Input { .. } => None,
         }
     }
@@ -110,6 +126,7 @@ impl TensorRef {
             TensorRef::Activation { ubatch, .. }
             | TensorRef::ActGrad { ubatch, .. }
             | TensorRef::Stash { ubatch, .. }
+            | TensorRef::WeightStash { ubatch, .. }
             | TensorRef::Input { ubatch } => Some(ubatch),
             _ => None,
         }
